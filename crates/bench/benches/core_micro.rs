@@ -1,0 +1,134 @@
+//! Micro-benchmarks of the core data structures: segment-tree weaving and
+//! reading, DHT routing, chunk stores and the end-to-end client write/read
+//! path on an in-process cluster.
+
+use blobseer_core::Cluster;
+use blobseer_dht::Dht;
+use blobseer_meta::{
+    build_write_metadata, collect_leaves, publish_metadata, InMemoryMetaStore, SnapshotDescriptor,
+    WrittenChunk,
+};
+use blobseer_provider::{ChunkStore, RamStore};
+use blobseer_types::{BlobConfig, BlobId, ByteRange, ChunkId, ClusterConfig, ProviderId, Version};
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::time::Duration;
+
+fn bench_segment_tree_weave(c: &mut Criterion) {
+    // A 4096-chunk blob; measure weaving a single-chunk overwrite.
+    let store = InMemoryMetaStore::new();
+    let blob = BlobId(1);
+    let chunk_size = 1 << 20;
+    let chunks: Vec<WrittenChunk> = (0..4096)
+        .map(|slot| WrittenChunk {
+            slot,
+            chunk: ChunkId { blob, write_tag: 1, slot },
+            providers: vec![ProviderId((slot % 64) as u32)],
+            len: chunk_size,
+        })
+        .collect();
+    let base = build_write_metadata(
+        &store,
+        blob,
+        &SnapshotDescriptor::initial(chunk_size),
+        Version(1),
+        4096 * chunk_size,
+        &chunks,
+    )
+    .unwrap();
+    publish_metadata(&store, &base).unwrap();
+
+    c.bench_function("segment_tree_single_chunk_weave", |b| {
+        b.iter(|| {
+            build_write_metadata(
+                &store,
+                blob,
+                &base.descriptor,
+                Version(2),
+                base.descriptor.size,
+                &[WrittenChunk {
+                    slot: 1234,
+                    chunk: ChunkId { blob, write_tag: 2, slot: 1234 },
+                    providers: vec![ProviderId(0)],
+                    len: chunk_size,
+                }],
+            )
+            .unwrap()
+        })
+    });
+
+    c.bench_function("segment_tree_read_descent_64_chunks", |b| {
+        b.iter(|| {
+            collect_leaves(
+                &store,
+                blob,
+                &base.descriptor,
+                ByteRange::new(1000 * chunk_size, 64 * chunk_size),
+            )
+            .unwrap()
+        })
+    });
+}
+
+fn bench_dht_routing_and_puts(c: &mut Criterion) {
+    let dht: Dht<u64, u64> = Dht::new(16, 64, 2).unwrap();
+    c.bench_function("dht_route", |b| {
+        let mut key = 0u64;
+        b.iter(|| {
+            key = key.wrapping_add(1);
+            dht.route(&key)
+        })
+    });
+    c.bench_function("dht_put_get", |b| {
+        let mut key = 1u64 << 32;
+        b.iter(|| {
+            key = key.wrapping_add(1);
+            dht.put(key, key).unwrap();
+            dht.get(&key).unwrap()
+        })
+    });
+}
+
+fn bench_ram_store(c: &mut Criterion) {
+    let store = RamStore::unbounded();
+    let payload = Bytes::from(vec![7u8; 64 << 10]);
+    c.bench_function("ram_store_put_get_64k", |b| {
+        let mut slot = 0u64;
+        b.iter(|| {
+            slot += 1;
+            let id = ChunkId { blob: BlobId(1), write_tag: 3, slot };
+            store.put(id, payload.clone()).unwrap();
+            store.get(&id).unwrap()
+        })
+    });
+}
+
+fn bench_client_roundtrip(c: &mut Criterion) {
+    let cluster = Cluster::new(ClusterConfig {
+        data_providers: 8,
+        metadata_providers: 4,
+        ..ClusterConfig::default()
+    })
+    .unwrap();
+    let client = cluster.client();
+    let blob = client.create_blob(BlobConfig::new(64 << 10, 1).unwrap()).unwrap();
+    let payload = vec![42u8; 256 << 10];
+    c.bench_function("client_append_256k", |b| {
+        b.iter_batched(
+            || payload.clone(),
+            |data| client.append(blob, &data).unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+    client.append(blob, &payload).unwrap();
+    c.bench_function("client_read_256k", |b| {
+        b.iter(|| client.read(blob, None, 0, 256 << 10).unwrap())
+    });
+}
+
+criterion_group! {
+    name = micro;
+    config = Criterion::default().sample_size(20).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(500));
+    targets = bench_segment_tree_weave, bench_dht_routing_and_puts, bench_ram_store, bench_client_roundtrip
+}
+criterion_main!(micro);

@@ -1,0 +1,84 @@
+//! Criterion benches regenerating (reduced-scale versions of) every figure
+//! and table of the paper's evaluation. The full-scale numbers are produced
+//! by the `fig_*` binaries; these benches keep the harness runnable in CI
+//! and track regressions in the experiment pipeline itself.
+
+use blobseer_bench::{
+    ablation_chunk_size, fig_a1_metadata_overhead, fig_a2_concurrent_rw, fig_b1_append_scaling,
+    fig_b2_size_sweep, fig_c1_metadata_decentralization, fig_c2_provider_sweep,
+    fig_d1_bsfs_vs_hdfs, fig_d2_mapreduce_jobs, fig_e1_qos_stability, tab_e2_replication,
+};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn bench_fig_a1_metadata_overhead(c: &mut Criterion) {
+    c.bench_function("fig_a1_metadata_overhead", |b| {
+        b.iter(|| fig_a1_metadata_overhead(&[64, 512]))
+    });
+}
+
+fn bench_fig_a2_concurrent_rw(c: &mut Criterion) {
+    c.bench_function("fig_a2_concurrent_rw", |b| {
+        b.iter(|| fig_a2_concurrent_rw(&[1, 8, 32], 16))
+    });
+}
+
+fn bench_fig_b1_append_scaling(c: &mut Criterion) {
+    c.bench_function("fig_b1_append_scaling", |b| {
+        b.iter(|| fig_b1_append_scaling(&[1, 8, 32], 16))
+    });
+}
+
+fn bench_fig_b2_size_sweep(c: &mut Criterion) {
+    c.bench_function("fig_b2_size_sweep", |b| b.iter(|| fig_b2_size_sweep(16, &[8, 32])));
+}
+
+fn bench_fig_c1_meta_decentralization(c: &mut Criterion) {
+    c.bench_function("fig_c1_meta_decentralization", |b| {
+        b.iter(|| fig_c1_metadata_decentralization(&[16], 16, 8, 256))
+    });
+}
+
+fn bench_fig_c2_provider_sweep(c: &mut Criterion) {
+    c.bench_function("fig_c2_provider_sweep", |b| {
+        b.iter(|| fig_c2_provider_sweep(&[4, 16, 64], 16, 16))
+    });
+}
+
+fn bench_fig_d1_bsfs_vs_hdfs(c: &mut Criterion) {
+    c.bench_function("fig_d1_bsfs_vs_hdfs", |b| b.iter(|| fig_d1_bsfs_vs_hdfs(&[1, 16], 16)));
+}
+
+fn bench_fig_d2_mapreduce_jobs(c: &mut Criterion) {
+    c.bench_function("fig_d2_mapreduce_jobs", |b| b.iter(|| fig_d2_mapreduce_jobs(200, 4)));
+}
+
+fn bench_fig_e1_qos_stability(c: &mut Criterion) {
+    c.bench_function("fig_e1_qos_stability", |b| b.iter(|| fig_e1_qos_stability(8, 4, 8.0)));
+}
+
+fn bench_tab_e2_replication(c: &mut Criterion) {
+    c.bench_function("tab_e2_replication", |b| b.iter(|| tab_e2_replication(&[1, 2], 8)));
+}
+
+fn bench_ablation_chunk_size(c: &mut Criterion) {
+    c.bench_function("ablation_chunk_size", |b| b.iter(|| ablation_chunk_size(&[256, 1024], 8)));
+}
+
+criterion_group! {
+    name = figures;
+    config = Criterion::default().sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(500));
+    targets =
+        bench_fig_a1_metadata_overhead,
+        bench_fig_a2_concurrent_rw,
+        bench_fig_b1_append_scaling,
+        bench_fig_b2_size_sweep,
+        bench_fig_c1_meta_decentralization,
+        bench_fig_c2_provider_sweep,
+        bench_fig_d1_bsfs_vs_hdfs,
+        bench_fig_d2_mapreduce_jobs,
+        bench_fig_e1_qos_stability,
+        bench_tab_e2_replication,
+        bench_ablation_chunk_size
+}
+criterion_main!(figures);

@@ -1,0 +1,23 @@
+//! Fig. A1 — metadata overhead versus blob size (Section IV.A).
+//!
+//! Regenerates the metadata-overhead measurement: how many tree nodes (and
+//! bytes of metadata) a single-chunk write creates as the blob grows from
+//! 64 MiB to 16 GiB.
+
+use blobseer_bench::fig_a1_metadata_overhead;
+
+fn main() {
+    let sizes = [64u64, 256, 1024, 4096, 16384]; // chunks of 1 MiB => 64 MiB .. 16 GiB
+    println!("Fig. A1 — metadata overhead of one 1 MiB write vs blob size\n");
+    println!(
+        "{:>12} {:>16} {:>12} {:>16} {:>18}",
+        "blob (MiB)", "nodes/write", "tree depth", "metadata (B)", "metadata/data"
+    );
+    for row in fig_a1_metadata_overhead(&sizes) {
+        println!(
+            "{:>12} {:>16} {:>12} {:>16} {:>18.6}",
+            row.blob_chunks, row.nodes_per_write, row.tree_depth, row.metadata_bytes, row.overhead_ratio
+        );
+    }
+    println!("\nExpected shape (paper): overhead grows logarithmically with the blob size.");
+}

@@ -1,0 +1,18 @@
+//! Tab. E2 — replication overhead and read availability under failures
+//! (Sections IV.E and V).
+
+use blobseer_bench::tab_e2_replication;
+
+fn main() {
+    println!("Tab. E2 — replication factor vs write throughput and read availability\n");
+    println!("{:>12} {:>20} {:>26}", "replication", "write (MiB/s)", "reads ok w/ 25% failed");
+    for row in tab_e2_replication(&[1, 2, 3], 32) {
+        println!(
+            "{:>12} {:>20.1} {:>25.1}%",
+            row.replication,
+            row.write_mibps,
+            row.read_availability * 100.0
+        );
+    }
+    println!("\nExpected shape: each extra replica costs write bandwidth but masks failures.");
+}

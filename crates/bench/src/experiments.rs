@@ -1,0 +1,680 @@
+//! The experiment implementations.
+//!
+//! Every public function regenerates one table or figure of the paper's
+//! evaluation (or one ablation called out in `DESIGN.md`). Functions take
+//! their sweep parameters as arguments so the binaries can run them at full
+//! scale while the criterion benches use reduced parameters.
+
+use blobseer_bsfs::Bsfs;
+use blobseer_core::Cluster;
+use blobseer_hdfs::HdfsLikeFs;
+use blobseer_mapreduce::{
+    grep_job, sort_job, wordcount_job, BsfsStorage, HdfsStorage, JobStorage, MapReduceEngine,
+};
+use blobseer_meta::{build_write_metadata, publish_metadata, InMemoryMetaStore, SnapshotDescriptor, WrittenChunk};
+use blobseer_qos::{MonitoringCollector, QosController};
+use blobseer_sim::{
+    mean, std_dev, SimulatedCluster, SweepSeries, Workload, WorkloadBuilder, NANOS_PER_SEC,
+};
+use blobseer_types::{
+    BlobConfig, BlobId, ChunkId, ClusterConfig, PlacementPolicy, ProviderId, Version,
+};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// 1 MiB, the chunk size used by most of the paper's experiments.
+pub const MIB: u64 = 1 << 20;
+
+fn sim(data_providers: usize, metadata_providers: usize, placement: PlacementPolicy) -> SimulatedCluster {
+    let config = ClusterConfig {
+        data_providers,
+        metadata_providers,
+        placement,
+        ..ClusterConfig::default()
+    };
+    SimulatedCluster::new(config).expect("valid simulated cluster")
+}
+
+fn run_series(
+    name: &str,
+    clients: &[usize],
+    mut make_sim: impl FnMut() -> SimulatedCluster,
+    make_workload: impl Fn(usize) -> Workload,
+) -> SweepSeries {
+    let mut series = SweepSeries::new(name);
+    for &n in clients {
+        let mut cluster = make_sim();
+        let result = cluster.run(&make_workload(n)).expect("simulation run");
+        series.push(n as f64, result.aggregated_mibps(), result.mean_latency_ms());
+    }
+    series
+}
+
+// ---------------------------------------------------------------------------
+// Fig. A1 — metadata overhead versus blob size (Section IV.A, [14])
+// ---------------------------------------------------------------------------
+
+/// One row of the metadata-overhead table.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MetadataOverheadRow {
+    /// Number of chunks already in the blob when the measured write happens.
+    pub blob_chunks: u64,
+    /// Tree nodes a single-chunk write creates at that size.
+    pub nodes_per_write: usize,
+    /// Depth of the snapshot's tree.
+    pub tree_depth: u32,
+    /// Approximate metadata bytes created by the write.
+    pub metadata_bytes: u64,
+    /// Metadata overhead relative to the 1-chunk payload (bytes of metadata
+    /// per byte of data, for a 1 MiB chunk).
+    pub overhead_ratio: f64,
+}
+
+/// Fig. A1: how much metadata a single-chunk write creates as the blob grows.
+/// The paper's claim is that the overhead stays logarithmic in the blob size.
+pub fn fig_a1_metadata_overhead(blob_chunk_counts: &[u64]) -> Vec<MetadataOverheadRow> {
+    let chunk_size = MIB;
+    let mut rows = Vec::with_capacity(blob_chunk_counts.len());
+    for &chunks in blob_chunk_counts {
+        let store = InMemoryMetaStore::new();
+        let blob = BlobId(1);
+        // Build the blob in one bulk write, then measure one overwrite.
+        let base_chunks: Vec<WrittenChunk> = (0..chunks)
+            .map(|slot| WrittenChunk {
+                slot,
+                chunk: ChunkId { blob, write_tag: 1, slot },
+                providers: vec![ProviderId((slot % 64) as u32)],
+                len: chunk_size,
+            })
+            .collect();
+        let base = build_write_metadata(
+            &store,
+            blob,
+            &SnapshotDescriptor::initial(chunk_size),
+            Version(1),
+            chunks * chunk_size,
+            &base_chunks,
+        )
+        .expect("base write");
+        publish_metadata(&store, &base).expect("publish base");
+
+        let update = build_write_metadata(
+            &store,
+            blob,
+            &base.descriptor,
+            Version(2),
+            base.descriptor.size,
+            &[WrittenChunk {
+                slot: chunks / 2,
+                chunk: ChunkId { blob, write_tag: 2, slot: chunks / 2 },
+                providers: vec![ProviderId(0)],
+                len: chunk_size,
+            }],
+        )
+        .expect("measured write");
+        rows.push(MetadataOverheadRow {
+            blob_chunks: chunks,
+            nodes_per_write: update.node_count(),
+            tree_depth: update.tree_depth(),
+            metadata_bytes: update.metadata_bytes(),
+            overhead_ratio: update.metadata_bytes() as f64 / chunk_size as f64,
+        });
+    }
+    rows
+}
+
+// ---------------------------------------------------------------------------
+// Fig. A2 — concurrent read/write throughput versus number of clients
+// (Section IV.A, [14][15])
+// ---------------------------------------------------------------------------
+
+/// Fig. A2: aggregated throughput of N clients reading or writing disjoint
+/// 64 MiB regions of one shared blob (64 data providers, 16 metadata
+/// providers).
+pub fn fig_a2_concurrent_rw(clients: &[usize], op_mib: u64) -> Vec<SweepSeries> {
+    let writes = run_series(
+        "concurrent writes",
+        clients,
+        || sim(64, 16, PlacementPolicy::RoundRobin),
+        |n| {
+            WorkloadBuilder::new(n)
+                .ops_per_client(2)
+                .op_size(op_mib * MIB)
+                .chunk_size(MIB)
+                .disjoint_writes()
+        },
+    );
+    let reads = run_series(
+        "concurrent reads",
+        clients,
+        || sim(64, 16, PlacementPolicy::RoundRobin),
+        |n| {
+            WorkloadBuilder::new(n)
+                .ops_per_client(2)
+                .op_size(op_mib * MIB)
+                .chunk_size(MIB)
+                .disjoint_reads()
+        },
+    );
+    vec![writes, reads]
+}
+
+// ---------------------------------------------------------------------------
+// Fig. B1 / B2 — append throughput (Section IV.B, [3])
+// ---------------------------------------------------------------------------
+
+/// Fig. B1: aggregated throughput of N clients appending 64 MiB records to
+/// the same blob concurrently.
+pub fn fig_b1_append_scaling(clients: &[usize], op_mib: u64) -> SweepSeries {
+    run_series(
+        "concurrent appends",
+        clients,
+        || sim(64, 16, PlacementPolicy::RoundRobin),
+        |n| {
+            WorkloadBuilder::new(n)
+                .ops_per_client(2)
+                .op_size(op_mib * MIB)
+                .chunk_size(MIB)
+                .concurrent_appends()
+        },
+    )
+}
+
+/// Fig. B2: aggregated append throughput of a fixed set of clients as the
+/// per-operation size grows.
+pub fn fig_b2_size_sweep(clients: usize, op_sizes_mib: &[u64]) -> SweepSeries {
+    let mut series = SweepSeries::new(format!("{clients} appenders"));
+    for &size in op_sizes_mib {
+        let mut cluster = sim(64, 16, PlacementPolicy::RoundRobin);
+        let workload = WorkloadBuilder::new(clients)
+            .ops_per_client(2)
+            .op_size(size * MIB)
+            .chunk_size(MIB)
+            .concurrent_appends();
+        let result = cluster.run(&workload).expect("simulation run");
+        series.push(size as f64, result.aggregated_mibps(), result.mean_latency_ms());
+    }
+    series
+}
+
+// ---------------------------------------------------------------------------
+// Fig. C1 / C2 — decentralisation (Section IV.C, [2])
+// ---------------------------------------------------------------------------
+
+/// Fig. C1: aggregated write throughput under heavy write concurrency with a
+/// single (centralised) metadata server versus a DHT of metadata providers.
+pub fn fig_c1_metadata_decentralization(
+    clients: &[usize],
+    dht_nodes: usize,
+    op_mib: u64,
+    chunk_kib: u64,
+) -> Vec<SweepSeries> {
+    let workload = |n: usize| {
+        WorkloadBuilder::new(n)
+            .ops_per_client(1)
+            .op_size(op_mib * MIB)
+            .chunk_size(chunk_kib << 10)
+            .concurrent_appends()
+    };
+    let centralized = run_series(
+        "centralized metadata",
+        clients,
+        || sim(64, 1, PlacementPolicy::RoundRobin),
+        workload,
+    );
+    let decentralized = run_series(
+        &format!("DHT metadata ({dht_nodes} nodes)"),
+        clients,
+        || sim(64, dht_nodes, PlacementPolicy::RoundRobin),
+        workload,
+    );
+    vec![centralized, decentralized]
+}
+
+/// Fig. C2: impact of data striping — aggregated write throughput of a fixed
+/// number of concurrent writers as the number of data providers grows.
+pub fn fig_c2_provider_sweep(providers: &[usize], clients: usize, op_mib: u64) -> SweepSeries {
+    let mut series = SweepSeries::new(format!("{clients} writers"));
+    for &p in providers {
+        let mut cluster = sim(p, 16, PlacementPolicy::RoundRobin);
+        let workload = WorkloadBuilder::new(clients)
+            .ops_per_client(2)
+            .op_size(op_mib * MIB)
+            .chunk_size(MIB)
+            .concurrent_appends();
+        let result = cluster.run(&workload).expect("simulation run");
+        series.push(p as f64, result.aggregated_mibps(), result.mean_latency_ms());
+    }
+    series
+}
+
+// ---------------------------------------------------------------------------
+// Fig. D1 — BSFS versus the HDFS-like baseline under concurrent appends to
+// the same file (Section IV.D, [16])
+// ---------------------------------------------------------------------------
+
+/// Fig. D1: aggregated throughput of N MapReduce-style writers appending to
+/// one shared file. BSFS (BlobSeer) lets every appender proceed in parallel;
+/// the HDFS-like baseline serialises them behind a single-writer lease and
+/// funnels all block allocations through one namenode.
+pub fn fig_d1_bsfs_vs_hdfs(clients: &[usize], op_mib: u64) -> Vec<SweepSeries> {
+    let bsfs = run_series(
+        "BSFS (BlobSeer)",
+        clients,
+        || sim(64, 16, PlacementPolicy::RoundRobin),
+        |n| {
+            WorkloadBuilder::new(n)
+                .ops_per_client(2)
+                .op_size(op_mib * MIB)
+                .chunk_size(MIB)
+                .concurrent_appends()
+        },
+    );
+
+    // The HDFS-like baseline is modelled analytically with the same link
+    // parameters: appenders to one file hold an exclusive lease, so the file
+    // grows at the rate of a single write pipeline regardless of N; every
+    // block allocation additionally visits the namenode.
+    let config = ClusterConfig::default();
+    let mut hdfs = SweepSeries::new("HDFS-like (single writer)");
+    for &n in clients {
+        let ops = n as u64 * 2;
+        let total_bytes = ops * op_mib * MIB;
+        let pipeline_seconds = total_bytes as f64 / config.link_bandwidth_bps as f64;
+        let blocks = total_bytes.div_ceil(64 * MIB);
+        let namenode_seconds = (blocks + ops) as f64 * config.meta_service_ns as f64
+            / NANOS_PER_SEC as f64;
+        let makespan = pipeline_seconds + namenode_seconds;
+        let throughput = total_bytes as f64 / (1024.0 * 1024.0) / makespan;
+        let latency_ms = makespan / ops as f64 * 1_000.0;
+        hdfs.push(n as f64, throughput, latency_ms);
+    }
+    vec![bsfs, hdfs]
+}
+
+// ---------------------------------------------------------------------------
+// Fig. D2 — real MapReduce applications on BSFS versus the HDFS-like
+// baseline (Section IV.D, [16])
+// ---------------------------------------------------------------------------
+
+/// Completion times of one MapReduce job on both backends.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MapReduceComparison {
+    /// Job name (wordcount, grep, sort).
+    pub job: String,
+    /// Completion time on BSFS (BlobSeer).
+    pub bsfs: Duration,
+    /// Completion time on the HDFS-like baseline.
+    pub hdfs: Duration,
+    /// Input bytes processed.
+    pub input_bytes: u64,
+}
+
+/// Fig. D2: wordcount, grep and sort over a synthetic corpus, executed by the
+/// real in-process MapReduce engine on both storage backends.
+pub fn fig_d2_mapreduce_jobs(corpus_lines: usize, workers: usize) -> Vec<MapReduceComparison> {
+    let corpus: String = (0..corpus_lines)
+        .map(|i| {
+            format!(
+                "line {i} holds words alpha beta gamma {} and number {}\n",
+                if i % 7 == 0 { "error" } else { "ok" },
+                i % 97
+            )
+        })
+        .collect();
+
+    // BSFS backend over an in-process BlobSeer cluster.
+    let cluster = Cluster::new(ClusterConfig {
+        data_providers: 8,
+        metadata_providers: 4,
+        ..ClusterConfig::default()
+    })
+    .expect("cluster");
+    let bsfs_fs = Arc::new(
+        Bsfs::new(Arc::new(cluster.client()), BlobConfig::new(256 << 10, 1).unwrap()).unwrap(),
+    );
+    let bsfs_storage = Arc::new(BsfsStorage::new(Arc::clone(&bsfs_fs)));
+    bsfs_storage.create_file("/in/corpus").unwrap();
+    bsfs_storage.append("/in/corpus", corpus.as_bytes()).unwrap();
+    let bsfs_engine = MapReduceEngine::new(bsfs_storage, workers);
+
+    // HDFS-like backend.
+    let hdfs_fs = Arc::new(HdfsLikeFs::new(8, 256 << 10, 1).unwrap());
+    let hdfs_storage = Arc::new(HdfsStorage::new(Arc::clone(&hdfs_fs)));
+    hdfs_storage.create_file("/in/corpus").unwrap();
+    hdfs_storage.append("/in/corpus", corpus.as_bytes()).unwrap();
+    let hdfs_engine = MapReduceEngine::new(hdfs_storage, workers);
+
+    let split = 64 << 10;
+    let jobs = [
+        ("wordcount", 0usize),
+        ("grep", 1),
+        ("sort", 2),
+    ];
+    let mut rows = Vec::new();
+    for (name, kind) in jobs {
+        let make = |out: &str| match kind {
+            0 => wordcount_job(vec!["/in/corpus".into()], out, 4, split),
+            1 => grep_job(vec!["/in/corpus".into()], out, "error", 4, split),
+            _ => sort_job(vec!["/in/corpus".into()], out, 4, split),
+        };
+        let bsfs_report = bsfs_engine.run(&make(&format!("/out/bsfs/{name}"))).unwrap();
+        let hdfs_report = hdfs_engine.run(&make(&format!("/out/hdfs/{name}"))).unwrap();
+        rows.push(MapReduceComparison {
+            job: name.to_string(),
+            bsfs: bsfs_report.elapsed,
+            hdfs: hdfs_report.elapsed,
+            input_bytes: bsfs_report.input_bytes,
+        });
+    }
+    rows
+}
+
+// ---------------------------------------------------------------------------
+// Fig. E1 — QoS: throughput stability under failures, with and without
+// behaviour-model feedback (Section IV.E)
+// ---------------------------------------------------------------------------
+
+/// Result of one QoS stability run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QosStability {
+    /// Mean of the windowed aggregated throughput (MiB/s).
+    pub mean_mibps: f64,
+    /// Standard deviation of the windowed throughput (MiB/s) — the paper's
+    /// stability metric.
+    pub std_mibps: f64,
+    /// Overall aggregated throughput (MiB/s).
+    pub aggregated_mibps: f64,
+}
+
+/// Fig. E1: a long write-intensive run during which a subset of providers
+/// periodically degrades. Without feedback the placement keeps hammering the
+/// degraded providers; with (GloBeM-style) feedback the flagged providers
+/// are avoided, yielding higher and more stable throughput.
+pub fn fig_e1_qos_stability(
+    clients: usize,
+    degraded_providers: usize,
+    slowdown: f64,
+) -> (QosStability, QosStability) {
+    let providers = 32;
+    let workload = |policy: PlacementPolicy| {
+        let _ = policy;
+        WorkloadBuilder::new(clients)
+            .ops_per_client(6)
+            .op_size(32 * MIB)
+            .chunk_size(MIB)
+            .concurrent_appends()
+    };
+    let degradation_start = NANOS_PER_SEC / 2;
+    let degradation_len = 30 * NANOS_PER_SEC;
+
+    let run = |policy: PlacementPolicy, with_feedback: bool| -> QosStability {
+        let mut cluster = sim(providers, 16, policy);
+        for p in 0..degraded_providers {
+            cluster.schedule_degradation(
+                ProviderId(p as u32),
+                degradation_start,
+                degradation_len,
+                slowdown,
+            );
+        }
+        if with_feedback {
+            // The offline behaviour model detects the dangerous state after
+            // one monitoring window and the placement layer avoids the
+            // flagged providers from then on.
+            for p in 0..degraded_providers {
+                cluster
+                    .set_provider_qos(ProviderId(p as u32), 0.05)
+                    .expect("provider exists");
+            }
+        }
+        let result = cluster.run(&workload(policy)).expect("simulation run");
+        let windows = result.windowed_throughput_mibps(result.makespan_ns / 20);
+        QosStability {
+            mean_mibps: mean(&windows),
+            std_mibps: std_dev(&windows),
+            aggregated_mibps: result.aggregated_mibps(),
+        }
+    };
+
+    let without = run(PlacementPolicy::RoundRobin, false);
+    let with = run(PlacementPolicy::QosAware, true);
+    (without, with)
+}
+
+/// Demonstrates the full monitoring → behaviour model → placement feedback
+/// loop on a real in-process cluster with an injected provider failure.
+/// Returns the providers the model flagged. Used by the `qos_feedback`
+/// example and the integration tests; the scale experiment is
+/// [`fig_e1_qos_stability`].
+pub fn qos_feedback_loop_demo() -> Vec<ProviderId> {
+    let cluster = Cluster::new(ClusterConfig {
+        data_providers: 6,
+        metadata_providers: 2,
+        placement: PlacementPolicy::QosAware,
+        ..ClusterConfig::default()
+    })
+    .expect("cluster");
+    let client = cluster.client();
+    let blob = client
+        .create_blob(BlobConfig::new(64 << 10, 1).unwrap())
+        .unwrap();
+    let collector = Arc::new(MonitoringCollector::new(cluster.providers()));
+    let mut controller = QosController::new(
+        Arc::clone(&collector),
+        Arc::clone(cluster.provider_manager()),
+        3,
+        4,
+    );
+    // Healthy traffic, then provider 2 fails and traffic continues.
+    for round in 0..10 {
+        if round == 4 {
+            cluster.fail_provider(ProviderId(2)).unwrap();
+        }
+        let _ = client.append(blob, &vec![round as u8; 256 << 10]);
+        collector.sample();
+    }
+    controller.step().unwrap_or_default()
+}
+
+// ---------------------------------------------------------------------------
+// Tab. E2 — replication overhead and availability (Sections IV.E and V)
+// ---------------------------------------------------------------------------
+
+/// One row of the replication table.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReplicationRow {
+    /// Replication factor.
+    pub replication: usize,
+    /// Aggregated write throughput at that factor (MiB/s).
+    pub write_mibps: f64,
+    /// Fraction of read operations that still succeed when 25% of the
+    /// providers have failed.
+    pub read_availability: f64,
+}
+
+/// Tab. E2: the cost of replication on write throughput and the availability
+/// it buys under provider failures.
+pub fn tab_e2_replication(factors: &[usize], clients: usize) -> Vec<ReplicationRow> {
+    let providers = 32usize;
+    factors
+        .iter()
+        .map(|&replication| {
+            // Write throughput.
+            let mut cluster = sim(providers, 16, PlacementPolicy::RoundRobin);
+            let writes = WorkloadBuilder::new(clients)
+                .ops_per_client(2)
+                .op_size(32 * MIB)
+                .chunk_size(MIB)
+                .replication(replication)
+                .concurrent_appends();
+            let write_result = cluster.run(&writes).expect("write run");
+
+            // Read availability with 25% of providers failed (spread out so
+            // adjacent-replica placement is not trivially wiped out).
+            let mut cluster = sim(providers, 16, PlacementPolicy::RoundRobin);
+            for k in 0..providers / 4 {
+                cluster.schedule_failure(ProviderId((k * 4) as u32), 0, u64::MAX / 2);
+            }
+            let reads = WorkloadBuilder::new(clients)
+                .ops_per_client(2)
+                .op_size(32 * MIB)
+                .chunk_size(MIB)
+                .replication(replication)
+                .disjoint_reads();
+            let read_result = cluster.run(&reads).expect("read run");
+            let total_ops = read_result.ops.len().max(1);
+            ReplicationRow {
+                replication,
+                write_mibps: write_result.aggregated_mibps(),
+                read_availability: 1.0 - read_result.failed_ops as f64 / total_ops as f64,
+            }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Ablations called out in DESIGN.md
+// ---------------------------------------------------------------------------
+
+/// Ablation: impact of the chunk size on aggregated write throughput (fixed
+/// 32 writers, 64 providers).
+pub fn ablation_chunk_size(chunk_kib: &[u64], clients: usize) -> SweepSeries {
+    let mut series = SweepSeries::new("chunk size sweep");
+    for &kib in chunk_kib {
+        let mut cluster = sim(64, 16, PlacementPolicy::RoundRobin);
+        let workload = WorkloadBuilder::new(clients)
+            .ops_per_client(2)
+            .op_size(32 * MIB)
+            .chunk_size(kib << 10)
+            .concurrent_appends();
+        let result = cluster.run(&workload).expect("simulation run");
+        series.push(kib as f64, result.aggregated_mibps(), result.mean_latency_ms());
+    }
+    series
+}
+
+/// Ablation: impact of the placement policy on aggregated write throughput.
+pub fn ablation_placement(clients: usize, op_mib: u64) -> Vec<(String, f64)> {
+    [
+        PlacementPolicy::RoundRobin,
+        PlacementPolicy::Random,
+        PlacementPolicy::LeastLoaded,
+        PlacementPolicy::QosAware,
+    ]
+    .iter()
+    .map(|&policy| {
+        let mut cluster = sim(64, 16, policy);
+        let workload = WorkloadBuilder::new(clients)
+            .ops_per_client(2)
+            .op_size(op_mib * MIB)
+            .chunk_size(MIB)
+            .concurrent_appends();
+        let result = cluster.run(&workload).expect("simulation run");
+        (format!("{policy:?}"), result.aggregated_mibps())
+    })
+    .collect()
+}
+
+/// Ablation: client-side metadata caching on/off for a read-heavy workload
+/// (Section IV.A notes the benefit of metadata caching).
+pub fn ablation_meta_cache(clients: usize, op_mib: u64) -> Vec<(String, f64)> {
+    [true, false]
+        .iter()
+        .map(|&cache| {
+            let config = ClusterConfig {
+                data_providers: 64,
+                metadata_providers: 16,
+                client_metadata_cache: cache,
+                ..ClusterConfig::default()
+            };
+            let mut cluster = SimulatedCluster::new(config).expect("cluster");
+            let workload = WorkloadBuilder::new(clients)
+                .ops_per_client(4)
+                .op_size(op_mib * MIB)
+                .chunk_size(256 << 10)
+                .disjoint_reads();
+            let result = cluster.run(&workload).expect("simulation run");
+            (
+                if cache { "metadata cache ON" } else { "metadata cache OFF" }.to_string(),
+                result.aggregated_mibps(),
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig_a1_overhead_grows_logarithmically() {
+        let rows = fig_a1_metadata_overhead(&[16, 256, 4096]);
+        assert_eq!(rows.len(), 3);
+        // Depth grows by ~4 per 16x size increase; node count tracks depth.
+        assert_eq!(rows[0].tree_depth + 4, rows[1].tree_depth);
+        assert_eq!(rows[1].tree_depth + 4, rows[2].tree_depth);
+        assert!(rows[2].nodes_per_write <= rows[0].nodes_per_write + 8);
+        assert!(rows[2].overhead_ratio < 0.01, "metadata must stay a tiny fraction of data");
+    }
+
+    #[test]
+    fn fig_c1_shows_the_decentralization_benefit() {
+        let series = fig_c1_metadata_decentralization(&[32], 16, 8, 256);
+        let centralized = series[0].final_throughput().unwrap();
+        let decentralized = series[1].final_throughput().unwrap();
+        assert!(decentralized > 1.3 * centralized);
+    }
+
+    #[test]
+    fn fig_d1_bsfs_scales_and_hdfs_stays_flat() {
+        let series = fig_d1_bsfs_vs_hdfs(&[1, 16], 16);
+        let bsfs = &series[0];
+        let hdfs = &series[1];
+        assert!(bsfs.points[1].throughput_mibps > 4.0 * bsfs.points[0].throughput_mibps);
+        let flat = hdfs.points[1].throughput_mibps / hdfs.points[0].throughput_mibps;
+        assert!(flat < 1.2, "single-writer throughput must not scale with clients");
+        assert!(bsfs.points[1].throughput_mibps > 3.0 * hdfs.points[1].throughput_mibps);
+    }
+
+    #[test]
+    fn fig_d2_runs_all_three_jobs_on_both_backends() {
+        let rows = fig_d2_mapreduce_jobs(400, 4);
+        assert_eq!(rows.len(), 3);
+        for row in &rows {
+            assert!(row.input_bytes > 0);
+            assert!(row.bsfs > Duration::ZERO);
+            assert!(row.hdfs > Duration::ZERO);
+        }
+    }
+
+    #[test]
+    fn fig_e1_feedback_improves_stability() {
+        let (without, with) = fig_e1_qos_stability(16, 8, 12.0);
+        assert!(with.aggregated_mibps > without.aggregated_mibps);
+        assert!(with.mean_mibps > without.mean_mibps);
+    }
+
+    #[test]
+    fn qos_demo_flags_the_failed_provider() {
+        let flagged = qos_feedback_loop_demo();
+        assert!(flagged.contains(&ProviderId(2)));
+    }
+
+    #[test]
+    fn tab_e2_replication_trades_throughput_for_availability() {
+        let rows = tab_e2_replication(&[1, 3], 8);
+        assert!(rows[0].write_mibps > rows[1].write_mibps, "replication costs write throughput");
+        assert!(rows[1].read_availability > rows[0].read_availability);
+        assert!((rows[1].read_availability - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ablations_return_one_row_per_point() {
+        assert_eq!(ablation_chunk_size(&[256, 1024], 8).points.len(), 2);
+        assert_eq!(ablation_placement(8, 8).len(), 4);
+        let cache = ablation_meta_cache(8, 8);
+        assert_eq!(cache.len(), 2);
+        assert!(cache[0].1 >= cache[1].1 * 0.95, "caching must not hurt reads");
+    }
+}

@@ -1,0 +1,301 @@
+//! BSFS: a file system layered on the BlobSeer blob store.
+//!
+//! Section IV.D of the paper replaces HDFS under Hadoop with "a fully-fledged
+//! distributed file system on top of BlobSeer, BSFS, that manages a
+//! hierarchical directory structure, mapping files to blobs which are
+//! addressed in BlobSeer using a flat scheme". This crate is that layer:
+//!
+//! * [`namespace::Namespace`] — the hierarchical directory structure (a
+//!   namespace manager process in the real deployment);
+//! * [`Bsfs`] — the client-facing file-system API: create/open/delete files
+//!   and directories, streaming reads and writes with buffering and
+//!   prefetching, and chunk-location queries so a MapReduce scheduler can
+//!   place computation close to the data;
+//! * [`file::FileWriter`] / [`file::FileReader`] — the streaming access API
+//!   Hadoop expects, with client-side buffering (writes) and prefetching
+//!   (reads).
+
+pub mod file;
+pub mod namespace;
+
+use blobseer_core::BlobClient;
+use blobseer_types::{BlobConfig, BlobError, ByteRange, ProviderId, Result};
+use file::{FileReader, FileWriter};
+use namespace::{EntryKind, Namespace};
+use std::sync::Arc;
+
+/// A BSFS mount: a namespace plus a BlobSeer client.
+pub struct Bsfs {
+    client: Arc<BlobClient>,
+    namespace: Namespace,
+    default_config: BlobConfig,
+}
+
+impl Bsfs {
+    /// Mounts a new, empty file system over the given BlobSeer client. Files
+    /// are created with `default_config` unless specified otherwise.
+    pub fn new(client: Arc<BlobClient>, default_config: BlobConfig) -> Result<Self> {
+        default_config.validate()?;
+        Ok(Bsfs {
+            client,
+            namespace: Namespace::new(),
+            default_config,
+        })
+    }
+
+    /// The underlying BlobSeer client.
+    pub fn client(&self) -> &Arc<BlobClient> {
+        &self.client
+    }
+
+    /// Creates a directory (and any missing parents).
+    pub fn create_dir_all(&self, path: &str) -> Result<()> {
+        self.namespace.create_dir_all(path)
+    }
+
+    /// Creates an empty file backed by a fresh blob and returns its path.
+    pub fn create_file(&self, path: &str) -> Result<()> {
+        self.create_file_with(path, self.default_config)
+    }
+
+    /// Creates an empty file with an explicit blob configuration.
+    pub fn create_file_with(&self, path: &str, config: BlobConfig) -> Result<()> {
+        let blob = self.client.create_blob(config)?;
+        self.namespace.create_file(path, blob)
+    }
+
+    /// Whether a file or directory exists at `path`.
+    pub fn exists(&self, path: &str) -> bool {
+        self.namespace.lookup(path).is_some()
+    }
+
+    /// Lists the entries of a directory (names only, sorted).
+    pub fn list(&self, path: &str) -> Result<Vec<String>> {
+        self.namespace.list(path)
+    }
+
+    /// Deletes a file or an empty directory.
+    pub fn delete(&self, path: &str) -> Result<()> {
+        self.namespace.delete(path)
+    }
+
+    /// Renames a file or directory (both paths must share the same parent
+    /// semantics as a plain map rename; directories move with their
+    /// children).
+    pub fn rename(&self, from: &str, to: &str) -> Result<()> {
+        self.namespace.rename(from, to)
+    }
+
+    /// Size in bytes of a file (its blob's latest published snapshot).
+    pub fn file_size(&self, path: &str) -> Result<u64> {
+        let blob = self.namespace.file_blob(path)?;
+        self.client.size(blob, None)
+    }
+
+    /// Appends `data` to a file (the whole-buffer convenience used by tests
+    /// and small writers; streaming writers should use [`Bsfs::writer`]).
+    pub fn append(&self, path: &str, data: &[u8]) -> Result<()> {
+        let blob = self.namespace.file_blob(path)?;
+        self.client.append(blob, data)?;
+        Ok(())
+    }
+
+    /// Writes `data` at `offset` of a file.
+    pub fn write_at(&self, path: &str, offset: u64, data: &[u8]) -> Result<()> {
+        let blob = self.namespace.file_blob(path)?;
+        self.client.write(blob, offset, data)?;
+        Ok(())
+    }
+
+    /// Reads `len` bytes at `offset` of a file.
+    pub fn read_at(&self, path: &str, offset: u64, len: u64) -> Result<Vec<u8>> {
+        let blob = self.namespace.file_blob(path)?;
+        self.client.read(blob, None, offset, len)
+    }
+
+    /// Reads a whole file.
+    pub fn read_file(&self, path: &str) -> Result<Vec<u8>> {
+        let blob = self.namespace.file_blob(path)?;
+        self.client.read_all(blob, None)
+    }
+
+    /// Opens a buffered, append-only streaming writer on a file.
+    pub fn writer(&self, path: &str, buffer_bytes: usize) -> Result<FileWriter<'_>> {
+        let blob = self.namespace.file_blob(path)?;
+        Ok(FileWriter::new(&self.client, blob, buffer_bytes))
+    }
+
+    /// Opens a buffered, prefetching streaming reader on a file.
+    pub fn reader(&self, path: &str, buffer_bytes: u64) -> Result<FileReader<'_>> {
+        let blob = self.namespace.file_blob(path)?;
+        FileReader::new(&self.client, blob, buffer_bytes)
+    }
+
+    /// The data providers holding each chunk-sized region of a file — the
+    /// Hadoop-specific locality API the paper adds to BlobSeer for BSFS.
+    pub fn locations(&self, path: &str) -> Result<Vec<(ByteRange, Vec<ProviderId>)>> {
+        let blob = self.namespace.file_blob(path)?;
+        let size = self.client.size(blob, None)?;
+        if size == 0 {
+            return Ok(Vec::new());
+        }
+        self.client
+            .chunk_locations(blob, None, ByteRange::new(0, size))
+    }
+
+    /// Splits a file into contiguous regions of roughly `split_bytes` bytes,
+    /// each annotated with the providers holding its first chunk (the
+    /// MapReduce input-split API).
+    pub fn input_splits(
+        &self,
+        path: &str,
+        split_bytes: u64,
+    ) -> Result<Vec<(ByteRange, Vec<ProviderId>)>> {
+        if split_bytes == 0 {
+            return Err(BlobError::InvalidConfig("split size must be positive".into()));
+        }
+        let size = self.file_size(path)?;
+        let locations = self.locations(path)?;
+        let mut splits = Vec::new();
+        let mut offset = 0;
+        while offset < size {
+            let len = split_bytes.min(size - offset);
+            let range = ByteRange::new(offset, len);
+            let providers = locations
+                .iter()
+                .find(|(slot, _)| slot.contains(offset))
+                .map(|(_, p)| p.clone())
+                .unwrap_or_default();
+            splits.push((range, providers));
+            offset += len;
+        }
+        Ok(splits)
+    }
+
+    /// Kind of the entry at `path`, if it exists.
+    pub fn entry_kind(&self, path: &str) -> Option<EntryKind> {
+        self.namespace.lookup(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blobseer_core::Cluster;
+    use blobseer_types::ClusterConfig;
+
+    fn fs() -> Bsfs {
+        let cluster = Cluster::new(ClusterConfig::small()).unwrap();
+        let client = Arc::new(cluster.client());
+        Bsfs::new(client, BlobConfig::new(64, 1).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn create_write_read_roundtrip() {
+        let fs = fs();
+        fs.create_dir_all("/data/logs").unwrap();
+        fs.create_file("/data/logs/app.log").unwrap();
+        fs.append("/data/logs/app.log", b"line one\n").unwrap();
+        fs.append("/data/logs/app.log", b"line two\n").unwrap();
+        assert_eq!(fs.file_size("/data/logs/app.log").unwrap(), 18);
+        assert_eq!(
+            fs.read_file("/data/logs/app.log").unwrap(),
+            b"line one\nline two\n"
+        );
+        assert_eq!(fs.read_at("/data/logs/app.log", 9, 8).unwrap(), b"line two");
+    }
+
+    #[test]
+    fn write_at_updates_in_place() {
+        let fs = fs();
+        fs.create_file("/f").unwrap();
+        fs.append("/f", &[b'a'; 200]).unwrap();
+        fs.write_at("/f", 100, b"XYZ").unwrap();
+        let data = fs.read_file("/f").unwrap();
+        assert_eq!(&data[100..103], b"XYZ");
+        assert_eq!(data[99], b'a');
+        assert_eq!(data.len(), 200);
+    }
+
+    #[test]
+    fn namespace_operations() {
+        let fs = fs();
+        fs.create_dir_all("/a/b").unwrap();
+        fs.create_file("/a/b/one").unwrap();
+        fs.create_file("/a/b/two").unwrap();
+        assert_eq!(fs.list("/a/b").unwrap(), vec!["one", "two"]);
+        assert!(fs.exists("/a/b/one"));
+        assert!(!fs.exists("/a/b/three"));
+        fs.rename("/a/b/one", "/a/b/uno").unwrap();
+        assert!(fs.exists("/a/b/uno"));
+        assert!(!fs.exists("/a/b/one"));
+        fs.delete("/a/b/two").unwrap();
+        assert_eq!(fs.list("/a/b").unwrap(), vec!["uno"]);
+    }
+
+    #[test]
+    fn locations_and_input_splits_cover_the_file() {
+        let fs = fs();
+        fs.create_file("/big").unwrap();
+        fs.append("/big", &vec![1u8; 64 * 10]).unwrap();
+        let locations = fs.locations("/big").unwrap();
+        assert_eq!(locations.len(), 10);
+        assert!(locations.iter().all(|(_, p)| !p.is_empty()));
+
+        let splits = fs.input_splits("/big", 64 * 3).unwrap();
+        assert_eq!(splits.len(), 4); // 3+3+3+1 chunks
+        let covered: u64 = splits.iter().map(|(r, _)| r.len).sum();
+        assert_eq!(covered, 640);
+        assert!(splits.iter().all(|(_, p)| !p.is_empty()));
+        assert!(fs.input_splits("/big", 0).is_err());
+    }
+
+    #[test]
+    fn empty_file_has_no_locations() {
+        let fs = fs();
+        fs.create_file("/empty").unwrap();
+        assert_eq!(fs.file_size("/empty").unwrap(), 0);
+        assert!(fs.locations("/empty").unwrap().is_empty());
+        assert!(fs.input_splits("/empty", 64).unwrap().is_empty());
+    }
+
+    #[test]
+    fn missing_files_are_reported() {
+        let fs = fs();
+        assert!(matches!(
+            fs.read_file("/nope"),
+            Err(BlobError::InvalidPath(_))
+        ));
+        assert!(fs.append("/nope", b"x").is_err());
+        assert!(fs.file_size("/nope").is_err());
+    }
+
+    #[test]
+    fn streaming_writer_and_reader() {
+        let fs = fs();
+        fs.create_file("/stream").unwrap();
+        {
+            let mut writer = fs.writer("/stream", 150).unwrap();
+            for i in 0..100u32 {
+                writer.write(format!("record-{i:04}\n").as_bytes()).unwrap();
+            }
+            writer.flush().unwrap();
+        }
+        let size = fs.file_size("/stream").unwrap();
+        assert_eq!(size, 100 * 12);
+
+        let mut reader = fs.reader("/stream", 256).unwrap();
+        let mut all = Vec::new();
+        let mut buf = [0u8; 100];
+        loop {
+            let n = reader.read(&mut buf).unwrap();
+            if n == 0 {
+                break;
+            }
+            all.extend_from_slice(&buf[..n]);
+        }
+        assert_eq!(all.len(), 1200);
+        assert!(all.starts_with(b"record-0000\n"));
+        assert!(all.ends_with(b"record-0099\n"));
+    }
+}

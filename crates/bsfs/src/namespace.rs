@@ -1,0 +1,308 @@
+//! The BSFS namespace manager: a hierarchical directory tree mapping file
+//! paths to the flat blob identifiers BlobSeer uses.
+
+use blobseer_types::{BlobError, BlobId, Result};
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+
+/// What a namespace entry is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EntryKind {
+    /// A directory (may contain other entries).
+    Directory,
+    /// A regular file backed by the given blob.
+    File(BlobId),
+}
+
+/// The namespace manager. Paths are `/`-separated absolute paths; the root
+/// directory `/` always exists.
+pub struct Namespace {
+    entries: RwLock<BTreeMap<String, EntryKind>>,
+}
+
+fn normalise(path: &str) -> Result<String> {
+    if !path.starts_with('/') {
+        return Err(BlobError::InvalidPath(format!(
+            "{path}: paths must be absolute"
+        )));
+    }
+    let mut parts = Vec::new();
+    for part in path.split('/') {
+        match part {
+            "" | "." => continue,
+            ".." => {
+                return Err(BlobError::InvalidPath(format!(
+                    "{path}: '..' is not supported"
+                )))
+            }
+            p => parts.push(p),
+        }
+    }
+    Ok(format!("/{}", parts.join("/")))
+}
+
+fn parent_of(path: &str) -> String {
+    match path.rfind('/') {
+        Some(0) | None => "/".to_string(),
+        Some(idx) => path[..idx].to_string(),
+    }
+}
+
+impl Namespace {
+    /// Creates an empty namespace containing only the root directory.
+    #[must_use]
+    pub fn new() -> Self {
+        let mut entries = BTreeMap::new();
+        entries.insert("/".to_string(), EntryKind::Directory);
+        Namespace {
+            entries: RwLock::new(entries),
+        }
+    }
+
+    /// Looks up the entry at `path`.
+    pub fn lookup(&self, path: &str) -> Option<EntryKind> {
+        let path = normalise(path).ok()?;
+        self.entries.read().get(&path).copied()
+    }
+
+    /// The blob backing the file at `path`.
+    pub fn file_blob(&self, path: &str) -> Result<BlobId> {
+        let norm = normalise(path)?;
+        match self.entries.read().get(&norm) {
+            Some(EntryKind::File(blob)) => Ok(*blob),
+            Some(EntryKind::Directory) => Err(BlobError::InvalidPath(format!(
+                "{path} is a directory, not a file"
+            ))),
+            None => Err(BlobError::InvalidPath(format!("{path} does not exist"))),
+        }
+    }
+
+    /// Creates a directory and all missing ancestors.
+    pub fn create_dir_all(&self, path: &str) -> Result<()> {
+        let path = normalise(path)?;
+        let mut entries = self.entries.write();
+        let mut current = String::new();
+        for part in path.split('/').filter(|p| !p.is_empty()) {
+            current.push('/');
+            current.push_str(part);
+            match entries.get(&current) {
+                Some(EntryKind::Directory) => {}
+                Some(EntryKind::File(_)) => {
+                    return Err(BlobError::AlreadyExists(format!(
+                        "{current} exists and is a file"
+                    )))
+                }
+                None => {
+                    entries.insert(current.clone(), EntryKind::Directory);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Registers a new file backed by `blob`. The parent directory must
+    /// exist and the path must be free.
+    pub fn create_file(&self, path: &str, blob: BlobId) -> Result<()> {
+        let path = normalise(path)?;
+        if path == "/" {
+            return Err(BlobError::InvalidPath("cannot create a file at /".into()));
+        }
+        let mut entries = self.entries.write();
+        if entries.contains_key(&path) {
+            return Err(BlobError::AlreadyExists(path));
+        }
+        let parent = parent_of(&path);
+        match entries.get(&parent) {
+            Some(EntryKind::Directory) => {}
+            Some(EntryKind::File(_)) => {
+                return Err(BlobError::InvalidPath(format!("{parent} is a file")))
+            }
+            None => {
+                return Err(BlobError::InvalidPath(format!(
+                    "parent directory {parent} does not exist"
+                )))
+            }
+        }
+        entries.insert(path, EntryKind::File(blob));
+        Ok(())
+    }
+
+    /// Names of the direct children of a directory, sorted.
+    pub fn list(&self, path: &str) -> Result<Vec<String>> {
+        let path = normalise(path)?;
+        let entries = self.entries.read();
+        match entries.get(&path) {
+            Some(EntryKind::Directory) => {}
+            Some(EntryKind::File(_)) => {
+                return Err(BlobError::InvalidPath(format!("{path} is a file")))
+            }
+            None => return Err(BlobError::InvalidPath(format!("{path} does not exist"))),
+        }
+        let prefix = if path == "/" { "/".to_string() } else { format!("{path}/") };
+        let mut names = Vec::new();
+        for child in entries.keys() {
+            if let Some(rest) = child.strip_prefix(&prefix) {
+                if !rest.is_empty() && !rest.contains('/') {
+                    names.push(rest.to_string());
+                }
+            }
+        }
+        Ok(names)
+    }
+
+    /// Deletes a file or an *empty* directory.
+    pub fn delete(&self, path: &str) -> Result<()> {
+        let path = normalise(path)?;
+        if path == "/" {
+            return Err(BlobError::InvalidPath("cannot delete /".into()));
+        }
+        let mut entries = self.entries.write();
+        match entries.get(&path) {
+            None => return Err(BlobError::InvalidPath(format!("{path} does not exist"))),
+            Some(EntryKind::Directory) => {
+                let prefix = format!("{path}/");
+                if entries.keys().any(|k| k.starts_with(&prefix)) {
+                    return Err(BlobError::InvalidPath(format!("{path} is not empty")));
+                }
+            }
+            Some(EntryKind::File(_)) => {}
+        }
+        entries.remove(&path);
+        Ok(())
+    }
+
+    /// Renames a file or directory; directories move with all their
+    /// children. The destination must not exist.
+    pub fn rename(&self, from: &str, to: &str) -> Result<()> {
+        let from = normalise(from)?;
+        let to = normalise(to)?;
+        if from == "/" || to == "/" {
+            return Err(BlobError::InvalidPath("cannot rename the root".into()));
+        }
+        let mut entries = self.entries.write();
+        let Some(kind) = entries.get(&from).copied() else {
+            return Err(BlobError::InvalidPath(format!("{from} does not exist")));
+        };
+        if entries.contains_key(&to) {
+            return Err(BlobError::AlreadyExists(to));
+        }
+        match entries.get(&parent_of(&to)) {
+            Some(EntryKind::Directory) => {}
+            _ => {
+                return Err(BlobError::InvalidPath(format!(
+                    "parent of {to} does not exist"
+                )))
+            }
+        }
+        entries.remove(&from);
+        entries.insert(to.clone(), kind);
+        if matches!(kind, EntryKind::Directory) {
+            let prefix = format!("{from}/");
+            let moved: Vec<(String, EntryKind)> = entries
+                .iter()
+                .filter(|(k, _)| k.starts_with(&prefix))
+                .map(|(k, v)| (k.clone(), *v))
+                .collect();
+            for (old_key, value) in moved {
+                let new_key = format!("{to}/{}", &old_key[prefix.len()..]);
+                entries.remove(&old_key);
+                entries.insert(new_key, value);
+            }
+        }
+        Ok(())
+    }
+
+    /// Total number of entries (files + directories, root included).
+    pub fn entry_count(&self) -> usize {
+        self.entries.read().len()
+    }
+}
+
+impl Default for Namespace {
+    fn default() -> Self {
+        Namespace::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blob(n: u64) -> BlobId {
+        BlobId(n)
+    }
+
+    #[test]
+    fn paths_are_normalised() {
+        let ns = Namespace::new();
+        ns.create_dir_all("/a//b/./c").unwrap();
+        assert_eq!(ns.lookup("/a/b/c"), Some(EntryKind::Directory));
+        assert!(ns.create_dir_all("relative").is_err());
+        assert!(ns.create_dir_all("/a/../b").is_err());
+    }
+
+    #[test]
+    fn file_creation_requires_parent() {
+        let ns = Namespace::new();
+        assert!(ns.create_file("/missing/file", blob(1)).is_err());
+        ns.create_dir_all("/dir").unwrap();
+        ns.create_file("/dir/file", blob(1)).unwrap();
+        assert_eq!(ns.file_blob("/dir/file").unwrap(), blob(1));
+        assert!(ns.create_file("/dir/file", blob(2)).is_err());
+        assert!(ns.create_file("/dir/file/child", blob(3)).is_err());
+        assert!(ns.create_file("/", blob(3)).is_err());
+    }
+
+    #[test]
+    fn list_shows_direct_children_only() {
+        let ns = Namespace::new();
+        ns.create_dir_all("/x/y").unwrap();
+        ns.create_file("/x/f1", blob(1)).unwrap();
+        ns.create_file("/x/y/f2", blob(2)).unwrap();
+        assert_eq!(ns.list("/x").unwrap(), vec!["f1", "y"]);
+        assert_eq!(ns.list("/").unwrap(), vec!["x"]);
+        assert!(ns.list("/x/f1").is_err());
+        assert!(ns.list("/nope").is_err());
+    }
+
+    #[test]
+    fn delete_rules() {
+        let ns = Namespace::new();
+        ns.create_dir_all("/d").unwrap();
+        ns.create_file("/d/f", blob(1)).unwrap();
+        assert!(ns.delete("/d").is_err(), "non-empty directory");
+        ns.delete("/d/f").unwrap();
+        ns.delete("/d").unwrap();
+        assert!(ns.delete("/d").is_err(), "already gone");
+        assert!(ns.delete("/").is_err());
+    }
+
+    #[test]
+    fn rename_moves_directories_recursively() {
+        let ns = Namespace::new();
+        ns.create_dir_all("/old/sub").unwrap();
+        ns.create_file("/old/sub/f", blob(7)).unwrap();
+        ns.rename("/old", "/new").unwrap();
+        assert_eq!(ns.file_blob("/new/sub/f").unwrap(), blob(7));
+        assert!(ns.lookup("/old").is_none());
+        assert!(ns.rename("/missing", "/other").is_err());
+        ns.create_dir_all("/taken").unwrap();
+        assert!(ns.rename("/new", "/taken").is_err());
+    }
+
+    #[test]
+    fn file_blob_distinguishes_kinds() {
+        let ns = Namespace::new();
+        ns.create_dir_all("/d").unwrap();
+        assert!(matches!(ns.file_blob("/d"), Err(BlobError::InvalidPath(_))));
+        assert!(matches!(ns.file_blob("/nope"), Err(BlobError::InvalidPath(_))));
+    }
+
+    #[test]
+    fn entry_count_tracks_growth() {
+        let ns = Namespace::new();
+        assert_eq!(ns.entry_count(), 1);
+        ns.create_dir_all("/a/b/c").unwrap();
+        assert_eq!(ns.entry_count(), 4);
+    }
+}

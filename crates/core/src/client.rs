@@ -1,0 +1,913 @@
+//! The BlobSeer client library.
+//!
+//! A [`BlobClient`] implements the access interface of the paper: create a
+//! blob, read a range of any published snapshot, write a range (producing a
+//! new snapshot) and append (producing a new snapshot whose offset is
+//! resolved by the version manager). All the heavy lifting — chunking,
+//! boundary merging, placement, replication, parallel chunk transfer,
+//! metadata weaving and publication — happens here, so that the service
+//! processes stay as small as the paper describes them.
+
+use crate::version_manager::{VersionManager, WriteKind, WriteTicket};
+use blobseer_meta::{
+    build_repair_metadata, build_write_metadata_chained, collect_leaves, publish_metadata,
+    LeafNode, MetadataStore, SnapshotDescriptor, WriteSummary, WrittenChunk,
+};
+use blobseer_provider::{DataProvider, PlacementRequest, ProviderManager};
+use blobseer_types::{
+    chunk_span, BlobConfig, BlobError, BlobId, ByteRange, ChunkId, ClientId, ProviderId, Result,
+    Version,
+};
+use bytes::Bytes;
+use parking_lot::Mutex;
+use rand::Rng;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Maximum number of threads one client uses to push or fetch chunks in
+/// parallel for a single operation.
+const MAX_TRANSFER_THREADS: usize = 8;
+
+/// Per-client operation counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClientStats {
+    /// Completed write operations.
+    pub writes: u64,
+    /// Completed append operations.
+    pub appends: u64,
+    /// Completed read operations.
+    pub reads: u64,
+    /// Payload bytes written (excluding replication copies).
+    pub bytes_written: u64,
+    /// Payload bytes read.
+    pub bytes_read: u64,
+    /// Chunks pushed to providers (replication copies included).
+    pub chunks_written: u64,
+    /// Chunks fetched from providers.
+    pub chunks_read: u64,
+    /// Metadata tree nodes created by this client's writes.
+    pub meta_nodes_written: u64,
+    /// Write operations that failed and were repaired/aborted.
+    pub failed_writes: u64,
+}
+
+/// A client of a BlobSeer deployment.
+///
+/// Clients are cheap to create (one per thread is the intended usage) and
+/// hold only shared handles to the services plus private statistics and an
+/// optional private metadata cache.
+pub struct BlobClient {
+    id: ClientId,
+    version_manager: Arc<VersionManager>,
+    provider_manager: Arc<ProviderManager>,
+    providers: Arc<HashMap<ProviderId, Arc<DataProvider>>>,
+    metadata: Arc<dyn MetadataStore>,
+    stats: Mutex<ClientStats>,
+}
+
+impl BlobClient {
+    /// Creates a client from service handles. Most users obtain clients from
+    /// [`crate::cluster::Cluster::client`] instead.
+    pub fn new(
+        id: ClientId,
+        version_manager: Arc<VersionManager>,
+        provider_manager: Arc<ProviderManager>,
+        providers: Arc<HashMap<ProviderId, Arc<DataProvider>>>,
+        metadata: Arc<dyn MetadataStore>,
+    ) -> Self {
+        BlobClient {
+            id,
+            version_manager,
+            provider_manager,
+            providers,
+            metadata,
+            stats: Mutex::new(ClientStats::default()),
+        }
+    }
+
+    /// This client's identifier.
+    pub fn id(&self) -> ClientId {
+        self.id
+    }
+
+    /// Counters accumulated by this client.
+    pub fn stats(&self) -> ClientStats {
+        *self.stats.lock()
+    }
+
+    /// Creates a new blob and returns its identifier.
+    pub fn create_blob(&self, config: BlobConfig) -> Result<BlobId> {
+        self.version_manager.create_blob(config)
+    }
+
+    /// The latest published version of a blob.
+    pub fn latest_version(&self, blob: BlobId) -> Result<Version> {
+        Ok(self.version_manager.latest_snapshot(blob)?.version)
+    }
+
+    /// Every published version of a blob, oldest first.
+    pub fn published_versions(&self, blob: BlobId) -> Result<Vec<Version>> {
+        self.version_manager.published_versions(blob)
+    }
+
+    /// Size in bytes of a snapshot (`None` means the latest published one).
+    pub fn size(&self, blob: BlobId, version: Option<Version>) -> Result<u64> {
+        Ok(self.snapshot(blob, version)?.size)
+    }
+
+    /// Writes `data` at `offset`, producing (and returning) a new version.
+    pub fn write(&self, blob: BlobId, offset: u64, data: &[u8]) -> Result<Version> {
+        let version = self.mutate(
+            blob,
+            WriteKind::Write {
+                offset,
+                len: data.len() as u64,
+            },
+            data,
+        )?;
+        let mut stats = self.stats.lock();
+        stats.writes += 1;
+        stats.bytes_written += data.len() as u64;
+        Ok(version)
+    }
+
+    /// Appends `data` at the end of the blob, producing (and returning) a
+    /// new version.
+    pub fn append(&self, blob: BlobId, data: &[u8]) -> Result<Version> {
+        let version = self.mutate(
+            blob,
+            WriteKind::Append {
+                len: data.len() as u64,
+            },
+            data,
+        )?;
+        let mut stats = self.stats.lock();
+        stats.appends += 1;
+        stats.bytes_written += data.len() as u64;
+        Ok(version)
+    }
+
+    /// Reads `len` bytes starting at `offset` from the given snapshot
+    /// (`None` means the latest published one). Holes read back as zeros.
+    pub fn read(
+        &self,
+        blob: BlobId,
+        version: Option<Version>,
+        offset: u64,
+        len: u64,
+    ) -> Result<Vec<u8>> {
+        let snapshot = self.snapshot(blob, version)?;
+        let range = ByteRange::new(offset, len);
+        if range.is_empty() {
+            return Ok(Vec::new());
+        }
+        let leaves = collect_leaves(self.metadata.as_ref(), blob, &snapshot, range)?;
+        let mut out = vec![0u8; len as usize];
+
+        // Fetch the needed chunks in parallel groups, then assemble.
+        let jobs: Vec<(ByteRange, LeafNode)> = leaves
+            .into_iter()
+            .filter_map(|m| m.leaf.map(|leaf| (m.slot_range, leaf)))
+            .filter(|(_, leaf)| !leaf.is_hole())
+            .collect();
+        let fetched: Vec<(ByteRange, LeafNode, Bytes)> = self.fetch_chunks(jobs)?;
+        for (slot_range, leaf, data) in fetched {
+            let valid = ByteRange::new(slot_range.offset, leaf.len.min(data.len() as u64));
+            let Some(need) = valid.intersect(&range) else {
+                continue;
+            };
+            let src = (need.offset - valid.offset) as usize;
+            let dst = (need.offset - range.offset) as usize;
+            let n = need.len as usize;
+            out[dst..dst + n].copy_from_slice(&data[src..src + n]);
+        }
+        let mut stats = self.stats.lock();
+        stats.reads += 1;
+        stats.bytes_read += len;
+        Ok(out)
+    }
+
+    /// Reads an entire snapshot (`None` means the latest published one).
+    pub fn read_all(&self, blob: BlobId, version: Option<Version>) -> Result<Vec<u8>> {
+        let size = self.size(blob, version)?;
+        self.read(blob, version, 0, size)
+    }
+
+    /// Returns, for every chunk slot intersecting `range` in the given
+    /// snapshot, the slot's byte range and the providers holding its chunk.
+    /// Slots that are holes map to an empty provider list.
+    ///
+    /// This is the "expose the data location" interface BSFS uses to let the
+    /// MapReduce scheduler place computation close to the data.
+    pub fn chunk_locations(
+        &self,
+        blob: BlobId,
+        version: Option<Version>,
+        range: ByteRange,
+    ) -> Result<Vec<(ByteRange, Vec<ProviderId>)>> {
+        let snapshot = self.snapshot(blob, version)?;
+        let leaves = collect_leaves(self.metadata.as_ref(), blob, &snapshot, range)?;
+        Ok(leaves
+            .into_iter()
+            .map(|m| {
+                let providers = m.leaf.map(|l| l.providers).unwrap_or_default();
+                (m.slot_range, providers)
+            })
+            .collect())
+    }
+
+    /// Weaves repair metadata for a write that was assigned `ticket` but
+    /// whose writer cannot complete it, so that later snapshots referencing
+    /// it stay readable. Normally called internally on write failure; it is
+    /// public so that an external failure detector can repair writes whose
+    /// client process disappeared entirely.
+    pub fn repair_aborted_write(&self, ticket: &WriteTicket) -> Result<()> {
+        let summary = Self::ticket_summary(ticket);
+        let repair = build_repair_metadata(
+            self.metadata.as_ref(),
+            ticket.blob,
+            &ticket.chain,
+            &summary,
+        )?;
+        publish_metadata(self.metadata.as_ref(), &repair)
+    }
+
+    // ----- internals -------------------------------------------------------
+
+    fn snapshot(&self, blob: BlobId, version: Option<Version>) -> Result<SnapshotDescriptor> {
+        match version {
+            Some(v) => self.version_manager.snapshot(blob, v),
+            None => self.version_manager.latest_snapshot(blob),
+        }
+    }
+
+    fn ticket_summary(ticket: &WriteTicket) -> WriteSummary {
+        let slots = chunk_span(ByteRange::new(ticket.offset, ticket.len), ticket.chunk_size);
+        let first = slots.first().expect("tickets always cover at least a byte");
+        WriteSummary {
+            version: ticket.version,
+            written_slots: ByteRange::new(
+                first.index * ticket.chunk_size,
+                slots.len() as u64 * ticket.chunk_size,
+            ),
+            size: ticket.new_size,
+            chunk_size: ticket.chunk_size,
+        }
+    }
+
+    fn mutate(&self, blob: BlobId, kind: WriteKind, data: &[u8]) -> Result<Version> {
+        if data.is_empty() {
+            return Err(BlobError::EmptyWrite);
+        }
+        let config = self.version_manager.blob_config(blob)?;
+        let ticket = self.version_manager.assign_ticket(blob, kind)?;
+        match self.perform_write(blob, &config, &ticket, data) {
+            Ok(meta_nodes) => {
+                self.version_manager.complete_write(blob, ticket.version)?;
+                self.stats.lock().meta_nodes_written += meta_nodes as u64;
+                Ok(ticket.version)
+            }
+            Err(err) => {
+                // Make the claimed version harmless before giving up so that
+                // concurrent writers and later readers are never blocked by
+                // this failure.
+                let _ = self.repair_aborted_write(&ticket);
+                let _ = self.version_manager.abort_write(blob, ticket.version);
+                self.stats.lock().failed_writes += 1;
+                Err(err)
+            }
+        }
+    }
+
+    /// Pushes the chunks, weaves and stores the metadata. Returns the number
+    /// of metadata nodes created.
+    fn perform_write(
+        &self,
+        blob: BlobId,
+        config: &BlobConfig,
+        ticket: &WriteTicket,
+        data: &[u8],
+    ) -> Result<usize> {
+        let chunk_size = ticket.chunk_size;
+        let write_range = ByteRange::new(ticket.offset, data.len() as u64);
+        let slots = chunk_span(write_range, chunk_size);
+        let predecessor_size = ticket.chain.predecessor_size();
+
+        // The largest offset this writer must materialise data up to: its own
+        // write end, or the predecessor snapshot's extent within the touched
+        // slots (a partially overwritten chunk keeps the predecessor's bytes).
+        let known_size = predecessor_size.max(write_range.end());
+
+        // Assemble one payload per touched slot, merging boundary bytes from
+        // the base snapshot where the write is not chunk aligned.
+        let mut payloads = Vec::with_capacity(slots.len());
+        for slot in &slots {
+            let slot_range = slot.range();
+            let payload_len = chunk_size.min(known_size - slot_range.offset);
+            let mut buf = vec![0u8; payload_len as usize];
+            let valid = ByteRange::new(slot_range.offset, payload_len);
+
+            // Bytes coming from this write.
+            if let Some(from_write) = valid.intersect(&write_range) {
+                let src = (from_write.offset - write_range.offset) as usize;
+                let dst = (from_write.offset - valid.offset) as usize;
+                let n = from_write.len as usize;
+                buf[dst..dst + n].copy_from_slice(&data[src..src + n]);
+            }
+            // Boundary bytes preserved from the predecessor snapshot (which
+            // may include concurrent writers whose versions precede ours).
+            if slot_range.offset < write_range.offset || valid.end() > write_range.end() {
+                let old_range = ByteRange::new(
+                    valid.offset,
+                    valid.len.min(predecessor_size.saturating_sub(valid.offset)),
+                );
+                if !old_range.is_empty() {
+                    let old = self.read_reference_range(blob, &ticket.chain, old_range)?;
+                    for (i, byte) in old.iter().enumerate() {
+                        let pos = old_range.offset + i as u64;
+                        if !write_range.contains(pos) {
+                            buf[(pos - valid.offset) as usize] = *byte;
+                        }
+                    }
+                }
+            }
+            payloads.push((slot.index, Bytes::from(buf)));
+        }
+
+        // Ask the provider manager where to put each chunk.
+        let placement = self.provider_manager.allocate(PlacementRequest {
+            chunk_count: payloads.len(),
+            replication: config.replication,
+        })?;
+
+        // Push all chunks (and their replicas) in parallel groups.
+        let write_tag: u64 = rand::thread_rng().gen();
+        let chunks = self.push_chunks(blob, write_tag, &payloads, &placement)?;
+
+        // Weave and store the metadata, then hand the version back to the
+        // version manager for in-order publication (done by the caller).
+        let meta = build_write_metadata_chained(
+            self.metadata.as_ref(),
+            blob,
+            &ticket.chain,
+            ticket.version,
+            ticket.new_size,
+            &chunks,
+        )?;
+        publish_metadata(self.metadata.as_ref(), &meta)?;
+        Ok(meta.node_count())
+    }
+
+    /// Reads a range as it appears in a writer's *predecessor* snapshot,
+    /// which may include concurrent earlier writers whose metadata is still
+    /// being woven (used for boundary-chunk merging of unaligned writes).
+    ///
+    /// When the range falls in a chunk slot an in-flight predecessor claims,
+    /// the reader waits briefly for that predecessor's leaf to appear in the
+    /// metadata store — the only point where two writers of the *same chunk*
+    /// ever synchronise. Holes (and predecessors that died without weaving)
+    /// read back as zeros.
+    fn read_reference_range(
+        &self,
+        blob: BlobId,
+        chain: &blobseer_meta::ReferenceChain,
+        range: ByteRange,
+    ) -> Result<Vec<u8>> {
+        let mut out = vec![0u8; range.len as usize];
+        if range.is_empty() {
+            return Ok(out);
+        }
+        let chunk_size = chain.base.chunk_size;
+        for slot in chunk_span(range, chunk_size) {
+            let slot_range = slot.range();
+            let Some(need) = slot_range.intersect(&range) else {
+                continue;
+            };
+            let Some(child) = chain.resolve(self.metadata.as_ref(), blob, slot_range)? else {
+                continue; // never written: zeros
+            };
+            let Some(leaf) = self.wait_for_leaf(blob, child)? else {
+                continue; // predecessor never completed: repaired to a hole
+            };
+            if leaf.is_hole() {
+                continue;
+            }
+            let data = self.fetch_chunk(&leaf)?;
+            let valid = ByteRange::new(slot_range.offset, leaf.len.min(data.len() as u64));
+            let Some(copy) = valid.intersect(&need) else {
+                continue;
+            };
+            let src = (copy.offset - valid.offset) as usize;
+            let dst = (copy.offset - range.offset) as usize;
+            let n = copy.len as usize;
+            out[dst..dst + n].copy_from_slice(&data[src..src + n]);
+        }
+        Ok(out)
+    }
+
+    /// Fetches the leaf node referenced by `child`, following aliases and
+    /// waiting (bounded) for nodes a concurrent writer has not stored yet.
+    fn wait_for_leaf(
+        &self,
+        blob: BlobId,
+        child: blobseer_meta::ChildRef,
+    ) -> Result<Option<LeafNode>> {
+        let mut target = child;
+        for attempt in 0..500u32 {
+            match self.metadata.get_node(&target.key(blob)) {
+                Some(blobseer_meta::NodeBody::Leaf(leaf)) => return Ok(Some(leaf)),
+                Some(blobseer_meta::NodeBody::Alias(next)) => target = next,
+                Some(blobseer_meta::NodeBody::Inner(_)) => {
+                    return Err(BlobError::Internal(format!(
+                        "expected a leaf at {}, found an inner node",
+                        target.key(blob)
+                    )))
+                }
+                None => {
+                    if attempt == 499 {
+                        break;
+                    }
+                    std::thread::sleep(std::time::Duration::from_millis(2));
+                }
+            }
+        }
+        Ok(None)
+    }
+
+    /// Pushes every payload to its assigned providers, falling back to other
+    /// live providers when an assigned one fails mid-write. Returns the
+    /// written-chunk records for metadata weaving.
+    fn push_chunks(
+        &self,
+        blob: BlobId,
+        write_tag: u64,
+        payloads: &[(u64, Bytes)],
+        placement: &[Vec<ProviderId>],
+    ) -> Result<Vec<WrittenChunk>> {
+        let groups = payloads.len().min(MAX_TRANSFER_THREADS).max(1);
+        let chunk_per_group = payloads.len().div_ceil(groups);
+        let mut results: Vec<Result<Vec<WrittenChunk>>> = Vec::new();
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for group in 0..groups {
+                let start = group * chunk_per_group;
+                let end = (start + chunk_per_group).min(payloads.len());
+                if start >= end {
+                    continue;
+                }
+                let payloads = &payloads[start..end];
+                let placement = &placement[start..end];
+                handles.push(scope.spawn(move || {
+                    let mut written = Vec::with_capacity(payloads.len());
+                    for ((slot, data), replicas) in payloads.iter().zip(placement) {
+                        let chunk = ChunkId {
+                            blob,
+                            write_tag,
+                            slot: *slot,
+                        };
+                        let providers = self.store_replicas(chunk, data, replicas)?;
+                        written.push(WrittenChunk {
+                            slot: *slot,
+                            chunk,
+                            providers,
+                            len: data.len() as u64,
+                        });
+                    }
+                    Ok(written)
+                }));
+            }
+            for handle in handles {
+                results.push(handle.join().expect("chunk transfer thread panicked"));
+            }
+        });
+        let mut chunks = Vec::with_capacity(payloads.len());
+        let mut pushed = 0u64;
+        for group in results {
+            let group = group?;
+            pushed += group.iter().map(|c| c.providers.len() as u64).sum::<u64>();
+            chunks.extend(group);
+        }
+        self.stats.lock().chunks_written += pushed;
+        chunks.sort_by_key(|c| c.slot);
+        Ok(chunks)
+    }
+
+    /// Stores one chunk on the requested replicas, substituting other live
+    /// providers for failed ones. At least one replica must succeed.
+    fn store_replicas(
+        &self,
+        chunk: ChunkId,
+        data: &Bytes,
+        replicas: &[ProviderId],
+    ) -> Result<Vec<ProviderId>> {
+        let mut stored = Vec::with_capacity(replicas.len());
+        let mut failed = Vec::new();
+        for &pid in replicas {
+            match self.try_store(pid, chunk, data) {
+                Ok(()) => stored.push(pid),
+                Err(_) => failed.push(pid),
+            }
+        }
+        if !failed.is_empty() {
+            // Try to restore the replication level using other live providers.
+            let mut candidates = self.provider_manager.live_providers();
+            candidates.retain(|p| !stored.contains(p) && !failed.contains(p));
+            for pid in candidates {
+                if stored.len() == replicas.len() {
+                    break;
+                }
+                if self.try_store(pid, chunk, data).is_ok() {
+                    stored.push(pid);
+                }
+            }
+        }
+        if stored.is_empty() {
+            return Err(BlobError::InsufficientProviders {
+                needed: 1,
+                available: 0,
+            });
+        }
+        Ok(stored)
+    }
+
+    fn try_store(&self, pid: ProviderId, chunk: ChunkId, data: &Bytes) -> Result<()> {
+        let provider = self
+            .providers
+            .get(&pid)
+            .ok_or(BlobError::UnknownProvider(pid))?;
+        provider.put_chunk(chunk, data.clone())
+    }
+
+    /// Fetches one chunk from any provider holding a replica.
+    fn fetch_chunk(&self, leaf: &LeafNode) -> Result<Bytes> {
+        let mut last_err = BlobError::ChunkNotFound(
+            leaf.chunk,
+            leaf.providers.first().copied().unwrap_or(ProviderId(0)),
+        );
+        for pid in &leaf.providers {
+            if let Some(provider) = self.providers.get(pid) {
+                match provider.get_chunk(&leaf.chunk) {
+                    Ok(data) => {
+                        self.stats.lock().chunks_read += 1;
+                        return Ok(data);
+                    }
+                    Err(err) => last_err = err,
+                }
+            }
+        }
+        Err(last_err)
+    }
+
+    /// Fetches many chunks in parallel groups, preserving input order.
+    fn fetch_chunks(
+        &self,
+        jobs: Vec<(ByteRange, LeafNode)>,
+    ) -> Result<Vec<(ByteRange, LeafNode, Bytes)>> {
+        if jobs.is_empty() {
+            return Ok(Vec::new());
+        }
+        let groups = jobs.len().min(MAX_TRANSFER_THREADS).max(1);
+        let per_group = jobs.len().div_ceil(groups);
+        let mut results: Vec<Result<Vec<(ByteRange, LeafNode, Bytes)>>> = Vec::new();
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for group in 0..groups {
+                let start = group * per_group;
+                let end = (start + per_group).min(jobs.len());
+                if start >= end {
+                    continue;
+                }
+                let slice = &jobs[start..end];
+                handles.push(scope.spawn(move || {
+                    let mut fetched = Vec::with_capacity(slice.len());
+                    for (slot_range, leaf) in slice {
+                        let data = self.fetch_chunk(leaf)?;
+                        fetched.push((*slot_range, leaf.clone(), data));
+                    }
+                    Ok(fetched)
+                }));
+            }
+            for handle in handles {
+                results.push(handle.join().expect("chunk fetch thread panicked"));
+            }
+        });
+        let mut out = Vec::with_capacity(jobs.len());
+        for group in results {
+            out.extend(group?);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::Cluster;
+    use blobseer_types::ClusterConfig;
+
+    const CS: u64 = 64;
+
+    fn cluster() -> Cluster {
+        Cluster::new(ClusterConfig::small()).unwrap()
+    }
+
+    fn pattern(len: usize, seed: u8) -> Vec<u8> {
+        (0..len).map(|i| (i as u8).wrapping_mul(31).wrapping_add(seed)).collect()
+    }
+
+    #[test]
+    fn append_then_read_roundtrip() {
+        let cluster = cluster();
+        let client = cluster.client();
+        let blob = client.create_blob(BlobConfig::new(CS, 1).unwrap()).unwrap();
+        let data = pattern(300, 1);
+        let v = client.append(blob, &data).unwrap();
+        assert_eq!(v, Version(1));
+        assert_eq!(client.size(blob, None).unwrap(), 300);
+        assert_eq!(client.read_all(blob, None).unwrap(), data);
+        assert_eq!(client.read(blob, None, 10, 50).unwrap(), data[10..60]);
+    }
+
+    #[test]
+    fn writes_produce_new_versions_and_old_ones_stay_readable() {
+        let cluster = cluster();
+        let client = cluster.client();
+        let blob = client.create_blob(BlobConfig::new(CS, 1).unwrap()).unwrap();
+        let v1_data = pattern(4 * CS as usize, 1);
+        let v1 = client.append(blob, &v1_data).unwrap();
+
+        // Overwrite the middle two chunks.
+        let patch = pattern(2 * CS as usize, 9);
+        let v2 = client.write(blob, CS, &patch).unwrap();
+        assert_eq!(v2, Version(2));
+
+        // v2 sees the patch, v1 does not (snapshot isolation).
+        let mut expected_v2 = v1_data.clone();
+        expected_v2[CS as usize..3 * CS as usize].copy_from_slice(&patch);
+        assert_eq!(client.read_all(blob, Some(v2)).unwrap(), expected_v2);
+        assert_eq!(client.read_all(blob, Some(v1)).unwrap(), v1_data);
+        assert_eq!(
+            client.published_versions(blob).unwrap(),
+            vec![Version(0), Version(1), Version(2)]
+        );
+    }
+
+    #[test]
+    fn unaligned_writes_merge_boundary_bytes() {
+        let cluster = cluster();
+        let client = cluster.client();
+        let blob = client.create_blob(BlobConfig::new(CS, 1).unwrap()).unwrap();
+        let base = pattern(3 * CS as usize, 2);
+        client.append(blob, &base).unwrap();
+
+        // Write 10 bytes in the middle of chunk 1.
+        let patch = pattern(10, 77);
+        client.write(blob, CS + 20, &patch).unwrap();
+        let mut expected = base.clone();
+        expected[(CS + 20) as usize..(CS + 30) as usize].copy_from_slice(&patch);
+        assert_eq!(client.read_all(blob, None).unwrap(), expected);
+    }
+
+    #[test]
+    fn write_past_the_end_zero_fills_the_gap() {
+        let cluster = cluster();
+        let client = cluster.client();
+        let blob = client.create_blob(BlobConfig::new(CS, 1).unwrap()).unwrap();
+        client.append(blob, &pattern(CS as usize, 3)).unwrap();
+        // Leave a two-chunk hole before the new data.
+        let tail = pattern(CS as usize, 4);
+        client.write(blob, 3 * CS, &tail).unwrap();
+        let all = client.read_all(blob, None).unwrap();
+        assert_eq!(all.len(), 4 * CS as usize);
+        assert_eq!(&all[..CS as usize], &pattern(CS as usize, 3)[..]);
+        assert!(all[CS as usize..3 * CS as usize].iter().all(|&b| b == 0));
+        assert_eq!(&all[3 * CS as usize..], &tail[..]);
+    }
+
+    #[test]
+    fn replicated_blob_survives_a_provider_failure() {
+        let cluster = cluster();
+        let client = cluster.client();
+        let blob = client.create_blob(BlobConfig::new(CS, 2).unwrap()).unwrap();
+        let data = pattern(4 * CS as usize, 5);
+        client.append(blob, &data).unwrap();
+
+        // Fail one provider: every chunk still has a replica elsewhere.
+        cluster.fail_provider(ProviderId(0)).unwrap();
+        assert_eq!(client.read_all(blob, None).unwrap(), data);
+    }
+
+    #[test]
+    fn unreplicated_blob_reports_unavailable_chunks() {
+        let cluster = cluster();
+        let client = cluster.client();
+        let blob = client.create_blob(BlobConfig::new(CS, 1).unwrap()).unwrap();
+        client.append(blob, &pattern(4 * CS as usize, 6)).unwrap();
+        // Fail every provider: reads must fail, not return garbage.
+        for i in 0..4 {
+            cluster.fail_provider(ProviderId(i)).unwrap();
+        }
+        assert!(client.read_all(blob, None).is_err());
+    }
+
+    #[test]
+    fn writes_fall_back_to_live_providers() {
+        let cluster = cluster();
+        let client = cluster.client();
+        let blob = client.create_blob(BlobConfig::new(CS, 1).unwrap()).unwrap();
+        // Fail two of the four providers; writes keep succeeding on the rest.
+        cluster.fail_provider(ProviderId(1)).unwrap();
+        cluster.fail_provider(ProviderId(2)).unwrap();
+        let data = pattern(8 * CS as usize, 7);
+        client.append(blob, &data).unwrap();
+        assert_eq!(client.read_all(blob, None).unwrap(), data);
+    }
+
+    #[test]
+    fn failed_write_aborts_cleanly_and_blob_stays_usable() {
+        let cluster = cluster();
+        let client = cluster.client();
+        let blob = client.create_blob(BlobConfig::new(CS, 1).unwrap()).unwrap();
+        client.append(blob, &pattern(CS as usize, 8)).unwrap();
+
+        // Fail every provider: the next write cannot store chunks.
+        for i in 0..4 {
+            cluster.fail_provider(ProviderId(i)).unwrap();
+        }
+        let err = client.append(blob, &pattern(CS as usize, 9)).unwrap_err();
+        assert!(matches!(err, BlobError::InsufficientProviders { .. }));
+        assert_eq!(client.stats().failed_writes, 1);
+
+        // Recover and keep writing: the aborted version was repaired, so the
+        // blob is still fully readable and writable.
+        for i in 0..4 {
+            cluster.recover_provider(ProviderId(i)).unwrap();
+        }
+        let data = pattern(CS as usize, 10);
+        client.append(blob, &data).unwrap();
+        let all = client.read_all(blob, None).unwrap();
+        // Layout: first append, aborted (zeroed) region, final append.
+        assert_eq!(all.len(), 3 * CS as usize);
+        assert_eq!(&all[..CS as usize], &pattern(CS as usize, 8)[..]);
+        assert!(all[CS as usize..2 * CS as usize].iter().all(|&b| b == 0));
+        assert_eq!(&all[2 * CS as usize..], &data[..]);
+    }
+
+    #[test]
+    fn empty_operations_are_rejected_or_trivial() {
+        let cluster = cluster();
+        let client = cluster.client();
+        let blob = client.create_blob(BlobConfig::new(CS, 1).unwrap()).unwrap();
+        assert!(matches!(
+            client.append(blob, &[]),
+            Err(BlobError::EmptyWrite)
+        ));
+        assert!(matches!(
+            client.write(blob, 0, &[]),
+            Err(BlobError::EmptyWrite)
+        ));
+        client.append(blob, &[1, 2, 3]).unwrap();
+        assert_eq!(client.read(blob, None, 1, 0).unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn out_of_bounds_reads_are_rejected() {
+        let cluster = cluster();
+        let client = cluster.client();
+        let blob = client.create_blob(BlobConfig::new(CS, 1).unwrap()).unwrap();
+        client.append(blob, &pattern(100, 1)).unwrap();
+        assert!(matches!(
+            client.read(blob, None, 50, 100),
+            Err(BlobError::ReadOutOfBounds { .. })
+        ));
+        assert!(client.read(blob, Some(Version(9)), 0, 1).is_err());
+    }
+
+    #[test]
+    fn chunk_locations_expose_providers_per_slot() {
+        let cluster = cluster();
+        let client = cluster.client();
+        let blob = client.create_blob(BlobConfig::new(CS, 2).unwrap()).unwrap();
+        client.append(blob, &pattern(4 * CS as usize, 3)).unwrap();
+        let locations = client
+            .chunk_locations(blob, None, ByteRange::new(0, 4 * CS))
+            .unwrap();
+        assert_eq!(locations.len(), 4);
+        for (slot_range, providers) in &locations {
+            assert_eq!(slot_range.len, CS);
+            assert_eq!(providers.len(), 2, "replication 2 means two providers per slot");
+        }
+        // Round-robin placement spreads the slots over different providers.
+        let distinct: std::collections::HashSet<ProviderId> = locations
+            .iter()
+            .flat_map(|(_, p)| p.iter().copied())
+            .collect();
+        assert!(distinct.len() >= 3);
+    }
+
+    #[test]
+    fn concurrent_appenders_produce_a_consistent_log() {
+        let cluster = Cluster::new(ClusterConfig {
+            data_providers: 8,
+            metadata_providers: 4,
+            ..ClusterConfig::default()
+        })
+        .unwrap();
+        let client = cluster.client();
+        let blob = client.create_blob(BlobConfig::new(CS, 1).unwrap()).unwrap();
+
+        let writers = 8;
+        let appends_per_writer = 10;
+        std::thread::scope(|scope| {
+            for w in 0..writers {
+                let client = cluster.client();
+                scope.spawn(move || {
+                    for i in 0..appends_per_writer {
+                        let fill = (w * appends_per_writer + i + 1) as u8;
+                        let data = vec![fill; CS as usize];
+                        client.append(blob, &data).unwrap();
+                    }
+                });
+            }
+        });
+
+        // All appends are visible, each chunk-sized region is uniformly
+        // filled with one writer's byte, and no region was lost.
+        let size = client.size(blob, None).unwrap();
+        assert_eq!(size, writers as u64 * appends_per_writer as u64 * CS);
+        let all = client.read_all(blob, None).unwrap();
+        let mut seen = std::collections::HashSet::new();
+        for chunk in all.chunks(CS as usize) {
+            assert!(chunk.iter().all(|&b| b == chunk[0]), "torn append detected");
+            assert!(chunk[0] != 0);
+            seen.insert(chunk[0]);
+        }
+        assert_eq!(seen.len(), writers * appends_per_writer);
+        assert_eq!(
+            client.latest_version(blob).unwrap(),
+            Version((writers * appends_per_writer) as u64)
+        );
+    }
+
+    #[test]
+    fn concurrent_readers_and_writers_do_not_interfere() {
+        let cluster = Cluster::new(ClusterConfig {
+            data_providers: 8,
+            metadata_providers: 4,
+            ..ClusterConfig::default()
+        })
+        .unwrap();
+        let setup = cluster.client();
+        let blob = setup.create_blob(BlobConfig::new(CS, 1).unwrap()).unwrap();
+        setup.append(blob, &vec![1u8; 4 * CS as usize]).unwrap();
+
+        std::thread::scope(|scope| {
+            // Writers keep appending new snapshots.
+            for w in 0..4 {
+                let client = cluster.client();
+                scope.spawn(move || {
+                    for i in 0..10 {
+                        let fill = 10 + w * 10 + i;
+                        client.append(blob, &vec![fill as u8; CS as usize]).unwrap();
+                    }
+                });
+            }
+            // Readers repeatedly read the *latest published* snapshot; every
+            // read must be internally consistent (uniform chunk regions).
+            for _ in 0..4 {
+                let client = cluster.client();
+                scope.spawn(move || {
+                    for _ in 0..20 {
+                        let data = client.read_all(blob, None).unwrap();
+                        assert!(data.len() >= 4 * CS as usize);
+                        for chunk in data.chunks(CS as usize) {
+                            assert!(
+                                chunk.iter().all(|&b| b == chunk[0]),
+                                "readers must never observe torn writes"
+                            );
+                        }
+                    }
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn client_stats_reflect_activity() {
+        let cluster = cluster();
+        let client = cluster.client();
+        let blob = client.create_blob(BlobConfig::new(CS, 1).unwrap()).unwrap();
+        client.append(blob, &pattern(2 * CS as usize, 1)).unwrap();
+        client.write(blob, 0, &pattern(CS as usize, 2)).unwrap();
+        client.read_all(blob, None).unwrap();
+        let stats = client.stats();
+        assert_eq!(stats.appends, 1);
+        assert_eq!(stats.writes, 1);
+        assert_eq!(stats.reads, 1);
+        assert_eq!(stats.bytes_written, 3 * CS);
+        assert_eq!(stats.bytes_read, 2 * CS);
+        assert!(stats.chunks_written >= 3);
+        assert!(stats.meta_nodes_written > 0);
+        assert_eq!(stats.failed_writes, 0);
+    }
+}

@@ -1,0 +1,253 @@
+//! In-process cluster wiring.
+//!
+//! A [`Cluster`] instantiates every BlobSeer service — the version manager,
+//! the provider manager, the data providers and the metadata-provider DHT —
+//! inside one process, connected by shared-memory handles instead of a
+//! network. Functionally this is exactly the distributed deployment (every
+//! service keeps its own state and communicates only through its public
+//! interface); performance-at-scale questions are answered by the
+//! `blobseer-sim` crate instead.
+
+use crate::client::BlobClient;
+use crate::version_manager::VersionManager;
+use blobseer_dht::Dht;
+use blobseer_meta::{CachedMetadataStore, MetadataStore, NodeBody, NodeKey};
+use blobseer_provider::{DataProvider, PersistentStore, ProviderManager};
+use blobseer_types::{
+    BlobError, ClientId, ClusterConfig, IdGenerator, MetaNodeId, ProviderId, Result,
+};
+use std::collections::HashMap;
+use std::path::Path;
+use std::sync::Arc;
+
+/// A complete in-process BlobSeer deployment.
+pub struct Cluster {
+    config: ClusterConfig,
+    version_manager: Arc<VersionManager>,
+    provider_manager: Arc<ProviderManager>,
+    providers: Arc<HashMap<ProviderId, Arc<DataProvider>>>,
+    metadata: Arc<Dht<NodeKey, NodeBody>>,
+    client_ids: IdGenerator,
+}
+
+impl Cluster {
+    /// Starts a cluster with RAM-backed data providers (the configuration
+    /// used by tests, examples and the original BlobSeer prototype).
+    pub fn new(config: ClusterConfig) -> Result<Self> {
+        Self::build(config, |id| Arc::new(DataProvider::in_memory(id)))
+    }
+
+    /// Starts a cluster whose data providers persist chunks to log files
+    /// under `dir`, each fronted by a RAM cache of `cache_bytes` bytes.
+    pub fn with_persistent_providers(
+        config: ClusterConfig,
+        dir: impl AsRef<Path>,
+        cache_bytes: u64,
+    ) -> Result<Self> {
+        let dir = dir.as_ref().to_path_buf();
+        Self::build(config, move |id| {
+            let path = dir.join(format!("provider-{}.log", id.0));
+            let store = PersistentStore::open(path, cache_bytes)
+                .expect("cannot open provider log file");
+            Arc::new(DataProvider::with_store(id, Arc::new(store)))
+        })
+    }
+
+    fn build(
+        config: ClusterConfig,
+        make_provider: impl Fn(ProviderId) -> Arc<DataProvider>,
+    ) -> Result<Self> {
+        config.validate()?;
+        let provider_manager = Arc::new(ProviderManager::new(config.placement));
+        let mut providers = HashMap::with_capacity(config.data_providers);
+        for i in 0..config.data_providers {
+            let id = ProviderId(i as u32);
+            provider_manager.register(id);
+            providers.insert(id, make_provider(id));
+        }
+        let metadata = Arc::new(Dht::new(
+            config.metadata_providers,
+            config.dht_virtual_nodes,
+            config.dht_replication,
+        )?);
+        Ok(Cluster {
+            config,
+            version_manager: Arc::new(VersionManager::new()),
+            provider_manager,
+            providers: Arc::new(providers),
+            metadata,
+            client_ids: IdGenerator::starting_at(1),
+        })
+    }
+
+    /// The configuration the cluster was started with.
+    pub fn config(&self) -> &ClusterConfig {
+        &self.config
+    }
+
+    /// The version manager service.
+    pub fn version_manager(&self) -> &Arc<VersionManager> {
+        &self.version_manager
+    }
+
+    /// The provider manager service.
+    pub fn provider_manager(&self) -> &Arc<ProviderManager> {
+        &self.provider_manager
+    }
+
+    /// The metadata-provider DHT.
+    pub fn metadata(&self) -> &Arc<Dht<NodeKey, NodeBody>> {
+        &self.metadata
+    }
+
+    /// Handle of one data provider.
+    pub fn provider(&self, id: ProviderId) -> Option<Arc<DataProvider>> {
+        self.providers.get(&id).cloned()
+    }
+
+    /// Handles of every data provider, in id order.
+    pub fn providers(&self) -> Vec<Arc<DataProvider>> {
+        let mut ids: Vec<ProviderId> = self.providers.keys().copied().collect();
+        ids.sort();
+        ids.iter().map(|id| self.providers[id].clone()).collect()
+    }
+
+    /// Creates a new client of this cluster. The client gets its own
+    /// metadata cache when the cluster configuration enables client-side
+    /// caching.
+    pub fn client(&self) -> BlobClient {
+        let meta_store: Arc<dyn MetadataStore> = if self.config.client_metadata_cache {
+            Arc::new(CachedMetadataStore::new(Arc::clone(&self.metadata)))
+        } else {
+            Arc::clone(&self.metadata) as Arc<dyn MetadataStore>
+        };
+        BlobClient::new(
+            ClientId(self.client_ids.next_id()),
+            Arc::clone(&self.version_manager),
+            Arc::clone(&self.provider_manager),
+            Arc::clone(&self.providers),
+            meta_store,
+        )
+    }
+
+    /// Injects a data-provider failure: the provider stops serving requests
+    /// and the provider manager stops placing new chunks on it.
+    pub fn fail_provider(&self, id: ProviderId) -> Result<()> {
+        let provider = self
+            .providers
+            .get(&id)
+            .ok_or(BlobError::UnknownProvider(id))?;
+        provider.set_alive(false);
+        self.provider_manager.set_alive(id, false)
+    }
+
+    /// Recovers a previously failed data provider.
+    pub fn recover_provider(&self, id: ProviderId) -> Result<()> {
+        let provider = self
+            .providers
+            .get(&id)
+            .ok_or(BlobError::UnknownProvider(id))?;
+        provider.set_alive(true);
+        self.provider_manager.set_alive(id, true)
+    }
+
+    /// Injects a metadata-provider failure.
+    pub fn fail_metadata_node(&self, id: MetaNodeId) -> Result<()> {
+        self.metadata.fail_node(id)
+    }
+
+    /// Recovers a previously failed metadata provider.
+    pub fn recover_metadata_node(&self, id: MetaNodeId) -> Result<()> {
+        self.metadata.recover_node(id)
+    }
+
+    /// Pushes every provider's current statistics to the provider manager,
+    /// as the periodic heartbeat of a real deployment would.
+    pub fn report_provider_loads(&self) {
+        for (id, provider) in self.providers.iter() {
+            if provider.is_alive() {
+                let _ = self.provider_manager.report_load(*id, provider.stats());
+            }
+        }
+    }
+
+    /// Total payload bytes currently stored across all data providers
+    /// (replicas counted as many times as they are stored).
+    pub fn total_stored_bytes(&self) -> u64 {
+        self.providers.values().map(|p| p.stats().bytes).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blobseer_types::{BlobConfig, PlacementPolicy};
+
+    #[test]
+    fn cluster_starts_all_services() {
+        let cluster = Cluster::new(ClusterConfig::small()).unwrap();
+        assert_eq!(cluster.providers().len(), 4);
+        assert_eq!(cluster.metadata().node_count(), 2);
+        assert_eq!(cluster.provider_manager().provider_count(), 4);
+        assert_eq!(cluster.config().placement, PlacementPolicy::RoundRobin);
+    }
+
+    #[test]
+    fn invalid_configuration_is_rejected() {
+        let cfg = ClusterConfig {
+            data_providers: 0,
+            ..ClusterConfig::default()
+        };
+        assert!(Cluster::new(cfg).is_err());
+    }
+
+    #[test]
+    fn fail_and_recover_providers() {
+        let cluster = Cluster::new(ClusterConfig::small()).unwrap();
+        cluster.fail_provider(ProviderId(1)).unwrap();
+        assert!(!cluster.provider(ProviderId(1)).unwrap().is_alive());
+        assert_eq!(cluster.provider_manager().live_providers().len(), 3);
+        cluster.recover_provider(ProviderId(1)).unwrap();
+        assert!(cluster.provider(ProviderId(1)).unwrap().is_alive());
+        assert!(cluster.fail_provider(ProviderId(99)).is_err());
+    }
+
+    #[test]
+    fn clients_get_distinct_ids() {
+        let cluster = Cluster::new(ClusterConfig::small()).unwrap();
+        let a = cluster.client();
+        let b = cluster.client();
+        assert_ne!(a.id(), b.id());
+    }
+
+    #[test]
+    fn persistent_cluster_stores_chunks_on_disk() {
+        let dir = std::env::temp_dir().join(format!("blobseer-cluster-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cluster =
+            Cluster::with_persistent_providers(ClusterConfig::small(), &dir, 1 << 20).unwrap();
+        let client = cluster.client();
+        let blob = client.create_blob(BlobConfig::new(16, 1).unwrap()).unwrap();
+        client.append(blob, &[7u8; 64]).unwrap();
+        assert!(cluster.total_stored_bytes() >= 64);
+        let logs: Vec<_> = std::fs::read_dir(&dir).unwrap().collect();
+        assert!(!logs.is_empty(), "provider log files must exist on disk");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn heartbeats_update_the_provider_manager() {
+        let cluster = Cluster::new(ClusterConfig::small()).unwrap();
+        let client = cluster.client();
+        let blob = client.create_blob(BlobConfig::new(16, 1).unwrap()).unwrap();
+        client.append(blob, &[1u8; 160]).unwrap();
+        cluster.report_provider_loads();
+        let total_reported: u64 = cluster
+            .provider_manager()
+            .all_statuses()
+            .iter()
+            .map(|s| s.stored_bytes)
+            .sum();
+        assert_eq!(total_reported, 160);
+    }
+}

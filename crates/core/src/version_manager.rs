@@ -1,0 +1,555 @@
+//! The version manager.
+//!
+//! The version manager is the (lightweight) serialisation point of BlobSeer:
+//! it assigns a version to every write or append, resolves the offset of
+//! appends, hands writers the [`ReferenceChain`] they weave their metadata
+//! against, and publishes versions **strictly in assignment order** once
+//! their metadata is complete. Reads only ever observe published versions,
+//! which is what makes the whole protocol linearizable while keeping readers
+//! and writers fully decoupled.
+
+use blobseer_meta::{ReferenceChain, SnapshotDescriptor, WriteSummary};
+use blobseer_types::{
+    chunk_span, BlobConfig, BlobError, BlobId, ByteRange, IdGenerator, Result, Version,
+};
+use parking_lot::Mutex;
+use std::collections::{BTreeMap, HashMap};
+
+/// The kind of mutation a client asks a ticket for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WriteKind {
+    /// Write `len` bytes at an explicit `offset`.
+    Write {
+        /// First byte written.
+        offset: u64,
+        /// Number of bytes written.
+        len: u64,
+    },
+    /// Append `len` bytes at the current end of the blob (the offset is
+    /// resolved by the version manager at assignment time).
+    Append {
+        /// Number of bytes appended.
+        len: u64,
+    },
+}
+
+impl WriteKind {
+    fn len(&self) -> u64 {
+        match self {
+            WriteKind::Write { len, .. } | WriteKind::Append { len } => *len,
+        }
+    }
+}
+
+/// Everything a writer needs to perform its write: the assigned version, the
+/// resolved offset, and the reference chain to weave metadata against.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WriteTicket {
+    /// Blob being written.
+    pub blob: BlobId,
+    /// Version assigned to this write.
+    pub version: Version,
+    /// Resolved first byte of the write (equals the snapshot size at
+    /// assignment time for appends).
+    pub offset: u64,
+    /// Number of bytes the write covers.
+    pub len: u64,
+    /// Blob size once this write is applied.
+    pub new_size: u64,
+    /// Chunk size of the blob.
+    pub chunk_size: u64,
+    /// Reference view the writer resolves borrowed subtrees against.
+    pub chain: ReferenceChain,
+}
+
+/// Statistics of the version manager, used by monitoring and the benchmark
+/// harness.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct VersionManagerStats {
+    /// Blobs created.
+    pub blobs: u64,
+    /// Tickets assigned.
+    pub tickets: u64,
+    /// Versions published.
+    pub published: u64,
+    /// Writes aborted.
+    pub aborted: u64,
+}
+
+#[derive(Debug, Clone)]
+struct PendingWrite {
+    summary: WriteSummary,
+    complete: bool,
+    aborted: bool,
+}
+
+#[derive(Debug)]
+struct BlobState {
+    config: BlobConfig,
+    /// Published snapshot descriptors, indexed by version number.
+    published: Vec<SnapshotDescriptor>,
+    /// Assigned but not yet published writes, keyed by version number.
+    pending: BTreeMap<u64, PendingWrite>,
+    /// Next version to assign.
+    next_version: u64,
+    /// Blob size after the latest assigned (not necessarily published)
+    /// write; appends are placed here.
+    assigned_size: u64,
+}
+
+impl BlobState {
+    fn new(config: BlobConfig) -> Self {
+        BlobState {
+            published: vec![SnapshotDescriptor::initial(config.chunk_size)],
+            pending: BTreeMap::new(),
+            next_version: 1,
+            assigned_size: 0,
+            config,
+        }
+    }
+
+    fn latest_published(&self) -> SnapshotDescriptor {
+        *self
+            .published
+            .last()
+            .expect("a blob always has at least the empty snapshot")
+    }
+
+    /// The chain a new writer links against: the latest published snapshot
+    /// plus every live pending write, in version order.
+    fn reference_chain(&self) -> ReferenceChain {
+        ReferenceChain {
+            base: self.latest_published(),
+            pending: self
+                .pending
+                .values()
+                .filter(|p| !p.aborted)
+                .map(|p| p.summary)
+                .collect(),
+        }
+    }
+
+    /// Publishes every complete pending write that directly follows the
+    /// published prefix; returns how many versions were published.
+    fn advance_publication(&mut self) -> u64 {
+        let mut published = 0;
+        loop {
+            let next = self.published.len() as u64;
+            match self.pending.get(&next) {
+                Some(p) if p.aborted || p.complete => {
+                    // Aborted writes publish with the size they claimed: the
+                    // repair weave (see `blobseer_meta::build_repair_metadata`)
+                    // gives the claimed-but-unwritten region hole semantics,
+                    // so readers of the aborted version see zeros there.
+                    self.published.push(SnapshotDescriptor {
+                        version: Version(next),
+                        size: p.summary.size,
+                        chunk_size: p.summary.chunk_size,
+                    });
+                    self.pending.remove(&next);
+                    published += 1;
+                }
+                _ => break,
+            }
+        }
+        published
+    }
+}
+
+/// The version manager service. One instance serves every blob of a
+/// deployment; all methods are safe to call from many client threads.
+pub struct VersionManager {
+    blobs: Mutex<HashMap<BlobId, BlobState>>,
+    blob_ids: IdGenerator,
+    stats: Mutex<VersionManagerStats>,
+}
+
+impl VersionManager {
+    /// Creates an empty version manager.
+    #[must_use]
+    pub fn new() -> Self {
+        VersionManager {
+            blobs: Mutex::new(HashMap::new()),
+            blob_ids: IdGenerator::starting_at(1),
+            stats: Mutex::new(VersionManagerStats::default()),
+        }
+    }
+
+    /// Registers a new blob and returns its identifier. The blob starts at
+    /// version 0 (the empty snapshot).
+    pub fn create_blob(&self, config: BlobConfig) -> Result<BlobId> {
+        config.validate()?;
+        let id = BlobId(self.blob_ids.next_id());
+        self.blobs.lock().insert(id, BlobState::new(config));
+        self.stats.lock().blobs += 1;
+        Ok(id)
+    }
+
+    /// The configuration a blob was created with.
+    pub fn blob_config(&self, blob: BlobId) -> Result<BlobConfig> {
+        self.blobs
+            .lock()
+            .get(&blob)
+            .map(|s| s.config)
+            .ok_or(BlobError::UnknownBlob(blob))
+    }
+
+    /// All blobs currently registered.
+    pub fn blob_ids(&self) -> Vec<BlobId> {
+        let mut ids: Vec<BlobId> = self.blobs.lock().keys().copied().collect();
+        ids.sort();
+        ids
+    }
+
+    /// Assigns a version (and, for appends, an offset) to a write.
+    pub fn assign_ticket(&self, blob: BlobId, kind: WriteKind) -> Result<WriteTicket> {
+        if kind.len() == 0 {
+            return Err(BlobError::EmptyWrite);
+        }
+        let mut blobs = self.blobs.lock();
+        let state = blobs.get_mut(&blob).ok_or(BlobError::UnknownBlob(blob))?;
+        let chunk_size = state.config.chunk_size;
+        let (offset, len) = match kind {
+            WriteKind::Write { offset, len } => (offset, len),
+            WriteKind::Append { len } => (state.assigned_size, len),
+        };
+        let new_size = state.assigned_size.max(offset + len);
+        let chain = state.reference_chain();
+        let version = Version(state.next_version);
+        state.next_version += 1;
+        state.assigned_size = new_size;
+
+        // Slot-aligned region the write rebuilds leaves for (used by later
+        // writers to link against this one before it finishes weaving).
+        let slots = chunk_span(ByteRange::new(offset, len), chunk_size);
+        let first = slots.first().expect("len > 0 yields at least one slot");
+        let written_slots = ByteRange::new(
+            first.index * chunk_size,
+            slots.len() as u64 * chunk_size,
+        );
+        state.pending.insert(
+            version.0,
+            PendingWrite {
+                summary: WriteSummary {
+                    version,
+                    written_slots,
+                    size: new_size,
+                    chunk_size,
+                },
+                complete: false,
+                aborted: false,
+            },
+        );
+        self.stats.lock().tickets += 1;
+        Ok(WriteTicket {
+            blob,
+            version,
+            offset,
+            len,
+            new_size,
+            chunk_size,
+            chain,
+        })
+    }
+
+    /// Reports that the metadata of `version` is fully woven. The version
+    /// manager publishes it (and any directly following complete versions)
+    /// in order; returns the latest published version after the call.
+    pub fn complete_write(&self, blob: BlobId, version: Version) -> Result<Version> {
+        let mut blobs = self.blobs.lock();
+        let state = blobs.get_mut(&blob).ok_or(BlobError::UnknownBlob(blob))?;
+        let pending = state
+            .pending
+            .get_mut(&version.0)
+            .ok_or(BlobError::UnknownVersion(blob, version))?;
+        pending.complete = true;
+        let published = state.advance_publication();
+        self.stats.lock().published += published;
+        Ok(state.latest_published().version)
+    }
+
+    /// Reports that the writer of `version` failed and will never weave its
+    /// metadata. The version is published as a no-op snapshot (identical to
+    /// its predecessor) so that later writers and readers are not blocked.
+    ///
+    /// Later writers may have linked against the ranges this write claimed;
+    /// those links resolve to nodes the aborted writer never stored, so the
+    /// caller (the cluster layer) is expected to weave *repair metadata* for
+    /// the aborted version before calling this. See
+    /// [`crate::client::BlobClient::repair_aborted_write`].
+    pub fn abort_write(&self, blob: BlobId, version: Version) -> Result<Version> {
+        let mut blobs = self.blobs.lock();
+        let state = blobs.get_mut(&blob).ok_or(BlobError::UnknownBlob(blob))?;
+        let pending = state
+            .pending
+            .get_mut(&version.0)
+            .ok_or(BlobError::UnknownVersion(blob, version))?;
+        pending.aborted = true;
+        let published = state.advance_publication();
+        {
+            let mut stats = self.stats.lock();
+            stats.aborted += 1;
+            stats.published += published;
+        }
+        Ok(state.latest_published().version)
+    }
+
+    /// Summaries of the writes assigned after the latest published snapshot
+    /// (used by repair weaving).
+    pub fn pending_summaries(&self, blob: BlobId) -> Result<Vec<WriteSummary>> {
+        let blobs = self.blobs.lock();
+        let state = blobs.get(&blob).ok_or(BlobError::UnknownBlob(blob))?;
+        Ok(state
+            .pending
+            .values()
+            .filter(|p| !p.aborted)
+            .map(|p| p.summary)
+            .collect())
+    }
+
+    /// Descriptor of the latest published snapshot.
+    pub fn latest_snapshot(&self, blob: BlobId) -> Result<SnapshotDescriptor> {
+        let blobs = self.blobs.lock();
+        let state = blobs.get(&blob).ok_or(BlobError::UnknownBlob(blob))?;
+        Ok(state.latest_published())
+    }
+
+    /// Descriptor of an arbitrary published snapshot.
+    pub fn snapshot(&self, blob: BlobId, version: Version) -> Result<SnapshotDescriptor> {
+        let blobs = self.blobs.lock();
+        let state = blobs.get(&blob).ok_or(BlobError::UnknownBlob(blob))?;
+        state
+            .published
+            .get(version.0 as usize)
+            .copied()
+            .ok_or(BlobError::UnknownVersion(blob, version))
+    }
+
+    /// Every published version of the blob, oldest first.
+    pub fn published_versions(&self, blob: BlobId) -> Result<Vec<Version>> {
+        let blobs = self.blobs.lock();
+        let state = blobs.get(&blob).ok_or(BlobError::UnknownBlob(blob))?;
+        Ok(state.published.iter().map(|d| d.version).collect())
+    }
+
+    /// Number of writes assigned but not yet published for the blob.
+    pub fn pending_count(&self, blob: BlobId) -> Result<usize> {
+        let blobs = self.blobs.lock();
+        let state = blobs.get(&blob).ok_or(BlobError::UnknownBlob(blob))?;
+        Ok(state.pending.len())
+    }
+
+    /// Global operation counters.
+    pub fn stats(&self) -> VersionManagerStats {
+        *self.stats.lock()
+    }
+}
+
+impl Default for VersionManager {
+    fn default() -> Self {
+        VersionManager::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CS: u64 = 64;
+
+    fn vm_with_blob() -> (VersionManager, BlobId) {
+        let vm = VersionManager::new();
+        let blob = vm.create_blob(BlobConfig::new(CS, 1).unwrap()).unwrap();
+        (vm, blob)
+    }
+
+    #[test]
+    fn create_blob_starts_at_the_empty_snapshot() {
+        let (vm, blob) = vm_with_blob();
+        let latest = vm.latest_snapshot(blob).unwrap();
+        assert_eq!(latest.version, Version::ZERO);
+        assert_eq!(latest.size, 0);
+        assert_eq!(vm.published_versions(blob).unwrap(), vec![Version::ZERO]);
+        assert_eq!(vm.blob_config(blob).unwrap().chunk_size, CS);
+        assert_eq!(vm.blob_ids(), vec![blob]);
+    }
+
+    #[test]
+    fn unknown_blob_is_an_error() {
+        let vm = VersionManager::new();
+        let ghost = BlobId(999);
+        assert!(matches!(
+            vm.latest_snapshot(ghost),
+            Err(BlobError::UnknownBlob(_))
+        ));
+        assert!(vm
+            .assign_ticket(ghost, WriteKind::Append { len: 1 })
+            .is_err());
+        assert!(vm.complete_write(ghost, Version(1)).is_err());
+        assert!(vm.blob_config(ghost).is_err());
+    }
+
+    #[test]
+    fn invalid_blob_config_is_rejected() {
+        let vm = VersionManager::new();
+        assert!(vm.create_blob(BlobConfig { chunk_size: 0, replication: 1 }).is_err());
+    }
+
+    #[test]
+    fn ticket_resolves_append_offsets_in_assignment_order() {
+        let (vm, blob) = vm_with_blob();
+        let t1 = vm.assign_ticket(blob, WriteKind::Append { len: 100 }).unwrap();
+        let t2 = vm.assign_ticket(blob, WriteKind::Append { len: 50 }).unwrap();
+        assert_eq!(t1.version, Version(1));
+        assert_eq!(t1.offset, 0);
+        assert_eq!(t1.new_size, 100);
+        assert_eq!(t2.version, Version(2));
+        assert_eq!(t2.offset, 100);
+        assert_eq!(t2.new_size, 150);
+        // The second ticket's chain contains the first writer's summary.
+        assert_eq!(t2.chain.pending.len(), 1);
+        assert_eq!(t2.chain.pending[0].version, Version(1));
+        assert_eq!(t2.chain.base.version, Version::ZERO);
+    }
+
+    #[test]
+    fn publication_is_strictly_in_version_order() {
+        let (vm, blob) = vm_with_blob();
+        let t1 = vm.assign_ticket(blob, WriteKind::Append { len: CS }).unwrap();
+        let t2 = vm.assign_ticket(blob, WriteKind::Append { len: CS }).unwrap();
+        // Writer 2 finishes first: nothing is published yet.
+        let latest = vm.complete_write(blob, t2.version).unwrap();
+        assert_eq!(latest, Version::ZERO);
+        assert_eq!(vm.pending_count(blob).unwrap(), 2);
+        // Writer 1 finishes: both versions become visible at once.
+        let latest = vm.complete_write(blob, t1.version).unwrap();
+        assert_eq!(latest, Version(2));
+        assert_eq!(vm.pending_count(blob).unwrap(), 0);
+        assert_eq!(
+            vm.published_versions(blob).unwrap(),
+            vec![Version(0), Version(1), Version(2)]
+        );
+        assert_eq!(vm.snapshot(blob, Version(1)).unwrap().size, CS);
+        assert_eq!(vm.snapshot(blob, Version(2)).unwrap().size, 2 * CS);
+    }
+
+    #[test]
+    fn writes_extend_size_only_when_past_the_end() {
+        let (vm, blob) = vm_with_blob();
+        let t1 = vm
+            .assign_ticket(blob, WriteKind::Write { offset: 0, len: 4 * CS })
+            .unwrap();
+        vm.complete_write(blob, t1.version).unwrap();
+        // Overwrite inside the blob: size unchanged.
+        let t2 = vm
+            .assign_ticket(blob, WriteKind::Write { offset: CS, len: CS })
+            .unwrap();
+        assert_eq!(t2.new_size, 4 * CS);
+        // Write past the end: size grows.
+        let t3 = vm
+            .assign_ticket(blob, WriteKind::Write { offset: 6 * CS, len: CS })
+            .unwrap();
+        assert_eq!(t3.new_size, 7 * CS);
+    }
+
+    #[test]
+    fn empty_writes_are_rejected() {
+        let (vm, blob) = vm_with_blob();
+        assert!(matches!(
+            vm.assign_ticket(blob, WriteKind::Append { len: 0 }),
+            Err(BlobError::EmptyWrite)
+        ));
+        assert!(matches!(
+            vm.assign_ticket(blob, WriteKind::Write { offset: 10, len: 0 }),
+            Err(BlobError::EmptyWrite)
+        ));
+    }
+
+    #[test]
+    fn snapshot_lookup_rejects_unpublished_versions() {
+        let (vm, blob) = vm_with_blob();
+        let t1 = vm.assign_ticket(blob, WriteKind::Append { len: CS }).unwrap();
+        assert!(matches!(
+            vm.snapshot(blob, t1.version),
+            Err(BlobError::UnknownVersion(_, _))
+        ));
+        vm.complete_write(blob, t1.version).unwrap();
+        assert!(vm.snapshot(blob, t1.version).is_ok());
+        assert!(vm.snapshot(blob, Version(99)).is_err());
+    }
+
+    #[test]
+    fn aborted_writes_publish_as_no_ops() {
+        let (vm, blob) = vm_with_blob();
+        let t1 = vm.assign_ticket(blob, WriteKind::Append { len: CS }).unwrap();
+        let t2 = vm.assign_ticket(blob, WriteKind::Append { len: CS }).unwrap();
+        vm.complete_write(blob, t1.version).unwrap();
+        // Writer 2 dies.
+        let latest = vm.abort_write(blob, t2.version).unwrap();
+        assert_eq!(latest, Version(2));
+        // Version 2 exists with the size it claimed; its appended region is
+        // repaired to holes (zeros) by the repair weave.
+        assert_eq!(vm.snapshot(blob, Version(2)).unwrap().size, 2 * CS);
+        assert_eq!(vm.stats().aborted, 1);
+    }
+
+    #[test]
+    fn ticket_chain_excludes_aborted_predecessors() {
+        let (vm, blob) = vm_with_blob();
+        let t1 = vm.assign_ticket(blob, WriteKind::Append { len: CS }).unwrap();
+        let _t2 = vm.assign_ticket(blob, WriteKind::Append { len: CS }).unwrap();
+        vm.abort_write(blob, Version(2)).unwrap();
+        vm.complete_write(blob, t1.version).unwrap();
+        let t3 = vm.assign_ticket(blob, WriteKind::Append { len: CS }).unwrap();
+        // Both predecessors already published (v1 complete, v2 aborted), so
+        // the chain is empty and based on v2.
+        assert!(t3.chain.pending.is_empty());
+        assert_eq!(t3.chain.base.version, Version(2));
+        // The aborted append still consumed its byte range: the next append
+        // lands after it.
+        assert_eq!(t3.offset, 2 * CS);
+    }
+
+    #[test]
+    fn stats_track_operations() {
+        let (vm, blob) = vm_with_blob();
+        let t1 = vm.assign_ticket(blob, WriteKind::Append { len: CS }).unwrap();
+        vm.complete_write(blob, t1.version).unwrap();
+        let stats = vm.stats();
+        assert_eq!(stats.blobs, 1);
+        assert_eq!(stats.tickets, 1);
+        assert_eq!(stats.published, 1);
+        assert_eq!(stats.aborted, 0);
+    }
+
+    #[test]
+    fn many_threads_get_distinct_versions() {
+        use std::sync::Arc;
+        let vm = Arc::new(VersionManager::new());
+        let blob = vm.create_blob(BlobConfig::new(CS, 1).unwrap()).unwrap();
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let vm = Arc::clone(&vm);
+            handles.push(std::thread::spawn(move || {
+                (0..50)
+                    .map(|_| {
+                        let t = vm.assign_ticket(blob, WriteKind::Append { len: CS }).unwrap();
+                        vm.complete_write(blob, t.version).unwrap();
+                        t.version.0
+                    })
+                    .collect::<Vec<_>>()
+            }));
+        }
+        let mut versions: Vec<u64> = handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
+        versions.sort_unstable();
+        versions.dedup();
+        assert_eq!(versions.len(), 400, "versions must be unique");
+        // After all writers completed, everything is published.
+        assert_eq!(vm.latest_snapshot(blob).unwrap().version, Version(400));
+        assert_eq!(vm.latest_snapshot(blob).unwrap().size, 400 * CS);
+        assert_eq!(vm.pending_count(blob).unwrap(), 0);
+    }
+}

@@ -1,0 +1,401 @@
+//! A consistent-hashing DHT (Distributed Hash Table) used by the BlobSeer
+//! metadata providers.
+//!
+//! The paper stores metadata tree nodes "in a fine-grain manner among the
+//! metadata providers, which form a DHT". This crate provides that
+//! substrate:
+//!
+//! * [`ring::HashRing`] — a consistent-hashing ring with virtual nodes, so
+//!   that keys spread evenly and membership changes move little data;
+//! * [`node::DhtNode`] — one metadata provider: an in-memory key/value store
+//!   with per-node statistics and a failure switch;
+//! * [`Dht`] — the client-side view tying the two together, with replicated
+//!   `put`/`get`, membership management and a `route` query used by the
+//!   cluster simulator to attribute costs to the right node.
+//!
+//! Values are write-once (metadata in BlobSeer is immutable): `put` of an
+//! existing key is accepted only if idempotent, which is exactly the
+//! behaviour concurrent writers rely on.
+
+pub mod node;
+pub mod ring;
+
+use blobseer_types::{BlobError, MetaNodeId, Result};
+use node::DhtNode;
+use parking_lot::RwLock;
+use ring::HashRing;
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::sync::Arc;
+
+/// A replicated, consistent-hashed key/value store spread over a set of
+/// metadata providers.
+///
+/// The table is generic over the key and value types; BlobSeer-RS
+/// instantiates it with segment-tree node keys and node bodies, keeping the
+/// hot path free of serialisation.
+pub struct Dht<K, V> {
+    ring: RwLock<HashRing>,
+    nodes: RwLock<HashMap<MetaNodeId, Arc<DhtNode<K, V>>>>,
+    replication: usize,
+    virtual_nodes: usize,
+}
+
+impl<K, V> Dht<K, V>
+where
+    K: Hash + Eq + Clone,
+    V: Clone + PartialEq,
+{
+    /// Creates a DHT over `node_count` metadata providers with ids `0..n`,
+    /// `virtual_nodes` ring positions per provider and the given replication
+    /// factor.
+    pub fn new(node_count: usize, virtual_nodes: usize, replication: usize) -> Result<Self> {
+        if node_count == 0 {
+            return Err(BlobError::InvalidConfig(
+                "a DHT needs at least one node".into(),
+            ));
+        }
+        if replication == 0 || replication > node_count {
+            return Err(BlobError::InvalidConfig(format!(
+                "DHT replication must be in 1..={node_count}"
+            )));
+        }
+        if virtual_nodes == 0 {
+            return Err(BlobError::InvalidConfig(
+                "a DHT needs at least one virtual node per provider".into(),
+            ));
+        }
+        let ids: Vec<MetaNodeId> = (0..node_count as u32).map(MetaNodeId).collect();
+        let ring = HashRing::new(&ids, virtual_nodes);
+        let nodes = ids
+            .iter()
+            .map(|&id| (id, Arc::new(DhtNode::new(id))))
+            .collect();
+        Ok(Dht {
+            ring: RwLock::new(ring),
+            nodes: RwLock::new(nodes),
+            replication,
+            virtual_nodes,
+        })
+    }
+
+    /// Number of metadata providers currently part of the table.
+    pub fn node_count(&self) -> usize {
+        self.nodes.read().len()
+    }
+
+    /// The replication factor used for every key.
+    pub fn replication(&self) -> usize {
+        self.replication
+    }
+
+    /// Identifiers of all member nodes, in id order.
+    pub fn node_ids(&self) -> Vec<MetaNodeId> {
+        let mut ids: Vec<MetaNodeId> = self.nodes.read().keys().copied().collect();
+        ids.sort();
+        ids
+    }
+
+    /// The nodes responsible for `key`, primary first.
+    ///
+    /// This is exposed so that the simulator can charge metadata traffic to
+    /// the correct node without duplicating the routing logic.
+    pub fn route(&self, key: &K) -> Vec<MetaNodeId> {
+        let hash = ring::hash_key(key);
+        self.ring.read().successors(hash, self.replication)
+    }
+
+    /// Stores `value` under `key` on every replica responsible for it.
+    ///
+    /// Metadata in BlobSeer is immutable: storing a *different* value under
+    /// an existing key is rejected; storing the same value again is a no-op
+    /// (concurrent writers may legitimately race to persist identical tree
+    /// nodes).
+    pub fn put(&self, key: K, value: V) -> Result<()> {
+        let replicas = self.route(&key);
+        let nodes = self.nodes.read();
+        let mut stored_on = 0usize;
+        for id in &replicas {
+            let node = nodes
+                .get(id)
+                .ok_or(BlobError::Internal(format!("ring references unknown node {id}")))?;
+            if !node.is_alive() {
+                continue;
+            }
+            node.put(key.clone(), value.clone())?;
+            stored_on += 1;
+        }
+        if stored_on == 0 {
+            return Err(BlobError::InsufficientProviders {
+                needed: 1,
+                available: 0,
+            });
+        }
+        Ok(())
+    }
+
+    /// Fetches the value stored under `key`, trying replicas in routing
+    /// order and skipping failed nodes.
+    pub fn get(&self, key: &K) -> Option<V> {
+        let replicas = self.route(key);
+        let nodes = self.nodes.read();
+        for id in &replicas {
+            if let Some(node) = nodes.get(id) {
+                if !node.is_alive() {
+                    continue;
+                }
+                if let Some(v) = node.get(key) {
+                    return Some(v);
+                }
+            }
+        }
+        None
+    }
+
+    /// Returns whether any live replica currently stores `key`.
+    pub fn contains(&self, key: &K) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Marks a node failed: it stops serving reads and writes until
+    /// [`Dht::recover_node`] is called.
+    pub fn fail_node(&self, id: MetaNodeId) -> Result<()> {
+        let nodes = self.nodes.read();
+        let node = nodes.get(&id).ok_or(BlobError::Internal(format!(
+            "cannot fail unknown DHT node {id}"
+        )))?;
+        node.set_alive(false);
+        Ok(())
+    }
+
+    /// Brings a previously failed node back.
+    pub fn recover_node(&self, id: MetaNodeId) -> Result<()> {
+        let nodes = self.nodes.read();
+        let node = nodes.get(&id).ok_or(BlobError::Internal(format!(
+            "cannot recover unknown DHT node {id}"
+        )))?;
+        node.set_alive(true);
+        Ok(())
+    }
+
+    /// Adds a new (empty) metadata provider and rebalances: every key whose
+    /// replica set now includes the new node is copied onto it.
+    pub fn join(&self, id: MetaNodeId) -> Result<()> {
+        {
+            let mut nodes = self.nodes.write();
+            if nodes.contains_key(&id) {
+                return Err(BlobError::AlreadyExists(format!("DHT node {id}")));
+            }
+            nodes.insert(id, Arc::new(DhtNode::new(id)));
+            self.ring.write().add_node(id, self.virtual_nodes);
+        }
+        self.rebalance();
+        Ok(())
+    }
+
+    /// Removes a metadata provider permanently, copying every key it was the
+    /// only live holder of onto the new replica set first.
+    pub fn leave(&self, id: MetaNodeId) -> Result<()> {
+        let departing = {
+            let nodes = self.nodes.read();
+            nodes
+                .get(&id)
+                .cloned()
+                .ok_or(BlobError::Internal(format!("cannot remove unknown DHT node {id}")))?
+        };
+        // Take the node off the ring first so that `route` no longer points
+        // at it, then re-insert all of its entries through the normal path.
+        {
+            let mut nodes = self.nodes.write();
+            self.ring.write().remove_node(id);
+            nodes.remove(&id);
+            if nodes.is_empty() {
+                return Err(BlobError::InvalidConfig(
+                    "cannot remove the last DHT node".into(),
+                ));
+            }
+        }
+        for (k, v) in departing.drain() {
+            // Ignore immutability conflicts: replicas already hold the value.
+            let _ = self.put(k, v);
+        }
+        Ok(())
+    }
+
+    /// Copies every entry onto the nodes currently responsible for it.
+    /// Called after membership changes; also usable as an anti-entropy pass.
+    pub fn rebalance(&self) {
+        let nodes: Vec<Arc<DhtNode<K, V>>> = self.nodes.read().values().cloned().collect();
+        for node in nodes {
+            for (k, v) in node.snapshot() {
+                let _ = self.put(k, v);
+            }
+        }
+    }
+
+    /// Per-node entry counts, useful to verify load balance.
+    pub fn load_distribution(&self) -> HashMap<MetaNodeId, usize> {
+        self.nodes
+            .read()
+            .iter()
+            .map(|(id, n)| (*id, n.len()))
+            .collect()
+    }
+
+    /// Per-node operation statistics (puts, gets) accumulated since start.
+    pub fn stats(&self) -> HashMap<MetaNodeId, node::NodeStats> {
+        self.nodes
+            .read()
+            .iter()
+            .map(|(id, n)| (*id, n.stats()))
+            .collect()
+    }
+
+    /// Total number of entries stored across all nodes (replicas counted
+    /// once per node that holds them).
+    pub fn total_entries(&self) -> usize {
+        self.nodes.read().values().map(|n| n.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dht(nodes: usize, replication: usize) -> Dht<String, u64> {
+        Dht::new(nodes, 32, replication).unwrap()
+    }
+
+    #[test]
+    fn put_get_roundtrip() {
+        let d = dht(4, 1);
+        d.put("alpha".to_string(), 1).unwrap();
+        d.put("beta".to_string(), 2).unwrap();
+        assert_eq!(d.get(&"alpha".to_string()), Some(1));
+        assert_eq!(d.get(&"beta".to_string()), Some(2));
+        assert_eq!(d.get(&"gamma".to_string()), None);
+    }
+
+    #[test]
+    fn immutable_puts_reject_conflicting_values() {
+        let d = dht(4, 1);
+        d.put("k".to_string(), 1).unwrap();
+        // Idempotent re-put is fine.
+        d.put("k".to_string(), 1).unwrap();
+        // Conflicting value is rejected.
+        assert!(d.put("k".to_string(), 2).is_err());
+        assert_eq!(d.get(&"k".to_string()), Some(1));
+    }
+
+    #[test]
+    fn keys_spread_over_nodes() {
+        let d = dht(8, 1);
+        for i in 0..2_000u64 {
+            d.put(format!("key-{i}"), i).unwrap();
+        }
+        let dist = d.load_distribution();
+        assert_eq!(dist.len(), 8);
+        let total: usize = dist.values().sum();
+        assert_eq!(total, 2_000);
+        // Every node should hold a non-trivial share (load balance).
+        for (&id, &count) in &dist {
+            assert!(count > 50, "node {id} only holds {count} of 2000 keys");
+        }
+    }
+
+    #[test]
+    fn replicated_get_survives_primary_failure() {
+        let d = dht(5, 3);
+        for i in 0..200u64 {
+            d.put(format!("key-{i}"), i).unwrap();
+        }
+        // Fail two arbitrary nodes: with replication 3 every key still has a
+        // live replica.
+        d.fail_node(MetaNodeId(0)).unwrap();
+        d.fail_node(MetaNodeId(3)).unwrap();
+        for i in 0..200u64 {
+            assert_eq!(d.get(&format!("key-{i}")), Some(i), "key-{i} lost");
+        }
+        d.recover_node(MetaNodeId(0)).unwrap();
+        d.recover_node(MetaNodeId(3)).unwrap();
+    }
+
+    #[test]
+    fn unreplicated_put_fails_when_all_replicas_down() {
+        let d = dht(1, 1);
+        d.fail_node(MetaNodeId(0)).unwrap();
+        assert!(matches!(
+            d.put("k".to_string(), 1),
+            Err(BlobError::InsufficientProviders { .. })
+        ));
+    }
+
+    #[test]
+    fn join_rebalances_and_keeps_all_keys_readable() {
+        let d = dht(3, 2);
+        for i in 0..500u64 {
+            d.put(format!("key-{i}"), i).unwrap();
+        }
+        d.join(MetaNodeId(100)).unwrap();
+        assert_eq!(d.node_count(), 4);
+        for i in 0..500u64 {
+            assert_eq!(d.get(&format!("key-{i}")), Some(i));
+        }
+        // The new node picked up a share of the keys.
+        let dist = d.load_distribution();
+        assert!(dist[&MetaNodeId(100)] > 0);
+    }
+
+    #[test]
+    fn leave_preserves_all_keys() {
+        let d = dht(4, 2);
+        for i in 0..500u64 {
+            d.put(format!("key-{i}"), i).unwrap();
+        }
+        d.leave(MetaNodeId(2)).unwrap();
+        assert_eq!(d.node_count(), 3);
+        for i in 0..500u64 {
+            assert_eq!(d.get(&format!("key-{i}")), Some(i), "key-{i} lost after leave");
+        }
+    }
+
+    #[test]
+    fn join_of_existing_node_is_rejected() {
+        let d = dht(2, 1);
+        assert!(d.join(MetaNodeId(0)).is_err());
+    }
+
+    #[test]
+    fn route_is_deterministic_and_distinct() {
+        let d = dht(6, 3);
+        let a = d.route(&"some key".to_string());
+        let b = d.route(&"some key".to_string());
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 3);
+        let mut dedup = a.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 3, "replicas must be distinct nodes");
+    }
+
+    #[test]
+    fn invalid_configurations_are_rejected() {
+        assert!(Dht::<String, u64>::new(0, 8, 1).is_err());
+        assert!(Dht::<String, u64>::new(4, 0, 1).is_err());
+        assert!(Dht::<String, u64>::new(4, 8, 0).is_err());
+        assert!(Dht::<String, u64>::new(4, 8, 5).is_err());
+    }
+
+    #[test]
+    fn stats_count_operations() {
+        let d = dht(2, 1);
+        d.put("a".to_string(), 1).unwrap();
+        d.put("b".to_string(), 2).unwrap();
+        let _ = d.get(&"a".to_string());
+        let stats = d.stats();
+        let puts: u64 = stats.values().map(|s| s.puts).sum();
+        let gets: u64 = stats.values().map(|s| s.gets).sum();
+        assert_eq!(puts, 2);
+        assert!(gets >= 1);
+    }
+}

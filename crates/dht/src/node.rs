@@ -1,0 +1,202 @@
+//! A single metadata provider: an in-memory, write-once key/value store with
+//! operation statistics and a failure switch used by the fault-injection
+//! experiments.
+
+use blobseer_types::{BlobError, MetaNodeId, Result};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// Operation counters of one metadata provider.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NodeStats {
+    /// Number of successful `put` operations served.
+    pub puts: u64,
+    /// Number of `get` operations served (hits and misses).
+    pub gets: u64,
+    /// Number of `get` operations that found the key.
+    pub hits: u64,
+}
+
+/// One node of the metadata DHT.
+pub struct DhtNode<K, V> {
+    id: MetaNodeId,
+    entries: RwLock<HashMap<K, V>>,
+    alive: AtomicBool,
+    puts: AtomicU64,
+    gets: AtomicU64,
+    hits: AtomicU64,
+}
+
+impl<K, V> DhtNode<K, V>
+where
+    K: Hash + Eq + Clone,
+    V: Clone + PartialEq,
+{
+    /// Creates an empty, live node.
+    pub fn new(id: MetaNodeId) -> Self {
+        DhtNode {
+            id,
+            entries: RwLock::new(HashMap::new()),
+            alive: AtomicBool::new(true),
+            puts: AtomicU64::new(0),
+            gets: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+        }
+    }
+
+    /// The node's identifier.
+    pub fn id(&self) -> MetaNodeId {
+        self.id
+    }
+
+    /// Whether the node is currently serving requests.
+    pub fn is_alive(&self) -> bool {
+        self.alive.load(Ordering::Acquire)
+    }
+
+    /// Flips the node's availability (used by failure injection).
+    pub fn set_alive(&self, alive: bool) {
+        self.alive.store(alive, Ordering::Release);
+    }
+
+    /// Stores `value` under `key`.
+    ///
+    /// Entries are write-once: writing a different value under an existing
+    /// key is an error, writing an identical value again succeeds silently.
+    pub fn put(&self, key: K, value: V) -> Result<()> {
+        let mut entries = self.entries.write();
+        match entries.get(&key) {
+            Some(existing) if *existing != value => Err(BlobError::Internal(format!(
+                "conflicting write-once put on metadata node {}",
+                self.id
+            ))),
+            Some(_) => Ok(()),
+            None => {
+                entries.insert(key, value);
+                self.puts.fetch_add(1, Ordering::Relaxed);
+                Ok(())
+            }
+        }
+    }
+
+    /// Fetches the value stored under `key`, if any.
+    pub fn get(&self, key: &K) -> Option<V> {
+        self.gets.fetch_add(1, Ordering::Relaxed);
+        let found = self.entries.read().get(key).cloned();
+        if found.is_some() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        found
+    }
+
+    /// Number of entries currently stored.
+    pub fn len(&self) -> usize {
+        self.entries.read().len()
+    }
+
+    /// Whether the node stores no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.read().is_empty()
+    }
+
+    /// A copy of every entry (used by rebalancing).
+    pub fn snapshot(&self) -> Vec<(K, V)> {
+        self.entries
+            .read()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect()
+    }
+
+    /// Removes and returns every entry (used when the node leaves the ring).
+    pub fn drain(&self) -> Vec<(K, V)> {
+        self.entries.write().drain().collect()
+    }
+
+    /// Operation counters accumulated since the node was created.
+    pub fn stats(&self) -> NodeStats {
+        NodeStats {
+            puts: self.puts.load(Ordering::Relaxed),
+            gets: self.gets.load(Ordering::Relaxed),
+            hits: self.hits.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_get_and_stats() {
+        let n: DhtNode<&str, u32> = DhtNode::new(MetaNodeId(1));
+        assert!(n.is_empty());
+        n.put("a", 1).unwrap();
+        n.put("b", 2).unwrap();
+        assert_eq!(n.get(&"a"), Some(1));
+        assert_eq!(n.get(&"missing"), None);
+        assert_eq!(n.len(), 2);
+        let stats = n.stats();
+        assert_eq!(stats.puts, 2);
+        assert_eq!(stats.gets, 2);
+        assert_eq!(stats.hits, 1);
+    }
+
+    #[test]
+    fn write_once_semantics() {
+        let n: DhtNode<&str, u32> = DhtNode::new(MetaNodeId(1));
+        n.put("a", 1).unwrap();
+        n.put("a", 1).unwrap();
+        assert!(n.put("a", 2).is_err());
+        assert_eq!(n.get(&"a"), Some(1));
+        // The idempotent re-put is not counted as a new put.
+        assert_eq!(n.stats().puts, 1);
+    }
+
+    #[test]
+    fn alive_flag_toggles() {
+        let n: DhtNode<&str, u32> = DhtNode::new(MetaNodeId(3));
+        assert!(n.is_alive());
+        n.set_alive(false);
+        assert!(!n.is_alive());
+        n.set_alive(true);
+        assert!(n.is_alive());
+    }
+
+    #[test]
+    fn snapshot_and_drain() {
+        let n: DhtNode<String, u32> = DhtNode::new(MetaNodeId(0));
+        n.put("x".into(), 10).unwrap();
+        n.put("y".into(), 20).unwrap();
+        let mut snap = n.snapshot();
+        snap.sort();
+        assert_eq!(snap, vec![("x".into(), 10), ("y".into(), 20)]);
+        assert_eq!(n.len(), 2);
+        let mut drained = n.drain();
+        drained.sort();
+        assert_eq!(drained.len(), 2);
+        assert!(n.is_empty());
+    }
+
+    #[test]
+    fn concurrent_puts_of_distinct_keys() {
+        use std::sync::Arc;
+        let n: Arc<DhtNode<u64, u64>> = Arc::new(DhtNode::new(MetaNodeId(9)));
+        let mut handles = Vec::new();
+        for t in 0..8u64 {
+            let n = Arc::clone(&n);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..500u64 {
+                    n.put(t * 1_000 + i, i).unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(n.len(), 4_000);
+        assert_eq!(n.stats().puts, 4_000);
+    }
+}

@@ -1,0 +1,253 @@
+//! Consistent-hashing ring with virtual nodes.
+//!
+//! Every metadata provider owns `virtual_nodes` positions on a 64-bit ring;
+//! a key is served by the first `replication` *distinct* providers found
+//! walking clockwise from the key's hash. Virtual nodes smooth out the load
+//! imbalance that plain consistent hashing suffers from with few nodes.
+
+use blobseer_types::MetaNodeId;
+use std::collections::BTreeMap;
+use std::hash::{Hash, Hasher};
+
+/// Hashes an arbitrary key to its 64-bit ring position.
+///
+/// Uses FNV-1a over the key's `Hash` output: deterministic across processes
+/// and platforms (unlike `DefaultHasher`, which is randomly seeded), which
+/// matters because the simulator and the real cluster must route keys to the
+/// same metadata providers.
+pub fn hash_key<K: Hash>(key: &K) -> u64 {
+    let mut h = FnvHasher::default();
+    key.hash(&mut h);
+    h.finish()
+}
+
+/// A minimal FNV-1a 64-bit hasher (no external dependency needed).
+pub struct FnvHasher {
+    state: u64,
+}
+
+impl Default for FnvHasher {
+    fn default() -> Self {
+        FnvHasher {
+            state: 0xcbf2_9ce4_8422_2325,
+        }
+    }
+}
+
+impl Hasher for FnvHasher {
+    fn finish(&self) -> u64 {
+        self.state
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state ^= u64::from(b);
+            self.state = self.state.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+}
+
+/// The consistent-hashing ring: a sorted map from ring position to the
+/// provider owning that virtual node.
+#[derive(Debug, Clone, Default)]
+pub struct HashRing {
+    positions: BTreeMap<u64, MetaNodeId>,
+}
+
+impl HashRing {
+    /// Builds a ring containing `virtual_nodes` positions for each of the
+    /// given providers.
+    #[must_use]
+    pub fn new(nodes: &[MetaNodeId], virtual_nodes: usize) -> Self {
+        let mut ring = HashRing::default();
+        for &node in nodes {
+            ring.add_node(node, virtual_nodes);
+        }
+        ring
+    }
+
+    /// Adds a provider with the given number of virtual nodes.
+    pub fn add_node(&mut self, node: MetaNodeId, virtual_nodes: usize) {
+        for replica in 0..virtual_nodes {
+            let pos = hash_key(&(node.0, replica as u64, "blobseer-vnode"));
+            // In the astronomically unlikely event of a collision the later
+            // node silently wins one position; correctness is unaffected.
+            self.positions.insert(pos, node);
+        }
+    }
+
+    /// Removes every virtual node belonging to the provider.
+    pub fn remove_node(&mut self, node: MetaNodeId) {
+        self.positions.retain(|_, owner| *owner != node);
+    }
+
+    /// Number of virtual node positions currently on the ring.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// Whether the ring has no positions at all.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.positions.is_empty()
+    }
+
+    /// Number of distinct providers on the ring.
+    #[must_use]
+    pub fn distinct_nodes(&self) -> usize {
+        let mut ids: Vec<MetaNodeId> = self.positions.values().copied().collect();
+        ids.sort();
+        ids.dedup();
+        ids.len()
+    }
+
+    /// The first `count` distinct providers found walking clockwise from
+    /// `hash`. Returns fewer than `count` providers only if the ring has
+    /// fewer distinct members.
+    #[must_use]
+    pub fn successors(&self, hash: u64, count: usize) -> Vec<MetaNodeId> {
+        let mut result = Vec::with_capacity(count);
+        if self.positions.is_empty() || count == 0 {
+            return result;
+        }
+        // Walk from `hash` to the end of the ring, then wrap around.
+        let walk = self
+            .positions
+            .range(hash..)
+            .chain(self.positions.range(..hash));
+        for (_, &node) in walk {
+            if !result.contains(&node) {
+                result.push(node);
+                if result.len() == count {
+                    break;
+                }
+            }
+        }
+        result
+    }
+
+    /// The single provider owning `hash` (the primary replica).
+    #[must_use]
+    pub fn primary(&self, hash: u64) -> Option<MetaNodeId> {
+        self.successors(hash, 1).first().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::HashMap;
+
+    fn nodes(n: u32) -> Vec<MetaNodeId> {
+        (0..n).map(MetaNodeId).collect()
+    }
+
+    #[test]
+    fn hash_key_is_deterministic() {
+        assert_eq!(hash_key(&"hello"), hash_key(&"hello"));
+        assert_ne!(hash_key(&"hello"), hash_key(&"world"));
+    }
+
+    #[test]
+    fn ring_contains_all_virtual_nodes() {
+        let ring = HashRing::new(&nodes(4), 16);
+        assert_eq!(ring.len(), 64);
+        assert_eq!(ring.distinct_nodes(), 4);
+        assert!(!ring.is_empty());
+    }
+
+    #[test]
+    fn successors_are_distinct_and_bounded() {
+        let ring = HashRing::new(&nodes(5), 32);
+        let succ = ring.successors(hash_key(&"some key"), 3);
+        assert_eq!(succ.len(), 3);
+        let mut d = succ.clone();
+        d.sort();
+        d.dedup();
+        assert_eq!(d.len(), 3);
+        // Asking for more replicas than nodes returns every node once.
+        let all = ring.successors(42, 10);
+        assert_eq!(all.len(), 5);
+    }
+
+    #[test]
+    fn empty_ring_returns_nothing() {
+        let ring = HashRing::default();
+        assert!(ring.successors(7, 3).is_empty());
+        assert!(ring.primary(7).is_none());
+        assert!(ring.is_empty());
+    }
+
+    #[test]
+    fn removing_a_node_removes_all_its_positions() {
+        let mut ring = HashRing::new(&nodes(3), 16);
+        ring.remove_node(MetaNodeId(1));
+        assert_eq!(ring.distinct_nodes(), 2);
+        assert_eq!(ring.len(), 32);
+        // Lookups never return the removed node.
+        for i in 0..1_000u64 {
+            for n in ring.successors(hash_key(&i), 2) {
+                assert_ne!(n, MetaNodeId(1));
+            }
+        }
+    }
+
+    #[test]
+    fn load_is_roughly_balanced_with_virtual_nodes() {
+        let ring = HashRing::new(&nodes(8), 128);
+        let mut counts: HashMap<MetaNodeId, u64> = HashMap::new();
+        for i in 0..20_000u64 {
+            let primary = ring.primary(hash_key(&i)).unwrap();
+            *counts.entry(primary).or_default() += 1;
+        }
+        let expected = 20_000.0 / 8.0;
+        for (&node, &count) in &counts {
+            let ratio = count as f64 / expected;
+            assert!(
+                (0.5..=1.5).contains(&ratio),
+                "node {node} holds {count} keys, ratio {ratio:.2} outside [0.5, 1.5]"
+            );
+        }
+    }
+
+    #[test]
+    fn membership_change_moves_only_a_fraction_of_keys() {
+        let ring_before = HashRing::new(&nodes(10), 64);
+        let mut ring_after = ring_before.clone();
+        ring_after.add_node(MetaNodeId(10), 64);
+
+        let keys: Vec<u64> = (0..10_000).collect();
+        let moved = keys
+            .iter()
+            .filter(|&&k| {
+                ring_before.primary(hash_key(&k)) != ring_after.primary(hash_key(&k))
+            })
+            .count();
+        // Consistent hashing: roughly 1/11 of keys move; allow generous slack.
+        let fraction = moved as f64 / keys.len() as f64;
+        assert!(
+            fraction < 0.25,
+            "adding one node moved {fraction:.2} of keys, expected ~0.09"
+        );
+        assert!(moved > 0, "adding a node should move some keys");
+    }
+
+    proptest! {
+        #[test]
+        fn prop_successors_deterministic(hash in any::<u64>(), n in 1u32..12, reps in 1usize..5) {
+            let ring = HashRing::new(&nodes(n), 32);
+            let a = ring.successors(hash, reps);
+            let b = ring.successors(hash, reps);
+            prop_assert_eq!(&a, &b);
+            prop_assert_eq!(a.len(), reps.min(n as usize));
+        }
+
+        #[test]
+        fn prop_primary_is_first_successor(hash in any::<u64>(), n in 1u32..12) {
+            let ring = HashRing::new(&nodes(n), 16);
+            prop_assert_eq!(ring.primary(hash), ring.successors(hash, 1).first().copied());
+        }
+    }
+}

@@ -1,0 +1,406 @@
+//! The map/shuffle/reduce engine.
+
+use crate::storage::{InputSplit, JobStorage};
+use blobseer_types::{BlobError, ByteRange, Result};
+use std::collections::hash_map::DefaultHasher;
+use std::collections::BTreeMap;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// A map function: turns one input record (a text line, without its
+/// terminating newline) into any number of key/value pairs.
+pub type Mapper = Arc<dyn Fn(&str) -> Vec<(String, String)> + Send + Sync>;
+
+/// A reduce function: folds all the values of one key into one output value.
+pub type Reducer = Arc<dyn Fn(&str, &[String]) -> String + Send + Sync>;
+
+/// Description of one MapReduce job.
+#[derive(Clone)]
+pub struct JobSpec {
+    /// Human-readable name (used in output paths and reports).
+    pub name: String,
+    /// Input files.
+    pub inputs: Vec<String>,
+    /// Directory the output partitions are written under.
+    pub output_dir: String,
+    /// Number of reduce tasks (= output partitions).
+    pub reducers: usize,
+    /// Target size of one input split in bytes.
+    pub split_bytes: u64,
+    /// The map function.
+    pub mapper: Mapper,
+    /// The reduce function.
+    pub reducer: Reducer,
+}
+
+/// Statistics of one executed job.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobReport {
+    /// Job name.
+    pub name: String,
+    /// Number of map tasks executed.
+    pub map_tasks: usize,
+    /// Number of reduce tasks executed.
+    pub reduce_tasks: usize,
+    /// Input bytes read by map tasks.
+    pub input_bytes: u64,
+    /// Output bytes written by reduce tasks.
+    pub output_bytes: u64,
+    /// Intermediate key/value pairs produced by the map phase.
+    pub intermediate_pairs: u64,
+    /// Map tasks whose split had at least one known data location (a proxy
+    /// for the locality information BSFS exposes and HDFS also provides).
+    pub tasks_with_locality: usize,
+    /// Wall-clock execution time.
+    pub elapsed: std::time::Duration,
+    /// Paths of the output partition files.
+    pub outputs: Vec<String>,
+}
+
+/// The MapReduce engine: a storage backend plus a worker pool size.
+pub struct MapReduceEngine {
+    storage: Arc<dyn JobStorage>,
+    workers: usize,
+}
+
+impl MapReduceEngine {
+    /// Creates an engine over `storage` using `workers` parallel map (and
+    /// reduce) workers.
+    pub fn new(storage: Arc<dyn JobStorage>, workers: usize) -> Self {
+        MapReduceEngine {
+            storage,
+            workers: workers.max(1),
+        }
+    }
+
+    /// Runs a job to completion and returns its report.
+    pub fn run(&self, job: &JobSpec) -> Result<JobReport> {
+        if job.inputs.is_empty() {
+            return Err(BlobError::InvalidConfig("a job needs at least one input".into()));
+        }
+        if job.reducers == 0 {
+            return Err(BlobError::InvalidConfig("a job needs at least one reducer".into()));
+        }
+        if job.split_bytes == 0 {
+            return Err(BlobError::InvalidConfig("split size must be positive".into()));
+        }
+        let started = Instant::now();
+
+        // Plan: cut every input into splits.
+        let mut splits = Vec::new();
+        for input in &job.inputs {
+            splits.extend(self.storage.input_splits(input, job.split_bytes)?);
+        }
+        let tasks_with_locality = splits.iter().filter(|s| !s.locations.is_empty()).count();
+
+        // Map phase: run splits on the worker pool.
+        let map_outputs = self.run_map_phase(job, &splits)?;
+        let input_bytes: u64 = splits.iter().map(|s| s.range.len).sum();
+        let intermediate_pairs: u64 = map_outputs.iter().map(|p| p.len() as u64).sum();
+
+        // Shuffle: partition by key hash, then group values per key.
+        let mut partitions: Vec<BTreeMap<String, Vec<String>>> =
+            (0..job.reducers).map(|_| BTreeMap::new()).collect();
+        for pairs in map_outputs {
+            for (key, value) in pairs {
+                let partition = (hash_key(&key) % job.reducers as u64) as usize;
+                partitions[partition].entry(key).or_default().push(value);
+            }
+        }
+
+        // Reduce phase: one output partition per reducer.
+        let reduce_results = self.run_reduce_phase(job, partitions)?;
+        let mut outputs = Vec::with_capacity(job.reducers);
+        let mut output_bytes = 0u64;
+        for (index, body) in reduce_results.into_iter().enumerate() {
+            let path = format!("{}/{}-part-{index:05}", job.output_dir, job.name);
+            self.storage.create_file(&path)?;
+            if !body.is_empty() {
+                self.storage.append(&path, body.as_bytes())?;
+            }
+            output_bytes += body.len() as u64;
+            outputs.push(path);
+        }
+
+        Ok(JobReport {
+            name: job.name.clone(),
+            map_tasks: splits.len(),
+            reduce_tasks: job.reducers,
+            input_bytes,
+            output_bytes,
+            intermediate_pairs,
+            tasks_with_locality,
+            elapsed: started.elapsed(),
+            outputs,
+        })
+    }
+
+    /// Runs every split through the mapper, in parallel batches of
+    /// `self.workers` tasks.
+    fn run_map_phase(
+        &self,
+        job: &JobSpec,
+        splits: &[InputSplit],
+    ) -> Result<Vec<Vec<(String, String)>>> {
+        let mut all = Vec::with_capacity(splits.len());
+        for batch in splits.chunks(self.workers.max(1)) {
+            let mut batch_results: Vec<Result<Vec<(String, String)>>> = Vec::new();
+            std::thread::scope(|scope| {
+                let mut handles = Vec::new();
+                for split in batch {
+                    let storage = Arc::clone(&self.storage);
+                    let mapper = Arc::clone(&job.mapper);
+                    handles.push(scope.spawn(move || run_map_task(storage.as_ref(), &mapper, split)));
+                }
+                for handle in handles {
+                    batch_results.push(handle.join().expect("map task panicked"));
+                }
+            });
+            for result in batch_results {
+                all.push(result?);
+            }
+        }
+        Ok(all)
+    }
+
+    /// Runs the reducers in parallel and returns one output body per
+    /// partition.
+    fn run_reduce_phase(
+        &self,
+        job: &JobSpec,
+        partitions: Vec<BTreeMap<String, Vec<String>>>,
+    ) -> Result<Vec<String>> {
+        let mut bodies = vec![String::new(); partitions.len()];
+        for (batch_start, batch) in partitions
+            .chunks(self.workers.max(1))
+            .enumerate()
+            .map(|(i, b)| (i * self.workers.max(1), b))
+        {
+            let mut batch_results: Vec<(usize, String)> = Vec::new();
+            std::thread::scope(|scope| {
+                let mut handles = Vec::new();
+                for (offset, partition) in batch.iter().enumerate() {
+                    let reducer = Arc::clone(&job.reducer);
+                    handles.push(scope.spawn(move || {
+                        let mut body = String::new();
+                        for (key, values) in partition {
+                            let reduced = reducer(key, values);
+                            body.push_str(key);
+                            body.push('\t');
+                            body.push_str(&reduced);
+                            body.push('\n');
+                        }
+                        (batch_start + offset, body)
+                    }));
+                }
+                for handle in handles {
+                    batch_results.push(handle.join().expect("reduce task panicked"));
+                }
+            });
+            for (index, body) in batch_results {
+                bodies[index] = body;
+            }
+        }
+        Ok(bodies)
+    }
+}
+
+/// Executes one map task: reads the split, reassembles line records across
+/// the split boundary (a record belongs to the split its first byte falls
+/// in), and applies the mapper to every record.
+fn run_map_task(
+    storage: &dyn JobStorage,
+    mapper: &Mapper,
+    split: &InputSplit,
+) -> Result<Vec<(String, String)>> {
+    let file_size = storage.file_size(&split.path)?;
+    // Hadoop's line-record rule: a split with a non-zero offset starts
+    // reading one byte early and skips everything up to and including the
+    // first newline; it then owns every record whose first byte lies before
+    // the split's end, reading past the end to finish the last record.
+    let read_start = split.range.offset.saturating_sub(1);
+    let lookahead = 64 * 1024;
+    let read_len = (split.range.end() - read_start + lookahead).min(file_size - read_start);
+    let data = storage.read_range(&split.path, ByteRange::new(read_start, read_len))?;
+
+    let mut pos = 0usize;
+    if split.range.offset > 0 {
+        match data.iter().position(|&b| b == b'\n') {
+            Some(nl) => pos = nl + 1,
+            None => return Ok(Vec::new()),
+        }
+    }
+    let mut pairs = Vec::new();
+    while pos < data.len() {
+        // Records starting at or past the split's end belong to the next split.
+        if read_start + pos as u64 >= split.range.end() {
+            break;
+        }
+        let line_end = data[pos..]
+            .iter()
+            .position(|&b| b == b'\n')
+            .map(|nl| pos + nl)
+            .unwrap_or(data.len());
+        let line = String::from_utf8_lossy(&data[pos..line_end]);
+        if !line.is_empty() {
+            pairs.extend(mapper(&line));
+        }
+        pos = line_end + 1;
+    }
+    Ok(pairs)
+}
+
+fn hash_key(key: &str) -> u64 {
+    let mut hasher = DefaultHasher::new();
+    key.hash(&mut hasher);
+    hasher.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+    use crate::storage::BsfsStorage;
+    use blobseer_bsfs::Bsfs;
+    use blobseer_core::Cluster;
+    use blobseer_types::{BlobConfig, ClusterConfig};
+
+    fn storage() -> Arc<dyn JobStorage> {
+        let cluster = Cluster::new(ClusterConfig::small()).unwrap();
+        let fs = Bsfs::new(
+            Arc::new(cluster.client()),
+            BlobConfig::new(256, 1).unwrap(),
+        )
+        .unwrap();
+        Arc::new(BsfsStorage::new(Arc::new(fs)))
+    }
+
+    fn wordcount_spec(inputs: Vec<String>, reducers: usize, split_bytes: u64) -> JobSpec {
+        JobSpec {
+            name: "wc".into(),
+            inputs,
+            output_dir: "/out".into(),
+            reducers,
+            split_bytes,
+            mapper: Arc::new(|line: &str| {
+                line.split_whitespace()
+                    .map(|w| (w.to_lowercase(), "1".to_string()))
+                    .collect()
+            }),
+            reducer: Arc::new(|_k: &str, values: &[String]| values.len().to_string()),
+        }
+    }
+
+    fn load_counts(storage: &dyn JobStorage, report: &JobReport) -> HashMap<String, u64> {
+        let mut counts = HashMap::new();
+        for path in &report.outputs {
+            let body = storage.read_file(path).unwrap();
+            for line in String::from_utf8(body).unwrap().lines() {
+                let (word, count) = line.split_once('\t').unwrap();
+                counts.insert(word.to_string(), count.parse().unwrap());
+            }
+        }
+        counts
+    }
+
+    #[test]
+    fn wordcount_end_to_end() {
+        let storage = storage();
+        storage.create_file("/in/a.txt").unwrap();
+        storage
+            .append("/in/a.txt", b"the quick brown fox\njumps over the lazy dog\nthe end\n")
+            .unwrap();
+        let engine = MapReduceEngine::new(Arc::clone(&storage), 4);
+        let report = engine
+            .run(&wordcount_spec(vec!["/in/a.txt".into()], 3, 20))
+            .unwrap();
+        assert!(report.map_tasks >= 2, "small splits must create several map tasks");
+        assert_eq!(report.reduce_tasks, 3);
+        assert_eq!(report.outputs.len(), 3);
+        assert!(report.input_bytes >= 50);
+        assert!(report.intermediate_pairs >= 11);
+
+        let counts = load_counts(storage.as_ref(), &report);
+        assert_eq!(counts["the"], 3);
+        assert_eq!(counts["quick"], 1);
+        assert_eq!(counts["dog"], 1);
+        let total: u64 = counts.values().sum();
+        assert_eq!(total, 11, "every word is counted exactly once");
+    }
+
+    #[test]
+    fn records_straddling_split_boundaries_are_counted_once() {
+        let storage = storage();
+        storage.create_file("/in/long.txt").unwrap();
+        // 100 identical 23-byte lines; with 64-byte splits almost every
+        // record straddles a boundary.
+        let line = "alpha beta gamma delta\n";
+        let body: String = std::iter::repeat(line).take(100).collect();
+        storage.append("/in/long.txt", body.as_bytes()).unwrap();
+        let engine = MapReduceEngine::new(Arc::clone(&storage), 4);
+        let report = engine
+            .run(&wordcount_spec(vec!["/in/long.txt".into()], 2, 64))
+            .unwrap();
+        let counts = load_counts(storage.as_ref(), &report);
+        assert_eq!(counts["alpha"], 100);
+        assert_eq!(counts["beta"], 100);
+        assert_eq!(counts["delta"], 100);
+    }
+
+    #[test]
+    fn multiple_inputs_are_combined() {
+        let storage = storage();
+        for (i, text) in ["x y\n", "y z\n"].iter().enumerate() {
+            let path = format!("/in/f{i}.txt");
+            storage.create_file(&path).unwrap();
+            storage.append(&path, text.as_bytes()).unwrap();
+        }
+        let engine = MapReduceEngine::new(Arc::clone(&storage), 2);
+        let report = engine
+            .run(&wordcount_spec(
+                vec!["/in/f0.txt".into(), "/in/f1.txt".into()],
+                1,
+                1024,
+            ))
+            .unwrap();
+        let counts = load_counts(storage.as_ref(), &report);
+        assert_eq!(counts["y"], 2);
+        assert_eq!(counts["x"], 1);
+        assert_eq!(counts["z"], 1);
+        assert_eq!(report.map_tasks, 2);
+    }
+
+    #[test]
+    fn locality_information_is_reported() {
+        let storage = storage();
+        storage.create_file("/in/a.txt").unwrap();
+        storage.append("/in/a.txt", &vec![b'a'; 2048]).unwrap();
+        let engine = MapReduceEngine::new(Arc::clone(&storage), 2);
+        let report = engine
+            .run(&wordcount_spec(vec!["/in/a.txt".into()], 1, 512))
+            .unwrap();
+        assert_eq!(report.map_tasks, 4);
+        assert_eq!(
+            report.tasks_with_locality, 4,
+            "BSFS exposes chunk locations for every split"
+        );
+    }
+
+    #[test]
+    fn invalid_job_specs_are_rejected() {
+        let storage = storage();
+        let engine = MapReduceEngine::new(Arc::clone(&storage), 2);
+        assert!(engine.run(&wordcount_spec(vec![], 1, 64)).is_err());
+        assert!(engine
+            .run(&wordcount_spec(vec!["/in/a".into()], 0, 64))
+            .is_err());
+        assert!(engine
+            .run(&wordcount_spec(vec!["/in/a".into()], 1, 0))
+            .is_err());
+        // Missing input file surfaces as an error from the storage layer.
+        assert!(engine
+            .run(&wordcount_spec(vec!["/in/missing".into()], 1, 64))
+            .is_err());
+    }
+}

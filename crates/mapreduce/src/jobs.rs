@@ -1,0 +1,146 @@
+//! Ready-made MapReduce jobs: word count, grep and sort — the synthetic and
+//! "real application" workloads used by the Hadoop experiments (Section
+//! IV.D).
+
+use crate::engine::JobSpec;
+use std::sync::Arc;
+
+/// Classic word count: one output line per distinct word with its number of
+/// occurrences.
+#[must_use]
+pub fn wordcount_job(inputs: Vec<String>, output_dir: &str, reducers: usize, split_bytes: u64) -> JobSpec {
+    JobSpec {
+        name: "wordcount".into(),
+        inputs,
+        output_dir: output_dir.to_string(),
+        reducers,
+        split_bytes,
+        mapper: Arc::new(|line: &str| {
+            line.split_whitespace()
+                .map(|w| {
+                    (
+                        w.trim_matches(|c: char| !c.is_alphanumeric()).to_lowercase(),
+                        "1".to_string(),
+                    )
+                })
+                .filter(|(w, _)| !w.is_empty())
+                .collect()
+        }),
+        reducer: Arc::new(|_key: &str, values: &[String]| values.len().to_string()),
+    }
+}
+
+/// Distributed grep: emits every line containing `pattern`, keyed by the
+/// input line itself, with the match count as the value.
+#[must_use]
+pub fn grep_job(
+    inputs: Vec<String>,
+    output_dir: &str,
+    pattern: &str,
+    reducers: usize,
+    split_bytes: u64,
+) -> JobSpec {
+    let needle = pattern.to_string();
+    JobSpec {
+        name: "grep".into(),
+        inputs,
+        output_dir: output_dir.to_string(),
+        reducers,
+        split_bytes,
+        mapper: Arc::new(move |line: &str| {
+            if line.contains(&needle) {
+                vec![(line.to_string(), "1".to_string())]
+            } else {
+                Vec::new()
+            }
+        }),
+        reducer: Arc::new(|_key: &str, values: &[String]| values.len().to_string()),
+    }
+}
+
+/// Distributed sort: keys are the records themselves, so each output
+/// partition comes out sorted (the engine's shuffle uses ordered maps); the
+/// value counts duplicates.
+#[must_use]
+pub fn sort_job(inputs: Vec<String>, output_dir: &str, reducers: usize, split_bytes: u64) -> JobSpec {
+    JobSpec {
+        name: "sort".into(),
+        inputs,
+        output_dir: output_dir.to_string(),
+        reducers,
+        split_bytes,
+        mapper: Arc::new(|line: &str| vec![(line.to_string(), "1".to_string())]),
+        reducer: Arc::new(|_key: &str, values: &[String]| values.len().to_string()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::MapReduceEngine;
+    use crate::storage::{BsfsStorage, JobStorage};
+    use blobseer_bsfs::Bsfs;
+    use blobseer_core::Cluster;
+    use blobseer_types::{BlobConfig, ClusterConfig};
+
+    fn storage_with_corpus() -> Arc<dyn JobStorage> {
+        let cluster = Cluster::new(ClusterConfig::small()).unwrap();
+        let fs = Bsfs::new(
+            Arc::new(cluster.client()),
+            BlobConfig::new(256, 1).unwrap(),
+        )
+        .unwrap();
+        let storage: Arc<dyn JobStorage> = Arc::new(BsfsStorage::new(Arc::new(fs)));
+        storage.create_file("/corpus/text").unwrap();
+        storage
+            .append(
+                "/corpus/text",
+                b"error: disk failed\nall good here\nerror: network down\nzebra\napple\nmango\n",
+            )
+            .unwrap();
+        storage
+    }
+
+    #[test]
+    fn grep_finds_only_matching_lines() {
+        let storage = storage_with_corpus();
+        let engine = MapReduceEngine::new(Arc::clone(&storage), 2);
+        let job = grep_job(vec!["/corpus/text".into()], "/out", "error", 1, 64);
+        let report = engine.run(&job).unwrap();
+        let body = String::from_utf8(storage.read_file(&report.outputs[0]).unwrap()).unwrap();
+        assert_eq!(body.lines().count(), 2);
+        assert!(body.contains("error: disk failed"));
+        assert!(body.contains("error: network down"));
+        assert!(!body.contains("all good"));
+    }
+
+    #[test]
+    fn sort_produces_ordered_partitions() {
+        let storage = storage_with_corpus();
+        let engine = MapReduceEngine::new(Arc::clone(&storage), 2);
+        let job = sort_job(vec!["/corpus/text".into()], "/out", 1, 1024);
+        let report = engine.run(&job).unwrap();
+        let body = String::from_utf8(storage.read_file(&report.outputs[0]).unwrap()).unwrap();
+        let keys: Vec<&str> = body.lines().map(|l| l.split('\t').next().unwrap()).collect();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(keys, sorted, "partition output must be sorted");
+        assert!(keys.contains(&"apple"));
+        assert!(keys.contains(&"zebra"));
+    }
+
+    #[test]
+    fn wordcount_job_strips_punctuation() {
+        let storage = storage_with_corpus();
+        let engine = MapReduceEngine::new(Arc::clone(&storage), 2);
+        let job = wordcount_job(vec!["/corpus/text".into()], "/out", 2, 1024);
+        let report = engine.run(&job).unwrap();
+        let mut all = String::new();
+        for path in &report.outputs {
+            all.push_str(&String::from_utf8(storage.read_file(path).unwrap()).unwrap());
+        }
+        // "error:" appears twice but is normalised to "error".
+        assert!(all.lines().any(|l| l == "error\t2"));
+        assert!(all.lines().any(|l| l == "apple\t1"));
+    }
+}

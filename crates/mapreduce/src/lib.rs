@@ -1,0 +1,23 @@
+//! A minimal MapReduce engine with pluggable storage backends.
+//!
+//! Section IV.D of the paper evaluates BlobSeer as the storage layer of
+//! Hadoop MapReduce. This crate provides the MapReduce substrate for that
+//! experiment: a small but complete map/shuffle/reduce engine whose storage
+//! layer is a trait ([`storage::JobStorage`]) implemented both by BSFS (the
+//! BlobSeer-backed file system) and by the HDFS-like baseline, so identical
+//! jobs can be run against either backend.
+//!
+//! The engine follows Hadoop's structure: inputs are cut into byte-range
+//! *splits* annotated with the location of their data, map tasks process the
+//! records of one split each (running in parallel on a pool of workers and
+//! preferring data-local placement), the shuffle groups intermediate pairs
+//! by key, and reduce tasks aggregate each key group and write one output
+//! partition each.
+
+pub mod engine;
+pub mod jobs;
+pub mod storage;
+
+pub use engine::{JobReport, JobSpec, MapReduceEngine, Mapper, Reducer};
+pub use jobs::{grep_job, sort_job, wordcount_job};
+pub use storage::{BsfsStorage, HdfsStorage, JobStorage};

@@ -1,0 +1,37 @@
+//! Versioned, distributed segment-tree metadata management.
+//!
+//! BlobSeer maps byte ranges of every blob snapshot to the chunks (and the
+//! data providers holding them) through a *versioning-oriented, distributed
+//! segment tree*:
+//!
+//! * every snapshot `v` of a blob has a complete binary tree whose leaves
+//!   each cover one chunk slot and whose inner nodes cover power-of-two
+//!   numbers of slots;
+//! * tree nodes are **immutable** and keyed by `(blob, version, range)`;
+//!   they are scattered over the metadata providers (a DHT) in a fine-grain
+//!   manner;
+//! * a write producing version `v` creates new leaves only for the chunk
+//!   slots it touches and new inner nodes only on the paths from those
+//!   leaves to the root; every untouched subtree is *borrowed* from the
+//!   reference snapshot by storing that subtree's existing key in the new
+//!   inner node.
+//!
+//! Because nothing is ever overwritten, readers of any published snapshot
+//! never synchronise with concurrent writers — this is the
+//! "versioning-based concurrency control" at the core of the paper.
+//!
+//! The two central entry points are [`tree::build_write_metadata`] (the
+//! writer side: which new nodes must be created for a write or append) and
+//! [`tree::collect_leaves`] (the reader side: which chunks cover a read
+//! range at a given version).
+
+pub mod node;
+pub mod store;
+pub mod tree;
+
+pub use node::{ChildRef, InnerNode, LeafNode, NodeBody, NodeKey};
+pub use store::{CachedMetadataStore, InMemoryMetaStore, MetadataStore};
+pub use tree::{
+    build_repair_metadata, build_write_metadata, build_write_metadata_chained, collect_leaves, publish_metadata,
+    LeafMapping, ReferenceChain, SnapshotDescriptor, WriteMetadata, WriteSummary, WrittenChunk,
+};

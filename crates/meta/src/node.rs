@@ -1,0 +1,217 @@
+//! Segment-tree node types.
+//!
+//! Nodes are immutable values keyed by `(blob, version, range)`. Inner nodes
+//! reference their children by key (version + range); a missing child means
+//! the corresponding half of the range has never been written (a hole, read
+//! back as zeros).
+
+use blobseer_types::{BlobId, ByteRange, ChunkId, ProviderId, Version};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Key under which a segment-tree node is stored in the metadata DHT.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct NodeKey {
+    /// Blob the node belongs to.
+    pub blob: BlobId,
+    /// Version of the snapshot that created this node.
+    pub version: Version,
+    /// Byte range of the blob covered by the node. Always a power-of-two
+    /// number of chunk slots; a single slot for leaves.
+    pub range: ByteRange,
+}
+
+impl fmt::Display for NodeKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}/{}", self.blob, self.version, self.range)
+    }
+}
+
+/// Reference from an inner node to one of its children: the child's version
+/// and covered range (the blob is implicit).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ChildRef {
+    /// Version of the snapshot that created the referenced node. For
+    /// borrowed subtrees this is strictly older than the referencing node's
+    /// version.
+    pub version: Version,
+    /// Range the referenced node covers.
+    pub range: ByteRange,
+}
+
+impl ChildRef {
+    /// The DHT key of the referenced node for blob `blob`.
+    #[must_use]
+    pub fn key(&self, blob: BlobId) -> NodeKey {
+        NodeKey {
+            blob,
+            version: self.version,
+            range: self.range,
+        }
+    }
+}
+
+/// A leaf node: maps one chunk slot to the chunk written for it.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LeafNode {
+    /// Identifier of the chunk holding the slot's data.
+    pub chunk: ChunkId,
+    /// Data providers storing a replica of the chunk, in preference order.
+    pub providers: Vec<ProviderId>,
+    /// Number of valid payload bytes in the chunk. Usually the blob's chunk
+    /// size, but the final chunk of a snapshot may be shorter.
+    pub len: u64,
+}
+
+/// An inner node: covers a power-of-two number of chunk slots and references
+/// the nodes covering each half. `None` means that half has never been
+/// written in this snapshot's history (a hole).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InnerNode {
+    /// Node covering the lower half of the range, if any.
+    pub left: Option<ChildRef>,
+    /// Node covering the upper half of the range, if any.
+    pub right: Option<ChildRef>,
+}
+
+/// A segment-tree node body.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum NodeBody {
+    /// A leaf covering exactly one chunk slot.
+    Leaf(LeafNode),
+    /// An inner node covering two or more chunk slots.
+    Inner(InnerNode),
+    /// A forwarding node: this `(version, range)` key exists only so that
+    /// later snapshots can reference it, and its content is entirely that of
+    /// another node covering the same range. Created by *repair weaving*
+    /// when a writer dies after being assigned a version (see
+    /// [`crate::tree::build_repair_metadata`]).
+    Alias(ChildRef),
+}
+
+impl LeafNode {
+    /// The canonical "hole" leaf: a slot that logically exists (it was
+    /// claimed by an aborted write) but holds no data. Readers treat it as
+    /// zero bytes because its `len` is zero.
+    #[must_use]
+    pub fn hole(blob: BlobId, slot: u64) -> Self {
+        LeafNode {
+            chunk: ChunkId {
+                blob,
+                write_tag: u64::MAX,
+                slot,
+            },
+            providers: Vec::new(),
+            len: 0,
+        }
+    }
+
+    /// Whether this leaf carries no data at all.
+    #[must_use]
+    pub fn is_hole(&self) -> bool {
+        self.len == 0
+    }
+}
+
+impl NodeBody {
+    /// Returns the leaf payload, if this is a leaf.
+    #[must_use]
+    pub fn as_leaf(&self) -> Option<&LeafNode> {
+        match self {
+            NodeBody::Leaf(l) => Some(l),
+            _ => None,
+        }
+    }
+
+    /// Returns the inner payload, if this is an inner node.
+    #[must_use]
+    pub fn as_inner(&self) -> Option<&InnerNode> {
+        match self {
+            NodeBody::Inner(i) => Some(i),
+            _ => None,
+        }
+    }
+
+    /// Returns the alias target, if this is a forwarding node.
+    #[must_use]
+    pub fn as_alias(&self) -> Option<ChildRef> {
+        match self {
+            NodeBody::Alias(target) => Some(*target),
+            _ => None,
+        }
+    }
+
+    /// Whether this node is a leaf.
+    #[must_use]
+    pub fn is_leaf(&self) -> bool {
+        matches!(self, NodeBody::Leaf(_))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chunk() -> ChunkId {
+        ChunkId {
+            blob: BlobId(1),
+            write_tag: 7,
+            slot: 3,
+        }
+    }
+
+    #[test]
+    fn child_ref_key_carries_the_blob() {
+        let r = ChildRef {
+            version: Version(4),
+            range: ByteRange::new(0, 128),
+        };
+        let key = r.key(BlobId(9));
+        assert_eq!(key.blob, BlobId(9));
+        assert_eq!(key.version, Version(4));
+        assert_eq!(key.range, ByteRange::new(0, 128));
+    }
+
+    #[test]
+    fn node_key_display_is_readable() {
+        let key = NodeKey {
+            blob: BlobId(2),
+            version: Version(5),
+            range: ByteRange::new(64, 64),
+        };
+        assert_eq!(key.to_string(), "blob-2/v5/[64, 128)");
+    }
+
+    #[test]
+    fn body_accessors() {
+        let leaf = NodeBody::Leaf(LeafNode {
+            chunk: chunk(),
+            providers: vec![ProviderId(0)],
+            len: 64,
+        });
+        let inner = NodeBody::Inner(InnerNode {
+            left: None,
+            right: Some(ChildRef {
+                version: Version(1),
+                range: ByteRange::new(64, 64),
+            }),
+        });
+        assert!(leaf.is_leaf());
+        assert!(leaf.as_leaf().is_some());
+        assert!(leaf.as_inner().is_none());
+        assert!(!inner.is_leaf());
+        assert!(inner.as_inner().is_some());
+        assert!(inner.as_leaf().is_none());
+    }
+
+    #[test]
+    fn nodes_compare_structurally() {
+        let a = NodeBody::Leaf(LeafNode {
+            chunk: chunk(),
+            providers: vec![ProviderId(0), ProviderId(1)],
+            len: 10,
+        });
+        let b = a.clone();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,233 @@
+//! Metadata storage abstraction.
+//!
+//! Tree nodes are write-once values; any key/value store can hold them. The
+//! production deployment uses the metadata-provider DHT
+//! ([`blobseer_dht::Dht`]); unit tests use [`InMemoryMetaStore`]; clients can
+//! wrap either in a [`CachedMetadataStore`] to exploit the immutability of
+//! nodes for free client-side caching (the paper's Section IV.A reports
+//! clear benefits from metadata caching).
+
+use crate::node::{NodeBody, NodeKey};
+use blobseer_dht::Dht;
+use blobseer_types::Result;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Abstraction over the place segment-tree nodes are stored in.
+pub trait MetadataStore: Send + Sync {
+    /// Stores a node. Nodes are write-once: storing a different body under
+    /// an existing key is an error, re-storing an identical body is a no-op.
+    fn put_node(&self, key: NodeKey, body: NodeBody) -> Result<()>;
+
+    /// Fetches a node by key.
+    fn get_node(&self, key: &NodeKey) -> Option<NodeBody>;
+
+    /// Number of nodes held (across all replicas for distributed stores the
+    /// count is per-holding-node; used only for statistics and tests).
+    fn node_count(&self) -> usize;
+}
+
+/// The metadata-provider DHT is the canonical metadata store.
+impl MetadataStore for Dht<NodeKey, NodeBody> {
+    fn put_node(&self, key: NodeKey, body: NodeBody) -> Result<()> {
+        self.put(key, body)
+    }
+
+    fn get_node(&self, key: &NodeKey) -> Option<NodeBody> {
+        self.get(key)
+    }
+
+    fn node_count(&self) -> usize {
+        self.total_entries()
+    }
+}
+
+/// A single-map in-memory metadata store, used by unit tests and by the
+/// centralised-metadata baseline of experiment C.
+#[derive(Default)]
+pub struct InMemoryMetaStore {
+    nodes: RwLock<HashMap<NodeKey, NodeBody>>,
+}
+
+impl InMemoryMetaStore {
+    /// Creates an empty store.
+    #[must_use]
+    pub fn new() -> Self {
+        InMemoryMetaStore::default()
+    }
+}
+
+impl MetadataStore for InMemoryMetaStore {
+    fn put_node(&self, key: NodeKey, body: NodeBody) -> Result<()> {
+        let mut nodes = self.nodes.write();
+        match nodes.get(&key) {
+            Some(existing) if *existing != body => Err(blobseer_types::BlobError::Internal(
+                format!("conflicting write-once metadata put for {key}"),
+            )),
+            Some(_) => Ok(()),
+            None => {
+                nodes.insert(key, body);
+                Ok(())
+            }
+        }
+    }
+
+    fn get_node(&self, key: &NodeKey) -> Option<NodeBody> {
+        self.nodes.read().get(key).cloned()
+    }
+
+    fn node_count(&self) -> usize {
+        self.nodes.read().len()
+    }
+}
+
+/// Client-side metadata cache layered over another store.
+///
+/// Because tree nodes are immutable, cached entries can never become stale;
+/// the cache therefore needs no invalidation protocol at all — one of the
+/// pay-offs of versioning-based concurrency control highlighted by the
+/// paper.
+pub struct CachedMetadataStore<S> {
+    inner: Arc<S>,
+    cache: RwLock<HashMap<NodeKey, NodeBody>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl<S: MetadataStore> CachedMetadataStore<S> {
+    /// Wraps `inner` with an unbounded client-side cache.
+    pub fn new(inner: Arc<S>) -> Self {
+        CachedMetadataStore {
+            inner,
+            cache: RwLock::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of cache hits since creation.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Number of cache misses since creation.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// The wrapped store.
+    pub fn inner(&self) -> &Arc<S> {
+        &self.inner
+    }
+}
+
+impl<S: MetadataStore> MetadataStore for CachedMetadataStore<S> {
+    fn put_node(&self, key: NodeKey, body: NodeBody) -> Result<()> {
+        self.inner.put_node(key, body.clone())?;
+        self.cache.write().insert(key, body);
+        Ok(())
+    }
+
+    fn get_node(&self, key: &NodeKey) -> Option<NodeBody> {
+        if let Some(hit) = self.cache.read().get(key).cloned() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Some(hit);
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let fetched = self.inner.get_node(key)?;
+        self.cache.write().insert(*key, fetched.clone());
+        Some(fetched)
+    }
+
+    fn node_count(&self) -> usize {
+        self.inner.node_count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::{InnerNode, LeafNode};
+    use blobseer_types::{BlobId, ByteRange, ChunkId, ProviderId, Version};
+
+    fn key(v: u64, offset: u64, len: u64) -> NodeKey {
+        NodeKey {
+            blob: BlobId(1),
+            version: Version(v),
+            range: ByteRange::new(offset, len),
+        }
+    }
+
+    fn leaf(slot: u64) -> NodeBody {
+        NodeBody::Leaf(LeafNode {
+            chunk: ChunkId {
+                blob: BlobId(1),
+                write_tag: 99,
+                slot,
+            },
+            providers: vec![ProviderId(0)],
+            len: 64,
+        })
+    }
+
+    #[test]
+    fn in_memory_store_roundtrip_and_write_once() {
+        let s = InMemoryMetaStore::new();
+        s.put_node(key(1, 0, 64), leaf(0)).unwrap();
+        assert_eq!(s.get_node(&key(1, 0, 64)), Some(leaf(0)));
+        assert_eq!(s.get_node(&key(2, 0, 64)), None);
+        assert_eq!(s.node_count(), 1);
+        // idempotent
+        s.put_node(key(1, 0, 64), leaf(0)).unwrap();
+        // conflicting
+        assert!(s.put_node(key(1, 0, 64), leaf(1)).is_err());
+    }
+
+    #[test]
+    fn dht_implements_metadata_store() {
+        let dht: Dht<NodeKey, NodeBody> = Dht::new(4, 16, 2).unwrap();
+        let store: &dyn MetadataStore = &dht;
+        store.put_node(key(1, 0, 64), leaf(0)).unwrap();
+        store.put_node(key(1, 64, 64), leaf(1)).unwrap();
+        assert_eq!(store.get_node(&key(1, 0, 64)), Some(leaf(0)));
+        // With replication 2 each node is stored twice across the DHT.
+        assert_eq!(store.node_count(), 4);
+    }
+
+    #[test]
+    fn cache_hits_and_misses_are_counted() {
+        let inner = Arc::new(InMemoryMetaStore::new());
+        inner.put_node(key(3, 0, 64), leaf(0)).unwrap();
+        let cached = CachedMetadataStore::new(Arc::clone(&inner));
+
+        // First get: miss, populated from inner.
+        assert_eq!(cached.get_node(&key(3, 0, 64)), Some(leaf(0)));
+        assert_eq!(cached.misses(), 1);
+        assert_eq!(cached.hits(), 0);
+        // Second get: hit.
+        assert_eq!(cached.get_node(&key(3, 0, 64)), Some(leaf(0)));
+        assert_eq!(cached.hits(), 1);
+        // Unknown key: miss, not cached.
+        assert_eq!(cached.get_node(&key(9, 0, 64)), None);
+        assert_eq!(cached.misses(), 2);
+    }
+
+    #[test]
+    fn cache_put_populates_cache_and_inner() {
+        let inner = Arc::new(InMemoryMetaStore::new());
+        let cached = CachedMetadataStore::new(Arc::clone(&inner));
+        let inner_body = NodeBody::Inner(InnerNode {
+            left: None,
+            right: None,
+        });
+        cached.put_node(key(2, 0, 128), inner_body.clone()).unwrap();
+        // Served from cache without touching the inner store's counters.
+        assert_eq!(cached.get_node(&key(2, 0, 128)), Some(inner_body.clone()));
+        assert_eq!(cached.hits(), 1);
+        assert_eq!(cached.misses(), 0);
+        // And the inner store holds it too.
+        assert_eq!(inner.get_node(&key(2, 0, 128)), Some(inner_body));
+    }
+}

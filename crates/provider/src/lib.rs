@@ -1,0 +1,25 @@
+//! Data providers and the provider manager.
+//!
+//! In BlobSeer the *data providers* physically store the fixed-size chunks
+//! blobs are striped into, while the *provider manager* decides which chunks
+//! go to which providers when writes and appends are issued (the
+//! "configurable chunk distribution strategy" of the paper).
+//!
+//! * [`store`] — chunk storage backends: a RAM store (the paper's initial
+//!   prototype) and a persistent, file-backed store that keeps the RAM store
+//!   as a cache (Section IV.B adds "persistent data and metadata storage
+//!   while keeping our initial RAM-based storage scheme as an underlying
+//!   caching mechanism").
+//! * [`provider`] — a data provider node: a store plus statistics and a
+//!   failure switch.
+//! * [`manager`] — the provider manager: registry, heartbeats, load reports
+//!   and placement strategies (round-robin, random, least-loaded,
+//!   QoS-aware).
+
+pub mod manager;
+pub mod provider;
+pub mod store;
+
+pub use manager::{PlacementRequest, ProviderManager, ProviderStatus};
+pub use provider::{DataProvider, ProviderStats};
+pub use store::{ChunkStore, PersistentStore, RamStore};

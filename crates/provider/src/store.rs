@@ -1,0 +1,373 @@
+//! Chunk storage backends.
+//!
+//! Two backends are provided, matching the evolution described in the paper:
+//!
+//! * [`RamStore`] — chunks live in a hash map in memory. This is the
+//!   original BlobSeer prototype's storage scheme and the default for tests,
+//!   examples and the simulator.
+//! * [`PersistentStore`] — chunks are appended to a log file on disk with an
+//!   in-memory index, and a bounded [`RamStore`] acts as a read cache in
+//!   front of it. This mirrors Section IV.B ("persistent data and metadata
+//!   storage while keeping our initial RAM-based storage scheme as an
+//!   underlying caching mechanism").
+
+use blobseer_types::{BlobError, ChunkId, ProviderId, Result};
+use bytes::Bytes;
+use parking_lot::{Mutex, RwLock};
+use std::collections::{HashMap, VecDeque};
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// Abstraction over chunk storage so that providers can swap backends.
+pub trait ChunkStore: Send + Sync {
+    /// Stores a chunk. Chunks are immutable: storing the same id twice with
+    /// different contents is an error, storing identical contents is a no-op.
+    fn put(&self, id: ChunkId, data: Bytes) -> Result<()>;
+
+    /// Fetches a chunk, or `None` if this store does not hold it.
+    fn get(&self, id: &ChunkId) -> Option<Bytes>;
+
+    /// Whether the store holds the chunk.
+    fn contains(&self, id: &ChunkId) -> bool {
+        self.get(id).is_some()
+    }
+
+    /// Number of chunks held.
+    fn chunk_count(&self) -> usize;
+
+    /// Total payload bytes held.
+    fn bytes_stored(&self) -> u64;
+}
+
+/// In-memory chunk store.
+///
+/// When constructed with a capacity limit it behaves as an LRU cache
+/// (evicting the least recently inserted/accessed chunk); without a limit it
+/// keeps everything, which is the behaviour of the original RAM-only
+/// prototype.
+pub struct RamStore {
+    inner: RwLock<RamInner>,
+    capacity_bytes: Option<u64>,
+}
+
+struct RamInner {
+    chunks: HashMap<ChunkId, Bytes>,
+    lru: VecDeque<ChunkId>,
+    bytes: u64,
+}
+
+impl RamStore {
+    /// Creates an unbounded in-memory store.
+    #[must_use]
+    pub fn unbounded() -> Self {
+        RamStore {
+            inner: RwLock::new(RamInner {
+                chunks: HashMap::new(),
+                lru: VecDeque::new(),
+                bytes: 0,
+            }),
+            capacity_bytes: None,
+        }
+    }
+
+    /// Creates a store that evicts least-recently-used chunks once it holds
+    /// more than `capacity_bytes` bytes.
+    #[must_use]
+    pub fn with_capacity(capacity_bytes: u64) -> Self {
+        RamStore {
+            inner: RwLock::new(RamInner {
+                chunks: HashMap::new(),
+                lru: VecDeque::new(),
+                bytes: 0,
+            }),
+            capacity_bytes: Some(capacity_bytes),
+        }
+    }
+
+    fn evict_if_needed(inner: &mut RamInner, capacity: u64) {
+        while inner.bytes > capacity {
+            let Some(victim) = inner.lru.pop_front() else {
+                break;
+            };
+            if let Some(data) = inner.chunks.remove(&victim) {
+                inner.bytes -= data.len() as u64;
+            }
+        }
+    }
+}
+
+impl Default for RamStore {
+    fn default() -> Self {
+        RamStore::unbounded()
+    }
+}
+
+impl ChunkStore for RamStore {
+    fn put(&self, id: ChunkId, data: Bytes) -> Result<()> {
+        let mut inner = self.inner.write();
+        if let Some(existing) = inner.chunks.get(&id) {
+            if existing == &data {
+                return Ok(());
+            }
+            return Err(BlobError::Internal(format!(
+                "conflicting immutable chunk write for {id}"
+            )));
+        }
+        inner.bytes += data.len() as u64;
+        inner.chunks.insert(id, data);
+        inner.lru.push_back(id);
+        if let Some(capacity) = self.capacity_bytes {
+            Self::evict_if_needed(&mut inner, capacity);
+        }
+        Ok(())
+    }
+
+    fn get(&self, id: &ChunkId) -> Option<Bytes> {
+        self.inner.read().chunks.get(id).cloned()
+    }
+
+    fn chunk_count(&self) -> usize {
+        self.inner.read().chunks.len()
+    }
+
+    fn bytes_stored(&self) -> u64 {
+        self.inner.read().bytes
+    }
+}
+
+/// Location of a chunk inside the persistent log file.
+#[derive(Debug, Clone, Copy)]
+struct LogEntry {
+    offset: u64,
+    len: u32,
+}
+
+/// File-backed chunk store: chunks are appended to a single log file and an
+/// in-memory index maps chunk ids to their position. A bounded [`RamStore`]
+/// caches recently written/read chunks.
+pub struct PersistentStore {
+    path: PathBuf,
+    file: Mutex<File>,
+    index: RwLock<HashMap<ChunkId, LogEntry>>,
+    cache: RamStore,
+    bytes: RwLock<u64>,
+}
+
+impl PersistentStore {
+    /// Opens (or creates) a persistent store backed by the file at `path`,
+    /// with an LRU read cache of `cache_bytes` bytes.
+    pub fn open(path: impl AsRef<Path>, cache_bytes: u64) -> Result<Self> {
+        let path = path.as_ref().to_path_buf();
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        let file = OpenOptions::new()
+            .create(true)
+            .read(true)
+            .append(true)
+            .open(&path)?;
+        Ok(PersistentStore {
+            path,
+            file: Mutex::new(file),
+            index: RwLock::new(HashMap::new()),
+            cache: RamStore::with_capacity(cache_bytes),
+            bytes: RwLock::new(0),
+        })
+    }
+
+    /// Path of the backing log file.
+    #[must_use]
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Number of chunks currently held in the RAM cache (for tests and
+    /// monitoring).
+    #[must_use]
+    pub fn cached_chunks(&self) -> usize {
+        self.cache.chunk_count()
+    }
+}
+
+impl ChunkStore for PersistentStore {
+    fn put(&self, id: ChunkId, data: Bytes) -> Result<()> {
+        {
+            let index = self.index.read();
+            if index.contains_key(&id) {
+                // Immutable chunks: verify idempotence through the cache or
+                // the log and otherwise reject.
+                if let Some(existing) = self.get(&id) {
+                    if existing == data {
+                        return Ok(());
+                    }
+                }
+                return Err(BlobError::Internal(format!(
+                    "conflicting immutable chunk write for {id}"
+                )));
+            }
+        }
+        let offset = {
+            let mut file = self.file.lock();
+            let offset = file.seek(SeekFrom::End(0))?;
+            file.write_all(&data)?;
+            offset
+        };
+        self.index.write().insert(
+            id,
+            LogEntry {
+                offset,
+                len: data.len() as u32,
+            },
+        );
+        *self.bytes.write() += data.len() as u64;
+        // Populate the cache so immediately following reads are RAM hits.
+        let _ = self.cache.put(id, data);
+        Ok(())
+    }
+
+    fn get(&self, id: &ChunkId) -> Option<Bytes> {
+        if let Some(hit) = self.cache.get(id) {
+            return Some(hit);
+        }
+        let entry = *self.index.read().get(id)?;
+        let mut buf = vec![0u8; entry.len as usize];
+        {
+            let mut file = self.file.lock();
+            if file.seek(SeekFrom::Start(entry.offset)).is_err() {
+                return None;
+            }
+            if file.read_exact(&mut buf).is_err() {
+                return None;
+            }
+        }
+        let data = Bytes::from(buf);
+        let _ = self.cache.put(*id, data.clone());
+        Some(data)
+    }
+
+    fn chunk_count(&self) -> usize {
+        self.index.read().len()
+    }
+
+    fn bytes_stored(&self) -> u64 {
+        *self.bytes.read()
+    }
+}
+
+/// Convenience used by tests in several crates: a provider id that is never
+/// registered anywhere.
+pub const TEST_PROVIDER: ProviderId = ProviderId(u32::MAX);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chunk(blob: u64, tag: u64, slot: u64) -> ChunkId {
+        ChunkId {
+            blob: blobseer_types::BlobId(blob),
+            write_tag: tag,
+            slot,
+        }
+    }
+
+    #[test]
+    fn ram_store_roundtrip_and_accounting() {
+        let s = RamStore::unbounded();
+        s.put(chunk(1, 1, 0), Bytes::from_static(b"hello")).unwrap();
+        s.put(chunk(1, 1, 1), Bytes::from_static(b"world!")).unwrap();
+        assert_eq!(s.get(&chunk(1, 1, 0)), Some(Bytes::from_static(b"hello")));
+        assert_eq!(s.get(&chunk(1, 2, 0)), None);
+        assert_eq!(s.chunk_count(), 2);
+        assert_eq!(s.bytes_stored(), 11);
+        assert!(s.contains(&chunk(1, 1, 1)));
+    }
+
+    #[test]
+    fn ram_store_rejects_conflicting_rewrites() {
+        let s = RamStore::unbounded();
+        s.put(chunk(1, 1, 0), Bytes::from_static(b"aaaa")).unwrap();
+        s.put(chunk(1, 1, 0), Bytes::from_static(b"aaaa")).unwrap();
+        assert!(s.put(chunk(1, 1, 0), Bytes::from_static(b"bbbb")).is_err());
+    }
+
+    #[test]
+    fn bounded_ram_store_evicts_oldest() {
+        let s = RamStore::with_capacity(10);
+        s.put(chunk(1, 1, 0), Bytes::from(vec![0u8; 6])).unwrap();
+        s.put(chunk(1, 1, 1), Bytes::from(vec![1u8; 6])).unwrap();
+        // 12 bytes > 10: the first chunk is evicted.
+        assert_eq!(s.get(&chunk(1, 1, 0)), None);
+        assert!(s.get(&chunk(1, 1, 1)).is_some());
+        assert!(s.bytes_stored() <= 10);
+    }
+
+    #[test]
+    fn persistent_store_roundtrip_and_cache() {
+        let dir = std::env::temp_dir().join(format!("blobseer-test-{}", std::process::id()));
+        let path = dir.join("persistent_roundtrip.log");
+        let _ = std::fs::remove_file(&path);
+        let s = PersistentStore::open(&path, 1024).unwrap();
+        s.put(chunk(7, 9, 0), Bytes::from_static(b"persist me")).unwrap();
+        s.put(chunk(7, 9, 1), Bytes::from_static(b"and me too")).unwrap();
+        assert_eq!(s.chunk_count(), 2);
+        assert_eq!(s.bytes_stored(), 20);
+        assert_eq!(
+            s.get(&chunk(7, 9, 0)),
+            Some(Bytes::from_static(b"persist me"))
+        );
+        assert!(s.cached_chunks() >= 1);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn persistent_store_reads_through_after_cache_eviction() {
+        let dir = std::env::temp_dir().join(format!("blobseer-test-{}", std::process::id()));
+        let path = dir.join("persistent_eviction.log");
+        let _ = std::fs::remove_file(&path);
+        // Cache of 8 bytes: every new chunk evicts the previous one.
+        let s = PersistentStore::open(&path, 8).unwrap();
+        for i in 0..8u64 {
+            s.put(chunk(1, 2, i), Bytes::from(vec![i as u8; 8])).unwrap();
+        }
+        // All chunks are still readable from disk.
+        for i in 0..8u64 {
+            assert_eq!(s.get(&chunk(1, 2, i)), Some(Bytes::from(vec![i as u8; 8])));
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn persistent_store_rejects_conflicting_rewrites() {
+        let dir = std::env::temp_dir().join(format!("blobseer-test-{}", std::process::id()));
+        let path = dir.join("persistent_conflict.log");
+        let _ = std::fs::remove_file(&path);
+        let s = PersistentStore::open(&path, 64).unwrap();
+        s.put(chunk(3, 3, 3), Bytes::from_static(b"v1")).unwrap();
+        s.put(chunk(3, 3, 3), Bytes::from_static(b"v1")).unwrap();
+        assert!(s.put(chunk(3, 3, 3), Bytes::from_static(b"v2")).is_err());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn concurrent_ram_store_access_is_consistent() {
+        use std::sync::Arc;
+        let s = Arc::new(RamStore::unbounded());
+        let mut handles = Vec::new();
+        for t in 0..8u64 {
+            let s = Arc::clone(&s);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..200u64 {
+                    let id = chunk(t, t, i);
+                    s.put(id, Bytes::from(vec![t as u8; 16])).unwrap();
+                    assert_eq!(s.get(&id).unwrap().len(), 16);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(s.chunk_count(), 1_600);
+        assert_eq!(s.bytes_stored(), 1_600 * 16);
+    }
+}

@@ -1,0 +1,216 @@
+//! The QoS feedback loop: from behaviour states to placement decisions.
+//!
+//! The paper's approach is offline: monitoring data is analysed, dangerous
+//! behaviour patterns are identified, and the storage service is adjusted to
+//! avoid them. [`QosController`] packages that loop: it periodically samples
+//! the monitoring collector, refits (or reuses) the behaviour model, scores
+//! every provider by how often its recent windows fall into dangerous
+//! states, and pushes the scores into the provider manager so that the
+//! QoS-aware placement policy steers new chunks away from flagged providers.
+
+use crate::model::BehaviourModel;
+use crate::monitor::{MonitoringCollector, ProviderWindow};
+use blobseer_provider::ProviderManager;
+use blobseer_types::{ProviderId, Result};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// The feedback controller.
+pub struct QosController {
+    collector: Arc<MonitoringCollector>,
+    manager: Arc<ProviderManager>,
+    /// Number of behaviour states the model is fitted with.
+    states: usize,
+    /// How many recent windows per provider are considered when scoring.
+    scoring_horizon: usize,
+    model: Option<BehaviourModel>,
+}
+
+impl QosController {
+    /// Creates a controller that fits models with `states` states and scores
+    /// providers over their last `scoring_horizon` windows.
+    pub fn new(
+        collector: Arc<MonitoringCollector>,
+        manager: Arc<ProviderManager>,
+        states: usize,
+        scoring_horizon: usize,
+    ) -> Self {
+        QosController {
+            collector,
+            manager,
+            states: states.max(2),
+            scoring_horizon: scoring_horizon.max(1),
+            model: None,
+        }
+    }
+
+    /// The currently fitted model, if any.
+    pub fn model(&self) -> Option<&BehaviourModel> {
+        self.model.as_ref()
+    }
+
+    /// Fits (or refits) the behaviour model from the full monitoring history
+    /// collected so far. Returns the number of dangerous states found.
+    pub fn refit(&mut self) -> usize {
+        let history = self.collector.history();
+        let model = BehaviourModel::fit(&history, self.states);
+        let dangerous = model.dangerous_states();
+        self.model = Some(model);
+        dangerous
+    }
+
+    /// Scores every provider from its recent windows: the fraction of
+    /// non-dangerous windows among the last `scoring_horizon` ones. A
+    /// provider with no windows keeps the neutral score 1.
+    pub fn scores(&self) -> HashMap<ProviderId, f64> {
+        let Some(model) = &self.model else {
+            return HashMap::new();
+        };
+        let mut per_provider: HashMap<ProviderId, Vec<&ProviderWindow>> = HashMap::new();
+        let history = self.collector.history();
+        for window in &history {
+            per_provider.entry(window.provider).or_default().push(window);
+        }
+        per_provider
+            .into_iter()
+            .map(|(provider, mut windows)| {
+                windows.sort_by_key(|w| w.window);
+                let recent: Vec<&&ProviderWindow> =
+                    windows.iter().rev().take(self.scoring_horizon).collect();
+                let dangerous = recent.iter().filter(|w| model.is_dangerous(w)).count();
+                let score = 1.0 - dangerous as f64 / recent.len().max(1) as f64;
+                (provider, score)
+            })
+            .collect()
+    }
+
+    /// One full control step: sample monitoring, refit the model and push
+    /// the per-provider scores into the provider manager. Returns the
+    /// providers whose score dropped below 0.5 (the "avoid these" set).
+    pub fn step(&mut self) -> Result<Vec<ProviderId>> {
+        self.collector.sample();
+        self.refit();
+        let scores = self.scores();
+        let mut flagged = Vec::new();
+        for (provider, score) in &scores {
+            self.manager.set_qos_score(*provider, *score)?;
+            if *score < 0.5 {
+                flagged.push(*provider);
+            }
+        }
+        flagged.sort();
+        Ok(flagged)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blobseer_provider::{DataProvider, PlacementRequest};
+    use blobseer_types::{BlobId, ChunkId, PlacementPolicy};
+    use bytes::Bytes;
+
+    /// Builds a 4-provider deployment where provider 3 rejects everything
+    /// (it is failed) while the others serve traffic normally.
+    fn deployment() -> (Vec<Arc<DataProvider>>, Arc<ProviderManager>, Arc<MonitoringCollector>) {
+        let providers: Vec<Arc<DataProvider>> = (0..4)
+            .map(|i| Arc::new(DataProvider::in_memory(ProviderId(i))))
+            .collect();
+        let manager = Arc::new(ProviderManager::with_providers(PlacementPolicy::QosAware, 4));
+        let collector = Arc::new(MonitoringCollector::new(providers.clone()));
+        (providers, manager, collector)
+    }
+
+    fn generate_traffic(providers: &[Arc<DataProvider>], rounds: u64) {
+        for round in 0..rounds {
+            for (i, p) in providers.iter().enumerate() {
+                for j in 0..20u64 {
+                    let id = ChunkId {
+                        blob: BlobId(round),
+                        write_tag: i as u64,
+                        slot: j,
+                    };
+                    // The failed provider rejects these, producing the
+                    // "dangerous" monitoring signature.
+                    let _ = p.put_chunk(id, Bytes::from(vec![0u8; 256]));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn controller_flags_the_misbehaving_provider() {
+        let (providers, manager, collector) = deployment();
+        providers[3].set_alive(false);
+        let mut controller = QosController::new(Arc::clone(&collector), Arc::clone(&manager), 3, 4);
+
+        // A few monitoring rounds with traffic in between.
+        for _ in 0..6 {
+            generate_traffic(&providers, 1);
+            collector.sample();
+        }
+        let flagged = controller.step().unwrap();
+        assert_eq!(flagged, vec![ProviderId(3)]);
+
+        // The provider manager received the scores: the QoS-aware policy now
+        // avoids provider 3 entirely.
+        let placement = manager
+            .allocate(PlacementRequest {
+                chunk_count: 12,
+                replication: 1,
+            })
+            .unwrap();
+        assert!(placement.iter().all(|r| r[0] != ProviderId(3)));
+        let bad = manager.status(ProviderId(3)).unwrap().qos_score;
+        let good = manager.status(ProviderId(0)).unwrap().qos_score;
+        assert!(bad < 0.5, "failed provider must fall below the avoidance threshold ({bad})");
+        assert!(good > 0.5, "healthy provider must stay usable ({good})");
+        assert!(good > bad);
+    }
+
+    #[test]
+    fn healthy_deployment_flags_nobody() {
+        let (providers, manager, collector) = deployment();
+        let mut controller = QosController::new(Arc::clone(&collector), Arc::clone(&manager), 3, 4);
+        for _ in 0..5 {
+            generate_traffic(&providers, 1);
+            collector.sample();
+        }
+        let flagged = controller.step().unwrap();
+        assert!(flagged.is_empty(), "no provider misbehaves, none should be flagged");
+    }
+
+    #[test]
+    fn scores_are_empty_before_any_model_is_fitted() {
+        let (_providers, manager, collector) = deployment();
+        let controller = QosController::new(collector, manager, 3, 4);
+        assert!(controller.scores().is_empty());
+        assert!(controller.model().is_none());
+    }
+
+    #[test]
+    fn recovery_raises_the_score_again() {
+        let (providers, manager, collector) = deployment();
+        providers[3].set_alive(false);
+        let mut controller = QosController::new(Arc::clone(&collector), Arc::clone(&manager), 3, 3);
+        for _ in 0..4 {
+            generate_traffic(&providers, 1);
+            collector.sample();
+        }
+        controller.step().unwrap();
+        assert!(manager.status(ProviderId(3)).unwrap().qos_score < 0.5);
+
+        // Provider 3 recovers and serves traffic again; after enough healthy
+        // windows its score climbs back above the avoidance threshold.
+        providers[3].set_alive(true);
+        for _ in 0..8 {
+            generate_traffic(&providers, 1);
+            collector.sample();
+        }
+        controller.step().unwrap();
+        assert!(
+            manager.status(ProviderId(3)).unwrap().qos_score > 0.5,
+            "recovered provider must be usable again"
+        );
+    }
+}

@@ -1,0 +1,26 @@
+//! Monitoring, behaviour modelling and QoS feedback.
+//!
+//! Section IV.E of the paper improves BlobSeer's quality of service by
+//! combining *global behaviour modelling* (GloBeM, an offline machine-
+//! learning analysis of monitoring data) with client-side feedback: the
+//! model identifies "dangerous behaviour patterns" of the storage service
+//! and the placement layer is steered away from providers exhibiting them.
+//!
+//! GloBeM itself is proprietary; this crate plays its role with the same
+//! inputs and outputs:
+//!
+//! * [`monitor::MonitoringCollector`] turns raw provider statistics into
+//!   per-window feature vectors (throughput, request rate, rejection rate);
+//! * [`model::BehaviourModel`] clusters the windows with k-means and labels
+//!   the clusters whose centroids show degraded service as *dangerous*;
+//! * [`feedback::QosController`] scores each provider from its recent
+//!   windows and pushes the scores into the provider manager, whose
+//!   QoS-aware placement policy then avoids the flagged providers.
+
+pub mod feedback;
+pub mod model;
+pub mod monitor;
+
+pub use feedback::QosController;
+pub use model::{BehaviourModel, BehaviourState};
+pub use monitor::{MonitoringCollector, ProviderWindow};

@@ -1,0 +1,232 @@
+//! Behaviour modelling: clustering monitoring windows into a small set of
+//! global behaviour states and flagging the dangerous ones.
+//!
+//! GloBeM (the technique the paper uses) builds a state model of the whole
+//! grid from monitoring data. The reproduction uses a deliberately simple
+//! but faithful stand-in: k-means over per-window feature vectors, followed
+//! by a rule that labels states *dangerous* when their centroid shows many
+//! rejected requests or unusually little served traffic — the same
+//! "dangerous behaviour patterns" the paper's feedback loop avoids.
+
+use crate::monitor::ProviderWindow;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// One behaviour state discovered by the model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BehaviourState {
+    /// State index (cluster id).
+    pub id: usize,
+    /// Cluster centroid in feature space (`[ops, rejected, stored_mib]`).
+    pub centroid: [f64; 3],
+    /// Number of windows assigned to the state.
+    pub population: usize,
+    /// Whether the state is considered dangerous for quality of service.
+    pub dangerous: bool,
+}
+
+/// A fitted behaviour model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BehaviourModel {
+    states: Vec<BehaviourState>,
+}
+
+impl BehaviourModel {
+    /// Fits a model with `k` states to the given monitoring windows using
+    /// k-means (deterministic, seeded initialisation).
+    ///
+    /// Returns a trivial single-state model when fewer than `k` windows are
+    /// available.
+    #[must_use]
+    pub fn fit(windows: &[ProviderWindow], k: usize) -> Self {
+        let k = k.max(1);
+        let points: Vec<[f64; 3]> = windows.iter().map(ProviderWindow::features).collect();
+        if points.len() <= k {
+            let centroid = mean_point(&points);
+            return BehaviourModel {
+                states: vec![BehaviourState {
+                    id: 0,
+                    centroid,
+                    population: points.len(),
+                    dangerous: false,
+                }],
+            };
+        }
+
+        // k-means with deterministic seeding so experiments are reproducible.
+        let mut rng = StdRng::seed_from_u64(0x910b_a11);
+        let mut centroids: Vec<[f64; 3]> = points
+            .choose_multiple(&mut rng, k)
+            .copied()
+            .collect();
+        let mut assignment = vec![0usize; points.len()];
+        for _ in 0..50 {
+            let mut changed = false;
+            for (i, point) in points.iter().enumerate() {
+                let nearest = nearest_centroid(point, &centroids);
+                if assignment[i] != nearest {
+                    assignment[i] = nearest;
+                    changed = true;
+                }
+            }
+            for (c, centroid) in centroids.iter_mut().enumerate() {
+                let members: Vec<[f64; 3]> = points
+                    .iter()
+                    .zip(&assignment)
+                    .filter(|(_, &a)| a == c)
+                    .map(|(p, _)| *p)
+                    .collect();
+                if !members.is_empty() {
+                    *centroid = mean_point(&members);
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+
+        // Label dangerous states: a state is dangerous when its centroid
+        // rejects requests, or when it serves markedly less traffic than the
+        // global average while other states are active.
+        let global_ops = mean_point(&points)[0];
+        let states = centroids
+            .iter()
+            .enumerate()
+            .map(|(id, centroid)| {
+                let population = assignment.iter().filter(|&&a| a == id).count();
+                let dangerous = centroid[1] > 0.5
+                    || (global_ops > 0.0 && centroid[0] < 0.25 * global_ops);
+                BehaviourState {
+                    id,
+                    centroid: *centroid,
+                    population,
+                    dangerous,
+                }
+            })
+            .collect();
+        BehaviourModel { states }
+    }
+
+    /// The discovered states.
+    #[must_use]
+    pub fn states(&self) -> &[BehaviourState] {
+        &self.states
+    }
+
+    /// The state a window belongs to.
+    #[must_use]
+    pub fn classify(&self, window: &ProviderWindow) -> &BehaviourState {
+        let centroids: Vec<[f64; 3]> = self.states.iter().map(|s| s.centroid).collect();
+        &self.states[nearest_centroid(&window.features(), &centroids)]
+    }
+
+    /// Whether a window falls in a dangerous state.
+    #[must_use]
+    pub fn is_dangerous(&self, window: &ProviderWindow) -> bool {
+        self.classify(window).dangerous
+    }
+
+    /// Number of dangerous states in the model.
+    #[must_use]
+    pub fn dangerous_states(&self) -> usize {
+        self.states.iter().filter(|s| s.dangerous).count()
+    }
+}
+
+fn distance2(a: &[f64; 3], b: &[f64; 3]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y).powi(2)).sum()
+}
+
+fn nearest_centroid(point: &[f64; 3], centroids: &[[f64; 3]]) -> usize {
+    centroids
+        .iter()
+        .enumerate()
+        .min_by(|(_, a), (_, b)| {
+            distance2(point, a)
+                .partial_cmp(&distance2(point, b))
+                .unwrap_or(std::cmp::Ordering::Equal)
+        })
+        .map(|(i, _)| i)
+        .unwrap_or(0)
+}
+
+fn mean_point(points: &[[f64; 3]]) -> [f64; 3] {
+    if points.is_empty() {
+        return [0.0; 3];
+    }
+    let mut sum = [0.0; 3];
+    for p in points {
+        for (s, v) in sum.iter_mut().zip(p) {
+            *s += v;
+        }
+    }
+    sum.map(|s| s / points.len() as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blobseer_types::ProviderId;
+
+    fn window(provider: u32, seq: u64, ops: f64, rejected: f64) -> ProviderWindow {
+        ProviderWindow {
+            provider: ProviderId(provider),
+            window: seq,
+            ops,
+            rejected,
+            stored_mib: 10.0,
+        }
+    }
+
+    fn synthetic_history() -> Vec<ProviderWindow> {
+        let mut windows = Vec::new();
+        // Healthy windows: ~100 ops, no rejections.
+        for i in 0..40 {
+            windows.push(window(i % 4, i as u64, 95.0 + (i % 10) as f64, 0.0));
+        }
+        // Degraded windows: almost no served traffic, many rejections.
+        for i in 0..10 {
+            windows.push(window(3, 100 + i as u64, 2.0, 20.0));
+        }
+        windows
+    }
+
+    #[test]
+    fn model_separates_healthy_from_degraded_states() {
+        let history = synthetic_history();
+        let model = BehaviourModel::fit(&history, 3);
+        assert_eq!(model.states().len(), 3);
+        assert!(model.dangerous_states() >= 1, "the degraded cluster must be flagged");
+
+        // A clearly healthy window classifies into a non-dangerous state, a
+        // clearly degraded one into a dangerous state.
+        assert!(!model.is_dangerous(&window(0, 999, 100.0, 0.0)));
+        assert!(model.is_dangerous(&window(0, 999, 1.0, 25.0)));
+    }
+
+    #[test]
+    fn small_histories_fall_back_to_a_single_state() {
+        let tiny = vec![window(0, 0, 10.0, 0.0)];
+        let model = BehaviourModel::fit(&tiny, 4);
+        assert_eq!(model.states().len(), 1);
+        assert!(!model.states()[0].dangerous);
+        assert_eq!(model.states()[0].population, 1);
+    }
+
+    #[test]
+    fn fit_is_deterministic() {
+        let history = synthetic_history();
+        let a = BehaviourModel::fit(&history, 3);
+        let b = BehaviourModel::fit(&history, 3);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn populations_cover_every_window() {
+        let history = synthetic_history();
+        let model = BehaviourModel::fit(&history, 3);
+        let total: usize = model.states().iter().map(|s| s.population).sum();
+        assert_eq!(total, history.len());
+    }
+}

@@ -1,0 +1,182 @@
+//! Monitoring: turning raw provider counters into per-window feature
+//! vectors suitable for behaviour modelling.
+
+use blobseer_provider::{DataProvider, ProviderStats};
+use blobseer_types::ProviderId;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// One monitoring window of one provider: the feature vector the behaviour
+/// model works on.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProviderWindow {
+    /// Provider the window describes.
+    pub provider: ProviderId,
+    /// Window sequence number (0 is the first collected window).
+    pub window: u64,
+    /// Chunk operations (reads + writes) served during the window.
+    pub ops: f64,
+    /// Bytes stored at the end of the window, in MiB.
+    pub stored_mib: f64,
+    /// Requests rejected during the window (a failed or failing provider
+    /// rejects everything sent to it).
+    pub rejected: f64,
+}
+
+impl ProviderWindow {
+    /// The feature vector used for clustering: operations served, rejection
+    /// count and stored volume.
+    #[must_use]
+    pub fn features(&self) -> [f64; 3] {
+        [self.ops, self.rejected, self.stored_mib]
+    }
+}
+
+/// Collects periodic snapshots of provider statistics and converts them into
+/// per-window deltas.
+pub struct MonitoringCollector {
+    providers: Vec<Arc<DataProvider>>,
+    last: Mutex<HashMap<ProviderId, ProviderStats>>,
+    window: Mutex<u64>,
+    history: Mutex<Vec<ProviderWindow>>,
+}
+
+impl MonitoringCollector {
+    /// Creates a collector over the given providers.
+    pub fn new(providers: Vec<Arc<DataProvider>>) -> Self {
+        MonitoringCollector {
+            providers,
+            last: Mutex::new(HashMap::new()),
+            window: Mutex::new(0),
+            history: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Takes one monitoring sample: computes the delta of every provider's
+    /// counters since the previous sample and appends one window per
+    /// provider to the history. Returns the new windows.
+    pub fn sample(&self) -> Vec<ProviderWindow> {
+        let mut last = self.last.lock();
+        let mut window = self.window.lock();
+        let mut produced = Vec::with_capacity(self.providers.len());
+        for provider in &self.providers {
+            let id = provider.id();
+            let now = provider.stats();
+            let prev = last.get(&id).copied().unwrap_or_default();
+            let window_stats = ProviderWindow {
+                provider: id,
+                window: *window,
+                ops: (now.reads + now.writes).saturating_sub(prev.reads + prev.writes) as f64,
+                stored_mib: now.bytes as f64 / (1024.0 * 1024.0),
+                rejected: now.rejected.saturating_sub(prev.rejected) as f64,
+            };
+            last.insert(id, now);
+            produced.push(window_stats);
+        }
+        *window += 1;
+        self.history.lock().extend(produced.iter().copied());
+        produced
+    }
+
+    /// Every window collected so far.
+    pub fn history(&self) -> Vec<ProviderWindow> {
+        self.history.lock().clone()
+    }
+
+    /// The most recent window of each provider, if any.
+    pub fn latest(&self) -> HashMap<ProviderId, ProviderWindow> {
+        let mut latest: HashMap<ProviderId, ProviderWindow> = HashMap::new();
+        for w in self.history.lock().iter() {
+            latest
+                .entry(w.provider)
+                .and_modify(|existing| {
+                    if w.window > existing.window {
+                        *existing = *w;
+                    }
+                })
+                .or_insert(*w);
+        }
+        latest
+    }
+
+    /// Number of sampling rounds performed.
+    pub fn windows_collected(&self) -> u64 {
+        *self.window.lock()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blobseer_types::{BlobId, ChunkId};
+    use bytes::Bytes;
+
+    fn provider(id: u32) -> Arc<DataProvider> {
+        Arc::new(DataProvider::in_memory(ProviderId(id)))
+    }
+
+    fn chunk(slot: u64) -> ChunkId {
+        ChunkId {
+            blob: BlobId(1),
+            write_tag: 1,
+            slot,
+        }
+    }
+
+    #[test]
+    fn windows_report_deltas_not_totals() {
+        let p = provider(0);
+        let collector = MonitoringCollector::new(vec![Arc::clone(&p)]);
+        p.put_chunk(chunk(0), Bytes::from(vec![0u8; 1024])).unwrap();
+        p.put_chunk(chunk(1), Bytes::from(vec![0u8; 1024])).unwrap();
+        let w0 = collector.sample();
+        assert_eq!(w0[0].ops, 2.0);
+
+        // No traffic in the second window.
+        let w1 = collector.sample();
+        assert_eq!(w1[0].ops, 0.0);
+        assert_eq!(w1[0].window, 1);
+        assert_eq!(collector.windows_collected(), 2);
+        assert_eq!(collector.history().len(), 2);
+    }
+
+    #[test]
+    fn rejections_show_up_for_failed_providers() {
+        let p = provider(3);
+        let collector = MonitoringCollector::new(vec![Arc::clone(&p)]);
+        p.set_alive(false);
+        let _ = p.put_chunk(chunk(0), Bytes::from_static(b"x"));
+        let _ = p.get_chunk(&chunk(0));
+        let w = collector.sample();
+        assert_eq!(w[0].rejected, 2.0);
+        assert_eq!(w[0].ops, 0.0);
+    }
+
+    #[test]
+    fn latest_returns_the_newest_window_per_provider() {
+        let a = provider(0);
+        let b = provider(1);
+        let collector = MonitoringCollector::new(vec![Arc::clone(&a), Arc::clone(&b)]);
+        collector.sample();
+        a.put_chunk(chunk(0), Bytes::from_static(b"abc")).unwrap();
+        collector.sample();
+        let latest = collector.latest();
+        assert_eq!(latest.len(), 2);
+        assert_eq!(latest[&ProviderId(0)].window, 1);
+        assert_eq!(latest[&ProviderId(0)].ops, 1.0);
+        assert_eq!(latest[&ProviderId(1)].ops, 0.0);
+    }
+
+    #[test]
+    fn features_expose_the_three_dimensions() {
+        let w = ProviderWindow {
+            provider: ProviderId(0),
+            window: 0,
+            ops: 10.0,
+            stored_mib: 2.5,
+            rejected: 1.0,
+        };
+        assert_eq!(w.features(), [10.0, 1.0, 2.5]);
+    }
+}

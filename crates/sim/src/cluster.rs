@@ -1,0 +1,968 @@
+//! The simulated cluster: protocol-faithful cost accounting on top of the
+//! real BlobSeer-RS control-plane code.
+//!
+//! A [`SimulatedCluster`] owns
+//!
+//! * one FIFO [`Resource`] per contention point (version manager CPU, each
+//!   data provider's NIC in both directions, each metadata provider's
+//!   request processor, each client's NIC in both directions), and
+//! * real instances of the version manager, provider manager and metadata
+//!   DHT, which decide placement, versioning and metadata routing exactly as
+//!   the production code does.
+//!
+//! Client operations are replayed in simulated-time order; each operation
+//! runs the real protocol (ticket → chunks → metadata → publication) while
+//! charging every transfer and every request to the resource that would
+//! serve it in a distributed deployment. The result is the aggregated
+//! throughput, per-operation latencies and per-resource utilisation the
+//! paper's figures are built from.
+
+use crate::resource::{Resource, SimTime, NANOS_PER_SEC};
+use crate::workload::{OpKind, Workload};
+use blobseer_core::{VersionManager, WriteKind};
+use blobseer_dht::Dht;
+use blobseer_meta::{
+    build_write_metadata_chained, collect_leaves, publish_metadata, MetadataStore, NodeBody,
+    NodeKey, WrittenChunk,
+};
+use blobseer_provider::{PlacementRequest, ProviderManager};
+use blobseer_types::{
+    chunk_span, BlobError, BlobId, ByteRange, ChunkId, ClusterConfig, MetaNodeId, ProviderId,
+    Result,
+};
+use parking_lot::Mutex;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, HashSet};
+use std::sync::Arc;
+
+/// Wire size charged for one metadata node request/response, in bytes.
+const META_NODE_WIRE_BYTES: u64 = 96;
+
+/// Record of one completed (or failed) simulated operation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OpRecord {
+    /// Client that issued the operation.
+    pub client: usize,
+    /// Simulated start time.
+    pub start: SimTime,
+    /// Simulated completion time.
+    pub end: SimTime,
+    /// Payload bytes moved (zero if the operation failed).
+    pub bytes: u64,
+    /// Whether the operation was a write or append.
+    pub is_write: bool,
+    /// Whether the operation succeeded.
+    pub ok: bool,
+}
+
+/// Outcome of one simulated workload run.
+#[derive(Debug, Clone)]
+pub struct SimulationResult {
+    /// Time at which the last measured operation completed.
+    pub makespan_ns: SimTime,
+    /// Total payload bytes moved by successful operations.
+    pub total_bytes: u64,
+    /// Every operation, in completion order.
+    pub ops: Vec<OpRecord>,
+    /// Number of operations that failed (e.g. all replicas of a chunk were
+    /// on failed providers).
+    pub failed_ops: usize,
+    /// Total metadata tree nodes created during the measured phase.
+    pub meta_nodes_created: u64,
+    /// Per-metadata-provider number of requests served (load distribution).
+    pub meta_load: HashMap<MetaNodeId, u64>,
+    /// Per-data-provider bytes received (write load distribution).
+    pub provider_write_bytes: HashMap<ProviderId, u64>,
+}
+
+impl SimulationResult {
+    /// Aggregated throughput over the whole run, in MiB per second.
+    #[must_use]
+    pub fn aggregated_mibps(&self) -> f64 {
+        if self.makespan_ns == 0 {
+            return 0.0;
+        }
+        let seconds = self.makespan_ns as f64 / NANOS_PER_SEC as f64;
+        self.total_bytes as f64 / (1024.0 * 1024.0) / seconds
+    }
+
+    /// Mean per-operation latency in milliseconds (successful operations).
+    #[must_use]
+    pub fn mean_latency_ms(&self) -> f64 {
+        let ok: Vec<&OpRecord> = self.ops.iter().filter(|o| o.ok).collect();
+        if ok.is_empty() {
+            return 0.0;
+        }
+        let total: u128 = ok.iter().map(|o| (o.end - o.start) as u128).sum();
+        total as f64 / ok.len() as f64 / 1_000_000.0
+    }
+
+    /// Throughput per time window of `window_ns`, in MiB/s, covering the
+    /// whole makespan. Used by the QoS-stability experiment (Fig. E1).
+    #[must_use]
+    pub fn windowed_throughput_mibps(&self, window_ns: u64) -> Vec<f64> {
+        if self.makespan_ns == 0 || window_ns == 0 {
+            return Vec::new();
+        }
+        let windows = self.makespan_ns.div_ceil(window_ns) as usize;
+        let mut bytes = vec![0u64; windows];
+        for op in self.ops.iter().filter(|o| o.ok) {
+            let w = ((op.end.saturating_sub(1)) / window_ns) as usize;
+            bytes[w.min(windows - 1)] += op.bytes;
+        }
+        let window_s = window_ns as f64 / NANOS_PER_SEC as f64;
+        bytes
+            .into_iter()
+            .map(|b| b as f64 / (1024.0 * 1024.0) / window_s)
+            .collect()
+    }
+}
+
+/// A scheduled change in a data provider's health, applied while a run
+/// progresses (failure injection for the fault-tolerance and QoS
+/// experiments).
+#[derive(Debug, Clone, Copy)]
+struct HealthEvent {
+    at: SimTime,
+    provider: ProviderId,
+    kind: HealthChange,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum HealthChange {
+    Fail,
+    Recover,
+    /// The provider keeps serving but `factor` times slower (soft
+    /// degradation, the "dangerous behaviour" the QoS layer hunts for).
+    Degrade(f64),
+    RestoreSpeed,
+}
+
+/// Metadata store wrapper that records which keys a protocol step touched,
+/// so their cost can be charged to the right metadata providers.
+struct RecordingStore<'a> {
+    inner: &'a Dht<NodeKey, NodeBody>,
+    gets: Mutex<Vec<NodeKey>>,
+    puts: Mutex<Vec<NodeKey>>,
+}
+
+impl<'a> RecordingStore<'a> {
+    fn new(inner: &'a Dht<NodeKey, NodeBody>) -> Self {
+        RecordingStore {
+            inner,
+            gets: Mutex::new(Vec::new()),
+            puts: Mutex::new(Vec::new()),
+        }
+    }
+}
+
+impl MetadataStore for RecordingStore<'_> {
+    fn put_node(&self, key: NodeKey, body: NodeBody) -> Result<()> {
+        self.puts.lock().push(key);
+        self.inner.put(key, body)
+    }
+
+    fn get_node(&self, key: &NodeKey) -> Option<NodeBody> {
+        self.gets.lock().push(*key);
+        self.inner.get(key)
+    }
+
+    fn node_count(&self) -> usize {
+        self.inner.total_entries()
+    }
+}
+
+/// The simulated BlobSeer deployment.
+pub struct SimulatedCluster {
+    config: ClusterConfig,
+    version_manager: VersionManager,
+    provider_manager: ProviderManager,
+    metadata: Arc<Dht<NodeKey, NodeBody>>,
+    vm_requests: u64,
+    provider_in: Vec<Resource>,
+    provider_out: Vec<Resource>,
+    meta_cpu: Vec<Resource>,
+    failed_providers: HashSet<ProviderId>,
+    degraded: HashMap<ProviderId, f64>,
+    health_events: Vec<HealthEvent>,
+    meta_nodes_created: u64,
+}
+
+impl SimulatedCluster {
+    /// Builds a simulated deployment from a cluster configuration.
+    pub fn new(config: ClusterConfig) -> Result<Self> {
+        config.validate()?;
+        let provider_manager = ProviderManager::new(config.placement);
+        for i in 0..config.data_providers {
+            provider_manager.register(ProviderId(i as u32));
+        }
+        let metadata = Arc::new(Dht::new(
+            config.metadata_providers,
+            config.dht_virtual_nodes,
+            config.dht_replication,
+        )?);
+        let bw = config.link_bandwidth_bps;
+        let lat = config.link_latency_ns;
+        Ok(SimulatedCluster {
+            provider_in: (0..config.data_providers)
+                .map(|i| Resource::new(format!("provider-{i}-in"), bw, lat))
+                .collect(),
+            provider_out: (0..config.data_providers)
+                .map(|i| Resource::new(format!("provider-{i}-out"), bw, lat))
+                .collect(),
+            meta_cpu: (0..config.metadata_providers)
+                .map(|i| Resource::new(format!("meta-{i}"), bw, config.meta_service_ns))
+                .collect(),
+            vm_requests: 0,
+            version_manager: VersionManager::new(),
+            provider_manager,
+            metadata,
+            failed_providers: HashSet::new(),
+            degraded: HashMap::new(),
+            health_events: Vec::new(),
+            meta_nodes_created: 0,
+            config,
+        })
+    }
+
+    /// The configuration the simulation was built from.
+    pub fn config(&self) -> &ClusterConfig {
+        &self.config
+    }
+
+    /// The provider manager (exposed so experiments can adjust QoS scores,
+    /// exactly as the behaviour-modelling feedback loop would).
+    pub fn provider_manager(&self) -> &ProviderManager {
+        &self.provider_manager
+    }
+
+    /// Schedules a hard failure of `provider` during the run, lasting
+    /// `duration_ns` (recovery is scheduled automatically).
+    pub fn schedule_failure(&mut self, provider: ProviderId, at: SimTime, duration_ns: u64) {
+        self.health_events.push(HealthEvent {
+            at,
+            provider,
+            kind: HealthChange::Fail,
+        });
+        self.health_events.push(HealthEvent {
+            at: at + duration_ns,
+            provider,
+            kind: HealthChange::Recover,
+        });
+    }
+
+    /// Schedules a soft degradation: between `at` and `at + duration_ns` the
+    /// provider serves `slowdown` times slower than nominal.
+    pub fn schedule_degradation(
+        &mut self,
+        provider: ProviderId,
+        at: SimTime,
+        duration_ns: u64,
+        slowdown: f64,
+    ) {
+        self.health_events.push(HealthEvent {
+            at,
+            provider,
+            kind: HealthChange::Degrade(slowdown.max(1.0)),
+        });
+        self.health_events.push(HealthEvent {
+            at: at + duration_ns,
+            provider,
+            kind: HealthChange::RestoreSpeed,
+        });
+    }
+
+    /// Immediately lowers/raises a provider's QoS score in the provider
+    /// manager (the knob the behaviour-model feedback loop turns).
+    pub fn set_provider_qos(&self, provider: ProviderId, score: f64) -> Result<()> {
+        self.provider_manager.set_qos_score(provider, score)
+    }
+
+    fn apply_health_events(&mut self, now: SimTime) {
+        // Events are few; a linear scan keeps the code simple.
+        let due: Vec<HealthEvent> = self
+            .health_events
+            .iter()
+            .filter(|e| e.at <= now)
+            .copied()
+            .collect();
+        self.health_events.retain(|e| e.at > now);
+        for event in due {
+            match event.kind {
+                HealthChange::Fail => {
+                    self.failed_providers.insert(event.provider);
+                    let _ = self.provider_manager.set_alive(event.provider, false);
+                }
+                HealthChange::Recover => {
+                    self.failed_providers.remove(&event.provider);
+                    let _ = self.provider_manager.set_alive(event.provider, true);
+                }
+                HealthChange::Degrade(f) => {
+                    self.degraded.insert(event.provider, f);
+                }
+                HealthChange::RestoreSpeed => {
+                    self.degraded.remove(&event.provider);
+                }
+            }
+        }
+    }
+
+    fn slowdown(&self, provider: ProviderId) -> f64 {
+        self.degraded.get(&provider).copied().unwrap_or(1.0)
+    }
+
+    /// The version manager is a lightweight control-plane hop: every request
+    /// costs a fixed service time but the manager never becomes a queueing
+    /// bottleneck at the request sizes involved (a few dozen bytes), so it
+    /// is modelled as a pure delay.
+    fn vm_delay(&mut self, now: SimTime) -> SimTime {
+        self.vm_requests += 1;
+        now + self.config.version_manager_service_ns
+    }
+
+    /// Runs a workload and returns its measured result.
+    ///
+    /// The blob is created fresh, pre-loaded (untimed) if the workload needs
+    /// existing data, and then every client replays its operation sequence
+    /// concurrently in simulated time.
+    pub fn run(&mut self, workload: &Workload) -> Result<SimulationResult> {
+        // Fresh measurement state (the control plane keeps its blobs, which
+        // is harmless because every run uses a new blob).
+        self.vm_requests = 0;
+        for r in self
+            .provider_in
+            .iter_mut()
+            .chain(self.provider_out.iter_mut())
+            .chain(self.meta_cpu.iter_mut())
+        {
+            r.reset();
+        }
+        self.meta_nodes_created = 0;
+
+        let blob = self.version_manager.create_blob(workload.blob_config)?;
+        if workload.preload_bytes > 0 {
+            self.preload(blob, workload)?;
+        }
+
+        let mut client_out: Vec<Resource> = (0..workload.clients)
+            .map(|i| {
+                Resource::new(
+                    format!("client-{i}-out"),
+                    self.config.link_bandwidth_bps,
+                    self.config.link_latency_ns,
+                )
+            })
+            .collect();
+        let mut client_in: Vec<Resource> = (0..workload.clients)
+            .map(|i| {
+                Resource::new(
+                    format!("client-{i}-in"),
+                    self.config.link_bandwidth_bps,
+                    self.config.link_latency_ns,
+                )
+            })
+            .collect();
+        let mut client_cache: Vec<HashSet<NodeKey>> =
+            vec![HashSet::new(); workload.clients];
+
+        // Event queue: (next ready time, client, next op index).
+        let mut queue: BinaryHeap<Reverse<(SimTime, usize, usize)>> = BinaryHeap::new();
+        for c in 0..workload.clients {
+            if !workload.ops[c].is_empty() {
+                queue.push(Reverse((0, c, 0)));
+            }
+        }
+
+        let mut ops: Vec<OpRecord> = Vec::with_capacity(workload.total_ops());
+        let mut write_tag: u64 = 1;
+        while let Some(Reverse((now, client, op_index))) = queue.pop() {
+            self.apply_health_events(now);
+            let op = workload.ops[client][op_index];
+            write_tag += 1;
+            let record = self.simulate_op(
+                blob,
+                client,
+                now,
+                op,
+                write_tag,
+                &mut client_out[client],
+                &mut client_in[client],
+                &mut client_cache[client],
+            )?;
+            let end = record.end;
+            ops.push(record);
+            if op_index + 1 < workload.ops[client].len() {
+                queue.push(Reverse((end, client, op_index + 1)));
+            }
+        }
+
+        let makespan_ns = ops.iter().map(|o| o.end).max().unwrap_or(0);
+        let total_bytes = ops.iter().filter(|o| o.ok).map(|o| o.bytes).sum();
+        let failed_ops = ops.iter().filter(|o| !o.ok).count();
+        let meta_load = self
+            .meta_cpu
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (MetaNodeId(i as u32), r.requests()))
+            .collect();
+        let provider_write_bytes = self
+            .provider_in
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (ProviderId(i as u32), r.bytes()))
+            .collect();
+        Ok(SimulationResult {
+            makespan_ns,
+            total_bytes,
+            ops,
+            failed_ops,
+            meta_nodes_created: self.meta_nodes_created,
+            meta_load,
+            provider_write_bytes,
+        })
+    }
+
+    /// Loads `preload_bytes` of data into the blob without charging any
+    /// resource (the paper's read experiments measure reads of already
+    /// stored data).
+    fn preload(&mut self, blob: BlobId, workload: &Workload) -> Result<()> {
+        let chunk_size = workload.blob_config.chunk_size;
+        // Append in large batches to keep the number of snapshots small.
+        let batch = (chunk_size * 256).min(workload.preload_bytes.max(chunk_size));
+        let mut remaining = workload.preload_bytes;
+        let mut tag = u64::MAX / 2;
+        while remaining > 0 {
+            let len = batch.min(remaining);
+            remaining -= len;
+            tag += 1;
+            let ticket = self
+                .version_manager
+                .assign_ticket(blob, WriteKind::Append { len })?;
+            let slots = chunk_span(ByteRange::new(ticket.offset, len), chunk_size);
+            let placement = self.provider_manager.allocate(PlacementRequest {
+                chunk_count: slots.len(),
+                replication: workload.blob_config.replication,
+            })?;
+            let chunks: Vec<WrittenChunk> = slots
+                .iter()
+                .zip(&placement)
+                .map(|(slot, providers)| {
+                    let end = ((slot.index + 1) * chunk_size).min(ticket.new_size);
+                    WrittenChunk {
+                        slot: slot.index,
+                        chunk: ChunkId {
+                            blob,
+                            write_tag: tag,
+                            slot: slot.index,
+                        },
+                        providers: providers.clone(),
+                        len: end - slot.index * chunk_size,
+                    }
+                })
+                .collect();
+            let meta = build_write_metadata_chained(
+                self.metadata.as_ref(),
+                blob,
+                &ticket.chain,
+                ticket.version,
+                ticket.new_size,
+                &chunks,
+            )?;
+            publish_metadata(self.metadata.as_ref(), &meta)?;
+            self.version_manager.complete_write(blob, ticket.version)?;
+        }
+        Ok(())
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn simulate_op(
+        &mut self,
+        blob: BlobId,
+        client: usize,
+        now: SimTime,
+        op: OpKind,
+        write_tag: u64,
+        client_out: &mut Resource,
+        client_in: &mut Resource,
+        cache: &mut HashSet<NodeKey>,
+    ) -> Result<OpRecord> {
+        match op {
+            OpKind::Append { .. } | OpKind::Write { .. } => {
+                self.simulate_write(blob, client, now, op, write_tag, client_out, cache)
+            }
+            OpKind::Read { offset, len } => {
+                self.simulate_read(blob, client, now, offset, len, client_out, client_in, cache)
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn simulate_write(
+        &mut self,
+        blob: BlobId,
+        client: usize,
+        now: SimTime,
+        op: OpKind,
+        write_tag: u64,
+        client_out: &mut Resource,
+        cache: &mut HashSet<NodeKey>,
+    ) -> Result<OpRecord> {
+        let (kind, len) = match op {
+            OpKind::Append { len } => (WriteKind::Append { len }, len),
+            OpKind::Write { offset, len } => (WriteKind::Write { offset, len }, len),
+            OpKind::Read { .. } => unreachable!("read handled elsewhere"),
+        };
+        let chunk_size = self.version_manager.blob_config(blob)?.chunk_size;
+        let replication = self.version_manager.blob_config(blob)?.replication;
+
+        // Phase 1: version ticket.
+        let t_ticket = self.vm_delay(now);
+        let ticket = self.version_manager.assign_ticket(blob, kind)?;
+
+        // Phase 2: chunk transfers (client uplink, then provider downlink).
+        let slots = chunk_span(ByteRange::new(ticket.offset, len), chunk_size);
+        let placement = match self.provider_manager.allocate(PlacementRequest {
+            chunk_count: slots.len(),
+            replication,
+        }) {
+            Ok(p) => p,
+            Err(err) => {
+                // Not enough live providers: the write fails; repair keeps
+                // the blob consistent for later versions.
+                let summary = blobseer_meta::WriteSummary {
+                    version: ticket.version,
+                    written_slots: ByteRange::new(
+                        slots[0].index * chunk_size,
+                        slots.len() as u64 * chunk_size,
+                    ),
+                    size: ticket.new_size,
+                    chunk_size,
+                };
+                let repair = blobseer_meta::build_repair_metadata(
+                    self.metadata.as_ref(),
+                    blob,
+                    &ticket.chain,
+                    &summary,
+                )?;
+                publish_metadata(self.metadata.as_ref(), &repair)?;
+                self.version_manager.abort_write(blob, ticket.version)?;
+                let _ = err;
+                return Ok(OpRecord {
+                    client,
+                    start: now,
+                    end: t_ticket,
+                    bytes: 0,
+                    is_write: true,
+                    ok: false,
+                });
+            }
+        };
+        let mut t_chunks = t_ticket;
+        let mut chunks = Vec::with_capacity(slots.len());
+        for (slot, providers) in slots.iter().zip(&placement) {
+            let end = ((slot.index + 1) * chunk_size).min(ticket.new_size);
+            let chunk_len = end - slot.index * chunk_size;
+            for &p in providers {
+                let sent = client_out.schedule(t_ticket, chunk_len);
+                let charged = (chunk_len as f64 * self.slowdown(p)) as u64;
+                let done = self.provider_in[p.0 as usize].schedule(sent, charged);
+                t_chunks = t_chunks.max(done);
+            }
+            chunks.push(WrittenChunk {
+                slot: slot.index,
+                chunk: ChunkId {
+                    blob,
+                    write_tag,
+                    slot: slot.index,
+                },
+                providers: providers.clone(),
+                len: chunk_len,
+            });
+        }
+
+        // Phase 3: metadata weaving — run the real algorithm, then charge
+        // the recorded DHT traffic.
+        let recorder = RecordingStore::new(self.metadata.as_ref());
+        let meta = build_write_metadata_chained(
+            &recorder,
+            blob,
+            &ticket.chain,
+            ticket.version,
+            ticket.new_size,
+            &chunks,
+        )?;
+        publish_metadata(&recorder, &meta)?;
+        self.meta_nodes_created += meta.node_count() as u64;
+        let gets = recorder.gets.into_inner();
+        let puts = recorder.puts.into_inner();
+        let mut t_meta = t_chunks;
+        for key in gets {
+            if self.config.client_metadata_cache && !cache.insert(key) {
+                continue; // served from the client's local cache
+            }
+            let sent = client_out.schedule(t_chunks, META_NODE_WIRE_BYTES);
+            let node = self.route_meta(&key);
+            let done = self.meta_cpu[node.0 as usize].schedule(sent, META_NODE_WIRE_BYTES);
+            t_meta = t_meta.max(done);
+        }
+        for key in puts {
+            if self.config.client_metadata_cache {
+                cache.insert(key);
+            }
+            for node in self.metadata.route(&key) {
+                let sent = client_out.schedule(t_chunks, META_NODE_WIRE_BYTES);
+                let done = self.meta_cpu[node.0 as usize].schedule(sent, META_NODE_WIRE_BYTES);
+                t_meta = t_meta.max(done);
+            }
+        }
+
+        // Phase 4: publication.
+        let t_done = self.vm_delay(t_meta);
+        self.version_manager.complete_write(blob, ticket.version)?;
+        Ok(OpRecord {
+            client,
+            start: now,
+            end: t_done,
+            bytes: len,
+            is_write: true,
+            ok: true,
+        })
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn simulate_read(
+        &mut self,
+        blob: BlobId,
+        client: usize,
+        now: SimTime,
+        offset: u64,
+        len: u64,
+        client_out: &mut Resource,
+        client_in: &mut Resource,
+        cache: &mut HashSet<NodeKey>,
+    ) -> Result<OpRecord> {
+        // Phase 1: ask the version manager for the latest snapshot.
+        let t_snapshot = self.vm_delay(now);
+        let snapshot = self.version_manager.latest_snapshot(blob)?;
+        let range = ByteRange::new(offset, len.min(snapshot.size.saturating_sub(offset)));
+        if range.is_empty() {
+            return Ok(OpRecord {
+                client,
+                start: now,
+                end: t_snapshot,
+                bytes: 0,
+                is_write: false,
+                ok: true,
+            });
+        }
+
+        // Phase 2: metadata tree descent (charged per node actually fetched,
+        // respecting the client-side metadata cache).
+        let recorder = RecordingStore::new(self.metadata.as_ref());
+        let leaves = collect_leaves(&recorder, blob, &snapshot, range)?;
+        let gets = recorder.gets.into_inner();
+        let mut t_meta = t_snapshot;
+        for key in gets {
+            if self.config.client_metadata_cache && !cache.insert(key) {
+                continue;
+            }
+            let sent = client_out.schedule(t_snapshot, META_NODE_WIRE_BYTES);
+            let node = self.route_meta(&key);
+            let done = self.meta_cpu[node.0 as usize].schedule(sent, META_NODE_WIRE_BYTES);
+            t_meta = t_meta.max(done);
+        }
+
+        // Phase 3: chunk fetches from the providers (provider uplink, then
+        // client downlink), picking the first live replica of each chunk.
+        let mut t_data = t_meta;
+        let mut fetched_bytes = 0u64;
+        let mut all_found = true;
+        for mapping in leaves {
+            let Some(leaf) = mapping.leaf else { continue };
+            if leaf.is_hole() {
+                continue;
+            }
+            let Some(provider) = leaf
+                .providers
+                .iter()
+                .copied()
+                .find(|p| !self.failed_providers.contains(p))
+            else {
+                all_found = false;
+                continue;
+            };
+            let wanted = mapping
+                .slot_range
+                .intersect(&range)
+                .map(|r| r.len.min(leaf.len))
+                .unwrap_or(0);
+            if wanted == 0 {
+                continue;
+            }
+            let charged = (leaf.len as f64 * self.slowdown(provider)) as u64;
+            let served = self.provider_out[provider.0 as usize].schedule(t_meta, charged);
+            let done = client_in.schedule(served, leaf.len);
+            t_data = t_data.max(done);
+            fetched_bytes += wanted;
+        }
+        Ok(OpRecord {
+            client,
+            start: now,
+            end: t_data,
+            bytes: fetched_bytes,
+            is_write: false,
+            ok: all_found,
+        })
+    }
+
+    /// The metadata provider charged for a get of `key`: the first live
+    /// replica in routing order.
+    fn route_meta(&self, key: &NodeKey) -> MetaNodeId {
+        self.metadata
+            .route(key)
+            .first()
+            .copied()
+            .unwrap_or(MetaNodeId(0))
+    }
+
+    /// Utilisation of the version manager over the last run's makespan
+    /// (useful to show it is not the bottleneck).
+    pub fn version_manager_utilisation(&self, makespan_ns: SimTime) -> f64 {
+        if makespan_ns == 0 {
+            return 0.0;
+        }
+        (self.vm_requests * self.config.version_manager_service_ns) as f64 / makespan_ns as f64
+    }
+
+    /// Convenience used by tests: whether any chunk was charged to the given
+    /// provider during the last run.
+    pub fn provider_received_bytes(&self, provider: ProviderId) -> u64 {
+        self.provider_in
+            .get(provider.0 as usize)
+            .map(Resource::bytes)
+            .unwrap_or(0)
+    }
+}
+
+impl std::fmt::Debug for SimulatedCluster {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimulatedCluster")
+            .field("data_providers", &self.config.data_providers)
+            .field("metadata_providers", &self.config.metadata_providers)
+            .field("placement", &self.config.placement)
+            .finish()
+    }
+}
+
+/// Convenience constructor used by the benchmark harness: a Grid'5000-like
+/// deployment with the given number of data and metadata providers.
+pub fn grid_like_cluster(
+    data_providers: usize,
+    metadata_providers: usize,
+) -> Result<SimulatedCluster> {
+    let config = ClusterConfig {
+        data_providers,
+        metadata_providers,
+        ..ClusterConfig::default()
+    };
+    SimulatedCluster::new(config)
+}
+
+/// Errors below are turned into a plain [`BlobError`] so the harness can
+/// abort cleanly when a workload is mis-configured.
+pub fn check_workload(workload: &Workload) -> Result<()> {
+    if workload.clients == 0 || workload.ops.len() != workload.clients {
+        return Err(BlobError::InvalidConfig(
+            "workload must define one op list per client".into(),
+        ));
+    }
+    workload.blob_config.validate()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::WorkloadBuilder;
+
+    fn small_workload(clients: usize) -> Workload {
+        WorkloadBuilder::new(clients)
+            .ops_per_client(2)
+            .op_size(8 << 20)
+            .chunk_size(1 << 20)
+            .concurrent_appends()
+    }
+
+    #[test]
+    fn single_writer_throughput_is_bounded_by_its_uplink() {
+        let mut sim = grid_like_cluster(16, 4).unwrap();
+        let result = sim.run(&small_workload(1)).unwrap();
+        assert_eq!(result.failed_ops, 0);
+        assert_eq!(result.total_bytes, 16 << 20);
+        let mibps = result.aggregated_mibps();
+        let link_mibps = 125_000_000.0 / (1024.0 * 1024.0);
+        assert!(
+            mibps <= link_mibps * 1.01,
+            "one client cannot exceed its NIC ({mibps:.1} vs {link_mibps:.1} MiB/s)"
+        );
+        assert!(mibps > link_mibps * 0.5, "overheads should not halve throughput");
+    }
+
+    #[test]
+    fn aggregated_write_throughput_scales_with_clients() {
+        let mut sim = grid_like_cluster(64, 16).unwrap();
+        let t1 = sim.run(&small_workload(1)).unwrap().aggregated_mibps();
+        let t16 = sim.run(&small_workload(16)).unwrap().aggregated_mibps();
+        let t64 = sim.run(&small_workload(64)).unwrap().aggregated_mibps();
+        assert!(t16 > 6.0 * t1, "16 clients should scale well ({t16:.0} vs {t1:.0})");
+        assert!(t64 > t16, "64 clients should still add throughput");
+    }
+
+    #[test]
+    fn throughput_saturates_when_providers_are_few() {
+        // 64 clients writing to 4 providers: provider downlinks are the
+        // bottleneck, so adding providers raises aggregate throughput.
+        let few = grid_like_cluster(4, 8)
+            .unwrap()
+            .run(&small_workload(32))
+            .unwrap()
+            .aggregated_mibps();
+        let many = grid_like_cluster(32, 8)
+            .unwrap()
+            .run(&small_workload(32))
+            .unwrap()
+            .aggregated_mibps();
+        assert!(
+            many > 3.0 * few,
+            "striping over 32 providers must beat 4 providers ({many:.0} vs {few:.0})"
+        );
+    }
+
+    #[test]
+    fn decentralized_metadata_beats_centralized_under_concurrency() {
+        // Small chunks → many metadata nodes per write → the single
+        // metadata server becomes the bottleneck (the paper's Fig. C1).
+        let workload = WorkloadBuilder::new(64)
+            .ops_per_client(1)
+            .op_size(16 << 20)
+            .chunk_size(256 << 10)
+            .concurrent_appends();
+        let centralized = grid_like_cluster(64, 1)
+            .unwrap()
+            .run(&workload)
+            .unwrap()
+            .aggregated_mibps();
+        let decentralized = grid_like_cluster(64, 32)
+            .unwrap()
+            .run(&workload)
+            .unwrap()
+            .aggregated_mibps();
+        assert!(
+            decentralized > 1.5 * centralized,
+            "DHT metadata ({decentralized:.0} MiB/s) must clearly beat a centralized server ({centralized:.0} MiB/s)"
+        );
+    }
+
+    #[test]
+    fn reads_scale_and_find_preloaded_data() {
+        let workload = WorkloadBuilder::new(16)
+            .ops_per_client(2)
+            .op_size(8 << 20)
+            .chunk_size(1 << 20)
+            .disjoint_reads();
+        let mut sim = grid_like_cluster(32, 8).unwrap();
+        let result = sim.run(&workload).unwrap();
+        assert_eq!(result.failed_ops, 0);
+        assert_eq!(result.total_bytes, workload.total_payload());
+        assert!(result.aggregated_mibps() > 200.0);
+    }
+
+    #[test]
+    fn metadata_nodes_are_spread_over_the_dht() {
+        let workload = WorkloadBuilder::new(8)
+            .ops_per_client(2)
+            .op_size(16 << 20)
+            .chunk_size(512 << 10)
+            .concurrent_appends();
+        let mut sim = grid_like_cluster(16, 8).unwrap();
+        let result = sim.run(&workload).unwrap();
+        assert!(result.meta_nodes_created > 0);
+        let loaded_nodes = result.meta_load.values().filter(|&&n| n > 0).count();
+        assert!(
+            loaded_nodes >= 6,
+            "metadata load should spread over most of the 8 DHT nodes, got {loaded_nodes}"
+        );
+    }
+
+    #[test]
+    fn failed_providers_reduce_read_success_without_replication() {
+        let workload = WorkloadBuilder::new(4)
+            .ops_per_client(2)
+            .op_size(4 << 20)
+            .chunk_size(1 << 20)
+            .disjoint_reads();
+        let mut sim = grid_like_cluster(8, 4).unwrap();
+        // Fail half the providers right away, for the whole run.
+        for i in 0..4u32 {
+            sim.schedule_failure(ProviderId(i), 0, u64::MAX / 2);
+        }
+        let result = sim.run(&workload).unwrap();
+        assert!(result.failed_ops > 0, "unreplicated reads must lose data");
+    }
+
+    #[test]
+    fn replication_masks_provider_failures() {
+        let workload = WorkloadBuilder::new(4)
+            .ops_per_client(2)
+            .op_size(4 << 20)
+            .chunk_size(1 << 20)
+            .replication(2)
+            .disjoint_reads();
+        let mut sim = grid_like_cluster(8, 4).unwrap();
+        // Round-robin places the two replicas of a chunk on adjacent
+        // providers, so fail two non-adjacent ones.
+        for i in [0u32, 4u32] {
+            sim.schedule_failure(ProviderId(i), 0, u64::MAX / 2);
+        }
+        let result = sim.run(&workload).unwrap();
+        assert_eq!(result.failed_ops, 0, "a replica must cover every failed provider");
+    }
+
+    #[test]
+    fn degradation_slows_the_run_down() {
+        let workload = small_workload(8);
+        let healthy = grid_like_cluster(8, 4)
+            .unwrap()
+            .run(&workload)
+            .unwrap()
+            .aggregated_mibps();
+        let mut degraded_sim = grid_like_cluster(8, 4).unwrap();
+        for i in 0..4u32 {
+            degraded_sim.schedule_degradation(ProviderId(i), 0, u64::MAX / 2, 8.0);
+        }
+        let degraded = degraded_sim.run(&workload).unwrap().aggregated_mibps();
+        assert!(
+            degraded < healthy * 0.8,
+            "slowing half the providers 8x must hurt throughput ({degraded:.0} vs {healthy:.0})"
+        );
+    }
+
+    #[test]
+    fn windowed_throughput_covers_the_makespan() {
+        let mut sim = grid_like_cluster(8, 4).unwrap();
+        let result = sim.run(&small_workload(4)).unwrap();
+        let windows = result.windowed_throughput_mibps(result.makespan_ns / 10);
+        assert!(windows.len() >= 10);
+        let total_from_windows: f64 = windows.iter().sum::<f64>()
+            * (result.makespan_ns as f64 / 10.0 / NANOS_PER_SEC as f64);
+        let total_mib = result.total_bytes as f64 / (1024.0 * 1024.0);
+        assert!((total_from_windows - total_mib).abs() / total_mib < 0.2);
+    }
+
+    #[test]
+    fn workload_validation_catches_mismatches() {
+        let mut w = small_workload(2);
+        w.ops.pop();
+        assert!(check_workload(&w).is_err());
+        assert!(check_workload(&small_workload(2)).is_ok());
+    }
+}

@@ -1,0 +1,192 @@
+//! Simulated time and FIFO byte-server resources.
+//!
+//! A [`Resource`] models one contention point of the cluster — a node's NIC
+//! direction, a metadata provider's request processor, the version manager's
+//! CPU. Requests are served first-come-first-served at a fixed byte rate
+//! plus a fixed per-request latency; the resource remembers when it will
+//! next be free, which is all a queueing simulation at this granularity
+//! needs.
+
+/// Simulated time in nanoseconds since the start of the run.
+pub type SimTime = u64;
+
+/// Nanoseconds per second, for converting bandwidths and printing results.
+pub const NANOS_PER_SEC: u64 = 1_000_000_000;
+
+/// A FIFO server with a fixed per-request latency and a byte-proportional
+/// service time.
+#[derive(Debug, Clone)]
+pub struct Resource {
+    /// Human-readable name, used in utilisation reports.
+    name: String,
+    /// Service rate in bytes per second (0 means "infinitely fast", only the
+    /// latency applies).
+    bandwidth_bps: u64,
+    /// Fixed cost added to every request, in nanoseconds.
+    latency_ns: u64,
+    /// Time at which the server becomes idle again.
+    next_free: SimTime,
+    /// Total busy time accumulated, for utilisation reporting.
+    busy_ns: u64,
+    /// Number of requests served.
+    requests: u64,
+    /// Total bytes served.
+    bytes: u64,
+}
+
+impl Resource {
+    /// Creates a resource with the given service rate and per-request
+    /// latency.
+    #[must_use]
+    pub fn new(name: impl Into<String>, bandwidth_bps: u64, latency_ns: u64) -> Self {
+        Resource {
+            name: name.into(),
+            bandwidth_bps,
+            latency_ns,
+            next_free: 0,
+            busy_ns: 0,
+            requests: 0,
+            bytes: 0,
+        }
+    }
+
+    /// The resource's name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// How long serving `bytes` takes once the request reaches the head of
+    /// the queue.
+    #[must_use]
+    pub fn service_time(&self, bytes: u64) -> u64 {
+        let transfer = if self.bandwidth_bps == 0 {
+            0
+        } else {
+            // bytes / (bytes per ns) — computed in u128 to avoid overflow for
+            // multi-gigabyte transfers.
+            ((bytes as u128 * NANOS_PER_SEC as u128) / self.bandwidth_bps as u128) as u64
+        };
+        self.latency_ns + transfer
+    }
+
+    /// Schedules a request of `bytes` arriving at `arrival`; returns the
+    /// completion time. Requests are served in the order they are scheduled
+    /// (the caller must schedule in non-decreasing arrival order for the
+    /// FIFO abstraction to be meaningful).
+    pub fn schedule(&mut self, arrival: SimTime, bytes: u64) -> SimTime {
+        let start = arrival.max(self.next_free);
+        let service = self.service_time(bytes);
+        let finish = start + service;
+        self.next_free = finish;
+        self.busy_ns += service;
+        self.requests += 1;
+        self.bytes += bytes;
+        finish
+    }
+
+    /// The time at which the resource becomes idle.
+    #[must_use]
+    pub fn next_free(&self) -> SimTime {
+        self.next_free
+    }
+
+    /// Total busy time accumulated so far.
+    #[must_use]
+    pub fn busy_ns(&self) -> u64 {
+        self.busy_ns
+    }
+
+    /// Number of requests served so far.
+    #[must_use]
+    pub fn requests(&self) -> u64 {
+        self.requests
+    }
+
+    /// Total bytes served so far.
+    #[must_use]
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Fraction of `[0, horizon]` this resource spent busy.
+    #[must_use]
+    pub fn utilisation(&self, horizon: SimTime) -> f64 {
+        if horizon == 0 {
+            0.0
+        } else {
+            self.busy_ns as f64 / horizon as f64
+        }
+    }
+
+    /// Resets the dynamic state (queue and counters), keeping the rate and
+    /// latency. Used between sweep points.
+    pub fn reset(&mut self) {
+        self.next_free = 0;
+        self.busy_ns = 0;
+        self.requests = 0;
+        self.bytes = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn service_time_combines_latency_and_transfer() {
+        // 100 MB/s, 1 ms latency.
+        let r = Resource::new("link", 100_000_000, 1_000_000);
+        // 10 MB at 100 MB/s = 100 ms, plus 1 ms latency.
+        assert_eq!(r.service_time(10_000_000), 101_000_000);
+        // Zero-byte request costs only the latency.
+        assert_eq!(r.service_time(0), 1_000_000);
+    }
+
+    #[test]
+    fn zero_bandwidth_means_latency_only() {
+        let r = Resource::new("cpu", 0, 50_000);
+        assert_eq!(r.service_time(1 << 30), 50_000);
+    }
+
+    #[test]
+    fn fifo_requests_queue_behind_each_other() {
+        let mut r = Resource::new("link", 1_000_000, 0); // 1 MB/s
+        // Two 1 MB requests arriving together: the second waits for the first.
+        let first = r.schedule(0, 1_000_000);
+        let second = r.schedule(0, 1_000_000);
+        assert_eq!(first, NANOS_PER_SEC);
+        assert_eq!(second, 2 * NANOS_PER_SEC);
+        assert_eq!(r.requests(), 2);
+        assert_eq!(r.bytes(), 2_000_000);
+    }
+
+    #[test]
+    fn idle_gaps_are_not_counted_as_busy() {
+        let mut r = Resource::new("link", 1_000_000, 0);
+        r.schedule(0, 500_000); // busy 0.5 s
+        r.schedule(10 * NANOS_PER_SEC, 500_000); // busy another 0.5 s much later
+        assert_eq!(r.busy_ns(), NANOS_PER_SEC);
+        let horizon = r.next_free();
+        assert!(r.utilisation(horizon) < 0.2);
+    }
+
+    #[test]
+    fn reset_clears_dynamic_state() {
+        let mut r = Resource::new("link", 1_000_000, 10);
+        r.schedule(0, 1_000);
+        r.reset();
+        assert_eq!(r.next_free(), 0);
+        assert_eq!(r.busy_ns(), 0);
+        assert_eq!(r.requests(), 0);
+        assert_eq!(r.utilisation(100), 0.0);
+    }
+
+    #[test]
+    fn large_transfers_do_not_overflow() {
+        let r = Resource::new("link", 125_000_000, 0);
+        // 1 TiB at 125 MB/s ~ 8796 seconds; must not overflow u64 maths.
+        let t = r.service_time(1 << 40);
+        assert!(t > 8_000 * NANOS_PER_SEC && t < 9_000 * NANOS_PER_SEC);
+    }
+}

@@ -1,0 +1,345 @@
+//! Workload generation for the simulated experiments.
+//!
+//! A [`Workload`] is a set of per-client operation sequences over one or
+//! more blobs, plus the blob configuration to create them with. The
+//! [`WorkloadBuilder`] provides the access patterns used by the paper's
+//! experiments: concurrent appenders to a shared blob (Section IV.B/C),
+//! readers and writers of disjoint regions of one huge blob (IV.A, IV.D),
+//! and random fine-grain accesses (the desktop-grid and supernovae
+//! scenarios).
+
+use blobseer_types::BlobConfig;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One simulated client operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpKind {
+    /// Append `len` bytes to the shared blob.
+    Append {
+        /// Payload size in bytes.
+        len: u64,
+    },
+    /// Write `len` bytes at `offset`.
+    Write {
+        /// First byte written.
+        offset: u64,
+        /// Payload size in bytes.
+        len: u64,
+    },
+    /// Read `len` bytes at `offset` from the latest published snapshot.
+    Read {
+        /// First byte read.
+        offset: u64,
+        /// Number of bytes read.
+        len: u64,
+    },
+}
+
+impl OpKind {
+    /// Payload bytes moved by the operation.
+    #[must_use]
+    pub fn payload(&self) -> u64 {
+        match self {
+            OpKind::Append { len } | OpKind::Write { len, .. } | OpKind::Read { len, .. } => *len,
+        }
+    }
+
+    /// Whether the operation mutates the blob.
+    #[must_use]
+    pub fn is_write(&self) -> bool {
+        !matches!(self, OpKind::Read { .. })
+    }
+}
+
+/// An operation bound to a client.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimOp {
+    /// Index of the client issuing the operation.
+    pub client: usize,
+    /// The operation itself.
+    pub kind: OpKind,
+}
+
+/// A complete workload description.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Number of clients taking part.
+    pub clients: usize,
+    /// Configuration of the blob(s) the workload runs against.
+    pub blob_config: BlobConfig,
+    /// Bytes the blob is pre-loaded with before measurement starts (read
+    /// workloads need existing data).
+    pub preload_bytes: u64,
+    /// Per-client operation sequences; `ops[c]` is executed sequentially by
+    /// client `c`, different clients run concurrently.
+    pub ops: Vec<Vec<OpKind>>,
+}
+
+impl Workload {
+    /// Total payload bytes moved by all measured operations.
+    #[must_use]
+    pub fn total_payload(&self) -> u64 {
+        self.ops
+            .iter()
+            .flat_map(|ops| ops.iter())
+            .map(OpKind::payload)
+            .sum()
+    }
+
+    /// Total number of measured operations.
+    #[must_use]
+    pub fn total_ops(&self) -> usize {
+        self.ops.iter().map(Vec::len).sum()
+    }
+}
+
+/// Builder for the standard access patterns of the paper's experiments.
+#[derive(Debug, Clone)]
+pub struct WorkloadBuilder {
+    clients: usize,
+    ops_per_client: usize,
+    op_size: u64,
+    chunk_size: u64,
+    replication: usize,
+    seed: u64,
+}
+
+impl WorkloadBuilder {
+    /// Starts a builder with the paper's default parameters: 64 MiB
+    /// operations on a blob with 1 MiB chunks, no replication.
+    #[must_use]
+    pub fn new(clients: usize) -> Self {
+        WorkloadBuilder {
+            clients,
+            ops_per_client: 4,
+            op_size: 64 << 20,
+            chunk_size: 1 << 20,
+            replication: 1,
+            seed: 42,
+        }
+    }
+
+    /// Sets how many operations each client performs.
+    #[must_use]
+    pub fn ops_per_client(mut self, ops: usize) -> Self {
+        self.ops_per_client = ops;
+        self
+    }
+
+    /// Sets the payload size of each operation.
+    #[must_use]
+    pub fn op_size(mut self, bytes: u64) -> Self {
+        self.op_size = bytes;
+        self
+    }
+
+    /// Sets the chunk size of the blob.
+    #[must_use]
+    pub fn chunk_size(mut self, bytes: u64) -> Self {
+        self.chunk_size = bytes;
+        self
+    }
+
+    /// Sets the replication factor of the blob.
+    #[must_use]
+    pub fn replication(mut self, replicas: usize) -> Self {
+        self.replication = replicas;
+        self
+    }
+
+    /// Sets the RNG seed used by randomised patterns.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    fn blob_config(&self) -> BlobConfig {
+        BlobConfig {
+            chunk_size: self.chunk_size,
+            replication: self.replication,
+        }
+    }
+
+    /// All clients append to the same blob (the write-intensive desktop-grid
+    /// and data-acquisition pattern of Sections IV.B and IV.C).
+    #[must_use]
+    pub fn concurrent_appends(self) -> Workload {
+        let ops = (0..self.clients)
+            .map(|_| vec![OpKind::Append { len: self.op_size }; self.ops_per_client])
+            .collect();
+        Workload {
+            clients: self.clients,
+            blob_config: self.blob_config(),
+            preload_bytes: 0,
+            ops,
+        }
+    }
+
+    /// Every client writes its own disjoint region of one shared blob (the
+    /// concurrent-writers pattern of Section IV.A).
+    #[must_use]
+    pub fn disjoint_writes(self) -> Workload {
+        let region = self.op_size * self.ops_per_client as u64;
+        let ops = (0..self.clients)
+            .map(|c| {
+                (0..self.ops_per_client)
+                    .map(|i| OpKind::Write {
+                        offset: c as u64 * region + i as u64 * self.op_size,
+                        len: self.op_size,
+                    })
+                    .collect()
+            })
+            .collect();
+        Workload {
+            clients: self.clients,
+            blob_config: self.blob_config(),
+            preload_bytes: 0,
+            ops,
+        }
+    }
+
+    /// Every client reads its own disjoint region of one shared, pre-loaded
+    /// blob (the concurrent-readers pattern of Sections IV.A and IV.D).
+    #[must_use]
+    pub fn disjoint_reads(self) -> Workload {
+        let region = self.op_size * self.ops_per_client as u64;
+        let total = region * self.clients as u64;
+        let ops = (0..self.clients)
+            .map(|c| {
+                (0..self.ops_per_client)
+                    .map(|i| OpKind::Read {
+                        offset: c as u64 * region + i as u64 * self.op_size,
+                        len: self.op_size,
+                    })
+                    .collect()
+            })
+            .collect();
+        Workload {
+            clients: self.clients,
+            blob_config: self.blob_config(),
+            preload_bytes: total,
+            ops,
+        }
+    }
+
+    /// Clients read and write random chunk-aligned regions of a pre-loaded
+    /// blob (the fine-grain random access pattern of the supernovae and
+    /// desktop-grid scenarios). `write_fraction` is the probability that an
+    /// operation is a write.
+    #[must_use]
+    pub fn random_mixed(self, write_fraction: f64, blob_bytes: u64) -> Workload {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let slots = (blob_bytes / self.op_size).max(1);
+        let ops = (0..self.clients)
+            .map(|_| {
+                (0..self.ops_per_client)
+                    .map(|_| {
+                        let offset = rng.gen_range(0..slots) * self.op_size;
+                        if rng.gen_bool(write_fraction.clamp(0.0, 1.0)) {
+                            OpKind::Write {
+                                offset,
+                                len: self.op_size,
+                            }
+                        } else {
+                            OpKind::Read {
+                                offset,
+                                len: self.op_size,
+                            }
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        Workload {
+            clients: self.clients,
+            blob_config: self.blob_config(),
+            preload_bytes: blob_bytes,
+            ops,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn concurrent_appends_cover_all_clients() {
+        let w = WorkloadBuilder::new(8)
+            .ops_per_client(3)
+            .op_size(1 << 20)
+            .concurrent_appends();
+        assert_eq!(w.clients, 8);
+        assert_eq!(w.ops.len(), 8);
+        assert_eq!(w.total_ops(), 24);
+        assert_eq!(w.total_payload(), 24 << 20);
+        assert_eq!(w.preload_bytes, 0);
+        assert!(w.ops.iter().flatten().all(|op| op.is_write()));
+    }
+
+    #[test]
+    fn disjoint_writes_do_not_overlap() {
+        let w = WorkloadBuilder::new(4)
+            .ops_per_client(2)
+            .op_size(100)
+            .disjoint_writes();
+        let mut regions: Vec<(u64, u64)> = w
+            .ops
+            .iter()
+            .flatten()
+            .map(|op| match op {
+                OpKind::Write { offset, len } => (*offset, *len),
+                _ => panic!("expected writes"),
+            })
+            .collect();
+        regions.sort();
+        for pair in regions.windows(2) {
+            assert!(pair[0].0 + pair[0].1 <= pair[1].0, "regions overlap");
+        }
+    }
+
+    #[test]
+    fn disjoint_reads_preload_the_whole_region() {
+        let w = WorkloadBuilder::new(4)
+            .ops_per_client(2)
+            .op_size(100)
+            .disjoint_reads();
+        assert_eq!(w.preload_bytes, 4 * 2 * 100);
+        assert!(w.ops.iter().flatten().all(|op| !op.is_write()));
+    }
+
+    #[test]
+    fn random_mixed_respects_write_fraction_extremes() {
+        let all_writes = WorkloadBuilder::new(4)
+            .ops_per_client(10)
+            .op_size(64)
+            .random_mixed(1.0, 64 * 100);
+        assert!(all_writes.ops.iter().flatten().all(|op| op.is_write()));
+        let all_reads = WorkloadBuilder::new(4)
+            .ops_per_client(10)
+            .op_size(64)
+            .random_mixed(0.0, 64 * 100);
+        assert!(all_reads.ops.iter().flatten().all(|op| !op.is_write()));
+    }
+
+    #[test]
+    fn random_mixed_is_reproducible_for_a_seed() {
+        let a = WorkloadBuilder::new(3).seed(7).random_mixed(0.5, 1 << 20);
+        let b = WorkloadBuilder::new(3).seed(7).random_mixed(0.5, 1 << 20);
+        assert_eq!(a.ops, b.ops);
+        let c = WorkloadBuilder::new(3).seed(8).random_mixed(0.5, 1 << 20);
+        assert_ne!(a.ops, c.ops);
+    }
+
+    #[test]
+    fn builder_parameters_flow_into_the_blob_config() {
+        let w = WorkloadBuilder::new(2)
+            .chunk_size(4096)
+            .replication(3)
+            .concurrent_appends();
+        assert_eq!(w.blob_config.chunk_size, 4096);
+        assert_eq!(w.blob_config.replication, 3);
+    }
+}

@@ -1,0 +1,242 @@
+//! Configuration of blobs and of a BlobSeer deployment.
+
+use crate::error::{BlobError, Result};
+use serde::{Deserialize, Serialize};
+
+/// Chunk placement strategy used by the provider manager when a write or
+/// append asks where to store its chunks.
+///
+/// The paper calls this the "configurable chunk distribution strategy"; the
+/// choice has a major impact on aggregated throughput when many clients
+/// write concurrently.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PlacementPolicy {
+    /// Cycle through providers in registration order. Gives perfect load
+    /// balance for uniform chunk sizes (the paper's default).
+    RoundRobin,
+    /// Pick providers uniformly at random.
+    Random,
+    /// Pick the providers with the fewest stored bytes first.
+    LeastLoaded,
+    /// Pick the providers with the best recent quality-of-service score
+    /// first (fed by the QoS / behaviour-modelling layer).
+    QosAware,
+}
+
+impl Default for PlacementPolicy {
+    fn default() -> Self {
+        PlacementPolicy::RoundRobin
+    }
+}
+
+/// Per-blob configuration fixed at creation time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BlobConfig {
+    /// Size in bytes of every chunk of the blob. Typically chosen to match
+    /// the amount of data a client processes in one step (e.g. 64 KiB for
+    /// fine-grain workloads, 64 MiB for MapReduce splits).
+    pub chunk_size: u64,
+    /// Number of providers each chunk is replicated on (1 = no replication).
+    pub replication: usize,
+}
+
+impl BlobConfig {
+    /// Creates a configuration, validating its fields.
+    pub fn new(chunk_size: u64, replication: usize) -> Result<Self> {
+        let cfg = BlobConfig {
+            chunk_size,
+            replication,
+        };
+        cfg.validate()?;
+        Ok(cfg)
+    }
+
+    /// Checks that the configuration is usable.
+    pub fn validate(&self) -> Result<()> {
+        if self.chunk_size == 0 {
+            return Err(BlobError::InvalidConfig("chunk size must be positive".into()));
+        }
+        if self.replication == 0 {
+            return Err(BlobError::InvalidConfig(
+                "replication factor must be at least 1".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl Default for BlobConfig {
+    fn default() -> Self {
+        BlobConfig {
+            chunk_size: 64 * 1024,
+            replication: 1,
+        }
+    }
+}
+
+/// Configuration of a whole deployment (an in-process cluster or a simulated
+/// one).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterConfig {
+    /// Number of data providers.
+    pub data_providers: usize,
+    /// Number of metadata providers (DHT nodes).
+    pub metadata_providers: usize,
+    /// Virtual nodes per metadata provider on the consistent-hashing ring.
+    pub dht_virtual_nodes: usize,
+    /// Replication factor for metadata entries inside the DHT.
+    pub dht_replication: usize,
+    /// Default placement policy handed to the provider manager.
+    pub placement: PlacementPolicy,
+    /// Whether clients cache metadata tree nodes they have already fetched
+    /// (the paper's Section IV.A highlights the benefit of client-side
+    /// metadata caching).
+    pub client_metadata_cache: bool,
+    /// Network bandwidth of every node in bytes per second (used only by the
+    /// simulator; 1 Gbps by default, matching Grid'5000's interconnect).
+    pub link_bandwidth_bps: u64,
+    /// One-way network latency in nanoseconds (used only by the simulator).
+    pub link_latency_ns: u64,
+    /// Service time of a metadata operation at a metadata provider, in
+    /// nanoseconds (used only by the simulator).
+    pub meta_service_ns: u64,
+    /// Service time of a version-manager operation, in nanoseconds (used
+    /// only by the simulator).
+    pub version_manager_service_ns: u64,
+}
+
+impl ClusterConfig {
+    /// A small configuration convenient for unit tests and examples.
+    #[must_use]
+    pub fn small() -> Self {
+        ClusterConfig {
+            data_providers: 4,
+            metadata_providers: 2,
+            ..ClusterConfig::default()
+        }
+    }
+
+    /// A configuration mirroring the scale of the paper's Grid'5000 runs
+    /// (used by the benchmark harness through the simulator).
+    #[must_use]
+    pub fn grid5000_like() -> Self {
+        ClusterConfig {
+            data_providers: 64,
+            metadata_providers: 16,
+            ..ClusterConfig::default()
+        }
+    }
+
+    /// Checks that the configuration is usable.
+    pub fn validate(&self) -> Result<()> {
+        if self.data_providers == 0 {
+            return Err(BlobError::InvalidConfig(
+                "at least one data provider is required".into(),
+            ));
+        }
+        if self.metadata_providers == 0 {
+            return Err(BlobError::InvalidConfig(
+                "at least one metadata provider is required".into(),
+            ));
+        }
+        if self.dht_virtual_nodes == 0 {
+            return Err(BlobError::InvalidConfig(
+                "at least one virtual node per metadata provider is required".into(),
+            ));
+        }
+        if self.dht_replication == 0 || self.dht_replication > self.metadata_providers {
+            return Err(BlobError::InvalidConfig(format!(
+                "DHT replication must be in 1..={}",
+                self.metadata_providers
+            )));
+        }
+        Ok(())
+    }
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            data_providers: 16,
+            metadata_providers: 8,
+            dht_virtual_nodes: 64,
+            dht_replication: 1,
+            placement: PlacementPolicy::RoundRobin,
+            client_metadata_cache: true,
+            // 1 Gbps full duplex, 100 microseconds one-way latency.
+            link_bandwidth_bps: 125_000_000,
+            link_latency_ns: 100_000,
+            meta_service_ns: 50_000,
+            version_manager_service_ns: 20_000,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_blob_config_is_valid() {
+        assert!(BlobConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn zero_chunk_size_is_rejected() {
+        assert!(matches!(
+            BlobConfig::new(0, 1),
+            Err(BlobError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn zero_replication_is_rejected() {
+        assert!(matches!(
+            BlobConfig::new(4096, 0),
+            Err(BlobError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn default_cluster_config_is_valid() {
+        assert!(ClusterConfig::default().validate().is_ok());
+        assert!(ClusterConfig::small().validate().is_ok());
+        assert!(ClusterConfig::grid5000_like().validate().is_ok());
+    }
+
+    #[test]
+    fn dht_replication_cannot_exceed_metadata_providers() {
+        let cfg = ClusterConfig {
+            metadata_providers: 2,
+            dht_replication: 3,
+            ..ClusterConfig::default()
+        };
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn zero_nodes_are_rejected() {
+        let cfg = ClusterConfig {
+            data_providers: 0,
+            ..ClusterConfig::default()
+        };
+        assert!(cfg.validate().is_err());
+        let cfg = ClusterConfig {
+            metadata_providers: 0,
+            ..ClusterConfig::default()
+        };
+        assert!(cfg.validate().is_err());
+        let cfg = ClusterConfig {
+            dht_virtual_nodes: 0,
+            ..ClusterConfig::default()
+        };
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn grid5000_like_matches_paper_scale() {
+        let cfg = ClusterConfig::grid5000_like();
+        assert_eq!(cfg.data_providers, 64);
+        assert_eq!(cfg.metadata_providers, 16);
+    }
+}

@@ -1,0 +1,153 @@
+//! Error type shared by every BlobSeer-RS crate.
+
+use crate::id::{BlobId, ChunkId, ProviderId, Version};
+use crate::range::ByteRange;
+use std::fmt;
+
+/// Convenient result alias used across the workspace.
+pub type Result<T> = std::result::Result<T, BlobError>;
+
+/// Errors surfaced by the BlobSeer services and client library.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BlobError {
+    /// The requested blob does not exist.
+    UnknownBlob(BlobId),
+    /// The requested version has not been published (or never will be).
+    UnknownVersion(BlobId, Version),
+    /// The requested chunk is not stored on the contacted provider.
+    ChunkNotFound(ChunkId, ProviderId),
+    /// The contacted provider is not registered or has been decommissioned.
+    UnknownProvider(ProviderId),
+    /// The provider is currently failed / unreachable.
+    ProviderUnavailable(ProviderId),
+    /// A read went past the end of the snapshot.
+    ReadOutOfBounds {
+        /// Blob being read.
+        blob: BlobId,
+        /// Snapshot version being read.
+        version: Version,
+        /// Requested range.
+        requested: ByteRange,
+        /// Size of the snapshot.
+        snapshot_size: u64,
+    },
+    /// A write or append carried no payload.
+    EmptyWrite,
+    /// A metadata tree node expected to exist could not be located in the DHT.
+    MissingMetadata {
+        /// Blob whose tree is being traversed.
+        blob: BlobId,
+        /// Version of the tree.
+        version: Version,
+        /// Range the missing node covers.
+        range: ByteRange,
+    },
+    /// There are not enough live data providers to satisfy the requested
+    /// replication level.
+    InsufficientProviders {
+        /// Number of providers needed.
+        needed: usize,
+        /// Number of providers available.
+        available: usize,
+    },
+    /// The blob configuration is invalid (e.g. zero chunk size).
+    InvalidConfig(String),
+    /// A path passed to the file-system layer is malformed or does not exist.
+    InvalidPath(String),
+    /// The file-system entry already exists.
+    AlreadyExists(String),
+    /// Single-writer semantics were violated (HDFS-like baseline only).
+    WriterConflict(String),
+    /// Persistent storage failed (I/O error from the backing file).
+    Storage(String),
+    /// Any other internal error.
+    Internal(String),
+}
+
+impl fmt::Display for BlobError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BlobError::UnknownBlob(b) => write!(f, "unknown blob {b}"),
+            BlobError::UnknownVersion(b, v) => write!(f, "unknown version {v} of {b}"),
+            BlobError::ChunkNotFound(c, p) => write!(f, "chunk {c} not found on {p}"),
+            BlobError::UnknownProvider(p) => write!(f, "unknown provider {p}"),
+            BlobError::ProviderUnavailable(p) => write!(f, "provider {p} is unavailable"),
+            BlobError::ReadOutOfBounds {
+                blob,
+                version,
+                requested,
+                snapshot_size,
+            } => write!(
+                f,
+                "read {requested} out of bounds for {blob} {version} of size {snapshot_size}"
+            ),
+            BlobError::EmptyWrite => write!(f, "write or append with an empty payload"),
+            BlobError::MissingMetadata {
+                blob,
+                version,
+                range,
+            } => write!(f, "missing metadata node covering {range} for {blob} {version}"),
+            BlobError::InsufficientProviders { needed, available } => write!(
+                f,
+                "not enough data providers: needed {needed}, available {available}"
+            ),
+            BlobError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            BlobError::InvalidPath(p) => write!(f, "invalid path: {p}"),
+            BlobError::AlreadyExists(p) => write!(f, "already exists: {p}"),
+            BlobError::WriterConflict(msg) => write!(f, "writer conflict: {msg}"),
+            BlobError::Storage(msg) => write!(f, "storage error: {msg}"),
+            BlobError::Internal(msg) => write!(f, "internal error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for BlobError {}
+
+impl From<std::io::Error> for BlobError {
+    fn from(e: std::io::Error) -> Self {
+        BlobError::Storage(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_mention_the_ids() {
+        let e = BlobError::UnknownVersion(BlobId(3), Version(7));
+        assert!(e.to_string().contains("v7"));
+        assert!(e.to_string().contains("blob-3"));
+
+        let e = BlobError::ReadOutOfBounds {
+            blob: BlobId(1),
+            version: Version(2),
+            requested: ByteRange::new(100, 50),
+            snapshot_size: 120,
+        };
+        assert!(e.to_string().contains("[100, 150)"));
+        assert!(e.to_string().contains("120"));
+    }
+
+    #[test]
+    fn io_error_converts_to_storage() {
+        let io = std::io::Error::new(std::io::ErrorKind::Other, "disk on fire");
+        let e: BlobError = io.into();
+        match e {
+            BlobError::Storage(msg) => assert!(msg.contains("disk on fire")),
+            other => panic!("expected Storage, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(
+            BlobError::UnknownBlob(BlobId(1)),
+            BlobError::UnknownBlob(BlobId(1))
+        );
+        assert_ne!(
+            BlobError::UnknownBlob(BlobId(1)),
+            BlobError::UnknownBlob(BlobId(2))
+        );
+    }
+}

@@ -1,0 +1,206 @@
+//! Strongly-typed identifiers used across the system.
+//!
+//! Every identifier is a thin newtype over an integer so that it is `Copy`,
+//! hashes cheaply and cannot be confused with another kind of id at compile
+//! time.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Identifier of a blob, assigned by the version manager at creation time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct BlobId(pub u64);
+
+impl fmt::Display for BlobId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "blob-{}", self.0)
+    }
+}
+
+/// A snapshot version of a blob.
+///
+/// Version 0 is the empty snapshot that exists as soon as the blob is
+/// created; every successful write or append produces the next version.
+/// Versions are assigned densely and published strictly in order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Version(pub u64);
+
+impl Version {
+    /// The initial, empty snapshot of every blob.
+    pub const ZERO: Version = Version(0);
+
+    /// The next version after this one.
+    #[must_use]
+    pub fn next(self) -> Version {
+        Version(self.0 + 1)
+    }
+
+    /// The previous version, or `None` for version zero.
+    #[must_use]
+    pub fn prev(self) -> Option<Version> {
+        self.0.checked_sub(1).map(Version)
+    }
+}
+
+impl fmt::Display for Version {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// Globally unique identifier of a stored chunk.
+///
+/// Chunk ids are drawn by clients *before* a version is assigned to the
+/// write (chunks are pushed to providers first, metadata is woven later), so
+/// they cannot embed the version; instead they combine the blob id with a
+/// random 64-bit discriminator plus the chunk's slot index, which makes
+/// collisions practically impossible while keeping the id `Copy`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ChunkId {
+    /// Blob the chunk belongs to.
+    pub blob: BlobId,
+    /// Random discriminator shared by all chunks of one write operation.
+    pub write_tag: u64,
+    /// Index of the chunk slot (offset / chunk_size) this chunk was written
+    /// for.
+    pub slot: u64,
+}
+
+impl fmt::Display for ChunkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "chunk-{}-{:x}-{}", self.blob.0, self.write_tag, self.slot)
+    }
+}
+
+/// Identifier of a data provider (storage node).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ProviderId(pub u32);
+
+impl fmt::Display for ProviderId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "provider-{}", self.0)
+    }
+}
+
+/// Identifier of a metadata provider (a node of the metadata DHT).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct MetaNodeId(pub u32);
+
+impl fmt::Display for MetaNodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "meta-{}", self.0)
+    }
+}
+
+/// Identifier of a client process, used for accounting and monitoring.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ClientId(pub u64);
+
+impl fmt::Display for ClientId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "client-{}", self.0)
+    }
+}
+
+/// Monotonic id generator usable from many threads.
+///
+/// The version manager and the file-system layer use one of these per kind
+/// of entity they mint ids for.
+#[derive(Debug, Default)]
+pub struct IdGenerator {
+    next: AtomicU64,
+}
+
+impl IdGenerator {
+    /// Creates a generator whose first id will be `start`.
+    #[must_use]
+    pub fn starting_at(start: u64) -> Self {
+        IdGenerator {
+            next: AtomicU64::new(start),
+        }
+    }
+
+    /// Returns the next id, advancing the counter.
+    pub fn next_id(&self) -> u64 {
+        self.next.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Returns how many ids have been handed out so far (relative to the
+    /// starting point).
+    pub fn issued(&self) -> u64 {
+        self.next.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use std::sync::Arc;
+
+    #[test]
+    fn version_next_prev_roundtrip() {
+        let v = Version(41);
+        assert_eq!(v.next(), Version(42));
+        assert_eq!(v.next().prev(), Some(v));
+        assert_eq!(Version::ZERO.prev(), None);
+    }
+
+    #[test]
+    fn display_formats_are_stable() {
+        assert_eq!(BlobId(7).to_string(), "blob-7");
+        assert_eq!(Version(3).to_string(), "v3");
+        assert_eq!(ProviderId(2).to_string(), "provider-2");
+        assert_eq!(MetaNodeId(9).to_string(), "meta-9");
+        assert_eq!(ClientId(5).to_string(), "client-5");
+        let c = ChunkId {
+            blob: BlobId(1),
+            write_tag: 0xff,
+            slot: 4,
+        };
+        assert_eq!(c.to_string(), "chunk-1-ff-4");
+    }
+
+    #[test]
+    fn chunk_ids_differ_by_slot_and_tag() {
+        let a = ChunkId {
+            blob: BlobId(1),
+            write_tag: 10,
+            slot: 0,
+        };
+        let b = ChunkId { slot: 1, ..a };
+        let c = ChunkId { write_tag: 11, ..a };
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        let set: HashSet<_> = [a, b, c].into_iter().collect();
+        assert_eq!(set.len(), 3);
+    }
+
+    #[test]
+    fn id_generator_is_monotonic_across_threads() {
+        let generator = Arc::new(IdGenerator::default());
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let g = Arc::clone(&generator);
+            handles.push(std::thread::spawn(move || {
+                (0..100).map(|_| g.next_id()).collect::<Vec<_>>()
+            }));
+        }
+        let mut all = HashSet::new();
+        for h in handles {
+            for id in h.join().unwrap() {
+                assert!(all.insert(id), "duplicate id {id}");
+            }
+        }
+        assert_eq!(all.len(), 800);
+        assert_eq!(generator.issued(), 800);
+    }
+
+    #[test]
+    fn id_generator_starting_at_offsets_first_id() {
+        let g = IdGenerator::starting_at(100);
+        assert_eq!(g.next_id(), 100);
+        assert_eq!(g.next_id(), 101);
+    }
+}

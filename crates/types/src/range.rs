@@ -1,0 +1,310 @@
+//! Byte ranges and chunk-slot arithmetic.
+//!
+//! BlobSeer addresses data by `(offset, size)` pairs; chunking, segment-tree
+//! construction and read planning are all range manipulations, so they live
+//! here in one well-tested place.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A half-open byte range `[offset, offset + len)` inside a blob.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ByteRange {
+    /// First byte covered by the range.
+    pub offset: u64,
+    /// Number of bytes covered. May be zero (the empty range).
+    pub len: u64,
+}
+
+impl ByteRange {
+    /// Creates a range from its first byte and length.
+    #[must_use]
+    pub fn new(offset: u64, len: u64) -> Self {
+        ByteRange { offset, len }
+    }
+
+    /// The empty range at offset zero.
+    #[must_use]
+    pub fn empty() -> Self {
+        ByteRange { offset: 0, len: 0 }
+    }
+
+    /// One past the last byte covered.
+    #[must_use]
+    pub fn end(&self) -> u64 {
+        self.offset + self.len
+    }
+
+    /// Whether the range covers zero bytes.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Whether `pos` falls inside the range.
+    #[must_use]
+    pub fn contains(&self, pos: u64) -> bool {
+        pos >= self.offset && pos < self.end()
+    }
+
+    /// Whether `other` is entirely inside `self`.
+    #[must_use]
+    pub fn contains_range(&self, other: &ByteRange) -> bool {
+        other.is_empty() && self.contains(other.offset)
+            || (other.offset >= self.offset && other.end() <= self.end() && !other.is_empty())
+    }
+
+    /// Whether the two ranges share at least one byte.
+    #[must_use]
+    pub fn overlaps(&self, other: &ByteRange) -> bool {
+        !self.is_empty()
+            && !other.is_empty()
+            && self.offset < other.end()
+            && other.offset < self.end()
+    }
+
+    /// The intersection of the two ranges, or `None` if they are disjoint.
+    #[must_use]
+    pub fn intersect(&self, other: &ByteRange) -> Option<ByteRange> {
+        if !self.overlaps(other) {
+            return None;
+        }
+        let offset = self.offset.max(other.offset);
+        let end = self.end().min(other.end());
+        Some(ByteRange::new(offset, end - offset))
+    }
+
+    /// The smallest range covering both inputs (including any gap between
+    /// them).
+    #[must_use]
+    pub fn hull(&self, other: &ByteRange) -> ByteRange {
+        if self.is_empty() {
+            return *other;
+        }
+        if other.is_empty() {
+            return *self;
+        }
+        let offset = self.offset.min(other.offset);
+        let end = self.end().max(other.end());
+        ByteRange::new(offset, end - offset)
+    }
+
+    /// Splits the range in two halves of equal length.
+    ///
+    /// Only meaningful for ranges of even length (segment-tree nodes always
+    /// cover a power-of-two number of chunks, so their byte length is even as
+    /// long as the chunk size is at least two bytes).
+    #[must_use]
+    pub fn split(&self) -> (ByteRange, ByteRange) {
+        let half = self.len / 2;
+        (
+            ByteRange::new(self.offset, half),
+            ByteRange::new(self.offset + half, self.len - half),
+        )
+    }
+}
+
+impl fmt::Display for ByteRange {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {})", self.offset, self.end())
+    }
+}
+
+/// A chunk slot: the `index`-th fixed-size chunk of a blob, covering bytes
+/// `[index * chunk_size, (index + 1) * chunk_size)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ChunkSlot {
+    /// Index of the chunk slot within the blob.
+    pub index: u64,
+    /// Chunk size the blob was created with.
+    pub chunk_size: u64,
+}
+
+impl ChunkSlot {
+    /// The byte range covered by this slot.
+    #[must_use]
+    pub fn range(&self) -> ByteRange {
+        ByteRange::new(self.index * self.chunk_size, self.chunk_size)
+    }
+
+    /// The slot covering byte `offset` of a blob with the given chunk size.
+    #[must_use]
+    pub fn covering(offset: u64, chunk_size: u64) -> Self {
+        ChunkSlot {
+            index: offset / chunk_size,
+            chunk_size,
+        }
+    }
+}
+
+/// Returns the chunk slots intersecting `range` for a blob with the given
+/// chunk size, in increasing order. An empty range yields no slots.
+#[must_use]
+pub fn chunk_span(range: ByteRange, chunk_size: u64) -> Vec<ChunkSlot> {
+    assert!(chunk_size > 0, "chunk size must be positive");
+    if range.is_empty() {
+        return Vec::new();
+    }
+    let first = range.offset / chunk_size;
+    let last = (range.end() - 1) / chunk_size;
+    (first..=last)
+        .map(|index| ChunkSlot { index, chunk_size })
+        .collect()
+}
+
+/// Rounds `n` up to the next power of two, with a minimum of 1.
+#[must_use]
+pub fn next_power_of_two(n: u64) -> u64 {
+    n.max(1).next_power_of_two()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn end_and_contains() {
+        let r = ByteRange::new(10, 5);
+        assert_eq!(r.end(), 15);
+        assert!(r.contains(10));
+        assert!(r.contains(14));
+        assert!(!r.contains(15));
+        assert!(!r.contains(9));
+        assert!(!ByteRange::empty().contains(0));
+    }
+
+    #[test]
+    fn overlap_and_intersection() {
+        let a = ByteRange::new(0, 10);
+        let b = ByteRange::new(5, 10);
+        let c = ByteRange::new(10, 5);
+        assert!(a.overlaps(&b));
+        assert!(!a.overlaps(&c));
+        assert_eq!(a.intersect(&b), Some(ByteRange::new(5, 5)));
+        assert_eq!(a.intersect(&c), None);
+        assert_eq!(a.intersect(&ByteRange::empty()), None);
+    }
+
+    #[test]
+    fn contains_range_for_nested_and_straddling() {
+        let outer = ByteRange::new(0, 100);
+        assert!(outer.contains_range(&ByteRange::new(10, 20)));
+        assert!(outer.contains_range(&ByteRange::new(0, 100)));
+        assert!(!outer.contains_range(&ByteRange::new(90, 20)));
+    }
+
+    #[test]
+    fn hull_covers_both_and_any_gap() {
+        let a = ByteRange::new(0, 10);
+        let b = ByteRange::new(30, 10);
+        assert_eq!(a.hull(&b), ByteRange::new(0, 40));
+        assert_eq!(a.hull(&ByteRange::empty()), a);
+        assert_eq!(ByteRange::empty().hull(&b), b);
+    }
+
+    #[test]
+    fn split_halves_even_ranges() {
+        let r = ByteRange::new(8, 16);
+        let (l, rgt) = r.split();
+        assert_eq!(l, ByteRange::new(8, 8));
+        assert_eq!(rgt, ByteRange::new(16, 8));
+    }
+
+    #[test]
+    fn chunk_span_basic_alignment() {
+        // Range exactly covering chunks 1 and 2 of a 4-byte chunked blob.
+        let slots = chunk_span(ByteRange::new(4, 8), 4);
+        assert_eq!(slots.len(), 2);
+        assert_eq!(slots[0].index, 1);
+        assert_eq!(slots[1].index, 2);
+        assert_eq!(slots[0].range(), ByteRange::new(4, 4));
+    }
+
+    #[test]
+    fn chunk_span_unaligned_range_touches_boundary_chunks() {
+        // Bytes [3, 9) of a 4-byte chunked blob touch chunks 0, 1 and 2.
+        let slots = chunk_span(ByteRange::new(3, 6), 4);
+        let indexes: Vec<u64> = slots.iter().map(|s| s.index).collect();
+        assert_eq!(indexes, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn chunk_span_empty_range_is_empty() {
+        assert!(chunk_span(ByteRange::new(100, 0), 4).is_empty());
+    }
+
+    #[test]
+    fn chunk_slot_covering_offset() {
+        let slot = ChunkSlot::covering(13, 4);
+        assert_eq!(slot.index, 3);
+        assert_eq!(slot.range(), ByteRange::new(12, 4));
+    }
+
+    #[test]
+    fn next_power_of_two_edges() {
+        assert_eq!(next_power_of_two(0), 1);
+        assert_eq!(next_power_of_two(1), 1);
+        assert_eq!(next_power_of_two(3), 4);
+        assert_eq!(next_power_of_two(16), 16);
+        assert_eq!(next_power_of_two(17), 32);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_intersection_is_contained_in_both(
+            ao in 0u64..1_000, al in 0u64..1_000,
+            bo in 0u64..1_000, bl in 0u64..1_000,
+        ) {
+            let a = ByteRange::new(ao, al);
+            let b = ByteRange::new(bo, bl);
+            if let Some(i) = a.intersect(&b) {
+                prop_assert!(a.contains_range(&i));
+                prop_assert!(b.contains_range(&i));
+                prop_assert!(!i.is_empty());
+            }
+        }
+
+        #[test]
+        fn prop_overlap_is_symmetric(
+            ao in 0u64..1_000, al in 0u64..1_000,
+            bo in 0u64..1_000, bl in 0u64..1_000,
+        ) {
+            let a = ByteRange::new(ao, al);
+            let b = ByteRange::new(bo, bl);
+            prop_assert_eq!(a.overlaps(&b), b.overlaps(&a));
+        }
+
+        #[test]
+        fn prop_chunk_span_covers_range(
+            offset in 0u64..10_000, len in 1u64..10_000, chunk_size in 1u64..512,
+        ) {
+            let range = ByteRange::new(offset, len);
+            let slots = chunk_span(range, chunk_size);
+            // Union of slot ranges covers the request.
+            let first = slots.first().unwrap().range();
+            let last = slots.last().unwrap().range();
+            prop_assert!(first.offset <= range.offset);
+            prop_assert!(last.end() >= range.end());
+            // Every slot intersects the request and slots are contiguous.
+            for (i, slot) in slots.iter().enumerate() {
+                prop_assert!(slot.range().overlaps(&range));
+                if i > 0 {
+                    prop_assert_eq!(slot.index, slots[i - 1].index + 1);
+                }
+            }
+        }
+
+        #[test]
+        fn prop_hull_contains_both(
+            ao in 0u64..1_000, al in 1u64..1_000,
+            bo in 0u64..1_000, bl in 1u64..1_000,
+        ) {
+            let a = ByteRange::new(ao, al);
+            let b = ByteRange::new(bo, bl);
+            let h = a.hull(&b);
+            prop_assert!(h.contains_range(&a));
+            prop_assert!(h.contains_range(&b));
+        }
+    }
+}

@@ -1,0 +1,114 @@
+//! Integration tests: provider failures, replication and the QoS feedback
+//! loop on a real in-process cluster.
+
+use blobseer::core::Cluster;
+use blobseer::qos::{MonitoringCollector, QosController};
+use blobseer::types::{BlobConfig, ClusterConfig, PlacementPolicy, ProviderId};
+use std::sync::Arc;
+
+#[test]
+fn replicated_data_survives_rolling_failures() {
+    let cluster = Cluster::new(ClusterConfig {
+        data_providers: 6,
+        metadata_providers: 3,
+        ..ClusterConfig::default()
+    })
+    .unwrap();
+    let client = cluster.client();
+    let blob = client.create_blob(BlobConfig::new(1024, 3).unwrap()).unwrap();
+    let payload: Vec<u8> = (0..20_000u32).map(|i| (i % 251) as u8).collect();
+    client.append(blob, &payload).unwrap();
+
+    // Fail two providers at a time, in a rolling fashion: with replication 3
+    // every chunk always keeps at least one live replica.
+    for pair in [(0u32, 1u32), (2, 3), (4, 5)] {
+        cluster.fail_provider(ProviderId(pair.0)).unwrap();
+        cluster.fail_provider(ProviderId(pair.1)).unwrap();
+        assert_eq!(client.read_all(blob, None).unwrap(), payload);
+        cluster.recover_provider(ProviderId(pair.0)).unwrap();
+        cluster.recover_provider(ProviderId(pair.1)).unwrap();
+    }
+}
+
+#[test]
+fn writes_continue_and_recover_after_provider_failures() {
+    let cluster = Cluster::new(ClusterConfig {
+        data_providers: 4,
+        metadata_providers: 2,
+        ..ClusterConfig::default()
+    })
+    .unwrap();
+    let client = cluster.client();
+    let blob = client.create_blob(BlobConfig::new(512, 2).unwrap()).unwrap();
+    client.append(blob, &vec![1u8; 2048]).unwrap();
+
+    cluster.fail_provider(ProviderId(0)).unwrap();
+    cluster.fail_provider(ProviderId(1)).unwrap();
+    // Two live providers remain: replication 2 is still satisfiable.
+    client.append(blob, &vec![2u8; 2048]).unwrap();
+    cluster.recover_provider(ProviderId(0)).unwrap();
+    cluster.recover_provider(ProviderId(1)).unwrap();
+    client.append(blob, &vec![3u8; 2048]).unwrap();
+
+    let all = client.read_all(blob, None).unwrap();
+    assert_eq!(all.len(), 6144);
+    assert!(all[..2048].iter().all(|&b| b == 1));
+    assert!(all[2048..4096].iter().all(|&b| b == 2));
+    assert!(all[4096..].iter().all(|&b| b == 3));
+}
+
+#[test]
+fn metadata_dht_replication_survives_a_metadata_node_failure() {
+    let cluster = Cluster::new(ClusterConfig {
+        data_providers: 4,
+        metadata_providers: 3,
+        dht_replication: 2,
+        ..ClusterConfig::default()
+    })
+    .unwrap();
+    let client = cluster.client();
+    let blob = client.create_blob(BlobConfig::new(512, 1).unwrap()).unwrap();
+    let payload = vec![5u8; 8192];
+    client.append(blob, &payload).unwrap();
+
+    cluster.fail_metadata_node(blobseer::types::MetaNodeId(0)).unwrap();
+    assert_eq!(client.read_all(blob, None).unwrap(), payload);
+    cluster.recover_metadata_node(blobseer::types::MetaNodeId(0)).unwrap();
+}
+
+#[test]
+fn qos_feedback_steers_placement_away_from_a_failed_provider() {
+    let cluster = Cluster::new(ClusterConfig {
+        data_providers: 6,
+        metadata_providers: 2,
+        placement: PlacementPolicy::QosAware,
+        ..ClusterConfig::default()
+    })
+    .unwrap();
+    let client = cluster.client();
+    let blob = client.create_blob(BlobConfig::new(4096, 1).unwrap()).unwrap();
+    let collector = Arc::new(MonitoringCollector::new(cluster.providers()));
+    let mut controller = QosController::new(
+        Arc::clone(&collector),
+        Arc::clone(cluster.provider_manager()),
+        3,
+        4,
+    );
+
+    for round in 0..10u8 {
+        if round == 4 {
+            cluster.fail_provider(ProviderId(1)).unwrap();
+        }
+        client.append(blob, &vec![round; 16 * 1024]).unwrap();
+        collector.sample();
+    }
+    let flagged = controller.step().unwrap();
+    assert!(flagged.contains(&ProviderId(1)), "failed provider must be flagged: {flagged:?}");
+    // Subsequent placements avoid the flagged provider.
+    let before = cluster.provider(ProviderId(1)).unwrap().stats().chunks;
+    for round in 0..5u8 {
+        client.append(blob, &vec![round; 16 * 1024]).unwrap();
+    }
+    let after = cluster.provider(ProviderId(1)).unwrap().stats().chunks;
+    assert_eq!(before, after, "no new chunks may land on the flagged provider");
+}

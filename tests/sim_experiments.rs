@@ -1,0 +1,84 @@
+//! Integration tests: the simulated-cluster experiment pipeline reproduces
+//! the qualitative shapes the paper reports (these are the assertions behind
+//! EXPERIMENTS.md, run at reduced scale so the suite stays fast).
+
+use blobseer::sim::{SimulatedCluster, WorkloadBuilder};
+use blobseer::types::{ClusterConfig, PlacementPolicy};
+use blobseer_bench as bench;
+
+fn cluster(data: usize, meta: usize) -> SimulatedCluster {
+    SimulatedCluster::new(ClusterConfig {
+        data_providers: data,
+        metadata_providers: meta,
+        placement: PlacementPolicy::RoundRobin,
+        ..ClusterConfig::default()
+    })
+    .unwrap()
+}
+
+#[test]
+fn writes_scale_with_concurrency_like_fig_a2() {
+    let series = bench::fig_a2_concurrent_rw(&[1, 16], 16);
+    for s in &series {
+        assert!(
+            s.points[1].throughput_mibps > 5.0 * s.points[0].throughput_mibps,
+            "{} must scale with clients",
+            s.name
+        );
+    }
+}
+
+#[test]
+fn metadata_decentralization_shape_like_fig_c1() {
+    let series = bench::fig_c1_metadata_decentralization(&[48], 32, 8, 256);
+    let centralized = series[0].final_throughput().unwrap();
+    let decentralized = series[1].final_throughput().unwrap();
+    assert!(
+        decentralized > 1.5 * centralized,
+        "DHT metadata ({decentralized:.0}) must beat centralized ({centralized:.0})"
+    );
+}
+
+#[test]
+fn striping_shape_like_fig_c2() {
+    let series = bench::fig_c2_provider_sweep(&[2, 32], 32, 16);
+    assert!(series.points[1].throughput_mibps > 4.0 * series.points[0].throughput_mibps);
+}
+
+#[test]
+fn bsfs_vs_hdfs_shape_like_fig_d1() {
+    let series = bench::fig_d1_bsfs_vs_hdfs(&[1, 32], 16);
+    let bsfs_gain = series[0].points[1].throughput_mibps / series[0].points[0].throughput_mibps;
+    let hdfs_gain = series[1].points[1].throughput_mibps / series[1].points[0].throughput_mibps;
+    assert!(bsfs_gain > 8.0);
+    assert!(hdfs_gain < 1.2);
+}
+
+#[test]
+fn qos_feedback_shape_like_fig_e1() {
+    let (without, with) = bench::fig_e1_qos_stability(24, 8, 10.0);
+    assert!(with.aggregated_mibps > 1.1 * without.aggregated_mibps);
+}
+
+#[test]
+fn replication_shape_like_tab_e2() {
+    let rows = bench::tab_e2_replication(&[1, 2], 8);
+    assert!(rows[0].write_mibps > rows[1].write_mibps);
+    assert!(rows[1].read_availability >= rows[0].read_availability);
+}
+
+#[test]
+fn provider_load_is_balanced_under_round_robin() {
+    let mut sim = cluster(16, 8);
+    let workload = WorkloadBuilder::new(16)
+        .ops_per_client(2)
+        .op_size(16 << 20)
+        .chunk_size(1 << 20)
+        .concurrent_appends();
+    let result = sim.run(&workload).unwrap();
+    let loads: Vec<u64> = result.provider_write_bytes.values().copied().collect();
+    let max = *loads.iter().max().unwrap() as f64;
+    let min = *loads.iter().min().unwrap() as f64;
+    assert!(min > 0.0);
+    assert!(max / min < 1.6, "round-robin striping must balance provider load");
+}
