@@ -22,7 +22,11 @@ fn bench_segment_tree_weave(c: &mut Criterion) {
     let chunks: Vec<WrittenChunk> = (0..4096)
         .map(|slot| WrittenChunk {
             slot,
-            chunk: ChunkId { blob, write_tag: 1, slot },
+            chunk: ChunkId {
+                blob,
+                write_tag: 1,
+                slot,
+            },
             providers: vec![ProviderId((slot % 64) as u32)],
             len: chunk_size,
         })
@@ -48,7 +52,11 @@ fn bench_segment_tree_weave(c: &mut Criterion) {
                 base.descriptor.size,
                 &[WrittenChunk {
                     slot: 1234,
-                    chunk: ChunkId { blob, write_tag: 2, slot: 1234 },
+                    chunk: ChunkId {
+                        blob,
+                        write_tag: 2,
+                        slot: 1234,
+                    },
                     providers: vec![ProviderId(0)],
                     len: chunk_size,
                 }],
@@ -96,7 +104,11 @@ fn bench_ram_store(c: &mut Criterion) {
         let mut slot = 0u64;
         b.iter(|| {
             slot += 1;
-            let id = ChunkId { blob: BlobId(1), write_tag: 3, slot };
+            let id = ChunkId {
+                blob: BlobId(1),
+                write_tag: 3,
+                slot,
+            };
             store.put(id, payload.clone()).unwrap();
             store.get(&id).unwrap()
         })
@@ -111,7 +123,9 @@ fn bench_client_roundtrip(c: &mut Criterion) {
     })
     .unwrap();
     let client = cluster.client();
-    let blob = client.create_blob(BlobConfig::new(64 << 10, 1).unwrap()).unwrap();
+    let blob = client
+        .create_blob(BlobConfig::new(64 << 10, 1).unwrap())
+        .unwrap();
     let payload = vec![42u8; 256 << 10];
     c.bench_function("client_append_256k", |b| {
         b.iter_batched(

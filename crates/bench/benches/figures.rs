@@ -30,7 +30,9 @@ fn bench_fig_b1_append_scaling(c: &mut Criterion) {
 }
 
 fn bench_fig_b2_size_sweep(c: &mut Criterion) {
-    c.bench_function("fig_b2_size_sweep", |b| b.iter(|| fig_b2_size_sweep(16, &[8, 32])));
+    c.bench_function("fig_b2_size_sweep", |b| {
+        b.iter(|| fig_b2_size_sweep(16, &[8, 32]))
+    });
 }
 
 fn bench_fig_c1_meta_decentralization(c: &mut Criterion) {
@@ -46,23 +48,33 @@ fn bench_fig_c2_provider_sweep(c: &mut Criterion) {
 }
 
 fn bench_fig_d1_bsfs_vs_hdfs(c: &mut Criterion) {
-    c.bench_function("fig_d1_bsfs_vs_hdfs", |b| b.iter(|| fig_d1_bsfs_vs_hdfs(&[1, 16], 16)));
+    c.bench_function("fig_d1_bsfs_vs_hdfs", |b| {
+        b.iter(|| fig_d1_bsfs_vs_hdfs(&[1, 16], 16))
+    });
 }
 
 fn bench_fig_d2_mapreduce_jobs(c: &mut Criterion) {
-    c.bench_function("fig_d2_mapreduce_jobs", |b| b.iter(|| fig_d2_mapreduce_jobs(200, 4)));
+    c.bench_function("fig_d2_mapreduce_jobs", |b| {
+        b.iter(|| fig_d2_mapreduce_jobs(200, 4))
+    });
 }
 
 fn bench_fig_e1_qos_stability(c: &mut Criterion) {
-    c.bench_function("fig_e1_qos_stability", |b| b.iter(|| fig_e1_qos_stability(8, 4, 8.0)));
+    c.bench_function("fig_e1_qos_stability", |b| {
+        b.iter(|| fig_e1_qos_stability(8, 4, 8.0))
+    });
 }
 
 fn bench_tab_e2_replication(c: &mut Criterion) {
-    c.bench_function("tab_e2_replication", |b| b.iter(|| tab_e2_replication(&[1, 2], 8)));
+    c.bench_function("tab_e2_replication", |b| {
+        b.iter(|| tab_e2_replication(&[1, 2], 8))
+    });
 }
 
 fn bench_ablation_chunk_size(c: &mut Criterion) {
-    c.bench_function("ablation_chunk_size", |b| b.iter(|| ablation_chunk_size(&[256, 1024], 8)));
+    c.bench_function("ablation_chunk_size", |b| {
+        b.iter(|| ablation_chunk_size(&[256, 1024], 8))
+    });
 }
 
 criterion_group! {

@@ -2,6 +2,7 @@
 //! write concurrency (Section IV.C).
 
 use blobseer_bench::fig_c1_metadata_decentralization;
+use blobseer_bench::{emit, series_list_json};
 use blobseer_sim::format_table;
 
 fn main() {
@@ -10,4 +11,5 @@ fn main() {
     println!("Fig. C1 — aggregated write throughput, 16 MiB appends with 256 KiB chunks\n");
     print!("{}", format_table("writers", &series));
     println!("\nExpected shape (paper): with a centralized metadata server the throughput\nsaturates early; the DHT keeps scaling with the number of writers.");
+    emit("fig_c1", series_list_json(&series));
 }

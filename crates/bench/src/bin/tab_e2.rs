@@ -1,12 +1,16 @@
 //! Tab. E2 — replication overhead and read availability under failures
 //! (Sections IV.E and V).
 
-use blobseer_bench::tab_e2_replication;
+use blobseer_bench::{emit, tab_e2_replication, Json};
 
 fn main() {
     println!("Tab. E2 — replication factor vs write throughput and read availability\n");
-    println!("{:>12} {:>20} {:>26}", "replication", "write (MiB/s)", "reads ok w/ 25% failed");
-    for row in tab_e2_replication(&[1, 2, 3], 32) {
+    println!(
+        "{:>12} {:>20} {:>26}",
+        "replication", "write (MiB/s)", "reads ok w/ 25% failed"
+    );
+    let rows = tab_e2_replication(&[1, 2, 3], 32);
+    for row in &rows {
         println!(
             "{:>12} {:>20.1} {:>25.1}%",
             row.replication,
@@ -15,4 +19,14 @@ fn main() {
         );
     }
     println!("\nExpected shape: each extra replica costs write bandwidth but masks failures.");
+    emit(
+        "tab_e2",
+        Json::arr(rows.iter().map(|row| {
+            Json::obj([
+                ("replication", Json::num(row.replication as f64)),
+                ("write_mibps", Json::num(row.write_mibps)),
+                ("read_availability", Json::num(row.read_availability)),
+            ])
+        })),
+    );
 }

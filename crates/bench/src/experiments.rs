@@ -11,7 +11,9 @@ use blobseer_hdfs::HdfsLikeFs;
 use blobseer_mapreduce::{
     grep_job, sort_job, wordcount_job, BsfsStorage, HdfsStorage, JobStorage, MapReduceEngine,
 };
-use blobseer_meta::{build_write_metadata, publish_metadata, InMemoryMetaStore, SnapshotDescriptor, WrittenChunk};
+use blobseer_meta::{
+    build_write_metadata, publish_metadata, InMemoryMetaStore, SnapshotDescriptor, WrittenChunk,
+};
 use blobseer_qos::{MonitoringCollector, QosController};
 use blobseer_sim::{
     mean, std_dev, SimulatedCluster, SweepSeries, Workload, WorkloadBuilder, NANOS_PER_SEC,
@@ -25,7 +27,11 @@ use std::time::Duration;
 /// 1 MiB, the chunk size used by most of the paper's experiments.
 pub const MIB: u64 = 1 << 20;
 
-fn sim(data_providers: usize, metadata_providers: usize, placement: PlacementPolicy) -> SimulatedCluster {
+fn sim(
+    data_providers: usize,
+    metadata_providers: usize,
+    placement: PlacementPolicy,
+) -> SimulatedCluster {
     let config = ClusterConfig {
         data_providers,
         metadata_providers,
@@ -45,7 +51,11 @@ fn run_series(
     for &n in clients {
         let mut cluster = make_sim();
         let result = cluster.run(&make_workload(n)).expect("simulation run");
-        series.push(n as f64, result.aggregated_mibps(), result.mean_latency_ms());
+        series.push(
+            n as f64,
+            result.aggregated_mibps(),
+            result.mean_latency_ms(),
+        );
     }
     series
 }
@@ -82,7 +92,11 @@ pub fn fig_a1_metadata_overhead(blob_chunk_counts: &[u64]) -> Vec<MetadataOverhe
         let base_chunks: Vec<WrittenChunk> = (0..chunks)
             .map(|slot| WrittenChunk {
                 slot,
-                chunk: ChunkId { blob, write_tag: 1, slot },
+                chunk: ChunkId {
+                    blob,
+                    write_tag: 1,
+                    slot,
+                },
                 providers: vec![ProviderId((slot % 64) as u32)],
                 len: chunk_size,
             })
@@ -106,7 +120,11 @@ pub fn fig_a1_metadata_overhead(blob_chunk_counts: &[u64]) -> Vec<MetadataOverhe
             base.descriptor.size,
             &[WrittenChunk {
                 slot: chunks / 2,
-                chunk: ChunkId { blob, write_tag: 2, slot: chunks / 2 },
+                chunk: ChunkId {
+                    blob,
+                    write_tag: 2,
+                    slot: chunks / 2,
+                },
                 providers: vec![ProviderId(0)],
                 len: chunk_size,
             }],
@@ -192,7 +210,11 @@ pub fn fig_b2_size_sweep(clients: usize, op_sizes_mib: &[u64]) -> SweepSeries {
             .chunk_size(MIB)
             .concurrent_appends();
         let result = cluster.run(&workload).expect("simulation run");
-        series.push(size as f64, result.aggregated_mibps(), result.mean_latency_ms());
+        series.push(
+            size as f64,
+            result.aggregated_mibps(),
+            result.mean_latency_ms(),
+        );
     }
     series
 }
@@ -243,7 +265,11 @@ pub fn fig_c2_provider_sweep(providers: &[usize], clients: usize, op_mib: u64) -
             .chunk_size(MIB)
             .concurrent_appends();
         let result = cluster.run(&workload).expect("simulation run");
-        series.push(p as f64, result.aggregated_mibps(), result.mean_latency_ms());
+        series.push(
+            p as f64,
+            result.aggregated_mibps(),
+            result.mean_latency_ms(),
+        );
     }
     series
 }
@@ -282,8 +308,8 @@ pub fn fig_d1_bsfs_vs_hdfs(clients: &[usize], op_mib: u64) -> Vec<SweepSeries> {
         let total_bytes = ops * op_mib * MIB;
         let pipeline_seconds = total_bytes as f64 / config.link_bandwidth_bps as f64;
         let blocks = total_bytes.div_ceil(64 * MIB);
-        let namenode_seconds = (blocks + ops) as f64 * config.meta_service_ns as f64
-            / NANOS_PER_SEC as f64;
+        let namenode_seconds =
+            (blocks + ops) as f64 * config.meta_service_ns as f64 / NANOS_PER_SEC as f64;
         let makespan = pipeline_seconds + namenode_seconds;
         let throughput = total_bytes as f64 / (1024.0 * 1024.0) / makespan;
         let latency_ms = makespan / ops as f64 * 1_000.0;
@@ -331,26 +357,30 @@ pub fn fig_d2_mapreduce_jobs(corpus_lines: usize, workers: usize) -> Vec<MapRedu
     })
     .expect("cluster");
     let bsfs_fs = Arc::new(
-        Bsfs::new(Arc::new(cluster.client()), BlobConfig::new(256 << 10, 1).unwrap()).unwrap(),
+        Bsfs::new(
+            Arc::new(cluster.client()),
+            BlobConfig::new(256 << 10, 1).unwrap(),
+        )
+        .unwrap(),
     );
     let bsfs_storage = Arc::new(BsfsStorage::new(Arc::clone(&bsfs_fs)));
     bsfs_storage.create_file("/in/corpus").unwrap();
-    bsfs_storage.append("/in/corpus", corpus.as_bytes()).unwrap();
+    bsfs_storage
+        .append("/in/corpus", corpus.as_bytes())
+        .unwrap();
     let bsfs_engine = MapReduceEngine::new(bsfs_storage, workers);
 
     // HDFS-like backend.
     let hdfs_fs = Arc::new(HdfsLikeFs::new(8, 256 << 10, 1).unwrap());
     let hdfs_storage = Arc::new(HdfsStorage::new(Arc::clone(&hdfs_fs)));
     hdfs_storage.create_file("/in/corpus").unwrap();
-    hdfs_storage.append("/in/corpus", corpus.as_bytes()).unwrap();
+    hdfs_storage
+        .append("/in/corpus", corpus.as_bytes())
+        .unwrap();
     let hdfs_engine = MapReduceEngine::new(hdfs_storage, workers);
 
     let split = 64 << 10;
-    let jobs = [
-        ("wordcount", 0usize),
-        ("grep", 1),
-        ("sort", 2),
-    ];
+    let jobs = [("wordcount", 0usize), ("grep", 1), ("sort", 2)];
     let mut rows = Vec::new();
     for (name, kind) in jobs {
         let make = |out: &str| match kind {
@@ -358,8 +388,12 @@ pub fn fig_d2_mapreduce_jobs(corpus_lines: usize, workers: usize) -> Vec<MapRedu
             1 => grep_job(vec!["/in/corpus".into()], out, "error", 4, split),
             _ => sort_job(vec!["/in/corpus".into()], out, 4, split),
         };
-        let bsfs_report = bsfs_engine.run(&make(&format!("/out/bsfs/{name}"))).unwrap();
-        let hdfs_report = hdfs_engine.run(&make(&format!("/out/hdfs/{name}"))).unwrap();
+        let bsfs_report = bsfs_engine
+            .run(&make(&format!("/out/bsfs/{name}")))
+            .unwrap();
+        let hdfs_report = hdfs_engine
+            .run(&make(&format!("/out/hdfs/{name}")))
+            .unwrap();
         rows.push(MapReduceComparison {
             job: name.to_string(),
             bsfs: bsfs_report.elapsed,
@@ -549,7 +583,11 @@ pub fn ablation_chunk_size(chunk_kib: &[u64], clients: usize) -> SweepSeries {
             .chunk_size(kib << 10)
             .concurrent_appends();
         let result = cluster.run(&workload).expect("simulation run");
-        series.push(kib as f64, result.aggregated_mibps(), result.mean_latency_ms());
+        series.push(
+            kib as f64,
+            result.aggregated_mibps(),
+            result.mean_latency_ms(),
+        );
     }
     series
 }
@@ -596,7 +634,12 @@ pub fn ablation_meta_cache(clients: usize, op_mib: u64) -> Vec<(String, f64)> {
                 .disjoint_reads();
             let result = cluster.run(&workload).expect("simulation run");
             (
-                if cache { "metadata cache ON" } else { "metadata cache OFF" }.to_string(),
+                if cache {
+                    "metadata cache ON"
+                } else {
+                    "metadata cache OFF"
+                }
+                .to_string(),
                 result.aggregated_mibps(),
             )
         })
@@ -615,7 +658,10 @@ mod tests {
         assert_eq!(rows[0].tree_depth + 4, rows[1].tree_depth);
         assert_eq!(rows[1].tree_depth + 4, rows[2].tree_depth);
         assert!(rows[2].nodes_per_write <= rows[0].nodes_per_write + 8);
-        assert!(rows[2].overhead_ratio < 0.01, "metadata must stay a tiny fraction of data");
+        assert!(
+            rows[2].overhead_ratio < 0.01,
+            "metadata must stay a tiny fraction of data"
+        );
     }
 
     #[test]
@@ -633,7 +679,10 @@ mod tests {
         let hdfs = &series[1];
         assert!(bsfs.points[1].throughput_mibps > 4.0 * bsfs.points[0].throughput_mibps);
         let flat = hdfs.points[1].throughput_mibps / hdfs.points[0].throughput_mibps;
-        assert!(flat < 1.2, "single-writer throughput must not scale with clients");
+        assert!(
+            flat < 1.2,
+            "single-writer throughput must not scale with clients"
+        );
         assert!(bsfs.points[1].throughput_mibps > 3.0 * hdfs.points[1].throughput_mibps);
     }
 
@@ -664,7 +713,10 @@ mod tests {
     #[test]
     fn tab_e2_replication_trades_throughput_for_availability() {
         let rows = tab_e2_replication(&[1, 3], 8);
-        assert!(rows[0].write_mibps > rows[1].write_mibps, "replication costs write throughput");
+        assert!(
+            rows[0].write_mibps > rows[1].write_mibps,
+            "replication costs write throughput"
+        );
         assert!(rows[1].read_availability > rows[0].read_availability);
         assert!((rows[1].read_availability - 1.0).abs() < 1e-9);
     }
@@ -675,6 +727,9 @@ mod tests {
         assert_eq!(ablation_placement(8, 8).len(), 4);
         let cache = ablation_meta_cache(8, 8);
         assert_eq!(cache.len(), 2);
-        assert!(cache[0].1 >= cache[1].1 * 0.95, "caching must not hurt reads");
+        assert!(
+            cache[0].1 >= cache[1].1 * 0.95,
+            "caching must not hurt reads"
+        );
     }
 }

@@ -8,5 +8,7 @@
 //! numbers are recorded in `EXPERIMENTS.md`.
 
 pub mod experiments;
+pub mod json;
 
 pub use experiments::*;
+pub use json::{emit, series_json, series_list_json, Json};

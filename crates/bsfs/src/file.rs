@@ -135,9 +135,9 @@ impl<'a> FileReader<'a> {
         let buffer_end = self.buffer_offset + self.buffer.len() as u64;
         if self.position < self.buffer_offset || self.position >= buffer_end {
             let fetch_len = self.buffer_capacity.min(self.size - self.position);
-            self.buffer = self
-                .client
-                .read(self.blob, Some(self.version), self.position, fetch_len)?;
+            self.buffer =
+                self.client
+                    .read(self.blob, Some(self.version), self.position, fetch_len)?;
             self.buffer_offset = self.position;
             self.fetches += 1;
         }
@@ -246,7 +246,11 @@ mod tests {
         let mut buf = vec![0u8; 32];
         let n = reader.read(&mut buf).unwrap();
         assert_eq!(&buf[..n], b"first");
-        assert_eq!(reader.read(&mut buf).unwrap(), 0, "reader must not see the new snapshot");
+        assert_eq!(
+            reader.read(&mut buf).unwrap(),
+            0,
+            "reader must not see the new snapshot"
+        );
     }
 
     #[test]

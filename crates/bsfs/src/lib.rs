@@ -152,7 +152,9 @@ impl Bsfs {
         split_bytes: u64,
     ) -> Result<Vec<(ByteRange, Vec<ProviderId>)>> {
         if split_bytes == 0 {
-            return Err(BlobError::InvalidConfig("split size must be positive".into()));
+            return Err(BlobError::InvalidConfig(
+                "split size must be positive".into(),
+            ));
         }
         let size = self.file_size(path)?;
         let locations = self.locations(path)?;

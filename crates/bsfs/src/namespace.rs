@@ -138,7 +138,11 @@ impl Namespace {
             }
             None => return Err(BlobError::InvalidPath(format!("{path} does not exist"))),
         }
-        let prefix = if path == "/" { "/".to_string() } else { format!("{path}/") };
+        let prefix = if path == "/" {
+            "/".to_string()
+        } else {
+            format!("{path}/")
+        };
         let mut names = Vec::new();
         for child in entries.keys() {
             if let Some(rest) = child.strip_prefix(&prefix) {
@@ -295,7 +299,10 @@ mod tests {
         let ns = Namespace::new();
         ns.create_dir_all("/d").unwrap();
         assert!(matches!(ns.file_blob("/d"), Err(BlobError::InvalidPath(_))));
-        assert!(matches!(ns.file_blob("/nope"), Err(BlobError::InvalidPath(_))));
+        assert!(matches!(
+            ns.file_blob("/nope"),
+            Err(BlobError::InvalidPath(_))
+        ));
     }
 
     #[test]

@@ -7,26 +7,30 @@
 //! boundary merging, placement, replication, parallel chunk transfer,
 //! metadata weaving and publication — happens here, so that the service
 //! processes stay as small as the paper describes them.
+//!
+//! Clients are decoupled from the deployment: they talk to metadata through
+//! a [`MetadataService`] trait object, to the data plane through a
+//! [`ChunkService`] trait object, and move chunks through the cluster-owned
+//! [`TransferPool`] instead of spawning threads per operation (see
+//! [`crate::services`]).
 
+use crate::services::{ChunkService, MetadataService};
+use crate::transfer::TransferPool;
 use crate::version_manager::{VersionManager, WriteKind, WriteTicket};
 use blobseer_meta::{
     build_repair_metadata, build_write_metadata_chained, collect_leaves, publish_metadata,
-    LeafNode, MetadataStore, SnapshotDescriptor, WriteSummary, WrittenChunk,
+    LeafNode, SnapshotDescriptor, WriteSummary, WrittenChunk,
 };
-use blobseer_provider::{DataProvider, PlacementRequest, ProviderManager};
+use blobseer_provider::PlacementRequest;
 use blobseer_types::{
     chunk_span, BlobConfig, BlobError, BlobId, ByteRange, ChunkId, ClientId, ProviderId, Result,
-    Version,
+    RetryPolicy, Version,
 };
 use bytes::Bytes;
 use parking_lot::Mutex;
-use rand::Rng;
-use std::collections::HashMap;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use std::sync::Arc;
-
-/// Maximum number of threads one client uses to push or fetch chunks in
-/// parallel for a single operation.
-const MAX_TRANSFER_THREADS: usize = 8;
 
 /// Per-client operation counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -54,14 +58,20 @@ pub struct ClientStats {
 /// A client of a BlobSeer deployment.
 ///
 /// Clients are cheap to create (one per thread is the intended usage) and
-/// hold only shared handles to the services plus private statistics and an
-/// optional private metadata cache.
+/// hold only shared handles to the services plus private statistics, a
+/// private write-tag generator and an optional private metadata cache. The
+/// services are named only by their traits — [`MetadataService`] and
+/// [`ChunkService`] — so the same client runs unchanged against the
+/// in-process wiring, a simulator shim or a future networked transport.
 pub struct BlobClient {
     id: ClientId,
     version_manager: Arc<VersionManager>,
-    provider_manager: Arc<ProviderManager>,
-    providers: Arc<HashMap<ProviderId, Arc<DataProvider>>>,
-    metadata: Arc<dyn MetadataStore>,
+    chunks: Arc<dyn ChunkService>,
+    metadata: Arc<dyn MetadataService>,
+    transfers: Arc<TransferPool>,
+    /// Client-owned generator for write tags, seeded once at creation so the
+    /// write hot path never touches thread-local storage.
+    rng: Mutex<StdRng>,
     stats: Mutex<ClientStats>,
 }
 
@@ -71,16 +81,17 @@ impl BlobClient {
     pub fn new(
         id: ClientId,
         version_manager: Arc<VersionManager>,
-        provider_manager: Arc<ProviderManager>,
-        providers: Arc<HashMap<ProviderId, Arc<DataProvider>>>,
-        metadata: Arc<dyn MetadataStore>,
+        chunks: Arc<dyn ChunkService>,
+        metadata: Arc<dyn MetadataService>,
+        transfers: Arc<TransferPool>,
     ) -> Self {
         BlobClient {
             id,
             version_manager,
-            provider_manager,
-            providers,
+            chunks,
             metadata,
+            transfers,
+            rng: Mutex::new(StdRng::from_entropy()),
             stats: Mutex::new(ClientStats::default()),
         }
     }
@@ -223,12 +234,8 @@ impl BlobClient {
     /// client process disappeared entirely.
     pub fn repair_aborted_write(&self, ticket: &WriteTicket) -> Result<()> {
         let summary = Self::ticket_summary(ticket);
-        let repair = build_repair_metadata(
-            self.metadata.as_ref(),
-            ticket.blob,
-            &ticket.chain,
-            &summary,
-        )?;
+        let repair =
+            build_repair_metadata(self.metadata.as_ref(), ticket.blob, &ticket.chain, &summary)?;
         publish_metadata(self.metadata.as_ref(), &repair)
     }
 
@@ -322,7 +329,12 @@ impl BlobClient {
                     valid.len.min(predecessor_size.saturating_sub(valid.offset)),
                 );
                 if !old_range.is_empty() {
-                    let old = self.read_reference_range(blob, &ticket.chain, old_range)?;
+                    let old = self.read_reference_range(
+                        blob,
+                        &ticket.chain,
+                        old_range,
+                        &config.meta_retry,
+                    )?;
                     for (i, byte) in old.iter().enumerate() {
                         let pos = old_range.offset + i as u64;
                         if !write_range.contains(pos) {
@@ -334,14 +346,16 @@ impl BlobClient {
             payloads.push((slot.index, Bytes::from(buf)));
         }
 
-        // Ask the provider manager where to put each chunk.
-        let placement = self.provider_manager.allocate(PlacementRequest {
+        // Ask the chunk service where to put each chunk.
+        let placement = self.chunks.allocate(PlacementRequest {
             chunk_count: payloads.len(),
             replication: config.replication,
         })?;
 
-        // Push all chunks (and their replicas) in parallel groups.
-        let write_tag: u64 = rand::thread_rng().gen();
+        // Push all chunks (and their replicas) through the shared transfer
+        // pool. The tag salting chunk ids is drawn from the client-owned
+        // generator: no thread-local lookup on the hot path.
+        let write_tag: u64 = self.rng.lock().gen();
         let chunks = self.push_chunks(blob, write_tag, &payloads, &placement)?;
 
         // Weave and store the metadata, then hand the version back to the
@@ -372,6 +386,7 @@ impl BlobClient {
         blob: BlobId,
         chain: &blobseer_meta::ReferenceChain,
         range: ByteRange,
+        retry: &RetryPolicy,
     ) -> Result<Vec<u8>> {
         let mut out = vec![0u8; range.len as usize];
         if range.is_empty() {
@@ -386,7 +401,7 @@ impl BlobClient {
             let Some(child) = chain.resolve(self.metadata.as_ref(), blob, slot_range)? else {
                 continue; // never written: zeros
             };
-            let Some(leaf) = self.wait_for_leaf(blob, child)? else {
+            let Some(leaf) = self.wait_for_leaf(blob, child, retry)? else {
                 continue; // predecessor never completed: repaired to a hole
             };
             if leaf.is_hole() {
@@ -406,14 +421,17 @@ impl BlobClient {
     }
 
     /// Fetches the leaf node referenced by `child`, following aliases and
-    /// waiting (bounded) for nodes a concurrent writer has not stored yet.
+    /// waiting (bounded exponential backoff, configured per blob) for nodes
+    /// a concurrent writer has not stored yet.
     fn wait_for_leaf(
         &self,
         blob: BlobId,
         child: blobseer_meta::ChildRef,
+        retry: &RetryPolicy,
     ) -> Result<Option<LeafNode>> {
         let mut target = child;
-        for attempt in 0..500u32 {
+        let mut missed = 0u32;
+        for attempt in 0..retry.max_attempts {
             match self.metadata.get_node(&target.key(blob)) {
                 Some(blobseer_meta::NodeBody::Leaf(leaf)) => return Ok(Some(leaf)),
                 Some(blobseer_meta::NodeBody::Alias(next)) => target = next,
@@ -424,19 +442,21 @@ impl BlobClient {
                     )))
                 }
                 None => {
-                    if attempt == 499 {
+                    if attempt + 1 == retry.max_attempts {
                         break;
                     }
-                    std::thread::sleep(std::time::Duration::from_millis(2));
+                    std::thread::sleep(std::time::Duration::from_micros(retry.delay_us(missed)));
+                    missed += 1;
                 }
             }
         }
         Ok(None)
     }
 
-    /// Pushes every payload to its assigned providers, falling back to other
-    /// live providers when an assigned one fails mid-write. Returns the
-    /// written-chunk records for metadata weaving.
+    /// Pushes every payload to its assigned providers through the shared
+    /// transfer pool, falling back to other live providers when an assigned
+    /// one fails mid-write. Returns the written-chunk records for metadata
+    /// weaving, in slot order.
     fn push_chunks(
         &self,
         blob: BlobId,
@@ -444,121 +464,52 @@ impl BlobClient {
         payloads: &[(u64, Bytes)],
         placement: &[Vec<ProviderId>],
     ) -> Result<Vec<WrittenChunk>> {
-        let groups = payloads.len().min(MAX_TRANSFER_THREADS).max(1);
-        let chunk_per_group = payloads.len().div_ceil(groups);
-        let mut results: Vec<Result<Vec<WrittenChunk>>> = Vec::new();
-        std::thread::scope(|scope| {
-            let mut handles = Vec::new();
-            for group in 0..groups {
-                let start = group * chunk_per_group;
-                let end = (start + chunk_per_group).min(payloads.len());
-                if start >= end {
-                    continue;
+        let tasks: Vec<_> = payloads
+            .iter()
+            .zip(placement)
+            .map(|((slot, data), replicas)| {
+                let service = Arc::clone(&self.chunks);
+                let slot = *slot;
+                let data = data.clone(); // O(1): `Bytes` is reference counted
+                let replicas = replicas.clone();
+                move || -> Result<WrittenChunk> {
+                    let chunk = ChunkId {
+                        blob,
+                        write_tag,
+                        slot,
+                    };
+                    let providers = store_replicas(service.as_ref(), chunk, &data, &replicas)?;
+                    Ok(WrittenChunk {
+                        slot,
+                        chunk,
+                        providers,
+                        len: data.len() as u64,
+                    })
                 }
-                let payloads = &payloads[start..end];
-                let placement = &placement[start..end];
-                handles.push(scope.spawn(move || {
-                    let mut written = Vec::with_capacity(payloads.len());
-                    for ((slot, data), replicas) in payloads.iter().zip(placement) {
-                        let chunk = ChunkId {
-                            blob,
-                            write_tag,
-                            slot: *slot,
-                        };
-                        let providers = self.store_replicas(chunk, data, replicas)?;
-                        written.push(WrittenChunk {
-                            slot: *slot,
-                            chunk,
-                            providers,
-                            len: data.len() as u64,
-                        });
-                    }
-                    Ok(written)
-                }));
-            }
-            for handle in handles {
-                results.push(handle.join().expect("chunk transfer thread panicked"));
-            }
-        });
+            })
+            .collect();
         let mut chunks = Vec::with_capacity(payloads.len());
         let mut pushed = 0u64;
-        for group in results {
-            let group = group?;
-            pushed += group.iter().map(|c| c.providers.len() as u64).sum::<u64>();
-            chunks.extend(group);
+        for result in self.transfers.execute(tasks) {
+            let written = result?;
+            pushed += written.providers.len() as u64;
+            chunks.push(written);
         }
         self.stats.lock().chunks_written += pushed;
         chunks.sort_by_key(|c| c.slot);
         Ok(chunks)
     }
 
-    /// Stores one chunk on the requested replicas, substituting other live
-    /// providers for failed ones. At least one replica must succeed.
-    fn store_replicas(
-        &self,
-        chunk: ChunkId,
-        data: &Bytes,
-        replicas: &[ProviderId],
-    ) -> Result<Vec<ProviderId>> {
-        let mut stored = Vec::with_capacity(replicas.len());
-        let mut failed = Vec::new();
-        for &pid in replicas {
-            match self.try_store(pid, chunk, data) {
-                Ok(()) => stored.push(pid),
-                Err(_) => failed.push(pid),
-            }
-        }
-        if !failed.is_empty() {
-            // Try to restore the replication level using other live providers.
-            let mut candidates = self.provider_manager.live_providers();
-            candidates.retain(|p| !stored.contains(p) && !failed.contains(p));
-            for pid in candidates {
-                if stored.len() == replicas.len() {
-                    break;
-                }
-                if self.try_store(pid, chunk, data).is_ok() {
-                    stored.push(pid);
-                }
-            }
-        }
-        if stored.is_empty() {
-            return Err(BlobError::InsufficientProviders {
-                needed: 1,
-                available: 0,
-            });
-        }
-        Ok(stored)
-    }
-
-    fn try_store(&self, pid: ProviderId, chunk: ChunkId, data: &Bytes) -> Result<()> {
-        let provider = self
-            .providers
-            .get(&pid)
-            .ok_or(BlobError::UnknownProvider(pid))?;
-        provider.put_chunk(chunk, data.clone())
-    }
-
-    /// Fetches one chunk from any provider holding a replica.
+    /// Fetches one chunk from any provider holding a replica (inline, used
+    /// by the boundary-merge path which reads a handful of chunks at most).
     fn fetch_chunk(&self, leaf: &LeafNode) -> Result<Bytes> {
-        let mut last_err = BlobError::ChunkNotFound(
-            leaf.chunk,
-            leaf.providers.first().copied().unwrap_or(ProviderId(0)),
-        );
-        for pid in &leaf.providers {
-            if let Some(provider) = self.providers.get(pid) {
-                match provider.get_chunk(&leaf.chunk) {
-                    Ok(data) => {
-                        self.stats.lock().chunks_read += 1;
-                        return Ok(data);
-                    }
-                    Err(err) => last_err = err,
-                }
-            }
-        }
-        Err(last_err)
+        let data = fetch_chunk_replica(self.chunks.as_ref(), leaf)?;
+        self.stats.lock().chunks_read += 1;
+        Ok(data)
     }
 
-    /// Fetches many chunks in parallel groups, preserving input order.
+    /// Fetches many chunks through the shared transfer pool, preserving
+    /// input order.
     fn fetch_chunks(
         &self,
         jobs: Vec<(ByteRange, LeafNode)>,
@@ -566,37 +517,77 @@ impl BlobClient {
         if jobs.is_empty() {
             return Ok(Vec::new());
         }
-        let groups = jobs.len().min(MAX_TRANSFER_THREADS).max(1);
-        let per_group = jobs.len().div_ceil(groups);
-        let mut results: Vec<Result<Vec<(ByteRange, LeafNode, Bytes)>>> = Vec::new();
-        std::thread::scope(|scope| {
-            let mut handles = Vec::new();
-            for group in 0..groups {
-                let start = group * per_group;
-                let end = (start + per_group).min(jobs.len());
-                if start >= end {
-                    continue;
+        let count = jobs.len();
+        let tasks: Vec<_> = jobs
+            .into_iter()
+            .map(|(slot_range, leaf)| {
+                let service = Arc::clone(&self.chunks);
+                move || -> Result<(ByteRange, LeafNode, Bytes)> {
+                    let data = fetch_chunk_replica(service.as_ref(), &leaf)?;
+                    Ok((slot_range, leaf, data))
                 }
-                let slice = &jobs[start..end];
-                handles.push(scope.spawn(move || {
-                    let mut fetched = Vec::with_capacity(slice.len());
-                    for (slot_range, leaf) in slice {
-                        let data = self.fetch_chunk(leaf)?;
-                        fetched.push((*slot_range, leaf.clone(), data));
-                    }
-                    Ok(fetched)
-                }));
-            }
-            for handle in handles {
-                results.push(handle.join().expect("chunk fetch thread panicked"));
-            }
-        });
-        let mut out = Vec::with_capacity(jobs.len());
-        for group in results {
-            out.extend(group?);
+            })
+            .collect();
+        let mut out = Vec::with_capacity(count);
+        for result in self.transfers.execute(tasks) {
+            out.push(result?);
         }
+        self.stats.lock().chunks_read += out.len() as u64;
         Ok(out)
     }
+}
+
+/// Stores one chunk on the requested replicas, substituting other live
+/// providers for failed ones. At least one replica must succeed.
+fn store_replicas(
+    service: &dyn ChunkService,
+    chunk: ChunkId,
+    data: &Bytes,
+    replicas: &[ProviderId],
+) -> Result<Vec<ProviderId>> {
+    let mut stored = Vec::with_capacity(replicas.len());
+    let mut failed = Vec::new();
+    for &pid in replicas {
+        match service.put_chunk(pid, chunk, data.clone()) {
+            Ok(()) => stored.push(pid),
+            Err(_) => failed.push(pid),
+        }
+    }
+    if !failed.is_empty() {
+        // Try to restore the replication level using other live providers.
+        let mut candidates = service.live_providers();
+        candidates.retain(|p| !stored.contains(p) && !failed.contains(p));
+        for pid in candidates {
+            if stored.len() == replicas.len() {
+                break;
+            }
+            if service.put_chunk(pid, chunk, data.clone()).is_ok() {
+                stored.push(pid);
+            }
+        }
+    }
+    if stored.is_empty() {
+        return Err(BlobError::InsufficientProviders {
+            needed: 1,
+            available: 0,
+        });
+    }
+    Ok(stored)
+}
+
+/// Fetches one chunk from the first replica that can serve it.
+fn fetch_chunk_replica(service: &dyn ChunkService, leaf: &LeafNode) -> Result<Bytes> {
+    let mut last_err = BlobError::ChunkNotFound(
+        leaf.chunk,
+        leaf.providers.first().copied().unwrap_or(ProviderId(0)),
+    );
+    for &pid in &leaf.providers {
+        match service.get_chunk(pid, &leaf.chunk) {
+            Ok(data) => return Ok(data),
+            Err(err) => last_err = err,
+        }
+    }
+    Err(last_err)
 }
 
 #[cfg(test)]
@@ -612,7 +603,9 @@ mod tests {
     }
 
     fn pattern(len: usize, seed: u8) -> Vec<u8> {
-        (0..len).map(|i| (i as u8).wrapping_mul(31).wrapping_add(seed)).collect()
+        (0..len)
+            .map(|i| (i as u8).wrapping_mul(31).wrapping_add(seed))
+            .collect()
     }
 
     #[test]
@@ -795,7 +788,11 @@ mod tests {
         assert_eq!(locations.len(), 4);
         for (slot_range, providers) in &locations {
             assert_eq!(slot_range.len, CS);
-            assert_eq!(providers.len(), 2, "replication 2 means two providers per slot");
+            assert_eq!(
+                providers.len(),
+                2,
+                "replication 2 means two providers per slot"
+            );
         }
         // Round-robin placement spreads the slots over different providers.
         let distinct: std::collections::HashSet<ProviderId> = locations

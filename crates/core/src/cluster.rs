@@ -9,9 +9,11 @@
 //! `blobseer-sim` crate instead.
 
 use crate::client::BlobClient;
+use crate::services::{ChunkService, InProcessChunkService, MetadataService};
+use crate::transfer::TransferPool;
 use crate::version_manager::VersionManager;
 use blobseer_dht::Dht;
-use blobseer_meta::{CachedMetadataStore, MetadataStore, NodeBody, NodeKey};
+use blobseer_meta::{CachedMetadataStore, NodeBody, NodeKey};
 use blobseer_provider::{DataProvider, PersistentStore, ProviderManager};
 use blobseer_types::{
     BlobError, ClientId, ClusterConfig, IdGenerator, MetaNodeId, ProviderId, Result,
@@ -21,12 +23,19 @@ use std::path::Path;
 use std::sync::Arc;
 
 /// A complete in-process BlobSeer deployment.
+///
+/// The cluster owns the concrete service implementations — the version
+/// manager, the [`InProcessChunkService`] (provider manager + data
+/// providers) and the metadata-provider DHT — plus the shared
+/// [`TransferPool`] every client moves chunks through. Clients obtained from
+/// [`Cluster::client`] see only the [`ChunkService`] / [`MetadataService`]
+/// traits.
 pub struct Cluster {
     config: ClusterConfig,
     version_manager: Arc<VersionManager>,
-    provider_manager: Arc<ProviderManager>,
-    providers: Arc<HashMap<ProviderId, Arc<DataProvider>>>,
+    chunk_service: Arc<InProcessChunkService>,
     metadata: Arc<Dht<NodeKey, NodeBody>>,
+    transfers: Arc<TransferPool>,
     client_ids: IdGenerator,
 }
 
@@ -47,8 +56,8 @@ impl Cluster {
         let dir = dir.as_ref().to_path_buf();
         Self::build(config, move |id| {
             let path = dir.join(format!("provider-{}.log", id.0));
-            let store = PersistentStore::open(path, cache_bytes)
-                .expect("cannot open provider log file");
+            let store =
+                PersistentStore::open(path, cache_bytes).expect("cannot open provider log file");
             Arc::new(DataProvider::with_store(id, Arc::new(store)))
         })
     }
@@ -70,13 +79,17 @@ impl Cluster {
             config.dht_virtual_nodes,
             config.dht_replication,
         )?);
+        // One transfer pool for the whole deployment: clients share it, so
+        // concurrent operations queue on a fixed worker set instead of
+        // spawning threads per read/write.
+        let transfers = Arc::new(TransferPool::new(config.transfer_workers));
         Ok(Cluster {
-            config,
             version_manager: Arc::new(VersionManager::new()),
-            provider_manager,
-            providers: Arc::new(providers),
+            chunk_service: Arc::new(InProcessChunkService::new(provider_manager, providers)),
             metadata,
+            transfers,
             client_ids: IdGenerator::starting_at(1),
+            config,
         })
     }
 
@@ -92,7 +105,12 @@ impl Cluster {
 
     /// The provider manager service.
     pub fn provider_manager(&self) -> &Arc<ProviderManager> {
-        &self.provider_manager
+        self.chunk_service.manager()
+    }
+
+    /// The chunk service clients of this cluster talk to.
+    pub fn chunk_service(&self) -> &Arc<InProcessChunkService> {
+        &self.chunk_service
     }
 
     /// The metadata-provider DHT.
@@ -100,33 +118,36 @@ impl Cluster {
         &self.metadata
     }
 
+    /// The shared chunk-transfer pool.
+    pub fn transfer_pool(&self) -> &Arc<TransferPool> {
+        &self.transfers
+    }
+
     /// Handle of one data provider.
     pub fn provider(&self, id: ProviderId) -> Option<Arc<DataProvider>> {
-        self.providers.get(&id).cloned()
+        self.chunk_service.provider(id)
     }
 
     /// Handles of every data provider, in id order.
     pub fn providers(&self) -> Vec<Arc<DataProvider>> {
-        let mut ids: Vec<ProviderId> = self.providers.keys().copied().collect();
-        ids.sort();
-        ids.iter().map(|id| self.providers[id].clone()).collect()
+        self.chunk_service.providers()
     }
 
     /// Creates a new client of this cluster. The client gets its own
     /// metadata cache when the cluster configuration enables client-side
     /// caching.
     pub fn client(&self) -> BlobClient {
-        let meta_store: Arc<dyn MetadataStore> = if self.config.client_metadata_cache {
+        let meta_store: Arc<dyn MetadataService> = if self.config.client_metadata_cache {
             Arc::new(CachedMetadataStore::new(Arc::clone(&self.metadata)))
         } else {
-            Arc::clone(&self.metadata) as Arc<dyn MetadataStore>
+            Arc::clone(&self.metadata) as Arc<dyn MetadataService>
         };
         BlobClient::new(
             ClientId(self.client_ids.next_id()),
             Arc::clone(&self.version_manager),
-            Arc::clone(&self.provider_manager),
-            Arc::clone(&self.providers),
+            Arc::clone(&self.chunk_service) as Arc<dyn ChunkService>,
             meta_store,
+            Arc::clone(&self.transfers),
         )
     }
 
@@ -134,21 +155,21 @@ impl Cluster {
     /// and the provider manager stops placing new chunks on it.
     pub fn fail_provider(&self, id: ProviderId) -> Result<()> {
         let provider = self
-            .providers
-            .get(&id)
+            .chunk_service
+            .provider(id)
             .ok_or(BlobError::UnknownProvider(id))?;
         provider.set_alive(false);
-        self.provider_manager.set_alive(id, false)
+        self.provider_manager().set_alive(id, false)
     }
 
     /// Recovers a previously failed data provider.
     pub fn recover_provider(&self, id: ProviderId) -> Result<()> {
         let provider = self
-            .providers
-            .get(&id)
+            .chunk_service
+            .provider(id)
             .ok_or(BlobError::UnknownProvider(id))?;
         provider.set_alive(true);
-        self.provider_manager.set_alive(id, true)
+        self.provider_manager().set_alive(id, true)
     }
 
     /// Injects a metadata-provider failure.
@@ -164,9 +185,11 @@ impl Cluster {
     /// Pushes every provider's current statistics to the provider manager,
     /// as the periodic heartbeat of a real deployment would.
     pub fn report_provider_loads(&self) {
-        for (id, provider) in self.providers.iter() {
+        for provider in self.chunk_service.iter_providers() {
             if provider.is_alive() {
-                let _ = self.provider_manager.report_load(*id, provider.stats());
+                let _ = self
+                    .provider_manager()
+                    .report_load(provider.id(), provider.stats());
             }
         }
     }
@@ -174,7 +197,10 @@ impl Cluster {
     /// Total payload bytes currently stored across all data providers
     /// (replicas counted as many times as they are stored).
     pub fn total_stored_bytes(&self) -> u64 {
-        self.providers.values().map(|p| p.stats().bytes).sum()
+        self.chunk_service
+            .iter_providers()
+            .map(|p| p.stats().bytes)
+            .sum()
     }
 }
 

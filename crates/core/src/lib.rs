@@ -36,8 +36,12 @@
 
 pub mod client;
 pub mod cluster;
+pub mod services;
+pub mod transfer;
 pub mod version_manager;
 
 pub use client::{BlobClient, ClientStats};
 pub use cluster::Cluster;
+pub use services::{ChunkService, InProcessChunkService, MetadataService};
+pub use transfer::{TransferPool, TransferPoolStats};
 pub use version_manager::{VersionManager, VersionManagerStats, WriteKind, WriteTicket};

@@ -1,0 +1,125 @@
+//! The pluggable client–service boundary.
+//!
+//! A [`crate::client::BlobClient`] talks to exactly three services, each
+//! behind an interface it holds as a trait object:
+//!
+//! * the **version manager** (the tiny serialisation point — still a
+//!   concrete type, [`crate::version_manager::VersionManager`], because the
+//!   paper's protocol gives it exactly one implementation);
+//! * a [`MetadataService`] — where segment-tree nodes live. The in-process
+//!   deployment plugs in the metadata-provider DHT
+//!   (`blobseer_dht::Dht<NodeKey, NodeBody>`), optionally wrapped in a
+//!   client-side [`blobseer_meta::CachedMetadataStore`]; unit tests plug in
+//!   [`blobseer_meta::InMemoryMetaStore`]; the simulator plugs in a
+//!   recording wrapper that charges DHT traffic to simulated resources.
+//! * a [`ChunkService`] — where chunk payloads live and how placement is
+//!   decided. The in-process deployment plugs in
+//!   [`InProcessChunkService`]; a networked deployment would plug in an RPC
+//!   client speaking to remote providers.
+//!
+//! Because clients only name these traits, every ROADMAP direction that
+//! changes *where* the services run (sharded metadata, async transports,
+//! remote providers) is a new trait implementation, not a client rewrite.
+
+use blobseer_meta::{MetadataStore, NodeBody, NodeKey};
+
+pub use blobseer_provider::{ChunkService, InProcessChunkService};
+
+/// The metadata half of the service boundary.
+///
+/// Everything a client needs from metadata is the write-once node store
+/// defined by [`MetadataStore`]; this trait adds the client-side helper for
+/// following repair aliases and is blanket-implemented for every store, so
+/// any `MetadataStore` (the DHT, an in-memory map, a caching wrapper, a
+/// simulator shim) is automatically a `MetadataService`.
+pub trait MetadataService: MetadataStore {
+    /// Fetches `key`, transparently following [`NodeBody::Alias`] forwarding
+    /// nodes (created by repair weaving for aborted writes) to the node that
+    /// actually holds content. Returns `None` if the chain dead-ends on a
+    /// node that was never stored, or if it exceeds 64 hops (alias chains
+    /// grow by one per repaired write of a range; a longer chain means the
+    /// metadata is corrupted, and hanging on a cycle would be worse than
+    /// reporting the node missing).
+    fn get_node_resolved(&self, key: &NodeKey) -> Option<NodeBody> {
+        let mut key = *key;
+        for _ in 0..64 {
+            match self.get_node(&key)? {
+                NodeBody::Alias(target) => key = target.key(key.blob),
+                body => return Some(body),
+            }
+        }
+        None
+    }
+}
+
+impl<S: MetadataStore + ?Sized> MetadataService for S {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blobseer_meta::{ChildRef, InMemoryMetaStore, LeafNode};
+    use blobseer_types::{BlobId, ByteRange, Version};
+    use std::sync::Arc;
+
+    fn key(version: u64) -> NodeKey {
+        NodeKey {
+            blob: BlobId(1),
+            version: Version(version),
+            range: ByteRange::new(0, 64),
+        }
+    }
+
+    #[test]
+    fn resolution_follows_alias_chains() {
+        let store = InMemoryMetaStore::new();
+        let leaf = NodeBody::Leaf(LeafNode::hole(BlobId(1), 0));
+        store.put_node(key(1), leaf.clone()).unwrap();
+        store
+            .put_node(
+                key(2),
+                NodeBody::Alias(ChildRef {
+                    version: Version(1),
+                    range: ByteRange::new(0, 64),
+                }),
+            )
+            .unwrap();
+        store
+            .put_node(
+                key(3),
+                NodeBody::Alias(ChildRef {
+                    version: Version(2),
+                    range: ByteRange::new(0, 64),
+                }),
+            )
+            .unwrap();
+        assert_eq!(store.get_node_resolved(&key(3)), Some(leaf.clone()));
+        assert_eq!(store.get_node_resolved(&key(1)), Some(leaf));
+        assert_eq!(store.get_node_resolved(&key(9)), None);
+    }
+
+    #[test]
+    fn resolution_bails_out_of_alias_cycles() {
+        let store = InMemoryMetaStore::new();
+        // Corrupted metadata: an alias pointing at itself.
+        store
+            .put_node(
+                key(1),
+                NodeBody::Alias(ChildRef {
+                    version: Version(1),
+                    range: ByteRange::new(0, 64),
+                }),
+            )
+            .unwrap();
+        assert_eq!(store.get_node_resolved(&key(1)), None);
+    }
+
+    #[test]
+    fn every_store_is_a_metadata_service() {
+        // The blanket impl must cover plain stores, trait objects and Arcs.
+        let store = InMemoryMetaStore::new();
+        let as_service: &dyn MetadataService = &store;
+        assert_eq!(as_service.node_count(), 0);
+        let arc: Arc<dyn MetadataService> = Arc::new(InMemoryMetaStore::new());
+        assert!(arc.get_node_resolved(&key(1)).is_none());
+    }
+}

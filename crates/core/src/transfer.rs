@@ -1,0 +1,301 @@
+//! The shared chunk-transfer pool.
+//!
+//! The first prototype spawned up to eight fresh OS threads per read/write
+//! operation (`std::thread::scope` inside the client), which put thread
+//! creation and teardown on every hot path and let N concurrent clients
+//! burst into `8·N` threads. A [`TransferPool`] replaces that: a fixed set
+//! of worker threads owned by the cluster, fed through a channel, shared by
+//! every client of the deployment. Clients submit a batch of independent
+//! transfer tasks and block until all of them finish; parallelism is bounded
+//! by the pool size no matter how many clients are active.
+
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Counters of the pool's lifetime activity.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TransferPoolStats {
+    /// Tasks executed on a pool worker.
+    pub tasks_run: u64,
+    /// Tasks executed inline on the caller thread (single-task batches and
+    /// zero-worker pools skip the queue entirely).
+    pub tasks_inline: u64,
+    /// Submitted tasks that panicked.
+    pub tasks_panicked: u64,
+}
+
+struct PoolShared {
+    tasks_run: AtomicU64,
+    tasks_inline: AtomicU64,
+    tasks_panicked: AtomicU64,
+}
+
+/// A fixed-size worker pool for parallel chunk pushes and fetches.
+pub struct TransferPool {
+    /// `None` when the pool was built with zero workers (fully inline mode).
+    sender: Option<Sender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+    shared: Arc<PoolShared>,
+}
+
+impl TransferPool {
+    /// Starts a pool with `workers` threads. A pool of zero workers is
+    /// valid: every batch then runs inline on the submitting thread (useful
+    /// for debugging and deterministic tests).
+    #[must_use]
+    pub fn new(workers: usize) -> Self {
+        let shared = Arc::new(PoolShared {
+            tasks_run: AtomicU64::new(0),
+            tasks_inline: AtomicU64::new(0),
+            tasks_panicked: AtomicU64::new(0),
+        });
+        if workers == 0 {
+            return TransferPool {
+                sender: None,
+                workers: Vec::new(),
+                shared,
+            };
+        }
+        let (sender, receiver) = channel::<Job>();
+        let receiver = Arc::new(Mutex::new(receiver));
+        let handles = (0..workers)
+            .map(|i| {
+                let receiver = Arc::clone(&receiver);
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("blobseer-transfer-{i}"))
+                    .spawn(move || Self::worker_loop(&receiver, &shared))
+                    .expect("cannot spawn transfer worker")
+            })
+            .collect();
+        TransferPool {
+            sender: Some(sender),
+            workers: handles,
+            shared,
+        }
+    }
+
+    fn worker_loop(receiver: &Mutex<Receiver<Job>>, shared: &PoolShared) {
+        loop {
+            // Take the next job while holding the receiver lock, then run it
+            // with the lock released so workers actually execute in parallel.
+            let job = {
+                let rx = receiver.lock().unwrap_or_else(|e| e.into_inner());
+                rx.recv()
+            };
+            let Ok(job) = job else {
+                return; // every sender dropped: the pool is shutting down
+            };
+            shared.tasks_run.fetch_add(1, Ordering::Relaxed);
+            // A panicking task must not kill the worker: the panic is
+            // reported to the submitting client (its result slot stays
+            // empty), not to unrelated clients sharing the pool.
+            if std::panic::catch_unwind(AssertUnwindSafe(job)).is_err() {
+                shared.tasks_panicked.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Number of worker threads.
+    #[must_use]
+    pub fn worker_count(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Lifetime activity counters.
+    #[must_use]
+    pub fn stats(&self) -> TransferPoolStats {
+        TransferPoolStats {
+            tasks_run: self.shared.tasks_run.load(Ordering::Relaxed),
+            tasks_inline: self.shared.tasks_inline.load(Ordering::Relaxed),
+            tasks_panicked: self.shared.tasks_panicked.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Runs every task (in parallel on the pool workers) and returns their
+    /// results in task order. Blocks until the whole batch is done.
+    ///
+    /// Single-task batches and zero-worker pools run inline on the calling
+    /// thread: the queue only pays off when there is actual parallelism.
+    ///
+    /// # Panics
+    ///
+    /// If a task panics on a worker, the batch panics here (mirroring the
+    /// `join().expect(...)` of the old per-operation scoped threads).
+    pub fn execute<T, F>(&self, tasks: Vec<F>) -> Vec<T>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        let Some(sender) = &self.sender else {
+            return self.run_inline(tasks);
+        };
+        if tasks.len() <= 1 {
+            return self.run_inline(tasks);
+        }
+        let count = tasks.len();
+        let (tx, rx) = channel::<(usize, T)>();
+        for (index, task) in tasks.into_iter().enumerate() {
+            let tx = tx.clone();
+            let job: Job = Box::new(move || {
+                let result = task();
+                // The receiver only disappears if the submitting thread
+                // panicked; dropping the result is the right fallback.
+                let _ = tx.send((index, result));
+            });
+            sender.send(job).expect("transfer pool workers are gone");
+        }
+        drop(tx);
+        let mut slots: Vec<Option<T>> = (0..count).map(|_| None).collect();
+        for (index, result) in rx {
+            slots[index] = Some(result);
+        }
+        slots
+            .into_iter()
+            .map(|slot| slot.expect("a transfer task panicked"))
+            .collect()
+    }
+
+    fn run_inline<T, F: FnOnce() -> T>(&self, tasks: Vec<F>) -> Vec<T> {
+        self.shared
+            .tasks_inline
+            .fetch_add(tasks.len() as u64, Ordering::Relaxed);
+        tasks.into_iter().map(|task| task()).collect()
+    }
+}
+
+impl Drop for TransferPool {
+    fn drop(&mut self) {
+        // Closing the channel makes every worker's recv fail and exit.
+        self.sender = None;
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for TransferPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TransferPool")
+            .field("workers", &self.workers.len())
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn results_come_back_in_task_order() {
+        let pool = TransferPool::new(4);
+        let tasks: Vec<_> = (0..32u64)
+            .map(|i| {
+                move || {
+                    // Stagger finish times so completion order differs from
+                    // submission order.
+                    std::thread::sleep(std::time::Duration::from_micros((32 - i) * 50));
+                    i * 2
+                }
+            })
+            .collect();
+        let results = pool.execute(tasks);
+        assert_eq!(results, (0..32u64).map(|i| i * 2).collect::<Vec<_>>());
+        assert!(pool.stats().tasks_run >= 32);
+    }
+
+    #[test]
+    fn zero_worker_pool_runs_inline() {
+        let pool = TransferPool::new(0);
+        assert_eq!(pool.worker_count(), 0);
+        let results = pool.execute((0..8).map(|i| move || i).collect::<Vec<_>>());
+        assert_eq!(results, (0..8).collect::<Vec<_>>());
+        assert_eq!(pool.stats().tasks_inline, 8);
+        assert_eq!(pool.stats().tasks_run, 0);
+    }
+
+    #[test]
+    fn single_task_batches_skip_the_queue() {
+        let pool = TransferPool::new(2);
+        assert_eq!(pool.execute(vec![|| 41 + 1]), vec![42]);
+        assert_eq!(pool.stats().tasks_inline, 1);
+        assert_eq!(pool.stats().tasks_run, 0);
+    }
+
+    #[test]
+    fn concurrent_batches_share_the_workers() {
+        let pool = Arc::new(TransferPool::new(4));
+        let mut clients = Vec::new();
+        for c in 0..8u64 {
+            let pool = Arc::clone(&pool);
+            clients.push(std::thread::spawn(move || {
+                for round in 0..10u64 {
+                    let tasks: Vec<_> = (0..4u64)
+                        .map(|i| move || c * 1000 + round * 10 + i)
+                        .collect();
+                    let expected: Vec<u64> = (0..4u64).map(|i| c * 1000 + round * 10 + i).collect();
+                    assert_eq!(pool.execute(tasks), expected);
+                }
+            }));
+        }
+        for client in clients {
+            client.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn a_panicking_task_fails_the_batch_but_not_the_pool() {
+        let pool = TransferPool::new(2);
+        let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.execute(
+                (0..4)
+                    .map(|i| {
+                        move || {
+                            assert!(i != 2, "task 2 blows up");
+                            i
+                        }
+                    })
+                    .collect::<Vec<_>>(),
+            )
+        }));
+        assert!(
+            outcome.is_err(),
+            "the submitting batch must observe the panic"
+        );
+        // The pool survives and keeps serving.
+        assert_eq!(pool.execute(vec![|| 1, || 2]), vec![1, 2]);
+        // The worker's bookkeeping races with the caller observing the
+        // failed batch; give it a moment.
+        for _ in 0..100 {
+            if pool.stats().tasks_panicked == 1 {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        assert_eq!(pool.stats().tasks_panicked, 1);
+    }
+
+    #[test]
+    fn drop_joins_all_workers() {
+        static RUNNING: AtomicUsize = AtomicUsize::new(0);
+        let pool = TransferPool::new(3);
+        pool.execute(
+            (0..6)
+                .map(|_| {
+                    || {
+                        RUNNING.fetch_add(1, Ordering::SeqCst);
+                    }
+                })
+                .collect::<Vec<_>>(),
+        );
+        drop(pool);
+        assert_eq!(RUNNING.load(Ordering::SeqCst), 6);
+    }
+}

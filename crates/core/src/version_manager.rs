@@ -223,10 +223,8 @@ impl VersionManager {
         // writers to link against this one before it finishes weaving).
         let slots = chunk_span(ByteRange::new(offset, len), chunk_size);
         let first = slots.first().expect("len > 0 yields at least one slot");
-        let written_slots = ByteRange::new(
-            first.index * chunk_size,
-            slots.len() as u64 * chunk_size,
-        );
+        let written_slots =
+            ByteRange::new(first.index * chunk_size, slots.len() as u64 * chunk_size);
         state.pending.insert(
             version.0,
             PendingWrite {
@@ -392,14 +390,23 @@ mod tests {
     #[test]
     fn invalid_blob_config_is_rejected() {
         let vm = VersionManager::new();
-        assert!(vm.create_blob(BlobConfig { chunk_size: 0, replication: 1 }).is_err());
+        assert!(vm
+            .create_blob(BlobConfig {
+                chunk_size: 0,
+                ..BlobConfig::default()
+            })
+            .is_err());
     }
 
     #[test]
     fn ticket_resolves_append_offsets_in_assignment_order() {
         let (vm, blob) = vm_with_blob();
-        let t1 = vm.assign_ticket(blob, WriteKind::Append { len: 100 }).unwrap();
-        let t2 = vm.assign_ticket(blob, WriteKind::Append { len: 50 }).unwrap();
+        let t1 = vm
+            .assign_ticket(blob, WriteKind::Append { len: 100 })
+            .unwrap();
+        let t2 = vm
+            .assign_ticket(blob, WriteKind::Append { len: 50 })
+            .unwrap();
         assert_eq!(t1.version, Version(1));
         assert_eq!(t1.offset, 0);
         assert_eq!(t1.new_size, 100);
@@ -415,8 +422,12 @@ mod tests {
     #[test]
     fn publication_is_strictly_in_version_order() {
         let (vm, blob) = vm_with_blob();
-        let t1 = vm.assign_ticket(blob, WriteKind::Append { len: CS }).unwrap();
-        let t2 = vm.assign_ticket(blob, WriteKind::Append { len: CS }).unwrap();
+        let t1 = vm
+            .assign_ticket(blob, WriteKind::Append { len: CS })
+            .unwrap();
+        let t2 = vm
+            .assign_ticket(blob, WriteKind::Append { len: CS })
+            .unwrap();
         // Writer 2 finishes first: nothing is published yet.
         let latest = vm.complete_write(blob, t2.version).unwrap();
         assert_eq!(latest, Version::ZERO);
@@ -437,17 +448,35 @@ mod tests {
     fn writes_extend_size_only_when_past_the_end() {
         let (vm, blob) = vm_with_blob();
         let t1 = vm
-            .assign_ticket(blob, WriteKind::Write { offset: 0, len: 4 * CS })
+            .assign_ticket(
+                blob,
+                WriteKind::Write {
+                    offset: 0,
+                    len: 4 * CS,
+                },
+            )
             .unwrap();
         vm.complete_write(blob, t1.version).unwrap();
         // Overwrite inside the blob: size unchanged.
         let t2 = vm
-            .assign_ticket(blob, WriteKind::Write { offset: CS, len: CS })
+            .assign_ticket(
+                blob,
+                WriteKind::Write {
+                    offset: CS,
+                    len: CS,
+                },
+            )
             .unwrap();
         assert_eq!(t2.new_size, 4 * CS);
         // Write past the end: size grows.
         let t3 = vm
-            .assign_ticket(blob, WriteKind::Write { offset: 6 * CS, len: CS })
+            .assign_ticket(
+                blob,
+                WriteKind::Write {
+                    offset: 6 * CS,
+                    len: CS,
+                },
+            )
             .unwrap();
         assert_eq!(t3.new_size, 7 * CS);
     }
@@ -468,7 +497,9 @@ mod tests {
     #[test]
     fn snapshot_lookup_rejects_unpublished_versions() {
         let (vm, blob) = vm_with_blob();
-        let t1 = vm.assign_ticket(blob, WriteKind::Append { len: CS }).unwrap();
+        let t1 = vm
+            .assign_ticket(blob, WriteKind::Append { len: CS })
+            .unwrap();
         assert!(matches!(
             vm.snapshot(blob, t1.version),
             Err(BlobError::UnknownVersion(_, _))
@@ -481,8 +512,12 @@ mod tests {
     #[test]
     fn aborted_writes_publish_as_no_ops() {
         let (vm, blob) = vm_with_blob();
-        let t1 = vm.assign_ticket(blob, WriteKind::Append { len: CS }).unwrap();
-        let t2 = vm.assign_ticket(blob, WriteKind::Append { len: CS }).unwrap();
+        let t1 = vm
+            .assign_ticket(blob, WriteKind::Append { len: CS })
+            .unwrap();
+        let t2 = vm
+            .assign_ticket(blob, WriteKind::Append { len: CS })
+            .unwrap();
         vm.complete_write(blob, t1.version).unwrap();
         // Writer 2 dies.
         let latest = vm.abort_write(blob, t2.version).unwrap();
@@ -496,11 +531,17 @@ mod tests {
     #[test]
     fn ticket_chain_excludes_aborted_predecessors() {
         let (vm, blob) = vm_with_blob();
-        let t1 = vm.assign_ticket(blob, WriteKind::Append { len: CS }).unwrap();
-        let _t2 = vm.assign_ticket(blob, WriteKind::Append { len: CS }).unwrap();
+        let t1 = vm
+            .assign_ticket(blob, WriteKind::Append { len: CS })
+            .unwrap();
+        let _t2 = vm
+            .assign_ticket(blob, WriteKind::Append { len: CS })
+            .unwrap();
         vm.abort_write(blob, Version(2)).unwrap();
         vm.complete_write(blob, t1.version).unwrap();
-        let t3 = vm.assign_ticket(blob, WriteKind::Append { len: CS }).unwrap();
+        let t3 = vm
+            .assign_ticket(blob, WriteKind::Append { len: CS })
+            .unwrap();
         // Both predecessors already published (v1 complete, v2 aborted), so
         // the chain is empty and based on v2.
         assert!(t3.chain.pending.is_empty());
@@ -511,9 +552,67 @@ mod tests {
     }
 
     #[test]
+    fn aborting_the_head_of_the_chain_unblocks_successors() {
+        let (vm, blob) = vm_with_blob();
+        let t1 = vm
+            .assign_ticket(blob, WriteKind::Append { len: CS })
+            .unwrap();
+        let t2 = vm
+            .assign_ticket(blob, WriteKind::Append { len: CS })
+            .unwrap();
+        // Writer 2 completes first: still unpublished behind writer 1.
+        vm.complete_write(blob, t2.version).unwrap();
+        assert_eq!(vm.latest_snapshot(blob).unwrap().version, Version::ZERO);
+        // Writer 1 dies. Aborting it must publish both versions at once:
+        // v1 as a no-op snapshot, v2 with its data.
+        let latest = vm.abort_write(blob, t1.version).unwrap();
+        assert_eq!(latest, Version(2));
+        assert_eq!(vm.pending_count(blob).unwrap(), 0);
+        assert_eq!(vm.snapshot(blob, Version(1)).unwrap().size, CS);
+        assert_eq!(vm.snapshot(blob, Version(2)).unwrap().size, 2 * CS);
+        assert_eq!(vm.stats().aborted, 1);
+        assert_eq!(vm.stats().published, 2);
+    }
+
+    #[test]
+    fn every_abort_is_counted() {
+        let (vm, blob) = vm_with_blob();
+        for expected in 1..=3u64 {
+            let t = vm
+                .assign_ticket(blob, WriteKind::Append { len: CS })
+                .unwrap();
+            vm.abort_write(blob, t.version).unwrap();
+            assert_eq!(vm.stats().aborted, expected);
+        }
+        // Three aborted appends: three no-op snapshots, size still grows
+        // because each aborted append consumed its byte range.
+        assert_eq!(vm.latest_snapshot(blob).unwrap().version, Version(3));
+        assert_eq!(vm.latest_snapshot(blob).unwrap().size, 3 * CS);
+    }
+
+    #[test]
+    fn abort_of_unknown_or_settled_versions_is_rejected() {
+        let (vm, blob) = vm_with_blob();
+        assert!(matches!(
+            vm.abort_write(blob, Version(9)),
+            Err(BlobError::UnknownVersion(_, _))
+        ));
+        let t = vm
+            .assign_ticket(blob, WriteKind::Append { len: CS })
+            .unwrap();
+        vm.complete_write(blob, t.version).unwrap();
+        // Already published: there is no pending entry left to abort.
+        assert!(vm.abort_write(blob, t.version).is_err());
+        assert_eq!(vm.stats().aborted, 0);
+        assert!(vm.abort_write(BlobId(999), Version(1)).is_err());
+    }
+
+    #[test]
     fn stats_track_operations() {
         let (vm, blob) = vm_with_blob();
-        let t1 = vm.assign_ticket(blob, WriteKind::Append { len: CS }).unwrap();
+        let t1 = vm
+            .assign_ticket(blob, WriteKind::Append { len: CS })
+            .unwrap();
         vm.complete_write(blob, t1.version).unwrap();
         let stats = vm.stats();
         assert_eq!(stats.blobs, 1);
@@ -533,7 +632,9 @@ mod tests {
             handles.push(std::thread::spawn(move || {
                 (0..50)
                     .map(|_| {
-                        let t = vm.assign_ticket(blob, WriteKind::Append { len: CS }).unwrap();
+                        let t = vm
+                            .assign_ticket(blob, WriteKind::Append { len: CS })
+                            .unwrap();
                         vm.complete_write(blob, t.version).unwrap();
                         t.version.0
                     })

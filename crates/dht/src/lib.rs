@@ -116,9 +116,9 @@ where
         let nodes = self.nodes.read();
         let mut stored_on = 0usize;
         for id in &replicas {
-            let node = nodes
-                .get(id)
-                .ok_or(BlobError::Internal(format!("ring references unknown node {id}")))?;
+            let node = nodes.get(id).ok_or(BlobError::Internal(format!(
+                "ring references unknown node {id}"
+            )))?;
             if !node.is_alive() {
                 continue;
             }
@@ -198,22 +198,21 @@ where
     pub fn leave(&self, id: MetaNodeId) -> Result<()> {
         let departing = {
             let nodes = self.nodes.read();
-            nodes
-                .get(&id)
-                .cloned()
-                .ok_or(BlobError::Internal(format!("cannot remove unknown DHT node {id}")))?
+            nodes.get(&id).cloned().ok_or(BlobError::Internal(format!(
+                "cannot remove unknown DHT node {id}"
+            )))?
         };
         // Take the node off the ring first so that `route` no longer points
         // at it, then re-insert all of its entries through the normal path.
         {
             let mut nodes = self.nodes.write();
-            self.ring.write().remove_node(id);
-            nodes.remove(&id);
-            if nodes.is_empty() {
+            if nodes.len() == 1 {
                 return Err(BlobError::InvalidConfig(
                     "cannot remove the last DHT node".into(),
                 ));
             }
+            self.ring.write().remove_node(id);
+            nodes.remove(&id);
         }
         for (k, v) in departing.drain() {
             // Ignore immutability conflicts: replicas already hold the value.
@@ -355,7 +354,11 @@ mod tests {
         d.leave(MetaNodeId(2)).unwrap();
         assert_eq!(d.node_count(), 3);
         for i in 0..500u64 {
-            assert_eq!(d.get(&format!("key-{i}")), Some(i), "key-{i} lost after leave");
+            assert_eq!(
+                d.get(&format!("key-{i}")),
+                Some(i),
+                "key-{i} lost after leave"
+            );
         }
     }
 
@@ -384,6 +387,79 @@ mod tests {
         assert!(Dht::<String, u64>::new(4, 0, 1).is_err());
         assert!(Dht::<String, u64>::new(4, 8, 0).is_err());
         assert!(Dht::<String, u64>::new(4, 8, 5).is_err());
+    }
+
+    #[test]
+    fn rebalance_restores_replication_after_an_outage() {
+        let d = dht(4, 2);
+        // Write while node 0 is down: every key routed to it is stored on
+        // fewer live replicas than configured.
+        d.fail_node(MetaNodeId(0)).unwrap();
+        for i in 0..300u64 {
+            d.put(format!("key-{i}"), i).unwrap();
+        }
+        d.recover_node(MetaNodeId(0)).unwrap();
+        assert_eq!(
+            d.load_distribution()[&MetaNodeId(0)],
+            0,
+            "the recovered node comes back empty"
+        );
+
+        // Anti-entropy pass: the recovered node picks its share back up...
+        d.rebalance();
+        assert!(d.load_distribution()[&MetaNodeId(0)] > 0);
+        // ...so keys survive losing the replica that covered the outage.
+        for other in 1..4u32 {
+            d.fail_node(MetaNodeId(other)).unwrap();
+        }
+        let served_by_zero = (0..300u64)
+            .filter(|i| d.get(&format!("key-{i}")) == Some(*i))
+            .count();
+        assert!(
+            served_by_zero > 0,
+            "node 0 must serve its share alone after rebalance"
+        );
+        for other in 1..4u32 {
+            d.recover_node(MetaNodeId(other)).unwrap();
+        }
+        for i in 0..300u64 {
+            assert_eq!(d.get(&format!("key-{i}")), Some(i));
+        }
+    }
+
+    #[test]
+    fn join_leave_churn_preserves_every_key() {
+        let d = dht(3, 2);
+        for i in 0..400u64 {
+            d.put(format!("key-{i}"), i).unwrap();
+        }
+        // Membership churn: two joins, two leaves (one of them a founding
+        // member), with full availability throughout.
+        d.join(MetaNodeId(50)).unwrap();
+        d.join(MetaNodeId(51)).unwrap();
+        d.leave(MetaNodeId(1)).unwrap();
+        d.leave(MetaNodeId(50)).unwrap();
+        assert_eq!(d.node_count(), 3);
+        for i in 0..400u64 {
+            assert_eq!(d.get(&format!("key-{i}")), Some(i), "key-{i} lost in churn");
+        }
+        // New writes land on the post-churn membership.
+        d.put("fresh".to_string(), 9).unwrap();
+        assert_eq!(d.get(&"fresh".to_string()), Some(9));
+    }
+
+    #[test]
+    fn leave_of_unknown_or_last_node_is_rejected() {
+        let d = dht(1, 1);
+        assert!(d.leave(MetaNodeId(7)).is_err());
+        d.put("k".to_string(), 1).unwrap();
+        assert!(
+            d.leave(MetaNodeId(0)).is_err(),
+            "cannot remove the last node"
+        );
+        // The rejected leave must not have torn the node down.
+        assert_eq!(d.node_count(), 1);
+        assert_eq!(d.get(&"k".to_string()), Some(1));
     }
 
     #[test]

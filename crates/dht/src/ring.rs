@@ -221,9 +221,7 @@ mod tests {
         let keys: Vec<u64> = (0..10_000).collect();
         let moved = keys
             .iter()
-            .filter(|&&k| {
-                ring_before.primary(hash_key(&k)) != ring_after.primary(hash_key(&k))
-            })
+            .filter(|&&k| ring_before.primary(hash_key(&k)) != ring_after.primary(hash_key(&k)))
             .count();
         // Consistent hashing: roughly 1/11 of keys move; allow generous slack.
         let fraction = moved as f64 / keys.len() as f64;

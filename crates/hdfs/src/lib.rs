@@ -90,7 +90,9 @@ impl HdfsLikeFs {
             return Err(BlobError::InvalidConfig("at least one datanode".into()));
         }
         if block_size == 0 {
-            return Err(BlobError::InvalidConfig("block size must be positive".into()));
+            return Err(BlobError::InvalidConfig(
+                "block size must be positive".into(),
+            ));
         }
         if replication == 0 || replication > datanodes {
             return Err(BlobError::InvalidConfig(format!(
@@ -505,7 +507,7 @@ mod tests {
                 scope.spawn(move || {
                     let path = format!("/f{i}");
                     for _ in 0..10 {
-                        fs.append(&path, &vec![i as u8; 50]).unwrap();
+                        fs.append(&path, &[i as u8; 50]).unwrap();
                     }
                 });
             }

@@ -77,13 +77,19 @@ impl MapReduceEngine {
     /// Runs a job to completion and returns its report.
     pub fn run(&self, job: &JobSpec) -> Result<JobReport> {
         if job.inputs.is_empty() {
-            return Err(BlobError::InvalidConfig("a job needs at least one input".into()));
+            return Err(BlobError::InvalidConfig(
+                "a job needs at least one input".into(),
+            ));
         }
         if job.reducers == 0 {
-            return Err(BlobError::InvalidConfig("a job needs at least one reducer".into()));
+            return Err(BlobError::InvalidConfig(
+                "a job needs at least one reducer".into(),
+            ));
         }
         if job.split_bytes == 0 {
-            return Err(BlobError::InvalidConfig("split size must be positive".into()));
+            return Err(BlobError::InvalidConfig(
+                "split size must be positive".into(),
+            ));
         }
         let started = Instant::now();
 
@@ -151,7 +157,8 @@ impl MapReduceEngine {
                 for split in batch {
                     let storage = Arc::clone(&self.storage);
                     let mapper = Arc::clone(&job.mapper);
-                    handles.push(scope.spawn(move || run_map_task(storage.as_ref(), &mapper, split)));
+                    handles
+                        .push(scope.spawn(move || run_map_task(storage.as_ref(), &mapper, split)));
                 }
                 for handle in handles {
                     batch_results.push(handle.join().expect("map task panicked"));
@@ -260,19 +267,15 @@ fn hash_key(key: &str) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::collections::HashMap;
     use crate::storage::BsfsStorage;
     use blobseer_bsfs::Bsfs;
     use blobseer_core::Cluster;
     use blobseer_types::{BlobConfig, ClusterConfig};
+    use std::collections::HashMap;
 
     fn storage() -> Arc<dyn JobStorage> {
         let cluster = Cluster::new(ClusterConfig::small()).unwrap();
-        let fs = Bsfs::new(
-            Arc::new(cluster.client()),
-            BlobConfig::new(256, 1).unwrap(),
-        )
-        .unwrap();
+        let fs = Bsfs::new(Arc::new(cluster.client()), BlobConfig::new(256, 1).unwrap()).unwrap();
         Arc::new(BsfsStorage::new(Arc::new(fs)))
     }
 
@@ -309,13 +312,19 @@ mod tests {
         let storage = storage();
         storage.create_file("/in/a.txt").unwrap();
         storage
-            .append("/in/a.txt", b"the quick brown fox\njumps over the lazy dog\nthe end\n")
+            .append(
+                "/in/a.txt",
+                b"the quick brown fox\njumps over the lazy dog\nthe end\n",
+            )
             .unwrap();
         let engine = MapReduceEngine::new(Arc::clone(&storage), 4);
         let report = engine
             .run(&wordcount_spec(vec!["/in/a.txt".into()], 3, 20))
             .unwrap();
-        assert!(report.map_tasks >= 2, "small splits must create several map tasks");
+        assert!(
+            report.map_tasks >= 2,
+            "small splits must create several map tasks"
+        );
         assert_eq!(report.reduce_tasks, 3);
         assert_eq!(report.outputs.len(), 3);
         assert!(report.input_bytes >= 50);
@@ -336,7 +345,7 @@ mod tests {
         // 100 identical 23-byte lines; with 64-byte splits almost every
         // record straddles a boundary.
         let line = "alpha beta gamma delta\n";
-        let body: String = std::iter::repeat(line).take(100).collect();
+        let body: String = std::iter::repeat_n(line, 100).collect();
         storage.append("/in/long.txt", body.as_bytes()).unwrap();
         let engine = MapReduceEngine::new(Arc::clone(&storage), 4);
         let report = engine

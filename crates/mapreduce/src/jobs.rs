@@ -8,7 +8,12 @@ use std::sync::Arc;
 /// Classic word count: one output line per distinct word with its number of
 /// occurrences.
 #[must_use]
-pub fn wordcount_job(inputs: Vec<String>, output_dir: &str, reducers: usize, split_bytes: u64) -> JobSpec {
+pub fn wordcount_job(
+    inputs: Vec<String>,
+    output_dir: &str,
+    reducers: usize,
+    split_bytes: u64,
+) -> JobSpec {
     JobSpec {
         name: "wordcount".into(),
         inputs,
@@ -19,7 +24,8 @@ pub fn wordcount_job(inputs: Vec<String>, output_dir: &str, reducers: usize, spl
             line.split_whitespace()
                 .map(|w| {
                     (
-                        w.trim_matches(|c: char| !c.is_alphanumeric()).to_lowercase(),
+                        w.trim_matches(|c: char| !c.is_alphanumeric())
+                            .to_lowercase(),
                         "1".to_string(),
                     )
                 })
@@ -62,7 +68,12 @@ pub fn grep_job(
 /// partition comes out sorted (the engine's shuffle uses ordered maps); the
 /// value counts duplicates.
 #[must_use]
-pub fn sort_job(inputs: Vec<String>, output_dir: &str, reducers: usize, split_bytes: u64) -> JobSpec {
+pub fn sort_job(
+    inputs: Vec<String>,
+    output_dir: &str,
+    reducers: usize,
+    split_bytes: u64,
+) -> JobSpec {
     JobSpec {
         name: "sort".into(),
         inputs,
@@ -85,11 +96,7 @@ mod tests {
 
     fn storage_with_corpus() -> Arc<dyn JobStorage> {
         let cluster = Cluster::new(ClusterConfig::small()).unwrap();
-        let fs = Bsfs::new(
-            Arc::new(cluster.client()),
-            BlobConfig::new(256, 1).unwrap(),
-        )
-        .unwrap();
+        let fs = Bsfs::new(Arc::new(cluster.client()), BlobConfig::new(256, 1).unwrap()).unwrap();
         let storage: Arc<dyn JobStorage> = Arc::new(BsfsStorage::new(Arc::new(fs)));
         storage.create_file("/corpus/text").unwrap();
         storage
@@ -121,7 +128,10 @@ mod tests {
         let job = sort_job(vec!["/corpus/text".into()], "/out", 1, 1024);
         let report = engine.run(&job).unwrap();
         let body = String::from_utf8(storage.read_file(&report.outputs[0]).unwrap()).unwrap();
-        let keys: Vec<&str> = body.lines().map(|l| l.split('\t').next().unwrap()).collect();
+        let keys: Vec<&str> = body
+            .lines()
+            .map(|l| l.split('\t').next().unwrap())
+            .collect();
         let mut sorted = keys.clone();
         sorted.sort();
         assert_eq!(keys, sorted, "partition output must be sorted");

@@ -161,11 +161,7 @@ mod tests {
 
     fn bsfs_storage() -> BsfsStorage {
         let cluster = Cluster::new(ClusterConfig::small()).unwrap();
-        let fs = Bsfs::new(
-            Arc::new(cluster.client()),
-            BlobConfig::new(64, 1).unwrap(),
-        )
-        .unwrap();
+        let fs = Bsfs::new(Arc::new(cluster.client()), BlobConfig::new(64, 1).unwrap()).unwrap();
         BsfsStorage::new(Arc::new(fs))
     }
 

@@ -173,7 +173,10 @@ impl ReferenceChain {
     /// Size of the immediate predecessor snapshot.
     #[must_use]
     pub fn predecessor_size(&self) -> u64 {
-        self.pending.last().map(|s| s.size).unwrap_or(self.base.size)
+        self.pending
+            .last()
+            .map(|s| s.size)
+            .unwrap_or(self.base.size)
     }
 
     /// Root range of the immediate predecessor snapshot, or `None` if the
@@ -699,8 +702,18 @@ fn descend(
         }),
         NodeBody::Inner(inner) => {
             let (left_range, right_range) = node.range.split();
-            visit_half(store, blob, chunk_size, inner.left, left_range, read_range, out)?;
-            visit_half(store, blob, chunk_size, inner.right, right_range, read_range, out)?;
+            visit_half(
+                store, blob, chunk_size, inner.left, left_range, read_range, out,
+            )?;
+            visit_half(
+                store,
+                blob,
+                chunk_size,
+                inner.right,
+                right_range,
+                read_range,
+                out,
+            )?;
         }
         NodeBody::Alias(target) => descend(store, blob, chunk_size, &target, read_range, out)?,
     }
@@ -843,8 +856,7 @@ mod tests {
         let v0 = SnapshotDescriptor::initial(CS);
         // Write 4 chunks: expanse 4, depth 3 (leaves + 2 inner levels).
         let chunks: Vec<WrittenChunk> = (0..4).map(|s| written(1, s, CS)).collect();
-        let meta =
-            build_write_metadata(&store, blob(), &v0, Version(1), 4 * CS, &chunks).unwrap();
+        let meta = build_write_metadata(&store, blob(), &v0, Version(1), 4 * CS, &chunks).unwrap();
         assert_eq!(meta.descriptor.size, 4 * CS);
         assert_eq!(meta.leaf_count(), 4);
         assert_eq!(meta.inner_count(), 3); // two level-1 nodes + root
@@ -987,8 +999,7 @@ mod tests {
         let store = InMemoryMetaStore::new();
         let v0 = SnapshotDescriptor::initial(CS);
         let v1 = apply_write(&store, &v0, 1, 0, 2 * CS);
-        let err =
-            collect_leaves(&store, blob(), &v1, ByteRange::new(CS, 2 * CS)).unwrap_err();
+        let err = collect_leaves(&store, blob(), &v1, ByteRange::new(CS, 2 * CS)).unwrap_err();
         assert!(matches!(err, BlobError::ReadOutOfBounds { .. }));
         // Reading the empty snapshot is always out of bounds.
         let err = collect_leaves(&store, blob(), &v0, ByteRange::new(0, 1)).unwrap_err();
@@ -1050,25 +1061,15 @@ mod tests {
         .is_err());
         // Shrinking size.
         let v1 = apply_write(&store, &v0, 1, 0, 4 * CS);
-        assert!(build_write_metadata(
-            &store,
-            blob(),
-            &v1,
-            Version(2),
-            CS,
-            &[written(2, 0, CS)],
-        )
-        .is_err());
+        assert!(
+            build_write_metadata(&store, blob(), &v1, Version(2), CS, &[written(2, 0, CS)],)
+                .is_err()
+        );
         // Slots past the declared size.
-        assert!(build_write_metadata(
-            &store,
-            blob(),
-            &v0,
-            Version(1),
-            CS,
-            &[written(1, 5, CS)],
-        )
-        .is_err());
+        assert!(
+            build_write_metadata(&store, blob(), &v0, Version(1), CS, &[written(1, 5, CS)],)
+                .is_err()
+        );
     }
 
     #[test]
@@ -1143,8 +1144,7 @@ mod tests {
         let v0 = SnapshotDescriptor::initial(CS);
         // Build v1 but "forget" to publish its nodes.
         let chunks: Vec<WrittenChunk> = (0..4).map(|s| written(1, s, CS)).collect();
-        let meta =
-            build_write_metadata(&store, blob(), &v0, Version(1), 4 * CS, &chunks).unwrap();
+        let meta = build_write_metadata(&store, blob(), &v0, Version(1), 4 * CS, &chunks).unwrap();
         // Weaving v2 against v1 needs v1's tree: it must fail loudly.
         let err = build_write_metadata(
             &store,
@@ -1219,15 +1219,23 @@ mod tests {
         // v3 sees both writes and v2 sees only A's.
         publish_metadata(&store, &b_meta).unwrap();
         publish_metadata(&store, &a_meta).unwrap();
-        let v3_leaves =
-            collect_leaves(&store, blob(), &b_meta.descriptor, ByteRange::new(0, 8 * CS))
-                .unwrap();
+        let v3_leaves = collect_leaves(
+            &store,
+            blob(),
+            &b_meta.descriptor,
+            ByteRange::new(0, 8 * CS),
+        )
+        .unwrap();
         assert_eq!(v3_leaves[2].leaf.as_ref().unwrap().chunk, chunk_id(2, 2));
         assert_eq!(v3_leaves[3].leaf.as_ref().unwrap().chunk, chunk_id(3, 3));
         assert_eq!(v3_leaves[1].leaf.as_ref().unwrap().chunk, chunk_id(1, 1));
-        let v2_leaves =
-            collect_leaves(&store, blob(), &a_meta.descriptor, ByteRange::new(0, 8 * CS))
-                .unwrap();
+        let v2_leaves = collect_leaves(
+            &store,
+            blob(),
+            &a_meta.descriptor,
+            ByteRange::new(0, 8 * CS),
+        )
+        .unwrap();
         assert_eq!(v2_leaves[2].leaf.as_ref().unwrap().chunk, chunk_id(2, 2));
         assert_eq!(v2_leaves[3].leaf.as_ref().unwrap().chunk, chunk_id(1, 3));
     }
@@ -1288,9 +1296,13 @@ mod tests {
 
         publish_metadata(&store, &a_meta).unwrap();
         publish_metadata(&store, &b_meta).unwrap();
-        let leaves =
-            collect_leaves(&store, blob(), &b_meta.descriptor, ByteRange::new(0, 6 * CS))
-                .unwrap();
+        let leaves = collect_leaves(
+            &store,
+            blob(),
+            &b_meta.descriptor,
+            ByteRange::new(0, 6 * CS),
+        )
+        .unwrap();
         let tags: Vec<u64> = leaves
             .iter()
             .map(|m| m.leaf.as_ref().unwrap().chunk.write_tag)
@@ -1332,8 +1344,13 @@ mod tests {
 
         // Without repair, reading B's snapshot would hit missing metadata in
         // the region A claimed.
-        assert!(collect_leaves(&store, blob(), &b_meta.descriptor, ByteRange::new(0, 6 * CS))
-            .is_err());
+        assert!(collect_leaves(
+            &store,
+            blob(),
+            &b_meta.descriptor,
+            ByteRange::new(0, 6 * CS)
+        )
+        .is_err());
 
         // Repair A.
         let repair = build_repair_metadata(
@@ -1347,9 +1364,13 @@ mod tests {
         assert_eq!(repair.descriptor.size, 6 * CS);
 
         // A's snapshot reads as v1 plus a zero hole in the claimed region.
-        let a_leaves =
-            collect_leaves(&store, blob(), &repair.descriptor, ByteRange::new(0, 6 * CS))
-                .unwrap();
+        let a_leaves = collect_leaves(
+            &store,
+            blob(),
+            &repair.descriptor,
+            ByteRange::new(0, 6 * CS),
+        )
+        .unwrap();
         assert_eq!(a_leaves.len(), 6);
         assert_eq!(a_leaves[0].leaf.as_ref().unwrap().chunk, chunk_id(1, 0));
         assert!(a_leaves[4].leaf.is_none());
@@ -1357,9 +1378,13 @@ mod tests {
 
         // B's snapshot is now fully readable: its own write plus v1's data
         // plus holes where A claimed.
-        let b_leaves =
-            collect_leaves(&store, blob(), &b_meta.descriptor, ByteRange::new(0, 6 * CS))
-                .unwrap();
+        let b_leaves = collect_leaves(
+            &store,
+            blob(),
+            &b_meta.descriptor,
+            ByteRange::new(0, 6 * CS),
+        )
+        .unwrap();
         assert_eq!(b_leaves[1].leaf.as_ref().unwrap().chunk, chunk_id(3, 1));
         assert_eq!(b_leaves[0].leaf.as_ref().unwrap().chunk, chunk_id(1, 0));
         assert!(b_leaves[4].leaf.is_none());
@@ -1376,13 +1401,10 @@ mod tests {
             size: 2 * CS,
             chunk_size: CS,
         };
-        assert!(build_repair_metadata(
-            &store,
-            blob(),
-            &ReferenceChain::published_only(v1),
-            &stale
-        )
-        .is_err());
+        assert!(
+            build_repair_metadata(&store, blob(), &ReferenceChain::published_only(v1), &stale)
+                .is_err()
+        );
     }
 
     #[test]

@@ -15,11 +15,15 @@
 //! * [`manager`] — the provider manager: registry, heartbeats, load reports
 //!   and placement strategies (round-robin, random, least-loaded,
 //!   QoS-aware).
+//! * [`service`] — the [`ChunkService`] boundary clients program against,
+//!   with the shared-memory [`InProcessChunkService`] implementation.
 
 pub mod manager;
 pub mod provider;
+pub mod service;
 pub mod store;
 
 pub use manager::{PlacementRequest, ProviderManager, ProviderStatus};
 pub use provider::{DataProvider, ProviderStats};
+pub use service::{ChunkService, InProcessChunkService};
 pub use store::{ChunkStore, PersistentStore, RamStore};

@@ -110,8 +110,8 @@ impl ProviderManager {
     /// Registers a provider (idempotent).
     pub fn register(&self, id: ProviderId) {
         let mut inner = self.inner.lock();
-        if !inner.providers.contains_key(&id) {
-            inner.providers.insert(id, ProviderStatus::new(id));
+        if let std::collections::hash_map::Entry::Vacant(e) = inner.providers.entry(id) {
+            e.insert(ProviderStatus::new(id));
             inner.order.push(id);
         }
     }
@@ -344,8 +344,14 @@ mod tests {
             d.dedup();
             assert_eq!(d.len(), 3, "replicas must be distinct providers");
         }
-        assert_eq!(placement[0], vec![ProviderId(0), ProviderId(1), ProviderId(2)]);
-        assert_eq!(placement[1], vec![ProviderId(1), ProviderId(2), ProviderId(3)]);
+        assert_eq!(
+            placement[0],
+            vec![ProviderId(0), ProviderId(1), ProviderId(2)]
+        );
+        assert_eq!(
+            placement[1],
+            vec![ProviderId(1), ProviderId(2), ProviderId(3)]
+        );
     }
 
     #[test]
@@ -360,7 +366,11 @@ mod tests {
         let mut seen: Vec<ProviderId> = placement.into_iter().flatten().collect();
         seen.sort();
         seen.dedup();
-        assert_eq!(seen.len(), 8, "200 random placements should touch all 8 providers");
+        assert_eq!(
+            seen.len(),
+            8,
+            "200 random placements should touch all 8 providers"
+        );
     }
 
     #[test]
@@ -424,7 +434,11 @@ mod tests {
             })
             .unwrap();
         for replicas in &placement {
-            assert_ne!(replicas[0], ProviderId(1), "low-QoS provider must be avoided");
+            assert_ne!(
+                replicas[0],
+                ProviderId(1),
+                "low-QoS provider must be avoided"
+            );
         }
     }
 

@@ -275,7 +275,8 @@ mod tests {
     fn ram_store_roundtrip_and_accounting() {
         let s = RamStore::unbounded();
         s.put(chunk(1, 1, 0), Bytes::from_static(b"hello")).unwrap();
-        s.put(chunk(1, 1, 1), Bytes::from_static(b"world!")).unwrap();
+        s.put(chunk(1, 1, 1), Bytes::from_static(b"world!"))
+            .unwrap();
         assert_eq!(s.get(&chunk(1, 1, 0)), Some(Bytes::from_static(b"hello")));
         assert_eq!(s.get(&chunk(1, 2, 0)), None);
         assert_eq!(s.chunk_count(), 2);
@@ -308,8 +309,10 @@ mod tests {
         let path = dir.join("persistent_roundtrip.log");
         let _ = std::fs::remove_file(&path);
         let s = PersistentStore::open(&path, 1024).unwrap();
-        s.put(chunk(7, 9, 0), Bytes::from_static(b"persist me")).unwrap();
-        s.put(chunk(7, 9, 1), Bytes::from_static(b"and me too")).unwrap();
+        s.put(chunk(7, 9, 0), Bytes::from_static(b"persist me"))
+            .unwrap();
+        s.put(chunk(7, 9, 1), Bytes::from_static(b"and me too"))
+            .unwrap();
         assert_eq!(s.chunk_count(), 2);
         assert_eq!(s.bytes_stored(), 20);
         assert_eq!(
@@ -328,7 +331,8 @@ mod tests {
         // Cache of 8 bytes: every new chunk evicts the previous one.
         let s = PersistentStore::open(&path, 8).unwrap();
         for i in 0..8u64 {
-            s.put(chunk(1, 2, i), Bytes::from(vec![i as u8; 8])).unwrap();
+            s.put(chunk(1, 2, i), Bytes::from(vec![i as u8; 8]))
+                .unwrap();
         }
         // All chunks are still readable from disk.
         for i in 0..8u64 {

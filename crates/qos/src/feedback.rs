@@ -69,7 +69,10 @@ impl QosController {
         let mut per_provider: HashMap<ProviderId, Vec<&ProviderWindow>> = HashMap::new();
         let history = self.collector.history();
         for window in &history {
-            per_provider.entry(window.provider).or_default().push(window);
+            per_provider
+                .entry(window.provider)
+                .or_default()
+                .push(window);
         }
         per_provider
             .into_iter()
@@ -112,11 +115,18 @@ mod tests {
 
     /// Builds a 4-provider deployment where provider 3 rejects everything
     /// (it is failed) while the others serve traffic normally.
-    fn deployment() -> (Vec<Arc<DataProvider>>, Arc<ProviderManager>, Arc<MonitoringCollector>) {
+    fn deployment() -> (
+        Vec<Arc<DataProvider>>,
+        Arc<ProviderManager>,
+        Arc<MonitoringCollector>,
+    ) {
         let providers: Vec<Arc<DataProvider>> = (0..4)
             .map(|i| Arc::new(DataProvider::in_memory(ProviderId(i))))
             .collect();
-        let manager = Arc::new(ProviderManager::with_providers(PlacementPolicy::QosAware, 4));
+        let manager = Arc::new(ProviderManager::with_providers(
+            PlacementPolicy::QosAware,
+            4,
+        ));
         let collector = Arc::new(MonitoringCollector::new(providers.clone()));
         (providers, manager, collector)
     }
@@ -163,7 +173,10 @@ mod tests {
         assert!(placement.iter().all(|r| r[0] != ProviderId(3)));
         let bad = manager.status(ProviderId(3)).unwrap().qos_score;
         let good = manager.status(ProviderId(0)).unwrap().qos_score;
-        assert!(bad < 0.5, "failed provider must fall below the avoidance threshold ({bad})");
+        assert!(
+            bad < 0.5,
+            "failed provider must fall below the avoidance threshold ({bad})"
+        );
         assert!(good > 0.5, "healthy provider must stay usable ({good})");
         assert!(good > bad);
     }
@@ -177,7 +190,10 @@ mod tests {
             collector.sample();
         }
         let flagged = controller.step().unwrap();
-        assert!(flagged.is_empty(), "no provider misbehaves, none should be flagged");
+        assert!(
+            flagged.is_empty(),
+            "no provider misbehaves, none should be flagged"
+        );
     }
 
     #[test]

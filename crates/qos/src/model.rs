@@ -55,11 +55,8 @@ impl BehaviourModel {
         }
 
         // k-means with deterministic seeding so experiments are reproducible.
-        let mut rng = StdRng::seed_from_u64(0x910b_a11);
-        let mut centroids: Vec<[f64; 3]> = points
-            .choose_multiple(&mut rng, k)
-            .copied()
-            .collect();
+        let mut rng = StdRng::seed_from_u64(0x0910_ba11);
+        let mut centroids: Vec<[f64; 3]> = points.choose_multiple(&mut rng, k).copied().collect();
         let mut assignment = vec![0usize; points.len()];
         for _ in 0..50 {
             let mut changed = false;
@@ -95,8 +92,8 @@ impl BehaviourModel {
             .enumerate()
             .map(|(id, centroid)| {
                 let population = assignment.iter().filter(|&&a| a == id).count();
-                let dangerous = centroid[1] > 0.5
-                    || (global_ops > 0.0 && centroid[0] < 0.25 * global_ops);
+                let dangerous =
+                    centroid[1] > 0.5 || (global_ops > 0.0 && centroid[0] < 0.25 * global_ops);
                 BehaviourState {
                     id,
                     centroid: *centroid,
@@ -197,7 +194,10 @@ mod tests {
         let history = synthetic_history();
         let model = BehaviourModel::fit(&history, 3);
         assert_eq!(model.states().len(), 3);
-        assert!(model.dangerous_states() >= 1, "the degraded cluster must be flagged");
+        assert!(
+            model.dangerous_states() >= 1,
+            "the degraded cluster must be flagged"
+        );
 
         // A clearly healthy window classifies into a non-dangerous state, a
         // clearly degraded one into a dangerous state.

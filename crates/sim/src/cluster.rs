@@ -362,8 +362,7 @@ impl SimulatedCluster {
                 )
             })
             .collect();
-        let mut client_cache: Vec<HashSet<NodeKey>> =
-            vec![HashSet::new(); workload.clients];
+        let mut client_cache: Vec<HashSet<NodeKey>> = vec![HashSet::new(); workload.clients];
 
         // Event queue: (next ready time, client, next op index).
         let mut queue: BinaryHeap<Reverse<(SimTime, usize, usize)>> = BinaryHeap::new();
@@ -804,7 +803,10 @@ mod tests {
             mibps <= link_mibps * 1.01,
             "one client cannot exceed its NIC ({mibps:.1} vs {link_mibps:.1} MiB/s)"
         );
-        assert!(mibps > link_mibps * 0.5, "overheads should not halve throughput");
+        assert!(
+            mibps > link_mibps * 0.5,
+            "overheads should not halve throughput"
+        );
     }
 
     #[test]
@@ -813,7 +815,10 @@ mod tests {
         let t1 = sim.run(&small_workload(1)).unwrap().aggregated_mibps();
         let t16 = sim.run(&small_workload(16)).unwrap().aggregated_mibps();
         let t64 = sim.run(&small_workload(64)).unwrap().aggregated_mibps();
-        assert!(t16 > 6.0 * t1, "16 clients should scale well ({t16:.0} vs {t1:.0})");
+        assert!(
+            t16 > 6.0 * t1,
+            "16 clients should scale well ({t16:.0} vs {t1:.0})"
+        );
         assert!(t64 > t16, "64 clients should still add throughput");
     }
 
@@ -924,7 +929,10 @@ mod tests {
             sim.schedule_failure(ProviderId(i), 0, u64::MAX / 2);
         }
         let result = sim.run(&workload).unwrap();
-        assert_eq!(result.failed_ops, 0, "a replica must cover every failed provider");
+        assert_eq!(
+            result.failed_ops, 0,
+            "a replica must cover every failed provider"
+        );
     }
 
     #[test]
@@ -952,8 +960,8 @@ mod tests {
         let result = sim.run(&small_workload(4)).unwrap();
         let windows = result.windowed_throughput_mibps(result.makespan_ns / 10);
         assert!(windows.len() >= 10);
-        let total_from_windows: f64 = windows.iter().sum::<f64>()
-            * (result.makespan_ns as f64 / 10.0 / NANOS_PER_SEC as f64);
+        let total_from_windows: f64 =
+            windows.iter().sum::<f64>() * (result.makespan_ns as f64 / 10.0 / NANOS_PER_SEC as f64);
         let total_mib = result.total_bytes as f64 / (1024.0 * 1024.0);
         assert!((total_from_windows - total_mib).abs() / total_mib < 0.2);
     }

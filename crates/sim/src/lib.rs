@@ -27,7 +27,9 @@ pub mod report;
 pub mod resource;
 pub mod workload;
 
-pub use cluster::{check_workload, grid_like_cluster, OpRecord, SimulatedCluster, SimulationResult};
+pub use cluster::{
+    check_workload, grid_like_cluster, OpRecord, SimulatedCluster, SimulationResult,
+};
 pub use report::{format_table, mean, std_dev, SeriesPoint, SweepSeries};
 pub use resource::{Resource, SimTime, NANOS_PER_SEC};
 pub use workload::{OpKind, SimOp, Workload, WorkloadBuilder};

@@ -152,7 +152,7 @@ mod tests {
     #[test]
     fn fifo_requests_queue_behind_each_other() {
         let mut r = Resource::new("link", 1_000_000, 0); // 1 MB/s
-        // Two 1 MB requests arriving together: the second waits for the first.
+                                                         // Two 1 MB requests arriving together: the second waits for the first.
         let first = r.schedule(0, 1_000_000);
         let second = r.schedule(0, 1_000_000);
         assert_eq!(first, NANOS_PER_SEC);

@@ -159,6 +159,7 @@ impl WorkloadBuilder {
         BlobConfig {
             chunk_size: self.chunk_size,
             replication: self.replication,
+            ..BlobConfig::default()
         }
     }
 

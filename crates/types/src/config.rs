@@ -9,10 +9,11 @@ use serde::{Deserialize, Serialize};
 /// The paper calls this the "configurable chunk distribution strategy"; the
 /// choice has a major impact on aggregated throughput when many clients
 /// write concurrently.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
 pub enum PlacementPolicy {
     /// Cycle through providers in registration order. Gives perfect load
     /// balance for uniform chunk sizes (the paper's default).
+    #[default]
     RoundRobin,
     /// Pick providers uniformly at random.
     Random,
@@ -23,9 +24,64 @@ pub enum PlacementPolicy {
     QosAware,
 }
 
-impl Default for PlacementPolicy {
+/// Bounded exponential backoff used when a reader must wait for a concurrent
+/// writer's metadata to appear (the only point where two writers of the same
+/// chunk ever synchronise).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RetryPolicy {
+    /// Delay before the first retry, in microseconds.
+    pub initial_delay_us: u64,
+    /// Ceiling the doubling delay saturates at, in microseconds.
+    pub max_delay_us: u64,
+    /// Total number of attempts (lookups) before giving up.
+    pub max_attempts: u32,
+}
+
+impl RetryPolicy {
+    /// Checks that the policy is usable.
+    pub fn validate(&self) -> Result<()> {
+        if self.max_attempts == 0 {
+            return Err(BlobError::InvalidConfig(
+                "retry policy needs at least one attempt".into(),
+            ));
+        }
+        if self.initial_delay_us == 0 {
+            // A zero delay would burn every attempt in microseconds, turning
+            // the bounded wait for a concurrent writer's metadata into an
+            // instant miss (read back as silent zeros).
+            return Err(BlobError::InvalidConfig(
+                "retry initial delay must be positive".into(),
+            ));
+        }
+        if self.max_delay_us < self.initial_delay_us {
+            return Err(BlobError::InvalidConfig(
+                "retry max delay must be at least the initial delay".into(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// The delay before retry number `attempt` (0-based): the initial delay
+    /// doubled per attempt, saturating at the configured maximum.
+    #[must_use]
+    pub fn delay_us(&self, attempt: u32) -> u64 {
+        self.initial_delay_us
+            .saturating_mul(1u64 << attempt.min(20))
+            .min(self.max_delay_us)
+    }
+}
+
+impl Default for RetryPolicy {
     fn default() -> Self {
-        PlacementPolicy::RoundRobin
+        // Worst-case total wait ≈ 1 s, like the 500 × 2 ms fixed-interval
+        // loop this replaced, but the first retries come within microseconds
+        // so the common case (the predecessor finishes weaving almost
+        // immediately) no longer eats a full scheduler quantum.
+        RetryPolicy {
+            initial_delay_us: 50,
+            max_delay_us: 5_000,
+            max_attempts: 220,
+        }
     }
 }
 
@@ -38,6 +94,9 @@ pub struct BlobConfig {
     pub chunk_size: u64,
     /// Number of providers each chunk is replicated on (1 = no replication).
     pub replication: usize,
+    /// Backoff used by writers waiting for a concurrent predecessor's leaf
+    /// during boundary-chunk merging.
+    pub meta_retry: RetryPolicy,
 }
 
 impl BlobConfig {
@@ -46,6 +105,7 @@ impl BlobConfig {
         let cfg = BlobConfig {
             chunk_size,
             replication,
+            meta_retry: RetryPolicy::default(),
         };
         cfg.validate()?;
         Ok(cfg)
@@ -54,14 +114,16 @@ impl BlobConfig {
     /// Checks that the configuration is usable.
     pub fn validate(&self) -> Result<()> {
         if self.chunk_size == 0 {
-            return Err(BlobError::InvalidConfig("chunk size must be positive".into()));
+            return Err(BlobError::InvalidConfig(
+                "chunk size must be positive".into(),
+            ));
         }
         if self.replication == 0 {
             return Err(BlobError::InvalidConfig(
                 "replication factor must be at least 1".into(),
             ));
         }
-        Ok(())
+        self.meta_retry.validate()
     }
 }
 
@@ -70,6 +132,7 @@ impl Default for BlobConfig {
         BlobConfig {
             chunk_size: 64 * 1024,
             replication: 1,
+            meta_retry: RetryPolicy::default(),
         }
     }
 }
@@ -92,6 +155,11 @@ pub struct ClusterConfig {
     /// (the paper's Section IV.A highlights the benefit of client-side
     /// metadata caching).
     pub client_metadata_cache: bool,
+    /// Worker threads of the cluster-wide chunk-transfer pool shared by
+    /// every client. Zero means clients transfer chunks inline on their own
+    /// thread (no parallel striping), which is useful for deterministic
+    /// debugging.
+    pub transfer_workers: usize,
     /// Network bandwidth of every node in bytes per second (used only by the
     /// simulator; 1 Gbps by default, matching Grid'5000's interconnect).
     pub link_bandwidth_bps: u64,
@@ -163,6 +231,7 @@ impl Default for ClusterConfig {
             dht_replication: 1,
             placement: PlacementPolicy::RoundRobin,
             client_metadata_cache: true,
+            transfer_workers: 8,
             // 1 Gbps full duplex, 100 microseconds one-way latency.
             link_bandwidth_bps: 125_000_000,
             link_latency_ns: 100_000,
@@ -229,6 +298,56 @@ mod tests {
         let cfg = ClusterConfig {
             dht_virtual_nodes: 0,
             ..ClusterConfig::default()
+        };
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn retry_policy_delays_double_and_saturate() {
+        let policy = RetryPolicy {
+            initial_delay_us: 100,
+            max_delay_us: 1_000,
+            max_attempts: 10,
+        };
+        assert_eq!(policy.delay_us(0), 100);
+        assert_eq!(policy.delay_us(1), 200);
+        assert_eq!(policy.delay_us(2), 400);
+        assert_eq!(policy.delay_us(3), 800);
+        assert_eq!(policy.delay_us(4), 1_000, "delay saturates at the max");
+        assert_eq!(
+            policy.delay_us(63),
+            1_000,
+            "huge attempts must not overflow"
+        );
+    }
+
+    #[test]
+    fn invalid_retry_policies_are_rejected() {
+        assert!(RetryPolicy::default().validate().is_ok());
+        let no_attempts = RetryPolicy {
+            max_attempts: 0,
+            ..RetryPolicy::default()
+        };
+        assert!(no_attempts.validate().is_err());
+        let zero_delay = RetryPolicy {
+            initial_delay_us: 0,
+            max_delay_us: 0,
+            max_attempts: 5,
+        };
+        assert!(
+            zero_delay.validate().is_err(),
+            "zero delay defeats the wait"
+        );
+        let inverted = RetryPolicy {
+            initial_delay_us: 500,
+            max_delay_us: 100,
+            max_attempts: 5,
+        };
+        assert!(inverted.validate().is_err());
+        // An invalid retry policy invalidates the whole blob config.
+        let cfg = BlobConfig {
+            meta_retry: inverted,
+            ..BlobConfig::default()
         };
         assert!(cfg.validate().is_err());
     }

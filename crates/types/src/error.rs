@@ -86,7 +86,10 @@ impl fmt::Display for BlobError {
                 blob,
                 version,
                 range,
-            } => write!(f, "missing metadata node covering {range} for {blob} {version}"),
+            } => write!(
+                f,
+                "missing metadata node covering {range} for {blob} {version}"
+            ),
             BlobError::InsufficientProviders { needed, available } => write!(
                 f,
                 "not enough data providers: needed {needed}, available {available}"
@@ -131,7 +134,7 @@ mod tests {
 
     #[test]
     fn io_error_converts_to_storage() {
-        let io = std::io::Error::new(std::io::ErrorKind::Other, "disk on fire");
+        let io = std::io::Error::other("disk on fire");
         let e: BlobError = io.into();
         match e {
             BlobError::Storage(msg) => assert!(msg.contains("disk on fire")),

@@ -69,7 +69,11 @@ pub struct ChunkId {
 
 impl fmt::Display for ChunkId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "chunk-{}-{:x}-{}", self.blob.0, self.write_tag, self.slot)
+        write!(
+            f,
+            "chunk-{}-{:x}-{}",
+            self.blob.0, self.write_tag, self.slot
+        )
     }
 }
 

@@ -16,7 +16,7 @@ pub mod error;
 pub mod id;
 pub mod range;
 
-pub use config::{BlobConfig, ClusterConfig, PlacementPolicy};
+pub use config::{BlobConfig, ClusterConfig, PlacementPolicy, RetryPolicy};
 pub use error::{BlobError, Result};
 pub use id::{BlobId, ChunkId, ClientId, IdGenerator, MetaNodeId, ProviderId, Version};
 pub use range::{chunk_span, ByteRange, ChunkSlot};

@@ -8,7 +8,9 @@
 use blobseer::bsfs::Bsfs;
 use blobseer::core::Cluster;
 use blobseer::hdfs::HdfsLikeFs;
-use blobseer::mapreduce::{grep_job, wordcount_job, BsfsStorage, HdfsStorage, JobStorage, MapReduceEngine};
+use blobseer::mapreduce::{
+    grep_job, wordcount_job, BsfsStorage, HdfsStorage, JobStorage, MapReduceEngine,
+};
 use blobseer::types::{BlobConfig, ClusterConfig};
 use std::sync::Arc;
 
@@ -37,7 +39,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     storage.append("/in/corpus.txt", corpus.as_bytes())?;
 
     let engine = MapReduceEngine::new(storage.clone(), 8);
-    let wc = engine.run(&wordcount_job(vec!["/in/corpus.txt".into()], "/out", 4, 128 << 10))?;
+    let wc = engine.run(&wordcount_job(
+        vec!["/in/corpus.txt".into()],
+        "/out",
+        4,
+        128 << 10,
+    ))?;
     println!(
         "BSFS wordcount: {} map tasks ({} data-local), {} intermediate pairs, {:.1} ms",
         wc.map_tasks,
@@ -45,10 +52,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         wc.intermediate_pairs,
         wc.elapsed.as_secs_f64() * 1_000.0
     );
-    let grep = engine.run(&grep_job(vec!["/in/corpus.txt".into()], "/out", "stumbles", 2, 128 << 10))?;
+    let grep = engine.run(&grep_job(
+        vec!["/in/corpus.txt".into()],
+        "/out",
+        "stumbles",
+        2,
+        128 << 10,
+    ))?;
     println!(
         "BSFS grep('stumbles'): {} matching lines, {:.1} ms",
-        String::from_utf8(storage.read_file(&grep.outputs[0])?)?.lines().count(),
+        String::from_utf8(storage.read_file(&grep.outputs[0])?)?
+            .lines()
+            .count(),
         grep.elapsed.as_secs_f64() * 1_000.0
     );
 
@@ -58,8 +73,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     hdfs_storage.create_file("/in/corpus.txt")?;
     hdfs_storage.append("/in/corpus.txt", corpus.as_bytes())?;
     let hdfs_engine = MapReduceEngine::new(hdfs_storage, 8);
-    let hdfs_wc =
-        hdfs_engine.run(&wordcount_job(vec!["/in/corpus.txt".into()], "/out", 4, 128 << 10))?;
+    let hdfs_wc = hdfs_engine.run(&wordcount_job(
+        vec!["/in/corpus.txt".into()],
+        "/out",
+        4,
+        128 << 10,
+    ))?;
     println!(
         "HDFS-like wordcount: {} map tasks, {:.1} ms (same engine, baseline storage)",
         hdfs_wc.map_tasks,

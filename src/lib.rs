@@ -21,5 +21,7 @@ pub use blobseer_qos as qos;
 pub use blobseer_sim as sim;
 pub use blobseer_types as types;
 
-pub use blobseer_core::{BlobClient, Cluster, VersionManager};
+pub use blobseer_core::{
+    BlobClient, ChunkService, Cluster, MetadataService, TransferPool, VersionManager,
+};
 pub use blobseer_types::{BlobConfig, BlobId, ByteRange, ClusterConfig, Version};

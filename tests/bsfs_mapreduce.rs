@@ -16,7 +16,13 @@ fn bsfs() -> Arc<Bsfs> {
         ..ClusterConfig::default()
     })
     .unwrap();
-    Arc::new(Bsfs::new(Arc::new(cluster.client()), BlobConfig::new(4096, 1).unwrap()).unwrap())
+    Arc::new(
+        Bsfs::new(
+            Arc::new(cluster.client()),
+            BlobConfig::new(4096, 1).unwrap(),
+        )
+        .unwrap(),
+    )
 }
 
 #[test]
@@ -28,7 +34,8 @@ fn bsfs_supports_concurrent_appenders_to_the_same_file() {
             let fs = Arc::clone(&fs);
             scope.spawn(move || {
                 for i in 0..10u8 {
-                    fs.append("/shared.log", format!("w{w}r{i};").as_bytes()).unwrap();
+                    fs.append("/shared.log", format!("w{w}r{i};").as_bytes())
+                        .unwrap();
                 }
             });
         }
@@ -61,7 +68,12 @@ fn hdfs_baseline_rejects_what_bsfs_allows() {
 #[test]
 fn identical_wordcount_results_on_both_backends() {
     let corpus: String = (0..500)
-        .map(|i| format!("alpha beta {} gamma\n", if i % 2 == 0 { "delta" } else { "epsilon" }))
+        .map(|i| {
+            format!(
+                "alpha beta {} gamma\n",
+                if i % 2 == 0 { "delta" } else { "epsilon" }
+            )
+        })
         .collect();
 
     let run = |storage: Arc<dyn JobStorage>| -> Vec<String> {

@@ -18,7 +18,9 @@ fn cluster() -> Cluster {
 fn many_writers_disjoint_regions_round_trip() {
     let cluster = cluster();
     let client = cluster.client();
-    let blob = client.create_blob(BlobConfig::new(1 << 10, 1).unwrap()).unwrap();
+    let blob = client
+        .create_blob(BlobConfig::new(1 << 10, 1).unwrap())
+        .unwrap();
     let region = 8 << 10;
     std::thread::scope(|scope| {
         for w in 0..8u64 {
@@ -33,7 +35,10 @@ fn many_writers_disjoint_regions_round_trip() {
     assert_eq!(all.len() as u64, 8 * region);
     for w in 0..8u64 {
         let slice = &all[(w * region) as usize..((w + 1) * region) as usize];
-        assert!(slice.iter().all(|&b| b == w as u8 + 1), "region {w} corrupted");
+        assert!(
+            slice.iter().all(|&b| b == w as u8 + 1),
+            "region {w} corrupted"
+        );
     }
 }
 
@@ -41,7 +46,9 @@ fn many_writers_disjoint_regions_round_trip() {
 fn snapshot_isolation_under_concurrent_overwrites() {
     let cluster = cluster();
     let client = cluster.client();
-    let blob = client.create_blob(BlobConfig::new(512, 1).unwrap()).unwrap();
+    let blob = client
+        .create_blob(BlobConfig::new(512, 1).unwrap())
+        .unwrap();
     let v1 = client.append(blob, &vec![1u8; 4096]).unwrap();
 
     // Concurrent overwriting writers.
@@ -49,7 +56,9 @@ fn snapshot_isolation_under_concurrent_overwrites() {
         for w in 0..6u64 {
             let client = cluster.client();
             scope.spawn(move || {
-                client.write(blob, (w % 4) * 1024, &vec![(w + 10) as u8; 1024]).unwrap();
+                client
+                    .write(blob, (w % 4) * 1024, &vec![(w + 10) as u8; 1024])
+                    .unwrap();
             });
         }
     });
@@ -69,7 +78,9 @@ fn snapshot_isolation_under_concurrent_overwrites() {
 fn chunk_locations_match_where_data_is_actually_stored() {
     let cluster = cluster();
     let client = cluster.client();
-    let blob = client.create_blob(BlobConfig::new(1024, 2).unwrap()).unwrap();
+    let blob = client
+        .create_blob(BlobConfig::new(1024, 2).unwrap())
+        .unwrap();
     client.append(blob, &vec![9u8; 8 * 1024]).unwrap();
     let locations = client
         .chunk_locations(blob, None, ByteRange::new(0, 8 * 1024))
@@ -88,7 +99,9 @@ fn chunk_locations_match_where_data_is_actually_stored() {
 fn version_history_is_dense_and_ordered() {
     let cluster = cluster();
     let client = cluster.client();
-    let blob = client.create_blob(BlobConfig::new(256, 1).unwrap()).unwrap();
+    let blob = client
+        .create_blob(BlobConfig::new(256, 1).unwrap())
+        .unwrap();
     std::thread::scope(|scope| {
         for _ in 0..4 {
             let client = cluster.client();

@@ -15,7 +15,9 @@ fn replicated_data_survives_rolling_failures() {
     })
     .unwrap();
     let client = cluster.client();
-    let blob = client.create_blob(BlobConfig::new(1024, 3).unwrap()).unwrap();
+    let blob = client
+        .create_blob(BlobConfig::new(1024, 3).unwrap())
+        .unwrap();
     let payload: Vec<u8> = (0..20_000u32).map(|i| (i % 251) as u8).collect();
     client.append(blob, &payload).unwrap();
 
@@ -39,7 +41,9 @@ fn writes_continue_and_recover_after_provider_failures() {
     })
     .unwrap();
     let client = cluster.client();
-    let blob = client.create_blob(BlobConfig::new(512, 2).unwrap()).unwrap();
+    let blob = client
+        .create_blob(BlobConfig::new(512, 2).unwrap())
+        .unwrap();
     client.append(blob, &vec![1u8; 2048]).unwrap();
 
     cluster.fail_provider(ProviderId(0)).unwrap();
@@ -67,13 +71,19 @@ fn metadata_dht_replication_survives_a_metadata_node_failure() {
     })
     .unwrap();
     let client = cluster.client();
-    let blob = client.create_blob(BlobConfig::new(512, 1).unwrap()).unwrap();
+    let blob = client
+        .create_blob(BlobConfig::new(512, 1).unwrap())
+        .unwrap();
     let payload = vec![5u8; 8192];
     client.append(blob, &payload).unwrap();
 
-    cluster.fail_metadata_node(blobseer::types::MetaNodeId(0)).unwrap();
+    cluster
+        .fail_metadata_node(blobseer::types::MetaNodeId(0))
+        .unwrap();
     assert_eq!(client.read_all(blob, None).unwrap(), payload);
-    cluster.recover_metadata_node(blobseer::types::MetaNodeId(0)).unwrap();
+    cluster
+        .recover_metadata_node(blobseer::types::MetaNodeId(0))
+        .unwrap();
 }
 
 #[test]
@@ -86,7 +96,9 @@ fn qos_feedback_steers_placement_away_from_a_failed_provider() {
     })
     .unwrap();
     let client = cluster.client();
-    let blob = client.create_blob(BlobConfig::new(4096, 1).unwrap()).unwrap();
+    let blob = client
+        .create_blob(BlobConfig::new(4096, 1).unwrap())
+        .unwrap();
     let collector = Arc::new(MonitoringCollector::new(cluster.providers()));
     let mut controller = QosController::new(
         Arc::clone(&collector),
@@ -103,12 +115,18 @@ fn qos_feedback_steers_placement_away_from_a_failed_provider() {
         collector.sample();
     }
     let flagged = controller.step().unwrap();
-    assert!(flagged.contains(&ProviderId(1)), "failed provider must be flagged: {flagged:?}");
+    assert!(
+        flagged.contains(&ProviderId(1)),
+        "failed provider must be flagged: {flagged:?}"
+    );
     // Subsequent placements avoid the flagged provider.
     let before = cluster.provider(ProviderId(1)).unwrap().stats().chunks;
     for round in 0..5u8 {
         client.append(blob, &vec![round; 16 * 1024]).unwrap();
     }
     let after = cluster.provider(ProviderId(1)).unwrap().stats().chunks;
-    assert_eq!(before, after, "no new chunks may land on the flagged provider");
+    assert_eq!(
+        before, after,
+        "no new chunks may land on the flagged provider"
+    );
 }

@@ -80,5 +80,8 @@ fn provider_load_is_balanced_under_round_robin() {
     let max = *loads.iter().max().unwrap() as f64;
     let min = *loads.iter().min().unwrap() as f64;
     assert!(min > 0.0);
-    assert!(max / min < 1.6, "round-robin striping must balance provider load");
+    assert!(
+        max / min < 1.6,
+        "round-robin striping must balance provider load"
+    );
 }

@@ -1,0 +1,265 @@
+//! Offline stand-in for `criterion` (0.5 API subset).
+//!
+//! Provides [`Criterion`], [`Bencher`] (`iter`, `iter_batched`),
+//! [`BatchSize`], [`black_box`] and the [`criterion_group!`] /
+//! [`criterion_main!`] macros. Measurement is a plain wall-clock loop: warm
+//! up for the configured time, then run samples for the measurement window
+//! and report mean / min / max nanoseconds per iteration.
+//!
+//! Results are printed human-readably and, when the `BLOBSEER_BENCH_JSON`
+//! environment variable names a file, appended to it as JSON lines
+//! (`{"bench": ..., "mean_ns": ..., ...}`) so a trajectory of benchmark
+//! numbers can be recorded across runs.
+
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier, preventing the optimiser from deleting benchmarked
+/// work.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// How `iter_batched` amortises setup cost. The stand-in runs one setup per
+/// routine call in every mode, so the variants only document intent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small inputs: many per batch under real criterion.
+    SmallInput,
+    /// Large inputs: few per batch under real criterion.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// One benchmark's aggregated measurement.
+#[derive(Debug, Clone)]
+struct Sample {
+    iterations: u64,
+    total: Duration,
+    min: Duration,
+    max: Duration,
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 100,
+            measurement_time: Duration::from_secs(5),
+            warm_up_time: Duration::from_secs(3),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the target number of samples (kept for API parity; the stand-in
+    /// uses it only to bound the iteration count).
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets how long the measurement loop runs.
+    #[must_use]
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Sets how long the warm-up loop runs.
+    #[must_use]
+    pub fn warm_up_time(mut self, t: Duration) -> Self {
+        self.warm_up_time = t;
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            warm_up: self.warm_up_time,
+            measurement: self.measurement_time,
+            sample: None,
+        };
+        routine(&mut bencher);
+        match bencher.sample {
+            Some(sample) => report(name, &sample),
+            None => eprintln!("{name}: benchmark body never called iter()"),
+        }
+        self
+    }
+}
+
+/// Handed to each benchmark closure; runs the measured loop.
+pub struct Bencher {
+    warm_up: Duration,
+    measurement: Duration,
+    sample: Option<Sample>,
+}
+
+impl Bencher {
+    /// Measures `routine` called back-to-back.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: run without recording.
+        let warm_end = Instant::now() + self.warm_up;
+        while Instant::now() < warm_end {
+            black_box(routine());
+        }
+        // Measurement.
+        let mut iterations = 0u64;
+        let mut total = Duration::ZERO;
+        let mut min = Duration::MAX;
+        let mut max = Duration::ZERO;
+        let end = Instant::now() + self.measurement;
+        while Instant::now() < end {
+            let start = Instant::now();
+            black_box(routine());
+            let elapsed = start.elapsed();
+            iterations += 1;
+            total += elapsed;
+            min = min.min(elapsed);
+            max = max.max(elapsed);
+        }
+        self.sample = Some(Sample {
+            iterations,
+            total,
+            min,
+            max,
+        });
+    }
+
+    /// Measures `routine` on inputs produced by `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let warm_end = Instant::now() + self.warm_up;
+        while Instant::now() < warm_end {
+            let input = setup();
+            black_box(routine(input));
+        }
+        let mut iterations = 0u64;
+        let mut total = Duration::ZERO;
+        let mut min = Duration::MAX;
+        let mut max = Duration::ZERO;
+        let end = Instant::now() + self.measurement;
+        while Instant::now() < end {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            let elapsed = start.elapsed();
+            iterations += 1;
+            total += elapsed;
+            min = min.min(elapsed);
+            max = max.max(elapsed);
+        }
+        self.sample = Some(Sample {
+            iterations,
+            total,
+            min,
+            max,
+        });
+    }
+}
+
+fn report(name: &str, sample: &Sample) {
+    let mean_ns = if sample.iterations == 0 {
+        0
+    } else {
+        (sample.total.as_nanos() / sample.iterations as u128) as u64
+    };
+    println!(
+        "{name:<45} {mean_ns:>12} ns/iter (min {:>10} ns, max {:>10} ns, {} iters)",
+        sample.min.as_nanos(),
+        sample.max.as_nanos(),
+        sample.iterations
+    );
+    if let Ok(path) = std::env::var("BLOBSEER_BENCH_JSON") {
+        if !path.is_empty() {
+            let line = format!(
+                "{{\"bench\":\"{name}\",\"mean_ns\":{mean_ns},\"min_ns\":{},\"max_ns\":{},\"iterations\":{}}}\n",
+                sample.min.as_nanos(),
+                sample.max.as_nanos(),
+                sample.iterations
+            );
+            let written = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(&path)
+                .and_then(|mut f| f.write_all(line.as_bytes()));
+            if let Err(err) = written {
+                eprintln!("cannot append bench JSON to {path}: {err}");
+            }
+        }
+    }
+}
+
+/// Declares a group of benchmarks (both criterion forms are accepted).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the benchmark executable's `main`, running every listed group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_records_a_sample() {
+        let mut c = Criterion::default()
+            .sample_size(5)
+            .warm_up_time(Duration::from_millis(5))
+            .measurement_time(Duration::from_millis(20));
+        let mut count = 0u64;
+        c.bench_function("noop", |b| {
+            b.iter(|| {
+                count += 1;
+            })
+        });
+        assert!(count > 0, "the routine must actually run");
+    }
+
+    #[test]
+    fn iter_batched_excludes_setup() {
+        let mut c = Criterion::default()
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(10));
+        c.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput)
+        });
+    }
+}

@@ -1,0 +1,8 @@
+//! Offline stand-in for `serde`.
+//!
+//! Re-exports the no-op `Serialize`/`Deserialize` derive macros so that
+//! `use serde::{Deserialize, Serialize};` plus `#[derive(...)]` annotations
+//! compile unchanged. No serialisation machinery is provided — nothing in
+//! the workspace performs serde-based (de)serialisation at runtime.
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,20 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The workspace only *annotates* types with `#[derive(Serialize,
+//! Deserialize)]` — nothing actually serialises through serde (the bench
+//! crate writes its JSON by hand). These derives therefore expand to nothing,
+//! which keeps every annotation compiling without pulling in syn/quote.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
