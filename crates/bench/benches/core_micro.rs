@@ -40,16 +40,20 @@ fn bench_segment_tree_weave(c: &mut Criterion) {
         &chunks,
     )
     .unwrap();
-    publish_metadata(&store, &base).unwrap();
+    let base = {
+        let descriptor = base.descriptor;
+        publish_metadata(&store, base).unwrap();
+        descriptor
+    };
 
     c.bench_function("segment_tree_single_chunk_weave", |b| {
         b.iter(|| {
             build_write_metadata(
                 &store,
                 blob,
-                &base.descriptor,
+                &base,
                 Version(2),
-                base.descriptor.size,
+                base.size,
                 &[WrittenChunk {
                     slot: 1234,
                     chunk: ChunkId {
@@ -70,7 +74,7 @@ fn bench_segment_tree_weave(c: &mut Criterion) {
             collect_leaves(
                 &store,
                 blob,
-                &base.descriptor,
+                &base,
                 ByteRange::new(1000 * chunk_size, 64 * chunk_size),
             )
             .unwrap()

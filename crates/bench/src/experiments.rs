@@ -51,10 +51,11 @@ fn run_series(
     for &n in clients {
         let mut cluster = make_sim();
         let result = cluster.run(&make_workload(n)).expect("simulation run");
-        series.push(
+        series.push_full(
             n as f64,
             result.aggregated_mibps(),
             result.mean_latency_ms(),
+            result.meta_round_trips,
         );
     }
     series
@@ -110,14 +111,18 @@ pub fn fig_a1_metadata_overhead(blob_chunk_counts: &[u64]) -> Vec<MetadataOverhe
             &base_chunks,
         )
         .expect("base write");
-        publish_metadata(&store, &base).expect("publish base");
+        let base = {
+            let descriptor = base.descriptor;
+            publish_metadata(&store, base).expect("publish base");
+            descriptor
+        };
 
         let update = build_write_metadata(
             &store,
             blob,
-            &base.descriptor,
+            &base,
             Version(2),
-            base.descriptor.size,
+            base.size,
             &[WrittenChunk {
                 slot: chunks / 2,
                 chunk: ChunkId {
@@ -210,10 +215,11 @@ pub fn fig_b2_size_sweep(clients: usize, op_sizes_mib: &[u64]) -> SweepSeries {
             .chunk_size(MIB)
             .concurrent_appends();
         let result = cluster.run(&workload).expect("simulation run");
-        series.push(
+        series.push_full(
             size as f64,
             result.aggregated_mibps(),
             result.mean_latency_ms(),
+            result.meta_round_trips,
         );
     }
     series
@@ -265,10 +271,11 @@ pub fn fig_c2_provider_sweep(providers: &[usize], clients: usize, op_mib: u64) -
             .chunk_size(MIB)
             .concurrent_appends();
         let result = cluster.run(&workload).expect("simulation run");
-        series.push(
+        series.push_full(
             p as f64,
             result.aggregated_mibps(),
             result.mean_latency_ms(),
+            result.meta_round_trips,
         );
     }
     series
@@ -583,10 +590,11 @@ pub fn ablation_chunk_size(chunk_kib: &[u64], clients: usize) -> SweepSeries {
             .chunk_size(kib << 10)
             .concurrent_appends();
         let result = cluster.run(&workload).expect("simulation run");
-        series.push(
+        series.push_full(
             kib as f64,
             result.aggregated_mibps(),
             result.mean_latency_ms(),
+            result.meta_round_trips,
         );
     }
     series

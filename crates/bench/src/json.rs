@@ -123,6 +123,7 @@ pub fn series_json(series: &SweepSeries) -> Json {
                     ("x", Json::num(p.x)),
                     ("throughput_mibps", Json::num(p.throughput_mibps)),
                     ("latency_ms", Json::num(p.latency_ms)),
+                    ("meta_round_trips", Json::num(p.meta_round_trips as f64)),
                 ])
             })),
         ),
@@ -178,11 +179,12 @@ mod tests {
     #[test]
     fn series_round_trip_shape() {
         let mut s = SweepSeries::new("curve");
-        s.push(1.0, 100.0, 2.5);
+        s.push_full(1.0, 100.0, 2.5, 42);
         let json = series_json(&s).to_string();
         assert!(json.contains("\"name\":\"curve\""));
         assert!(json.contains("\"throughput_mibps\":100"));
         assert!(json.contains("\"latency_ms\":2.5"));
+        assert!(json.contains("\"meta_round_trips\":42"));
     }
 
     #[test]

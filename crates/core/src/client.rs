@@ -236,7 +236,7 @@ impl BlobClient {
         let summary = Self::ticket_summary(ticket);
         let repair =
             build_repair_metadata(self.metadata.as_ref(), ticket.blob, &ticket.chain, &summary)?;
-        publish_metadata(self.metadata.as_ref(), &repair)
+        publish_metadata(self.metadata.as_ref(), repair)
     }
 
     // ----- internals -------------------------------------------------------
@@ -358,8 +358,9 @@ impl BlobClient {
         let write_tag: u64 = self.rng.lock().gen();
         let chunks = self.push_chunks(blob, write_tag, &payloads, &placement)?;
 
-        // Weave and store the metadata, then hand the version back to the
-        // version manager for in-order publication (done by the caller).
+        // Weave the metadata and upload it in one batched, shard-grouped
+        // publish, then hand the version back to the version manager for
+        // in-order publication (done by the caller).
         let meta = build_write_metadata_chained(
             self.metadata.as_ref(),
             blob,
@@ -368,8 +369,9 @@ impl BlobClient {
             ticket.new_size,
             &chunks,
         )?;
-        publish_metadata(self.metadata.as_ref(), &meta)?;
-        Ok(meta.node_count())
+        let node_count = meta.node_count();
+        publish_metadata(self.metadata.as_ref(), meta)?;
+        Ok(node_count)
     }
 
     /// Reads a range as it appears in a writer's *predecessor* snapshot,

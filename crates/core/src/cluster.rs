@@ -123,6 +123,15 @@ impl Cluster {
         &self.transfers
     }
 
+    /// Total metadata round-trips issued against the DHT since the cluster
+    /// started: one per owning metadata node per batched get/put, one per
+    /// node contacted by a single-key access. The unit the paper measures
+    /// the metadata path in — level-order reads and batched publication keep
+    /// this O(tree-depth × metadata providers) per operation.
+    pub fn metadata_round_trips(&self) -> u64 {
+        self.metadata.round_trips()
+    }
+
     /// Handle of one data provider.
     pub fn provider(&self, id: ProviderId) -> Option<Arc<DataProvider>> {
         self.chunk_service.provider(id)

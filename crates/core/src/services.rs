@@ -28,10 +28,12 @@ pub use blobseer_provider::{ChunkService, InProcessChunkService};
 /// The metadata half of the service boundary.
 ///
 /// Everything a client needs from metadata is the write-once node store
-/// defined by [`MetadataStore`]; this trait adds the client-side helper for
-/// following repair aliases and is blanket-implemented for every store, so
-/// any `MetadataStore` (the DHT, an in-memory map, a caching wrapper, a
-/// simulator shim) is automatically a `MetadataService`.
+/// defined by [`MetadataStore`] — including its batched
+/// [`MetadataStore::get_nodes`] / [`MetadataStore::put_nodes`], which the
+/// hot read and publish paths are built on; this trait adds the client-side
+/// helper for following repair aliases and is blanket-implemented for every
+/// store, so any `MetadataStore` (the DHT, an in-memory map, a caching
+/// wrapper, a simulator shim) is automatically a `MetadataService`.
 pub trait MetadataService: MetadataStore {
     /// Fetches `key`, transparently following [`NodeBody::Alias`] forwarding
     /// nodes (created by repair weaving for aborted writes) to the node that
@@ -121,5 +123,19 @@ mod tests {
         assert_eq!(as_service.node_count(), 0);
         let arc: Arc<dyn MetadataService> = Arc::new(InMemoryMetaStore::new());
         assert!(arc.get_node_resolved(&key(1)).is_none());
+    }
+
+    #[test]
+    fn batched_store_api_is_reachable_through_the_service_object() {
+        // Clients hold `Arc<dyn MetadataService>`: the batched calls the hot
+        // paths use must dispatch through the trait object.
+        let arc: Arc<dyn MetadataService> = Arc::new(InMemoryMetaStore::new());
+        let leaf = NodeBody::Leaf(LeafNode::hole(BlobId(1), 0));
+        arc.put_nodes(vec![(key(1), leaf.clone()), (key(2), leaf.clone())])
+            .unwrap();
+        assert_eq!(
+            arc.get_nodes(&[key(2), key(9), key(1)]),
+            vec![Some(leaf.clone()), None, Some(leaf)]
+        );
     }
 }

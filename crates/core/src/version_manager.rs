@@ -12,8 +12,10 @@ use blobseer_meta::{ReferenceChain, SnapshotDescriptor, WriteSummary};
 use blobseer_types::{
     chunk_span, BlobConfig, BlobError, BlobId, ByteRange, IdGenerator, Result, Version,
 };
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// The kind of mutation a client asks a ticket for.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -156,12 +158,28 @@ impl BlobState {
     }
 }
 
+/// Number of shards the blob map is split into. A power of two so the shard
+/// index is a mask; 32 shards keep the map-level critical sections invisible
+/// even with hundreds of client threads creating blobs.
+const VM_SHARDS: usize = 32;
+
 /// The version manager service. One instance serves every blob of a
 /// deployment; all methods are safe to call from many client threads.
+///
+/// The serialisation the paper's protocol actually needs is *per blob*
+/// (version assignment and in-order publication of one blob's writes), so
+/// that is the only lock this type takes on the hot path: blob states live
+/// behind individual mutexes inside a sharded, read-mostly outer map.
+/// Operations on distinct blobs never contend on any shared lock — the shard
+/// maps are only write-locked by blob creation — and the global counters are
+/// plain atomics.
 pub struct VersionManager {
-    blobs: Mutex<HashMap<BlobId, BlobState>>,
+    shards: Vec<RwLock<HashMap<BlobId, Arc<Mutex<BlobState>>>>>,
     blob_ids: IdGenerator,
-    stats: Mutex<VersionManagerStats>,
+    stat_blobs: AtomicU64,
+    stat_tickets: AtomicU64,
+    stat_published: AtomicU64,
+    stat_aborted: AtomicU64,
 }
 
 impl VersionManager {
@@ -169,10 +187,30 @@ impl VersionManager {
     #[must_use]
     pub fn new() -> Self {
         VersionManager {
-            blobs: Mutex::new(HashMap::new()),
+            shards: (0..VM_SHARDS)
+                .map(|_| RwLock::new(HashMap::new()))
+                .collect(),
             blob_ids: IdGenerator::starting_at(1),
-            stats: Mutex::new(VersionManagerStats::default()),
+            stat_blobs: AtomicU64::new(0),
+            stat_tickets: AtomicU64::new(0),
+            stat_published: AtomicU64::new(0),
+            stat_aborted: AtomicU64::new(0),
         }
+    }
+
+    fn shard(&self, blob: BlobId) -> &RwLock<HashMap<BlobId, Arc<Mutex<BlobState>>>> {
+        &self.shards[(blob.0 as usize) & (VM_SHARDS - 1)]
+    }
+
+    /// The state handle of one blob: cloned out of the shard map under a
+    /// read lock, so holding the returned per-blob mutex never blocks
+    /// operations on other blobs.
+    fn state(&self, blob: BlobId) -> Result<Arc<Mutex<BlobState>>> {
+        self.shard(blob)
+            .read()
+            .get(&blob)
+            .cloned()
+            .ok_or(BlobError::UnknownBlob(blob))
     }
 
     /// Registers a new blob and returns its identifier. The blob starts at
@@ -180,23 +218,25 @@ impl VersionManager {
     pub fn create_blob(&self, config: BlobConfig) -> Result<BlobId> {
         config.validate()?;
         let id = BlobId(self.blob_ids.next_id());
-        self.blobs.lock().insert(id, BlobState::new(config));
-        self.stats.lock().blobs += 1;
+        self.shard(id)
+            .write()
+            .insert(id, Arc::new(Mutex::new(BlobState::new(config))));
+        self.stat_blobs.fetch_add(1, Ordering::Relaxed);
         Ok(id)
     }
 
     /// The configuration a blob was created with.
     pub fn blob_config(&self, blob: BlobId) -> Result<BlobConfig> {
-        self.blobs
-            .lock()
-            .get(&blob)
-            .map(|s| s.config)
-            .ok_or(BlobError::UnknownBlob(blob))
+        Ok(self.state(blob)?.lock().config)
     }
 
     /// All blobs currently registered.
     pub fn blob_ids(&self) -> Vec<BlobId> {
-        let mut ids: Vec<BlobId> = self.blobs.lock().keys().copied().collect();
+        let mut ids: Vec<BlobId> = self
+            .shards
+            .iter()
+            .flat_map(|shard| shard.read().keys().copied().collect::<Vec<_>>())
+            .collect();
         ids.sort();
         ids
     }
@@ -206,8 +246,8 @@ impl VersionManager {
         if kind.len() == 0 {
             return Err(BlobError::EmptyWrite);
         }
-        let mut blobs = self.blobs.lock();
-        let state = blobs.get_mut(&blob).ok_or(BlobError::UnknownBlob(blob))?;
+        let state = self.state(blob)?;
+        let mut state = state.lock();
         let chunk_size = state.config.chunk_size;
         let (offset, len) = match kind {
             WriteKind::Write { offset, len } => (offset, len),
@@ -238,7 +278,7 @@ impl VersionManager {
                 aborted: false,
             },
         );
-        self.stats.lock().tickets += 1;
+        self.stat_tickets.fetch_add(1, Ordering::Relaxed);
         Ok(WriteTicket {
             blob,
             version,
@@ -254,15 +294,15 @@ impl VersionManager {
     /// manager publishes it (and any directly following complete versions)
     /// in order; returns the latest published version after the call.
     pub fn complete_write(&self, blob: BlobId, version: Version) -> Result<Version> {
-        let mut blobs = self.blobs.lock();
-        let state = blobs.get_mut(&blob).ok_or(BlobError::UnknownBlob(blob))?;
+        let state = self.state(blob)?;
+        let mut state = state.lock();
         let pending = state
             .pending
             .get_mut(&version.0)
             .ok_or(BlobError::UnknownVersion(blob, version))?;
         pending.complete = true;
         let published = state.advance_publication();
-        self.stats.lock().published += published;
+        self.stat_published.fetch_add(published, Ordering::Relaxed);
         Ok(state.latest_published().version)
     }
 
@@ -276,27 +316,24 @@ impl VersionManager {
     /// the aborted version before calling this. See
     /// [`crate::client::BlobClient::repair_aborted_write`].
     pub fn abort_write(&self, blob: BlobId, version: Version) -> Result<Version> {
-        let mut blobs = self.blobs.lock();
-        let state = blobs.get_mut(&blob).ok_or(BlobError::UnknownBlob(blob))?;
+        let state = self.state(blob)?;
+        let mut state = state.lock();
         let pending = state
             .pending
             .get_mut(&version.0)
             .ok_or(BlobError::UnknownVersion(blob, version))?;
         pending.aborted = true;
         let published = state.advance_publication();
-        {
-            let mut stats = self.stats.lock();
-            stats.aborted += 1;
-            stats.published += published;
-        }
+        self.stat_aborted.fetch_add(1, Ordering::Relaxed);
+        self.stat_published.fetch_add(published, Ordering::Relaxed);
         Ok(state.latest_published().version)
     }
 
     /// Summaries of the writes assigned after the latest published snapshot
     /// (used by repair weaving).
     pub fn pending_summaries(&self, blob: BlobId) -> Result<Vec<WriteSummary>> {
-        let blobs = self.blobs.lock();
-        let state = blobs.get(&blob).ok_or(BlobError::UnknownBlob(blob))?;
+        let state = self.state(blob)?;
+        let state = state.lock();
         Ok(state
             .pending
             .values()
@@ -307,16 +344,13 @@ impl VersionManager {
 
     /// Descriptor of the latest published snapshot.
     pub fn latest_snapshot(&self, blob: BlobId) -> Result<SnapshotDescriptor> {
-        let blobs = self.blobs.lock();
-        let state = blobs.get(&blob).ok_or(BlobError::UnknownBlob(blob))?;
-        Ok(state.latest_published())
+        Ok(self.state(blob)?.lock().latest_published())
     }
 
     /// Descriptor of an arbitrary published snapshot.
     pub fn snapshot(&self, blob: BlobId, version: Version) -> Result<SnapshotDescriptor> {
-        let blobs = self.blobs.lock();
-        let state = blobs.get(&blob).ok_or(BlobError::UnknownBlob(blob))?;
-        state
+        self.state(blob)?
+            .lock()
             .published
             .get(version.0 as usize)
             .copied()
@@ -325,21 +359,24 @@ impl VersionManager {
 
     /// Every published version of the blob, oldest first.
     pub fn published_versions(&self, blob: BlobId) -> Result<Vec<Version>> {
-        let blobs = self.blobs.lock();
-        let state = blobs.get(&blob).ok_or(BlobError::UnknownBlob(blob))?;
+        let state = self.state(blob)?;
+        let state = state.lock();
         Ok(state.published.iter().map(|d| d.version).collect())
     }
 
     /// Number of writes assigned but not yet published for the blob.
     pub fn pending_count(&self, blob: BlobId) -> Result<usize> {
-        let blobs = self.blobs.lock();
-        let state = blobs.get(&blob).ok_or(BlobError::UnknownBlob(blob))?;
-        Ok(state.pending.len())
+        Ok(self.state(blob)?.lock().pending.len())
     }
 
     /// Global operation counters.
     pub fn stats(&self) -> VersionManagerStats {
-        *self.stats.lock()
+        VersionManagerStats {
+            blobs: self.stat_blobs.load(Ordering::Relaxed),
+            tickets: self.stat_tickets.load(Ordering::Relaxed),
+            published: self.stat_published.load(Ordering::Relaxed),
+            aborted: self.stat_aborted.load(Ordering::Relaxed),
+        }
     }
 }
 
@@ -619,6 +656,34 @@ mod tests {
         assert_eq!(stats.tickets, 1);
         assert_eq!(stats.published, 1);
         assert_eq!(stats.aborted, 0);
+    }
+
+    #[test]
+    fn distinct_blobs_never_share_a_lock() {
+        use std::sync::mpsc;
+        use std::time::Duration;
+        let vm = Arc::new(VersionManager::new());
+        let a = vm.create_blob(BlobConfig::new(CS, 1).unwrap()).unwrap();
+        let b = vm.create_blob(BlobConfig::new(CS, 1).unwrap()).unwrap();
+        // Hold blob a's per-blob lock for the whole test, as a stuck writer
+        // would.
+        let a_state = vm.state(a).unwrap();
+        let _guard = a_state.lock();
+        // A full ticket + publish cycle on blob b must complete anyway: with
+        // the old global blob map mutex this deadlocked.
+        let (tx, rx) = mpsc::channel();
+        let vm2 = Arc::clone(&vm);
+        let worker = std::thread::spawn(move || {
+            let t = vm2.assign_ticket(b, WriteKind::Append { len: CS }).unwrap();
+            vm2.complete_write(b, t.version).unwrap();
+            let _ = tx.send(t.version);
+        });
+        let version = rx
+            .recv_timeout(Duration::from_secs(10))
+            .expect("operations on blob b blocked behind blob a's lock");
+        assert_eq!(version, Version(1));
+        worker.join().unwrap();
+        assert_eq!(vm.latest_snapshot(b).unwrap().version, Version(1));
     }
 
     #[test]

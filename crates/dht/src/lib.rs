@@ -26,6 +26,7 @@ use parking_lot::RwLock;
 use ring::HashRing;
 use std::collections::HashMap;
 use std::hash::Hash;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// A replicated, consistent-hashed key/value store spread over a set of
@@ -34,11 +35,21 @@ use std::sync::Arc;
 /// The table is generic over the key and value types; BlobSeer-RS
 /// instantiates it with segment-tree node keys and node bodies, keeping the
 /// hot path free of serialisation.
+///
+/// Besides per-key `put`/`get`, the table offers [`Dht::put_batch`] and
+/// [`Dht::get_batch`]: the keys of a batch are grouped by owning node so
+/// that one *round-trip* per owning node moves the whole group, instead of
+/// one round-trip per key. The accumulated round-trip count is exposed via
+/// [`Dht::round_trips`] — the unit the paper's metadata-path costs are
+/// measured in.
 pub struct Dht<K, V> {
     ring: RwLock<HashRing>,
     nodes: RwLock<HashMap<MetaNodeId, Arc<DhtNode<K, V>>>>,
     replication: usize,
     virtual_nodes: usize,
+    /// Logical request/response exchanges with individual nodes: one per
+    /// node contacted by a `get`/`put`, one per owning node per batch.
+    round_trips: AtomicU64,
 }
 
 impl<K, V> Dht<K, V>
@@ -76,6 +87,7 @@ where
             nodes: RwLock::new(nodes),
             replication,
             virtual_nodes,
+            round_trips: AtomicU64::new(0),
         })
     }
 
@@ -105,6 +117,16 @@ where
         self.ring.read().successors(hash, self.replication)
     }
 
+    /// Number of logical node round-trips issued since the table was
+    /// created: one per node contacted by a `put`/`get`, one per owning node
+    /// per batch operation. This is the unit in which the paper measures the
+    /// metadata path — a batched read of a whole tree level costs at most
+    /// one round-trip per metadata provider, however many nodes the level
+    /// has.
+    pub fn round_trips(&self) -> u64 {
+        self.round_trips.load(Ordering::Relaxed)
+    }
+
     /// Stores `value` under `key` on every replica responsible for it.
     ///
     /// Metadata in BlobSeer is immutable: storing a *different* value under
@@ -112,6 +134,10 @@ where
     /// (concurrent writers may legitimately race to persist identical tree
     /// nodes).
     pub fn put(&self, key: K, value: V) -> Result<()> {
+        self.put_shared(key, Arc::new(value))
+    }
+
+    fn put_shared(&self, key: K, value: Arc<V>) -> Result<()> {
         let replicas = self.route(&key);
         let nodes = self.nodes.read();
         let mut stored_on = 0usize;
@@ -122,10 +148,80 @@ where
             if !node.is_alive() {
                 continue;
             }
-            node.put(key.clone(), value.clone())?;
+            self.round_trips.fetch_add(1, Ordering::Relaxed);
+            node.put_shared(key.clone(), Arc::clone(&value))?;
             stored_on += 1;
         }
         if stored_on == 0 {
+            return Err(BlobError::InsufficientProviders {
+                needed: 1,
+                available: 0,
+            });
+        }
+        Ok(())
+    }
+
+    /// Stores a whole batch of entries, grouping them by owning node: one
+    /// round-trip per owning node per replica rank (`replication × nodes`
+    /// in the worst case; with the common replication factor of 1, exactly
+    /// one per owning node), however many entries the batch has. The value
+    /// of each entry is allocated once and shared across its replicas.
+    ///
+    /// Write-once semantics are per entry, exactly as for [`Dht::put`] —
+    /// replicas are visited in routing order (all primaries first), so a
+    /// conflicting entry fails at its primary before its value spreads to
+    /// any other replica, and every *other* entry of the batch still
+    /// reaches its full replica set; the first error is reported after the
+    /// batch completes. Every entry must reach at least one live replica.
+    pub fn put_batch(&self, entries: Vec<(K, V)>) -> Result<()> {
+        if entries.is_empty() {
+            return Ok(());
+        }
+        let entries: Vec<(K, Arc<V>)> =
+            entries.into_iter().map(|(k, v)| (k, Arc::new(v))).collect();
+        let routes: Vec<Vec<MetaNodeId>> = entries.iter().map(|(key, _)| self.route(key)).collect();
+        let nodes = self.nodes.read();
+        let mut stored_on = vec![0usize; entries.len()];
+        let mut failed = vec![false; entries.len()];
+        let mut first_error = None;
+        // One wave per replica rank, each wave grouped by owning node: an
+        // entry rejected as conflicting at its primary (the same replica a
+        // per-key put would hit first) is never pushed onto later ranks,
+        // which would permanently diverge the write-once replicas.
+        for rank in 0..self.replication {
+            let mut groups: HashMap<MetaNodeId, Vec<usize>> = HashMap::new();
+            for (index, route) in routes.iter().enumerate() {
+                if failed[index] {
+                    continue;
+                }
+                if let Some(id) = route.get(rank) {
+                    groups.entry(*id).or_default().push(index);
+                }
+            }
+            for (id, indices) in groups {
+                let node = nodes.get(&id).ok_or(BlobError::Internal(format!(
+                    "ring references unknown node {id}"
+                )))?;
+                if !node.is_alive() {
+                    continue;
+                }
+                self.round_trips.fetch_add(1, Ordering::Relaxed);
+                for index in indices {
+                    let (key, value) = &entries[index];
+                    match node.put_shared(key.clone(), Arc::clone(value)) {
+                        Ok(()) => stored_on[index] += 1,
+                        Err(err) => {
+                            failed[index] = true;
+                            first_error.get_or_insert(err);
+                        }
+                    }
+                }
+            }
+        }
+        if let Some(err) = first_error {
+            return Err(err);
+        }
+        if stored_on.contains(&0) {
             return Err(BlobError::InsufficientProviders {
                 needed: 1,
                 available: 0,
@@ -144,12 +240,58 @@ where
                 if !node.is_alive() {
                     continue;
                 }
+                self.round_trips.fetch_add(1, Ordering::Relaxed);
                 if let Some(v) = node.get(key) {
                     return Some(v);
                 }
             }
         }
         None
+    }
+
+    /// Fetches a whole batch of keys, contacting every owning node once per
+    /// replica rank: the common case (every key present on its primary)
+    /// costs one round-trip per *distinct primary node*, however many keys
+    /// the batch has. Keys a node turns out not to hold fall through to the
+    /// next replica in routing order, one extra grouped round per rank.
+    pub fn get_batch(&self, keys: &[K]) -> Vec<Option<V>> {
+        let mut out: Vec<Option<V>> = keys.iter().map(|_| None).collect();
+        if keys.is_empty() {
+            return out;
+        }
+        let routes: Vec<Vec<MetaNodeId>> = keys.iter().map(|k| self.route(k)).collect();
+        let nodes = self.nodes.read();
+        let mut unresolved: Vec<usize> = (0..keys.len()).collect();
+        for rank in 0..self.replication {
+            if unresolved.is_empty() {
+                break;
+            }
+            let mut groups: HashMap<MetaNodeId, Vec<usize>> = HashMap::new();
+            let mut next_round: Vec<usize> = Vec::new();
+            for index in unresolved {
+                if let Some(id) = routes[index].get(rank) {
+                    match nodes.get(id) {
+                        Some(node) if node.is_alive() => {
+                            groups.entry(*id).or_default().push(index);
+                        }
+                        // Dead or unknown replica: retry on the next rank.
+                        _ => next_round.push(index),
+                    }
+                }
+            }
+            for (id, indices) in groups {
+                let node = &nodes[&id];
+                self.round_trips.fetch_add(1, Ordering::Relaxed);
+                for index in indices {
+                    match node.get(&keys[index]) {
+                        Some(v) => out[index] = Some(v),
+                        None => next_round.push(index),
+                    }
+                }
+            }
+            unresolved = next_round;
+        }
+        out
     }
 
     /// Returns whether any live replica currently stores `key`.
@@ -216,7 +358,7 @@ where
         }
         for (k, v) in departing.drain() {
             // Ignore immutability conflicts: replicas already hold the value.
-            let _ = self.put(k, v);
+            let _ = self.put_shared(k, v);
         }
         Ok(())
     }
@@ -227,7 +369,7 @@ where
         let nodes: Vec<Arc<DhtNode<K, V>>> = self.nodes.read().values().cloned().collect();
         for node in nodes {
             for (k, v) in node.snapshot() {
-                let _ = self.put(k, v);
+                let _ = self.put_shared(k, v);
             }
         }
     }
@@ -273,6 +415,90 @@ mod tests {
         assert_eq!(d.get(&"alpha".to_string()), Some(1));
         assert_eq!(d.get(&"beta".to_string()), Some(2));
         assert_eq!(d.get(&"gamma".to_string()), None);
+    }
+
+    #[test]
+    fn batch_put_get_roundtrip() {
+        let d = dht(6, 2);
+        let entries: Vec<(String, u64)> = (0..200u64).map(|i| (format!("key-{i}"), i)).collect();
+        d.put_batch(entries).unwrap();
+        let keys: Vec<String> = (0..200u64).map(|i| format!("key-{i}")).collect();
+        let values = d.get_batch(&keys);
+        assert_eq!(values.len(), 200);
+        for (i, v) in values.iter().enumerate() {
+            assert_eq!(*v, Some(i as u64), "key-{i}");
+        }
+        // Unknown keys come back as None, in position.
+        let mixed = d.get_batch(&["key-3".to_string(), "ghost".to_string()]);
+        assert_eq!(mixed, vec![Some(3), None]);
+        // Empty batches are free.
+        let before = d.round_trips();
+        d.put_batch(Vec::new()).unwrap();
+        assert!(d.get_batch(&[]).is_empty());
+        assert_eq!(d.round_trips(), before);
+    }
+
+    #[test]
+    fn batches_cost_one_round_trip_per_owning_node() {
+        let d = dht(4, 1);
+        let entries: Vec<(String, u64)> = (0..500u64).map(|i| (format!("key-{i}"), i)).collect();
+        let keys: Vec<String> = entries.iter().map(|(k, _)| k.clone()).collect();
+        let before = d.round_trips();
+        d.put_batch(entries).unwrap();
+        let put_trips = d.round_trips() - before;
+        assert!(
+            put_trips <= 4,
+            "a batched put contacts each owning node once, got {put_trips} trips"
+        );
+        let before = d.round_trips();
+        let values = d.get_batch(&keys);
+        let get_trips = d.round_trips() - before;
+        assert!(values.iter().all(Option::is_some));
+        assert!(
+            get_trips <= 4,
+            "a batched get contacts each primary once, got {get_trips} trips"
+        );
+        // Per-key access costs one trip per key instead.
+        let before = d.round_trips();
+        for key in keys.iter().take(50) {
+            assert!(d.get(key).is_some());
+        }
+        assert!(d.round_trips() - before >= 50);
+    }
+
+    #[test]
+    fn batch_get_falls_back_to_replicas_of_failed_primaries() {
+        let d = dht(5, 3);
+        let entries: Vec<(String, u64)> = (0..300u64).map(|i| (format!("key-{i}"), i)).collect();
+        let keys: Vec<String> = entries.iter().map(|(k, _)| k.clone()).collect();
+        d.put_batch(entries).unwrap();
+        d.fail_node(MetaNodeId(1)).unwrap();
+        d.fail_node(MetaNodeId(4)).unwrap();
+        let values = d.get_batch(&keys);
+        for (i, v) in values.iter().enumerate() {
+            assert_eq!(*v, Some(i as u64), "key-{i} lost behind failed primary");
+        }
+    }
+
+    #[test]
+    fn batch_put_rejects_conflicts_and_all_dead_nodes() {
+        let d = dht(3, 1);
+        d.put("k".to_string(), 1).unwrap();
+        // Conflicting value inside a batch is rejected...
+        assert!(d
+            .put_batch(vec![("k".to_string(), 2), ("fresh".to_string(), 9)])
+            .is_err());
+        // ...but the other entries of the batch still store fully.
+        assert_eq!(d.get(&"fresh".to_string()), Some(9));
+        // Idempotent batch re-put is fine.
+        d.put_batch(vec![("k".to_string(), 1)]).unwrap();
+        for i in 0..3u32 {
+            d.fail_node(MetaNodeId(i)).unwrap();
+        }
+        assert!(matches!(
+            d.put_batch(vec![("x".to_string(), 1)]),
+            Err(BlobError::InsufficientProviders { .. })
+        ));
     }
 
     #[test]

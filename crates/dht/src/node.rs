@@ -7,6 +7,7 @@ use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::hash::Hash;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Operation counters of one metadata provider.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -20,9 +21,13 @@ pub struct NodeStats {
 }
 
 /// One node of the metadata DHT.
+///
+/// Values are held behind [`Arc`] so that the replicas of one key across
+/// several nodes share a single allocation: a replicated put clones the
+/// `Arc`, never the value.
 pub struct DhtNode<K, V> {
     id: MetaNodeId,
-    entries: RwLock<HashMap<K, V>>,
+    entries: RwLock<HashMap<K, Arc<V>>>,
     alive: AtomicBool,
     puts: AtomicU64,
     gets: AtomicU64,
@@ -66,9 +71,16 @@ where
     /// Entries are write-once: writing a different value under an existing
     /// key is an error, writing an identical value again succeeds silently.
     pub fn put(&self, key: K, value: V) -> Result<()> {
+        self.put_shared(key, Arc::new(value))
+    }
+
+    /// Stores an already-shared value under `key` (used by replicated puts:
+    /// every replica holds the same `Arc`, so the value is allocated once no
+    /// matter the replication factor).
+    pub fn put_shared(&self, key: K, value: Arc<V>) -> Result<()> {
         let mut entries = self.entries.write();
         match entries.get(&key) {
-            Some(existing) if *existing != value => Err(BlobError::Internal(format!(
+            Some(existing) if **existing != *value => Err(BlobError::Internal(format!(
                 "conflicting write-once put on metadata node {}",
                 self.id
             ))),
@@ -83,6 +95,12 @@ where
 
     /// Fetches the value stored under `key`, if any.
     pub fn get(&self, key: &K) -> Option<V> {
+        self.get_shared(key).map(|v| (*v).clone())
+    }
+
+    /// Fetches the shared handle stored under `key`, if any (no value
+    /// clone).
+    pub fn get_shared(&self, key: &K) -> Option<Arc<V>> {
         self.gets.fetch_add(1, Ordering::Relaxed);
         let found = self.entries.read().get(key).cloned();
         if found.is_some() {
@@ -101,17 +119,18 @@ where
         self.entries.read().is_empty()
     }
 
-    /// A copy of every entry (used by rebalancing).
-    pub fn snapshot(&self) -> Vec<(K, V)> {
+    /// A copy of every entry (used by rebalancing). The values are shared
+    /// handles, so the copy is cheap regardless of the value sizes.
+    pub fn snapshot(&self) -> Vec<(K, Arc<V>)> {
         self.entries
             .read()
             .iter()
-            .map(|(k, v)| (k.clone(), v.clone()))
+            .map(|(k, v)| (k.clone(), Arc::clone(v)))
             .collect()
     }
 
     /// Removes and returns every entry (used when the node leaves the ring).
-    pub fn drain(&self) -> Vec<(K, V)> {
+    pub fn drain(&self) -> Vec<(K, Arc<V>)> {
         self.entries.write().drain().collect()
     }
 
@@ -170,14 +189,28 @@ mod tests {
         let n: DhtNode<String, u32> = DhtNode::new(MetaNodeId(0));
         n.put("x".into(), 10).unwrap();
         n.put("y".into(), 20).unwrap();
-        let mut snap = n.snapshot();
+        let mut snap: Vec<(String, u32)> = n.snapshot().into_iter().map(|(k, v)| (k, *v)).collect();
         snap.sort();
         assert_eq!(snap, vec![("x".into(), 10), ("y".into(), 20)]);
         assert_eq!(n.len(), 2);
-        let mut drained = n.drain();
-        drained.sort();
+        let drained = n.drain();
         assert_eq!(drained.len(), 2);
         assert!(n.is_empty());
+    }
+
+    #[test]
+    fn shared_puts_store_one_allocation_across_nodes() {
+        let a: DhtNode<&str, String> = DhtNode::new(MetaNodeId(0));
+        let b: DhtNode<&str, String> = DhtNode::new(MetaNodeId(1));
+        let v = Arc::new("payload".to_string());
+        a.put_shared("k", Arc::clone(&v)).unwrap();
+        b.put_shared("k", Arc::clone(&v)).unwrap();
+        assert!(Arc::ptr_eq(
+            &a.get_shared(&"k").unwrap(),
+            &b.get_shared(&"k").unwrap()
+        ));
+        // Conflicting shared puts are still rejected.
+        assert!(a.put_shared("k", Arc::new("other".to_string())).is_err());
     }
 
     #[test]

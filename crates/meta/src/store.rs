@@ -16,6 +16,13 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Abstraction over the place segment-tree nodes are stored in.
+///
+/// Besides per-key access, the trait carries the *batched* operations the
+/// hot paths are built on: a level-order read descent fetches one whole tree
+/// level per [`MetadataStore::get_nodes`] call, and publication uploads a
+/// whole write's nodes per [`MetadataStore::put_nodes`] call. Distributed
+/// stores group a batch by owning node, turning O(nodes) round-trips into
+/// O(owning nodes); the trivial defaults keep single-map stores correct.
 pub trait MetadataStore: Send + Sync {
     /// Stores a node. Nodes are write-once: storing a different body under
     /// an existing key is an error, re-storing an identical body is a no-op.
@@ -23,6 +30,21 @@ pub trait MetadataStore: Send + Sync {
 
     /// Fetches a node by key.
     fn get_node(&self, key: &NodeKey) -> Option<NodeBody>;
+
+    /// Fetches a batch of nodes, one result slot per key in order.
+    /// Implementations route the batch once per owning node.
+    fn get_nodes(&self, keys: &[NodeKey]) -> Vec<Option<NodeBody>> {
+        keys.iter().map(|key| self.get_node(key)).collect()
+    }
+
+    /// Stores a batch of nodes with per-entry write-once semantics, routing
+    /// the batch once per owning node. The bodies are moved, not cloned.
+    fn put_nodes(&self, nodes: Vec<(NodeKey, NodeBody)>) -> Result<()> {
+        for (key, body) in nodes {
+            self.put_node(key, body)?;
+        }
+        Ok(())
+    }
 
     /// Number of nodes held (across all replicas for distributed stores the
     /// count is per-holding-node; used only for statistics and tests).
@@ -37,6 +59,14 @@ impl MetadataStore for Dht<NodeKey, NodeBody> {
 
     fn get_node(&self, key: &NodeKey) -> Option<NodeBody> {
         self.get(key)
+    }
+
+    fn get_nodes(&self, keys: &[NodeKey]) -> Vec<Option<NodeBody>> {
+        self.get_batch(keys)
+    }
+
+    fn put_nodes(&self, nodes: Vec<(NodeKey, NodeBody)>) -> Result<()> {
+        self.put_batch(nodes)
     }
 
     fn node_count(&self) -> usize {
@@ -76,6 +106,29 @@ impl MetadataStore for InMemoryMetaStore {
 
     fn get_node(&self, key: &NodeKey) -> Option<NodeBody> {
         self.nodes.read().get(key).cloned()
+    }
+
+    fn get_nodes(&self, keys: &[NodeKey]) -> Vec<Option<NodeBody>> {
+        let nodes = self.nodes.read();
+        keys.iter().map(|key| nodes.get(key).cloned()).collect()
+    }
+
+    fn put_nodes(&self, batch: Vec<(NodeKey, NodeBody)>) -> Result<()> {
+        let mut nodes = self.nodes.write();
+        for (key, body) in batch {
+            match nodes.get(&key) {
+                Some(existing) if *existing != body => {
+                    return Err(blobseer_types::BlobError::Internal(format!(
+                        "conflicting write-once metadata put for {key}"
+                    )))
+                }
+                Some(_) => {}
+                None => {
+                    nodes.insert(key, body);
+                }
+            }
+        }
+        Ok(())
     }
 
     fn node_count(&self) -> usize {
@@ -139,6 +192,51 @@ impl<S: MetadataStore> MetadataStore for CachedMetadataStore<S> {
         let fetched = self.inner.get_node(key)?;
         self.cache.write().insert(*key, fetched.clone());
         Some(fetched)
+    }
+
+    fn get_nodes(&self, keys: &[NodeKey]) -> Vec<Option<NodeBody>> {
+        // Serve what the cache holds, then fetch every miss in one inner
+        // batch so the round-trip grouping of the wrapped store is preserved.
+        let mut out: Vec<Option<NodeBody>> = keys.iter().map(|_| None).collect();
+        let mut missing: Vec<usize> = Vec::new();
+        {
+            let cache = self.cache.read();
+            for (index, key) in keys.iter().enumerate() {
+                match cache.get(key) {
+                    Some(hit) => out[index] = Some(hit.clone()),
+                    None => missing.push(index),
+                }
+            }
+        }
+        self.hits
+            .fetch_add((keys.len() - missing.len()) as u64, Ordering::Relaxed);
+        if missing.is_empty() {
+            return out;
+        }
+        self.misses
+            .fetch_add(missing.len() as u64, Ordering::Relaxed);
+        let wanted: Vec<NodeKey> = missing.iter().map(|&i| keys[i]).collect();
+        let fetched = self.inner.get_nodes(&wanted);
+        let mut cache = self.cache.write();
+        for (&index, body) in missing.iter().zip(fetched) {
+            if let Some(body) = body {
+                cache.insert(keys[index], body.clone());
+                out[index] = Some(body);
+            }
+        }
+        out
+    }
+
+    fn put_nodes(&self, nodes: Vec<(NodeKey, NodeBody)>) -> Result<()> {
+        // One clone per node for the wire (the same price a single put_node
+        // paid), with the originals kept for the cache.
+        self.inner
+            .put_nodes(nodes.iter().map(|(k, b)| (*k, b.clone())).collect())?;
+        let mut cache = self.cache.write();
+        for (key, body) in nodes {
+            cache.insert(key, body);
+        }
+        Ok(())
     }
 
     fn node_count(&self) -> usize {
@@ -212,6 +310,117 @@ mod tests {
         // Unknown key: miss, not cached.
         assert_eq!(cached.get_node(&key(9, 0, 64)), None);
         assert_eq!(cached.misses(), 2);
+    }
+
+    #[test]
+    fn batched_store_ops_roundtrip() {
+        let s = InMemoryMetaStore::new();
+        s.put_nodes(vec![(key(1, 0, 64), leaf(0)), (key(1, 64, 64), leaf(1))])
+            .unwrap();
+        assert_eq!(s.node_count(), 2);
+        let got = s.get_nodes(&[key(1, 64, 64), key(9, 0, 64), key(1, 0, 64)]);
+        assert_eq!(got, vec![Some(leaf(1)), None, Some(leaf(0))]);
+        // Batched puts keep write-once semantics.
+        s.put_nodes(vec![(key(1, 0, 64), leaf(0))]).unwrap();
+        assert!(s.put_nodes(vec![(key(1, 0, 64), leaf(7))]).is_err());
+    }
+
+    #[test]
+    fn cached_batch_get_fetches_only_misses() {
+        let inner = Arc::new(InMemoryMetaStore::new());
+        inner.put_node(key(1, 0, 64), leaf(0)).unwrap();
+        inner.put_node(key(1, 64, 64), leaf(1)).unwrap();
+        let cached = CachedMetadataStore::new(Arc::clone(&inner));
+        // Prime the cache with one of the two keys.
+        assert!(cached.get_node(&key(1, 0, 64)).is_some());
+        assert_eq!((cached.hits(), cached.misses()), (0, 1));
+
+        let got = cached.get_nodes(&[key(1, 0, 64), key(1, 64, 64), key(9, 0, 64)]);
+        assert_eq!(got, vec![Some(leaf(0)), Some(leaf(1)), None]);
+        // One hit (primed key), two misses (fetched key + unknown key).
+        assert_eq!((cached.hits(), cached.misses()), (1, 3));
+
+        // The fetched key is now cached; the unknown key stays a miss.
+        let again = cached.get_nodes(&[key(1, 64, 64), key(9, 0, 64)]);
+        assert_eq!(again, vec![Some(leaf(1)), None]);
+        assert_eq!((cached.hits(), cached.misses()), (2, 4));
+    }
+
+    #[test]
+    fn cached_batch_put_populates_cache_and_inner() {
+        let inner = Arc::new(InMemoryMetaStore::new());
+        let cached = CachedMetadataStore::new(Arc::clone(&inner));
+        cached
+            .put_nodes(vec![(key(1, 0, 64), leaf(0)), (key(1, 64, 64), leaf(1))])
+            .unwrap();
+        assert_eq!(inner.node_count(), 2);
+        // Served from cache without touching the miss counter.
+        assert_eq!(cached.get_node(&key(1, 64, 64)), Some(leaf(1)));
+        assert_eq!(cached.misses(), 0);
+    }
+
+    #[test]
+    fn dht_reads_and_publishes_cost_depth_times_shards_round_trips() {
+        use crate::tree::{
+            build_write_metadata, collect_leaves, publish_metadata, SnapshotDescriptor,
+            WrittenChunk,
+        };
+        let shards = 4u64;
+        let dht: Dht<NodeKey, NodeBody> = Dht::new(shards as usize, 16, 1).unwrap();
+        let chunk_size = 64u64;
+        let chunks = 64u64; // expanse 64 → depth 7, 127 tree nodes
+        let chunk_list: Vec<WrittenChunk> = (0..chunks)
+            .map(|slot| WrittenChunk {
+                slot,
+                chunk: ChunkId {
+                    blob: BlobId(1),
+                    write_tag: 1,
+                    slot,
+                },
+                providers: vec![ProviderId(0)],
+                len: chunk_size,
+            })
+            .collect();
+        let meta = build_write_metadata(
+            &dht,
+            BlobId(1),
+            &SnapshotDescriptor::initial(chunk_size),
+            Version(1),
+            chunks * chunk_size,
+            &chunk_list,
+        )
+        .unwrap();
+        let descriptor = meta.descriptor;
+        let node_count = meta.node_count() as u64;
+        assert_eq!(node_count, 127);
+
+        // Publication is one batched put: at most one trip per shard.
+        let before = dht.round_trips();
+        publish_metadata(&dht, meta).unwrap();
+        let publish_trips = dht.round_trips() - before;
+        assert!(
+            publish_trips <= shards,
+            "publishing {node_count} nodes took {publish_trips} trips (> {shards} shards)"
+        );
+
+        // A full-range read is one batch per level: O(depth × shards), not
+        // O(nodes).
+        let before = dht.round_trips();
+        let leaves = collect_leaves(
+            &dht,
+            BlobId(1),
+            &descriptor,
+            blobseer_types::ByteRange::new(0, chunks * chunk_size),
+        )
+        .unwrap();
+        assert_eq!(leaves.len() as u64, chunks);
+        let read_trips = dht.round_trips() - before;
+        let bound = u64::from(descriptor.tree_depth()) * shards;
+        assert!(
+            read_trips <= bound,
+            "reading {node_count} nodes took {read_trips} trips (> depth×shards = {bound})"
+        );
+        assert!(read_trips < node_count / 2);
     }
 
     #[test]

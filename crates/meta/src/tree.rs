@@ -622,16 +622,21 @@ fn repair_node(
     })
 }
 
-/// Stores every node of a woven write into the metadata store.
+/// Stores every node of a woven write into the metadata store as one
+/// batched upload.
+///
+/// The metadata is consumed: the node bodies are *moved* into the store's
+/// [`MetadataStore::put_nodes`], which groups them by owning metadata node —
+/// publication costs one round-trip per shard holding a piece of the write,
+/// not one per node, and never clones a body. Callers that still need the
+/// write's summary afterwards copy [`WriteMetadata::descriptor`] (which is
+/// `Copy`) or the node count before publishing.
 ///
 /// Kept separate from [`build_write_metadata`] so that callers (in
 /// particular the simulator) can inspect or route the nodes before they are
 /// persisted.
-pub fn publish_metadata(store: &dyn MetadataStore, meta: &WriteMetadata) -> Result<()> {
-    for (key, body) in &meta.nodes {
-        store.put_node(*key, body.clone())?;
-    }
-    Ok(())
+pub fn publish_metadata(store: &dyn MetadataStore, meta: WriteMetadata) -> Result<()> {
+    store.put_nodes(meta.nodes)
 }
 
 /// Mapping of one chunk slot touched by a read.
@@ -646,14 +651,108 @@ pub struct LeafMapping {
 
 /// Collects the leaves covering `range` in the given snapshot, in increasing
 /// offset order. Holes are reported explicitly so the caller can zero-fill.
+///
+/// The descent is *frontier based*: the tree is walked level by level, and
+/// every node of a level is fetched through one [`MetadataStore::get_nodes`]
+/// batch. Against the metadata DHT a batch costs one round-trip per owning
+/// metadata node, so reading an N-leaf subtree issues O(tree-depth × shards)
+/// round-trips instead of the O(N) a node-at-a-time walk pays.
 pub fn collect_leaves(
     store: &dyn MetadataStore,
     blob: BlobId,
     snapshot: &SnapshotDescriptor,
     range: ByteRange,
 ) -> Result<Vec<LeafMapping>> {
-    if range.is_empty() {
+    let Some(root) = check_read(blob, snapshot, range)? else {
         return Ok(Vec::new());
+    };
+    let mut out = Vec::new();
+    let mut frontier = vec![root];
+    while !frontier.is_empty() {
+        let keys: Vec<NodeKey> = frontier.iter().map(|node| node.key(blob)).collect();
+        let bodies = store.get_nodes(&keys);
+        let mut next = Vec::with_capacity(frontier.len() * 2);
+        for (node, body) in frontier.iter().zip(bodies) {
+            let body = body.ok_or(BlobError::MissingMetadata {
+                blob,
+                version: node.version,
+                range: node.range,
+            })?;
+            match body {
+                NodeBody::Leaf(leaf) => out.push(LeafMapping {
+                    slot_range: node.range,
+                    leaf: if leaf.is_hole() { None } else { Some(leaf) },
+                }),
+                NodeBody::Inner(inner) => {
+                    let (left_range, right_range) = node.range.split();
+                    expand_half(
+                        inner.left,
+                        left_range,
+                        range,
+                        snapshot.chunk_size,
+                        &mut next,
+                        &mut out,
+                    );
+                    expand_half(
+                        inner.right,
+                        right_range,
+                        range,
+                        snapshot.chunk_size,
+                        &mut next,
+                        &mut out,
+                    );
+                }
+                // An alias covers the same range at an older version; it
+                // stays in flight and resolves in a later batch.
+                NodeBody::Alias(target) => next.push(target),
+            }
+        }
+        frontier = next;
+    }
+    // Holes surface at whatever level discovers them and aliases resolve a
+    // level late, so restore increasing offset order at the end.
+    out.sort_by_key(|mapping| mapping.slot_range.offset);
+    Ok(out)
+}
+
+/// Queues the node covering one half of a split range for the next level of
+/// the frontier descent, or emits the half's holes if it was never written.
+fn expand_half(
+    child: Option<ChildRef>,
+    half_range: ByteRange,
+    read_range: ByteRange,
+    chunk_size: u64,
+    next: &mut Vec<ChildRef>,
+    out: &mut Vec<LeafMapping>,
+) {
+    if !half_range.overlaps(&read_range) {
+        return;
+    }
+    match child {
+        Some(child) => next.push(child),
+        None => {
+            let touched = half_range
+                .intersect(&read_range)
+                .expect("overlap was checked above");
+            for slot in blobseer_types::chunk_span(touched, chunk_size) {
+                out.push(LeafMapping {
+                    slot_range: slot.range(),
+                    leaf: None,
+                });
+            }
+        }
+    }
+}
+
+/// Validates a read request and returns the root to descend from, `None`
+/// for the trivial empty read.
+fn check_read(
+    blob: BlobId,
+    snapshot: &SnapshotDescriptor,
+    range: ByteRange,
+) -> Result<Option<ChildRef>> {
+    if range.is_empty() {
+        return Ok(None);
     }
     if range.end() > snapshot.size {
         return Err(BlobError::ReadOutOfBounds {
@@ -669,9 +768,27 @@ pub fn collect_leaves(
         requested: range,
         snapshot_size: 0,
     })?;
-    let root = ChildRef {
+    Ok(Some(ChildRef {
         version: snapshot.version,
         range: root_range,
+    }))
+}
+
+/// The node-at-a-time recursive variant of [`collect_leaves`]: one store
+/// lookup per tree node visited.
+///
+/// Kept as the executable specification of the read descent — the
+/// differential tests assert that the batched frontier walk returns exactly
+/// what this does — and as the fallback of choice for stores where batching
+/// buys nothing.
+pub fn collect_leaves_unbatched(
+    store: &dyn MetadataStore,
+    blob: BlobId,
+    snapshot: &SnapshotDescriptor,
+    range: ByteRange,
+) -> Result<Vec<LeafMapping>> {
+    let Some(root) = check_read(blob, snapshot, range)? else {
+        return Ok(Vec::new());
     };
     let mut out = Vec::new();
     descend(store, blob, snapshot.chunk_size, &root, range, &mut out)?;
@@ -814,8 +931,9 @@ mod tests {
             &chunks,
         )
         .unwrap();
-        publish_metadata(store, &meta).unwrap();
-        meta.descriptor
+        let descriptor = meta.descriptor;
+        publish_metadata(store, meta).unwrap();
+        descriptor
     }
 
     #[test]
@@ -1018,14 +1136,10 @@ mod tests {
         let chunks = vec![written(1, 0, CS), written(1, 1, 10)];
         let meta =
             build_write_metadata(&store, blob(), &v0, Version(1), new_size, &chunks).unwrap();
-        publish_metadata(&store, &meta).unwrap();
-        let leaves = collect_leaves(
-            &store,
-            blob(),
-            &meta.descriptor,
-            ByteRange::new(0, new_size),
-        )
-        .unwrap();
+        let descriptor = meta.descriptor;
+        publish_metadata(&store, meta).unwrap();
+        let leaves =
+            collect_leaves(&store, blob(), &descriptor, ByteRange::new(0, new_size)).unwrap();
         assert_eq!(leaves.len(), 2);
         assert_eq!(leaves[1].leaf.as_ref().unwrap().len, 10);
     }
@@ -1120,8 +1234,8 @@ mod tests {
             &[written(3, 6, CS)],
         )
         .unwrap();
-        publish_metadata(&store, &w2).unwrap();
-        publish_metadata(&store, &w3).unwrap();
+        publish_metadata(&store, w2.clone()).unwrap();
+        publish_metadata(&store, w3.clone()).unwrap();
 
         // Version 3 linked against version 1, so it does not see writer 2's
         // chunk — the version manager is responsible for serialising the
@@ -1217,8 +1331,8 @@ mod tests {
 
         // Once both writers have stored their nodes (in any order), reading
         // v3 sees both writes and v2 sees only A's.
-        publish_metadata(&store, &b_meta).unwrap();
-        publish_metadata(&store, &a_meta).unwrap();
+        publish_metadata(&store, b_meta.clone()).unwrap();
+        publish_metadata(&store, a_meta.clone()).unwrap();
         let v3_leaves = collect_leaves(
             &store,
             blob(),
@@ -1294,8 +1408,8 @@ mod tests {
             })
         );
 
-        publish_metadata(&store, &a_meta).unwrap();
-        publish_metadata(&store, &b_meta).unwrap();
+        publish_metadata(&store, a_meta).unwrap();
+        publish_metadata(&store, b_meta.clone()).unwrap();
         let leaves = collect_leaves(
             &store,
             blob(),
@@ -1340,7 +1454,7 @@ mod tests {
             &[written(3, 1, CS)],
         )
         .unwrap();
-        publish_metadata(&store, &b_meta).unwrap();
+        publish_metadata(&store, b_meta.clone()).unwrap();
 
         // Without repair, reading B's snapshot would hit missing metadata in
         // the region A claimed.
@@ -1360,7 +1474,7 @@ mod tests {
             &a_summary,
         )
         .unwrap();
-        publish_metadata(&store, &repair).unwrap();
+        publish_metadata(&store, repair.clone()).unwrap();
         assert_eq!(repair.descriptor.size, 6 * CS);
 
         // A's snapshot reads as v1 plus a zero hole in the claimed region.
@@ -1461,6 +1575,58 @@ mod tests {
         assert!(!grow.creates_node(ByteRange::new(4 * CS, 4 * CS), old_root));
     }
 
+    #[test]
+    fn frontier_descent_matches_recursive_descent_with_aliases_and_holes() {
+        // Build a history containing every node flavour the descent can
+        // meet: borrowed subtrees, holes from a sparse write, and aliases
+        // from a repaired (aborted) write.
+        let store = InMemoryMetaStore::new();
+        let v0 = SnapshotDescriptor::initial(CS);
+        let v1 = apply_write(&store, &v0, 1, 6 * CS, 2 * CS); // sparse: slots 0..6 are holes
+        let aborted = WriteSummary {
+            version: Version(2),
+            written_slots: ByteRange::new(8 * CS, 2 * CS),
+            size: 10 * CS,
+            chunk_size: CS,
+        };
+        let b_chain = ReferenceChain {
+            base: v1,
+            pending: vec![aborted],
+        };
+        let b_meta = build_write_metadata_chained(
+            &store,
+            blob(),
+            &b_chain,
+            Version(3),
+            10 * CS,
+            &[written(3, 1, CS)],
+        )
+        .unwrap();
+        publish_metadata(&store, b_meta.clone()).unwrap();
+        let repair = build_repair_metadata(
+            &store,
+            blob(),
+            &ReferenceChain::published_only(v1),
+            &aborted,
+        )
+        .unwrap();
+        publish_metadata(&store, repair.clone()).unwrap();
+
+        for snapshot in [v1, repair.descriptor, b_meta.descriptor] {
+            for (offset, len) in [(0, snapshot.size), (CS + 7, 3 * CS), (5 * CS, 4 * CS)] {
+                let len = len.min(snapshot.size - offset);
+                let range = ByteRange::new(offset, len);
+                let batched = collect_leaves(&store, blob(), &snapshot, range).unwrap();
+                let recursive = collect_leaves_unbatched(&store, blob(), &snapshot, range).unwrap();
+                assert_eq!(
+                    batched, recursive,
+                    "divergence at v{} {range}",
+                    snapshot.version
+                );
+            }
+        }
+    }
+
     /// Reference model for the property test: per-slot tag of the last
     /// writer, applied in version order.
     #[derive(Default, Clone)]
@@ -1508,6 +1674,33 @@ mod tests {
                     None => prop_assert!(mapping.leaf.is_none(), "slot {} should be a hole", slot),
                 }
             }
+        }
+
+        #[test]
+        fn prop_frontier_descent_matches_recursive_descent(
+            ops in proptest::collection::vec((0u64..32, 1u64..8), 1..12),
+            read in (0u64..28, 1u64..12),
+        ) {
+            let store = InMemoryMetaStore::new();
+            let mut snapshot = SnapshotDescriptor::initial(CS);
+            for (tag0, (start_slot, slot_count)) in ops.iter().enumerate() {
+                snapshot = apply_write(
+                    &store,
+                    &snapshot,
+                    tag0 as u64 + 1,
+                    start_slot * CS,
+                    slot_count * CS,
+                );
+            }
+            // Clip the read into bounds: the equivalence is about descent,
+            // not the (shared) bounds check.
+            let (start_slot, slot_count) = read;
+            let offset = (start_slot * CS).min(snapshot.size - 1);
+            let len = (slot_count * CS).min(snapshot.size - offset);
+            let range = ByteRange::new(offset, len);
+            let batched = collect_leaves(&store, blob(), &snapshot, range).unwrap();
+            let recursive = collect_leaves_unbatched(&store, blob(), &snapshot, range).unwrap();
+            prop_assert_eq!(batched, recursive);
         }
 
         #[test]

@@ -11,6 +11,9 @@ pub struct SeriesPoint {
     pub throughput_mibps: f64,
     /// Mean per-operation latency in milliseconds.
     pub latency_ms: f64,
+    /// Metadata round-trips issued during the measured run (zero for
+    /// analytically modelled series that never touch the metadata DHT).
+    pub meta_round_trips: u64,
 }
 
 /// A named series of sweep points (one curve of a figure).
@@ -32,12 +35,25 @@ impl SweepSeries {
         }
     }
 
-    /// Appends a point.
+    /// Appends a point with no metadata round-trip measurement (analytic
+    /// series).
     pub fn push(&mut self, x: f64, throughput_mibps: f64, latency_ms: f64) {
+        self.push_full(x, throughput_mibps, latency_ms, 0);
+    }
+
+    /// Appends a fully measured point.
+    pub fn push_full(
+        &mut self,
+        x: f64,
+        throughput_mibps: f64,
+        latency_ms: f64,
+        meta_round_trips: u64,
+    ) {
         self.points.push(SeriesPoint {
             x,
             throughput_mibps,
             latency_ms,
+            meta_round_trips,
         });
     }
 

@@ -96,6 +96,85 @@ fn chunk_locations_match_where_data_is_actually_stored() {
 }
 
 #[test]
+fn concurrent_writers_on_distinct_blobs_interleave() {
+    // Each writer owns one blob: with the sharded, per-blob version manager
+    // none of them ever waits on a shared lock, and every blob's history
+    // publishes densely and in order regardless of how the writers
+    // interleave.
+    let cluster = cluster();
+    let blobs: Vec<_> = (0..8u64)
+        .map(|_| {
+            cluster
+                .client()
+                .create_blob(BlobConfig::new(512, 1).unwrap())
+                .unwrap()
+        })
+        .collect();
+    std::thread::scope(|scope| {
+        for (w, &blob) in blobs.iter().enumerate() {
+            let client = cluster.client();
+            scope.spawn(move || {
+                for i in 0..12u64 {
+                    let fill = (w as u64 * 16 + i + 1) as u8;
+                    client.append(blob, &vec![fill; 512]).unwrap();
+                }
+            });
+        }
+    });
+    let client = cluster.client();
+    for (w, &blob) in blobs.iter().enumerate() {
+        let versions = client.published_versions(blob).unwrap();
+        assert_eq!(versions.len(), 13, "blob {w}: v0 + 12 appends");
+        for (i, v) in versions.iter().enumerate() {
+            assert_eq!(v.0, i as u64, "blob {w} has a publication gap");
+        }
+        let all = client.read_all(blob, None).unwrap();
+        assert_eq!(all.len(), 12 * 512);
+        for (i, chunk) in all.chunks(512).enumerate() {
+            let expected = (w as u64 * 16 + i as u64 + 1) as u8;
+            assert!(
+                chunk.iter().all(|&b| b == expected),
+                "blob {w} record {i} corrupted"
+            );
+        }
+    }
+}
+
+#[test]
+fn reads_cost_depth_times_shards_metadata_round_trips() {
+    // End-to-end version of the acceptance bound: reading a whole 64-chunk
+    // snapshot through the real client (frontier descent + metadata cache
+    // over the 4-shard DHT) must cost O(tree-depth × shards) round-trips,
+    // not one per tree node.
+    let cluster = cluster(); // 4 metadata providers
+    let client = cluster.client();
+    let chunk_size = 1u64 << 10;
+    let blob = client
+        .create_blob(BlobConfig::new(chunk_size, 1).unwrap())
+        .unwrap();
+    client
+        .append(blob, &vec![7u8; (64 * chunk_size) as usize])
+        .unwrap();
+
+    // A fresh client has a cold metadata cache.
+    let reader = cluster.client();
+    let before = cluster.metadata_round_trips();
+    let all = reader.read_all(blob, None).unwrap();
+    assert_eq!(all.len() as u64, 64 * chunk_size);
+    let trips = cluster.metadata_round_trips() - before;
+    // 64 leaves → 127 tree nodes, depth 7, 4 shards.
+    let bound = 7 * 4;
+    assert!(
+        trips <= bound,
+        "cold read issued {trips} metadata round-trips (> depth×shards = {bound})"
+    );
+    // A second read of the same snapshot is served from the client cache.
+    let before = cluster.metadata_round_trips();
+    reader.read_all(blob, None).unwrap();
+    assert_eq!(cluster.metadata_round_trips() - before, 0);
+}
+
+#[test]
 fn version_history_is_dense_and_ordered() {
     let cluster = cluster();
     let client = cluster.client();
