@@ -124,6 +124,7 @@ pub fn series_json(series: &SweepSeries) -> Json {
                     ("throughput_mibps", Json::num(p.throughput_mibps)),
                     ("latency_ms", Json::num(p.latency_ms)),
                     ("meta_round_trips", Json::num(p.meta_round_trips as f64)),
+                    ("data_round_trips", Json::num(p.data_round_trips as f64)),
                 ])
             })),
         ),

@@ -13,24 +13,38 @@
 //! [`ChunkService`] trait object, and move chunks through the cluster-owned
 //! [`TransferPool`] instead of spawning threads per operation (see
 //! [`crate::services`]).
+//!
+//! Both hot paths are *pipelined* (when `pipeline_depth > 0`): the data and
+//! metadata planes proceed in parallel instead of strictly phasing. A read
+//! submits chunk fetches to the transfer scheduler level by level while the
+//! segment-tree descent is still batching deeper levels; a write submits
+//! each chunk store the moment its payload is assembled and weaves the
+//! write's metadata while those transfers are on the wire, joining the
+//! completions only right before publication.
 
 use crate::services::{ChunkService, MetadataService};
-use crate::transfer::TransferPool;
+use crate::transfer::{Completion, TransferPool};
 use crate::version_manager::{VersionManager, WriteKind, WriteTicket};
 use blobseer_meta::{
-    build_repair_metadata, build_write_metadata_chained, collect_leaves, publish_metadata,
-    LeafNode, SnapshotDescriptor, WriteSummary, WrittenChunk,
+    build_repair_metadata, build_write_metadata_chained, collect_leaves, collect_leaves_streaming,
+    publish_metadata, LeafNode, SnapshotDescriptor, WriteMetadata, WriteSummary, WrittenChunk,
 };
 use blobseer_provider::PlacementRequest;
 use blobseer_types::{
-    chunk_span, BlobConfig, BlobError, BlobId, ByteRange, ChunkId, ClientId, ProviderId, Result,
-    RetryPolicy, Version,
+    chunk_span, BlobConfig, BlobError, BlobId, ByteRange, ChunkId, ChunkSlot, ClientId, ProviderId,
+    Result, RetryPolicy, Version,
 };
 use bytes::Bytes;
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// Pipeline depth clients default to when built directly through
+/// [`BlobClient::new`] (clusters pass their configured depth instead).
+const DEFAULT_PIPELINE_DEPTH: usize = 4;
 
 /// Per-client operation counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -55,6 +69,38 @@ pub struct ClientStats {
     pub failed_writes: u64,
 }
 
+/// The client's live counters: one atomic per field, so concurrent readers
+/// and writers sharing a client never serialise on bookkeeping (the old
+/// single `Mutex<ClientStats>` was taken on every chunk operation).
+#[derive(Debug, Default)]
+struct AtomicClientStats {
+    writes: AtomicU64,
+    appends: AtomicU64,
+    reads: AtomicU64,
+    bytes_written: AtomicU64,
+    bytes_read: AtomicU64,
+    chunks_written: AtomicU64,
+    chunks_read: AtomicU64,
+    meta_nodes_written: AtomicU64,
+    failed_writes: AtomicU64,
+}
+
+impl AtomicClientStats {
+    fn snapshot(&self) -> ClientStats {
+        ClientStats {
+            writes: self.writes.load(Ordering::Relaxed),
+            appends: self.appends.load(Ordering::Relaxed),
+            reads: self.reads.load(Ordering::Relaxed),
+            bytes_written: self.bytes_written.load(Ordering::Relaxed),
+            bytes_read: self.bytes_read.load(Ordering::Relaxed),
+            chunks_written: self.chunks_written.load(Ordering::Relaxed),
+            chunks_read: self.chunks_read.load(Ordering::Relaxed),
+            meta_nodes_written: self.meta_nodes_written.load(Ordering::Relaxed),
+            failed_writes: self.failed_writes.load(Ordering::Relaxed),
+        }
+    }
+}
+
 /// A client of a BlobSeer deployment.
 ///
 /// Clients are cheap to create (one per thread is the intended usage) and
@@ -69,10 +115,15 @@ pub struct BlobClient {
     chunks: Arc<dyn ChunkService>,
     metadata: Arc<dyn MetadataService>,
     transfers: Arc<TransferPool>,
-    /// Client-owned generator for write tags, seeded once at creation so the
-    /// write hot path never touches thread-local storage.
+    /// Transfer-pipeline depth: how many tree levels' worth of chunk
+    /// transfers (per pool worker) this client keeps in flight while the
+    /// metadata plane is still being walked. Zero = legacy phased schedule.
+    pipeline_depth: usize,
+    /// Client-owned generator for write tags and replica-rotation offsets,
+    /// seeded once at creation so the hot paths never touch thread-local
+    /// storage.
     rng: Mutex<StdRng>,
-    stats: Mutex<ClientStats>,
+    stats: AtomicClientStats,
 }
 
 impl BlobClient {
@@ -91,9 +142,24 @@ impl BlobClient {
             chunks,
             metadata,
             transfers,
+            pipeline_depth: DEFAULT_PIPELINE_DEPTH,
             rng: Mutex::new(StdRng::from_entropy()),
-            stats: Mutex::new(ClientStats::default()),
+            stats: AtomicClientStats::default(),
         }
+    }
+
+    /// Sets the transfer-pipeline depth (zero = legacy phased schedule:
+    /// the metadata descent fully completes before the first chunk fetch,
+    /// and every chunk store completes before metadata weaving starts).
+    #[must_use]
+    pub fn with_pipeline_depth(mut self, depth: usize) -> Self {
+        self.pipeline_depth = depth;
+        self
+    }
+
+    /// The client's transfer-pipeline depth.
+    pub fn pipeline_depth(&self) -> usize {
+        self.pipeline_depth
     }
 
     /// This client's identifier.
@@ -103,7 +169,7 @@ impl BlobClient {
 
     /// Counters accumulated by this client.
     pub fn stats(&self) -> ClientStats {
-        *self.stats.lock()
+        self.stats.snapshot()
     }
 
     /// Creates a new blob and returns its identifier.
@@ -136,9 +202,10 @@ impl BlobClient {
             },
             data,
         )?;
-        let mut stats = self.stats.lock();
-        stats.writes += 1;
-        stats.bytes_written += data.len() as u64;
+        self.stats.writes.fetch_add(1, Ordering::Relaxed);
+        self.stats
+            .bytes_written
+            .fetch_add(data.len() as u64, Ordering::Relaxed);
         Ok(version)
     }
 
@@ -152,9 +219,10 @@ impl BlobClient {
             },
             data,
         )?;
-        let mut stats = self.stats.lock();
-        stats.appends += 1;
-        stats.bytes_written += data.len() as u64;
+        self.stats.appends.fetch_add(1, Ordering::Relaxed);
+        self.stats
+            .bytes_written
+            .fetch_add(data.len() as u64, Ordering::Relaxed);
         Ok(version)
     }
 
@@ -172,16 +240,19 @@ impl BlobClient {
         if range.is_empty() {
             return Ok(Vec::new());
         }
-        let leaves = collect_leaves(self.metadata.as_ref(), blob, &snapshot, range)?;
+        let fetched = if self.pipeline_depth == 0 {
+            // Phased: finish the whole metadata descent, then move data.
+            let leaves = collect_leaves(self.metadata.as_ref(), blob, &snapshot, range)?;
+            let jobs: Vec<(ByteRange, LeafNode)> = leaves
+                .into_iter()
+                .filter_map(|m| m.leaf.map(|leaf| (m.slot_range, leaf)))
+                .filter(|(_, leaf)| !leaf.is_hole())
+                .collect();
+            self.fetch_chunks(jobs)?
+        } else {
+            self.fetch_chunks_pipelined(blob, &snapshot, range)?
+        };
         let mut out = vec![0u8; len as usize];
-
-        // Fetch the needed chunks in parallel groups, then assemble.
-        let jobs: Vec<(ByteRange, LeafNode)> = leaves
-            .into_iter()
-            .filter_map(|m| m.leaf.map(|leaf| (m.slot_range, leaf)))
-            .filter(|(_, leaf)| !leaf.is_hole())
-            .collect();
-        let fetched: Vec<(ByteRange, LeafNode, Bytes)> = self.fetch_chunks(jobs)?;
         for (slot_range, leaf, data) in fetched {
             let valid = ByteRange::new(slot_range.offset, leaf.len.min(data.len() as u64));
             let Some(need) = valid.intersect(&range) else {
@@ -192,9 +263,8 @@ impl BlobClient {
             let n = need.len as usize;
             out[dst..dst + n].copy_from_slice(&data[src..src + n]);
         }
-        let mut stats = self.stats.lock();
-        stats.reads += 1;
-        stats.bytes_read += len;
+        self.stats.reads.fetch_add(1, Ordering::Relaxed);
+        self.stats.bytes_read.fetch_add(len, Ordering::Relaxed);
         Ok(out)
     }
 
@@ -271,7 +341,9 @@ impl BlobClient {
         match self.perform_write(blob, &config, &ticket, data) {
             Ok(meta_nodes) => {
                 self.version_manager.complete_write(blob, ticket.version)?;
-                self.stats.lock().meta_nodes_written += meta_nodes as u64;
+                self.stats
+                    .meta_nodes_written
+                    .fetch_add(meta_nodes as u64, Ordering::Relaxed);
                 Ok(ticket.version)
             }
             Err(err) => {
@@ -280,7 +352,7 @@ impl BlobClient {
                 // this failure.
                 let _ = self.repair_aborted_write(&ticket);
                 let _ = self.version_manager.abort_write(blob, ticket.version);
-                self.stats.lock().failed_writes += 1;
+                self.stats.failed_writes.fetch_add(1, Ordering::Relaxed);
                 Err(err)
             }
         }
@@ -288,6 +360,15 @@ impl BlobClient {
 
     /// Pushes the chunks, weaves and stores the metadata. Returns the number
     /// of metadata nodes created.
+    ///
+    /// With `pipeline_depth > 0` the data and metadata planes overlap: each
+    /// chunk store is submitted to the transfer scheduler the moment its
+    /// payload is assembled, the segment-tree metadata is woven from the
+    /// *planned* placement while those transfers are on the wire, and the
+    /// completions are joined only right before publication (leaves whose
+    /// store had to fall back to substitute providers are patched first).
+    /// With depth zero the legacy phased schedule is kept: assemble all
+    /// payloads, push and join them all, only then weave.
     fn perform_write(
         &self,
         blob: BlobId,
@@ -305,73 +386,137 @@ impl BlobClient {
         // slots (a partially overwritten chunk keeps the predecessor's bytes).
         let known_size = predecessor_size.max(write_range.end());
 
-        // Assemble one payload per touched slot, merging boundary bytes from
-        // the base snapshot where the write is not chunk aligned.
-        let mut payloads = Vec::with_capacity(slots.len());
-        for slot in &slots {
-            let slot_range = slot.range();
-            let payload_len = chunk_size.min(known_size - slot_range.offset);
-            let mut buf = vec![0u8; payload_len as usize];
-            let valid = ByteRange::new(slot_range.offset, payload_len);
-
-            // Bytes coming from this write.
-            if let Some(from_write) = valid.intersect(&write_range) {
-                let src = (from_write.offset - write_range.offset) as usize;
-                let dst = (from_write.offset - valid.offset) as usize;
-                let n = from_write.len as usize;
-                buf[dst..dst + n].copy_from_slice(&data[src..src + n]);
-            }
-            // Boundary bytes preserved from the predecessor snapshot (which
-            // may include concurrent writers whose versions precede ours).
-            if slot_range.offset < write_range.offset || valid.end() > write_range.end() {
-                let old_range = ByteRange::new(
-                    valid.offset,
-                    valid.len.min(predecessor_size.saturating_sub(valid.offset)),
-                );
-                if !old_range.is_empty() {
-                    let old = self.read_reference_range(
-                        blob,
-                        &ticket.chain,
-                        old_range,
-                        &config.meta_retry,
-                    )?;
-                    for (i, byte) in old.iter().enumerate() {
-                        let pos = old_range.offset + i as u64;
-                        if !write_range.contains(pos) {
-                            buf[(pos - valid.offset) as usize] = *byte;
-                        }
-                    }
-                }
-            }
-            payloads.push((slot.index, Bytes::from(buf)));
-        }
-
-        // Ask the chunk service where to put each chunk.
+        // Ask the chunk service where to put each chunk (the chunk count is
+        // known from the slot span alone, so placement can precede payload
+        // assembly and the pipelined path can push as it assembles). The tag
+        // salting chunk ids is drawn from the client-owned generator: no
+        // thread-local lookup on the hot path.
         let placement = self.chunks.allocate(PlacementRequest {
-            chunk_count: payloads.len(),
+            chunk_count: slots.len(),
             replication: config.replication,
         })?;
-
-        // Push all chunks (and their replicas) through the shared transfer
-        // pool. The tag salting chunk ids is drawn from the client-owned
-        // generator: no thread-local lookup on the hot path.
         let write_tag: u64 = self.rng.lock().gen();
-        let chunks = self.push_chunks(blob, write_tag, &payloads, &placement)?;
 
-        // Weave the metadata and upload it in one batched, shard-grouped
-        // publish, then hand the version back to the version manager for
-        // in-order publication (done by the caller).
-        let meta = build_write_metadata_chained(
-            self.metadata.as_ref(),
-            blob,
-            &ticket.chain,
-            ticket.version,
-            ticket.new_size,
-            &chunks,
-        )?;
+        let meta = if self.pipeline_depth == 0 {
+            // Phased: every payload exists and every chunk is durably stored
+            // before the first metadata node is woven.
+            let mut payloads = Vec::with_capacity(slots.len());
+            for slot in &slots {
+                payloads.push(self.slot_payload(blob, config, ticket, data, slot, known_size)?);
+            }
+            let completions = slots
+                .iter()
+                .zip(payloads)
+                .zip(&placement)
+                .map(|((slot, payload), replicas)| {
+                    self.submit_store(blob, write_tag, slot.index, payload, replicas.clone())
+                })
+                .collect();
+            let chunks = self.join_stores(completions)?;
+            build_write_metadata_chained(
+                self.metadata.as_ref(),
+                blob,
+                &ticket.chain,
+                ticket.version,
+                ticket.new_size,
+                &chunks,
+            )?
+        } else {
+            let mut planned = Vec::with_capacity(slots.len());
+            let mut completions = Vec::with_capacity(slots.len());
+            for (slot, replicas) in slots.iter().zip(&placement) {
+                let payload = self.slot_payload(blob, config, ticket, data, slot, known_size)?;
+                planned.push(WrittenChunk {
+                    slot: slot.index,
+                    chunk: ChunkId {
+                        blob,
+                        write_tag,
+                        slot: slot.index,
+                    },
+                    providers: replicas.clone(),
+                    len: payload.len() as u64,
+                });
+                completions.push(self.submit_store(
+                    blob,
+                    write_tag,
+                    slot.index,
+                    payload,
+                    replicas.clone(),
+                ));
+            }
+            // Weave while the chunk transfers are in flight: the node keys
+            // and chunk ids are deterministic, only the providers of a leaf
+            // can differ if a store falls back mid-transfer.
+            let woven = build_write_metadata_chained(
+                self.metadata.as_ref(),
+                blob,
+                &ticket.chain,
+                ticket.version,
+                ticket.new_size,
+                &planned,
+            );
+            // Join before inspecting the weaving outcome: even when weaving
+            // failed, every in-flight store must be drained.
+            let chunks = self.join_stores(completions)?;
+            let mut meta = woven?;
+            patch_stored_providers(&mut meta, ticket.version, chunk_size, &chunks);
+            meta
+        };
+
+        // Upload the woven nodes in one batched, shard-grouped publish, then
+        // hand the version back to the version manager for in-order
+        // publication (done by the caller).
         let node_count = meta.node_count();
         publish_metadata(self.metadata.as_ref(), meta)?;
         Ok(node_count)
+    }
+
+    /// Assembles the payload of one touched chunk slot, merging boundary
+    /// bytes from the predecessor snapshot where the write is not chunk
+    /// aligned.
+    fn slot_payload(
+        &self,
+        blob: BlobId,
+        config: &BlobConfig,
+        ticket: &WriteTicket,
+        data: &[u8],
+        slot: &ChunkSlot,
+        known_size: u64,
+    ) -> Result<Bytes> {
+        let chunk_size = ticket.chunk_size;
+        let write_range = ByteRange::new(ticket.offset, data.len() as u64);
+        let predecessor_size = ticket.chain.predecessor_size();
+        let slot_range = slot.range();
+        let payload_len = chunk_size.min(known_size - slot_range.offset);
+        let mut buf = vec![0u8; payload_len as usize];
+        let valid = ByteRange::new(slot_range.offset, payload_len);
+
+        // Bytes coming from this write.
+        if let Some(from_write) = valid.intersect(&write_range) {
+            let src = (from_write.offset - write_range.offset) as usize;
+            let dst = (from_write.offset - valid.offset) as usize;
+            let n = from_write.len as usize;
+            buf[dst..dst + n].copy_from_slice(&data[src..src + n]);
+        }
+        // Boundary bytes preserved from the predecessor snapshot (which
+        // may include concurrent writers whose versions precede ours).
+        if slot_range.offset < write_range.offset || valid.end() > write_range.end() {
+            let old_range = ByteRange::new(
+                valid.offset,
+                valid.len.min(predecessor_size.saturating_sub(valid.offset)),
+            );
+            if !old_range.is_empty() {
+                let old =
+                    self.read_reference_range(blob, &ticket.chain, old_range, &config.meta_retry)?;
+                for (i, byte) in old.iter().enumerate() {
+                    let pos = old_range.offset + i as u64;
+                    if !write_range.contains(pos) {
+                        buf[(pos - valid.offset) as usize] = *byte;
+                    }
+                }
+            }
+        }
+        Ok(Bytes::from(buf))
     }
 
     /// Reads a range as it appears in a writer's *predecessor* snapshot,
@@ -455,49 +600,58 @@ impl BlobClient {
         Ok(None)
     }
 
-    /// Pushes every payload to its assigned providers through the shared
-    /// transfer pool, falling back to other live providers when an assigned
-    /// one fails mid-write. Returns the written-chunk records for metadata
-    /// weaving, in slot order.
-    fn push_chunks(
+    /// Submits the store of one chunk (and its replicas) to the transfer
+    /// scheduler, tagged with its primary provider so placement sees the
+    /// in-flight load. Falls back to other live providers when an assigned
+    /// one fails mid-write.
+    fn submit_store(
         &self,
         blob: BlobId,
         write_tag: u64,
-        payloads: &[(u64, Bytes)],
-        placement: &[Vec<ProviderId>],
-    ) -> Result<Vec<WrittenChunk>> {
-        let tasks: Vec<_> = payloads
-            .iter()
-            .zip(placement)
-            .map(|((slot, data), replicas)| {
-                let service = Arc::clone(&self.chunks);
-                let slot = *slot;
-                let data = data.clone(); // O(1): `Bytes` is reference counted
-                let replicas = replicas.clone();
-                move || -> Result<WrittenChunk> {
-                    let chunk = ChunkId {
-                        blob,
-                        write_tag,
-                        slot,
-                    };
-                    let providers = store_replicas(service.as_ref(), chunk, &data, &replicas)?;
-                    Ok(WrittenChunk {
-                        slot,
-                        chunk,
-                        providers,
-                        len: data.len() as u64,
-                    })
-                }
+        slot: u64,
+        data: Bytes,
+        replicas: Vec<ProviderId>,
+    ) -> Completion<Result<WrittenChunk>> {
+        let service = Arc::clone(&self.chunks);
+        let primary = replicas.first().copied();
+        self.transfers.submit_for(primary, move || {
+            let chunk = ChunkId {
+                blob,
+                write_tag,
+                slot,
+            };
+            let providers = store_replicas(service.as_ref(), chunk, &data, &replicas)?;
+            Ok(WrittenChunk {
+                slot,
+                chunk,
+                providers,
+                len: data.len() as u64,
             })
-            .collect();
-        let mut chunks = Vec::with_capacity(payloads.len());
-        let mut pushed = 0u64;
-        for result in self.transfers.execute(tasks) {
-            let written = result?;
-            pushed += written.providers.len() as u64;
-            chunks.push(written);
+        })
+    }
+
+    /// Joins every submitted chunk store, returning the written-chunk
+    /// records in slot order. All completions are drained even when one
+    /// fails, so no store is left dangling on the pool.
+    fn join_stores(
+        &self,
+        completions: Vec<Completion<Result<WrittenChunk>>>,
+    ) -> Result<Vec<WrittenChunk>> {
+        let mut chunks = Vec::with_capacity(completions.len());
+        let mut first_err = None;
+        for completion in completions {
+            match completion.join() {
+                Ok(written) => chunks.push(written),
+                Err(err) => first_err = first_err.or(Some(err)),
+            }
         }
-        self.stats.lock().chunks_written += pushed;
+        if let Some(err) = first_err {
+            return Err(err);
+        }
+        let pushed: u64 = chunks.iter().map(|c| c.providers.len() as u64).sum();
+        self.stats
+            .chunks_written
+            .fetch_add(pushed, Ordering::Relaxed);
         chunks.sort_by_key(|c| c.slot);
         Ok(chunks)
     }
@@ -505,13 +659,32 @@ impl BlobClient {
     /// Fetches one chunk from any provider holding a replica (inline, used
     /// by the boundary-merge path which reads a handful of chunks at most).
     fn fetch_chunk(&self, leaf: &LeafNode) -> Result<Bytes> {
-        let data = fetch_chunk_replica(self.chunks.as_ref(), leaf)?;
-        self.stats.lock().chunks_read += 1;
+        let start: usize = self.rng.lock().gen();
+        let data = fetch_chunk_replica(self.chunks.as_ref(), leaf, start)?;
+        self.stats.chunks_read.fetch_add(1, Ordering::Relaxed);
         Ok(data)
     }
 
-    /// Fetches many chunks through the shared transfer pool, preserving
-    /// input order.
+    /// Submits the fetch of one chunk to the transfer scheduler, tagged with
+    /// the replica the rotated probe order tries first.
+    fn submit_fetch(
+        &self,
+        slot_range: ByteRange,
+        leaf: LeafNode,
+        start: usize,
+    ) -> Completion<Result<(ByteRange, LeafNode, Bytes)>> {
+        let service = Arc::clone(&self.chunks);
+        let tagged =
+            (!leaf.providers.is_empty()).then(|| leaf.providers[start % leaf.providers.len()]);
+        self.transfers.submit_for(tagged, move || {
+            let data = fetch_chunk_replica(service.as_ref(), &leaf, start)?;
+            Ok((slot_range, leaf, data))
+        })
+    }
+
+    /// Fetches many chunks through the shared transfer scheduler (the
+    /// phased read path: every fetch is submitted only after the metadata
+    /// descent discovered all of them).
     fn fetch_chunks(
         &self,
         jobs: Vec<(ByteRange, LeafNode)>,
@@ -519,23 +692,122 @@ impl BlobClient {
         if jobs.is_empty() {
             return Ok(Vec::new());
         }
-        let count = jobs.len();
-        let tasks: Vec<_> = jobs
+        let rotate: usize = self.rng.lock().gen();
+        let completions: Vec<_> = jobs
             .into_iter()
-            .map(|(slot_range, leaf)| {
-                let service = Arc::clone(&self.chunks);
-                move || -> Result<(ByteRange, LeafNode, Bytes)> {
-                    let data = fetch_chunk_replica(service.as_ref(), &leaf)?;
-                    Ok((slot_range, leaf, data))
-                }
+            .enumerate()
+            .map(|(i, (slot_range, leaf))| {
+                self.submit_fetch(slot_range, leaf, rotate.wrapping_add(i))
             })
             .collect();
-        let mut out = Vec::with_capacity(count);
-        for result in self.transfers.execute(tasks) {
-            out.push(result?);
+        self.join_fetches(completions, Vec::new(), None)
+    }
+
+    /// The pipelined read path: walks the snapshot's segment tree level by
+    /// level and submits the chunk fetches of each level to the transfer
+    /// scheduler while deeper levels are still being batched, so metadata
+    /// descent and data transfer overlap. At most `pipeline_depth` levels'
+    /// worth of fetches per pool worker stay in flight (older completions
+    /// are harvested first — that is the backpressure of the pipeline).
+    fn fetch_chunks_pipelined(
+        &self,
+        blob: BlobId,
+        snapshot: &SnapshotDescriptor,
+        range: ByteRange,
+    ) -> Result<Vec<(ByteRange, LeafNode, Bytes)>> {
+        let rotate: usize = self.rng.lock().gen();
+        let cap = self
+            .pipeline_depth
+            .saturating_mul(self.transfers.worker_count().max(1))
+            .max(1);
+        let mut pending: VecDeque<Completion<Result<(ByteRange, LeafNode, Bytes)>>> =
+            VecDeque::new();
+        let mut fetched = Vec::new();
+        let mut fetch_err: Option<BlobError> = None;
+        let mut submitted = 0usize;
+        let walk = collect_leaves_streaming(
+            self.metadata.as_ref(),
+            blob,
+            snapshot,
+            range,
+            |level: &[blobseer_meta::LeafMapping]| {
+                for mapping in level {
+                    let Some(leaf) = mapping.leaf.clone() else {
+                        continue; // hole: reads back as zeros
+                    };
+                    pending.push_back(self.submit_fetch(
+                        mapping.slot_range,
+                        leaf,
+                        rotate.wrapping_add(submitted),
+                    ));
+                    submitted += 1;
+                    while pending.len() > cap {
+                        let oldest = pending.pop_front().expect("len > cap >= 1");
+                        match oldest.join() {
+                            Ok(item) => fetched.push(item),
+                            Err(err) => fetch_err = fetch_err.take().or(Some(err)),
+                        }
+                    }
+                }
+            },
+        );
+        // Drain every in-flight fetch before propagating any error — a
+        // failing metadata shard mid-descent must never leave submissions
+        // dangling on the shared pool (and must not deadlock this client).
+        // A descent error still takes precedence over a fetch error.
+        let joined = self.join_fetches(pending, fetched, fetch_err);
+        walk?;
+        joined
+    }
+
+    /// Joins submitted fetches into `out`, draining all of them even when
+    /// one fails (`first_err` carries an error from completions already
+    /// harvested by the caller).
+    fn join_fetches(
+        &self,
+        completions: impl IntoIterator<Item = Completion<Result<(ByteRange, LeafNode, Bytes)>>>,
+        mut out: Vec<(ByteRange, LeafNode, Bytes)>,
+        mut first_err: Option<BlobError>,
+    ) -> Result<Vec<(ByteRange, LeafNode, Bytes)>> {
+        for completion in completions {
+            match completion.join() {
+                Ok(item) => out.push(item),
+                Err(err) => first_err = first_err.take().or(Some(err)),
+            }
         }
-        self.stats.lock().chunks_read += out.len() as u64;
+        if let Some(err) = first_err {
+            return Err(err);
+        }
+        self.stats
+            .chunks_read
+            .fetch_add(out.len() as u64, Ordering::Relaxed);
         Ok(out)
+    }
+}
+
+/// Rewrites the leaves of freshly woven (not yet published) metadata whose
+/// chunk stores fell back to substitute providers mid-transfer, so readers
+/// look for replicas where they actually landed. Everything else about a
+/// leaf — chunk id, length, slot — is deterministic and already correct.
+fn patch_stored_providers(
+    meta: &mut WriteMetadata,
+    version: Version,
+    chunk_size: u64,
+    stored: &[WrittenChunk],
+) {
+    let by_slot: HashMap<u64, &WrittenChunk> = stored.iter().map(|c| (c.slot, c)).collect();
+    for (key, body) in &mut meta.nodes {
+        if key.version != version || key.range.len != chunk_size {
+            continue;
+        }
+        let blobseer_meta::NodeBody::Leaf(leaf) = body else {
+            continue;
+        };
+        if let Some(actual) = by_slot.get(&(key.range.offset / chunk_size)) {
+            if leaf.providers != actual.providers {
+                leaf.providers = actual.providers.clone();
+            }
+        }
     }
 }
 
@@ -577,13 +849,19 @@ fn store_replicas(
     Ok(stored)
 }
 
-/// Fetches one chunk from the first replica that can serve it.
-fn fetch_chunk_replica(service: &dyn ChunkService, leaf: &LeafNode) -> Result<Bytes> {
+/// Fetches one chunk from any replica, probing the providers in rotated
+/// order starting at `start % replicas`. Probing the stored order verbatim
+/// would make replica 0 of every chunk a read hotspot and leave the other
+/// replicas cold; the rotation (seeded per operation from the client-owned
+/// RNG) spreads concurrent readers over all replicas.
+fn fetch_chunk_replica(service: &dyn ChunkService, leaf: &LeafNode, start: usize) -> Result<Bytes> {
     let mut last_err = BlobError::ChunkNotFound(
         leaf.chunk,
         leaf.providers.first().copied().unwrap_or(ProviderId(0)),
     );
-    for &pid in &leaf.providers {
+    let replicas = leaf.providers.len();
+    for k in 0..replicas {
+        let pid = leaf.providers[start.wrapping_add(k) % replicas];
         match service.get_chunk(pid, &leaf.chunk) {
             Ok(data) => return Ok(data),
             Err(err) => last_err = err,
@@ -889,6 +1167,59 @@ mod tests {
                 });
             }
         });
+    }
+
+    #[test]
+    fn phased_clients_still_round_trip() {
+        // pipeline_depth = 0 keeps the legacy phased schedule working end to
+        // end (the differential proptest in tests/pipeline.rs compares the
+        // two schedules op by op).
+        let cluster = Cluster::new(ClusterConfig {
+            pipeline_depth: 0,
+            ..ClusterConfig::small()
+        })
+        .unwrap();
+        let client = cluster.client();
+        assert_eq!(client.pipeline_depth(), 0);
+        let blob = client.create_blob(BlobConfig::new(CS, 1).unwrap()).unwrap();
+        let data = pattern(5 * CS as usize + 17, 3);
+        client.append(blob, &data).unwrap();
+        let patch = pattern(30, 9);
+        client.write(blob, CS + 5, &patch).unwrap();
+        let mut expected = data.clone();
+        expected[(CS + 5) as usize..(CS + 35) as usize].copy_from_slice(&patch);
+        assert_eq!(client.read_all(blob, None).unwrap(), expected);
+    }
+
+    #[test]
+    fn fetch_chunk_replica_probes_in_rotated_order() {
+        let cluster = cluster();
+        let svc = cluster.chunk_service();
+        let chunk = ChunkId {
+            blob: BlobId(7),
+            write_tag: 1,
+            slot: 0,
+        };
+        let payload = bytes::Bytes::from_static(b"replica");
+        svc.put_chunk(ProviderId(1), chunk, payload.clone())
+            .unwrap();
+        svc.put_chunk(ProviderId(2), chunk, payload.clone())
+            .unwrap();
+        let leaf = LeafNode {
+            chunk,
+            providers: vec![ProviderId(1), ProviderId(2)],
+            len: payload.len() as u64,
+        };
+        // start = 0 probes provider 1 first, start = 1 probes provider 2.
+        fetch_chunk_replica(svc.as_ref(), &leaf, 0).unwrap();
+        assert_eq!(cluster.provider(ProviderId(1)).unwrap().stats().reads, 1);
+        assert_eq!(cluster.provider(ProviderId(2)).unwrap().stats().reads, 0);
+        fetch_chunk_replica(svc.as_ref(), &leaf, 1).unwrap();
+        assert_eq!(cluster.provider(ProviderId(2)).unwrap().stats().reads, 1);
+        // A dead preferred replica falls through to the next in rotation.
+        cluster.fail_provider(ProviderId(2)).unwrap();
+        fetch_chunk_replica(svc.as_ref(), &leaf, 1).unwrap();
+        assert_eq!(cluster.provider(ProviderId(1)).unwrap().stats().reads, 2);
     }
 
     #[test]

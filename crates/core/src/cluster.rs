@@ -158,6 +158,7 @@ impl Cluster {
             meta_store,
             Arc::clone(&self.transfers),
         )
+        .with_pipeline_depth(self.config.pipeline_depth)
     }
 
     /// Injects a data-provider failure: the provider stops serving requests
@@ -192,13 +193,17 @@ impl Cluster {
     }
 
     /// Pushes every provider's current statistics to the provider manager,
-    /// as the periodic heartbeat of a real deployment would.
+    /// as the periodic heartbeat of a real deployment would. The transfer
+    /// scheduler's live per-provider in-flight gauge is folded into each
+    /// report, so placement sees the data-plane load that is on the wire
+    /// right now, not only what providers have already stored.
     pub fn report_provider_loads(&self) {
+        let in_flight = self.transfers.in_flight_counts();
         for provider in self.chunk_service.iter_providers() {
             if provider.is_alive() {
-                let _ = self
-                    .provider_manager()
-                    .report_load(provider.id(), provider.stats());
+                let mut stats = provider.stats();
+                stats.in_flight = in_flight.get(&provider.id()).copied().unwrap_or(0);
+                let _ = self.provider_manager().report_load(provider.id(), stats);
             }
         }
     }

@@ -1,14 +1,31 @@
-//! The shared chunk-transfer pool.
+//! The shared chunk-transfer scheduler.
 //!
 //! The first prototype spawned up to eight fresh OS threads per read/write
 //! operation (`std::thread::scope` inside the client), which put thread
 //! creation and teardown on every hot path and let N concurrent clients
 //! burst into `8·N` threads. A [`TransferPool`] replaces that: a fixed set
 //! of worker threads owned by the cluster, fed through a channel, shared by
-//! every client of the deployment. Clients submit a batch of independent
-//! transfer tasks and block until all of them finish; parallelism is bounded
-//! by the pool size no matter how many clients are active.
+//! every client of the deployment.
+//!
+//! The pool is a *submission/completion* scheduler, not a batch barrier:
+//! [`TransferPool::submit`] enqueues one task and immediately returns a
+//! [`Completion`] handle, so a client can keep producing work — assembling
+//! the next payload, descending the next metadata tree level, weaving
+//! metadata — while earlier transfers are still in flight, and join the
+//! completions only where the protocol actually requires the data to have
+//! moved (before publication, before assembling the read buffer). The
+//! barrier-style [`TransferPool::execute`] survives as a thin convenience
+//! built on top of submission.
+//!
+//! Tasks may be tagged with the data provider they talk to
+//! ([`TransferPool::submit_for`]); the pool keeps a live per-provider
+//! in-flight gauge that the cluster heartbeat folds into
+//! `ProviderManager::report_load`, so placement decisions see the transfer
+//! load that is on the wire *right now*, not just what the last completed
+//! heartbeat stored.
 
+use blobseer_types::ProviderId;
+use std::collections::HashMap;
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
@@ -33,6 +50,66 @@ struct PoolShared {
     tasks_run: AtomicU64,
     tasks_inline: AtomicU64,
     tasks_panicked: AtomicU64,
+    /// Live per-provider in-flight transfer counts (tagged submissions
+    /// only). Entries are removed when they reach zero so the map stays as
+    /// small as the set of providers with traffic on the wire.
+    in_flight: Mutex<HashMap<ProviderId, u64>>,
+}
+
+impl PoolShared {
+    fn transfer_started(&self, provider: ProviderId) {
+        *self
+            .in_flight
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .entry(provider)
+            .or_insert(0) += 1;
+    }
+
+    fn transfer_finished(&self, provider: ProviderId) {
+        let mut map = self.in_flight.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(count) = map.get_mut(&provider) {
+            *count -= 1;
+            if *count == 0 {
+                map.remove(&provider);
+            }
+        }
+    }
+}
+
+/// Decrements the in-flight gauge when dropped, so a panicking task still
+/// releases its slot.
+struct InFlightGuard {
+    shared: Arc<PoolShared>,
+    provider: ProviderId,
+}
+
+impl Drop for InFlightGuard {
+    fn drop(&mut self) {
+        self.shared.transfer_finished(self.provider);
+    }
+}
+
+/// Completion handle of one submitted transfer task.
+///
+/// [`Completion::join`] blocks until the task has run and yields its result.
+/// Dropping the handle without joining is allowed: the task still runs (and
+/// still updates the in-flight gauge), its result is discarded.
+#[must_use = "a dropped completion silently discards the task's result"]
+pub struct Completion<T> {
+    rx: Receiver<T>,
+}
+
+impl<T> Completion<T> {
+    /// Waits for the task to finish and returns its result.
+    ///
+    /// # Panics
+    ///
+    /// If the task panicked on a worker (mirroring the `join().expect(...)`
+    /// of the old per-operation scoped threads).
+    pub fn join(self) -> T {
+        self.rx.recv().expect("a transfer task panicked")
+    }
 }
 
 /// A fixed-size worker pool for parallel chunk pushes and fetches.
@@ -45,14 +122,15 @@ pub struct TransferPool {
 
 impl TransferPool {
     /// Starts a pool with `workers` threads. A pool of zero workers is
-    /// valid: every batch then runs inline on the submitting thread (useful
-    /// for debugging and deterministic tests).
+    /// valid: every task then runs inline at submission time (useful for
+    /// debugging and deterministic tests).
     #[must_use]
     pub fn new(workers: usize) -> Self {
         let shared = Arc::new(PoolShared {
             tasks_run: AtomicU64::new(0),
             tasks_inline: AtomicU64::new(0),
             tasks_panicked: AtomicU64::new(0),
+            in_flight: Mutex::new(HashMap::new()),
         });
         if workers == 0 {
             return TransferPool {
@@ -93,8 +171,8 @@ impl TransferPool {
             };
             shared.tasks_run.fetch_add(1, Ordering::Relaxed);
             // A panicking task must not kill the worker: the panic is
-            // reported to the submitting client (its result slot stays
-            // empty), not to unrelated clients sharing the pool.
+            // reported to the submitting client (its completion channel
+            // closes unfulfilled), not to unrelated clients sharing the pool.
             if std::panic::catch_unwind(AssertUnwindSafe(job)).is_err() {
                 shared.tasks_panicked.fetch_add(1, Ordering::Relaxed);
             }
@@ -117,11 +195,83 @@ impl TransferPool {
         }
     }
 
+    /// Transfers currently in flight for one provider (tagged submissions).
+    #[must_use]
+    pub fn in_flight(&self, provider: ProviderId) -> u64 {
+        self.shared
+            .in_flight
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(&provider)
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Snapshot of every provider with transfers currently on the wire.
+    #[must_use]
+    pub fn in_flight_counts(&self) -> HashMap<ProviderId, u64> {
+        self.shared
+            .in_flight
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
+    }
+
+    /// Submits one task and returns its completion handle immediately.
+    ///
+    /// Zero-worker pools run the task inline before returning (the handle is
+    /// then already fulfilled), so submission-site code works identically in
+    /// deterministic inline mode.
+    pub fn submit<T, F>(&self, task: F) -> Completion<T>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        self.submit_for(None, task)
+    }
+
+    /// Submits one task tagged with the data provider it primarily talks
+    /// to. The per-provider in-flight gauge is incremented now and released
+    /// when the task finishes (or panics).
+    pub fn submit_for<T, F>(&self, provider: Option<ProviderId>, task: F) -> Completion<T>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        let guard = provider.map(|provider| {
+            self.shared.transfer_started(provider);
+            InFlightGuard {
+                shared: Arc::clone(&self.shared),
+                provider,
+            }
+        });
+        let (tx, rx) = channel::<T>();
+        match &self.sender {
+            Some(sender) => {
+                let job: Job = Box::new(move || {
+                    let _guard = guard;
+                    let result = task();
+                    // The receiver only disappears if the submitter dropped
+                    // the handle (or panicked); discarding is the fallback.
+                    let _ = tx.send(result);
+                });
+                sender.send(job).expect("transfer pool workers are gone");
+            }
+            None => {
+                self.shared.tasks_inline.fetch_add(1, Ordering::Relaxed);
+                let _guard = guard;
+                let _ = tx.send(task());
+            }
+        }
+        Completion { rx }
+    }
+
     /// Runs every task (in parallel on the pool workers) and returns their
     /// results in task order. Blocks until the whole batch is done.
     ///
-    /// Single-task batches and zero-worker pools run inline on the calling
-    /// thread: the queue only pays off when there is actual parallelism.
+    /// This is the explicit batch join over [`TransferPool::submit`]:
+    /// single-task batches and zero-worker pools run inline on the calling
+    /// thread, everything else is submitted up front and joined in order.
     ///
     /// # Panics
     ///
@@ -132,33 +282,11 @@ impl TransferPool {
         F: FnOnce() -> T + Send + 'static,
         T: Send + 'static,
     {
-        let Some(sender) = &self.sender else {
-            return self.run_inline(tasks);
-        };
-        if tasks.len() <= 1 {
+        if self.sender.is_none() || tasks.len() <= 1 {
             return self.run_inline(tasks);
         }
-        let count = tasks.len();
-        let (tx, rx) = channel::<(usize, T)>();
-        for (index, task) in tasks.into_iter().enumerate() {
-            let tx = tx.clone();
-            let job: Job = Box::new(move || {
-                let result = task();
-                // The receiver only disappears if the submitting thread
-                // panicked; dropping the result is the right fallback.
-                let _ = tx.send((index, result));
-            });
-            sender.send(job).expect("transfer pool workers are gone");
-        }
-        drop(tx);
-        let mut slots: Vec<Option<T>> = (0..count).map(|_| None).collect();
-        for (index, result) in rx {
-            slots[index] = Some(result);
-        }
-        slots
-            .into_iter()
-            .map(|slot| slot.expect("a transfer task panicked"))
-            .collect()
+        let completions: Vec<Completion<T>> = tasks.into_iter().map(|t| self.submit(t)).collect();
+        completions.into_iter().map(Completion::join).collect()
     }
 
     fn run_inline<T, F: FnOnce() -> T>(&self, tasks: Vec<F>) -> Vec<T> {
@@ -227,6 +355,72 @@ mod tests {
         assert_eq!(pool.execute(vec![|| 41 + 1]), vec![42]);
         assert_eq!(pool.stats().tasks_inline, 1);
         assert_eq!(pool.stats().tasks_run, 0);
+    }
+
+    #[test]
+    fn submitted_tasks_complete_out_of_band() {
+        let pool = TransferPool::new(2);
+        // Submit slow work first, fast work second; both handles resolve
+        // with their own result regardless of completion order.
+        let slow = pool.submit(|| {
+            std::thread::sleep(std::time::Duration::from_millis(5));
+            "slow"
+        });
+        let fast = pool.submit(|| "fast");
+        assert_eq!(fast.join(), "fast");
+        assert_eq!(slow.join(), "slow");
+    }
+
+    #[test]
+    fn submission_overlaps_with_caller_work() {
+        // The defining property of the scheduler: the caller keeps running
+        // while a submitted task is in flight.
+        let pool = TransferPool::new(1);
+        let (gate_tx, gate_rx) = channel::<()>();
+        let pending = pool.submit(move || {
+            gate_rx.recv().unwrap();
+            7
+        });
+        // Caller-side work happens while the task is parked on the gate.
+        let local = 35;
+        gate_tx.send(()).unwrap();
+        assert_eq!(pending.join() + local, 42);
+    }
+
+    #[test]
+    fn tagged_submissions_track_per_provider_in_flight() {
+        let pool = TransferPool::new(2);
+        let p = ProviderId(3);
+        let (gate_tx, gate_rx) = channel::<()>();
+        let pending = pool.submit_for(Some(p), move || {
+            gate_rx.recv().unwrap();
+        });
+        // The gauge counts the task while it is queued/running...
+        assert_eq!(pool.in_flight(p), 1);
+        assert_eq!(pool.in_flight_counts().get(&p), Some(&1));
+        gate_tx.send(()).unwrap();
+        pending.join();
+        // ...and releases it on completion.
+        assert_eq!(pool.in_flight(p), 0);
+        assert!(pool.in_flight_counts().is_empty());
+    }
+
+    #[test]
+    fn panicking_tagged_tasks_release_their_in_flight_slot() {
+        let pool = TransferPool::new(1);
+        let p = ProviderId(0);
+        let boom = pool.submit_for(Some(p), || panic!("transfer died"));
+        assert!(std::panic::catch_unwind(AssertUnwindSafe(move || boom.join())).is_err());
+        // The guard drops during the unwind and the worker records the panic
+        // after it; both race with this thread observing the failed join.
+        for _ in 0..500 {
+            if pool.in_flight(p) == 0 && pool.stats().tasks_panicked == 1 {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        assert_eq!(pool.in_flight(p), 0);
+        assert_eq!(pool.stats().tasks_panicked, 1);
     }
 
     #[test]

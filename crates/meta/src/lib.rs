@@ -33,6 +33,6 @@ pub use node::{ChildRef, InnerNode, LeafNode, NodeBody, NodeKey};
 pub use store::{CachedMetadataStore, InMemoryMetaStore, MetadataStore};
 pub use tree::{
     build_repair_metadata, build_write_metadata, build_write_metadata_chained, collect_leaves,
-    collect_leaves_unbatched, publish_metadata, LeafMapping, ReferenceChain, SnapshotDescriptor,
-    WriteMetadata, WriteSummary, WrittenChunk,
+    collect_leaves_streaming, collect_leaves_unbatched, publish_metadata, LeafMapping,
+    ReferenceChain, SnapshotDescriptor, WriteMetadata, WriteSummary, WrittenChunk,
 };

@@ -663,12 +663,34 @@ pub fn collect_leaves(
     snapshot: &SnapshotDescriptor,
     range: ByteRange,
 ) -> Result<Vec<LeafMapping>> {
+    collect_leaves_streaming(store, blob, snapshot, range, |_| {})
+}
+
+/// [`collect_leaves`] with a *level-streaming* hook: after every batched
+/// round-trip of the frontier descent, `on_level` receives the leaf
+/// mappings that round-trip discovered (written leaves and holes alike, in
+/// discovery order — not yet sorted by offset).
+///
+/// This is what lets the read path pipeline: a client can submit the chunk
+/// fetches for the leaves of level N to the transfer scheduler while the
+/// level-N+1 metadata batch is still in flight, instead of waiting for the
+/// whole descent to finish before moving the first data byte. The function
+/// still returns the complete, offset-sorted mapping at the end, so
+/// non-streaming callers lose nothing.
+pub fn collect_leaves_streaming(
+    store: &dyn MetadataStore,
+    blob: BlobId,
+    snapshot: &SnapshotDescriptor,
+    range: ByteRange,
+    mut on_level: impl FnMut(&[LeafMapping]),
+) -> Result<Vec<LeafMapping>> {
     let Some(root) = check_read(blob, snapshot, range)? else {
         return Ok(Vec::new());
     };
     let mut out = Vec::new();
     let mut frontier = vec![root];
     while !frontier.is_empty() {
+        let level_start = out.len();
         let keys: Vec<NodeKey> = frontier.iter().map(|node| node.key(blob)).collect();
         let bodies = store.get_nodes(&keys);
         let mut next = Vec::with_capacity(frontier.len() * 2);
@@ -707,6 +729,7 @@ pub fn collect_leaves(
                 NodeBody::Alias(target) => next.push(target),
             }
         }
+        on_level(&out[level_start..]);
         frontier = next;
     }
     // Holes surface at whatever level discovers them and aliases resolve a
@@ -1573,6 +1596,60 @@ mod tests {
         assert!(grow.creates_node(ByteRange::new(0, 4 * CS), old_root));
         assert!(!grow.creates_node(ByteRange::new(0, 2 * CS), old_root));
         assert!(!grow.creates_node(ByteRange::new(4 * CS, 4 * CS), old_root));
+    }
+
+    #[test]
+    fn streaming_levels_union_to_the_full_mapping() {
+        // The level callback must report every mapping exactly once and the
+        // union of all levels must equal the sorted final result, including
+        // under holes (sparse write) and aliases (repaired write).
+        let store = InMemoryMetaStore::new();
+        let v0 = SnapshotDescriptor::initial(CS);
+        let v1 = apply_write(&store, &v0, 1, 6 * CS, 2 * CS); // slots 0..6 are holes
+        let aborted = WriteSummary {
+            version: Version(2),
+            written_slots: ByteRange::new(8 * CS, 2 * CS),
+            size: 10 * CS,
+            chunk_size: CS,
+        };
+        let chain = ReferenceChain {
+            base: v1,
+            pending: vec![aborted],
+        };
+        let b_meta = build_write_metadata_chained(
+            &store,
+            blob(),
+            &chain,
+            Version(3),
+            10 * CS,
+            &[written(3, 1, CS)],
+        )
+        .unwrap();
+        publish_metadata(&store, b_meta.clone()).unwrap();
+        let repair = build_repair_metadata(
+            &store,
+            blob(),
+            &ReferenceChain::published_only(v1),
+            &aborted,
+        )
+        .unwrap();
+        publish_metadata(&store, repair).unwrap();
+
+        let range = ByteRange::new(0, 10 * CS);
+        let mut streamed: Vec<LeafMapping> = Vec::new();
+        let mut levels = 0usize;
+        let full = collect_leaves_streaming(&store, blob(), &b_meta.descriptor, range, |level| {
+            levels += 1;
+            streamed.extend_from_slice(level);
+        })
+        .unwrap();
+        assert!(levels > 1, "a multi-level tree must stream multiple levels");
+        streamed.sort_by_key(|m| m.slot_range.offset);
+        assert_eq!(streamed, full);
+        assert_eq!(
+            full,
+            collect_leaves(&store, blob(), &b_meta.descriptor, range).unwrap()
+        );
     }
 
     #[test]

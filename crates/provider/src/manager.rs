@@ -27,6 +27,10 @@ pub struct ProviderStatus {
     /// Chunks assigned by the manager but not yet reported back (in-flight
     /// load), used by the least-loaded policy to avoid herding.
     pub pending_chunks: u64,
+    /// Transfers the shared transfer scheduler had on the wire to this
+    /// provider at the last load report — live data-plane load, as opposed
+    /// to the manager's own optimistic `pending_chunks` guess.
+    pub in_flight_transfers: u64,
     /// Quality-of-service score in `[0, 1]`; 1 means healthy. Updated by the
     /// QoS / behaviour-modelling layer, consumed by the QoS-aware policy.
     pub qos_score: f64,
@@ -40,14 +44,16 @@ impl ProviderStatus {
             stored_bytes: 0,
             stored_chunks: 0,
             pending_chunks: 0,
+            in_flight_transfers: 0,
             qos_score: 1.0,
         }
     }
 
-    /// Load metric used by the least-loaded policy: stored plus in-flight
-    /// chunks.
+    /// Load metric used by the least-loaded policy: stored chunks plus both
+    /// flavours of in-flight load (assigned-but-unreported and live
+    /// transfers on the wire).
     fn load(&self) -> u64 {
-        self.stored_chunks + self.pending_chunks
+        self.stored_chunks + self.pending_chunks + self.in_flight_transfers
     }
 }
 
@@ -138,7 +144,9 @@ impl ProviderManager {
     }
 
     /// Updates the stored-load view of a provider from a heartbeat /
-    /// statistics report; clears the corresponding in-flight counter.
+    /// statistics report; clears the manager's own optimistic pending
+    /// counter and adopts the report's live in-flight transfer count (the
+    /// transfer scheduler's gauge, folded in by the cluster heartbeat).
     pub fn report_load(&self, id: ProviderId, stats: ProviderStats) -> Result<()> {
         let mut inner = self.inner.lock();
         let status = inner
@@ -148,6 +156,7 @@ impl ProviderManager {
         status.stored_bytes = stats.bytes;
         status.stored_chunks = stats.chunks;
         status.pending_chunks = 0;
+        status.in_flight_transfers = stats.in_flight;
         Ok(())
     }
 
@@ -522,6 +531,38 @@ mod tests {
                 replication: 1,
             })
             .is_err());
+    }
+
+    #[test]
+    fn reported_in_flight_transfers_steer_least_loaded_placement() {
+        let m = manager(PlacementPolicy::LeastLoaded, 2);
+        // Both providers store the same amount, but provider 0 has live
+        // transfers on the wire: placement must prefer provider 1.
+        m.report_load(
+            ProviderId(0),
+            ProviderStats {
+                chunks: 10,
+                in_flight: 6,
+                ..ProviderStats::default()
+            },
+        )
+        .unwrap();
+        m.report_load(
+            ProviderId(1),
+            ProviderStats {
+                chunks: 10,
+                ..ProviderStats::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(m.status(ProviderId(0)).unwrap().in_flight_transfers, 6);
+        let p = m
+            .allocate(PlacementRequest {
+                chunk_count: 1,
+                replication: 1,
+            })
+            .unwrap()[0][0];
+        assert_eq!(p, ProviderId(1));
     }
 
     #[test]

@@ -14,6 +14,11 @@ pub struct SeriesPoint {
     /// Metadata round-trips issued during the measured run (zero for
     /// analytically modelled series that never touch the metadata DHT).
     pub meta_round_trips: u64,
+    /// Data-plane round-trips (chunks moved, replica pushes counted
+    /// individually) issued during the measured run; zero for analytic
+    /// series. With `meta_round_trips` this shows pipeline occupancy: the
+    /// pipelined schedule moves the same chunks in less elapsed time.
+    pub data_round_trips: u64,
 }
 
 /// A named series of sweep points (one curve of a figure).
@@ -35,13 +40,13 @@ impl SweepSeries {
         }
     }
 
-    /// Appends a point with no metadata round-trip measurement (analytic
-    /// series).
+    /// Appends a point with no round-trip measurements (analytic series).
     pub fn push(&mut self, x: f64, throughput_mibps: f64, latency_ms: f64) {
-        self.push_full(x, throughput_mibps, latency_ms, 0);
+        self.push_measured(x, throughput_mibps, latency_ms, 0, 0);
     }
 
-    /// Appends a fully measured point.
+    /// Appends a point with a metadata round-trip measurement but no
+    /// data-plane one (kept for callers predating `data_round_trips`).
     pub fn push_full(
         &mut self,
         x: f64,
@@ -49,11 +54,24 @@ impl SweepSeries {
         latency_ms: f64,
         meta_round_trips: u64,
     ) {
+        self.push_measured(x, throughput_mibps, latency_ms, meta_round_trips, 0);
+    }
+
+    /// Appends a fully measured point, both planes' round-trips included.
+    pub fn push_measured(
+        &mut self,
+        x: f64,
+        throughput_mibps: f64,
+        latency_ms: f64,
+        meta_round_trips: u64,
+        data_round_trips: u64,
+    ) {
         self.points.push(SeriesPoint {
             x,
             throughput_mibps,
             latency_ms,
             meta_round_trips,
+            data_round_trips,
         });
     }
 

@@ -225,6 +225,41 @@ impl WorkloadBuilder {
         }
     }
 
+    /// Readers racing writers on one blob: the first half of the clients
+    /// keep appending new records while the second half read their own
+    /// disjoint, pre-loaded regions of the latest published snapshot. This
+    /// is the workload where decoupling the data and metadata planes pays
+    /// the most — every reader's tree descent competes with the writers'
+    /// weaving traffic on the metadata providers, so overlapping the
+    /// descent with chunk fetches hides that contention.
+    #[must_use]
+    pub fn readers_during_writers(self) -> Workload {
+        let readers = (self.clients / 2).max(1);
+        let writers = self.clients - readers;
+        let region = self.op_size * self.ops_per_client as u64;
+        let ops = (0..self.clients)
+            .map(|c| {
+                if c < writers {
+                    vec![OpKind::Append { len: self.op_size }; self.ops_per_client]
+                } else {
+                    let r = (c - writers) as u64;
+                    (0..self.ops_per_client)
+                        .map(|i| OpKind::Read {
+                            offset: r * region + i as u64 * self.op_size,
+                            len: self.op_size,
+                        })
+                        .collect()
+                }
+            })
+            .collect();
+        Workload {
+            clients: self.clients,
+            blob_config: self.blob_config(),
+            preload_bytes: region * readers as u64,
+            ops,
+        }
+    }
+
     /// Clients read and write random chunk-aligned regions of a pre-loaded
     /// blob (the fine-grain random access pattern of the supernovae and
     /// desktop-grid scenarios). `write_fraction` is the probability that an
@@ -309,6 +344,33 @@ mod tests {
             .disjoint_reads();
         assert_eq!(w.preload_bytes, 4 * 2 * 100);
         assert!(w.ops.iter().flatten().all(|op| !op.is_write()));
+    }
+
+    #[test]
+    fn readers_during_writers_splits_the_clients() {
+        let w = WorkloadBuilder::new(8)
+            .ops_per_client(2)
+            .op_size(100)
+            .readers_during_writers();
+        let writers = w.ops.iter().filter(|ops| ops[0].is_write()).count();
+        let readers = w.ops.iter().filter(|ops| !ops[0].is_write()).count();
+        assert_eq!(writers, 4);
+        assert_eq!(readers, 4);
+        // The preload covers exactly what the readers will ask for.
+        assert_eq!(w.preload_bytes, 4 * 2 * 100);
+        // Reader regions are disjoint.
+        let mut regions: Vec<u64> = w
+            .ops
+            .iter()
+            .flatten()
+            .filter_map(|op| match op {
+                OpKind::Read { offset, .. } => Some(*offset),
+                _ => None,
+            })
+            .collect();
+        regions.sort_unstable();
+        regions.dedup();
+        assert_eq!(regions.len(), 8);
     }
 
     #[test]

@@ -160,6 +160,14 @@ pub struct ClusterConfig {
     /// thread (no parallel striping), which is useful for deterministic
     /// debugging.
     pub transfer_workers: usize,
+    /// Depth of the client transfer pipeline: how many tree levels' worth of
+    /// chunk transfers a client may have in flight (per transfer worker)
+    /// while the metadata plane is still being walked. Zero restores the
+    /// legacy *phased* behaviour — the full metadata descent completes
+    /// before the first chunk fetch is issued, and every chunk store
+    /// completes before metadata weaving starts — kept so the two schedules
+    /// can be compared differentially.
+    pub pipeline_depth: usize,
     /// Network bandwidth of every node in bytes per second (used only by the
     /// simulator; 1 Gbps by default, matching Grid'5000's interconnect).
     pub link_bandwidth_bps: u64,
@@ -232,6 +240,7 @@ impl Default for ClusterConfig {
             placement: PlacementPolicy::RoundRobin,
             client_metadata_cache: true,
             transfer_workers: 8,
+            pipeline_depth: 4,
             // 1 Gbps full duplex, 100 microseconds one-way latency.
             link_bandwidth_bps: 125_000_000,
             link_latency_ns: 100_000,
