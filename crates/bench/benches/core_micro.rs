@@ -144,9 +144,67 @@ fn bench_client_roundtrip(c: &mut Criterion) {
     });
 }
 
+/// The zero-copy write fast path: a chunk-aligned append of an already
+/// shared `Bytes` buffer ships every slot as a reference-count bump. The
+/// bench asserts (not just times) that the fast path copies nothing.
+fn bench_zero_copy_write_path(c: &mut Criterion) {
+    let cluster = Cluster::new(ClusterConfig {
+        data_providers: 8,
+        metadata_providers: 4,
+        ..ClusterConfig::default()
+    })
+    .unwrap();
+    let client = cluster.client();
+    let blob = client
+        .create_blob(BlobConfig::new(64 << 10, 1).unwrap())
+        .unwrap();
+    let payload = Bytes::from(vec![42u8; 256 << 10]);
+    c.bench_function("client_append_256k_aligned_bytes_zero_copy", |b| {
+        b.iter(|| client.append(blob, payload.clone()).unwrap())
+    });
+    assert_eq!(
+        client.stats().payload_bytes_copied,
+        0,
+        "the aligned fast path must not copy"
+    );
+    c.bench_function("client_write_256k_unaligned_boundary_merge", |b| {
+        b.iter(|| client.write(blob, 7, payload.clone()).unwrap())
+    });
+    assert!(client.stats().payload_bytes_copied > 0);
+}
+
+/// Cold versus cached reads of one published region: the cached client
+/// serves every chunk from its chunk cache after the first scan.
+fn bench_cold_vs_cached_reads(c: &mut Criterion) {
+    let make = |cache_bytes: u64| {
+        let cluster = Cluster::new(ClusterConfig {
+            data_providers: 8,
+            metadata_providers: 4,
+            chunk_cache_bytes: cache_bytes,
+            ..ClusterConfig::default()
+        })
+        .unwrap();
+        let client = cluster.client();
+        let blob = client
+            .create_blob(BlobConfig::new(64 << 10, 1).unwrap())
+            .unwrap();
+        client.append(blob, vec![7u8; 1 << 20]).unwrap();
+        (cluster, client, blob)
+    };
+    let (_cold_cluster, cold, cold_blob) = make(0);
+    c.bench_function("client_read_1m_cold", |b| {
+        b.iter(|| cold.read_bytes(cold_blob, None, 0, 1 << 20).unwrap())
+    });
+    let (_cached_cluster, cached, cached_blob) = make(64 << 20);
+    c.bench_function("client_read_1m_cached", |b| {
+        b.iter(|| cached.read_bytes(cached_blob, None, 0, 1 << 20).unwrap())
+    });
+    assert!(cached.stats().cache_hits > 0);
+}
+
 criterion_group! {
     name = micro;
     config = Criterion::default().sample_size(20).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(500));
-    targets = bench_segment_tree_weave, bench_dht_routing_and_puts, bench_ram_store, bench_client_roundtrip
+    targets = bench_segment_tree_weave, bench_dht_routing_and_puts, bench_ram_store, bench_client_roundtrip, bench_zero_copy_write_path, bench_cold_vs_cached_reads
 }
 criterion_main!(micro);

@@ -51,13 +51,7 @@ fn run_series(
     for &n in clients {
         let mut cluster = make_sim();
         let result = cluster.run(&make_workload(n)).expect("simulation run");
-        series.push_measured(
-            n as f64,
-            result.aggregated_mibps(),
-            result.mean_latency_ms(),
-            result.meta_round_trips,
-            result.data_round_trips,
-        );
+        series.push_sim(n as f64, &result);
     }
     series
 }
@@ -216,13 +210,7 @@ pub fn fig_b2_size_sweep(clients: usize, op_sizes_mib: &[u64]) -> SweepSeries {
             .chunk_size(MIB)
             .concurrent_appends();
         let result = cluster.run(&workload).expect("simulation run");
-        series.push_measured(
-            size as f64,
-            result.aggregated_mibps(),
-            result.mean_latency_ms(),
-            result.meta_round_trips,
-            result.data_round_trips,
-        );
+        series.push_sim(size as f64, &result);
     }
     series
 }
@@ -310,6 +298,48 @@ pub fn fig_c1_metadata_decentralization(
     vec![centralized, decentralized]
 }
 
+/// Fig. C1 (cache panel): cold versus cached re-scans of one shared,
+/// published input — the MapReduce-input pattern, where every worker reads
+/// the same immutable snapshot over and over. The cold series runs with no
+/// chunk cache; the cached series gives every client a `cache_mib` MiB chunk
+/// cache, so each client pays exactly one cold scan and every re-scan is
+/// served locally: strictly fewer data round-trips, strictly fewer bytes
+/// copied, strictly higher aggregated throughput.
+pub fn fig_c1_chunk_cache(clients: &[usize], op_mib: u64, cache_mib: u64) -> Vec<SweepSeries> {
+    let sim_with_cache = |cache_bytes: u64| {
+        move || {
+            SimulatedCluster::new(ClusterConfig {
+                data_providers: 64,
+                metadata_providers: 16,
+                chunk_cache_bytes: cache_bytes,
+                ..ClusterConfig::default()
+            })
+            .expect("valid simulated cluster")
+        }
+    };
+    let workload = |n: usize| {
+        WorkloadBuilder::new(n)
+            .ops_per_client(4)
+            .op_size(op_mib * MIB)
+            .chunk_size(MIB)
+            .rescan_reads()
+    };
+    vec![
+        run_series(
+            "cold re-scans (no chunk cache)",
+            clients,
+            sim_with_cache(0),
+            workload,
+        ),
+        run_series(
+            &format!("cached re-scans ({cache_mib} MiB client chunk cache)"),
+            clients,
+            sim_with_cache(cache_mib * MIB),
+            workload,
+        ),
+    ]
+}
+
 /// Fig. C2: impact of data striping — aggregated write throughput of a fixed
 /// number of concurrent writers as the number of data providers grows.
 pub fn fig_c2_provider_sweep(providers: &[usize], clients: usize, op_mib: u64) -> SweepSeries {
@@ -322,13 +352,7 @@ pub fn fig_c2_provider_sweep(providers: &[usize], clients: usize, op_mib: u64) -
             .chunk_size(MIB)
             .concurrent_appends();
         let result = cluster.run(&workload).expect("simulation run");
-        series.push_measured(
-            p as f64,
-            result.aggregated_mibps(),
-            result.mean_latency_ms(),
-            result.meta_round_trips,
-            result.data_round_trips,
-        );
+        series.push_sim(p as f64, &result);
     }
     series
 }
@@ -564,7 +588,7 @@ pub fn qos_feedback_loop_demo() -> Vec<ProviderId> {
         if round == 4 {
             cluster.fail_provider(ProviderId(2)).unwrap();
         }
-        let _ = client.append(blob, &vec![round as u8; 256 << 10]);
+        let _ = client.append(blob, vec![round as u8; 256 << 10]);
         collector.sample();
     }
     controller.step().unwrap_or_default()
@@ -642,13 +666,7 @@ pub fn ablation_chunk_size(chunk_kib: &[u64], clients: usize) -> SweepSeries {
             .chunk_size(kib << 10)
             .concurrent_appends();
         let result = cluster.run(&workload).expect("simulation run");
-        series.push_measured(
-            kib as f64,
-            result.aggregated_mibps(),
-            result.mean_latency_ms(),
-            result.meta_round_trips,
-            result.data_round_trips,
-        );
+        series.push_sim(kib as f64, &result);
     }
     series
 }
@@ -758,6 +776,40 @@ mod tests {
         let centralized = series[0].final_throughput().unwrap();
         let decentralized = series[1].final_throughput().unwrap();
         assert!(decentralized > 1.3 * centralized);
+    }
+
+    #[test]
+    fn fig_c1_chunk_cache_strictly_beats_cold_rescans() {
+        let series = fig_c1_chunk_cache(&[8], 16, 64);
+        let cold = &series[0].points[0];
+        let cached = &series[1].points[0];
+        assert!(
+            cached.data_round_trips < cold.data_round_trips,
+            "cached re-scans must move strictly fewer chunks over the wire \
+             ({} vs {})",
+            cached.data_round_trips,
+            cold.data_round_trips
+        );
+        assert!(
+            cached.bytes_copied < cold.bytes_copied,
+            "cache hits materialise nothing ({} vs {} bytes copied)",
+            cached.bytes_copied,
+            cold.bytes_copied
+        );
+        assert!(cached.cache_hits > 0);
+        assert_eq!(cold.cache_hits, 0, "no cache, no hits");
+        assert_eq!(cold.bytes_copied, cold.data_round_trips * MIB);
+        assert!(
+            cached.throughput_mibps > cold.throughput_mibps,
+            "local hits must beat wire fetches ({:.0} vs {:.0} MiB/s)",
+            cached.throughput_mibps,
+            cold.throughput_mibps
+        );
+        // 8 clients × 4 scans of 16 chunks: each client fetches one cold
+        // scan, every later scan hits.
+        assert_eq!(cached.cache_misses, 8 * 16);
+        assert_eq!(cached.cache_hits, 8 * 3 * 16);
+        assert_eq!(cached.data_round_trips, 8 * 16);
     }
 
     #[test]

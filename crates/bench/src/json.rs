@@ -125,6 +125,9 @@ pub fn series_json(series: &SweepSeries) -> Json {
                     ("latency_ms", Json::num(p.latency_ms)),
                     ("meta_round_trips", Json::num(p.meta_round_trips as f64)),
                     ("data_round_trips", Json::num(p.data_round_trips as f64)),
+                    ("bytes_copied", Json::num(p.bytes_copied as f64)),
+                    ("cache_hits", Json::num(p.cache_hits as f64)),
+                    ("cache_misses", Json::num(p.cache_misses as f64)),
                 ])
             })),
         ),

@@ -3,12 +3,15 @@
 //! Hadoop's storage API is stream-oriented; the paper notes that
 //! implementing it over BlobSeer "raised issues such as buffering and
 //! prefetching". The writer batches small `write` calls into one blob append
-//! per buffer flush (each flush is one new snapshot); the reader fetches
-//! ahead of the application in buffer-sized units so sequential scans pay
-//! one BlobSeer read per buffer instead of one per record.
+//! per buffer flush (each flush is one new snapshot, handed to the client as
+//! an owned buffer so chunk-aligned flushes are zero-copy); the reader
+//! fetches ahead of the application in buffer-sized units — kept as the
+//! scatter-gather [`blobseer_types::BlobSlice`] the client returns, never
+//! flattened — so sequential scans pay one BlobSeer read per buffer instead
+//! of one per record.
 
 use blobseer_core::BlobClient;
-use blobseer_types::{BlobId, Result};
+use blobseer_types::{BlobId, BlobSlice, Result};
 
 /// A buffered, append-only writer over one BSFS file.
 pub struct FileWriter<'a> {
@@ -41,7 +44,9 @@ impl<'a> FileWriter<'a> {
         self.bytes_written += data.len() as u64;
         while self.buffer.len() >= self.buffer_capacity {
             let chunk: Vec<u8> = self.buffer.drain(..self.buffer_capacity).collect();
-            self.client.append(self.blob, &chunk)?;
+            // Hand the client the owned buffer: chunk-aligned flushes ship
+            // as sub-slices of it without another copy.
+            self.client.append(self.blob, chunk)?;
             self.flushes += 1;
         }
         Ok(())
@@ -51,7 +56,7 @@ impl<'a> FileWriter<'a> {
     pub fn flush(&mut self) -> Result<()> {
         if !self.buffer.is_empty() {
             let chunk = std::mem::take(&mut self.buffer);
-            self.client.append(self.blob, &chunk)?;
+            self.client.append(self.blob, chunk)?;
             self.flushes += 1;
         }
         Ok(())
@@ -79,7 +84,10 @@ pub struct FileReader<'a> {
     version: blobseer_types::Version,
     size: u64,
     position: u64,
-    buffer: Vec<u8>,
+    /// The prefetched window, kept as the scatter-gather slice the client
+    /// returned: the fetched chunks are never flattened, application reads
+    /// copy straight out of the segments.
+    buffer: BlobSlice,
     buffer_offset: u64,
     buffer_capacity: u64,
     fetches: u64,
@@ -96,7 +104,7 @@ impl<'a> FileReader<'a> {
             version,
             size,
             position: 0,
-            buffer: Vec::new(),
+            buffer: BlobSlice::empty(),
             buffer_offset: 0,
             buffer_capacity: buffer_capacity.max(1),
             fetches: 0,
@@ -132,19 +140,20 @@ impl<'a> FileReader<'a> {
             return Ok(0);
         }
         // Refill the prefetch buffer if the position is outside it.
-        let buffer_end = self.buffer_offset + self.buffer.len() as u64;
+        let buffer_end = self.buffer_offset + self.buffer.len();
         if self.position < self.buffer_offset || self.position >= buffer_end {
             let fetch_len = self.buffer_capacity.min(self.size - self.position);
             self.buffer =
                 self.client
-                    .read(self.blob, Some(self.version), self.position, fetch_len)?;
+                    .read_bytes(self.blob, Some(self.version), self.position, fetch_len)?;
             self.buffer_offset = self.position;
             self.fetches += 1;
         }
-        let start = (self.position - self.buffer_offset) as usize;
-        let available = self.buffer.len() - start;
+        let start = self.position - self.buffer_offset;
+        let available = (self.buffer.len() - start) as usize;
         let n = available.min(out.len());
-        out[..n].copy_from_slice(&self.buffer[start..start + n]);
+        let copied = self.buffer.copy_range_to(start, &mut out[..n]);
+        debug_assert_eq!(copied, n);
         self.position += n as u64;
         Ok(n)
     }

@@ -19,7 +19,8 @@ pub mod file;
 pub mod namespace;
 
 use blobseer_core::BlobClient;
-use blobseer_types::{BlobConfig, BlobError, ByteRange, ProviderId, Result};
+use blobseer_types::{BlobConfig, BlobError, BlobSlice, ByteRange, ProviderId, Result};
+use bytes::Bytes;
 use file::{FileReader, FileWriter};
 use namespace::{EntryKind, Namespace};
 use std::sync::Arc;
@@ -94,14 +95,16 @@ impl Bsfs {
 
     /// Appends `data` to a file (the whole-buffer convenience used by tests
     /// and small writers; streaming writers should use [`Bsfs::writer`]).
-    pub fn append(&self, path: &str, data: &[u8]) -> Result<()> {
+    /// Passing an owned buffer makes chunk-aligned appends zero-copy end to
+    /// end.
+    pub fn append(&self, path: &str, data: impl Into<Bytes>) -> Result<()> {
         let blob = self.namespace.file_blob(path)?;
         self.client.append(blob, data)?;
         Ok(())
     }
 
     /// Writes `data` at `offset` of a file.
-    pub fn write_at(&self, path: &str, offset: u64, data: &[u8]) -> Result<()> {
+    pub fn write_at(&self, path: &str, offset: u64, data: impl Into<Bytes>) -> Result<()> {
         let blob = self.namespace.file_blob(path)?;
         self.client.write(blob, offset, data)?;
         Ok(())
@@ -113,10 +116,24 @@ impl Bsfs {
         self.client.read(blob, None, offset, len)
     }
 
+    /// Reads `len` bytes at `offset` of a file as a scatter-gather
+    /// [`BlobSlice`] — the fetched chunks stay as zero-copy segments;
+    /// nothing is flattened.
+    pub fn read_at_bytes(&self, path: &str, offset: u64, len: u64) -> Result<BlobSlice> {
+        let blob = self.namespace.file_blob(path)?;
+        self.client.read_bytes(blob, None, offset, len)
+    }
+
     /// Reads a whole file.
     pub fn read_file(&self, path: &str) -> Result<Vec<u8>> {
         let blob = self.namespace.file_blob(path)?;
         self.client.read_all(blob, None)
+    }
+
+    /// Reads a whole file as a scatter-gather [`BlobSlice`].
+    pub fn read_file_bytes(&self, path: &str) -> Result<BlobSlice> {
+        let blob = self.namespace.file_blob(path)?;
+        self.client.read_all_bytes(blob, None)
     }
 
     /// Opens a buffered, append-only streaming writer on a file.
@@ -239,7 +256,7 @@ mod tests {
     fn locations_and_input_splits_cover_the_file() {
         let fs = fs();
         fs.create_file("/big").unwrap();
-        fs.append("/big", &vec![1u8; 64 * 10]).unwrap();
+        fs.append("/big", vec![1u8; 64 * 10]).unwrap();
         let locations = fs.locations("/big").unwrap();
         assert_eq!(locations.len(), 10);
         assert!(locations.iter().all(|(_, p)| !p.is_empty()));

@@ -21,7 +21,20 @@
 //! each chunk store the moment its payload is assembled and weaves the
 //! write's metadata while those transfers are on the wire, joining the
 //! completions only right before publication.
+//!
+//! The data plane is *zero-copy* end to end: payloads enter as [`Bytes`]
+//! (`impl Into<Bytes>` on [`BlobClient::write`]/[`BlobClient::append`]), a
+//! chunk slot fully covered by the write becomes a reference-counted
+//! sub-slice of the caller's buffer — no allocation, no memcpy, proven by
+//! [`ClientStats::payload_bytes_copied`] — and reads return a scatter-gather
+//! [`BlobSlice`] of the fetched chunks ([`BlobClient::read_bytes`]); the
+//! contiguous `Vec<u8>` API is reimplemented on top of it. An optional
+//! client [`ChunkCache`] (`ClusterConfig::chunk_cache_bytes`) exploits chunk
+//! immutability: both read schedules consult it before submitting a fetch,
+//! writes populate it write-through, and re-reading a published version
+//! costs no data round-trips at all.
 
+use crate::chunk_cache::ChunkCache;
 use crate::services::{ChunkService, MetadataService};
 use crate::transfer::{Completion, TransferPool};
 use crate::version_manager::{VersionManager, WriteKind, WriteTicket};
@@ -31,10 +44,10 @@ use blobseer_meta::{
 };
 use blobseer_provider::PlacementRequest;
 use blobseer_types::{
-    chunk_span, BlobConfig, BlobError, BlobId, ByteRange, ChunkId, ChunkSlot, ClientId, ProviderId,
-    Result, RetryPolicy, Version,
+    chunk_span, BlobConfig, BlobError, BlobId, BlobSlice, ByteRange, ChunkId, ChunkSlot, ClientId,
+    ProviderId, Result, RetryPolicy, Version,
 };
-use bytes::Bytes;
+use bytes::{Bytes, BytesMut};
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -67,6 +80,17 @@ pub struct ClientStats {
     pub meta_nodes_written: u64,
     /// Write operations that failed and were repaired/aborted.
     pub failed_writes: u64,
+    /// Payload bytes memcpy'd while assembling chunk payloads. Chunk-aligned
+    /// writes report zero: a slot fully covered by the caller's buffer is
+    /// shipped as a reference-counted sub-slice, never copied. Only boundary
+    /// slots (unaligned edges merging predecessor bytes) copy, and only the
+    /// bytes they must.
+    pub payload_bytes_copied: u64,
+    /// Chunk lookups served by the client chunk cache (zero round-trips).
+    pub cache_hits: u64,
+    /// Chunk lookups that missed the cache and went to the providers. Zero
+    /// when no cache is configured.
+    pub cache_misses: u64,
 }
 
 /// The client's live counters: one atomic per field, so concurrent readers
@@ -83,6 +107,9 @@ struct AtomicClientStats {
     chunks_read: AtomicU64,
     meta_nodes_written: AtomicU64,
     failed_writes: AtomicU64,
+    payload_bytes_copied: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
 }
 
 impl AtomicClientStats {
@@ -97,6 +124,9 @@ impl AtomicClientStats {
             chunks_read: self.chunks_read.load(Ordering::Relaxed),
             meta_nodes_written: self.meta_nodes_written.load(Ordering::Relaxed),
             failed_writes: self.failed_writes.load(Ordering::Relaxed),
+            payload_bytes_copied: self.payload_bytes_copied.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.cache_misses.load(Ordering::Relaxed),
         }
     }
 }
@@ -123,7 +153,12 @@ pub struct BlobClient {
     /// seeded once at creation so the hot paths never touch thread-local
     /// storage.
     rng: Mutex<StdRng>,
-    stats: AtomicClientStats,
+    /// Optional chunk cache, consulted before any fetch is submitted and
+    /// populated write-through. `None` when `chunk_cache_bytes` is zero.
+    chunk_cache: Option<Arc<ChunkCache>>,
+    /// Shared with the transfer closures, which account fetches and cache
+    /// fills from the pool workers.
+    stats: Arc<AtomicClientStats>,
 }
 
 impl BlobClient {
@@ -144,7 +179,8 @@ impl BlobClient {
             transfers,
             pipeline_depth: DEFAULT_PIPELINE_DEPTH,
             rng: Mutex::new(StdRng::from_entropy()),
-            stats: AtomicClientStats::default(),
+            chunk_cache: None,
+            stats: Arc::new(AtomicClientStats::default()),
         }
     }
 
@@ -155,6 +191,20 @@ impl BlobClient {
     pub fn with_pipeline_depth(mut self, depth: usize) -> Self {
         self.pipeline_depth = depth;
         self
+    }
+
+    /// Attaches a chunk cache (`None` disables caching). The cache may be
+    /// private to this client or shared with other clients of the same
+    /// process — chunk immutability makes sharing trivially safe.
+    #[must_use]
+    pub fn with_chunk_cache(mut self, cache: Option<Arc<ChunkCache>>) -> Self {
+        self.chunk_cache = cache;
+        self
+    }
+
+    /// The client's chunk cache, if one is attached.
+    pub fn chunk_cache(&self) -> Option<&Arc<ChunkCache>> {
+        self.chunk_cache.as_ref()
     }
 
     /// The client's transfer-pipeline depth.
@@ -193,52 +243,47 @@ impl BlobClient {
     }
 
     /// Writes `data` at `offset`, producing (and returning) a new version.
-    pub fn write(&self, blob: BlobId, offset: u64, data: &[u8]) -> Result<Version> {
-        let version = self.mutate(
-            blob,
-            WriteKind::Write {
-                offset,
-                len: data.len() as u64,
-            },
-            data,
-        )?;
+    ///
+    /// Accepts anything convertible to [`Bytes`]; passing an owned `Vec<u8>`
+    /// or a `Bytes` makes chunk-aligned writes fully zero-copy (chunk slots
+    /// ship as reference-counted sub-slices of the caller's buffer).
+    pub fn write(&self, blob: BlobId, offset: u64, data: impl Into<Bytes>) -> Result<Version> {
+        let data = data.into();
+        let len = data.len() as u64;
+        let version = self.mutate(blob, WriteKind::Write { offset, len }, data)?;
         self.stats.writes.fetch_add(1, Ordering::Relaxed);
-        self.stats
-            .bytes_written
-            .fetch_add(data.len() as u64, Ordering::Relaxed);
+        self.stats.bytes_written.fetch_add(len, Ordering::Relaxed);
         Ok(version)
     }
 
     /// Appends `data` at the end of the blob, producing (and returning) a
-    /// new version.
-    pub fn append(&self, blob: BlobId, data: &[u8]) -> Result<Version> {
-        let version = self.mutate(
-            blob,
-            WriteKind::Append {
-                len: data.len() as u64,
-            },
-            data,
-        )?;
+    /// new version. Accepts anything convertible to [`Bytes`] (see
+    /// [`BlobClient::write`] for the zero-copy contract).
+    pub fn append(&self, blob: BlobId, data: impl Into<Bytes>) -> Result<Version> {
+        let data = data.into();
+        let len = data.len() as u64;
+        let version = self.mutate(blob, WriteKind::Append { len }, data)?;
         self.stats.appends.fetch_add(1, Ordering::Relaxed);
-        self.stats
-            .bytes_written
-            .fetch_add(data.len() as u64, Ordering::Relaxed);
+        self.stats.bytes_written.fetch_add(len, Ordering::Relaxed);
         Ok(version)
     }
 
     /// Reads `len` bytes starting at `offset` from the given snapshot
-    /// (`None` means the latest published one). Holes read back as zeros.
-    pub fn read(
+    /// (`None` means the latest published one) as a scatter-gather
+    /// [`BlobSlice`]: the fetched chunks stay exactly as the providers (or
+    /// the chunk cache) handed them back — zero-copy sub-slices — and holes
+    /// are implicit, backed by a shared static zero page when iterated.
+    pub fn read_bytes(
         &self,
         blob: BlobId,
         version: Option<Version>,
         offset: u64,
         len: u64,
-    ) -> Result<Vec<u8>> {
+    ) -> Result<BlobSlice> {
         let snapshot = self.snapshot(blob, version)?;
         let range = ByteRange::new(offset, len);
         if range.is_empty() {
-            return Ok(Vec::new());
+            return Ok(BlobSlice::empty());
         }
         let fetched = if self.pipeline_depth == 0 {
             // Phased: finish the whole metadata descent, then move data.
@@ -252,20 +297,48 @@ impl BlobClient {
         } else {
             self.fetch_chunks_pipelined(blob, &snapshot, range)?
         };
-        let mut out = vec![0u8; len as usize];
+        let mut segments = Vec::with_capacity(fetched.len());
         for (slot_range, leaf, data) in fetched {
             let valid = ByteRange::new(slot_range.offset, leaf.len.min(data.len() as u64));
             let Some(need) = valid.intersect(&range) else {
                 continue;
             };
             let src = (need.offset - valid.offset) as usize;
-            let dst = (need.offset - range.offset) as usize;
-            let n = need.len as usize;
-            out[dst..dst + n].copy_from_slice(&data[src..src + n]);
+            segments.push((
+                need.offset - range.offset,
+                data.slice(src..src + need.len as usize),
+            ));
         }
         self.stats.reads.fetch_add(1, Ordering::Relaxed);
-        self.stats.bytes_read.fetch_add(len, Ordering::Relaxed);
-        Ok(out)
+        // Count the bytes the snapshot serves. Today the descent rejects any
+        // range past the snapshot size, so `served == len` on every path
+        // that reaches here; the clamp pins that invariant down so the
+        // counter stays honest if short reads (POSIX-style clamping at EOF)
+        // are ever allowed instead of rejected.
+        let served = len.min(snapshot.size.saturating_sub(offset));
+        debug_assert_eq!(served, len, "out-of-bounds reads are rejected");
+        self.stats.bytes_read.fetch_add(served, Ordering::Relaxed);
+        Ok(BlobSlice::new(len, segments))
+    }
+
+    /// Reads an entire snapshot as a scatter-gather [`BlobSlice`].
+    pub fn read_all_bytes(&self, blob: BlobId, version: Option<Version>) -> Result<BlobSlice> {
+        let size = self.size(blob, version)?;
+        self.read_bytes(blob, version, 0, size)
+    }
+
+    /// Reads `len` bytes starting at `offset` from the given snapshot
+    /// (`None` means the latest published one) into one contiguous buffer.
+    /// Holes read back as zeros. This is [`BlobClient::read_bytes`] plus one
+    /// flatten; segment-at-a-time consumers should prefer the slice API.
+    pub fn read(
+        &self,
+        blob: BlobId,
+        version: Option<Version>,
+        offset: u64,
+        len: u64,
+    ) -> Result<Vec<u8>> {
+        Ok(self.read_bytes(blob, version, offset, len)?.to_vec())
     }
 
     /// Reads an entire snapshot (`None` means the latest published one).
@@ -332,13 +405,13 @@ impl BlobClient {
         }
     }
 
-    fn mutate(&self, blob: BlobId, kind: WriteKind, data: &[u8]) -> Result<Version> {
+    fn mutate(&self, blob: BlobId, kind: WriteKind, data: Bytes) -> Result<Version> {
         if data.is_empty() {
             return Err(BlobError::EmptyWrite);
         }
         let config = self.version_manager.blob_config(blob)?;
         let ticket = self.version_manager.assign_ticket(blob, kind)?;
-        match self.perform_write(blob, &config, &ticket, data) {
+        match self.perform_write(blob, &config, &ticket, &data) {
             Ok(meta_nodes) => {
                 self.version_manager.complete_write(blob, ticket.version)?;
                 self.stats
@@ -374,7 +447,7 @@ impl BlobClient {
         blob: BlobId,
         config: &BlobConfig,
         ticket: &WriteTicket,
-        data: &[u8],
+        data: &Bytes,
     ) -> Result<usize> {
         let chunk_size = ticket.chunk_size;
         let write_range = ByteRange::new(ticket.offset, data.len() as u64);
@@ -471,15 +544,20 @@ impl BlobClient {
         Ok(node_count)
     }
 
-    /// Assembles the payload of one touched chunk slot, merging boundary
-    /// bytes from the predecessor snapshot where the write is not chunk
-    /// aligned.
+    /// Assembles the payload of one touched chunk slot.
+    ///
+    /// Fast path: a slot fully covered by the caller's buffer ships as a
+    /// reference-counted sub-slice of it — no allocation, no memcpy
+    /// ([`ClientStats::payload_bytes_copied`] stays at zero). Only boundary
+    /// slots of unaligned writes assemble a fresh buffer, merging the
+    /// predecessor snapshot's bytes with at most two range copies (the
+    /// prefix and suffix around the written range).
     fn slot_payload(
         &self,
         blob: BlobId,
         config: &BlobConfig,
         ticket: &WriteTicket,
-        data: &[u8],
+        data: &Bytes,
         slot: &ChunkSlot,
         known_size: u64,
     ) -> Result<Bytes> {
@@ -488,8 +566,16 @@ impl BlobClient {
         let predecessor_size = ticket.chain.predecessor_size();
         let slot_range = slot.range();
         let payload_len = chunk_size.min(known_size - slot_range.offset);
-        let mut buf = vec![0u8; payload_len as usize];
         let valid = ByteRange::new(slot_range.offset, payload_len);
+
+        // Zero-copy fast path: the write covers the whole slot payload.
+        if valid.offset >= write_range.offset && valid.end() <= write_range.end() {
+            let src = (valid.offset - write_range.offset) as usize;
+            return Ok(data.slice(src..src + payload_len as usize));
+        }
+
+        let mut buf = BytesMut::zeroed(payload_len as usize);
+        let mut copied = 0u64;
 
         // Bytes coming from this write.
         if let Some(from_write) = valid.intersect(&write_range) {
@@ -497,26 +583,44 @@ impl BlobClient {
             let dst = (from_write.offset - valid.offset) as usize;
             let n = from_write.len as usize;
             buf[dst..dst + n].copy_from_slice(&data[src..src + n]);
+            copied += from_write.len;
         }
-        // Boundary bytes preserved from the predecessor snapshot (which
-        // may include concurrent writers whose versions precede ours).
-        if slot_range.offset < write_range.offset || valid.end() > write_range.end() {
-            let old_range = ByteRange::new(
-                valid.offset,
-                valid.len.min(predecessor_size.saturating_sub(valid.offset)),
-            );
-            if !old_range.is_empty() {
-                let old =
-                    self.read_reference_range(blob, &ticket.chain, old_range, &config.meta_retry)?;
-                for (i, byte) in old.iter().enumerate() {
-                    let pos = old_range.offset + i as u64;
-                    if !write_range.contains(pos) {
-                        buf[(pos - valid.offset) as usize] = *byte;
-                    }
+
+        // Boundary bytes preserved from the predecessor snapshot (which may
+        // include concurrent writers whose versions precede ours): the slice
+        // of `valid` before the write range (prefix) and after it (suffix),
+        // both clamped to the predecessor's extent. One reference read
+        // covers their hull — they live in the same chunk — and each lands
+        // in the payload with a single range copy.
+        let pred_end = predecessor_size.clamp(valid.offset, valid.end());
+        let prefix = ByteRange::new(
+            valid.offset,
+            write_range
+                .offset
+                .clamp(valid.offset, pred_end)
+                .saturating_sub(valid.offset),
+        );
+        let suffix_start = write_range.end().clamp(valid.offset, valid.end());
+        let suffix = ByteRange::new(suffix_start, pred_end.saturating_sub(suffix_start));
+        if !prefix.is_empty() || !suffix.is_empty() {
+            let old_range = prefix.hull(&suffix);
+            let old =
+                self.read_reference_range(blob, &ticket.chain, old_range, &config.meta_retry)?;
+            for part in [prefix, suffix] {
+                if part.is_empty() {
+                    continue;
                 }
+                let src = (part.offset - old_range.offset) as usize;
+                let dst = (part.offset - valid.offset) as usize;
+                let n = part.len as usize;
+                buf[dst..dst + n].copy_from_slice(&old[src..src + n]);
+                copied += part.len;
             }
         }
-        Ok(Bytes::from(buf))
+        self.stats
+            .payload_bytes_copied
+            .fetch_add(copied, Ordering::Relaxed);
+        Ok(buf.freeze())
     }
 
     /// Reads a range as it appears in a writer's *predecessor* snapshot,
@@ -603,7 +707,13 @@ impl BlobClient {
     /// Submits the store of one chunk (and its replicas) to the transfer
     /// scheduler, tagged with its primary provider so placement sees the
     /// in-flight load. Falls back to other live providers when an assigned
-    /// one fails mid-write.
+    /// one fails mid-write. Stored chunks are written through to the chunk
+    /// cache so reading your own writes never costs a data round-trip; for
+    /// fast-path payloads (zero-copy views of the caller's buffer) the
+    /// cache compacts the view on insert — one chunk-bounded memcpy, on the
+    /// pool worker, counted in `ChunkCacheStats::bytes_compacted` — so its
+    /// budget bounds real memory. With the cache off (the default) the
+    /// write path stays copy-free end to end.
     fn submit_store(
         &self,
         blob: BlobId,
@@ -613,6 +723,7 @@ impl BlobClient {
         replicas: Vec<ProviderId>,
     ) -> Completion<Result<WrittenChunk>> {
         let service = Arc::clone(&self.chunks);
+        let cache = self.chunk_cache.clone();
         let primary = replicas.first().copied();
         self.transfers.submit_for(primary, move || {
             let chunk = ChunkId {
@@ -621,6 +732,9 @@ impl BlobClient {
                 slot,
             };
             let providers = store_replicas(service.as_ref(), chunk, &data, &replicas)?;
+            if let Some(cache) = &cache {
+                cache.insert(chunk, data.clone());
+            }
             Ok(WrittenChunk {
                 slot,
                 chunk,
@@ -658,26 +772,56 @@ impl BlobClient {
 
     /// Fetches one chunk from any provider holding a replica (inline, used
     /// by the boundary-merge path which reads a handful of chunks at most).
+    /// Consults the chunk cache first; immutability makes a hit correct
+    /// regardless of how old the entry is.
     fn fetch_chunk(&self, leaf: &LeafNode) -> Result<Bytes> {
+        if let Some(cache) = &self.chunk_cache {
+            if let Some(data) = cache.get(&leaf.chunk) {
+                self.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(data);
+            }
+            self.stats.cache_misses.fetch_add(1, Ordering::Relaxed);
+        }
         let start: usize = self.rng.lock().gen();
         let data = fetch_chunk_replica(self.chunks.as_ref(), leaf, start)?;
         self.stats.chunks_read.fetch_add(1, Ordering::Relaxed);
+        if let Some(cache) = &self.chunk_cache {
+            cache.insert(leaf.chunk, data.clone());
+        }
         Ok(data)
     }
 
     /// Submits the fetch of one chunk to the transfer scheduler, tagged with
     /// the replica the rotated probe order tries first.
+    ///
+    /// The chunk cache is consulted *before* anything reaches the scheduler:
+    /// a hit returns an already-fulfilled completion holding the cached
+    /// [`Bytes`] itself — no round-trip, no queueing, no copy. Misses fetch
+    /// on a pool worker and fill the cache on the way back.
     fn submit_fetch(
         &self,
         slot_range: ByteRange,
         leaf: LeafNode,
         start: usize,
     ) -> Completion<Result<(ByteRange, LeafNode, Bytes)>> {
+        if let Some(cache) = &self.chunk_cache {
+            if let Some(data) = cache.get(&leaf.chunk) {
+                self.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
+                return Completion::ready(Ok((slot_range, leaf, data)));
+            }
+            self.stats.cache_misses.fetch_add(1, Ordering::Relaxed);
+        }
         let service = Arc::clone(&self.chunks);
+        let cache = self.chunk_cache.clone();
+        let stats = Arc::clone(&self.stats);
         let tagged =
             (!leaf.providers.is_empty()).then(|| leaf.providers[start % leaf.providers.len()]);
         self.transfers.submit_for(tagged, move || {
             let data = fetch_chunk_replica(service.as_ref(), &leaf, start)?;
+            stats.chunks_read.fetch_add(1, Ordering::Relaxed);
+            if let Some(cache) = &cache {
+                cache.insert(leaf.chunk, data.clone());
+            }
             Ok((slot_range, leaf, data))
         })
     }
@@ -778,9 +922,8 @@ impl BlobClient {
         if let Some(err) = first_err {
             return Err(err);
         }
-        self.stats
-            .chunks_read
-            .fetch_add(out.len() as u64, Ordering::Relaxed);
+        // `chunks_read` is accounted by the fetch tasks themselves: cache
+        // hits joined here never touched a provider and must not count.
         Ok(out)
     }
 }
@@ -946,7 +1089,7 @@ mod tests {
         let cluster = cluster();
         let client = cluster.client();
         let blob = client.create_blob(BlobConfig::new(CS, 1).unwrap()).unwrap();
-        client.append(blob, &pattern(CS as usize, 3)).unwrap();
+        client.append(blob, pattern(CS as usize, 3)).unwrap();
         // Leave a two-chunk hole before the new data.
         let tail = pattern(CS as usize, 4);
         client.write(blob, 3 * CS, &tail).unwrap();
@@ -975,7 +1118,7 @@ mod tests {
         let cluster = cluster();
         let client = cluster.client();
         let blob = client.create_blob(BlobConfig::new(CS, 1).unwrap()).unwrap();
-        client.append(blob, &pattern(4 * CS as usize, 6)).unwrap();
+        client.append(blob, pattern(4 * CS as usize, 6)).unwrap();
         // Fail every provider: reads must fail, not return garbage.
         for i in 0..4 {
             cluster.fail_provider(ProviderId(i)).unwrap();
@@ -1001,13 +1144,13 @@ mod tests {
         let cluster = cluster();
         let client = cluster.client();
         let blob = client.create_blob(BlobConfig::new(CS, 1).unwrap()).unwrap();
-        client.append(blob, &pattern(CS as usize, 8)).unwrap();
+        client.append(blob, pattern(CS as usize, 8)).unwrap();
 
         // Fail every provider: the next write cannot store chunks.
         for i in 0..4 {
             cluster.fail_provider(ProviderId(i)).unwrap();
         }
-        let err = client.append(blob, &pattern(CS as usize, 9)).unwrap_err();
+        let err = client.append(blob, pattern(CS as usize, 9)).unwrap_err();
         assert!(matches!(err, BlobError::InsufficientProviders { .. }));
         assert_eq!(client.stats().failed_writes, 1);
 
@@ -1048,7 +1191,7 @@ mod tests {
         let cluster = cluster();
         let client = cluster.client();
         let blob = client.create_blob(BlobConfig::new(CS, 1).unwrap()).unwrap();
-        client.append(blob, &pattern(100, 1)).unwrap();
+        client.append(blob, pattern(100, 1)).unwrap();
         assert!(matches!(
             client.read(blob, None, 50, 100),
             Err(BlobError::ReadOutOfBounds { .. })
@@ -1061,7 +1204,7 @@ mod tests {
         let cluster = cluster();
         let client = cluster.client();
         let blob = client.create_blob(BlobConfig::new(CS, 2).unwrap()).unwrap();
-        client.append(blob, &pattern(4 * CS as usize, 3)).unwrap();
+        client.append(blob, pattern(4 * CS as usize, 3)).unwrap();
         let locations = client
             .chunk_locations(blob, None, ByteRange::new(0, 4 * CS))
             .unwrap();
@@ -1136,7 +1279,7 @@ mod tests {
         .unwrap();
         let setup = cluster.client();
         let blob = setup.create_blob(BlobConfig::new(CS, 1).unwrap()).unwrap();
-        setup.append(blob, &vec![1u8; 4 * CS as usize]).unwrap();
+        setup.append(blob, vec![1u8; 4 * CS as usize]).unwrap();
 
         std::thread::scope(|scope| {
             // Writers keep appending new snapshots.
@@ -1145,7 +1288,7 @@ mod tests {
                 scope.spawn(move || {
                     for i in 0..10 {
                         let fill = 10 + w * 10 + i;
-                        client.append(blob, &vec![fill as u8; CS as usize]).unwrap();
+                        client.append(blob, vec![fill as u8; CS as usize]).unwrap();
                     }
                 });
             }
@@ -1223,12 +1366,118 @@ mod tests {
     }
 
     #[test]
+    fn aligned_writes_are_genuinely_zero_copy() {
+        let cluster = cluster();
+        let client = cluster.client();
+        let blob = client.create_blob(BlobConfig::new(CS, 1).unwrap()).unwrap();
+        // Chunk-aligned, chunk-multiple append: every slot ships as a
+        // sub-slice of the caller's buffer.
+        client.append(blob, pattern(4 * CS as usize, 1)).unwrap();
+        assert_eq!(client.stats().payload_bytes_copied, 0);
+        // Chunk-aligned overwrite of one whole chunk: still zero.
+        client.write(blob, CS, pattern(CS as usize, 2)).unwrap();
+        assert_eq!(client.stats().payload_bytes_copied, 0);
+        // Unaligned write inside chunk 0: the whole boundary slot is
+        // assembled — 20 bytes from the write, 10 of prefix and 34 of
+        // suffix from the predecessor.
+        client.write(blob, 10, pattern(20, 3)).unwrap();
+        assert_eq!(client.stats().payload_bytes_copied, CS);
+    }
+
+    #[test]
+    fn chunk_cache_serves_re_reads_without_round_trips() {
+        let cluster = Cluster::new(ClusterConfig {
+            chunk_cache_bytes: 1 << 20,
+            ..ClusterConfig::small()
+        })
+        .unwrap();
+        let client = cluster.client();
+        let blob = client.create_blob(BlobConfig::new(CS, 1).unwrap()).unwrap();
+        let data = pattern(4 * CS as usize, 5);
+        client.append(blob, &data).unwrap();
+        // Write-through: the read is served entirely from the cache, the
+        // providers never see a get.
+        assert_eq!(client.read_all(blob, None).unwrap(), data);
+        let provider_reads: u64 = cluster.providers().iter().map(|p| p.stats().reads).sum();
+        assert_eq!(provider_reads, 0, "read-your-writes must not fetch");
+        let stats = client.stats();
+        assert_eq!(stats.cache_hits, 4);
+        assert_eq!(stats.cache_misses, 0);
+        assert_eq!(stats.chunks_read, 0);
+        assert_eq!(client.chunk_cache().unwrap().stats().entries, 4);
+        // Re-reads stay free, and the cached bytes are the right ones.
+        assert_eq!(client.read_all(blob, None).unwrap(), data);
+        assert_eq!(client.stats().cache_hits, 8);
+    }
+
+    #[test]
+    fn cached_chunks_outlive_provider_failures() {
+        // Immutability means a cached chunk is as good as a replica: once a
+        // client has read (or written) a chunk, it can keep serving it even
+        // when every provider holding it is gone.
+        let cluster = Cluster::new(ClusterConfig {
+            chunk_cache_bytes: 1 << 20,
+            ..ClusterConfig::small()
+        })
+        .unwrap();
+        let client = cluster.client();
+        let blob = client.create_blob(BlobConfig::new(CS, 1).unwrap()).unwrap();
+        let data = pattern(4 * CS as usize, 6);
+        client.append(blob, &data).unwrap();
+        for i in 0..4 {
+            cluster.fail_provider(ProviderId(i)).unwrap();
+        }
+        assert_eq!(client.read_all(blob, None).unwrap(), data);
+        // A cache-less client of the same cluster still fails, proving the
+        // cache (not a recovered provider) served the bytes.
+        let cold = cluster.client();
+        assert!(cold.chunk_cache().is_none() || cold.read_all(blob, None).is_err());
+    }
+
+    #[test]
+    fn read_bytes_exposes_segments_and_flattens_identically() {
+        let cluster = cluster();
+        let client = cluster.client();
+        let blob = client.create_blob(BlobConfig::new(CS, 1).unwrap()).unwrap();
+        client.append(blob, pattern(CS as usize + 17, 7)).unwrap();
+        // Leave a hole, then more data.
+        client.write(blob, 3 * CS, pattern(CS as usize, 8)).unwrap();
+        let slice = client.read_all_bytes(blob, None).unwrap();
+        assert_eq!(slice.len(), 4 * CS);
+        assert!(slice.hole_bytes() > 0, "the gap must stay a hole");
+        assert_eq!(slice.to_vec(), client.read_all(blob, None).unwrap());
+        // Segment iteration with zero-page-backed holes covers every byte.
+        let total: u64 = slice.iter_filled().map(|s| s.len() as u64).sum();
+        assert_eq!(total, slice.len());
+        let mut by_copy = vec![0u8; CS as usize];
+        slice.copy_range_to(CS, &mut by_copy);
+        assert_eq!(by_copy, client.read(blob, None, CS, CS).unwrap());
+    }
+
+    #[test]
+    fn bytes_read_counts_bytes_served_not_requested() {
+        let cluster = cluster();
+        let client = cluster.client();
+        let blob = client.create_blob(BlobConfig::new(CS, 1).unwrap()).unwrap();
+        client.append(blob, pattern(300, 9)).unwrap();
+        client.read(blob, None, 0, 300).unwrap();
+        assert_eq!(client.stats().bytes_read, 300);
+        // A read reaching exactly to the end of the snapshot serves what it
+        // asked for; anything past the size is rejected before it could
+        // inflate the counter.
+        client.read(blob, None, 280, 20).unwrap();
+        assert_eq!(client.stats().bytes_read, 320);
+        assert!(client.read(blob, None, 280, 21).is_err());
+        assert_eq!(client.stats().bytes_read, 320, "failed reads count nothing");
+    }
+
+    #[test]
     fn client_stats_reflect_activity() {
         let cluster = cluster();
         let client = cluster.client();
         let blob = client.create_blob(BlobConfig::new(CS, 1).unwrap()).unwrap();
-        client.append(blob, &pattern(2 * CS as usize, 1)).unwrap();
-        client.write(blob, 0, &pattern(CS as usize, 2)).unwrap();
+        client.append(blob, pattern(2 * CS as usize, 1)).unwrap();
+        client.write(blob, 0, pattern(CS as usize, 2)).unwrap();
         client.read_all(blob, None).unwrap();
         let stats = client.stats();
         assert_eq!(stats.appends, 1);

@@ -8,6 +8,7 @@
 //! interface); performance-at-scale questions are answered by the
 //! `blobseer-sim` crate instead.
 
+use crate::chunk_cache::ChunkCache;
 use crate::client::BlobClient;
 use crate::services::{ChunkService, InProcessChunkService, MetadataService};
 use crate::transfer::TransferPool;
@@ -144,13 +145,17 @@ impl Cluster {
 
     /// Creates a new client of this cluster. The client gets its own
     /// metadata cache when the cluster configuration enables client-side
-    /// caching.
+    /// caching, and its own chunk cache when `chunk_cache_bytes` is
+    /// non-zero (chunks are immutable, so per-client caches need no
+    /// coherence protocol between them).
     pub fn client(&self) -> BlobClient {
         let meta_store: Arc<dyn MetadataService> = if self.config.client_metadata_cache {
             Arc::new(CachedMetadataStore::new(Arc::clone(&self.metadata)))
         } else {
             Arc::clone(&self.metadata) as Arc<dyn MetadataService>
         };
+        let chunk_cache = (self.config.chunk_cache_bytes > 0)
+            .then(|| Arc::new(ChunkCache::new(self.config.chunk_cache_bytes)));
         BlobClient::new(
             ClientId(self.client_ids.next_id()),
             Arc::clone(&self.version_manager),
@@ -159,6 +164,7 @@ impl Cluster {
             Arc::clone(&self.transfers),
         )
         .with_pipeline_depth(self.config.pipeline_depth)
+        .with_chunk_cache(chunk_cache)
     }
 
     /// Injects a data-provider failure: the provider stops serving requests

@@ -34,12 +34,14 @@
 //! assert_eq!(client.read_all(blob, Some(v2)).unwrap(), b"hello, versioned world");
 //! ```
 
+pub mod chunk_cache;
 pub mod client;
 pub mod cluster;
 pub mod services;
 pub mod transfer;
 pub mod version_manager;
 
+pub use chunk_cache::{ChunkCache, ChunkCacheStats};
 pub use client::{BlobClient, ClientStats};
 pub use cluster::Cluster;
 pub use services::{ChunkService, InProcessChunkService, MetadataService};

@@ -97,10 +97,32 @@ impl Drop for InFlightGuard {
 /// still updates the in-flight gauge), its result is discarded.
 #[must_use = "a dropped completion silently discards the task's result"]
 pub struct Completion<T> {
-    rx: Receiver<T>,
+    inner: CompletionInner<T>,
+}
+
+enum CompletionInner<T> {
+    /// The result was available at submission time (chunk-cache hits): no
+    /// channel, no allocation — the hot hit path hands the value through.
+    Ready(T),
+    Pending(Receiver<T>),
 }
 
 impl<T> Completion<T> {
+    /// An already-fulfilled completion holding `value`. Used where a result
+    /// is available without any transfer at all (chunk-cache hits), so
+    /// submission-site code can treat cached and fetched chunks uniformly.
+    pub fn ready(value: T) -> Self {
+        Completion {
+            inner: CompletionInner::Ready(value),
+        }
+    }
+
+    fn pending(rx: Receiver<T>) -> Self {
+        Completion {
+            inner: CompletionInner::Pending(rx),
+        }
+    }
+
     /// Waits for the task to finish and returns its result.
     ///
     /// # Panics
@@ -108,7 +130,10 @@ impl<T> Completion<T> {
     /// If the task panicked on a worker (mirroring the `join().expect(...)`
     /// of the old per-operation scoped threads).
     pub fn join(self) -> T {
-        self.rx.recv().expect("a transfer task panicked")
+        match self.inner {
+            CompletionInner::Ready(value) => value,
+            CompletionInner::Pending(rx) => rx.recv().expect("a transfer task panicked"),
+        }
     }
 }
 
@@ -263,7 +288,7 @@ impl TransferPool {
                 let _ = tx.send(task());
             }
         }
-        Completion { rx }
+        Completion::pending(rx)
     }
 
     /// Runs every task (in parallel on the pool workers) and returns their

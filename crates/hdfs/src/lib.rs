@@ -17,7 +17,7 @@
 //! same in-memory stores the BlobSeer providers use, so the functional
 //! comparison in `blobseer-mapreduce` is apples-to-apples.
 
-use blobseer_types::{BlobError, ProviderId, Result};
+use blobseer_types::{BlobError, BlobSlice, ProviderId, Result};
 use bytes::Bytes;
 use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
@@ -208,8 +208,10 @@ impl HdfsLikeFs {
         )))
     }
 
-    /// Reads `len` bytes at `offset`.
-    pub fn read_at(&self, path: &str, offset: u64, len: u64) -> Result<Vec<u8>> {
+    /// Reads `len` bytes at `offset` as a scatter-gather [`BlobSlice`]: each
+    /// segment is a zero-copy sub-slice of the block a datanode holds, so
+    /// nothing is flattened on the storage side.
+    pub fn read_at_bytes(&self, path: &str, offset: u64, len: u64) -> Result<BlobSlice> {
         self.count_op();
         let blocks = {
             let files = self.files.lock();
@@ -225,7 +227,7 @@ impl HdfsLikeFs {
             }
             meta.blocks.clone()
         };
-        let mut out = vec![0u8; len as usize];
+        let mut segments = Vec::new();
         let mut block_start = 0u64;
         for block in &blocks {
             let block_end = block_start + block.len;
@@ -240,13 +242,17 @@ impl HdfsLikeFs {
                     .cloned()
                     .ok_or_else(|| BlobError::Internal(format!("lost block {}", block.id)))?;
                 let src = (want_start - block_start) as usize;
-                let dst = (want_start - offset) as usize;
                 let n = (want_end - want_start) as usize;
-                out[dst..dst + n].copy_from_slice(&data[src..src + n]);
+                segments.push((want_start - offset, data.slice(src..src + n)));
             }
             block_start = block_end;
         }
-        Ok(out)
+        Ok(BlobSlice::new(len, segments))
+    }
+
+    /// Reads `len` bytes at `offset` into one contiguous buffer.
+    pub fn read_at(&self, path: &str, offset: u64, len: u64) -> Result<Vec<u8>> {
+        Ok(self.read_at_bytes(path, offset, len)?.to_vec())
     }
 
     /// Reads a whole file.

@@ -216,6 +216,12 @@ impl MapReduceEngine {
 /// Executes one map task: reads the split, reassembles line records across
 /// the split boundary (a record belongs to the split its first byte falls
 /// in), and applies the mapper to every record.
+///
+/// The split payload arrives as a scatter-gather slice and is consumed
+/// segment by segment: records fully inside one segment are parsed in place
+/// on the chunk the storage layer handed back, and only the rare record
+/// spanning a segment boundary is stitched through a small carry buffer —
+/// the split is never flattened into one contiguous allocation.
 fn run_map_task(
     storage: &dyn JobStorage,
     mapper: &Mapper,
@@ -229,31 +235,65 @@ fn run_map_task(
     let read_start = split.range.offset.saturating_sub(1);
     let lookahead = 64 * 1024;
     let read_len = (split.range.end() - read_start + lookahead).min(file_size - read_start);
-    let data = storage.read_range(&split.path, ByteRange::new(read_start, read_len))?;
+    let data = storage.read_range_slice(&split.path, ByteRange::new(read_start, read_len))?;
 
-    let mut pos = 0usize;
-    if split.range.offset > 0 {
-        match data.iter().position(|&b| b == b'\n') {
-            Some(nl) => pos = nl + 1,
-            None => return Ok(Vec::new()),
-        }
-    }
+    // Records starting at or past `limit` belong to the next split.
+    let limit = split.range.end() - read_start;
     let mut pairs = Vec::new();
-    while pos < data.len() {
-        // Records starting at or past the split's end belong to the next split.
-        if read_start + pos as u64 >= split.range.end() {
-            break;
-        }
-        let line_end = data[pos..]
-            .iter()
-            .position(|&b| b == b'\n')
-            .map(|nl| pos + nl)
-            .unwrap_or(data.len());
-        let line = String::from_utf8_lossy(&data[pos..line_end]);
+    let mut skipping = split.range.offset > 0;
+    let mut carry: Vec<u8> = Vec::new();
+    let mut carry_start = 0u64;
+    let mut seg_start = 0u64;
+    let emit = |line: &[u8]| {
+        let line = String::from_utf8_lossy(line);
         if !line.is_empty() {
-            pairs.extend(mapper(&line));
+            mapper(&line)
+        } else {
+            Vec::new()
         }
-        pos = line_end + 1;
+    };
+    'segments: for seg in data.iter_filled() {
+        let mut pos = 0usize;
+        while pos < seg.len() {
+            let Some(nl) = seg[pos..].iter().position(|&b| b == b'\n') else {
+                // The record continues into the next segment (or is the
+                // unterminated tail): carry the fragment over.
+                if !skipping {
+                    if carry.is_empty() {
+                        carry_start = seg_start + pos as u64;
+                    }
+                    carry.extend_from_slice(&seg[pos..]);
+                }
+                break;
+            };
+            let line_end = pos + nl;
+            if skipping {
+                skipping = false;
+            } else {
+                let line_start = if carry.is_empty() {
+                    seg_start + pos as u64
+                } else {
+                    carry_start
+                };
+                if line_start >= limit {
+                    carry.clear();
+                    break 'segments;
+                }
+                if carry.is_empty() {
+                    pairs.extend(emit(&seg[pos..line_end]));
+                } else {
+                    carry.extend_from_slice(&seg[pos..line_end]);
+                    let stitched = std::mem::take(&mut carry);
+                    pairs.extend(emit(&stitched));
+                }
+            }
+            pos = line_end + 1;
+        }
+        seg_start += seg.len() as u64;
+    }
+    // The unterminated trailing record, if this split owns it.
+    if !skipping && !carry.is_empty() && carry_start < limit {
+        pairs.extend(emit(&carry));
     }
     Ok(pairs)
 }

@@ -3,7 +3,8 @@
 
 use blobseer_bsfs::Bsfs;
 use blobseer_hdfs::HdfsLikeFs;
-use blobseer_types::{ByteRange, ProviderId, Result};
+use blobseer_types::{BlobSlice, ByteRange, ProviderId, Result};
+use bytes::Bytes;
 use std::sync::Arc;
 
 /// One input split: a byte range of an input file plus the storage nodes
@@ -25,6 +26,17 @@ pub trait JobStorage: Send + Sync {
 
     /// Reads a byte range of a file.
     fn read_range(&self, path: &str, range: ByteRange) -> Result<Vec<u8>>;
+
+    /// Reads a byte range of a file as a scatter-gather [`BlobSlice`]. The
+    /// map-task record reader consumes the segments directly, so backends
+    /// that can serve zero-copy views of their stored chunks (both BSFS and
+    /// the HDFS-like baseline can) never flatten split payloads. The default
+    /// wraps [`JobStorage::read_range`] for backends without a slice path.
+    fn read_range_slice(&self, path: &str, range: ByteRange) -> Result<BlobSlice> {
+        Ok(BlobSlice::from_bytes(Bytes::from(
+            self.read_range(path, range)?,
+        )))
+    }
 
     /// Size of a file.
     fn file_size(&self, path: &str) -> Result<u64>;
@@ -76,6 +88,10 @@ impl JobStorage for BsfsStorage {
 
     fn read_range(&self, path: &str, range: ByteRange) -> Result<Vec<u8>> {
         self.fs.read_at(path, range.offset, range.len)
+    }
+
+    fn read_range_slice(&self, path: &str, range: ByteRange) -> Result<BlobSlice> {
+        self.fs.read_at_bytes(path, range.offset, range.len)
     }
 
     fn file_size(&self, path: &str) -> Result<u64> {
@@ -138,6 +154,10 @@ impl JobStorage for HdfsStorage {
 
     fn read_range(&self, path: &str, range: ByteRange) -> Result<Vec<u8>> {
         self.fs.read_at(path, range.offset, range.len)
+    }
+
+    fn read_range_slice(&self, path: &str, range: ByteRange) -> Result<BlobSlice> {
+        self.fs.read_at_bytes(path, range.offset, range.len)
     }
 
     fn file_size(&self, path: &str) -> Result<u64> {

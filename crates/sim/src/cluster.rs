@@ -80,7 +80,21 @@ pub struct SimulationResult {
     /// counted individually). Together with `meta_round_trips` this is the
     /// pipeline-occupancy measure: the pipelined schedule moves the same
     /// number of chunks as the phased one, in strictly less elapsed time.
+    /// Chunk-cache hits are *not* round-trips — they never touch the wire.
     pub data_round_trips: u64,
+    /// Client-side payload bytes memcpy'd during the measured phase. Writes
+    /// charge the assembly of boundary (not fully covered) chunk slots —
+    /// aligned writes charge nothing, mirroring the zero-copy fast path —
+    /// and every chunk actually fetched over the wire charges one receive
+    /// materialisation; chunk-cache hits hand back the already materialised
+    /// buffer and charge nothing.
+    pub bytes_copied: u64,
+    /// Chunk fetches served by a client's chunk cache (no round-trip, no
+    /// resource charged).
+    pub cache_hits: u64,
+    /// Chunk fetches that missed the cache and hit the providers. Zero when
+    /// `chunk_cache_bytes` is zero.
+    pub cache_misses: u64,
     /// Per-metadata-provider number of requests served (load distribution).
     pub meta_load: HashMap<MetaNodeId, u64>,
     /// Per-data-provider bytes received (write load distribution).
@@ -206,11 +220,15 @@ impl<'a> RecordingStore<'a> {
     }
 
     fn record(&self, per_node: HashMap<MetaNodeId, u64>) {
-        self.trips.lock().extend(
-            per_node
-                .into_iter()
-                .map(|(node, items)| MetaTrip { node, items }),
-        );
+        // Charge trips in node order: hash-map iteration order is seeded per
+        // process, and letting it leak into the charge order makes simulated
+        // timings (and the figures built from them) vary run to run.
+        let mut trips: Vec<MetaTrip> = per_node
+            .into_iter()
+            .map(|(node, items)| MetaTrip { node, items })
+            .collect();
+        trips.sort_by_key(|t| t.node);
+        self.trips.lock().extend(trips);
     }
 }
 
@@ -273,6 +291,63 @@ impl MetadataStore for RecordingStore<'_> {
     }
 }
 
+/// Byte-budgeted LRU bookkeeping of one simulated client's chunk cache.
+/// Mirrors `blobseer-core::chunk_cache::ChunkCache` minus the payloads —
+/// the simulator only needs identities and sizes to decide which fetches
+/// stay off the wire. The admission rule matches the real cache: entries
+/// larger than one shard's budget share are never cached, so the simulated
+/// figures cannot promise hits a real client would refuse to hold.
+struct SimChunkCache {
+    budget: u64,
+    /// Largest admissible entry (the real cache's per-shard budget).
+    entry_limit: u64,
+    bytes: u64,
+    tick: u64,
+    entries: HashMap<ChunkId, (u64, u64)>,
+    order: std::collections::BTreeMap<u64, ChunkId>,
+}
+
+impl SimChunkCache {
+    fn new(budget: u64) -> Self {
+        SimChunkCache {
+            budget,
+            entry_limit: budget.div_ceil(blobseer_core::chunk_cache::SHARDS as u64),
+            bytes: 0,
+            tick: 0,
+            entries: HashMap::new(),
+            order: std::collections::BTreeMap::new(),
+        }
+    }
+
+    /// Whether the chunk is cached; refreshes its LRU position when it is.
+    fn contains(&mut self, id: &ChunkId) -> bool {
+        let Some(&(len, tick)) = self.entries.get(id) else {
+            return false;
+        };
+        self.tick += 1;
+        self.order.remove(&tick);
+        self.order.insert(self.tick, *id);
+        self.entries.insert(*id, (len, self.tick));
+        true
+    }
+
+    fn insert(&mut self, id: ChunkId, len: u64) {
+        if len == 0 || len > self.entry_limit || self.contains(&id) {
+            return;
+        }
+        self.tick += 1;
+        self.entries.insert(id, (len, self.tick));
+        self.order.insert(self.tick, id);
+        self.bytes += len;
+        while self.bytes > self.budget {
+            let (&oldest, &victim) = self.order.iter().next().expect("non-empty while over");
+            self.order.remove(&oldest);
+            let (evicted, _) = self.entries.remove(&victim).expect("order and map agree");
+            self.bytes -= evicted;
+        }
+    }
+}
+
 /// The simulated BlobSeer deployment.
 pub struct SimulatedCluster {
     config: ClusterConfig,
@@ -289,6 +364,9 @@ pub struct SimulatedCluster {
     meta_nodes_created: u64,
     meta_round_trips: u64,
     data_round_trips: u64,
+    bytes_copied: u64,
+    cache_hits: u64,
+    cache_misses: u64,
 }
 
 impl SimulatedCluster {
@@ -326,6 +404,9 @@ impl SimulatedCluster {
             meta_nodes_created: 0,
             meta_round_trips: 0,
             data_round_trips: 0,
+            bytes_copied: 0,
+            cache_hits: 0,
+            cache_misses: 0,
             config,
         })
     }
@@ -445,6 +526,9 @@ impl SimulatedCluster {
         self.meta_nodes_created = 0;
         self.meta_round_trips = 0;
         self.data_round_trips = 0;
+        self.bytes_copied = 0;
+        self.cache_hits = 0;
+        self.cache_misses = 0;
 
         let blob = self.version_manager.create_blob(workload.blob_config)?;
         if workload.preload_bytes > 0 {
@@ -472,6 +556,11 @@ impl SimulatedCluster {
         let client_cache: Vec<Mutex<HashSet<NodeKey>>> = (0..workload.clients)
             .map(|_| Mutex::new(HashSet::new()))
             .collect();
+        // Per-client chunk caches, fresh per run (preloaded data is cold by
+        // definition). Disabled entirely when the budget is zero.
+        let chunk_caches: Vec<Mutex<SimChunkCache>> = (0..workload.clients)
+            .map(|_| Mutex::new(SimChunkCache::new(self.config.chunk_cache_bytes)))
+            .collect();
 
         // Event queue: (next ready time, client, next op index).
         let mut queue: BinaryHeap<Reverse<(SimTime, usize, usize)>> = BinaryHeap::new();
@@ -491,6 +580,7 @@ impl SimulatedCluster {
                 .config
                 .client_metadata_cache
                 .then(|| &client_cache[client]);
+            let chunk_cache = (self.config.chunk_cache_bytes > 0).then(|| &chunk_caches[client]);
             let record = self.simulate_op(
                 blob,
                 client,
@@ -500,6 +590,7 @@ impl SimulatedCluster {
                 &mut client_out[client],
                 &mut client_in[client],
                 cache,
+                chunk_cache,
             )?;
             let end = record.end;
             ops.push(record);
@@ -531,6 +622,9 @@ impl SimulatedCluster {
             meta_nodes_created: self.meta_nodes_created,
             meta_round_trips: self.meta_round_trips,
             data_round_trips: self.data_round_trips,
+            bytes_copied: self.bytes_copied,
+            cache_hits: self.cache_hits,
+            cache_misses: self.cache_misses,
             meta_load,
             provider_write_bytes,
         })
@@ -599,14 +693,30 @@ impl SimulatedCluster {
         client_out: &mut Resource,
         client_in: &mut Resource,
         cache: Option<&Mutex<HashSet<NodeKey>>>,
+        chunk_cache: Option<&Mutex<SimChunkCache>>,
     ) -> Result<OpRecord> {
         match op {
-            OpKind::Append { .. } | OpKind::Write { .. } => {
-                self.simulate_write(blob, client, now, op, write_tag, client_out, cache)
-            }
-            OpKind::Read { offset, len } => {
-                self.simulate_read(blob, client, now, offset, len, client_out, client_in, cache)
-            }
+            OpKind::Append { .. } | OpKind::Write { .. } => self.simulate_write(
+                blob,
+                client,
+                now,
+                op,
+                write_tag,
+                client_out,
+                cache,
+                chunk_cache,
+            ),
+            OpKind::Read { offset, len } => self.simulate_read(
+                blob,
+                client,
+                now,
+                offset,
+                len,
+                client_out,
+                client_in,
+                cache,
+                chunk_cache,
+            ),
         }
     }
 
@@ -620,6 +730,7 @@ impl SimulatedCluster {
         write_tag: u64,
         client_out: &mut Resource,
         cache: Option<&Mutex<HashSet<NodeKey>>>,
+        chunk_cache: Option<&Mutex<SimChunkCache>>,
     ) -> Result<OpRecord> {
         let (kind, len) = match op {
             OpKind::Append { len } => (WriteKind::Append { len }, len),
@@ -671,11 +782,20 @@ impl SimulatedCluster {
                 });
             }
         };
+        let write_range = ByteRange::new(ticket.offset, len);
         let mut t_chunks = t_ticket;
         let mut chunks = Vec::with_capacity(slots.len());
         for (slot, providers) in slots.iter().zip(&placement) {
+            let slot_start = slot.index * chunk_size;
             let end = ((slot.index + 1) * chunk_size).min(ticket.new_size);
-            let chunk_len = end - slot.index * chunk_size;
+            let chunk_len = end - slot_start;
+            // Zero-copy write fast path: a slot fully covered by the write
+            // ships as a sub-slice of the caller's buffer; only boundary
+            // slots pay a client-side assembly copy.
+            let covered = write_range.offset <= slot_start && write_range.end() >= end;
+            if !covered {
+                self.bytes_copied += chunk_len;
+            }
             for &p in providers {
                 self.data_round_trips += 1;
                 let sent = client_out.schedule(t_ticket, chunk_len);
@@ -683,13 +803,28 @@ impl SimulatedCluster {
                 let done = self.provider_in[p.0 as usize].schedule(sent, charged);
                 t_chunks = t_chunks.max(done);
             }
+            let chunk = ChunkId {
+                blob,
+                write_tag,
+                slot: slot.index,
+            };
+            // Write-through: the writer keeps the payload it just pushed,
+            // so re-reading your own writes never fetches. A covered slot
+            // of a multi-slot write is a strict sub-view of the caller's
+            // buffer, which the real cache compacts on insert so its
+            // budget bounds real memory — charge that copy. Boundary slots
+            // (assembled into owned buffers) and single-slot writes (the
+            // payload *is* the whole buffer) insert without one.
+            if let Some(chunk_cache) = chunk_cache {
+                let mut chunk_cache = chunk_cache.lock();
+                if covered && slots.len() > 1 && chunk_len <= chunk_cache.entry_limit {
+                    self.bytes_copied += chunk_len;
+                }
+                chunk_cache.insert(chunk, chunk_len);
+            }
             chunks.push(WrittenChunk {
                 slot: slot.index,
-                chunk: ChunkId {
-                    blob,
-                    write_tag,
-                    slot: slot.index,
-                },
+                chunk,
                 providers: providers.clone(),
                 len: chunk_len,
             });
@@ -757,6 +892,7 @@ impl SimulatedCluster {
         client_out: &mut Resource,
         client_in: &mut Resource,
         cache: Option<&Mutex<HashSet<NodeKey>>>,
+        chunk_cache: Option<&Mutex<SimChunkCache>>,
     ) -> Result<OpRecord> {
         // Phase 1: ask the version manager for the latest snapshot.
         let t_snapshot = self.vm_delay(now);
@@ -813,8 +949,14 @@ impl SimulatedCluster {
                         .and_then(|node| trip_done.get(node))
                         .copied()
                         .unwrap_or(t_snapshot);
-                    let (done, wanted, found) =
-                        self.schedule_fetch(start_at, mapping.slot_range, &leaf, range, client_in);
+                    let (done, wanted, found) = self.schedule_fetch(
+                        start_at,
+                        mapping.slot_range,
+                        &leaf,
+                        range,
+                        client_in,
+                        chunk_cache,
+                    );
                     t_data = t_data.max(done);
                     fetched_bytes += wanted;
                     all_found &= found;
@@ -827,7 +969,7 @@ impl SimulatedCluster {
         // Phased: every fetch starts only after the full descent finished.
         for (slot_range, leaf) in deferred {
             let (done, wanted, found) =
-                self.schedule_fetch(t_meta, slot_range, &leaf, range, client_in);
+                self.schedule_fetch(t_meta, slot_range, &leaf, range, client_in, chunk_cache);
             t_data = t_data.max(done);
             fetched_bytes += wanted;
             all_found &= found;
@@ -844,8 +986,15 @@ impl SimulatedCluster {
 
     /// Schedules one chunk fetch starting at `start_at`: provider uplink,
     /// then client downlink. Returns the completion time, the payload bytes
-    /// the read range actually wanted from the chunk, and whether a live
-    /// replica existed at all.
+    /// the read range actually wanted from the chunk, and whether the chunk
+    /// was reachable at all.
+    ///
+    /// The client's chunk cache is consulted first: a hit costs no
+    /// round-trip, charges no resource and — because the cached entry is the
+    /// already materialised buffer — serves the chunk even when every
+    /// provider holding it has failed. Misses fetch over the wire, charge
+    /// one receive materialisation to `bytes_copied` and fill the cache.
+    #[allow(clippy::too_many_arguments)]
     fn schedule_fetch(
         &mut self,
         start_at: SimTime,
@@ -853,7 +1002,22 @@ impl SimulatedCluster {
         leaf: &blobseer_meta::LeafNode,
         range: ByteRange,
         client_in: &mut Resource,
+        chunk_cache: Option<&Mutex<SimChunkCache>>,
     ) -> (SimTime, u64, bool) {
+        let wanted = slot_range
+            .intersect(&range)
+            .map(|r| r.len.min(leaf.len))
+            .unwrap_or(0);
+        if wanted == 0 {
+            return (start_at, 0, true);
+        }
+        if let Some(chunk_cache) = chunk_cache {
+            if chunk_cache.lock().contains(&leaf.chunk) {
+                self.cache_hits += 1;
+                return (start_at, wanted, true);
+            }
+            self.cache_misses += 1;
+        }
         let Some(provider) = leaf
             .providers
             .iter()
@@ -862,17 +1026,14 @@ impl SimulatedCluster {
         else {
             return (start_at, 0, false);
         };
-        let wanted = slot_range
-            .intersect(&range)
-            .map(|r| r.len.min(leaf.len))
-            .unwrap_or(0);
-        if wanted == 0 {
-            return (start_at, 0, true);
-        }
         self.data_round_trips += 1;
+        self.bytes_copied += leaf.len;
         let charged = (leaf.len as f64 * self.slowdown(provider)) as u64;
         let served = self.provider_out[provider.0 as usize].schedule(start_at, charged);
         let done = client_in.schedule(served, leaf.len);
+        if let Some(chunk_cache) = chunk_cache {
+            chunk_cache.lock().insert(leaf.chunk, leaf.len);
+        }
         (done, wanted, true)
     }
 
@@ -975,6 +1136,7 @@ pub fn check_workload(workload: &Workload) -> Result<()> {
 mod tests {
     use super::*;
     use crate::workload::WorkloadBuilder;
+    use blobseer_types::BlobConfig;
 
     fn small_workload(clients: usize) -> Workload {
         WorkloadBuilder::new(clients)
@@ -1222,6 +1384,91 @@ mod tests {
         let result = with_depth(16, 4, 4).run(&workload).unwrap();
         assert_eq!(result.failed_ops, 0);
         assert_eq!(result.data_round_trips, 4 * 2 * 8 * 2);
+    }
+
+    fn with_cache(cache_bytes: u64) -> SimulatedCluster {
+        SimulatedCluster::new(ClusterConfig {
+            data_providers: 16,
+            metadata_providers: 4,
+            chunk_cache_bytes: cache_bytes,
+            ..ClusterConfig::default()
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn second_read_of_a_published_version_is_round_trip_free() {
+        // One client scans the same published 8 MiB region twice. With the
+        // chunk cache the second scan performs ZERO data round-trips: all 8
+        // chunks of the first scan are still cached (immutable, so no
+        // invalidation could have removed them).
+        let workload = WorkloadBuilder::new(1)
+            .ops_per_client(2)
+            .op_size(8 << 20)
+            .chunk_size(1 << 20)
+            .rescan_reads();
+        let cold = with_cache(0).run(&workload).unwrap();
+        let cached = with_cache(64 << 20).run(&workload).unwrap();
+        assert_eq!(cold.failed_ops, 0);
+        assert_eq!(cached.failed_ops, 0);
+        assert_eq!(cold.total_bytes, cached.total_bytes);
+        assert_eq!(cold.data_round_trips, 16, "two full scans over the wire");
+        assert_eq!(
+            cached.data_round_trips, 8,
+            "the second scan must fetch nothing"
+        );
+        assert_eq!(cached.cache_misses, 8);
+        assert_eq!(cached.cache_hits, 8);
+        assert_eq!(cold.cache_hits, 0);
+        assert!(cached.bytes_copied < cold.bytes_copied);
+        assert!(
+            cached.makespan_ns < cold.makespan_ns,
+            "hits cost no wire time ({} vs {} ns)",
+            cached.makespan_ns,
+            cold.makespan_ns
+        );
+    }
+
+    #[test]
+    fn write_through_makes_read_your_writes_free() {
+        // A client appends 8 MiB and immediately reads it back: the read is
+        // served entirely from the write-through cache.
+        let len = 8u64 << 20;
+        let workload = Workload {
+            clients: 1,
+            blob_config: BlobConfig {
+                chunk_size: 1 << 20,
+                ..BlobConfig::default()
+            },
+            preload_bytes: 0,
+            ops: vec![vec![
+                OpKind::Append { len },
+                OpKind::Read { offset: 0, len },
+            ]],
+        };
+        let result = with_cache(64 << 20).run(&workload).unwrap();
+        assert_eq!(result.failed_ops, 0);
+        assert_eq!(result.data_round_trips, 8, "only the append's pushes");
+        assert_eq!(result.cache_hits, 8);
+        assert_eq!(result.cache_misses, 0);
+    }
+
+    #[test]
+    fn aligned_writes_copy_nothing_in_the_sim_model() {
+        // Chunk-aligned appends take the zero-copy fast path; the receive
+        // copies of reads are the only bytes_copied a read-free run charges.
+        let aligned = with_cache(0).run(&small_workload(4)).unwrap();
+        assert_eq!(aligned.bytes_copied, 0, "aligned appends assemble nothing");
+        // Unaligned appends (op size not a chunk multiple) charge boundary
+        // slots from the second op on: the first append truncates its last
+        // slot (still fully covered), the next one starts mid-chunk.
+        let unaligned = WorkloadBuilder::new(1)
+            .ops_per_client(2)
+            .op_size((1 << 20) + 17)
+            .chunk_size(1 << 20)
+            .concurrent_appends();
+        let result = with_cache(0).run(&unaligned).unwrap();
+        assert!(result.bytes_copied > 0);
     }
 
     #[test]

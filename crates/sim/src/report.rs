@@ -1,6 +1,8 @@
 //! Helpers for turning simulation results into the tables and series the
 //! benchmark harness prints.
 
+use crate::cluster::SimulationResult;
+
 /// One point of a parameter sweep: an x value (number of clients, number of
 /// providers, operation size, …) and the metrics measured there.
 #[derive(Debug, Clone, PartialEq)]
@@ -19,6 +21,14 @@ pub struct SeriesPoint {
     /// series. With `meta_round_trips` this shows pipeline occupancy: the
     /// pipelined schedule moves the same chunks in less elapsed time.
     pub data_round_trips: u64,
+    /// Client-side payload bytes memcpy'd (boundary-slot assembly plus one
+    /// receive materialisation per chunk actually fetched over the wire);
+    /// zero for analytic series. Chunk-cache hits copy nothing.
+    pub bytes_copied: u64,
+    /// Chunk fetches served by the client chunk cache.
+    pub cache_hits: u64,
+    /// Chunk fetches that missed the cache and hit the providers.
+    pub cache_misses: u64,
 }
 
 /// A named series of sweep points (one curve of a figure).
@@ -57,7 +67,9 @@ impl SweepSeries {
         self.push_measured(x, throughput_mibps, latency_ms, meta_round_trips, 0);
     }
 
-    /// Appends a fully measured point, both planes' round-trips included.
+    /// Appends a fully measured point, both planes' round-trips included
+    /// (cache and copy counters zero; prefer [`SweepSeries::push_sim`] when
+    /// a [`SimulationResult`] is at hand).
     pub fn push_measured(
         &mut self,
         x: f64,
@@ -72,6 +84,23 @@ impl SweepSeries {
             latency_ms,
             meta_round_trips,
             data_round_trips,
+            bytes_copied: 0,
+            cache_hits: 0,
+            cache_misses: 0,
+        });
+    }
+
+    /// Appends every metric of one simulation run as a point at `x`.
+    pub fn push_sim(&mut self, x: f64, result: &SimulationResult) {
+        self.points.push(SeriesPoint {
+            x,
+            throughput_mibps: result.aggregated_mibps(),
+            latency_ms: result.mean_latency_ms(),
+            meta_round_trips: result.meta_round_trips,
+            data_round_trips: result.data_round_trips,
+            bytes_copied: result.bytes_copied,
+            cache_hits: result.cache_hits,
+            cache_misses: result.cache_misses,
         });
     }
 

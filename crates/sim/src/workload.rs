@@ -260,6 +260,33 @@ impl WorkloadBuilder {
         }
     }
 
+    /// Every client repeatedly re-reads the same pre-loaded, published
+    /// region — the MapReduce-input pattern, where many workers scan one
+    /// shared input over and over across job stages. Immutable snapshots
+    /// make every scan after the first infinitely cacheable: with a client
+    /// chunk cache the re-scans cost zero data round-trips, which is
+    /// exactly what the cold-versus-cached figure measures.
+    #[must_use]
+    pub fn rescan_reads(self) -> Workload {
+        let ops = (0..self.clients)
+            .map(|_| {
+                vec![
+                    OpKind::Read {
+                        offset: 0,
+                        len: self.op_size,
+                    };
+                    self.ops_per_client
+                ]
+            })
+            .collect();
+        Workload {
+            clients: self.clients,
+            blob_config: self.blob_config(),
+            preload_bytes: self.op_size,
+            ops,
+        }
+    }
+
     /// Clients read and write random chunk-aligned regions of a pre-loaded
     /// blob (the fine-grain random access pattern of the supernovae and
     /// desktop-grid scenarios). `write_fraction` is the probability that an

@@ -1,0 +1,259 @@
+//! Scatter-gather read buffers: [`BlobSlice`], a rope of [`Bytes`] segments.
+//!
+//! The read path fetches chunks as immutable, reference-counted [`Bytes`];
+//! flattening them into one contiguous `Vec<u8>` costs an allocation and a
+//! full memcpy of the payload. A [`BlobSlice`] keeps the fetched segments as
+//! they are — each one a zero-copy sub-slice of the chunk the providers
+//! handed back — and serves holes (never-written regions, which read back as
+//! zeros) from one process-wide static zero page instead of materialising
+//! them. Consumers that can work segment-at-a-time (streaming readers, the
+//! MapReduce record parser, block servers) never pay the flatten; the
+//! contiguous `Vec<u8>` API is a single [`BlobSlice::to_vec`] away for those
+//! that cannot.
+
+use crate::range::ByteRange;
+use bytes::Bytes;
+use std::sync::OnceLock;
+
+/// Size of the shared static zero page holes are served from. Holes larger
+/// than this yield several zero-page-backed segments (still zero-copy: every
+/// one is a reference-counted view of the same page).
+pub const ZERO_PAGE_BYTES: usize = 64 * 1024;
+
+static ZERO_PAGE: OnceLock<Bytes> = OnceLock::new();
+
+/// A zero-copy handle on the process-wide page of zeros backing holes.
+#[must_use]
+pub fn zero_page() -> Bytes {
+    ZERO_PAGE
+        .get_or_init(|| Bytes::from(vec![0u8; ZERO_PAGE_BYTES]))
+        .clone()
+}
+
+/// The result of a scatter-gather read: `len` logical bytes covered by
+/// sorted, non-overlapping data segments; every byte not covered by a
+/// segment is a hole and reads back as zero.
+///
+/// Data segments are zero-copy sub-slices of the chunks the providers (or
+/// the client chunk cache) handed back — constructing, cloning and slicing a
+/// `BlobSlice` never copies payload bytes.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BlobSlice {
+    len: u64,
+    /// `(offset within the slice, data)`, sorted by offset, non-overlapping,
+    /// never empty, never extending past `len`.
+    segments: Vec<(u64, Bytes)>,
+}
+
+impl BlobSlice {
+    /// The empty slice.
+    #[must_use]
+    pub fn empty() -> Self {
+        BlobSlice::default()
+    }
+
+    /// Builds a slice of `len` logical bytes from `(offset, data)` segments
+    /// (in any order; empty segments are dropped). Segments must be disjoint
+    /// and must not extend past `len`.
+    #[must_use]
+    pub fn new(len: u64, mut segments: Vec<(u64, Bytes)>) -> Self {
+        segments.retain(|(_, data)| !data.is_empty());
+        segments.sort_by_key(|(offset, _)| *offset);
+        if cfg!(debug_assertions) {
+            let mut cursor = 0u64;
+            for (offset, data) in &segments {
+                debug_assert!(*offset >= cursor, "segments overlap");
+                cursor = offset + data.len() as u64;
+            }
+            debug_assert!(cursor <= len, "segments extend past the slice");
+        }
+        BlobSlice { len, segments }
+    }
+
+    /// Wraps one contiguous buffer as a fully covered slice (zero-copy).
+    #[must_use]
+    pub fn from_bytes(data: Bytes) -> Self {
+        let len = data.len() as u64;
+        let segments = if data.is_empty() {
+            Vec::new()
+        } else {
+            vec![(0, data)]
+        };
+        BlobSlice { len, segments }
+    }
+
+    /// Logical length in bytes (data segments plus holes).
+    #[must_use]
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// Whether the slice covers zero logical bytes.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The data segments as `(offset within the slice, data)`, sorted by
+    /// offset. Holes between (and around) them read back as zeros.
+    #[must_use]
+    pub fn segments(&self) -> &[(u64, Bytes)] {
+        &self.segments
+    }
+
+    /// Logical bytes not covered by any data segment.
+    #[must_use]
+    pub fn hole_bytes(&self) -> u64 {
+        let data: u64 = self.segments.iter().map(|(_, d)| d.len() as u64).sum();
+        self.len - data
+    }
+
+    /// Iterates contiguous segments covering the *whole* slice in order:
+    /// data segments as-is, holes as reference-counted views of the shared
+    /// static zero page (chunked at [`ZERO_PAGE_BYTES`]). Concatenating the
+    /// yielded buffers reproduces [`BlobSlice::to_vec`] exactly, without a
+    /// single payload copy on the producer side.
+    pub fn iter_filled(&self) -> FilledSegments<'_> {
+        FilledSegments {
+            slice: self,
+            next_segment: 0,
+            cursor: 0,
+        }
+    }
+
+    /// Copies `out.len()` bytes starting at logical offset `offset` into
+    /// `out`, zero-filling holes. Returns the number of bytes copied (short
+    /// only when the slice ends before `out` is full).
+    pub fn copy_range_to(&self, offset: u64, out: &mut [u8]) -> usize {
+        let want = ByteRange::new(
+            offset,
+            (out.len() as u64).min(self.len.saturating_sub(offset)),
+        );
+        if want.is_empty() {
+            return 0;
+        }
+        out[..want.len as usize].fill(0);
+        for (seg_offset, data) in &self.segments {
+            let seg = ByteRange::new(*seg_offset, data.len() as u64);
+            let Some(copy) = seg.intersect(&want) else {
+                if seg.offset >= want.end() {
+                    break;
+                }
+                continue;
+            };
+            let src = (copy.offset - seg.offset) as usize;
+            let dst = (copy.offset - want.offset) as usize;
+            let n = copy.len as usize;
+            out[dst..dst + n].copy_from_slice(&data[src..src + n]);
+        }
+        want.len as usize
+    }
+
+    /// Flattens the slice into one contiguous buffer (the only point where
+    /// the payload is copied; segment-at-a-time consumers never call this).
+    #[must_use]
+    pub fn to_vec(&self) -> Vec<u8> {
+        let mut out = vec![0u8; self.len as usize];
+        for (offset, data) in &self.segments {
+            let start = *offset as usize;
+            out[start..start + data.len()].copy_from_slice(data);
+        }
+        out
+    }
+}
+
+/// Iterator of [`BlobSlice::iter_filled`]: the slice's full extent as
+/// contiguous buffers, holes backed by the shared zero page.
+pub struct FilledSegments<'a> {
+    slice: &'a BlobSlice,
+    next_segment: usize,
+    cursor: u64,
+}
+
+impl Iterator for FilledSegments<'_> {
+    type Item = Bytes;
+
+    fn next(&mut self) -> Option<Bytes> {
+        if self.cursor >= self.slice.len {
+            return None;
+        }
+        let next_data = self.slice.segments.get(self.next_segment);
+        // Inside a hole: serve (a view of) the zero page up to the next data
+        // segment or the end of the slice.
+        let hole_end = next_data.map_or(self.slice.len, |(offset, _)| *offset);
+        if self.cursor < hole_end {
+            let n = (hole_end - self.cursor).min(ZERO_PAGE_BYTES as u64);
+            self.cursor += n;
+            return Some(zero_page().slice(..n as usize));
+        }
+        let (offset, data) = next_data.expect("cursor < len implies more coverage");
+        debug_assert_eq!(*offset, self.cursor);
+        self.cursor += data.len() as u64;
+        self.next_segment += 1;
+        Some(data.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> BlobSlice {
+        // [0,3) = 1s, [3,6) hole, [6,8) = 2s, [8,10) hole.
+        BlobSlice::new(
+            10,
+            vec![
+                (6, Bytes::from(vec![2u8, 2])),
+                (0, Bytes::from(vec![1u8, 1, 1])),
+            ],
+        )
+    }
+
+    #[test]
+    fn to_vec_zero_fills_holes() {
+        let slice = sample();
+        assert_eq!(slice.len(), 10);
+        assert_eq!(slice.hole_bytes(), 5);
+        assert_eq!(slice.to_vec(), vec![1, 1, 1, 0, 0, 0, 2, 2, 0, 0]);
+    }
+
+    #[test]
+    fn iter_filled_concatenates_to_the_flattened_bytes() {
+        let slice = sample();
+        let mut flat = Vec::new();
+        for seg in slice.iter_filled() {
+            flat.extend_from_slice(&seg);
+        }
+        assert_eq!(flat, slice.to_vec());
+    }
+
+    #[test]
+    fn copy_range_to_serves_partial_windows() {
+        let slice = sample();
+        let mut out = [9u8; 4];
+        assert_eq!(slice.copy_range_to(2, &mut out), 4);
+        assert_eq!(out, [1, 0, 0, 0]);
+        assert_eq!(slice.copy_range_to(7, &mut out), 3, "short at the end");
+        assert_eq!(&out[..3], &[2, 0, 0]);
+        assert_eq!(slice.copy_range_to(10, &mut out), 0);
+    }
+
+    #[test]
+    fn holes_are_backed_by_the_shared_zero_page() {
+        let hole = BlobSlice::new(3 * ZERO_PAGE_BYTES as u64 + 5, Vec::new());
+        let segs: Vec<Bytes> = hole.iter_filled().collect();
+        assert_eq!(segs.len(), 4, "big holes chunk at the zero-page size");
+        assert!(segs.iter().all(|s| s.iter().all(|&b| b == 0)));
+        let total: usize = segs.iter().map(Bytes::len).sum();
+        assert_eq!(total as u64, hole.len());
+    }
+
+    #[test]
+    fn from_bytes_is_fully_covered() {
+        let slice = BlobSlice::from_bytes(Bytes::from(vec![5u8; 8]));
+        assert_eq!(slice.hole_bytes(), 0);
+        assert_eq!(slice.to_vec(), vec![5u8; 8]);
+        assert!(BlobSlice::from_bytes(Bytes::new()).is_empty());
+        assert!(BlobSlice::empty().to_vec().is_empty());
+    }
+}

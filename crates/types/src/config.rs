@@ -168,6 +168,17 @@ pub struct ClusterConfig {
     /// completes before metadata weaving starts — kept so the two schedules
     /// can be compared differentially.
     pub pipeline_depth: usize,
+    /// Byte budget of each client's chunk cache (0 = no chunk cache, the
+    /// default). Chunks are immutable once published under a `ChunkId`, so
+    /// the cache needs no invalidation protocol at all: entries only ever
+    /// leave by LRU eviction. Both read schedules consult it before
+    /// submitting a fetch, and writes populate it write-through, so
+    /// re-reading a published version (the MapReduce-input pattern) costs no
+    /// data round-trips. The cache is 16-way sharded and a chunk larger
+    /// than one shard's budget share (1/16th of this value) is never
+    /// cached, so size the budget to at least ~16 chunks of the blobs that
+    /// should hit.
+    pub chunk_cache_bytes: u64,
     /// Network bandwidth of every node in bytes per second (used only by the
     /// simulator; 1 Gbps by default, matching Grid'5000's interconnect).
     pub link_bandwidth_bps: u64,
@@ -241,6 +252,7 @@ impl Default for ClusterConfig {
             client_metadata_cache: true,
             transfer_workers: 8,
             pipeline_depth: 4,
+            chunk_cache_bytes: 0,
             // 1 Gbps full duplex, 100 microseconds one-way latency.
             link_bandwidth_bps: 125_000_000,
             link_latency_ns: 100_000,

@@ -11,11 +11,13 @@
 //! This crate holds only plain data types so that all service crates can
 //! share them without dependency cycles.
 
+pub mod buf;
 pub mod config;
 pub mod error;
 pub mod id;
 pub mod range;
 
+pub use buf::{zero_page, BlobSlice, ZERO_PAGE_BYTES};
 pub use config::{BlobConfig, ClusterConfig, PlacementPolicy, RetryPolicy};
 pub use error::{BlobError, Result};
 pub use id::{BlobId, ChunkId, ClientId, IdGenerator, MetaNodeId, ProviderId, Version};

@@ -22,7 +22,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let sky = setup.create_blob(BlobConfig::new(TILE, 1)?)?;
 
     // Initial survey: upload the whole sky.
-    setup.append(sky, &vec![0u8; (TILE * TILES) as usize])?;
+    setup.append(sky, vec![0u8; (TILE * TILES) as usize])?;
     println!("sky uploaded: {} tiles of {} KiB", TILES, TILE >> 10);
 
     // Concurrent observation (writers) and detection (readers).
@@ -34,7 +34,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     let tile = (telescope * 16 + obs) % TILES;
                     let brightness = ((telescope + 1) * 10 + obs) as u8;
                     client
-                        .write(sky, tile * TILE, &vec![brightness; TILE as usize])
+                        .write(sky, tile * TILE, vec![brightness; TILE as usize])
                         .expect("tile update");
                 }
             });

@@ -1,0 +1,153 @@
+//! Differential tests of the zero-copy data plane and the client chunk
+//! cache: cached reads must be byte-identical to uncached reads across
+//! random version histories and cache budgets (including budgets small
+//! enough to force eviction), `read` must equal `read_bytes` flattened, and
+//! both properties must hold while writers are publishing concurrently.
+
+use blobseer::core::Cluster;
+use blobseer::types::{BlobConfig, ClusterConfig};
+use proptest::prelude::*;
+
+const CS: u64 = 256;
+
+fn cluster_with_cache(cache_bytes: u64) -> Cluster {
+    Cluster::new(ClusterConfig {
+        data_providers: 4,
+        metadata_providers: 2,
+        chunk_cache_bytes: cache_bytes,
+        ..ClusterConfig::default()
+    })
+    .unwrap()
+}
+
+/// Replays a random (unaligned) write history and returns every published
+/// version's contents, read twice: the first pass fills any cache, the
+/// second pass must observe identical bytes from it. Along the way, every
+/// snapshot is also read through `read_bytes` and compared flattened.
+fn replay(cache_bytes: u64, ops: &[(u64, u64, u8)]) -> Vec<Vec<u8>> {
+    let cluster = cluster_with_cache(cache_bytes);
+    let client = cluster.client();
+    let blob = client.create_blob(BlobConfig::new(CS, 1).unwrap()).unwrap();
+    for &(slot, len_slots, seed) in ops {
+        let len = len_slots * CS + u64::from(seed) % CS;
+        let data: Vec<u8> = (0..len)
+            .map(|i| (i as u8).wrapping_mul(37).wrapping_add(seed))
+            .collect();
+        client
+            .write(blob, slot * CS + u64::from(seed) % 11, data)
+            .unwrap();
+    }
+    let versions = client.published_versions(blob).unwrap();
+    let mut contents = Vec::with_capacity(versions.len());
+    for &v in &versions {
+        let flat = client.read_all(blob, Some(v)).unwrap();
+        let slice = client.read_all_bytes(blob, Some(v)).unwrap();
+        assert_eq!(flat, slice.to_vec(), "read and read_bytes must agree");
+        contents.push(flat);
+    }
+    for (expected, &v) in contents.iter().zip(&versions) {
+        assert_eq!(
+            &client.read_all(blob, Some(v)).unwrap(),
+            expected,
+            "cache-hot re-read of {v:?} diverged"
+        );
+    }
+    contents
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The chunk cache is an optimisation, not a semantic change: for any
+    /// write history and any cache budget (including ones small enough to
+    /// evict constantly), every published snapshot reads byte-identically
+    /// with and without the cache.
+    #[test]
+    fn prop_cached_and_uncached_reads_agree(
+        ops in proptest::collection::vec((0u64..12, 1u64..4, 1u8..255), 1..6),
+        budget_chunks in 1u64..64,
+    ) {
+        let uncached = replay(0, &ops);
+        let cached = replay(budget_chunks * CS, &ops);
+        prop_assert_eq!(uncached, cached);
+    }
+
+    /// `read` is `read_bytes` flattened for arbitrary sub-ranges, not just
+    /// whole snapshots (holes, partial chunks, segment boundaries).
+    #[test]
+    fn prop_read_equals_read_bytes_on_random_ranges(
+        ops in proptest::collection::vec((0u64..8, 1u64..3, 1u8..255), 1..4),
+        offset in 0u64..(4 * CS),
+        len in 0u64..(4 * CS),
+    ) {
+        let cluster = cluster_with_cache(1 << 20);
+        let client = cluster.client();
+        let blob = client.create_blob(BlobConfig::new(CS, 1).unwrap()).unwrap();
+        for &(slot, len_slots, seed) in &ops {
+            let data: Vec<u8> = (0..len_slots * CS).map(|i| (i as u8) ^ seed).collect();
+            client.write(blob, slot * CS, data).unwrap();
+        }
+        let size = client.size(blob, None).unwrap();
+        // Clamp the window into bounds (reads past the size are rejected).
+        let offset = offset.min(size);
+        let len = len.min(size - offset);
+        let flat = client.read(blob, None, offset, len).unwrap();
+        let slice = client.read_bytes(blob, None, offset, len).unwrap();
+        prop_assert_eq!(slice.len(), len);
+        prop_assert_eq!(&flat, &slice.to_vec());
+        // copy_range_to agrees with the flatten on a sub-window too.
+        let mid = len / 2;
+        let mut window = vec![0u8; (len - mid) as usize];
+        slice.copy_range_to(mid, &mut window);
+        prop_assert_eq!(&flat[mid as usize..], &window[..]);
+    }
+}
+
+#[test]
+fn cached_reads_agree_with_uncached_under_concurrent_writers() {
+    // Writers keep publishing new snapshots while two readers — one with a
+    // cache, one without — pin published versions and compare both read
+    // APIs byte for byte. Versioning guarantees a pinned snapshot never
+    // changes, so the cached reader must never observe a divergence no
+    // matter how the writers race it.
+    let cluster = Cluster::new(ClusterConfig {
+        data_providers: 8,
+        metadata_providers: 4,
+        chunk_cache_bytes: 1 << 20,
+        ..ClusterConfig::default()
+    })
+    .unwrap();
+    let setup = cluster.client();
+    let blob = setup.create_blob(BlobConfig::new(CS, 1).unwrap()).unwrap();
+    setup.append(blob, vec![1u8; 4 * CS as usize]).unwrap();
+
+    std::thread::scope(|scope| {
+        for w in 0..3u8 {
+            let client = cluster.client();
+            scope.spawn(move || {
+                for i in 0..12 {
+                    let fill = 10 + w * 12 + i;
+                    client.append(blob, vec![fill; (CS + 13) as usize]).unwrap();
+                }
+            });
+        }
+        for _ in 0..2 {
+            let cached = cluster.client();
+            let uncached = cluster.client().with_chunk_cache(None);
+            scope.spawn(move || {
+                for _ in 0..25 {
+                    let versions = cached.published_versions(blob).unwrap();
+                    let &v = versions.last().unwrap();
+                    let a = cached.read_all(blob, Some(v)).unwrap();
+                    let b = cached.read_all_bytes(blob, Some(v)).unwrap();
+                    let c = uncached.read_all(blob, Some(v)).unwrap();
+                    assert_eq!(a, b.to_vec(), "read != read_bytes under writers");
+                    assert_eq!(a, c, "cached != uncached under writers");
+                    // Re-read the same pinned version: the cache-hot pass
+                    // must be identical.
+                    assert_eq!(a, cached.read_all(blob, Some(v)).unwrap());
+                }
+            });
+        }
+    });
+}

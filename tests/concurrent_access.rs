@@ -49,7 +49,7 @@ fn snapshot_isolation_under_concurrent_overwrites() {
     let blob = client
         .create_blob(BlobConfig::new(512, 1).unwrap())
         .unwrap();
-    let v1 = client.append(blob, &vec![1u8; 4096]).unwrap();
+    let v1 = client.append(blob, vec![1u8; 4096]).unwrap();
 
     // Concurrent overwriting writers.
     std::thread::scope(|scope| {
@@ -57,7 +57,7 @@ fn snapshot_isolation_under_concurrent_overwrites() {
             let client = cluster.client();
             scope.spawn(move || {
                 client
-                    .write(blob, (w % 4) * 1024, &vec![(w + 10) as u8; 1024])
+                    .write(blob, (w % 4) * 1024, vec![(w + 10) as u8; 1024])
                     .unwrap();
             });
         }
@@ -81,7 +81,7 @@ fn chunk_locations_match_where_data_is_actually_stored() {
     let blob = client
         .create_blob(BlobConfig::new(1024, 2).unwrap())
         .unwrap();
-    client.append(blob, &vec![9u8; 8 * 1024]).unwrap();
+    client.append(blob, vec![9u8; 8 * 1024]).unwrap();
     let locations = client
         .chunk_locations(blob, None, ByteRange::new(0, 8 * 1024))
         .unwrap();
@@ -116,7 +116,7 @@ fn concurrent_writers_on_distinct_blobs_interleave() {
             scope.spawn(move || {
                 for i in 0..12u64 {
                     let fill = (w as u64 * 16 + i + 1) as u8;
-                    client.append(blob, &vec![fill; 512]).unwrap();
+                    client.append(blob, vec![fill; 512]).unwrap();
                 }
             });
         }
@@ -153,7 +153,7 @@ fn reads_cost_depth_times_shards_metadata_round_trips() {
         .create_blob(BlobConfig::new(chunk_size, 1).unwrap())
         .unwrap();
     client
-        .append(blob, &vec![7u8; (64 * chunk_size) as usize])
+        .append(blob, vec![7u8; (64 * chunk_size) as usize])
         .unwrap();
 
     // A fresh client has a cold metadata cache.

@@ -44,15 +44,15 @@ fn writes_continue_and_recover_after_provider_failures() {
     let blob = client
         .create_blob(BlobConfig::new(512, 2).unwrap())
         .unwrap();
-    client.append(blob, &vec![1u8; 2048]).unwrap();
+    client.append(blob, vec![1u8; 2048]).unwrap();
 
     cluster.fail_provider(ProviderId(0)).unwrap();
     cluster.fail_provider(ProviderId(1)).unwrap();
     // Two live providers remain: replication 2 is still satisfiable.
-    client.append(blob, &vec![2u8; 2048]).unwrap();
+    client.append(blob, vec![2u8; 2048]).unwrap();
     cluster.recover_provider(ProviderId(0)).unwrap();
     cluster.recover_provider(ProviderId(1)).unwrap();
-    client.append(blob, &vec![3u8; 2048]).unwrap();
+    client.append(blob, vec![3u8; 2048]).unwrap();
 
     let all = client.read_all(blob, None).unwrap();
     assert_eq!(all.len(), 6144);
@@ -111,7 +111,7 @@ fn qos_feedback_steers_placement_away_from_a_failed_provider() {
         if round == 4 {
             cluster.fail_provider(ProviderId(1)).unwrap();
         }
-        client.append(blob, &vec![round; 16 * 1024]).unwrap();
+        client.append(blob, vec![round; 16 * 1024]).unwrap();
         collector.sample();
     }
     let flagged = controller.step().unwrap();
@@ -122,7 +122,7 @@ fn qos_feedback_steers_placement_away_from_a_failed_provider() {
     // Subsequent placements avoid the flagged provider.
     let before = cluster.provider(ProviderId(1)).unwrap().stats().chunks;
     for round in 0..5u8 {
-        client.append(blob, &vec![round; 16 * 1024]).unwrap();
+        client.append(blob, vec![round; 16 * 1024]).unwrap();
     }
     let after = cluster.provider(ProviderId(1)).unwrap().stats().chunks;
     assert_eq!(

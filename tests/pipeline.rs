@@ -110,7 +110,7 @@ fn pipelined_reads_spread_over_replicas() {
     .unwrap();
     let client = cluster.client();
     let blob = client.create_blob(BlobConfig::new(CS, 2).unwrap()).unwrap();
-    client.append(blob, &vec![7u8; CS as usize]).unwrap();
+    client.append(blob, vec![7u8; CS as usize]).unwrap();
     for _ in 0..32 {
         client.read_all(blob, None).unwrap();
     }

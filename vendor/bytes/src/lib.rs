@@ -3,11 +3,25 @@
 //! Provides [`Bytes`]: an immutable, cheaply cloneable, contiguous byte
 //! buffer. Cloning is O(1) (a reference-count bump) which is what the chunk
 //! transfer path relies on when pushing the same payload to several replica
-//! providers.
+//! providers, and [`Bytes::slice`] is O(1) too, which is what the zero-copy
+//! write fast path relies on when a chunk slot is fully covered by the
+//! caller's buffer. [`BytesMut`] is the growable builder used to assemble
+//! boundary chunks before freezing them into shareable [`Bytes`].
+//!
+//! Deliberate divergences from the upstream crate (this is a stand-in, but
+//! these are API extensions real `bytes` does not have, so a future switch
+//! to the real crate must shim them):
+//!
+//! * `From<&[u8]>`, `From<&[u8; N]>`, `From<&Vec<u8>>`, `From<&Bytes>` —
+//!   copying (or refcount-bumping) conversions so `impl Into<Bytes>` APIs
+//!   accept borrowed buffers; upstream only has `From<&'static [u8]>`.
+//! * [`Bytes::is_compact`] — whether the handle covers its whole backing
+//!   allocation; long-lived caches use it to avoid pinning large buffers
+//!   through small retained views.
 
 use std::fmt;
 use std::hash::{Hash, Hasher};
-use std::ops::{Deref, RangeBounds};
+use std::ops::{Deref, DerefMut, RangeBounds};
 use std::sync::Arc;
 
 /// An immutable, reference-counted byte buffer.
@@ -81,6 +95,16 @@ impl Bytes {
         }
     }
 
+    /// Whether this handle covers its *entire* backing allocation (a
+    /// stand-in extension, see the crate docs). A non-compact buffer is a
+    /// view: keeping it alive keeps the whole backing allocation alive, so
+    /// long-lived holders (caches) should compact views before retaining
+    /// them.
+    #[must_use]
+    pub fn is_compact(&self) -> bool {
+        self.start == 0 && self.end == self.data.len()
+    }
+
     /// The buffer's contents as a plain slice.
     #[must_use]
     pub fn as_slice(&self) -> &[u8] {
@@ -119,9 +143,27 @@ impl From<Vec<u8>> for Bytes {
     }
 }
 
-impl From<&'static [u8]> for Bytes {
-    fn from(v: &'static [u8]) -> Self {
+impl From<&[u8]> for Bytes {
+    fn from(v: &[u8]) -> Self {
         Bytes::copy_from_slice(v)
+    }
+}
+
+impl<const N: usize> From<&[u8; N]> for Bytes {
+    fn from(v: &[u8; N]) -> Self {
+        Bytes::copy_from_slice(v)
+    }
+}
+
+impl From<&Vec<u8>> for Bytes {
+    fn from(v: &Vec<u8>) -> Self {
+        Bytes::copy_from_slice(v)
+    }
+}
+
+impl From<&Bytes> for Bytes {
+    fn from(v: &Bytes) -> Self {
+        v.clone()
     }
 }
 
@@ -196,6 +238,109 @@ impl FromIterator<u8> for Bytes {
     }
 }
 
+/// A growable, uniquely owned byte buffer that can be frozen into a
+/// shareable [`Bytes`] without copying.
+#[derive(Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// Creates an empty buffer.
+    #[must_use]
+    pub fn new() -> Self {
+        BytesMut::default()
+    }
+
+    /// Creates an empty buffer with room for `capacity` bytes.
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        BytesMut {
+            data: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Creates a buffer of `len` zero bytes.
+    #[must_use]
+    pub fn zeroed(len: usize) -> Self {
+        BytesMut {
+            data: vec![0u8; len],
+        }
+    }
+
+    /// Number of bytes in the buffer.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the buffer holds no bytes.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Appends `bytes` at the end of the buffer.
+    pub fn extend_from_slice(&mut self, bytes: &[u8]) {
+        self.data.extend_from_slice(bytes);
+    }
+
+    /// Resizes the buffer, filling new bytes with `value`.
+    pub fn resize(&mut self, new_len: usize, value: u8) {
+        self.data.resize(new_len, value);
+    }
+
+    /// Converts the buffer into an immutable [`Bytes`] without copying.
+    #[must_use]
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.data)
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.data
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl AsMut<[u8]> for BytesMut {
+    fn as_mut(&mut self) -> &mut [u8] {
+        &mut self.data
+    }
+}
+
+impl From<Vec<u8>> for BytesMut {
+    fn from(v: Vec<u8>) -> Self {
+        BytesMut { data: v }
+    }
+}
+
+impl From<BytesMut> for Bytes {
+    fn from(v: BytesMut) -> Self {
+        v.freeze()
+    }
+}
+
+impl fmt::Debug for BytesMut {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BytesMut({} bytes)", self.len())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -226,5 +371,29 @@ mod tests {
         assert_eq!(b, b"abcd".to_vec());
         assert_eq!(b.to_vec(), vec![b'a', b'b', b'c', b'd']);
         assert!(Bytes::new().is_empty());
+    }
+
+    #[test]
+    fn conversions_from_borrowed_buffers_copy_once() {
+        let v = vec![1u8, 2, 3];
+        assert_eq!(Bytes::from(&v), Bytes::from(v.clone()));
+        assert_eq!(Bytes::from(v.as_slice()).as_slice(), &[1, 2, 3]);
+        assert_eq!(Bytes::from(b"xy").as_slice(), b"xy");
+        let b = Bytes::from(v);
+        let c = Bytes::from(&b);
+        assert!(Arc::ptr_eq(&b.data, &c.data), "Bytes -> Bytes is zero-copy");
+    }
+
+    #[test]
+    fn bytes_mut_builds_and_freezes_without_copying() {
+        let mut m = BytesMut::zeroed(4);
+        m[1] = 7;
+        m.extend_from_slice(&[9, 9]);
+        assert_eq!(m.len(), 6);
+        assert_eq!(&m[..], &[0, 7, 0, 0, 9, 9]);
+        m.resize(3, 0);
+        let frozen = m.freeze();
+        assert_eq!(frozen.as_slice(), &[0, 7, 0]);
+        assert!(BytesMut::with_capacity(16).is_empty());
     }
 }
