@@ -128,6 +128,8 @@ pub fn series_json(series: &SweepSeries) -> Json {
                     ("bytes_copied", Json::num(p.bytes_copied as f64)),
                     ("cache_hits", Json::num(p.cache_hits as f64)),
                     ("cache_misses", Json::num(p.cache_misses as f64)),
+                    ("bytes_on_wire", Json::num(p.bytes_on_wire as f64)),
+                    ("frames_sent", Json::num(p.frames_sent as f64)),
                 ])
             })),
         ),

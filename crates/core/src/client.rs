@@ -91,6 +91,12 @@ pub struct ClientStats {
     /// Chunk lookups that missed the cache and went to the providers. Zero
     /// when no cache is configured.
     pub cache_misses: u64,
+    /// Total frame bytes this client's transport moved (sent and received).
+    /// Zero for in-process clients — nothing crosses a wire.
+    pub bytes_on_wire: u64,
+    /// Request frames this client's transport sent. Zero for in-process
+    /// clients.
+    pub frames_sent: u64,
 }
 
 /// The client's live counters: one atomic per field, so concurrent readers
@@ -127,6 +133,9 @@ impl AtomicClientStats {
             payload_bytes_copied: self.payload_bytes_copied.load(Ordering::Relaxed),
             cache_hits: self.cache_hits.load(Ordering::Relaxed),
             cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            // Filled from the transport metrics (if any) by the caller.
+            bytes_on_wire: 0,
+            frames_sent: 0,
         }
     }
 }
@@ -159,6 +168,11 @@ pub struct BlobClient {
     /// Shared with the transfer closures, which account fetches and cache
     /// fills from the pool workers.
     stats: Arc<AtomicClientStats>,
+    /// Counters of the transport carrying this client's service calls, when
+    /// the services run remotely (`None` for in-process wiring). The
+    /// transport layer owns and updates them; [`BlobClient::stats`] folds a
+    /// snapshot into `bytes_on_wire`/`frames_sent`.
+    transport_metrics: Option<Arc<blobseer_types::TransportMetrics>>,
 }
 
 impl BlobClient {
@@ -181,6 +195,7 @@ impl BlobClient {
             rng: Mutex::new(StdRng::from_entropy()),
             chunk_cache: None,
             stats: Arc::new(AtomicClientStats::default()),
+            transport_metrics: None,
         }
     }
 
@@ -207,6 +222,24 @@ impl BlobClient {
         self.chunk_cache.as_ref()
     }
 
+    /// Attaches the transport counters of the services this client talks to
+    /// (`None` for in-process wiring). Set by networked deployments so
+    /// [`ClientStats::bytes_on_wire`]/[`ClientStats::frames_sent`] report
+    /// real wire traffic.
+    #[must_use]
+    pub fn with_transport_metrics(
+        mut self,
+        metrics: Option<Arc<blobseer_types::TransportMetrics>>,
+    ) -> Self {
+        self.transport_metrics = metrics;
+        self
+    }
+
+    /// The transport counters of this client's services, if networked.
+    pub fn transport_metrics(&self) -> Option<&Arc<blobseer_types::TransportMetrics>> {
+        self.transport_metrics.as_ref()
+    }
+
     /// The client's transfer-pipeline depth.
     pub fn pipeline_depth(&self) -> usize {
         self.pipeline_depth
@@ -219,7 +252,13 @@ impl BlobClient {
 
     /// Counters accumulated by this client.
     pub fn stats(&self) -> ClientStats {
-        self.stats.snapshot()
+        let mut stats = self.stats.snapshot();
+        if let Some(metrics) = &self.transport_metrics {
+            let wire = metrics.snapshot();
+            stats.bytes_on_wire = wire.bytes_on_wire;
+            stats.frames_sent = wire.frames_sent;
+        }
+        stats
     }
 
     /// Creates a new blob and returns its identifier.
@@ -746,7 +785,10 @@ impl BlobClient {
 
     /// Joins every submitted chunk store, returning the written-chunk
     /// records in slot order. All completions are drained even when one
-    /// fails, so no store is left dangling on the pool.
+    /// fails, so no store is left dangling on the pool. Each join is bounded
+    /// by the pool's `io_timeout`-derived join timeout: a store stuck on a
+    /// hung endpoint fails this write (which then repairs and aborts)
+    /// instead of blocking the scheduler forever.
     fn join_stores(
         &self,
         completions: Vec<Completion<Result<WrittenChunk>>>,
@@ -754,9 +796,9 @@ impl BlobClient {
         let mut chunks = Vec::with_capacity(completions.len());
         let mut first_err = None;
         for completion in completions {
-            match completion.join() {
-                Ok(written) => chunks.push(written),
-                Err(err) => first_err = first_err.or(Some(err)),
+            match self.transfers.join_within(completion) {
+                Ok(Ok(written)) => chunks.push(written),
+                Ok(Err(err)) | Err(err) => first_err = first_err.or(Some(err)),
             }
         }
         if let Some(err) = first_err {
@@ -887,9 +929,11 @@ impl BlobClient {
                     submitted += 1;
                     while pending.len() > cap {
                         let oldest = pending.pop_front().expect("len > cap >= 1");
-                        match oldest.join() {
-                            Ok(item) => fetched.push(item),
-                            Err(err) => fetch_err = fetch_err.take().or(Some(err)),
+                        match self.transfers.join_within(oldest) {
+                            Ok(Ok(item)) => fetched.push(item),
+                            Ok(Err(err)) | Err(err) => {
+                                fetch_err = fetch_err.take().or(Some(err));
+                            }
                         }
                     }
                 }
@@ -906,7 +950,9 @@ impl BlobClient {
 
     /// Joins submitted fetches into `out`, draining all of them even when
     /// one fails (`first_err` carries an error from completions already
-    /// harvested by the caller).
+    /// harvested by the caller). Joins are bounded by the pool's
+    /// `io_timeout`-derived join timeout, so a fetch stuck on a hung
+    /// endpoint fails the read instead of blocking it forever.
     fn join_fetches(
         &self,
         completions: impl IntoIterator<Item = Completion<Result<(ByteRange, LeafNode, Bytes)>>>,
@@ -914,9 +960,9 @@ impl BlobClient {
         mut first_err: Option<BlobError>,
     ) -> Result<Vec<(ByteRange, LeafNode, Bytes)>> {
         for completion in completions {
-            match completion.join() {
-                Ok(item) => out.push(item),
-                Err(err) => first_err = first_err.take().or(Some(err)),
+            match self.transfers.join_within(completion) {
+                Ok(Ok(item)) => out.push(item),
+                Ok(Err(err)) | Err(err) => first_err = first_err.take().or(Some(err)),
             }
         }
         if let Some(err) = first_err {

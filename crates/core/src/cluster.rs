@@ -82,8 +82,14 @@ impl Cluster {
         )?);
         // One transfer pool for the whole deployment: clients share it, so
         // concurrent operations queue on a fixed worker set instead of
-        // spawning threads per read/write.
-        let transfers = Arc::new(TransferPool::new(config.transfer_workers));
+        // spawning threads per read/write. Completion joins are bounded by a
+        // multiple of the configured I/O timeout: networked transfers retry
+        // internally (each attempt bounded by `io_timeout`), so the join
+        // bound is the backstop that fails an operation when a task is
+        // genuinely wedged, not the first line of defence.
+        let join_timeout = config.io_timeout().map(|t| t * 8);
+        let transfers =
+            Arc::new(TransferPool::new(config.transfer_workers).with_join_timeout(join_timeout));
         Ok(Cluster {
             version_manager: Arc::new(VersionManager::new()),
             chunk_service: Arc::new(InProcessChunkService::new(provider_manager, providers)),

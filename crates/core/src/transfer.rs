@@ -24,13 +24,14 @@
 //! load that is on the wire *right now*, not just what the last completed
 //! heartbeat stored.
 
-use blobseer_types::ProviderId;
+use blobseer_types::{BlobError, ProviderId, Result};
 use std::collections::HashMap;
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
 
@@ -135,6 +136,28 @@ impl<T> Completion<T> {
             CompletionInner::Pending(rx) => rx.recv().expect("a transfer task panicked"),
         }
     }
+
+    /// Waits at most `timeout` (forever when `None`) for the task to finish.
+    /// Returns `None` on timeout — the task itself keeps running on its
+    /// worker (threads cannot be cancelled); only the *waiter* gives up, so
+    /// a hung endpoint fails the waiting operation instead of wedging it.
+    ///
+    /// # Panics
+    ///
+    /// If the task panicked on a worker, exactly like [`Completion::join`].
+    pub fn join_for(self, timeout: Option<Duration>) -> Option<T> {
+        match self.inner {
+            CompletionInner::Ready(value) => Some(value),
+            CompletionInner::Pending(rx) => match timeout {
+                None => Some(rx.recv().expect("a transfer task panicked")),
+                Some(timeout) => match rx.recv_timeout(timeout) {
+                    Ok(value) => Some(value),
+                    Err(RecvTimeoutError::Timeout) => None,
+                    Err(RecvTimeoutError::Disconnected) => panic!("a transfer task panicked"),
+                },
+            },
+        }
+    }
 }
 
 /// A fixed-size worker pool for parallel chunk pushes and fetches.
@@ -143,6 +166,11 @@ pub struct TransferPool {
     sender: Option<Sender<Job>>,
     workers: Vec<JoinHandle<()>>,
     shared: Arc<PoolShared>,
+    /// Bound on how long [`TransferPool::join_within`] waits for one
+    /// completion (`None` = forever). Threaded from the deployment's
+    /// `io_timeout` so a transfer stuck on a hung endpoint fails the waiting
+    /// operation instead of blocking the scheduler forever.
+    join_timeout: Option<Duration>,
 }
 
 impl TransferPool {
@@ -162,6 +190,7 @@ impl TransferPool {
                 sender: None,
                 workers: Vec::new(),
                 shared,
+                join_timeout: None,
             };
         }
         let (sender, receiver) = channel::<Job>();
@@ -180,7 +209,40 @@ impl TransferPool {
             sender: Some(sender),
             workers: handles,
             shared,
+            join_timeout: None,
         }
+    }
+
+    /// Sets the bound [`TransferPool::join_within`] waits for one completion
+    /// (`None` = wait forever, the default).
+    #[must_use]
+    pub fn with_join_timeout(mut self, timeout: Option<Duration>) -> Self {
+        self.join_timeout = timeout;
+        self
+    }
+
+    /// The configured join timeout, if any.
+    #[must_use]
+    pub fn join_timeout(&self) -> Option<Duration> {
+        self.join_timeout
+    }
+
+    /// Joins one completion under the pool's configured timeout. A task that
+    /// does not complete in time yields [`BlobError::Transport`] — the
+    /// retryable error class — while the task itself keeps running on its
+    /// worker (its eventual result is discarded). Zero-worker pools and
+    /// cache-hit completions are always ready, so they never time out.
+    ///
+    /// # Panics
+    ///
+    /// If the task panicked on a worker, exactly like [`Completion::join`].
+    pub fn join_within<T>(&self, completion: Completion<T>) -> Result<T> {
+        completion.join_for(self.join_timeout).ok_or_else(|| {
+            BlobError::Transport(format!(
+                "transfer did not complete within {:?} (hung endpoint?)",
+                self.join_timeout.unwrap_or_default()
+            ))
+        })
     }
 
     fn worker_loop(receiver: &Mutex<Receiver<Job>>, shared: &PoolShared) {
@@ -499,6 +561,45 @@ mod tests {
             std::thread::sleep(std::time::Duration::from_millis(2));
         }
         assert_eq!(pool.stats().tasks_panicked, 1);
+    }
+
+    #[test]
+    fn join_within_times_out_on_a_stalled_task_without_wedging_the_pool() {
+        let pool =
+            TransferPool::new(1).with_join_timeout(Some(std::time::Duration::from_millis(30)));
+        assert_eq!(
+            pool.join_timeout(),
+            Some(std::time::Duration::from_millis(30))
+        );
+        let (gate_tx, gate_rx) = channel::<()>();
+        // The task stalls until released — a stand-in for a hung endpoint.
+        let hung = pool.submit(move || {
+            gate_rx.recv().ok();
+            1u32
+        });
+        let err = pool.join_within(hung).unwrap_err();
+        assert!(matches!(err, blobseer_types::BlobError::Transport(_)));
+        // Release the stalled task: the pool worker survives the abandoned
+        // completion and keeps serving.
+        gate_tx.send(()).unwrap();
+        let next = pool.submit(|| 2u32);
+        assert_eq!(pool.join_within(next).unwrap(), 2);
+    }
+
+    #[test]
+    fn join_within_without_timeout_waits_and_ready_completions_never_time_out() {
+        let pool = TransferPool::new(1);
+        assert_eq!(pool.join_timeout(), None);
+        let slow = pool.submit(|| {
+            std::thread::sleep(std::time::Duration::from_millis(10));
+            7u32
+        });
+        assert_eq!(pool.join_within(slow).unwrap(), 7);
+        // A ready completion (cache hit) is immune even on a pool with a
+        // tiny timeout.
+        let strict =
+            TransferPool::new(0).with_join_timeout(Some(std::time::Duration::from_nanos(1)));
+        assert_eq!(strict.join_within(Completion::ready(9u32)).unwrap(), 9);
     }
 
     #[test]

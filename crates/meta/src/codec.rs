@@ -1,0 +1,185 @@
+//! Wire codec for segment-tree nodes.
+//!
+//! The networked metadata plane ships [`NodeKey`]s and [`NodeBody`]s inside
+//! framed RPC headers; their binary layout lives here, next to the types, so
+//! the metadata crate — not the transport — owns what its values look like
+//! on the wire. Built on the little-endian [`blobseer_types::wire`] codec.
+
+use crate::node::{ChildRef, InnerNode, LeafNode, NodeBody, NodeKey};
+use blobseer_types::wire::{Wire, WireReader, WireWriter};
+use blobseer_types::{BlobError, Result};
+
+impl Wire for NodeKey {
+    fn put(&self, w: &mut WireWriter) {
+        w.put(&self.blob);
+        w.put(&self.version);
+        w.put(&self.range);
+    }
+
+    fn get(r: &mut WireReader<'_>) -> Result<Self> {
+        Ok(NodeKey {
+            blob: r.get()?,
+            version: r.get()?,
+            range: r.get()?,
+        })
+    }
+}
+
+impl Wire for ChildRef {
+    fn put(&self, w: &mut WireWriter) {
+        w.put(&self.version);
+        w.put(&self.range);
+    }
+
+    fn get(r: &mut WireReader<'_>) -> Result<Self> {
+        Ok(ChildRef {
+            version: r.get()?,
+            range: r.get()?,
+        })
+    }
+}
+
+impl Wire for LeafNode {
+    fn put(&self, w: &mut WireWriter) {
+        w.put(&self.chunk);
+        w.put(&self.providers);
+        w.put_u64(self.len);
+    }
+
+    fn get(r: &mut WireReader<'_>) -> Result<Self> {
+        Ok(LeafNode {
+            chunk: r.get()?,
+            providers: r.get()?,
+            len: r.get_u64()?,
+        })
+    }
+}
+
+impl Wire for InnerNode {
+    fn put(&self, w: &mut WireWriter) {
+        w.put(&self.left);
+        w.put(&self.right);
+    }
+
+    fn get(r: &mut WireReader<'_>) -> Result<Self> {
+        Ok(InnerNode {
+            left: r.get()?,
+            right: r.get()?,
+        })
+    }
+}
+
+impl Wire for NodeBody {
+    fn put(&self, w: &mut WireWriter) {
+        match self {
+            NodeBody::Leaf(leaf) => {
+                w.put_u8(0);
+                w.put(leaf);
+            }
+            NodeBody::Inner(inner) => {
+                w.put_u8(1);
+                w.put(inner);
+            }
+            NodeBody::Alias(target) => {
+                w.put_u8(2);
+                w.put(target);
+            }
+        }
+    }
+
+    fn get(r: &mut WireReader<'_>) -> Result<Self> {
+        Ok(match r.get_u8()? {
+            0 => NodeBody::Leaf(r.get()?),
+            1 => NodeBody::Inner(r.get()?),
+            2 => NodeBody::Alias(r.get()?),
+            tag => {
+                return Err(BlobError::Transport(format!(
+                    "wire: unknown NodeBody tag {tag}"
+                )))
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blobseer_types::wire::{decode, encode};
+    use blobseer_types::{BlobId, ByteRange, ChunkId, ProviderId, Version};
+
+    fn roundtrip<T: Wire + PartialEq + std::fmt::Debug>(value: T) {
+        assert_eq!(decode::<T>(&encode(&value)).unwrap(), value);
+    }
+
+    fn leaf() -> LeafNode {
+        LeafNode {
+            chunk: ChunkId {
+                blob: BlobId(1),
+                write_tag: 0xfeed,
+                slot: 9,
+            },
+            providers: vec![ProviderId(0), ProviderId(3)],
+            len: 4096,
+        }
+    }
+
+    #[test]
+    fn node_keys_and_bodies_roundtrip() {
+        roundtrip(NodeKey {
+            blob: BlobId(7),
+            version: Version(3),
+            range: ByteRange::new(128, 64),
+        });
+        roundtrip(NodeBody::Leaf(leaf()));
+        roundtrip(NodeBody::Leaf(LeafNode::hole(BlobId(1), 4)));
+        roundtrip(NodeBody::Inner(InnerNode {
+            left: Some(ChildRef {
+                version: Version(1),
+                range: ByteRange::new(0, 64),
+            }),
+            right: None,
+        }));
+        roundtrip(NodeBody::Alias(ChildRef {
+            version: Version(2),
+            range: ByteRange::new(64, 64),
+        }));
+    }
+
+    #[test]
+    fn batches_roundtrip_as_the_rpc_headers_ship_them() {
+        // The shapes the metadata plane actually sends: a key batch (get),
+        // an optional-body batch (get response) and a key/body batch (put).
+        let key = |v: u64| NodeKey {
+            blob: BlobId(2),
+            version: Version(v),
+            range: ByteRange::new(0, 64),
+        };
+        roundtrip(vec![key(1), key(2), key(3)]);
+        roundtrip(vec![
+            Some(NodeBody::Leaf(leaf())),
+            None,
+            Some(NodeBody::Inner(InnerNode {
+                left: None,
+                right: None,
+            })),
+        ]);
+        roundtrip(vec![
+            (key(1), NodeBody::Leaf(leaf())),
+            (
+                key(2),
+                NodeBody::Alias(ChildRef {
+                    version: Version(1),
+                    range: ByteRange::new(0, 64),
+                }),
+            ),
+        ]);
+    }
+
+    #[test]
+    fn unknown_body_tags_fail_cleanly() {
+        assert!(matches!(
+            decode::<NodeBody>(&[7]),
+            Err(BlobError::Transport(_))
+        ));
+    }
+}

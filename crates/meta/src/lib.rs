@@ -25,6 +25,7 @@
 //! [`tree::collect_leaves`] (the reader side: which chunks cover a read
 //! range at a given version).
 
+pub mod codec;
 pub mod node;
 pub mod store;
 pub mod tree;

@@ -1,0 +1,178 @@
+//! The length-prefixed frame every RPC message travels in.
+//!
+//! Wire layout (all integers little-endian):
+//!
+//! ```text
+//! ┌──────────┬─────────────┬────────┬────────────┬─────────┬──────────┐
+//! │ len: u32 │ req id: u64 │ op: u8 │ hdr len:u32│ header  │ payload  │
+//! └──────────┴─────────────┴────────┴────────────┴─────────┴──────────┘
+//!  └── counts everything after itself ──────────────────────────────┘
+//! ```
+//!
+//! The header carries the codec-encoded control part of a message (chunk
+//! ids, node batches, placement requests, errors); the payload carries raw
+//! chunk bytes and nothing else. Keeping the two separate is what makes the
+//! data plane zero-copy: a sender scatter-writes prefix, header and payload
+//! as three [`std::io::IoSlice`]s without ever flattening them into one
+//! buffer, and a receiver lands the whole frame in a single `BytesMut` whose
+//! payload region is handed onward as a refcounted [`Bytes`] slice.
+
+use blobseer_types::{BlobError, Result};
+use bytes::Bytes;
+
+/// Bytes of the fixed frame prefix: length, request id, opcode, header
+/// length.
+pub const FRAME_PREFIX_BYTES: usize = 4 + 8 + 1 + 4;
+
+/// Ceiling on the size of one frame body. Far above any legitimate chunk
+/// (the paper's largest chunks are 64 MiB); a length prefix beyond it means
+/// a corrupted stream, rejected before any allocation happens.
+pub const MAX_FRAME_BYTES: usize = 256 << 20;
+
+/// One framed RPC message.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Frame {
+    /// Correlates a response with its request on a multiplexed connection.
+    pub request_id: u64,
+    /// What the message is (see [`crate::rpc::op`]).
+    pub opcode: u8,
+    /// Codec-encoded control part.
+    pub header: Bytes,
+    /// Raw chunk payload (empty for control-only messages).
+    pub payload: Bytes,
+}
+
+impl Frame {
+    /// Builds a frame.
+    #[must_use]
+    pub fn new(request_id: u64, opcode: u8, header: Bytes, payload: Bytes) -> Self {
+        Frame {
+            request_id,
+            opcode,
+            header,
+            payload,
+        }
+    }
+
+    /// Number of bytes after the length field.
+    #[must_use]
+    pub fn body_len(&self) -> usize {
+        (FRAME_PREFIX_BYTES - 4) + self.header.len() + self.payload.len()
+    }
+
+    /// Total bytes the frame occupies on the wire, length field included.
+    #[must_use]
+    pub fn wire_len(&self) -> u64 {
+        (FRAME_PREFIX_BYTES + self.header.len() + self.payload.len()) as u64
+    }
+
+    /// The encoded fixed prefix (length, request id, opcode, header length).
+    /// Senders vector-write `[prefix, header, payload]`.
+    #[must_use]
+    pub fn prefix(&self) -> [u8; FRAME_PREFIX_BYTES] {
+        let mut out = [0u8; FRAME_PREFIX_BYTES];
+        out[0..4].copy_from_slice(&(self.body_len() as u32).to_le_bytes());
+        out[4..12].copy_from_slice(&self.request_id.to_le_bytes());
+        out[12] = self.opcode;
+        out[13..17].copy_from_slice(&(self.header.len() as u32).to_le_bytes());
+        out
+    }
+
+    /// Decodes a frame from its body (everything after the length field),
+    /// handing header and payload out as refcounted slices of `body` — the
+    /// receive buffer is the only copy the payload ever makes on the way in.
+    pub fn decode_body(body: Bytes) -> Result<Frame> {
+        const FIXED: usize = FRAME_PREFIX_BYTES - 4;
+        if body.len() < FIXED {
+            return Err(BlobError::Transport(format!(
+                "frame body of {} bytes is shorter than the {FIXED}-byte prefix",
+                body.len()
+            )));
+        }
+        let request_id = u64::from_le_bytes(body[0..8].try_into().unwrap());
+        let opcode = body[8];
+        let header_len = u32::from_le_bytes(body[9..13].try_into().unwrap()) as usize;
+        if FIXED + header_len > body.len() {
+            return Err(BlobError::Transport(format!(
+                "frame header of {header_len} bytes overruns a {}-byte body",
+                body.len()
+            )));
+        }
+        Ok(Frame {
+            request_id,
+            opcode,
+            header: body.slice(FIXED..FIXED + header_len),
+            payload: body.slice(FIXED + header_len..),
+        })
+    }
+
+    /// Flattens the frame into one contiguous buffer (tests and diagnostics;
+    /// the transports never do this on the hot path).
+    #[must_use]
+    pub fn to_wire_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.wire_len() as usize);
+        out.extend_from_slice(&self.prefix());
+        out.extend_from_slice(&self.header);
+        out.extend_from_slice(&self.payload);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frame() -> Frame {
+        Frame::new(
+            42,
+            7,
+            Bytes::from_static(b"header"),
+            Bytes::from_static(b"payload-bytes"),
+        )
+    }
+
+    #[test]
+    fn frames_roundtrip_through_the_wire_encoding() {
+        let f = frame();
+        let wire = f.to_wire_bytes();
+        assert_eq!(wire.len() as u64, f.wire_len());
+        let body_len = u32::from_le_bytes(wire[0..4].try_into().unwrap()) as usize;
+        assert_eq!(body_len, wire.len() - 4);
+        let decoded = Frame::decode_body(Bytes::from(wire[4..].to_vec())).unwrap();
+        assert_eq!(decoded, f);
+    }
+
+    #[test]
+    fn decoded_slices_share_the_receive_buffer() {
+        // The zero-copy receive contract: header and payload are views of
+        // the one buffer the frame landed in, not copies.
+        let f = frame();
+        let body = Bytes::from(f.to_wire_bytes()[4..].to_vec());
+        let decoded = Frame::decode_body(body.clone()).unwrap();
+        assert_eq!(decoded.payload.as_slice(), b"payload-bytes");
+        assert!(
+            !decoded.payload.is_compact(),
+            "payload must be a slice of the receive buffer, not its own allocation"
+        );
+    }
+
+    #[test]
+    fn short_and_overrunning_bodies_are_rejected() {
+        assert!(Frame::decode_body(Bytes::from_static(b"tiny")).is_err());
+        // A header length pointing past the end of the body.
+        let mut wire = frame().to_wire_bytes();
+        wire[13..17].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            Frame::decode_body(Bytes::from(wire[4..].to_vec())),
+            Err(BlobError::Transport(_))
+        ));
+    }
+
+    #[test]
+    fn empty_header_and_payload_are_valid() {
+        let f = Frame::new(1, 2, Bytes::new(), Bytes::new());
+        let decoded = Frame::decode_body(Bytes::from(f.to_wire_bytes()[4..].to_vec())).unwrap();
+        assert_eq!(decoded, f);
+        assert_eq!(f.wire_len(), FRAME_PREFIX_BYTES as u64);
+    }
+}

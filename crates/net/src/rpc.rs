@@ -1,0 +1,828 @@
+//! The RPC layer: multiplexed client endpoints and server loops.
+//!
+//! One [`RpcEndpoint`] is a client's view of one remote service (a data
+//! provider, the provider manager, the metadata plane). All calls of one
+//! client to one endpoint share a single connection: requests carry
+//! monotonically increasing ids, a dedicated reader thread demultiplexes
+//! responses back to the waiting callers, and the sender side is a mutex
+//! around the frame sink — so the pipelined scheduler's overlapped
+//! transfers stay overlapped on the wire instead of serialising per
+//! request/response pair.
+//!
+//! Every call is bounded by the deployment's `io_timeout` and retried a
+//! bounded number of times on *transport* errors (timeout, disconnect,
+//! undecodable frame) — safe because every protocol request is idempotent.
+//! Application errors (`ChunkNotFound`, `ProviderUnavailable`, …) pass
+//! through untouched for the client library's own fallback logic (replica
+//! rotation, provider substitution, write repair).
+
+use crate::frame::Frame;
+use crate::transport::{Accept, Accepted, Connect, Connection, FrameSink, KillHandle};
+use blobseer_meta::{MetadataStore, NodeBody, NodeKey};
+use blobseer_provider::{DataProvider, PlacementRequest, ProviderManager};
+use blobseer_types::wire::{decode, encode, WireReader, WireWriter};
+use blobseer_types::{BlobError, ChunkId, ProviderId, Result, TransportMetrics};
+use bytes::Bytes;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Protocol opcodes.
+pub mod op {
+    /// Store one chunk replica (payload = chunk bytes).
+    pub const PUT_CHUNK: u8 = 0x01;
+    /// Fetch one chunk replica (response payload = chunk bytes).
+    pub const GET_CHUNK: u8 = 0x02;
+    /// Ask the provider manager to place a write's chunks.
+    pub const ALLOCATE: u8 = 0x03;
+    /// List the providers currently believed alive.
+    pub const LIVE_PROVIDERS: u8 = 0x04;
+    /// Batched metadata node fetch.
+    pub const META_GET: u8 = 0x10;
+    /// Batched write-once metadata node store.
+    pub const META_PUT: u8 = 0x11;
+    /// Metadata node count (statistics).
+    pub const META_COUNT: u8 = 0x12;
+    /// Successful response.
+    pub const RESP_OK: u8 = 0x80;
+    /// Failed response (header = encoded `BlobError`).
+    pub const RESP_ERR: u8 = 0x81;
+}
+
+/// Transport-level retries per call (first attempt not counted). Three
+/// retries push the probability of a lossy-but-live link failing a call
+/// below anything the fault-injection tests run at, while a genuinely dead
+/// endpoint still fails within `4 × io_timeout`.
+pub const DEFAULT_RPC_RETRIES: u32 = 3;
+
+/// Deeper retry budget for the metadata endpoint. The `MetadataStore` read
+/// interface cannot distinguish "node absent" from "endpoint unreachable"
+/// (absence is meaningful: holes, not-yet-woven nodes), and one path — a
+/// writer merging boundary bytes from its predecessor — would treat a
+/// metadata read that exhausted its retries as "never written: zeros".
+/// Burning through this budget takes seven consecutive lost round-trips on
+/// one call; the real fix (Result-returning metadata gets) is a trait-level
+/// follow-up tracked in ROADMAP.
+pub const META_RPC_RETRIES: u32 = 6;
+
+/// Effective wait when the configured I/O timeout is disabled (zero).
+const NO_TIMEOUT: Duration = Duration::from_secs(24 * 3600);
+
+/// In-flight request registry of one connection, shared between callers and
+/// the reader thread; `None` once the reader died.
+type PendingMap = Arc<Mutex<Option<HashMap<u64, Sender<Frame>>>>>;
+
+/// A live connection's client-side state.
+struct LiveConn {
+    sink: Arc<Mutex<Box<dyn FrameSink>>>,
+    /// In-flight request registry, shared with the reader thread. `None`
+    /// once the reader died — every waiter's sender is dropped with the map,
+    /// so blocked callers fail over immediately instead of timing out.
+    pending: PendingMap,
+    kill: KillHandle,
+}
+
+impl LiveConn {
+    fn is_alive(&self) -> bool {
+        self.pending.lock().is_some()
+    }
+}
+
+/// A client's multiplexed view of one remote service endpoint.
+pub struct RpcEndpoint {
+    connector: Arc<dyn Connect>,
+    io_timeout: Duration,
+    retries: u32,
+    metrics: Arc<TransportMetrics>,
+    next_id: AtomicU64,
+    conn: Mutex<Option<Arc<LiveConn>>>,
+}
+
+impl RpcEndpoint {
+    /// Builds an endpoint. No connection is dialled until the first call.
+    #[must_use]
+    pub fn new(
+        connector: Arc<dyn Connect>,
+        io_timeout: Option<Duration>,
+        metrics: Arc<TransportMetrics>,
+    ) -> Self {
+        RpcEndpoint {
+            connector,
+            io_timeout: io_timeout.unwrap_or(NO_TIMEOUT),
+            retries: DEFAULT_RPC_RETRIES,
+            metrics,
+            next_id: AtomicU64::new(1),
+            conn: Mutex::new(None),
+        }
+    }
+
+    /// Overrides the transport-level retry budget (tests).
+    #[must_use]
+    pub fn with_retries(mut self, retries: u32) -> Self {
+        self.retries = retries;
+        self
+    }
+
+    /// The metrics handle shared by this endpoint.
+    #[must_use]
+    pub fn metrics(&self) -> &Arc<TransportMetrics> {
+        &self.metrics
+    }
+
+    fn ensure_conn(&self) -> Result<Arc<LiveConn>> {
+        let mut slot = self.conn.lock();
+        if let Some(conn) = slot.as_ref() {
+            if conn.is_alive() {
+                return Ok(Arc::clone(conn));
+            }
+        }
+        let Connection { sink, source, kill } = self.connector.connect()?;
+        let pending: PendingMap = Arc::new(Mutex::new(Some(HashMap::new())));
+        let reader_pending = Arc::clone(&pending);
+        let reader_metrics = Arc::clone(&self.metrics);
+        std::thread::Builder::new()
+            .name("blobseer-rpc-reader".into())
+            .spawn(move || {
+                let mut source = source;
+                loop {
+                    match source.recv() {
+                        Ok(Some(frame)) => {
+                            reader_metrics.frame_received(frame.wire_len());
+                            let mut registry = reader_pending.lock();
+                            let Some(map) = registry.as_mut() else {
+                                return;
+                            };
+                            // A duplicated (or very late) response finds no
+                            // waiter and is discarded here.
+                            if let Some(waiter) = map.remove(&frame.request_id) {
+                                let _ = waiter.send(frame);
+                            }
+                        }
+                        Ok(None) | Err(_) => {
+                            // Connection gone: fail every waiter fast by
+                            // dropping the registry (and with it their
+                            // senders).
+                            *reader_pending.lock() = None;
+                            return;
+                        }
+                    }
+                }
+            })
+            .expect("cannot spawn rpc reader");
+        let conn = Arc::new(LiveConn {
+            sink: Arc::new(Mutex::new(sink)),
+            pending,
+            kill,
+        });
+        *slot = Some(Arc::clone(&conn));
+        Ok(conn)
+    }
+
+    fn drop_conn(&self, failed: &Arc<LiveConn>) {
+        (failed.kill)();
+        let mut slot = self.conn.lock();
+        if let Some(current) = slot.as_ref() {
+            if Arc::ptr_eq(current, failed) {
+                *slot = None;
+            }
+        }
+    }
+
+    fn try_call(&self, opcode: u8, header: &Bytes, payload: &Bytes) -> Result<Frame> {
+        let conn = self.ensure_conn()?;
+        let request_id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let (tx, rx): (Sender<Frame>, Receiver<Frame>) = channel();
+        {
+            let mut registry = conn.pending.lock();
+            match registry.as_mut() {
+                Some(map) => {
+                    map.insert(request_id, tx);
+                }
+                None => {
+                    drop(registry);
+                    self.drop_conn(&conn);
+                    return Err(BlobError::Transport("rpc: connection lost".into()));
+                }
+            }
+        }
+        let frame = Frame::new(request_id, opcode, header.clone(), payload.clone());
+        let sent = { conn.sink.lock().send(&frame) };
+        if let Err(err) = sent {
+            if let Some(map) = conn.pending.lock().as_mut() {
+                map.remove(&request_id);
+            }
+            self.drop_conn(&conn);
+            return Err(err);
+        }
+        self.metrics.frame_sent(frame.wire_len());
+        match rx.recv_timeout(self.io_timeout) {
+            Ok(response) => Ok(response),
+            Err(RecvTimeoutError::Timeout) => {
+                // A timed-out request means the frame (or its response) was
+                // swallowed, or the endpoint is dead; the next attempt is
+                // better off on a fresh connection. Other in-flight requests
+                // fail over with us and retry on the new one — a deliberate
+                // trade: spurious group failovers on a slow-but-alive link
+                // are cheap (every request is idempotent), a dead link
+                // detected once is not re-probed by every waiter in turn.
+                if let Some(map) = conn.pending.lock().as_mut() {
+                    map.remove(&request_id);
+                }
+                self.drop_conn(&conn);
+                Err(BlobError::Transport(format!(
+                    "rpc: no response within {:?}",
+                    self.io_timeout
+                )))
+            }
+            Err(RecvTimeoutError::Disconnected) => {
+                self.drop_conn(&conn);
+                Err(BlobError::Transport("rpc: connection lost".into()))
+            }
+        }
+    }
+
+    /// Issues one request and returns the decoded-enough response frame
+    /// (`RESP_OK`), retrying transport-level failures with fresh
+    /// connections. Application errors from the server are returned as-is.
+    pub fn call(&self, opcode: u8, header: Bytes, payload: Bytes) -> Result<Frame> {
+        let mut last_err = BlobError::Transport("rpc: no attempt made".into());
+        for attempt in 0..=self.retries {
+            if attempt > 0 {
+                self.metrics.retried();
+            }
+            match self.try_call(opcode, &header, &payload) {
+                Ok(frame) if frame.opcode == op::RESP_ERR => {
+                    match decode::<BlobError>(&frame.header) {
+                        // The server could not make sense of our request —
+                        // almost certainly a frame mangled in flight.
+                        // Transport-class: retry.
+                        Ok(BlobError::Transport(msg)) => {
+                            last_err = BlobError::Transport(msg);
+                        }
+                        Ok(err) => return Err(err),
+                        Err(err) => last_err = err,
+                    }
+                }
+                Ok(frame) if frame.opcode == op::RESP_OK => return Ok(frame),
+                Ok(frame) => {
+                    last_err = BlobError::Transport(format!(
+                        "rpc: unexpected response opcode {:#x}",
+                        frame.opcode
+                    ));
+                }
+                Err(err) => last_err = err,
+            }
+        }
+        Err(last_err)
+    }
+}
+
+impl Drop for RpcEndpoint {
+    fn drop(&mut self) {
+        if let Some(conn) = self.conn.lock().take() {
+            (conn.kill)();
+        }
+    }
+}
+
+impl std::fmt::Debug for RpcEndpoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RpcEndpoint")
+            .field("io_timeout", &self.io_timeout)
+            .field("retries", &self.retries)
+            .finish()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Server side
+// ---------------------------------------------------------------------------
+
+/// Serves decoded requests at one endpoint.
+pub trait RpcHandler: Send + Sync {
+    /// Handles one request, returning the response header and payload.
+    fn handle(&self, opcode: u8, header: &[u8], payload: Bytes) -> Result<(Bytes, Bytes)>;
+}
+
+/// One running server endpoint: an accept loop plus one thread per live
+/// connection, all torn down by [`RpcServer::stop`] (or drop).
+pub struct RpcServer {
+    stop: KillHandle,
+    conns: Arc<Mutex<HashMap<u64, KillHandle>>>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+    stopped: bool,
+}
+
+impl RpcServer {
+    /// Starts serving `handler` behind `acceptor`. `stopper` must unblock
+    /// the acceptor (see `tcp_endpoint` / `channel_endpoint`).
+    #[must_use]
+    pub fn spawn(
+        mut acceptor: Box<dyn Accept>,
+        stopper: KillHandle,
+        handler: Arc<dyn RpcHandler>,
+    ) -> Self {
+        let conns: Arc<Mutex<HashMap<u64, KillHandle>>> = Arc::new(Mutex::new(HashMap::new()));
+        let accept_conns = Arc::clone(&conns);
+        let accept_thread = std::thread::Builder::new()
+            .name("blobseer-rpc-accept".into())
+            .spawn(move || {
+                let mut next_conn_id = 0u64;
+                loop {
+                    match acceptor.accept() {
+                        Accepted::Conn(conn) => {
+                            let conn_id = next_conn_id;
+                            next_conn_id += 1;
+                            accept_conns.lock().insert(conn_id, Arc::clone(&conn.kill));
+                            let handler = Arc::clone(&handler);
+                            let registry = Arc::clone(&accept_conns);
+                            std::thread::Builder::new()
+                                .name("blobseer-rpc-conn".into())
+                                .spawn(move || {
+                                    Self::serve_connection(conn, &handler);
+                                    // The connection is gone: drop its kill
+                                    // handle (and, for TCP, the cloned
+                                    // stream it owns) so a server outliving
+                                    // many client reconnects does not
+                                    // accumulate dead handles and fds.
+                                    registry.lock().remove(&conn_id);
+                                })
+                                .expect("cannot spawn rpc connection thread");
+                        }
+                        Accepted::Closed => return,
+                    }
+                }
+            })
+            .expect("cannot spawn rpc accept thread");
+        RpcServer {
+            stop: stopper,
+            conns,
+            accept_thread: Some(accept_thread),
+            stopped: false,
+        }
+    }
+
+    fn serve_connection(conn: Connection, handler: &Arc<dyn RpcHandler>) {
+        let Connection {
+            sink, mut source, ..
+        } = conn;
+        // Requests of one connection are *dispatched* in arrival order but
+        // *served* concurrently, one short-lived handler thread per request
+        // sharing the response sink. A client multiplexing in-flight
+        // requests over this connection therefore keeps them overlapped at
+        // the server too — a slow chunk fetch never head-of-line-blocks the
+        // requests queued behind it into their callers' I/O timeouts. The
+        // client's pipeline cap bounds how many run at once.
+        let sink = Arc::new(Mutex::new(sink));
+        while let Ok(Some(request)) = source.recv() {
+            let handler = Arc::clone(handler);
+            let sink = Arc::clone(&sink);
+            std::thread::Builder::new()
+                .name("blobseer-rpc-handler".into())
+                .spawn(move || {
+                    let response =
+                        match handler.handle(request.opcode, &request.header, request.payload) {
+                            Ok((header, payload)) => {
+                                Frame::new(request.request_id, op::RESP_OK, header, payload)
+                            }
+                            Err(err) => Frame::new(
+                                request.request_id,
+                                op::RESP_ERR,
+                                encode(&err),
+                                Bytes::new(),
+                            ),
+                        };
+                    // A dead sink means the client is gone; nothing to do.
+                    let _ = sink.lock().send(&response);
+                })
+                .expect("cannot spawn rpc handler thread");
+        }
+    }
+
+    /// Number of connections currently registered (tests, diagnostics).
+    #[must_use]
+    pub fn connection_count(&self) -> usize {
+        self.conns.lock().len()
+    }
+
+    /// Stops accepting, tears every live connection down and joins the
+    /// accept loop. Idempotent.
+    pub fn stop(&mut self) {
+        if self.stopped {
+            return;
+        }
+        self.stopped = true;
+        (self.stop)();
+        for (_, kill) in self.conns.lock().drain() {
+            kill();
+        }
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for RpcServer {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Service hosts
+// ---------------------------------------------------------------------------
+
+fn unknown_opcode(opcode: u8, host: &str) -> BlobError {
+    BlobError::Transport(format!("{host} endpoint: unknown opcode {opcode:#x}"))
+}
+
+/// Hosts one data provider's chunk store behind [`op::PUT_CHUNK`] /
+/// [`op::GET_CHUNK`].
+pub struct ChunkHost {
+    provider: Arc<DataProvider>,
+}
+
+impl ChunkHost {
+    /// Wraps a provider handle.
+    #[must_use]
+    pub fn new(provider: Arc<DataProvider>) -> Self {
+        ChunkHost { provider }
+    }
+}
+
+impl RpcHandler for ChunkHost {
+    fn handle(&self, opcode: u8, header: &[u8], payload: Bytes) -> Result<(Bytes, Bytes)> {
+        match opcode {
+            op::PUT_CHUNK => {
+                let mut r = WireReader::new(header);
+                let chunk: ChunkId = r.get()?;
+                let declared = r.get_u32()? as usize;
+                r.expect_end()?;
+                if declared != payload.len() {
+                    return Err(BlobError::Transport(format!(
+                        "put of {chunk} declared {declared} bytes but carried {}",
+                        payload.len()
+                    )));
+                }
+                // The payload is a refcounted slice of the receive buffer;
+                // the store keeps that slice — no server-side copy either.
+                self.provider.put_chunk(chunk, payload)?;
+                Ok((Bytes::new(), Bytes::new()))
+            }
+            op::GET_CHUNK => {
+                let chunk: ChunkId = decode(header)?;
+                let data = self.provider.get_chunk(&chunk)?;
+                let mut w = WireWriter::new();
+                w.put_u32(data.len() as u32);
+                Ok((w.finish(), data))
+            }
+            other => Err(unknown_opcode(other, "chunk")),
+        }
+    }
+}
+
+/// Hosts the provider manager behind [`op::ALLOCATE`] /
+/// [`op::LIVE_PROVIDERS`].
+pub struct ManagerHost {
+    manager: Arc<ProviderManager>,
+}
+
+impl ManagerHost {
+    /// Wraps the provider manager.
+    #[must_use]
+    pub fn new(manager: Arc<ProviderManager>) -> Self {
+        ManagerHost { manager }
+    }
+}
+
+impl RpcHandler for ManagerHost {
+    fn handle(&self, opcode: u8, header: &[u8], _payload: Bytes) -> Result<(Bytes, Bytes)> {
+        match opcode {
+            op::ALLOCATE => {
+                let request: PlacementRequest = decode(header)?;
+                let placement = self.manager.allocate(request)?;
+                Ok((encode(&placement), Bytes::new()))
+            }
+            op::LIVE_PROVIDERS => {
+                let live: Vec<ProviderId> = self.manager.live_providers();
+                Ok((encode(&live), Bytes::new()))
+            }
+            other => Err(unknown_opcode(other, "manager")),
+        }
+    }
+}
+
+/// Hosts a metadata store (the DHT in production wiring) behind
+/// [`op::META_GET`] / [`op::META_PUT`] / [`op::META_COUNT`].
+pub struct MetaHost {
+    store: Arc<dyn MetadataStore>,
+}
+
+impl MetaHost {
+    /// Wraps a metadata store.
+    #[must_use]
+    pub fn new(store: Arc<dyn MetadataStore>) -> Self {
+        MetaHost { store }
+    }
+}
+
+impl RpcHandler for MetaHost {
+    fn handle(&self, opcode: u8, header: &[u8], _payload: Bytes) -> Result<(Bytes, Bytes)> {
+        match opcode {
+            op::META_GET => {
+                let keys: Vec<NodeKey> = decode(header)?;
+                let bodies = self.store.get_nodes(&keys);
+                Ok((encode(&bodies), Bytes::new()))
+            }
+            op::META_PUT => {
+                let nodes: Vec<(NodeKey, NodeBody)> = decode(header)?;
+                self.store.put_nodes(nodes)?;
+                Ok((Bytes::new(), Bytes::new()))
+            }
+            op::META_COUNT => {
+                let count = self.store.node_count();
+                Ok((encode(&count), Bytes::new()))
+            }
+            other => Err(unknown_opcode(other, "meta")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transport::{channel_endpoint, tcp_endpoint, FaultState};
+    use blobseer_types::{BlobId, FaultPlan};
+
+    /// Echoes the request back; opcode 0x70 sleeps forever (a hung
+    /// endpoint), opcode 0x71 returns an application error.
+    struct EchoHandler;
+
+    impl RpcHandler for EchoHandler {
+        fn handle(&self, opcode: u8, header: &[u8], payload: Bytes) -> Result<(Bytes, Bytes)> {
+            match opcode {
+                0x70 => {
+                    // A hung endpoint: far longer than any test timeout (the
+                    // thread exits with the test process).
+                    std::thread::sleep(Duration::from_secs(60));
+                    Ok((Bytes::new(), Bytes::new()))
+                }
+                0x71 => Err(BlobError::UnknownBlob(BlobId(9))),
+                0x72 => {
+                    // Slow but finite: long enough to prove concurrent
+                    // serving, short enough to join at test end.
+                    std::thread::sleep(Duration::from_millis(800));
+                    Ok((Bytes::new(), Bytes::new()))
+                }
+                _ => Ok((Bytes::from(header.to_vec()), payload)),
+            }
+        }
+    }
+
+    fn channel_rig(plan: FaultPlan, io_timeout: Duration) -> (RpcServer, RpcEndpoint) {
+        let faults = Arc::new(FaultState::new(plan));
+        let (connector, acceptor, stopper) = channel_endpoint(faults);
+        let server = RpcServer::spawn(acceptor, stopper, Arc::new(EchoHandler));
+        let endpoint = RpcEndpoint::new(
+            connector,
+            Some(io_timeout),
+            Arc::new(TransportMetrics::new()),
+        );
+        (server, endpoint)
+    }
+
+    #[test]
+    fn calls_roundtrip_and_count_frames() {
+        let (_server, endpoint) = channel_rig(FaultPlan::none(), Duration::from_secs(5));
+        let resp = endpoint
+            .call(0x20, Bytes::from_static(b"hd"), Bytes::from_static(b"pl"))
+            .unwrap();
+        assert_eq!(resp.header.as_slice(), b"hd");
+        assert_eq!(resp.payload.as_slice(), b"pl");
+        let m = endpoint.metrics().snapshot();
+        assert_eq!(m.frames_sent, 1);
+        assert_eq!(m.frames_received, 1);
+        assert!(m.bytes_on_wire > 0);
+        assert_eq!(m.retries, 0);
+    }
+
+    #[test]
+    fn application_errors_pass_through_without_retries() {
+        let (_server, endpoint) = channel_rig(FaultPlan::none(), Duration::from_secs(5));
+        let err = endpoint.call(0x71, Bytes::new(), Bytes::new()).unwrap_err();
+        assert_eq!(err, BlobError::UnknownBlob(BlobId(9)));
+        assert_eq!(endpoint.metrics().snapshot().retries, 0);
+    }
+
+    #[test]
+    fn concurrent_calls_multiplex_one_connection() {
+        let (_server, endpoint) = channel_rig(FaultPlan::none(), Duration::from_secs(5));
+        let endpoint = Arc::new(endpoint);
+        let mut handles = Vec::new();
+        for i in 0..8u8 {
+            let endpoint = Arc::clone(&endpoint);
+            handles.push(std::thread::spawn(move || {
+                for j in 0..16u8 {
+                    let body = Bytes::from(vec![i, j]);
+                    let resp = endpoint.call(0x20, body.clone(), Bytes::new()).unwrap();
+                    assert_eq!(resp.header, body, "demux must match responses to callers");
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        // All 128 calls shared one connection's id space.
+        assert_eq!(endpoint.metrics().snapshot().frames_sent, 128);
+    }
+
+    #[test]
+    fn stalled_endpoints_time_out_and_healthy_retries_recover() {
+        // stall = 1 swallows every request: the call must fail after
+        // retries, in bounded time, with a transport error.
+        let plan = FaultPlan {
+            seed: 1,
+            stall: 1.0,
+            ..FaultPlan::none()
+        };
+        let (_server, endpoint) = channel_rig(plan, Duration::from_millis(60));
+        let start = std::time::Instant::now();
+        let err = endpoint.call(0x20, Bytes::new(), Bytes::new()).unwrap_err();
+        assert!(matches!(err, BlobError::Transport(_)));
+        assert!(
+            start.elapsed() < Duration::from_secs(5),
+            "a stalled endpoint must fail promptly, not hang"
+        );
+        assert_eq!(
+            endpoint.metrics().snapshot().retries,
+            u64::from(DEFAULT_RPC_RETRIES)
+        );
+    }
+
+    #[test]
+    fn lossy_links_are_masked_by_retries() {
+        // A sixth of the frames vanish — in either direction, so a call
+        // fails per attempt with p ≈ 0.3. A deeper retry budget still
+        // converges (deterministically, per the fixed seed).
+        let plan = FaultPlan {
+            seed: 77,
+            drop: 0.15,
+            ..FaultPlan::none()
+        };
+        let (_server, endpoint) = channel_rig(plan, Duration::from_millis(60));
+        let endpoint = endpoint.with_retries(6);
+        for i in 0..10u8 {
+            let body = Bytes::from(vec![i]);
+            let resp = endpoint.call(0x20, body.clone(), Bytes::new()).unwrap();
+            assert_eq!(resp.header, body);
+        }
+        assert!(endpoint.metrics().snapshot().retries > 0);
+    }
+
+    #[test]
+    fn a_hung_request_times_out_and_the_endpoint_recovers_on_a_fresh_connection() {
+        let (_server, endpoint) = channel_rig(FaultPlan::none(), Duration::from_millis(100));
+        // One retry is plenty: every attempt hits the same sleeping handler.
+        let endpoint = endpoint.with_retries(1);
+        let start = std::time::Instant::now();
+        let err = endpoint.call(0x70, Bytes::new(), Bytes::new()).unwrap_err();
+        assert!(matches!(err, BlobError::Transport(_)));
+        assert!(start.elapsed() < Duration::from_secs(5));
+        // The wedged connection was dropped; the next call dials a fresh one
+        // (served by a fresh connection thread) and succeeds.
+        let resp = endpoint
+            .call(0x20, Bytes::from_static(b"after"), Bytes::new())
+            .unwrap();
+        assert_eq!(resp.header.as_slice(), b"after");
+    }
+
+    #[test]
+    fn dead_connections_are_pruned_from_the_server_registry() {
+        let faults = Arc::new(FaultState::new(FaultPlan::none()));
+        let (connector, acceptor, stopper) = channel_endpoint(faults);
+        let server = RpcServer::spawn(acceptor, stopper, Arc::new(EchoHandler));
+        // Churn: dial, use, drop — like a client failing over repeatedly.
+        for round in 0..5u8 {
+            let endpoint = RpcEndpoint::new(
+                Arc::clone(&connector),
+                Some(Duration::from_secs(5)),
+                Arc::new(TransportMetrics::new()),
+            );
+            endpoint
+                .call(0x20, Bytes::from(vec![round]), Bytes::new())
+                .unwrap();
+            drop(endpoint); // kills the connection
+        }
+        // Each dropped connection's kill handle leaves the registry once its
+        // server thread notices the teardown.
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while server.connection_count() > 0 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(
+            server.connection_count(),
+            0,
+            "dead connections must not accumulate in the server"
+        );
+    }
+
+    #[test]
+    fn in_flight_requests_on_one_connection_are_served_concurrently() {
+        // Two calls multiplexed on one connection, the first against a
+        // handler that sleeps: the second must complete while the first is
+        // still pending (no head-of-line blocking into its timeout).
+        let (_server, endpoint) = channel_rig(FaultPlan::none(), Duration::from_secs(10));
+        let endpoint = Arc::new(endpoint);
+        let slow = {
+            let endpoint = Arc::clone(&endpoint);
+            std::thread::spawn(move || endpoint.call(0x72, Bytes::new(), Bytes::new()))
+        };
+        std::thread::sleep(Duration::from_millis(30)); // let the slow call land first
+        let start = std::time::Instant::now();
+        endpoint
+            .call(0x20, Bytes::from_static(b"quick"), Bytes::new())
+            .unwrap();
+        assert!(
+            start.elapsed() < Duration::from_millis(400),
+            "a quick request must not queue behind a slow one"
+        );
+        slow.join().unwrap().unwrap();
+        assert_eq!(endpoint.metrics().snapshot().retries, 0);
+    }
+
+    #[test]
+    fn stopped_servers_fail_calls_fast_and_cleanly() {
+        let (mut server, endpoint) = channel_rig(FaultPlan::none(), Duration::from_millis(200));
+        endpoint
+            .call(0x20, Bytes::from_static(b"a"), Bytes::new())
+            .unwrap();
+        server.stop();
+        let err = endpoint
+            .call(0x20, Bytes::from_static(b"b"), Bytes::new())
+            .unwrap_err();
+        assert!(matches!(err, BlobError::Transport(_)));
+    }
+
+    #[test]
+    fn rpc_works_over_real_tcp_sockets() {
+        let (connector, acceptor, stopper) = tcp_endpoint("127.0.0.1:0").unwrap();
+        let mut server = RpcServer::spawn(acceptor, stopper, Arc::new(EchoHandler));
+        let endpoint = RpcEndpoint::new(
+            connector,
+            Some(Duration::from_secs(5)),
+            Arc::new(TransportMetrics::new()),
+        );
+        let payload = Bytes::from(vec![7u8; 100_000]);
+        let resp = endpoint
+            .call(0x20, Bytes::from_static(b"big"), payload.clone())
+            .unwrap();
+        assert_eq!(resp.payload, payload);
+        let m = endpoint.metrics().snapshot();
+        assert!(m.bytes_on_wire >= 2 * 100_000);
+        server.stop();
+        // After the server is gone, calls fail with a transport error
+        // instead of hanging (connect refused or reset).
+        let err = endpoint.call(0x20, Bytes::new(), Bytes::new());
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn chunk_host_validates_declared_payload_lengths() {
+        let provider = Arc::new(DataProvider::in_memory(ProviderId(0)));
+        let host = ChunkHost::new(provider);
+        let chunk = ChunkId {
+            blob: BlobId(1),
+            write_tag: 2,
+            slot: 3,
+        };
+        let mut w = WireWriter::new();
+        w.put(&chunk);
+        w.put_u32(10); // declares 10 bytes...
+        let err = host
+            .handle(op::PUT_CHUNK, &w.finish(), Bytes::from_static(b"abc"))
+            .unwrap_err(); // ...but carries 3: a truncated frame.
+        assert!(matches!(err, BlobError::Transport(_)));
+    }
+
+    #[test]
+    fn hosts_reject_unknown_opcodes() {
+        let provider = Arc::new(DataProvider::in_memory(ProviderId(0)));
+        assert!(ChunkHost::new(provider)
+            .handle(0x6f, &[], Bytes::new())
+            .is_err());
+        let manager = Arc::new(ProviderManager::with_providers(
+            blobseer_types::PlacementPolicy::RoundRobin,
+            2,
+        ));
+        assert!(ManagerHost::new(manager)
+            .handle(0x6f, &[], Bytes::new())
+            .is_err());
+        let store: Arc<dyn MetadataStore> = Arc::new(blobseer_meta::InMemoryMetaStore::new());
+        assert!(MetaHost::new(store)
+            .handle(0x6f, &[], Bytes::new())
+            .is_err());
+    }
+}

@@ -1,0 +1,716 @@
+//! The two frame transports: real TCP loopback sockets and an in-process
+//! channel pair with deterministic fault injection.
+//!
+//! Both sides of either transport speak in [`Frame`]s through the same two
+//! traits — [`FrameSink`] (send) and [`FrameSource`] (receive) — so the RPC
+//! layer above cannot tell them apart. The TCP transport is the "real
+//! network" proof: frames cross actual `std::net` sockets, sent as vectored
+//! writes (prefix, header, payload — the chunk payload is never flattened
+//! into another buffer) and received into a single `BytesMut` per frame.
+//! The channel transport moves the `Frame` values themselves through
+//! `mpsc` channels (sharing payloads by refcount) and is where the seeded
+//! [`FaultPlan`] injects drops, delays, duplicates, truncations, stalls and
+//! disconnects — deterministically, so every fault test is replayable.
+
+use crate::frame::{Frame, FRAME_PREFIX_BYTES, MAX_FRAME_BYTES};
+use blobseer_types::{BlobError, FaultPlan, Result};
+use bytes::BytesMut;
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::io::{IoSlice, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Sending half of one frame connection.
+pub trait FrameSink: Send {
+    /// Delivers one frame (or injects a fault pretending to).
+    fn send(&mut self, frame: &Frame) -> Result<()>;
+}
+
+/// Receiving half of one frame connection.
+pub trait FrameSource: Send {
+    /// Blocks for the next frame; `Ok(None)` is a clean end of stream.
+    fn recv(&mut self) -> Result<Option<Frame>>;
+}
+
+/// A kill switch tearing one connection down from outside (idempotent).
+pub type KillHandle = Arc<dyn Fn() + Send + Sync>;
+
+/// The three handles one endpoint builder returns: the connector clients
+/// dial, the acceptor the server loop blocks on, and a stop closure that
+/// unblocks the acceptor for shutdown.
+pub type EndpointParts = (Arc<dyn Connect>, Box<dyn Accept>, KillHandle);
+
+/// One established bidirectional frame connection.
+pub struct Connection {
+    /// Send half.
+    pub sink: Box<dyn FrameSink>,
+    /// Receive half.
+    pub source: Box<dyn FrameSource>,
+    /// Tears the connection down (unblocks both halves).
+    pub kill: KillHandle,
+}
+
+/// Dials new connections to one endpoint.
+pub trait Connect: Send + Sync {
+    /// Establishes a fresh connection.
+    fn connect(&self) -> Result<Connection>;
+}
+
+/// What an acceptor hands the server loop.
+pub enum Accepted {
+    /// A new inbound connection.
+    Conn(Connection),
+    /// The endpoint was stopped; no more connections will arrive.
+    Closed,
+}
+
+/// Accepts inbound connections at one endpoint.
+pub trait Accept: Send {
+    /// Blocks for the next inbound connection.
+    fn accept(&mut self) -> Accepted;
+}
+
+fn io_err(context: &str, err: &std::io::Error) -> BlobError {
+    BlobError::Transport(format!("{context}: {err}"))
+}
+
+// ---------------------------------------------------------------------------
+// TCP loopback
+// ---------------------------------------------------------------------------
+
+struct TcpSink {
+    stream: TcpStream,
+}
+
+impl TcpSink {
+    /// Writes every byte of `parts` with as few syscalls as the socket
+    /// allows, advancing across partial vectored writes. This is the
+    /// zero-copy send path: the chunk payload slice goes straight from the
+    /// caller's `Bytes` to the kernel.
+    fn write_all_vectored(stream: &mut TcpStream, parts: &[&[u8]]) -> std::io::Result<()> {
+        let mut parts: Vec<&[u8]> = parts.iter().copied().filter(|p| !p.is_empty()).collect();
+        while !parts.is_empty() {
+            let slices: Vec<IoSlice<'_>> = parts.iter().map(|p| IoSlice::new(p)).collect();
+            let mut advanced = stream.write_vectored(&slices)?;
+            if advanced == 0 {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::WriteZero,
+                    "socket accepted zero bytes",
+                ));
+            }
+            while advanced > 0 {
+                if parts[0].len() <= advanced {
+                    advanced -= parts[0].len();
+                    parts.remove(0);
+                } else {
+                    parts[0] = &parts[0][advanced..];
+                    advanced = 0;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl FrameSink for TcpSink {
+    fn send(&mut self, frame: &Frame) -> Result<()> {
+        let prefix = frame.prefix();
+        Self::write_all_vectored(
+            &mut self.stream,
+            &[&prefix, frame.header.as_slice(), frame.payload.as_slice()],
+        )
+        .map_err(|e| io_err("tcp send", &e))
+    }
+}
+
+struct TcpSource {
+    stream: TcpStream,
+}
+
+impl FrameSource for TcpSource {
+    fn recv(&mut self) -> Result<Option<Frame>> {
+        // Length prefix, tolerating a clean close at a frame boundary.
+        let mut len_buf = [0u8; 4];
+        let mut filled = 0;
+        while filled < len_buf.len() {
+            match self.stream.read(&mut len_buf[filled..]) {
+                Ok(0) if filled == 0 => return Ok(None),
+                Ok(0) => {
+                    return Err(BlobError::Transport(
+                        "tcp recv: stream closed mid-frame".into(),
+                    ))
+                }
+                Ok(n) => filled += n,
+                Err(e) => return Err(io_err("tcp recv", &e)),
+            }
+        }
+        let body_len = u32::from_le_bytes(len_buf) as usize;
+        if !(FRAME_PREFIX_BYTES - 4..=MAX_FRAME_BYTES).contains(&body_len) {
+            return Err(BlobError::Transport(format!(
+                "tcp recv: implausible frame length {body_len}"
+            )));
+        }
+        // The single receive-side copy: the whole frame lands in one buffer,
+        // and `decode_body` hands header/payload out as slices of it.
+        let mut body = BytesMut::zeroed(body_len);
+        self.stream
+            .read_exact(&mut body)
+            .map_err(|e| io_err("tcp recv", &e))?;
+        Frame::decode_body(body.freeze()).map(Some)
+    }
+}
+
+fn tcp_connection(stream: TcpStream) -> Result<Connection> {
+    stream.set_nodelay(true).ok();
+    let reader = stream.try_clone().map_err(|e| io_err("tcp clone", &e))?;
+    let killer = stream.try_clone().map_err(|e| io_err("tcp clone", &e))?;
+    Ok(Connection {
+        sink: Box::new(TcpSink { stream }),
+        source: Box::new(TcpSource { stream: reader }),
+        kill: Arc::new(move || {
+            let _ = killer.shutdown(Shutdown::Both);
+        }),
+    })
+}
+
+/// Dials one TCP endpoint.
+pub struct TcpConnector {
+    addr: SocketAddr,
+}
+
+impl Connect for TcpConnector {
+    fn connect(&self) -> Result<Connection> {
+        let stream = TcpStream::connect(self.addr).map_err(|e| io_err("tcp connect", &e))?;
+        tcp_connection(stream)
+    }
+}
+
+/// Accept side of one TCP endpoint.
+pub struct TcpAcceptor {
+    listener: TcpListener,
+    stop: Arc<AtomicBool>,
+}
+
+impl Accept for TcpAcceptor {
+    fn accept(&mut self) -> Accepted {
+        loop {
+            if self.stop.load(Ordering::Acquire) {
+                return Accepted::Closed;
+            }
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    if self.stop.load(Ordering::Acquire) {
+                        // The wake-up connection used to unblock us.
+                        return Accepted::Closed;
+                    }
+                    match tcp_connection(stream) {
+                        Ok(conn) => return Accepted::Conn(conn),
+                        Err(_) => continue,
+                    }
+                }
+                Err(_) => {
+                    if self.stop.load(Ordering::Acquire) {
+                        return Accepted::Closed;
+                    }
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+            }
+        }
+    }
+}
+
+/// Binds one TCP endpoint and returns its [`EndpointParts`].
+pub fn tcp_endpoint(listen: &str) -> Result<EndpointParts> {
+    let listener = TcpListener::bind(listen).map_err(|e| io_err("tcp bind", &e))?;
+    let addr = listener.local_addr().map_err(|e| io_err("tcp addr", &e))?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let acceptor = TcpAcceptor {
+        listener,
+        stop: Arc::clone(&stop),
+    };
+    let stopper: KillHandle = Arc::new(move || {
+        stop.store(true, Ordering::Release);
+        // Wake the acceptor blocked in accept().
+        let _ = TcpStream::connect(addr);
+    });
+    Ok((Arc::new(TcpConnector { addr }), Box::new(acceptor), stopper))
+}
+
+// ---------------------------------------------------------------------------
+// In-process channel transport with fault injection
+// ---------------------------------------------------------------------------
+
+/// What the fault state decided for one frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FaultAction {
+    /// Deliver normally (possibly delayed / truncated / duplicated).
+    Deliver {
+        delay_us: u64,
+        truncate: bool,
+        duplicate: bool,
+    },
+    /// Swallow the frame; the link stays up.
+    Drop,
+    /// Swallow the frame *and* pretend nothing happened — the canonical
+    /// "hung endpoint". Indistinguishable from `Drop` on the wire; kept
+    /// separate so plans can express "stalls only".
+    Stall,
+    /// Tear the link down while carrying the frame.
+    Disconnect,
+}
+
+/// Shared, seeded fault decision source of one channel network. All links
+/// of a [`crate::cluster::NetCluster`] draw from the same generator, so a
+/// `(plan, seed)` pair replays the identical fault sequence.
+pub struct FaultState {
+    plan: FaultPlan,
+    rng: Mutex<StdRng>,
+}
+
+impl FaultState {
+    /// Builds the decision source for `plan`.
+    #[must_use]
+    pub fn new(plan: FaultPlan) -> Self {
+        FaultState {
+            rng: Mutex::new(StdRng::seed_from_u64(plan.seed)),
+            plan,
+        }
+    }
+
+    /// The plan driving the decisions.
+    #[must_use]
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    fn decide(&self) -> FaultAction {
+        if self.plan.is_clean() {
+            return FaultAction::Deliver {
+                delay_us: 0,
+                truncate: false,
+                duplicate: false,
+            };
+        }
+        let mut rng = self.rng.lock();
+        if rng.gen_bool(self.plan.disconnect) {
+            return FaultAction::Disconnect;
+        }
+        if rng.gen_bool(self.plan.stall) {
+            return FaultAction::Stall;
+        }
+        if rng.gen_bool(self.plan.drop) {
+            return FaultAction::Drop;
+        }
+        FaultAction::Deliver {
+            delay_us: if rng.gen_bool(self.plan.delay) {
+                self.plan.delay_us
+            } else {
+                0
+            },
+            truncate: rng.gen_bool(self.plan.truncate),
+            duplicate: rng.gen_bool(self.plan.duplicate),
+        }
+    }
+}
+
+/// How long a channel source sleeps between checks of its dead flag while
+/// no frame is arriving.
+const CHANNEL_POLL: Duration = Duration::from_millis(10);
+
+struct ChannelSink {
+    tx: Sender<Frame>,
+    dead: Arc<AtomicBool>,
+    faults: Arc<FaultState>,
+}
+
+impl ChannelSink {
+    fn deliver(&self, frame: Frame) -> Result<()> {
+        if self.tx.send(frame).is_err() {
+            self.dead.store(true, Ordering::Release);
+            return Err(BlobError::Transport("channel send: peer is gone".into()));
+        }
+        Ok(())
+    }
+}
+
+impl FrameSink for ChannelSink {
+    fn send(&mut self, frame: &Frame) -> Result<()> {
+        if self.dead.load(Ordering::Acquire) {
+            return Err(BlobError::Transport("channel send: link is down".into()));
+        }
+        match self.faults.decide() {
+            FaultAction::Disconnect => {
+                self.dead.store(true, Ordering::Release);
+                Err(BlobError::Transport(
+                    "channel send: injected disconnect".into(),
+                ))
+            }
+            // Dropped and stalled frames report success — exactly like a
+            // lost datagram, only the receiver's silence gives it away.
+            FaultAction::Drop | FaultAction::Stall => Ok(()),
+            FaultAction::Deliver {
+                delay_us,
+                truncate,
+                duplicate,
+            } => {
+                if delay_us > 0 {
+                    std::thread::sleep(Duration::from_micros(delay_us));
+                }
+                let out = if truncate {
+                    truncate_frame(frame)
+                } else {
+                    frame.clone()
+                };
+                self.deliver(out.clone())?;
+                if duplicate {
+                    self.deliver(out)?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// Cuts a frame short the way a torn TCP segment would: half the payload
+/// disappears (or half the header, for payload-less frames). Zero-copy —
+/// truncation is just a shorter refcounted slice.
+fn truncate_frame(frame: &Frame) -> Frame {
+    let mut out = frame.clone();
+    if !out.payload.is_empty() {
+        out.payload = out.payload.slice(..out.payload.len() / 2);
+    } else if !out.header.is_empty() {
+        out.header = out.header.slice(..out.header.len() / 2);
+    }
+    out
+}
+
+struct ChannelSource {
+    rx: Receiver<Frame>,
+    dead: Arc<AtomicBool>,
+}
+
+impl FrameSource for ChannelSource {
+    fn recv(&mut self) -> Result<Option<Frame>> {
+        loop {
+            if self.dead.load(Ordering::Acquire) {
+                return Ok(None);
+            }
+            match self.rx.recv_timeout(CHANNEL_POLL) {
+                Ok(frame) => return Ok(Some(frame)),
+                Err(RecvTimeoutError::Timeout) => continue,
+                Err(RecvTimeoutError::Disconnected) => return Ok(None),
+            }
+        }
+    }
+}
+
+/// Dials one channel endpoint: each connect builds a fresh duplex pair of
+/// `mpsc` channels and hands the server half to the endpoint's acceptor.
+pub struct ChannelConnector {
+    inbound: Mutex<Sender<Connection>>,
+    faults: Arc<FaultState>,
+}
+
+impl Connect for ChannelConnector {
+    fn connect(&self) -> Result<Connection> {
+        let (c2s_tx, c2s_rx) = channel::<Frame>();
+        let (s2c_tx, s2c_rx) = channel::<Frame>();
+        let dead = Arc::new(AtomicBool::new(false));
+        let kill: KillHandle = {
+            let dead = Arc::clone(&dead);
+            Arc::new(move || dead.store(true, Ordering::Release))
+        };
+        let server_side = Connection {
+            sink: Box::new(ChannelSink {
+                tx: s2c_tx,
+                dead: Arc::clone(&dead),
+                faults: Arc::clone(&self.faults),
+            }),
+            source: Box::new(ChannelSource {
+                rx: c2s_rx,
+                dead: Arc::clone(&dead),
+            }),
+            kill: Arc::clone(&kill),
+        };
+        if self.inbound.lock().send(server_side).is_err() {
+            return Err(BlobError::Transport(
+                "channel connect: endpoint is stopped".into(),
+            ));
+        }
+        Ok(Connection {
+            sink: Box::new(ChannelSink {
+                tx: c2s_tx,
+                dead: Arc::clone(&dead),
+                faults: Arc::clone(&self.faults),
+            }),
+            source: Box::new(ChannelSource { rx: s2c_rx, dead }),
+            kill,
+        })
+    }
+}
+
+/// Accept side of one channel endpoint.
+pub struct ChannelAcceptor {
+    inbound: Receiver<Connection>,
+    stop: Arc<AtomicBool>,
+}
+
+impl Accept for ChannelAcceptor {
+    fn accept(&mut self) -> Accepted {
+        loop {
+            if self.stop.load(Ordering::Acquire) {
+                return Accepted::Closed;
+            }
+            match self.inbound.recv_timeout(CHANNEL_POLL) {
+                Ok(conn) => return Accepted::Conn(conn),
+                Err(RecvTimeoutError::Timeout) => continue,
+                Err(RecvTimeoutError::Disconnected) => return Accepted::Closed,
+            }
+        }
+    }
+}
+
+/// Builds one channel endpoint over the shared fault state and returns its
+/// [`EndpointParts`].
+pub fn channel_endpoint(faults: Arc<FaultState>) -> EndpointParts {
+    let (tx, rx) = channel::<Connection>();
+    let stop = Arc::new(AtomicBool::new(false));
+    let acceptor = ChannelAcceptor {
+        inbound: rx,
+        stop: Arc::clone(&stop),
+    };
+    let stopper: KillHandle = Arc::new(move || stop.store(true, Ordering::Release));
+    (
+        Arc::new(ChannelConnector {
+            inbound: Mutex::new(tx),
+            faults,
+        }),
+        Box::new(acceptor),
+        stopper,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+
+    fn frame(id: u64) -> Frame {
+        Frame::new(
+            id,
+            1,
+            Bytes::from_static(b"hd"),
+            Bytes::from(vec![id as u8; 64]),
+        )
+    }
+
+    fn clean_pair() -> (Connection, Connection) {
+        let faults = Arc::new(FaultState::new(FaultPlan::none()));
+        let (connector, mut acceptor, _stop) = channel_endpoint(faults);
+        let client = connector.connect().unwrap();
+        let Accepted::Conn(server) = acceptor.accept() else {
+            panic!("expected a connection");
+        };
+        (client, server)
+    }
+
+    #[test]
+    fn channel_frames_roundtrip_without_copying_the_payload() {
+        let (mut client, mut server) = clean_pair();
+        let sent = frame(1);
+        client.sink.send(&sent).unwrap();
+        let got = server.source.recv().unwrap().unwrap();
+        assert_eq!(got, sent);
+        // Refcount sharing: the channel moved the Bytes handle, not bytes.
+        assert_eq!(
+            got.payload.as_slice().as_ptr(),
+            sent.payload.as_slice().as_ptr()
+        );
+        server.sink.send(&frame(2)).unwrap();
+        assert_eq!(client.source.recv().unwrap().unwrap().request_id, 2);
+    }
+
+    #[test]
+    fn killed_channel_links_unblock_both_halves() {
+        let (mut client, mut server) = clean_pair();
+        (client.kill)();
+        assert!(client.sink.send(&frame(1)).is_err());
+        assert!(server.source.recv().unwrap().is_none());
+    }
+
+    #[test]
+    fn stopped_channel_endpoints_refuse_new_connections() {
+        let faults = Arc::new(FaultState::new(FaultPlan::none()));
+        let (connector, mut acceptor, stop) = channel_endpoint(faults);
+        stop();
+        assert!(matches!(acceptor.accept(), Accepted::Closed));
+        // The acceptor's receiver is gone once the acceptor is dropped.
+        drop(acceptor);
+        assert!(connector.connect().is_err());
+    }
+
+    #[test]
+    fn tcp_frames_roundtrip_over_a_real_socket() {
+        let (connector, mut acceptor, stop) = tcp_endpoint("127.0.0.1:0").unwrap();
+        let server_thread = std::thread::spawn(move || match acceptor.accept() {
+            Accepted::Conn(mut conn) => {
+                let got = conn.source.recv().unwrap().unwrap();
+                conn.sink.send(&got).unwrap();
+                // Clean EOF once the client closes.
+                assert!(conn.source.recv().unwrap().is_none());
+            }
+            Accepted::Closed => panic!("acceptor closed early"),
+        });
+        let mut client = connector.connect().unwrap();
+        let sent = frame(9);
+        client.sink.send(&sent).unwrap();
+        let echoed = client.source.recv().unwrap().unwrap();
+        assert_eq!(echoed, sent);
+        drop(client);
+        server_thread.join().unwrap();
+        stop();
+    }
+
+    #[test]
+    fn tcp_kill_unblocks_a_waiting_reader() {
+        let (connector, mut acceptor, stop) = tcp_endpoint("127.0.0.1:0").unwrap();
+        let server_thread = std::thread::spawn(move || {
+            if let Accepted::Conn(conn) = acceptor.accept() {
+                // Hold the connection open until the client kills its side.
+                let mut source = conn.source;
+                let _ = source.recv();
+            }
+        });
+        let client = connector.connect().unwrap();
+        let mut source = client.source;
+        let kill = client.kill;
+        let reader = std::thread::spawn(move || source.recv());
+        std::thread::sleep(Duration::from_millis(20));
+        kill();
+        // A shutdown socket yields EOF or an error — either way the reader
+        // returns instead of blocking forever.
+        let _ = reader.join().unwrap();
+        stop();
+        server_thread.join().unwrap();
+    }
+
+    #[test]
+    fn stopped_tcp_endpoints_close_their_acceptor() {
+        let (_connector, mut acceptor, stop) = tcp_endpoint("127.0.0.1:0").unwrap();
+        let t = std::thread::spawn(move || matches!(acceptor.accept(), Accepted::Closed));
+        stop();
+        assert!(t.join().unwrap());
+    }
+
+    #[test]
+    fn fault_decisions_are_deterministic_per_seed() {
+        let plan = FaultPlan {
+            seed: 42,
+            drop: 0.3,
+            duplicate: 0.2,
+            truncate: 0.2,
+            delay: 0.1,
+            delay_us: 1,
+            stall: 0.1,
+            disconnect: 0.05,
+        };
+        let a: Vec<FaultAction> = {
+            let s = FaultState::new(plan);
+            (0..64).map(|_| s.decide()).collect()
+        };
+        let b: Vec<FaultAction> = {
+            let s = FaultState::new(plan);
+            (0..64).map(|_| s.decide()).collect()
+        };
+        assert_eq!(a, b, "same seed must replay the same fault sequence");
+        assert!(a.iter().any(|d| !matches!(
+            d,
+            FaultAction::Deliver {
+                delay_us: 0,
+                truncate: false,
+                duplicate: false
+            }
+        )));
+    }
+
+    #[test]
+    fn dropped_frames_vanish_and_later_frames_still_flow() {
+        let plan = FaultPlan {
+            seed: 7,
+            drop: 1.0,
+            ..FaultPlan::none()
+        };
+        let faults = Arc::new(FaultState::new(plan));
+        let (connector, mut acceptor, _stop) = channel_endpoint(faults);
+        let mut client = connector.connect().unwrap();
+        let Accepted::Conn(mut server) = acceptor.accept() else {
+            panic!("expected a connection");
+        };
+        client.sink.send(&frame(1)).unwrap();
+        // Nothing arrives: the frame was swallowed. Kill the link after a
+        // grace period so the blocking recv returns instead of hanging.
+        std::thread::sleep(Duration::from_millis(30));
+        (server.kill)();
+        assert!(server.source.recv().unwrap().is_none());
+    }
+
+    #[test]
+    fn truncated_frames_arrive_short_and_shared() {
+        let plan = FaultPlan {
+            seed: 3,
+            truncate: 1.0,
+            ..FaultPlan::none()
+        };
+        let faults = Arc::new(FaultState::new(plan));
+        let (connector, mut acceptor, _stop) = channel_endpoint(faults);
+        let mut client = connector.connect().unwrap();
+        let Accepted::Conn(mut server) = acceptor.accept() else {
+            panic!("expected a connection");
+        };
+        let sent = frame(1);
+        client.sink.send(&sent).unwrap();
+        let got = server.source.recv().unwrap().unwrap();
+        assert_eq!(got.payload.len(), sent.payload.len() / 2);
+    }
+
+    #[test]
+    fn duplicated_frames_arrive_twice() {
+        let plan = FaultPlan {
+            seed: 5,
+            duplicate: 1.0,
+            ..FaultPlan::none()
+        };
+        let faults = Arc::new(FaultState::new(plan));
+        let (connector, mut acceptor, _stop) = channel_endpoint(faults);
+        let mut client = connector.connect().unwrap();
+        let Accepted::Conn(mut server) = acceptor.accept() else {
+            panic!("expected a connection");
+        };
+        client.sink.send(&frame(4)).unwrap();
+        assert_eq!(server.source.recv().unwrap().unwrap().request_id, 4);
+        assert_eq!(server.source.recv().unwrap().unwrap().request_id, 4);
+    }
+
+    #[test]
+    fn injected_disconnects_poison_the_link() {
+        let plan = FaultPlan {
+            seed: 11,
+            disconnect: 1.0,
+            ..FaultPlan::none()
+        };
+        let faults = Arc::new(FaultState::new(plan));
+        let (connector, mut acceptor, _stop) = channel_endpoint(faults);
+        let mut client = connector.connect().unwrap();
+        let Accepted::Conn(mut server) = acceptor.accept() else {
+            panic!("expected a connection");
+        };
+        assert!(client.sink.send(&frame(1)).is_err());
+        assert!(client.sink.send(&frame(2)).is_err(), "link stays down");
+        assert!(server.source.recv().unwrap().is_none());
+    }
+}

@@ -22,6 +22,7 @@ pub mod manager;
 pub mod provider;
 pub mod service;
 pub mod store;
+pub mod wire;
 
 pub use manager::{PlacementRequest, ProviderManager, ProviderStatus};
 pub use provider::{DataProvider, ProviderStats};

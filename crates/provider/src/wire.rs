@@ -1,0 +1,57 @@
+//! Wire codec for the chunk-plane control messages.
+//!
+//! The networked chunk plane ships placement requests and provider lists
+//! inside framed RPC headers; their binary layout lives here, next to the
+//! types, so the provider crate — not the transport — owns what its values
+//! look like on the wire. Chunk payloads never pass through a codec: they
+//! travel as raw [`bytes::Bytes`] after the header, zero-copy.
+
+use crate::manager::PlacementRequest;
+use blobseer_types::wire::{Wire, WireReader, WireWriter};
+use blobseer_types::Result;
+
+impl Wire for PlacementRequest {
+    fn put(&self, w: &mut WireWriter) {
+        w.put(&self.chunk_count);
+        w.put(&self.replication);
+    }
+
+    fn get(r: &mut WireReader<'_>) -> Result<Self> {
+        Ok(PlacementRequest {
+            chunk_count: r.get()?,
+            replication: r.get()?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blobseer_types::wire::{decode, encode};
+    use blobseer_types::ProviderId;
+
+    #[test]
+    fn placement_requests_roundtrip() {
+        let req = PlacementRequest {
+            chunk_count: 17,
+            replication: 3,
+        };
+        let got = decode::<PlacementRequest>(&encode(&req)).unwrap();
+        assert_eq!(got.chunk_count, 17);
+        assert_eq!(got.replication, 3);
+    }
+
+    #[test]
+    fn placement_responses_roundtrip() {
+        // The allocate response: one provider list per chunk.
+        let placement = vec![
+            vec![ProviderId(0), ProviderId(1)],
+            vec![ProviderId(2)],
+            Vec::new(),
+        ];
+        assert_eq!(
+            decode::<Vec<Vec<ProviderId>>>(&encode(&placement)).unwrap(),
+            placement
+        );
+    }
+}

@@ -26,17 +26,29 @@ use blobseer_meta::{
     NodeBody, NodeKey, WrittenChunk,
 };
 use blobseer_provider::{PlacementRequest, ProviderManager};
+use blobseer_types::FaultPlan;
 use blobseer_types::{
     chunk_span, BlobError, BlobId, ByteRange, ChunkId, ClusterConfig, MetaNodeId, ProviderId,
     Result,
 };
 use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, HashSet};
 use std::sync::Arc;
 
 /// Wire size charged for one metadata node request/response, in bytes.
 const META_NODE_WIRE_BYTES: u64 = 96;
+
+/// Per-frame wire overhead charged for one data-plane transfer (frame
+/// prefix, codec-encoded header and the response frame), in bytes.
+const FRAME_OVERHEAD_BYTES: u64 = 64;
+
+/// Attempts the lossy network model grants one transfer before forcing
+/// success: mirrors the RPC layer's retry budget, deep enough that the
+/// fault probabilities the tests run at converge with room to spare.
+const NET_MAX_ATTEMPTS: u64 = 6;
 
 /// Record of one completed (or failed) simulated operation.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -95,6 +107,16 @@ pub struct SimulationResult {
     /// Chunk fetches that missed the cache and hit the providers. Zero when
     /// `chunk_cache_bytes` is zero.
     pub cache_misses: u64,
+    /// Data-plane frames put on the wire, *including* the retries the lossy
+    /// network model forces (`data_round_trips` stays the logical transfer
+    /// count, so `frames_sent - data_round_trips` is pure fault overhead).
+    pub frames_sent: u64,
+    /// Data-plane frames the lossy network model swallowed (each one costs
+    /// the sender its `io_timeout` before the retry goes out).
+    pub frames_dropped: u64,
+    /// Bytes the data plane moved on the wire: payload plus frame overhead,
+    /// retries included. Chunk-cache hits move nothing.
+    pub bytes_on_wire: u64,
     /// Per-metadata-provider number of requests served (load distribution).
     pub meta_load: HashMap<MetaNodeId, u64>,
     /// Per-data-provider bytes received (write load distribution).
@@ -367,6 +389,13 @@ pub struct SimulatedCluster {
     bytes_copied: u64,
     cache_hits: u64,
     cache_misses: u64,
+    frames_sent: u64,
+    frames_dropped: u64,
+    bytes_on_wire: u64,
+    /// Lossy network model: every data-plane transfer is routed through the
+    /// same seeded per-frame fault decisions the channel transport injects
+    /// (`None` = clean network, the default).
+    net_faults: Option<(FaultPlan, StdRng)>,
 }
 
 impl SimulatedCluster {
@@ -407,8 +436,71 @@ impl SimulatedCluster {
             bytes_copied: 0,
             cache_hits: 0,
             cache_misses: 0,
+            frames_sent: 0,
+            frames_dropped: 0,
+            bytes_on_wire: 0,
+            net_faults: None,
             config,
         })
+    }
+
+    /// Routes every data-plane transfer through a lossy network model
+    /// driven by `plan` (seeded, deterministic): swallowed frames cost the
+    /// sender its `io_timeout` and a retry, delayed frames add latency.
+    /// Mirrors the channel transport's fault injector at flow level, so the
+    /// `readers_during_writers`/`rescan_reads` workloads can be run over an
+    /// unreliable network.
+    pub fn set_network_faults(&mut self, plan: FaultPlan) -> Result<()> {
+        plan.validate()?;
+        self.net_faults = if plan.is_clean() {
+            None
+        } else {
+            Some((plan, StdRng::seed_from_u64(plan.seed)))
+        };
+        Ok(())
+    }
+
+    /// Samples the lossy network model for one data-plane transfer of
+    /// `payload` bytes: returns the extra completion delay (timeouts of
+    /// swallowed frames, injected latency) and charges the frame counters.
+    fn net_transfer_penalty(&mut self, payload: u64) -> u64 {
+        let frame_bytes = payload + FRAME_OVERHEAD_BYTES;
+        let Some((plan, rng)) = &mut self.net_faults else {
+            self.frames_sent += 1;
+            self.bytes_on_wire += frame_bytes;
+            return 0;
+        };
+        let io_timeout_ns = self.config.io_timeout_ms.saturating_mul(1_000_000).max(1);
+        // Stalls, drops and disconnects all look the same at flow level —
+        // silence until the sender's I/O timeout fires. Compose them the way
+        // the channel transport's injector samples them (sequentially, each
+        // on the frames the previous kind let through), so a plan means the
+        // same loss rate in the simulator as on the real test transport.
+        let p_lost = 1.0 - (1.0 - plan.disconnect) * (1.0 - plan.stall) * (1.0 - plan.drop);
+        let mut penalty = 0u64;
+        for attempt in 1..=NET_MAX_ATTEMPTS {
+            self.frames_sent += 1;
+            self.bytes_on_wire += frame_bytes;
+            // A frame can be lost in either direction: request out, response
+            // back.
+            let lost_out = rng.gen_bool(p_lost);
+            let lost_back = rng.gen_bool(p_lost);
+            // A truncated frame is detected on receive and retried at once.
+            let truncated = rng.gen_bool(plan.truncate);
+            if rng.gen_bool(plan.delay) {
+                penalty += plan.delay_us * 1_000;
+            }
+            if (lost_out || lost_back) && attempt < NET_MAX_ATTEMPTS {
+                self.frames_dropped += 1;
+                penalty += io_timeout_ns;
+                continue;
+            }
+            if truncated && attempt < NET_MAX_ATTEMPTS {
+                continue;
+            }
+            break;
+        }
+        penalty
     }
 
     /// The configuration the simulation was built from.
@@ -529,6 +621,14 @@ impl SimulatedCluster {
         self.bytes_copied = 0;
         self.cache_hits = 0;
         self.cache_misses = 0;
+        self.frames_sent = 0;
+        self.frames_dropped = 0;
+        self.bytes_on_wire = 0;
+        // Re-seed the fault stream so repeated runs of one cluster replay
+        // the identical fault sequence.
+        if let Some((plan, rng)) = &mut self.net_faults {
+            *rng = StdRng::seed_from_u64(plan.seed);
+        }
 
         let blob = self.version_manager.create_blob(workload.blob_config)?;
         if workload.preload_bytes > 0 {
@@ -625,6 +725,9 @@ impl SimulatedCluster {
             bytes_copied: self.bytes_copied,
             cache_hits: self.cache_hits,
             cache_misses: self.cache_misses,
+            frames_sent: self.frames_sent,
+            frames_dropped: self.frames_dropped,
+            bytes_on_wire: self.bytes_on_wire,
             meta_load,
             provider_write_bytes,
         })
@@ -798,7 +901,11 @@ impl SimulatedCluster {
             }
             for &p in providers {
                 self.data_round_trips += 1;
-                let sent = client_out.schedule(t_ticket, chunk_len);
+                // Lossy network model: swallowed frames cost the writer its
+                // I/O timeout (and a retried transmission) before the chunk
+                // finally lands.
+                let penalty = self.net_transfer_penalty(chunk_len);
+                let sent = client_out.schedule(t_ticket + penalty, chunk_len);
                 let charged = (chunk_len as f64 * self.slowdown(p)) as u64;
                 let done = self.provider_in[p.0 as usize].schedule(sent, charged);
                 t_chunks = t_chunks.max(done);
@@ -1028,8 +1135,11 @@ impl SimulatedCluster {
         };
         self.data_round_trips += 1;
         self.bytes_copied += leaf.len;
+        // Lossy network model: a swallowed request or response frame stalls
+        // this fetch for the reader's I/O timeout before the retry lands.
+        let penalty = self.net_transfer_penalty(leaf.len);
         let charged = (leaf.len as f64 * self.slowdown(provider)) as u64;
-        let served = self.provider_out[provider.0 as usize].schedule(start_at, charged);
+        let served = self.provider_out[provider.0 as usize].schedule(start_at + penalty, charged);
         let done = client_in.schedule(served, leaf.len);
         if let Some(chunk_cache) = chunk_cache {
             chunk_cache.lock().insert(leaf.chunk, leaf.len);
@@ -1469,6 +1579,122 @@ mod tests {
             .concurrent_appends();
         let result = with_cache(0).run(&unaligned).unwrap();
         assert!(result.bytes_copied > 0);
+    }
+
+    fn lossy_plan(drop: f64) -> FaultPlan {
+        FaultPlan {
+            seed: 99,
+            drop,
+            delay: 0.2,
+            delay_us: 200,
+            ..FaultPlan::none()
+        }
+    }
+
+    #[test]
+    fn readers_during_writers_survive_a_lossy_network_with_bounded_slowdown() {
+        // The pipelined mixed workload over a network that swallows 5% of
+        // data-plane frames: retries mask every fault (no failed ops, same
+        // bytes), the dropped frames are visible in the counters, and the
+        // lost frames cost real simulated time.
+        let workload = WorkloadBuilder::new(8)
+            .ops_per_client(2)
+            .op_size(8 << 20)
+            .chunk_size(512 << 10)
+            .readers_during_writers();
+        let mut config = ClusterConfig {
+            data_providers: 16,
+            metadata_providers: 4,
+            ..ClusterConfig::default()
+        };
+        config.io_timeout_ms = 50; // a short retry timeout, as a lossy deployment would run
+        let mut sim = SimulatedCluster::new(config.clone()).unwrap();
+        let clean = sim.run(&workload).unwrap();
+        sim.set_network_faults(lossy_plan(0.05)).unwrap();
+        let lossy = sim.run(&workload).unwrap();
+        assert_eq!(clean.failed_ops, 0);
+        assert_eq!(lossy.failed_ops, 0, "retries must mask every lost frame");
+        assert_eq!(clean.total_bytes, lossy.total_bytes);
+        assert_eq!(
+            clean.data_round_trips, lossy.data_round_trips,
+            "faults cost retries, not extra logical transfers"
+        );
+        assert_eq!(clean.frames_sent, clean.data_round_trips);
+        assert!(lossy.frames_dropped > 0);
+        assert_eq!(
+            lossy.frames_sent,
+            lossy.data_round_trips + lossy.frames_dropped,
+            "every dropped frame is retransmitted exactly once more"
+        );
+        assert!(lossy.bytes_on_wire > clean.bytes_on_wire);
+        assert!(
+            lossy.makespan_ns > clean.makespan_ns,
+            "lost frames must cost simulated time ({} vs {} ns)",
+            lossy.makespan_ns,
+            clean.makespan_ns
+        );
+    }
+
+    #[test]
+    fn rescan_reads_keep_their_cache_win_over_a_lossy_network() {
+        // Re-scanning a published region over a lossy network: the chunk
+        // cache still eliminates the second scan's round-trips — and with
+        // them its exposure to faults.
+        let workload = WorkloadBuilder::new(1)
+            .ops_per_client(2)
+            .op_size(8 << 20)
+            .chunk_size(1 << 20)
+            .rescan_reads();
+        let mut config = ClusterConfig {
+            data_providers: 16,
+            metadata_providers: 4,
+            chunk_cache_bytes: 64 << 20,
+            ..ClusterConfig::default()
+        };
+        config.io_timeout_ms = 50;
+        let mut sim = SimulatedCluster::new(config).unwrap();
+        sim.set_network_faults(lossy_plan(0.2)).unwrap();
+        let result = sim.run(&workload).unwrap();
+        assert_eq!(result.failed_ops, 0);
+        assert_eq!(
+            result.data_round_trips, 8,
+            "the cached second scan stays off the lossy wire entirely"
+        );
+        assert_eq!(result.cache_hits, 8);
+        assert!(result.frames_sent >= 8);
+    }
+
+    #[test]
+    fn fault_sequences_replay_deterministically_and_clean_plans_disable_the_model() {
+        let workload = small_workload(4);
+        let mut config = ClusterConfig {
+            data_providers: 8,
+            metadata_providers: 4,
+            ..ClusterConfig::default()
+        };
+        config.io_timeout_ms = 50;
+        let mut sim = SimulatedCluster::new(config).unwrap();
+        sim.set_network_faults(lossy_plan(0.1)).unwrap();
+        let a = sim.run(&workload).unwrap();
+        let b = sim.run(&workload).unwrap();
+        // Each run uses a fresh blob (so metadata routing shifts), but the
+        // re-seeded fault stream replays identically transfer by transfer.
+        assert_eq!(
+            a.frames_dropped, b.frames_dropped,
+            "seeded faults must replay"
+        );
+        assert_eq!(a.frames_sent, b.frames_sent);
+        assert!(a.frames_dropped > 0);
+        // A clean plan turns the model off again.
+        sim.set_network_faults(FaultPlan::none()).unwrap();
+        let clean = sim.run(&workload).unwrap();
+        assert_eq!(clean.frames_dropped, 0);
+        assert!(sim
+            .set_network_faults(FaultPlan {
+                drop: 7.0,
+                ..FaultPlan::none()
+            })
+            .is_err());
     }
 
     #[test]

@@ -29,6 +29,12 @@ pub struct SeriesPoint {
     pub cache_hits: u64,
     /// Chunk fetches that missed the cache and hit the providers.
     pub cache_misses: u64,
+    /// Bytes moved on the wire (payload plus frame overhead, retries
+    /// included); zero for analytic series and in-process measurements.
+    pub bytes_on_wire: u64,
+    /// Frames put on the wire (retries included); zero for analytic series
+    /// and in-process measurements.
+    pub frames_sent: u64,
 }
 
 /// A named series of sweep points (one curve of a figure).
@@ -87,7 +93,15 @@ impl SweepSeries {
             bytes_copied: 0,
             cache_hits: 0,
             cache_misses: 0,
+            bytes_on_wire: 0,
+            frames_sent: 0,
         });
+    }
+
+    /// Appends a fully populated point (measurements that do not come from
+    /// a [`SimulationResult`], e.g. wall-clock runs of real clusters).
+    pub fn push_point(&mut self, point: SeriesPoint) {
+        self.points.push(point);
     }
 
     /// Appends every metric of one simulation run as a point at `x`.
@@ -101,6 +115,8 @@ impl SweepSeries {
             bytes_copied: result.bytes_copied,
             cache_hits: result.cache_hits,
             cache_misses: result.cache_misses,
+            bytes_on_wire: result.bytes_on_wire,
+            frames_sent: result.frames_sent,
         });
     }
 

@@ -24,6 +24,112 @@ pub enum PlacementPolicy {
     QosAware,
 }
 
+/// How clients of a deployment reach the chunk and metadata planes.
+///
+/// The protocol above the transport is identical in every case — the same
+/// `ChunkService`/`MetadataService` calls, the same framed requests — so the
+/// three transports are differentially testable against each other.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum TransportKind {
+    /// Shared-memory trait-object calls inside one process (the default, and
+    /// the reference semantics every other transport must match).
+    #[default]
+    InProcess,
+    /// Length-prefixed framed RPC over real `std::net` TCP loopback sockets:
+    /// one server endpoint per data provider plus one for the provider
+    /// manager and one for the metadata plane, each client multiplexing its
+    /// in-flight requests over one connection per endpoint.
+    TcpLoopback,
+    /// The same framed RPC over in-process channels, with deterministic,
+    /// seedable per-frame fault injection (drop / delay / duplicate /
+    /// truncate / disconnect / stall). Used by tests and the simulator.
+    Channel,
+}
+
+/// Deterministic, seedable per-frame fault injection for the channel
+/// transport (and the simulator's lossy network model).
+///
+/// Every probability is evaluated independently per frame from a generator
+/// seeded with [`FaultPlan::seed`], so a given plan produces the same fault
+/// sequence run after run. The zero plan ([`FaultPlan::none`]) injects
+/// nothing and is the behaviour of a healthy network.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// Seed of the fault-decision generator.
+    pub seed: u64,
+    /// Probability a frame is silently dropped (the receiver never sees it;
+    /// the sender learns only via its I/O timeout).
+    pub drop: f64,
+    /// Probability a frame is delivered twice.
+    pub duplicate: f64,
+    /// Probability a frame is delivered with its payload (or, for
+    /// payload-less frames, its header) cut short.
+    pub truncate: f64,
+    /// Probability the connection dies while carrying a frame (both
+    /// directions; later frames fail fast until reconnection).
+    pub disconnect: f64,
+    /// Probability a frame is delayed by [`FaultPlan::delay_us`].
+    pub delay: f64,
+    /// Delay applied to delayed frames, in microseconds.
+    pub delay_us: u64,
+    /// Probability the endpoint swallows a frame and simply never answers
+    /// (the link stays up — only an I/O timeout gets the caller unstuck).
+    pub stall: f64,
+}
+
+impl FaultPlan {
+    /// A plan that injects no faults at all.
+    #[must_use]
+    pub fn none() -> Self {
+        FaultPlan {
+            seed: 0,
+            drop: 0.0,
+            duplicate: 0.0,
+            truncate: 0.0,
+            disconnect: 0.0,
+            delay: 0.0,
+            delay_us: 0,
+            stall: 0.0,
+        }
+    }
+
+    /// Whether the plan can never inject a fault.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.drop <= 0.0
+            && self.duplicate <= 0.0
+            && self.truncate <= 0.0
+            && self.disconnect <= 0.0
+            && (self.delay <= 0.0 || self.delay_us == 0)
+            && self.stall <= 0.0
+    }
+
+    /// Checks that every probability is a probability.
+    pub fn validate(&self) -> Result<()> {
+        for (name, p) in [
+            ("drop", self.drop),
+            ("duplicate", self.duplicate),
+            ("truncate", self.truncate),
+            ("disconnect", self.disconnect),
+            ("delay", self.delay),
+            ("stall", self.stall),
+        ] {
+            if !(0.0..=1.0).contains(&p) {
+                return Err(BlobError::InvalidConfig(format!(
+                    "fault probability {name} = {p} is outside [0, 1]"
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan::none()
+    }
+}
+
 /// Bounded exponential backoff used when a reader must wait for a concurrent
 /// writer's metadata to appear (the only point where two writers of the same
 /// chunk ever synchronise).
@@ -190,6 +296,19 @@ pub struct ClusterConfig {
     /// Service time of a version-manager operation, in nanoseconds (used
     /// only by the simulator).
     pub version_manager_service_ns: u64,
+    /// How clients reach the chunk and metadata planes. The in-process
+    /// `Cluster` ignores this (it *is* the in-process transport); the
+    /// networked `NetCluster` dispatches on it.
+    pub transport: TransportKind,
+    /// Listen address for TCP-loopback server endpoints. Port 0 lets the OS
+    /// pick an ephemeral port per endpoint, which keeps concurrent test
+    /// clusters from colliding.
+    pub net_listen: String,
+    /// I/O timeout in milliseconds, applied (a) to every RPC awaiting its
+    /// response frame and (b) to the client's transfer-completion joins, so
+    /// a hung endpoint fails the operation instead of blocking the transfer
+    /// scheduler forever. Zero disables both timeouts.
+    pub io_timeout_ms: u64,
 }
 
 impl ClusterConfig {
@@ -237,7 +356,18 @@ impl ClusterConfig {
                 self.metadata_providers
             )));
         }
+        if self.transport == TransportKind::TcpLoopback && self.net_listen.is_empty() {
+            return Err(BlobError::InvalidConfig(
+                "TCP transport needs a non-empty listen address".into(),
+            ));
+        }
         Ok(())
+    }
+
+    /// The configured I/O timeout as a duration (`None` when disabled).
+    #[must_use]
+    pub fn io_timeout(&self) -> Option<std::time::Duration> {
+        (self.io_timeout_ms > 0).then(|| std::time::Duration::from_millis(self.io_timeout_ms))
     }
 }
 
@@ -258,6 +388,12 @@ impl Default for ClusterConfig {
             link_latency_ns: 100_000,
             meta_service_ns: 50_000,
             version_manager_service_ns: 20_000,
+            transport: TransportKind::InProcess,
+            net_listen: "127.0.0.1:0".into(),
+            // 30 s: far above any healthy in-process or loopback operation,
+            // low enough that a genuinely hung endpoint fails the op instead
+            // of wedging the scheduler. Fault-injection tests dial it down.
+            io_timeout_ms: 30_000,
         }
     }
 }
@@ -371,6 +507,54 @@ mod tests {
             ..BlobConfig::default()
         };
         assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn fault_plans_validate_probabilities() {
+        assert!(FaultPlan::none().validate().is_ok());
+        assert!(FaultPlan::none().is_clean());
+        let lossy = FaultPlan {
+            drop: 0.1,
+            ..FaultPlan::none()
+        };
+        assert!(lossy.validate().is_ok());
+        assert!(!lossy.is_clean());
+        let broken = FaultPlan {
+            duplicate: 1.5,
+            ..FaultPlan::none()
+        };
+        assert!(broken.validate().is_err());
+        // A delay probability without a delay amount injects nothing.
+        let noop_delay = FaultPlan {
+            delay: 1.0,
+            delay_us: 0,
+            ..FaultPlan::none()
+        };
+        assert!(noop_delay.is_clean());
+    }
+
+    #[test]
+    fn transport_config_is_validated() {
+        let cfg = ClusterConfig {
+            transport: TransportKind::TcpLoopback,
+            net_listen: String::new(),
+            ..ClusterConfig::default()
+        };
+        assert!(cfg.validate().is_err());
+        let cfg = ClusterConfig {
+            transport: TransportKind::TcpLoopback,
+            ..ClusterConfig::default()
+        };
+        assert!(cfg.validate().is_ok());
+        assert_eq!(
+            ClusterConfig::default().io_timeout(),
+            Some(std::time::Duration::from_secs(30))
+        );
+        let no_timeout = ClusterConfig {
+            io_timeout_ms: 0,
+            ..ClusterConfig::default()
+        };
+        assert_eq!(no_timeout.io_timeout(), None);
     }
 
     #[test]

@@ -60,6 +60,12 @@ pub enum BlobError {
     WriterConflict(String),
     /// Persistent storage failed (I/O error from the backing file).
     Storage(String),
+    /// A transport-level failure talking to a remote service: connection
+    /// refused or lost, response timed out, or a frame failed to decode.
+    /// Always safe to retry — every request the framed RPC protocol carries
+    /// is idempotent (chunk puts store immutable content under a unique id,
+    /// metadata puts are write-once, reads have no side effects).
+    Transport(String),
     /// Any other internal error.
     Internal(String),
 }
@@ -99,6 +105,7 @@ impl fmt::Display for BlobError {
             BlobError::AlreadyExists(p) => write!(f, "already exists: {p}"),
             BlobError::WriterConflict(msg) => write!(f, "writer conflict: {msg}"),
             BlobError::Storage(msg) => write!(f, "storage error: {msg}"),
+            BlobError::Transport(msg) => write!(f, "transport error: {msg}"),
             BlobError::Internal(msg) => write!(f, "internal error: {msg}"),
         }
     }

@@ -15,10 +15,16 @@ pub mod buf;
 pub mod config;
 pub mod error;
 pub mod id;
+pub mod metrics;
 pub mod range;
+pub mod wire;
 
 pub use buf::{zero_page, BlobSlice, ZERO_PAGE_BYTES};
-pub use config::{BlobConfig, ClusterConfig, PlacementPolicy, RetryPolicy};
+pub use config::{
+    BlobConfig, ClusterConfig, FaultPlan, PlacementPolicy, RetryPolicy, TransportKind,
+};
 pub use error::{BlobError, Result};
 pub use id::{BlobId, ChunkId, ClientId, IdGenerator, MetaNodeId, ProviderId, Version};
+pub use metrics::{TransportMetrics, TransportStats};
 pub use range::{chunk_span, ByteRange, ChunkSlot};
+pub use wire::{Wire, WireReader, WireWriter};

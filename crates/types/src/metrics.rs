@@ -1,0 +1,130 @@
+//! Client-side transport counters.
+//!
+//! A networked client's services share one [`TransportMetrics`] handle; the
+//! transport layer bumps the counters from whatever thread carries the
+//! frame, and the client folds a [`TransportStats`] snapshot into its
+//! `ClientStats`. In-process clients have no transport and report zeros.
+//!
+//! The counters exist to make the zero-copy contract *testable*: for an
+//! aligned chunk-multiple write, `payload_bytes_copied` stays zero while
+//! `bytes_on_wire` grows by payload plus frame overhead, and every fetched
+//! chunk contributes exactly once to `chunk_rx_payload_bytes` — the single
+//! receive-side materialisation the protocol allows (socket into one receive
+//! buffer, payload handed onward as a refcounted slice of it).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Live transport counters (one atomic per field, shared by every service
+/// endpoint of one client).
+#[derive(Debug, Default)]
+pub struct TransportMetrics {
+    frames_sent: AtomicU64,
+    frames_received: AtomicU64,
+    bytes_on_wire: AtomicU64,
+    chunk_rx_payload_bytes: AtomicU64,
+    retries: AtomicU64,
+}
+
+/// Point-in-time snapshot of a [`TransportMetrics`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TransportStats {
+    /// Request frames this client pushed onto the wire.
+    pub frames_sent: u64,
+    /// Response frames this client received and decoded.
+    pub frames_received: u64,
+    /// Total frame bytes moved (sent and received, prefix + header +
+    /// payload).
+    pub bytes_on_wire: u64,
+    /// Chunk payload bytes materialised by receive buffers — exactly one
+    /// copy per chunk actually fetched over the wire; cache hits and
+    /// in-process fetches contribute nothing.
+    pub chunk_rx_payload_bytes: u64,
+    /// RPC attempts repeated after a transport-level failure (timeout,
+    /// disconnect, undecodable frame).
+    pub retries: u64,
+}
+
+impl TransportMetrics {
+    /// Fresh all-zero counters.
+    #[must_use]
+    pub fn new() -> Self {
+        TransportMetrics::default()
+    }
+
+    /// Records one frame sent: its full wire size lands in `bytes_on_wire`.
+    pub fn frame_sent(&self, wire_bytes: u64) {
+        self.frames_sent.fetch_add(1, Ordering::Relaxed);
+        self.bytes_on_wire.fetch_add(wire_bytes, Ordering::Relaxed);
+    }
+
+    /// Records one frame received.
+    pub fn frame_received(&self, wire_bytes: u64) {
+        self.frames_received.fetch_add(1, Ordering::Relaxed);
+        self.bytes_on_wire.fetch_add(wire_bytes, Ordering::Relaxed);
+    }
+
+    /// Records the single receive-side materialisation of one fetched
+    /// chunk's payload.
+    pub fn chunk_payload_received(&self, payload_bytes: u64) {
+        self.chunk_rx_payload_bytes
+            .fetch_add(payload_bytes, Ordering::Relaxed);
+    }
+
+    /// Records one retried RPC attempt.
+    pub fn retried(&self) {
+        self.retries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Snapshot of every counter.
+    #[must_use]
+    pub fn snapshot(&self) -> TransportStats {
+        TransportStats {
+            frames_sent: self.frames_sent.load(Ordering::Relaxed),
+            frames_received: self.frames_received.load(Ordering::Relaxed),
+            bytes_on_wire: self.bytes_on_wire.load(Ordering::Relaxed),
+            chunk_rx_payload_bytes: self.chunk_rx_payload_bytes.load(Ordering::Relaxed),
+            retries: self.retries.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_snapshot() {
+        let m = TransportMetrics::new();
+        m.frame_sent(100);
+        m.frame_sent(20);
+        m.frame_received(50);
+        m.chunk_payload_received(40);
+        m.retried();
+        let s = m.snapshot();
+        assert_eq!(s.frames_sent, 2);
+        assert_eq!(s.frames_received, 1);
+        assert_eq!(s.bytes_on_wire, 170);
+        assert_eq!(s.chunk_rx_payload_bytes, 40);
+        assert_eq!(s.retries, 1);
+    }
+
+    #[test]
+    fn counters_are_shared_across_threads() {
+        use std::sync::Arc;
+        let m = Arc::new(TransportMetrics::new());
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let m = Arc::clone(&m);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..100 {
+                    m.frame_sent(10);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(m.snapshot().frames_sent, 400);
+        assert_eq!(m.snapshot().bytes_on_wire, 4000);
+    }
+}

@@ -1,0 +1,590 @@
+//! Binary wire codec used by the framed RPC protocol.
+//!
+//! The networked transport serialises request and response headers with a
+//! tiny hand-rolled little-endian codec instead of serde: the offline build
+//! has no serde backend (see `vendor/serde`), and the protocol benefits from
+//! an explicit, stable byte layout anyway. Chunk payloads never pass through
+//! this codec — they travel as raw [`bytes::Bytes`] appended after the
+//! encoded header, so the data plane stays zero-copy.
+//!
+//! Every decode failure maps to [`BlobError::Transport`], the retryable
+//! error class of the RPC layer: a frame that does not parse is
+//! indistinguishable from one mangled in flight, and re-requesting is always
+//! safe because every protocol request is idempotent.
+
+use crate::error::{BlobError, Result};
+use crate::id::{BlobId, ChunkId, ProviderId, Version};
+use crate::range::ByteRange;
+use bytes::Bytes;
+
+/// Growing buffer a wire value is encoded into.
+#[derive(Debug, Default)]
+pub struct WireWriter {
+    buf: Vec<u8>,
+}
+
+impl WireWriter {
+    /// An empty writer.
+    #[must_use]
+    pub fn new() -> Self {
+        WireWriter::default()
+    }
+
+    /// An empty writer with room for `capacity` bytes.
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        WireWriter {
+            buf: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Appends one byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a little-endian `u32`.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u64`.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a length-prefixed byte string.
+    pub fn put_bytes(&mut self, v: &[u8]) {
+        self.put_u32(v.len() as u32);
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Appends a value implementing [`Wire`].
+    pub fn put<T: Wire>(&mut self, v: &T) {
+        v.put(self);
+    }
+
+    /// Number of bytes written so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Freezes the encoded bytes.
+    #[must_use]
+    pub fn finish(self) -> Bytes {
+        Bytes::from(self.buf)
+    }
+}
+
+/// Cursor a wire value is decoded from.
+#[derive(Debug)]
+pub struct WireReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+fn truncated(what: &str) -> BlobError {
+    BlobError::Transport(format!("wire: truncated {what}"))
+}
+
+impl<'a> WireReader<'a> {
+    /// A reader over the whole of `buf`.
+    #[must_use]
+    pub fn new(buf: &'a [u8]) -> Self {
+        WireReader { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8]> {
+        if self.buf.len() - self.pos < n {
+            return Err(truncated(what));
+        }
+        let slice = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    /// Reads one byte.
+    pub fn get_u8(&mut self) -> Result<u8> {
+        Ok(self.take(1, "u8")?[0])
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn get_u32(&mut self) -> Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4, "u32")?.try_into().unwrap()))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn get_u64(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8, "u64")?.try_into().unwrap()))
+    }
+
+    /// Reads a length-prefixed byte string.
+    pub fn get_bytes(&mut self) -> Result<&'a [u8]> {
+        let len = self.get_u32()? as usize;
+        self.take(len, "byte string")
+    }
+
+    /// Reads a value implementing [`Wire`].
+    pub fn get<T: Wire>(&mut self) -> Result<T> {
+        T::get(self)
+    }
+
+    /// Number of bytes not yet consumed.
+    #[must_use]
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Fails unless every byte was consumed — trailing garbage means the
+    /// sender and receiver disagree about the layout.
+    pub fn expect_end(&self) -> Result<()> {
+        if self.remaining() != 0 {
+            return Err(BlobError::Transport(format!(
+                "wire: {} trailing bytes after a complete value",
+                self.remaining()
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// A value with a binary wire representation.
+pub trait Wire: Sized {
+    /// Encodes `self` into the writer.
+    fn put(&self, w: &mut WireWriter);
+    /// Decodes one value from the reader.
+    fn get(r: &mut WireReader<'_>) -> Result<Self>;
+}
+
+impl Wire for u32 {
+    fn put(&self, w: &mut WireWriter) {
+        w.put_u32(*self);
+    }
+    fn get(r: &mut WireReader<'_>) -> Result<Self> {
+        r.get_u32()
+    }
+}
+
+impl Wire for u64 {
+    fn put(&self, w: &mut WireWriter) {
+        w.put_u64(*self);
+    }
+    fn get(r: &mut WireReader<'_>) -> Result<Self> {
+        r.get_u64()
+    }
+}
+
+impl Wire for usize {
+    fn put(&self, w: &mut WireWriter) {
+        w.put_u64(*self as u64);
+    }
+    fn get(r: &mut WireReader<'_>) -> Result<Self> {
+        Ok(r.get_u64()? as usize)
+    }
+}
+
+impl Wire for String {
+    fn put(&self, w: &mut WireWriter) {
+        w.put_bytes(self.as_bytes());
+    }
+    fn get(r: &mut WireReader<'_>) -> Result<Self> {
+        let raw = r.get_bytes()?;
+        String::from_utf8(raw.to_vec())
+            .map_err(|_| BlobError::Transport("wire: invalid UTF-8 string".into()))
+    }
+}
+
+impl Wire for BlobId {
+    fn put(&self, w: &mut WireWriter) {
+        w.put_u64(self.0);
+    }
+    fn get(r: &mut WireReader<'_>) -> Result<Self> {
+        Ok(BlobId(r.get_u64()?))
+    }
+}
+
+impl Wire for Version {
+    fn put(&self, w: &mut WireWriter) {
+        w.put_u64(self.0);
+    }
+    fn get(r: &mut WireReader<'_>) -> Result<Self> {
+        Ok(Version(r.get_u64()?))
+    }
+}
+
+impl Wire for ProviderId {
+    fn put(&self, w: &mut WireWriter) {
+        w.put_u32(self.0);
+    }
+    fn get(r: &mut WireReader<'_>) -> Result<Self> {
+        Ok(ProviderId(r.get_u32()?))
+    }
+}
+
+impl Wire for ChunkId {
+    fn put(&self, w: &mut WireWriter) {
+        w.put_u64(self.blob.0);
+        w.put_u64(self.write_tag);
+        w.put_u64(self.slot);
+    }
+    fn get(r: &mut WireReader<'_>) -> Result<Self> {
+        Ok(ChunkId {
+            blob: BlobId(r.get_u64()?),
+            write_tag: r.get_u64()?,
+            slot: r.get_u64()?,
+        })
+    }
+}
+
+impl Wire for ByteRange {
+    fn put(&self, w: &mut WireWriter) {
+        w.put_u64(self.offset);
+        w.put_u64(self.len);
+    }
+    fn get(r: &mut WireReader<'_>) -> Result<Self> {
+        Ok(ByteRange {
+            offset: r.get_u64()?,
+            len: r.get_u64()?,
+        })
+    }
+}
+
+impl<T: Wire> Wire for Option<T> {
+    fn put(&self, w: &mut WireWriter) {
+        match self {
+            None => w.put_u8(0),
+            Some(v) => {
+                w.put_u8(1);
+                v.put(w);
+            }
+        }
+    }
+    fn get(r: &mut WireReader<'_>) -> Result<Self> {
+        match r.get_u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(T::get(r)?)),
+            tag => Err(BlobError::Transport(format!(
+                "wire: invalid Option tag {tag}"
+            ))),
+        }
+    }
+}
+
+impl<T: Wire> Wire for Vec<T> {
+    fn put(&self, w: &mut WireWriter) {
+        w.put_u32(self.len() as u32);
+        for item in self {
+            item.put(w);
+        }
+    }
+    fn get(r: &mut WireReader<'_>) -> Result<Self> {
+        let len = r.get_u32()? as usize;
+        // Guard against a mangled length prefix asking for gigabytes: no
+        // element encodes to zero bytes, so `len` can never exceed what the
+        // remaining buffer could possibly hold.
+        if len > r.remaining() {
+            return Err(truncated("vector"));
+        }
+        let mut out = Vec::with_capacity(len);
+        for _ in 0..len {
+            out.push(T::get(r)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<A: Wire, B: Wire> Wire for (A, B) {
+    fn put(&self, w: &mut WireWriter) {
+        self.0.put(w);
+        self.1.put(w);
+    }
+    fn get(r: &mut WireReader<'_>) -> Result<Self> {
+        Ok((A::get(r)?, B::get(r)?))
+    }
+}
+
+impl Wire for BlobError {
+    fn put(&self, w: &mut WireWriter) {
+        match self {
+            BlobError::UnknownBlob(b) => {
+                w.put_u8(0);
+                w.put(b);
+            }
+            BlobError::UnknownVersion(b, v) => {
+                w.put_u8(1);
+                w.put(b);
+                w.put(v);
+            }
+            BlobError::ChunkNotFound(c, p) => {
+                w.put_u8(2);
+                w.put(c);
+                w.put(p);
+            }
+            BlobError::UnknownProvider(p) => {
+                w.put_u8(3);
+                w.put(p);
+            }
+            BlobError::ProviderUnavailable(p) => {
+                w.put_u8(4);
+                w.put(p);
+            }
+            BlobError::ReadOutOfBounds {
+                blob,
+                version,
+                requested,
+                snapshot_size,
+            } => {
+                w.put_u8(5);
+                w.put(blob);
+                w.put(version);
+                w.put(requested);
+                w.put_u64(*snapshot_size);
+            }
+            BlobError::EmptyWrite => w.put_u8(6),
+            BlobError::MissingMetadata {
+                blob,
+                version,
+                range,
+            } => {
+                w.put_u8(7);
+                w.put(blob);
+                w.put(version);
+                w.put(range);
+            }
+            BlobError::InsufficientProviders { needed, available } => {
+                w.put_u8(8);
+                w.put(needed);
+                w.put(available);
+            }
+            BlobError::InvalidConfig(s) => {
+                w.put_u8(9);
+                w.put(s);
+            }
+            BlobError::InvalidPath(s) => {
+                w.put_u8(10);
+                w.put(s);
+            }
+            BlobError::AlreadyExists(s) => {
+                w.put_u8(11);
+                w.put(s);
+            }
+            BlobError::WriterConflict(s) => {
+                w.put_u8(12);
+                w.put(s);
+            }
+            BlobError::Storage(s) => {
+                w.put_u8(13);
+                w.put(s);
+            }
+            BlobError::Transport(s) => {
+                w.put_u8(14);
+                w.put(s);
+            }
+            BlobError::Internal(s) => {
+                w.put_u8(15);
+                w.put(s);
+            }
+        }
+    }
+
+    fn get(r: &mut WireReader<'_>) -> Result<Self> {
+        Ok(match r.get_u8()? {
+            0 => BlobError::UnknownBlob(r.get()?),
+            1 => BlobError::UnknownVersion(r.get()?, r.get()?),
+            2 => BlobError::ChunkNotFound(r.get()?, r.get()?),
+            3 => BlobError::UnknownProvider(r.get()?),
+            4 => BlobError::ProviderUnavailable(r.get()?),
+            5 => BlobError::ReadOutOfBounds {
+                blob: r.get()?,
+                version: r.get()?,
+                requested: r.get()?,
+                snapshot_size: r.get_u64()?,
+            },
+            6 => BlobError::EmptyWrite,
+            7 => BlobError::MissingMetadata {
+                blob: r.get()?,
+                version: r.get()?,
+                range: r.get()?,
+            },
+            8 => BlobError::InsufficientProviders {
+                needed: r.get()?,
+                available: r.get()?,
+            },
+            9 => BlobError::InvalidConfig(r.get()?),
+            10 => BlobError::InvalidPath(r.get()?),
+            11 => BlobError::AlreadyExists(r.get()?),
+            12 => BlobError::WriterConflict(r.get()?),
+            13 => BlobError::Storage(r.get()?),
+            14 => BlobError::Transport(r.get()?),
+            15 => BlobError::Internal(r.get()?),
+            tag => {
+                return Err(BlobError::Transport(format!(
+                    "wire: unknown BlobError tag {tag}"
+                )))
+            }
+        })
+    }
+}
+
+/// Encodes one value into a fresh buffer (convenience for single-value
+/// headers).
+#[must_use]
+pub fn encode<T: Wire>(value: &T) -> Bytes {
+    let mut w = WireWriter::new();
+    w.put(value);
+    w.finish()
+}
+
+/// Decodes one value from a buffer, requiring the buffer to be fully
+/// consumed.
+pub fn decode<T: Wire>(buf: &[u8]) -> Result<T> {
+    let mut r = WireReader::new(buf);
+    let value = r.get::<T>()?;
+    r.expect_end()?;
+    Ok(value)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<T: Wire + PartialEq + std::fmt::Debug>(value: T) {
+        let encoded = encode(&value);
+        assert_eq!(decode::<T>(&encoded).unwrap(), value);
+    }
+
+    #[test]
+    fn primitives_roundtrip() {
+        roundtrip(0u32);
+        roundtrip(u32::MAX);
+        roundtrip(u64::MAX);
+        roundtrip(usize::MAX);
+        roundtrip(String::from("héllo wörld"));
+        roundtrip(String::new());
+    }
+
+    #[test]
+    fn ids_and_ranges_roundtrip() {
+        roundtrip(BlobId(7));
+        roundtrip(Version(u64::MAX));
+        roundtrip(ProviderId(3));
+        roundtrip(ChunkId {
+            blob: BlobId(1),
+            write_tag: 0xdead_beef,
+            slot: 42,
+        });
+        roundtrip(ByteRange::new(1 << 40, 64));
+        roundtrip(Some(ProviderId(1)));
+        roundtrip(Option::<ProviderId>::None);
+        roundtrip(vec![ProviderId(0), ProviderId(9)]);
+        roundtrip(Vec::<u64>::new());
+        roundtrip((BlobId(1), Version(2)));
+        roundtrip(vec![vec![ProviderId(1)], vec![], vec![ProviderId(2)]]);
+    }
+
+    #[test]
+    fn every_error_variant_roundtrips() {
+        let errors = vec![
+            BlobError::UnknownBlob(BlobId(1)),
+            BlobError::UnknownVersion(BlobId(1), Version(2)),
+            BlobError::ChunkNotFound(
+                ChunkId {
+                    blob: BlobId(1),
+                    write_tag: 2,
+                    slot: 3,
+                },
+                ProviderId(4),
+            ),
+            BlobError::UnknownProvider(ProviderId(5)),
+            BlobError::ProviderUnavailable(ProviderId(6)),
+            BlobError::ReadOutOfBounds {
+                blob: BlobId(1),
+                version: Version(2),
+                requested: ByteRange::new(10, 20),
+                snapshot_size: 15,
+            },
+            BlobError::EmptyWrite,
+            BlobError::MissingMetadata {
+                blob: BlobId(1),
+                version: Version(2),
+                range: ByteRange::new(0, 64),
+            },
+            BlobError::InsufficientProviders {
+                needed: 3,
+                available: 1,
+            },
+            BlobError::InvalidConfig("cfg".into()),
+            BlobError::InvalidPath("/p".into()),
+            BlobError::AlreadyExists("/q".into()),
+            BlobError::WriterConflict("w".into()),
+            BlobError::Storage("disk".into()),
+            BlobError::Transport("timeout".into()),
+            BlobError::Internal("bug".into()),
+        ];
+        for err in errors {
+            roundtrip(err);
+        }
+    }
+
+    #[test]
+    fn truncated_buffers_are_rejected_not_panicked_on() {
+        let full = encode(&ChunkId {
+            blob: BlobId(1),
+            write_tag: 2,
+            slot: 3,
+        });
+        for cut in 0..full.len() {
+            let result = decode::<ChunkId>(&full[..cut]);
+            assert!(matches!(result, Err(BlobError::Transport(_))), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected() {
+        let mut w = WireWriter::new();
+        w.put(&BlobId(1));
+        w.put_u8(0xff);
+        assert!(matches!(
+            decode::<BlobId>(&w.finish()),
+            Err(BlobError::Transport(_))
+        ));
+    }
+
+    #[test]
+    fn mangled_vector_lengths_do_not_overallocate() {
+        // A frame claiming 2^31 elements but carrying 4 bytes must fail
+        // cleanly instead of reserving gigabytes.
+        let mut w = WireWriter::new();
+        w.put_u32(1 << 31);
+        w.put_u32(7);
+        assert!(matches!(
+            decode::<Vec<u64>>(&w.finish()),
+            Err(BlobError::Transport(_))
+        ));
+    }
+
+    #[test]
+    fn invalid_tags_are_rejected() {
+        assert!(matches!(
+            decode::<Option<u64>>(&[9]),
+            Err(BlobError::Transport(_))
+        ));
+        assert!(matches!(
+            decode::<BlobError>(&[200]),
+            Err(BlobError::Transport(_))
+        ));
+        let mut bad_utf8 = WireWriter::new();
+        bad_utf8.put_bytes(&[0xff, 0xfe]);
+        assert!(matches!(
+            decode::<String>(&bad_utf8.finish()),
+            Err(BlobError::Transport(_))
+        ));
+    }
+}

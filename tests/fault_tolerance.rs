@@ -1,9 +1,12 @@
 //! Integration tests: provider failures, replication and the QoS feedback
-//! loop on a real in-process cluster.
+//! loop on a real in-process cluster — and on the networked transport,
+//! where a provider can die harder than in-process (its endpoint vanishes
+//! mid-connection instead of answering "unavailable").
 
 use blobseer::core::Cluster;
+use blobseer::net::NetCluster;
 use blobseer::qos::{MonitoringCollector, QosController};
-use blobseer::types::{BlobConfig, ClusterConfig, PlacementPolicy, ProviderId};
+use blobseer::types::{BlobConfig, ClusterConfig, FaultPlan, PlacementPolicy, ProviderId};
 use std::sync::Arc;
 
 #[test]
@@ -84,6 +87,59 @@ fn metadata_dht_replication_survives_a_metadata_node_failure() {
     cluster
         .recover_metadata_node(blobseer::types::MetaNodeId(0))
         .unwrap();
+}
+
+#[test]
+fn networked_provider_killed_mid_write_is_substituted_without_data_loss() {
+    // A *networked* provider dying is harsher than the in-process failure
+    // switch: its server endpoint disappears, tearing live connections down
+    // under in-flight chunk stores. The writer must fail over to live
+    // providers mid-operation and publish an intact version.
+    let cluster = NetCluster::new_channel(
+        ClusterConfig {
+            data_providers: 6,
+            metadata_providers: 3,
+            io_timeout_ms: 500, // fail over quickly once the endpoint is gone
+            ..ClusterConfig::default()
+        },
+        FaultPlan::none(),
+    )
+    .unwrap();
+    let client = cluster.client();
+    let blob = client
+        .create_blob(BlobConfig::new(1024, 2).unwrap())
+        .unwrap();
+    // Warm up so provider 0 holds replicas of the first version.
+    let base = vec![7u8; 24 * 1024];
+    client.append(blob, &base).unwrap();
+
+    // A long append races the kill: the writer thread streams 96 chunks
+    // while the main thread waits for the first of them to land on
+    // provider 0, then kills its endpoint outright.
+    let big = vec![9u8; 96 * 1024];
+    let writer = std::thread::spawn({
+        let client = cluster.client();
+        let big = big.clone();
+        move || client.append(blob, big)
+    });
+    let victim = cluster.inner().provider(ProviderId(0)).unwrap();
+    let before = victim.stats().writes;
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    while victim.stats().writes == before && std::time::Instant::now() < deadline {
+        std::thread::yield_now();
+    }
+    cluster.stop_provider_endpoint(ProviderId(0)).unwrap();
+    writer
+        .join()
+        .unwrap()
+        .expect("the write must fail over to live providers");
+
+    // Both versions read back intact; chunks assigned to the dead endpoint
+    // were substituted (replication 2 also keeps earlier data readable).
+    let all = client.read_all(blob, None).unwrap();
+    assert_eq!(all.len(), base.len() + big.len());
+    assert!(all[..base.len()].iter().all(|&b| b == 7));
+    assert!(all[base.len()..].iter().all(|&b| b == 9));
 }
 
 #[test]
