@@ -130,6 +130,7 @@ pub fn series_json(series: &SweepSeries) -> Json {
                     ("cache_misses", Json::num(p.cache_misses as f64)),
                     ("bytes_on_wire", Json::num(p.bytes_on_wire as f64)),
                     ("frames_sent", Json::num(p.frames_sent as f64)),
+                    ("frames_coalesced", Json::num(p.frames_coalesced as f64)),
                 ])
             })),
         ),

@@ -97,6 +97,10 @@ pub struct ClientStats {
     /// Request frames this client's transport sent. Zero for in-process
     /// clients.
     pub frames_sent: u64,
+    /// Request frames that shared a syscall with another frame (small-frame
+    /// coalescing): a batch of `n` frames flushed by one vectored write
+    /// contributes `n - 1`. Zero for in-process clients.
+    pub frames_coalesced: u64,
 }
 
 /// The client's live counters: one atomic per field, so concurrent readers
@@ -136,6 +140,7 @@ impl AtomicClientStats {
             // Filled from the transport metrics (if any) by the caller.
             bytes_on_wire: 0,
             frames_sent: 0,
+            frames_coalesced: 0,
         }
     }
 }
@@ -257,6 +262,7 @@ impl BlobClient {
             let wire = metrics.snapshot();
             stats.bytes_on_wire = wire.bytes_on_wire;
             stats.frames_sent = wire.frames_sent;
+            stats.frames_coalesced = wire.frames_coalesced;
         }
         stats
     }
@@ -516,14 +522,8 @@ impl BlobClient {
             for slot in &slots {
                 payloads.push(self.slot_payload(blob, config, ticket, data, slot, known_size)?);
             }
-            let completions = slots
-                .iter()
-                .zip(payloads)
-                .zip(&placement)
-                .map(|((slot, payload), replicas)| {
-                    self.submit_store(blob, write_tag, slot.index, payload, replicas.clone())
-                })
-                .collect();
+            let completions =
+                self.submit_store_groups(blob, write_tag, &slots, payloads, &placement);
             let chunks = self.join_stores(completions)?;
             build_write_metadata_chained(
                 self.metadata.as_ref(),
@@ -535,7 +535,7 @@ impl BlobClient {
             )?
         } else {
             let mut planned = Vec::with_capacity(slots.len());
-            let mut completions = Vec::with_capacity(slots.len());
+            let mut payloads = Vec::with_capacity(slots.len());
             for (slot, replicas) in slots.iter().zip(&placement) {
                 let payload = self.slot_payload(blob, config, ticket, data, slot, known_size)?;
                 planned.push(WrittenChunk {
@@ -548,14 +548,10 @@ impl BlobClient {
                     providers: replicas.clone(),
                     len: payload.len() as u64,
                 });
-                completions.push(self.submit_store(
-                    blob,
-                    write_tag,
-                    slot.index,
-                    payload,
-                    replicas.clone(),
-                ));
+                payloads.push(payload);
             }
+            let completions =
+                self.submit_store_groups(blob, write_tag, &slots, payloads, &placement);
             // Weave while the chunk transfers are in flight: the node keys
             // and chunk ids are deterministic, only the providers of a leaf
             // can differ if a store falls back mid-transfer.
@@ -722,7 +718,11 @@ impl BlobClient {
         let mut target = child;
         let mut missed = 0u32;
         for attempt in 0..retry.max_attempts {
-            match self.metadata.get_node(&target.key(blob)) {
+            // `Err` (metadata plane unreachable) propagates immediately: the
+            // node may well exist, so treating the failure as "not written
+            // yet" and eventually weaving a hole would corrupt the merge.
+            // Only an authoritative `Ok(None)` keeps the backoff wait going.
+            match self.metadata.get_node(&target.key(blob))? {
                 Some(blobseer_meta::NodeBody::Leaf(leaf)) => return Ok(Some(leaf)),
                 Some(blobseer_meta::NodeBody::Alias(next)) => target = next,
                 Some(blobseer_meta::NodeBody::Inner(_)) => {
@@ -743,47 +743,97 @@ impl BlobClient {
         Ok(None)
     }
 
-    /// Submits the store of one chunk (and its replicas) to the transfer
-    /// scheduler, tagged with its primary provider so placement sees the
-    /// in-flight load. Falls back to other live providers when an assigned
-    /// one fails mid-write. Stored chunks are written through to the chunk
-    /// cache so reading your own writes never costs a data round-trip; for
-    /// fast-path payloads (zero-copy views of the caller's buffer) the
-    /// cache compacts the view on insert — one chunk-bounded memcpy, on the
-    /// pool worker, counted in `ChunkCacheStats::bytes_compacted` — so its
-    /// budget bounds real memory. With the cache off (the default) the
-    /// write path stays copy-free end to end.
-    fn submit_store(
+    /// Groups a write's chunk stores by their assigned replica set and
+    /// submits one transfer-scheduler task per group. Round-robin placement
+    /// gives every provider one group per write, so each group leaves the
+    /// client as a single batched `put_chunks` — on a networked transport
+    /// that is one pipelined send per provider (client-side frame
+    /// coalescing) instead of one round of lock-step round-trips per chunk.
+    fn submit_store_groups(
         &self,
         blob: BlobId,
         write_tag: u64,
-        slot: u64,
-        data: Bytes,
+        slots: &[ChunkSlot],
+        payloads: Vec<Bytes>,
+        placement: &[Vec<ProviderId>],
+    ) -> Vec<Completion<Result<Vec<WrittenChunk>>>> {
+        // First-seen order keeps submission deterministic (and matches the
+        // slot order placement was computed in).
+        let mut order: Vec<&Vec<ProviderId>> = Vec::new();
+        let mut groups: HashMap<&Vec<ProviderId>, Vec<(u64, Bytes)>> = HashMap::new();
+        for ((slot, payload), replicas) in slots.iter().zip(payloads).zip(placement) {
+            groups
+                .entry(replicas)
+                .or_insert_with(|| {
+                    order.push(replicas);
+                    Vec::new()
+                })
+                .push((slot.index, payload));
+        }
+        order
+            .into_iter()
+            .map(|replicas| {
+                let items = groups.remove(replicas).expect("group exists");
+                self.submit_store_group(blob, write_tag, items, replicas.clone())
+            })
+            .collect()
+    }
+
+    /// Submits the store of one group of chunks sharing a replica set to
+    /// the transfer scheduler, tagged with the primary provider so
+    /// placement sees the in-flight load. Falls back to other live
+    /// providers per chunk when an assigned one fails mid-write. Stored
+    /// chunks are written through to the chunk cache so reading your own
+    /// writes never costs a data round-trip; for fast-path payloads
+    /// (zero-copy views of the caller's buffer) the cache compacts the view
+    /// on insert — one chunk-bounded memcpy, on the pool worker, counted in
+    /// `ChunkCacheStats::bytes_compacted` — so its budget bounds real
+    /// memory. With the cache off the write path stays copy-free end to
+    /// end.
+    fn submit_store_group(
+        &self,
+        blob: BlobId,
+        write_tag: u64,
+        items: Vec<(u64, Bytes)>,
         replicas: Vec<ProviderId>,
-    ) -> Completion<Result<WrittenChunk>> {
+    ) -> Completion<Result<Vec<WrittenChunk>>> {
         let service = Arc::clone(&self.chunks);
         let cache = self.chunk_cache.clone();
         let primary = replicas.first().copied();
         self.transfers.submit_for(primary, move || {
-            let chunk = ChunkId {
-                blob,
-                write_tag,
-                slot,
-            };
-            let providers = store_replicas(service.as_ref(), chunk, &data, &replicas)?;
+            let chunks: Vec<(ChunkId, Bytes)> = items
+                .iter()
+                .map(|(slot, data)| {
+                    (
+                        ChunkId {
+                            blob,
+                            write_tag,
+                            slot: *slot,
+                        },
+                        data.clone(),
+                    )
+                })
+                .collect();
+            let stored = store_group_replicas(service.as_ref(), &chunks, &replicas)?;
             if let Some(cache) = &cache {
-                cache.insert(chunk, data.clone());
+                for (chunk, data) in &chunks {
+                    cache.insert(*chunk, data.clone());
+                }
             }
-            Ok(WrittenChunk {
-                slot,
-                chunk,
-                providers,
-                len: data.len() as u64,
-            })
+            Ok(chunks
+                .into_iter()
+                .zip(stored)
+                .map(|((chunk, data), providers)| WrittenChunk {
+                    slot: chunk.slot,
+                    chunk,
+                    providers,
+                    len: data.len() as u64,
+                })
+                .collect())
         })
     }
 
-    /// Joins every submitted chunk store, returning the written-chunk
+    /// Joins every submitted store group, returning the written-chunk
     /// records in slot order. All completions are drained even when one
     /// fails, so no store is left dangling on the pool. Each join is bounded
     /// by the pool's `io_timeout`-derived join timeout: a store stuck on a
@@ -791,13 +841,13 @@ impl BlobClient {
     /// instead of blocking the scheduler forever.
     fn join_stores(
         &self,
-        completions: Vec<Completion<Result<WrittenChunk>>>,
+        completions: Vec<Completion<Result<Vec<WrittenChunk>>>>,
     ) -> Result<Vec<WrittenChunk>> {
         let mut chunks = Vec::with_capacity(completions.len());
         let mut first_err = None;
         for completion in completions {
             match self.transfers.join_within(completion) {
-                Ok(Ok(written)) => chunks.push(written),
+                Ok(Ok(written)) => chunks.extend(written),
                 Ok(Err(err)) | Err(err) => first_err = first_err.or(Some(err)),
             }
         }
@@ -1000,36 +1050,42 @@ fn patch_stored_providers(
     }
 }
 
-/// Stores one chunk on the requested replicas, substituting other live
-/// providers for failed ones. At least one replica must succeed.
-fn store_replicas(
+/// Stores a group of chunks sharing one replica set, batching the puts per
+/// provider (`ChunkService::put_chunks`) and substituting other live
+/// providers per chunk for failed ones. Every chunk must land on at least
+/// one provider; the per-chunk stored lists come back in group order.
+fn store_group_replicas(
     service: &dyn ChunkService,
-    chunk: ChunkId,
-    data: &Bytes,
+    chunks: &[(ChunkId, Bytes)],
     replicas: &[ProviderId],
-) -> Result<Vec<ProviderId>> {
-    let mut stored = Vec::with_capacity(replicas.len());
-    let mut failed = Vec::new();
+) -> Result<Vec<Vec<ProviderId>>> {
+    let mut stored: Vec<Vec<ProviderId>> = vec![Vec::with_capacity(replicas.len()); chunks.len()];
+    let mut any_failed = false;
     for &pid in replicas {
-        match service.put_chunk(pid, chunk, data.clone()) {
-            Ok(()) => stored.push(pid),
-            Err(_) => failed.push(pid),
+        for (chunk_stored, outcome) in stored.iter_mut().zip(service.put_chunks(pid, chunks)) {
+            match outcome {
+                Ok(()) => chunk_stored.push(pid),
+                Err(_) => any_failed = true,
+            }
         }
     }
-    if !failed.is_empty() {
-        // Try to restore the replication level using other live providers.
+    if any_failed {
+        // Try to restore the replication level per chunk using live
+        // providers outside the assigned (and already-probed) replica set.
         let mut candidates = service.live_providers();
-        candidates.retain(|p| !stored.contains(p) && !failed.contains(p));
-        for pid in candidates {
-            if stored.len() == replicas.len() {
-                break;
-            }
-            if service.put_chunk(pid, chunk, data.clone()).is_ok() {
-                stored.push(pid);
+        candidates.retain(|p| !replicas.contains(p));
+        for ((chunk, data), chunk_stored) in chunks.iter().zip(stored.iter_mut()) {
+            for &pid in &candidates {
+                if chunk_stored.len() >= replicas.len() {
+                    break;
+                }
+                if service.put_chunk(pid, *chunk, data.clone()).is_ok() {
+                    chunk_stored.push(pid);
+                }
             }
         }
     }
-    if stored.is_empty() {
+    if stored.iter().any(Vec::is_empty) {
         return Err(BlobError::InsufficientProviders {
             needed: 1,
             available: 0,
@@ -1161,7 +1217,14 @@ mod tests {
 
     #[test]
     fn unreplicated_blob_reports_unavailable_chunks() {
-        let cluster = cluster();
+        // Cache off: with the default write-through cache the client would
+        // (correctly) keep serving this read locally; the test is about
+        // what an uncached read of an unreachable blob reports.
+        let cluster = Cluster::new(ClusterConfig {
+            chunk_cache_bytes: 0,
+            ..ClusterConfig::small()
+        })
+        .unwrap();
         let client = cluster.client();
         let blob = client.create_blob(BlobConfig::new(CS, 1).unwrap()).unwrap();
         client.append(blob, pattern(4 * CS as usize, 6)).unwrap();

@@ -37,20 +37,21 @@ pub use blobseer_provider::{ChunkService, InProcessChunkService};
 pub trait MetadataService: MetadataStore {
     /// Fetches `key`, transparently following [`NodeBody::Alias`] forwarding
     /// nodes (created by repair weaving for aborted writes) to the node that
-    /// actually holds content. Returns `None` if the chain dead-ends on a
+    /// actually holds content. Returns `Ok(None)` if the chain dead-ends on a
     /// node that was never stored, or if it exceeds 64 hops (alias chains
     /// grow by one per repaired write of a range; a longer chain means the
     /// metadata is corrupted, and hanging on a cycle would be worse than
-    /// reporting the node missing).
-    fn get_node_resolved(&self, key: &NodeKey) -> Option<NodeBody> {
+    /// reporting the node missing). An unreachable store propagates as `Err`,
+    /// never as a fake absence.
+    fn get_node_resolved(&self, key: &NodeKey) -> blobseer_types::Result<Option<NodeBody>> {
         let mut key = *key;
         for _ in 0..64 {
             match self.get_node(&key)? {
-                NodeBody::Alias(target) => key = target.key(key.blob),
-                body => return Some(body),
+                Some(NodeBody::Alias(target)) => key = target.key(key.blob),
+                body => return Ok(body),
             }
         }
-        None
+        Ok(None)
     }
 }
 
@@ -94,9 +95,12 @@ mod tests {
                 }),
             )
             .unwrap();
-        assert_eq!(store.get_node_resolved(&key(3)), Some(leaf.clone()));
-        assert_eq!(store.get_node_resolved(&key(1)), Some(leaf));
-        assert_eq!(store.get_node_resolved(&key(9)), None);
+        assert_eq!(
+            store.get_node_resolved(&key(3)).unwrap(),
+            Some(leaf.clone())
+        );
+        assert_eq!(store.get_node_resolved(&key(1)).unwrap(), Some(leaf));
+        assert_eq!(store.get_node_resolved(&key(9)).unwrap(), None);
     }
 
     #[test]
@@ -112,7 +116,7 @@ mod tests {
                 }),
             )
             .unwrap();
-        assert_eq!(store.get_node_resolved(&key(1)), None);
+        assert_eq!(store.get_node_resolved(&key(1)).unwrap(), None);
     }
 
     #[test]
@@ -122,7 +126,7 @@ mod tests {
         let as_service: &dyn MetadataService = &store;
         assert_eq!(as_service.node_count(), 0);
         let arc: Arc<dyn MetadataService> = Arc::new(InMemoryMetaStore::new());
-        assert!(arc.get_node_resolved(&key(1)).is_none());
+        assert!(arc.get_node_resolved(&key(1)).unwrap().is_none());
     }
 
     #[test]
@@ -134,7 +138,7 @@ mod tests {
         arc.put_nodes(vec![(key(1), leaf.clone()), (key(2), leaf.clone())])
             .unwrap();
         assert_eq!(
-            arc.get_nodes(&[key(2), key(9), key(1)]),
+            arc.get_nodes(&[key(2), key(9), key(1)]).unwrap(),
             vec![Some(leaf.clone()), None, Some(leaf)]
         );
     }

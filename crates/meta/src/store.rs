@@ -29,11 +29,18 @@ pub trait MetadataStore: Send + Sync {
     fn put_node(&self, key: NodeKey, body: NodeBody) -> Result<()>;
 
     /// Fetches a node by key.
-    fn get_node(&self, key: &NodeKey) -> Option<NodeBody>;
+    ///
+    /// The two failure shapes are deliberately distinct: `Ok(None)` means the
+    /// store answered and the node is *absent* (a reader may be racing a
+    /// publication and can keep waiting), while `Err` means the store could
+    /// not be reached at all (the caller must propagate, not treat the plane
+    /// as empty — conflating the two is how a boundary merge reads garbage).
+    fn get_node(&self, key: &NodeKey) -> Result<Option<NodeBody>>;
 
     /// Fetches a batch of nodes, one result slot per key in order.
-    /// Implementations route the batch once per owning node.
-    fn get_nodes(&self, keys: &[NodeKey]) -> Vec<Option<NodeBody>> {
+    /// Implementations route the batch once per owning node. Same
+    /// absent-versus-unreachable contract as [`MetadataStore::get_node`].
+    fn get_nodes(&self, keys: &[NodeKey]) -> Result<Vec<Option<NodeBody>>> {
         keys.iter().map(|key| self.get_node(key)).collect()
     }
 
@@ -57,12 +64,12 @@ impl MetadataStore for Dht<NodeKey, NodeBody> {
         self.put(key, body)
     }
 
-    fn get_node(&self, key: &NodeKey) -> Option<NodeBody> {
-        self.get(key)
+    fn get_node(&self, key: &NodeKey) -> Result<Option<NodeBody>> {
+        Ok(self.get(key))
     }
 
-    fn get_nodes(&self, keys: &[NodeKey]) -> Vec<Option<NodeBody>> {
-        self.get_batch(keys)
+    fn get_nodes(&self, keys: &[NodeKey]) -> Result<Vec<Option<NodeBody>>> {
+        Ok(self.get_batch(keys))
     }
 
     fn put_nodes(&self, nodes: Vec<(NodeKey, NodeBody)>) -> Result<()> {
@@ -104,13 +111,13 @@ impl MetadataStore for InMemoryMetaStore {
         }
     }
 
-    fn get_node(&self, key: &NodeKey) -> Option<NodeBody> {
-        self.nodes.read().get(key).cloned()
+    fn get_node(&self, key: &NodeKey) -> Result<Option<NodeBody>> {
+        Ok(self.nodes.read().get(key).cloned())
     }
 
-    fn get_nodes(&self, keys: &[NodeKey]) -> Vec<Option<NodeBody>> {
+    fn get_nodes(&self, keys: &[NodeKey]) -> Result<Vec<Option<NodeBody>>> {
         let nodes = self.nodes.read();
-        keys.iter().map(|key| nodes.get(key).cloned()).collect()
+        Ok(keys.iter().map(|key| nodes.get(key).cloned()).collect())
     }
 
     fn put_nodes(&self, batch: Vec<(NodeKey, NodeBody)>) -> Result<()> {
@@ -183,18 +190,20 @@ impl<S: MetadataStore> MetadataStore for CachedMetadataStore<S> {
         Ok(())
     }
 
-    fn get_node(&self, key: &NodeKey) -> Option<NodeBody> {
+    fn get_node(&self, key: &NodeKey) -> Result<Option<NodeBody>> {
         if let Some(hit) = self.cache.read().get(key).cloned() {
             self.hits.fetch_add(1, Ordering::Relaxed);
-            return Some(hit);
+            return Ok(Some(hit));
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
-        let fetched = self.inner.get_node(key)?;
+        let Some(fetched) = self.inner.get_node(key)? else {
+            return Ok(None);
+        };
         self.cache.write().insert(*key, fetched.clone());
-        Some(fetched)
+        Ok(Some(fetched))
     }
 
-    fn get_nodes(&self, keys: &[NodeKey]) -> Vec<Option<NodeBody>> {
+    fn get_nodes(&self, keys: &[NodeKey]) -> Result<Vec<Option<NodeBody>>> {
         // Serve what the cache holds, then fetch every miss in one inner
         // batch so the round-trip grouping of the wrapped store is preserved.
         let mut out: Vec<Option<NodeBody>> = keys.iter().map(|_| None).collect();
@@ -211,12 +220,14 @@ impl<S: MetadataStore> MetadataStore for CachedMetadataStore<S> {
         self.hits
             .fetch_add((keys.len() - missing.len()) as u64, Ordering::Relaxed);
         if missing.is_empty() {
-            return out;
+            return Ok(out);
         }
         self.misses
             .fetch_add(missing.len() as u64, Ordering::Relaxed);
         let wanted: Vec<NodeKey> = missing.iter().map(|&i| keys[i]).collect();
-        let fetched = self.inner.get_nodes(&wanted);
+        // An unreachable inner store propagates without poisoning the cache:
+        // nothing was learned about any key, so nothing is inserted.
+        let fetched = self.inner.get_nodes(&wanted)?;
         let mut cache = self.cache.write();
         for (&index, body) in missing.iter().zip(fetched) {
             if let Some(body) = body {
@@ -224,7 +235,7 @@ impl<S: MetadataStore> MetadataStore for CachedMetadataStore<S> {
                 out[index] = Some(body);
             }
         }
-        out
+        Ok(out)
     }
 
     fn put_nodes(&self, nodes: Vec<(NodeKey, NodeBody)>) -> Result<()> {
@@ -274,8 +285,8 @@ mod tests {
     fn in_memory_store_roundtrip_and_write_once() {
         let s = InMemoryMetaStore::new();
         s.put_node(key(1, 0, 64), leaf(0)).unwrap();
-        assert_eq!(s.get_node(&key(1, 0, 64)), Some(leaf(0)));
-        assert_eq!(s.get_node(&key(2, 0, 64)), None);
+        assert_eq!(s.get_node(&key(1, 0, 64)).unwrap(), Some(leaf(0)));
+        assert_eq!(s.get_node(&key(2, 0, 64)).unwrap(), None);
         assert_eq!(s.node_count(), 1);
         // idempotent
         s.put_node(key(1, 0, 64), leaf(0)).unwrap();
@@ -289,7 +300,7 @@ mod tests {
         let store: &dyn MetadataStore = &dht;
         store.put_node(key(1, 0, 64), leaf(0)).unwrap();
         store.put_node(key(1, 64, 64), leaf(1)).unwrap();
-        assert_eq!(store.get_node(&key(1, 0, 64)), Some(leaf(0)));
+        assert_eq!(store.get_node(&key(1, 0, 64)).unwrap(), Some(leaf(0)));
         // With replication 2 each node is stored twice across the DHT.
         assert_eq!(store.node_count(), 4);
     }
@@ -301,14 +312,14 @@ mod tests {
         let cached = CachedMetadataStore::new(Arc::clone(&inner));
 
         // First get: miss, populated from inner.
-        assert_eq!(cached.get_node(&key(3, 0, 64)), Some(leaf(0)));
+        assert_eq!(cached.get_node(&key(3, 0, 64)).unwrap(), Some(leaf(0)));
         assert_eq!(cached.misses(), 1);
         assert_eq!(cached.hits(), 0);
         // Second get: hit.
-        assert_eq!(cached.get_node(&key(3, 0, 64)), Some(leaf(0)));
+        assert_eq!(cached.get_node(&key(3, 0, 64)).unwrap(), Some(leaf(0)));
         assert_eq!(cached.hits(), 1);
         // Unknown key: miss, not cached.
-        assert_eq!(cached.get_node(&key(9, 0, 64)), None);
+        assert_eq!(cached.get_node(&key(9, 0, 64)).unwrap(), None);
         assert_eq!(cached.misses(), 2);
     }
 
@@ -318,7 +329,9 @@ mod tests {
         s.put_nodes(vec![(key(1, 0, 64), leaf(0)), (key(1, 64, 64), leaf(1))])
             .unwrap();
         assert_eq!(s.node_count(), 2);
-        let got = s.get_nodes(&[key(1, 64, 64), key(9, 0, 64), key(1, 0, 64)]);
+        let got = s
+            .get_nodes(&[key(1, 64, 64), key(9, 0, 64), key(1, 0, 64)])
+            .unwrap();
         assert_eq!(got, vec![Some(leaf(1)), None, Some(leaf(0))]);
         // Batched puts keep write-once semantics.
         s.put_nodes(vec![(key(1, 0, 64), leaf(0))]).unwrap();
@@ -332,16 +345,18 @@ mod tests {
         inner.put_node(key(1, 64, 64), leaf(1)).unwrap();
         let cached = CachedMetadataStore::new(Arc::clone(&inner));
         // Prime the cache with one of the two keys.
-        assert!(cached.get_node(&key(1, 0, 64)).is_some());
+        assert!(cached.get_node(&key(1, 0, 64)).unwrap().is_some());
         assert_eq!((cached.hits(), cached.misses()), (0, 1));
 
-        let got = cached.get_nodes(&[key(1, 0, 64), key(1, 64, 64), key(9, 0, 64)]);
+        let got = cached
+            .get_nodes(&[key(1, 0, 64), key(1, 64, 64), key(9, 0, 64)])
+            .unwrap();
         assert_eq!(got, vec![Some(leaf(0)), Some(leaf(1)), None]);
         // One hit (primed key), two misses (fetched key + unknown key).
         assert_eq!((cached.hits(), cached.misses()), (1, 3));
 
         // The fetched key is now cached; the unknown key stays a miss.
-        let again = cached.get_nodes(&[key(1, 64, 64), key(9, 0, 64)]);
+        let again = cached.get_nodes(&[key(1, 64, 64), key(9, 0, 64)]).unwrap();
         assert_eq!(again, vec![Some(leaf(1)), None]);
         assert_eq!((cached.hits(), cached.misses()), (2, 4));
     }
@@ -355,7 +370,7 @@ mod tests {
             .unwrap();
         assert_eq!(inner.node_count(), 2);
         // Served from cache without touching the miss counter.
-        assert_eq!(cached.get_node(&key(1, 64, 64)), Some(leaf(1)));
+        assert_eq!(cached.get_node(&key(1, 64, 64)).unwrap(), Some(leaf(1)));
         assert_eq!(cached.misses(), 0);
     }
 
@@ -433,10 +448,13 @@ mod tests {
         });
         cached.put_node(key(2, 0, 128), inner_body.clone()).unwrap();
         // Served from cache without touching the inner store's counters.
-        assert_eq!(cached.get_node(&key(2, 0, 128)), Some(inner_body.clone()));
+        assert_eq!(
+            cached.get_node(&key(2, 0, 128)).unwrap(),
+            Some(inner_body.clone())
+        );
         assert_eq!(cached.hits(), 1);
         assert_eq!(cached.misses(), 0);
         // And the inner store holds it too.
-        assert_eq!(inner.get_node(&key(2, 0, 128)), Some(inner_body));
+        assert_eq!(inner.get_node(&key(2, 0, 128)).unwrap(), Some(inner_body));
     }
 }

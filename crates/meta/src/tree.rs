@@ -231,7 +231,7 @@ impl ReferenceChain {
         };
         while current.range != range {
             let key = current.key(blob);
-            let body = store.get_node(&key).ok_or(BlobError::MissingMetadata {
+            let body = store.get_node(&key)?.ok_or(BlobError::MissingMetadata {
                 blob,
                 version: key.version,
                 range: key.range,
@@ -692,7 +692,7 @@ pub fn collect_leaves_streaming(
     while !frontier.is_empty() {
         let level_start = out.len();
         let keys: Vec<NodeKey> = frontier.iter().map(|node| node.key(blob)).collect();
-        let bodies = store.get_nodes(&keys);
+        let bodies = store.get_nodes(&keys)?;
         let mut next = Vec::with_capacity(frontier.len() * 2);
         for (node, body) in frontier.iter().zip(bodies) {
             let body = body.ok_or(BlobError::MissingMetadata {
@@ -830,7 +830,7 @@ fn descend(
         return Ok(());
     }
     let key = node.key(blob);
-    let body = store.get_node(&key).ok_or(BlobError::MissingMetadata {
+    let body = store.get_node(&key)?.ok_or(BlobError::MissingMetadata {
         blob,
         version: key.version,
         range: key.range,

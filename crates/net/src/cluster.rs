@@ -17,9 +17,10 @@
 //! tests run the same operation histories over both — and over the plain
 //! in-process cluster — and assert byte-identical results.
 
-use crate::rpc::{ChunkHost, ManagerHost, MetaHost, RpcEndpoint, RpcServer};
+use crate::reactor::{Reactor, WorkerPool};
+use crate::rpc::{ChunkHost, ManagerHost, MetaHost, RpcEndpoint, RpcHandler, RpcServer};
 use crate::services::{NetChunkService, NetMetadataService};
-use crate::transport::{channel_endpoint, tcp_endpoint, Connect, EndpointParts, FaultState};
+use crate::transport::{channel_endpoint, tcp_endpoint, tcp_listener, Connect, FaultState};
 use blobseer_core::{BlobClient, Cluster, MetadataService};
 use blobseer_meta::{CachedMetadataStore, MetadataStore};
 use blobseer_types::{
@@ -31,6 +32,12 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 /// A networked BlobSeer deployment (TCP loopback or channel transport).
+///
+/// Serving is event-driven and bounded: all endpoints share one
+/// [`WorkerPool`] of `ClusterConfig::rpc_workers` threads, and on the TCP
+/// transport one [`Reactor`] thread owns every accepted socket — the
+/// deployment's serving threads are O(workers), however many clients
+/// connect.
 pub struct NetCluster {
     inner: Cluster,
     manager_connector: Arc<dyn Connect>,
@@ -39,6 +46,11 @@ pub struct NetCluster {
     /// Running server endpoints, keyed for targeted teardown ("manager",
     /// "meta", "provider-N").
     servers: Mutex<HashMap<String, RpcServer>>,
+    /// The shared request-execution pool behind every endpoint.
+    pool: WorkerPool,
+    /// The shared connection reactor (TCP transport only; the channel
+    /// transport's blocking sources keep per-connection reader threads).
+    reactor: Option<Arc<Reactor>>,
     client_ids: IdGenerator,
 }
 
@@ -57,59 +69,85 @@ impl NetCluster {
     }
 
     /// Starts a deployment whose endpoints are real TCP loopback sockets
-    /// bound to `config.net_listen`.
+    /// bound to `config.net_listen`, served by one shared reactor thread
+    /// plus the bounded worker pool.
     pub fn new_tcp(mut config: ClusterConfig) -> Result<Self> {
         config.transport = TransportKind::TcpLoopback;
         let listen = config.net_listen.clone();
-        Self::build(config, move || tcp_endpoint(&listen))
+        let pool = WorkerPool::new(config.effective_rpc_workers());
+        let reactor = Reactor::new(pool.clone(), config.io_timeout());
+        let serve_reactor = Arc::clone(&reactor);
+        Self::build(config, pool, Some(reactor), move |handler| {
+            let (connector, listener) = tcp_listener(&listen)?;
+            Ok((
+                connector,
+                RpcServer::spawn_reactor(&serve_reactor, listener, handler),
+            ))
+        })
+    }
+
+    /// Starts a TCP deployment served the pre-reactor way: a blocking
+    /// accept loop per endpoint and one thread per request, unbounded.
+    /// This exists solely as the control arm of the connection-scaling
+    /// benchmark (`fig_n2`); production wiring is [`NetCluster::new_tcp`].
+    pub fn new_tcp_thread_per_request(mut config: ClusterConfig) -> Result<Self> {
+        config.transport = TransportKind::TcpLoopback;
+        let listen = config.net_listen.clone();
+        let pool = WorkerPool::new(1); // unused by this mode, minimal
+        Self::build(config, pool, None, move |handler| {
+            let (connector, acceptor, stopper) = tcp_endpoint(&listen)?;
+            Ok((
+                connector,
+                RpcServer::spawn_thread_per_request(acceptor, stopper, handler),
+            ))
+        })
     }
 
     /// Starts a deployment on the in-process channel transport, injecting
     /// `faults` (seeded, deterministic) into every link of the network.
+    /// Channel sources block (that is what makes their fault injection
+    /// deterministic), so connections keep reader threads — but request
+    /// execution still runs on the shared bounded pool.
     pub fn new_channel(mut config: ClusterConfig, faults: FaultPlan) -> Result<Self> {
         config.transport = TransportKind::Channel;
         faults.validate()?;
         let state = Arc::new(FaultState::new(faults));
-        Self::build(config, move || Ok(channel_endpoint(Arc::clone(&state))))
+        let pool = WorkerPool::new(config.effective_rpc_workers());
+        let serve_pool = pool.clone();
+        Self::build(config, pool, None, move |handler| {
+            let (connector, acceptor, stopper) = channel_endpoint(Arc::clone(&state));
+            Ok((
+                connector,
+                RpcServer::spawn_pooled(acceptor, stopper, handler, serve_pool.clone()),
+            ))
+        })
     }
 
     fn build(
         config: ClusterConfig,
-        make_endpoint: impl Fn() -> Result<EndpointParts>,
+        pool: WorkerPool,
+        reactor: Option<Arc<Reactor>>,
+        make_server: impl Fn(Arc<dyn RpcHandler>) -> Result<(Arc<dyn Connect>, RpcServer)>,
     ) -> Result<Self> {
         let inner = Cluster::new(config)?;
         let mut servers = HashMap::new();
 
-        let (manager_connector, acceptor, stopper) = make_endpoint()?;
-        servers.insert(
-            "manager".to_string(),
-            RpcServer::spawn(
-                acceptor,
-                stopper,
-                Arc::new(ManagerHost::new(Arc::clone(inner.provider_manager()))),
-            ),
-        );
+        let (manager_connector, server) = make_server(Arc::new(ManagerHost::new(Arc::clone(
+            inner.provider_manager(),
+        ))))?;
+        servers.insert("manager".to_string(), server);
 
-        let (meta_connector, acceptor, stopper) = make_endpoint()?;
-        servers.insert(
-            "meta".to_string(),
-            RpcServer::spawn(
-                acceptor,
-                stopper,
-                Arc::new(MetaHost::new(
-                    Arc::clone(inner.metadata()) as Arc<dyn MetadataStore>
-                )),
-            ),
-        );
+        let (meta_connector, server) = make_server(Arc::new(MetaHost::new(Arc::clone(
+            inner.metadata(),
+        )
+            as Arc<dyn MetadataStore>)))?;
+        servers.insert("meta".to_string(), server);
 
         let mut provider_connectors = HashMap::new();
         for provider in inner.providers() {
             let id = provider.id();
-            let (connector, acceptor, stopper) = make_endpoint()?;
-            servers.insert(
-                format!("provider-{}", id.0),
-                RpcServer::spawn(acceptor, stopper, Arc::new(ChunkHost::new(provider))),
-            );
+            let (connector, server) = make_server(Arc::new(ChunkHost::new(provider)))?;
+            servers.insert(format!("provider-{}", id.0), server);
             provider_connectors.insert(id, connector);
         }
 
@@ -119,6 +157,8 @@ impl NetCluster {
             meta_connector,
             provider_connectors,
             servers: Mutex::new(servers),
+            pool,
+            reactor,
             client_ids: IdGenerator::starting_at(1),
         })
     }
@@ -158,27 +198,39 @@ impl NetCluster {
         Ok(())
     }
 
+    /// The TCP address a data provider's endpoint listens on (`None` on
+    /// in-process transports or for unknown providers). Stress tests use it
+    /// to poke endpoints outside the framed protocol.
+    #[must_use]
+    pub fn provider_endpoint_addr(&self, id: ProviderId) -> Option<std::net::SocketAddr> {
+        self.provider_connectors.get(&id).and_then(|c| c.addr())
+    }
+
     /// Creates a client whose chunk and metadata planes run over the wire.
-    /// Each client gets its own connections (one per endpoint, multiplexed)
+    /// Each client gets its own connection pool per endpoint
+    /// (`connections_per_endpoint` multiplexed connections, round robin)
     /// and its own [`TransportMetrics`], surfaced through
-    /// `ClientStats::bytes_on_wire`/`frames_sent`.
+    /// `ClientStats::bytes_on_wire`/`frames_sent`/`frames_coalesced`.
     pub fn client(&self) -> BlobClient {
         let config = self.inner.config();
         let io_timeout = config.io_timeout();
+        let conns = config.connections_per_endpoint;
         let metrics = Arc::new(TransportMetrics::new());
 
         let manager = RpcEndpoint::new(
             Arc::clone(&self.manager_connector),
             io_timeout,
             Arc::clone(&metrics),
-        );
+        )
+        .with_connections(conns);
         let providers = self
             .provider_connectors
             .iter()
             .map(|(&id, connector)| {
                 (
                     id,
-                    RpcEndpoint::new(Arc::clone(connector), io_timeout, Arc::clone(&metrics)),
+                    RpcEndpoint::new(Arc::clone(connector), io_timeout, Arc::clone(&metrics))
+                        .with_connections(conns),
                 )
             })
             .collect();
@@ -188,17 +240,17 @@ impl NetCluster {
             Arc::clone(&metrics),
         ));
 
-        // The metadata endpoint gets a deeper retry budget: its read
-        // interface cannot report "unreachable" distinctly from "absent",
-        // so failing a read there must be made as unlikely as the budget
-        // allows (see `META_RPC_RETRIES`).
+        // The metadata endpoint gets a deeper retry budget: metadata frames
+        // are tiny and on every critical path, so extra masking of lossy
+        // links is cheap there (see `META_RPC_RETRIES`).
         let meta = NetMetadataService::new(
             RpcEndpoint::new(
                 Arc::clone(&self.meta_connector),
                 io_timeout,
                 Arc::clone(&metrics),
             )
-            .with_retries(crate::rpc::META_RPC_RETRIES),
+            .with_retries(crate::rpc::META_RPC_RETRIES)
+            .with_connections(conns),
         );
         let meta_service: Arc<dyn MetadataService> = if config.client_metadata_cache {
             Arc::new(CachedMetadataStore::new(Arc::new(meta)))
@@ -219,6 +271,21 @@ impl NetCluster {
         .with_pipeline_depth(config.pipeline_depth)
         .with_chunk_cache(chunk_cache)
         .with_transport_metrics(Some(metrics))
+    }
+}
+
+impl Drop for NetCluster {
+    fn drop(&mut self) {
+        // Teardown order matters: deregister the endpoints first, then stop
+        // the reactor thread that owns their sockets, then shut the worker
+        // pool down (any in-flight handler finishes on its own).
+        for (_, mut server) in self.servers.lock().drain() {
+            server.stop();
+        }
+        if let Some(reactor) = self.reactor.take() {
+            reactor.stop();
+        }
+        self.pool.shutdown();
     }
 }
 
@@ -310,7 +377,13 @@ mod tests {
 
     #[test]
     fn failed_providers_report_unavailable_over_the_wire() {
-        let cluster = NetCluster::new_channel(config(), FaultPlan::none()).unwrap();
+        // Cold-cache deployment: a client-side chunk cache (on by default)
+        // would mask the provider outage this test is about.
+        let cfg = ClusterConfig {
+            chunk_cache_bytes: 0,
+            ..config()
+        };
+        let cluster = NetCluster::new_channel(cfg, FaultPlan::none()).unwrap();
         let client = cluster.client();
         let blob = client.create_blob(BlobConfig::new(CS, 1).unwrap()).unwrap();
         let data = pattern(4 * CS as usize, 3);

@@ -27,17 +27,19 @@
 
 pub mod cluster;
 pub mod frame;
+pub mod reactor;
 pub mod rpc;
 pub mod services;
 pub mod transport;
 
 pub use cluster::NetCluster;
 pub use frame::{Frame, FRAME_PREFIX_BYTES, MAX_FRAME_BYTES};
+pub use reactor::{count_threads_with_prefix, default_rpc_workers, Reactor, WorkerPool};
 pub use rpc::{
     ChunkHost, ManagerHost, MetaHost, RpcEndpoint, RpcHandler, RpcServer, DEFAULT_RPC_RETRIES,
 };
 pub use services::{NetChunkService, NetMetadataService};
 pub use transport::{
-    channel_endpoint, tcp_endpoint, Accept, Accepted, Connect, Connection, FaultState, FrameSink,
-    FrameSource, KillHandle,
+    channel_endpoint, tcp_endpoint, tcp_listener, Accept, Accepted, Connect, Connection,
+    FaultState, FrameSink, FrameSource, KillHandle,
 };

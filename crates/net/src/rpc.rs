@@ -1,13 +1,30 @@
 //! The RPC layer: multiplexed client endpoints and server loops.
 //!
 //! One [`RpcEndpoint`] is a client's view of one remote service (a data
-//! provider, the provider manager, the metadata plane). All calls of one
-//! client to one endpoint share a single connection: requests carry
-//! monotonically increasing ids, a dedicated reader thread demultiplexes
-//! responses back to the waiting callers, and the sender side is a mutex
-//! around the frame sink — so the pipelined scheduler's overlapped
-//! transfers stay overlapped on the wire instead of serialising per
-//! request/response pair.
+//! provider, the provider manager, the metadata plane). Calls of one client
+//! to one endpoint share a small pool of multiplexed connections
+//! (`ClusterConfig::connections_per_endpoint`, default one), assigned round
+//! robin: requests carry monotonically increasing ids, a dedicated reader
+//! thread per connection demultiplexes responses back to the waiting
+//! callers, and the sender side coalesces — a caller that finds the sink
+//! busy parks its frame in the connection's send queue, and whichever
+//! caller holds the sink next flushes the whole queue as **one** vectored
+//! batch write ([`FrameSink::send_batch`]). Under concurrency, adjacent
+//! small frames (metadata gets, allocations) ride one syscall; the
+//! `frames_coalesced` counter makes the batching observable.
+//!
+//! The server side is a facade over three serving modes:
+//!
+//! * [`RpcServer::spawn_reactor`] — the production TCP shape: connections
+//!   are owned by a shared event-driven [`crate::reactor::Reactor`] and
+//!   requests execute on its bounded [`crate::reactor::WorkerPool`], so
+//!   serving threads scale with cores, not clients;
+//! * [`RpcServer::spawn`] / [`RpcServer::spawn_pooled`] — a blocking
+//!   accept loop plus one reader thread per connection, with request
+//!   execution still bounded by a worker pool (the shape used by the
+//!   channel transport, whose fault injection needs blocking sources);
+//! * [`RpcServer::spawn_thread_per_request`] — the pre-reactor control:
+//!   unbounded handler threads. Kept for A/B benchmarks (`fig_n2`).
 //!
 //! Every call is bounded by the deployment's `io_timeout` and retried a
 //! bounded number of times on *transport* errors (timeout, disconnect,
@@ -17,6 +34,7 @@
 //! rotation, provider substitution, write repair).
 
 use crate::frame::Frame;
+use crate::reactor::{Reactor, WorkerPool};
 use crate::transport::{Accept, Accepted, Connect, Connection, FrameSink, KillHandle};
 use blobseer_meta::{MetadataStore, NodeBody, NodeKey};
 use blobseer_provider::{DataProvider, PlacementRequest, ProviderManager};
@@ -58,14 +76,13 @@ pub mod op {
 /// endpoint still fails within `4 × io_timeout`.
 pub const DEFAULT_RPC_RETRIES: u32 = 3;
 
-/// Deeper retry budget for the metadata endpoint. The `MetadataStore` read
-/// interface cannot distinguish "node absent" from "endpoint unreachable"
-/// (absence is meaningful: holes, not-yet-woven nodes), and one path — a
-/// writer merging boundary bytes from its predecessor — would treat a
-/// metadata read that exhausted its retries as "never written: zeros".
-/// Burning through this budget takes seven consecutive lost round-trips on
-/// one call; the real fix (Result-returning metadata gets) is a trait-level
-/// follow-up tracked in ROADMAP.
+/// Deeper retry budget for the metadata endpoint. Metadata frames are tiny
+/// (a lost round-trip costs microseconds to replay, not megabytes) and sit
+/// on every critical path, so the metadata plane buys extra masking of
+/// lossy links cheaply. Exhausting the budget is no longer a correctness
+/// hazard — `MetadataStore` reads are `Result`-returning, so an endpoint
+/// that stays unreachable surfaces as `Err`, never as a fake "node absent"
+/// (which is meaningful: holes, not-yet-woven nodes).
 pub const META_RPC_RETRIES: u32 = 6;
 
 /// Effective wait when the configured I/O timeout is disabled (zero).
@@ -78,6 +95,13 @@ type PendingMap = Arc<Mutex<Option<HashMap<u64, Sender<Frame>>>>>;
 /// A live connection's client-side state.
 struct LiveConn {
     sink: Arc<Mutex<Box<dyn FrameSink>>>,
+    /// Frames queued for sending. A caller pushes here, then takes the sink
+    /// lock and flushes *everything* queued as one batch — so whenever
+    /// callers contend for the sink, the frames that piled up behind the
+    /// lock-holder leave in a single vectored write (small-frame
+    /// coalescing). An empty queue at flush time means a predecessor
+    /// already carried our frame out.
+    send_queue: Mutex<Vec<Frame>>,
     /// In-flight request registry, shared with the reader thread. `None`
     /// once the reader died — every waiter's sender is dropped with the map,
     /// so blocked callers fail over immediately instead of timing out.
@@ -98,11 +122,16 @@ pub struct RpcEndpoint {
     retries: u32,
     metrics: Arc<TransportMetrics>,
     next_id: AtomicU64,
-    conn: Mutex<Option<Arc<LiveConn>>>,
+    /// Round-robin cursor over `conns`.
+    next_conn: AtomicU64,
+    /// Connection slots (`connections_per_endpoint` of them); each holds an
+    /// independently multiplexed connection, dialled lazily.
+    conns: Vec<Mutex<Option<Arc<LiveConn>>>>,
 }
 
 impl RpcEndpoint {
-    /// Builds an endpoint. No connection is dialled until the first call.
+    /// Builds an endpoint with one connection slot. No connection is
+    /// dialled until the first call.
     #[must_use]
     pub fn new(
         connector: Arc<dyn Connect>,
@@ -115,7 +144,8 @@ impl RpcEndpoint {
             retries: DEFAULT_RPC_RETRIES,
             metrics,
             next_id: AtomicU64::new(1),
-            conn: Mutex::new(None),
+            next_conn: AtomicU64::new(0),
+            conns: vec![Mutex::new(None)],
         }
     }
 
@@ -126,14 +156,25 @@ impl RpcEndpoint {
         self
     }
 
+    /// Sets the connection-pool size (`ClusterConfig::
+    /// connections_per_endpoint`). Calls are spread round robin; each slot
+    /// is still a fully multiplexed connection, so depth-1 pools keep the
+    /// pipelined scheduler's overlap and deeper pools add parallel sinks
+    /// (and sockets) on top.
+    #[must_use]
+    pub fn with_connections(mut self, connections: usize) -> Self {
+        self.conns = (0..connections.max(1)).map(|_| Mutex::new(None)).collect();
+        self
+    }
+
     /// The metrics handle shared by this endpoint.
     #[must_use]
     pub fn metrics(&self) -> &Arc<TransportMetrics> {
         &self.metrics
     }
 
-    fn ensure_conn(&self) -> Result<Arc<LiveConn>> {
-        let mut slot = self.conn.lock();
+    fn ensure_conn(&self, slot_index: usize) -> Result<Arc<LiveConn>> {
+        let mut slot = self.conns[slot_index].lock();
         if let Some(conn) = slot.as_ref() {
             if conn.is_alive() {
                 return Ok(Arc::clone(conn));
@@ -174,6 +215,7 @@ impl RpcEndpoint {
             .expect("cannot spawn rpc reader");
         let conn = Arc::new(LiveConn {
             sink: Arc::new(Mutex::new(sink)),
+            send_queue: Mutex::new(Vec::new()),
             pending,
             kill,
         });
@@ -181,9 +223,9 @@ impl RpcEndpoint {
         Ok(conn)
     }
 
-    fn drop_conn(&self, failed: &Arc<LiveConn>) {
+    fn drop_conn(&self, slot_index: usize, failed: &Arc<LiveConn>) {
         (failed.kill)();
-        let mut slot = self.conn.lock();
+        let mut slot = self.conns[slot_index].lock();
         if let Some(current) = slot.as_ref() {
             if Arc::ptr_eq(current, failed) {
                 *slot = None;
@@ -191,8 +233,32 @@ impl RpcEndpoint {
         }
     }
 
+    /// Flushes the connection's send queue through its sink as one batch.
+    /// Returns how many frames this caller flushed (zero = a predecessor
+    /// already carried the caller's frame out).
+    fn flush_queue(&self, conn: &LiveConn) -> Result<usize> {
+        let mut sink = conn.sink.lock();
+        // Take the queue only once the sink is held: frames queued while we
+        // waited for the lock ride along in our batch.
+        let batch: Vec<Frame> = std::mem::take(&mut *conn.send_queue.lock());
+        if batch.is_empty() {
+            return Ok(0);
+        }
+        sink.send_batch(&batch)?;
+        drop(sink);
+        for frame in &batch {
+            self.metrics.frame_sent(frame.wire_len());
+        }
+        if batch.len() > 1 {
+            self.metrics.frames_coalesced(batch.len() as u64 - 1);
+        }
+        Ok(batch.len())
+    }
+
     fn try_call(&self, opcode: u8, header: &Bytes, payload: &Bytes) -> Result<Frame> {
-        let conn = self.ensure_conn()?;
+        let slot_index =
+            (self.next_conn.fetch_add(1, Ordering::Relaxed) as usize) % self.conns.len();
+        let conn = self.ensure_conn(slot_index)?;
         let request_id = self.next_id.fetch_add(1, Ordering::Relaxed);
         let (tx, rx): (Sender<Frame>, Receiver<Frame>) = channel();
         {
@@ -203,21 +269,23 @@ impl RpcEndpoint {
                 }
                 None => {
                     drop(registry);
-                    self.drop_conn(&conn);
+                    self.drop_conn(slot_index, &conn);
                     return Err(BlobError::Transport("rpc: connection lost".into()));
                 }
             }
         }
         let frame = Frame::new(request_id, opcode, header.clone(), payload.clone());
-        let sent = { conn.sink.lock().send(&frame) };
-        if let Err(err) = sent {
+        conn.send_queue.lock().push(frame);
+        if let Err(err) = self.flush_queue(&conn) {
+            // The failed batch may have carried other callers' frames too;
+            // dropping the connection fails their waits over promptly (and
+            // every request is idempotent, so they simply retry).
             if let Some(map) = conn.pending.lock().as_mut() {
                 map.remove(&request_id);
             }
-            self.drop_conn(&conn);
+            self.drop_conn(slot_index, &conn);
             return Err(err);
         }
-        self.metrics.frame_sent(frame.wire_len());
         match rx.recv_timeout(self.io_timeout) {
             Ok(response) => Ok(response),
             Err(RecvTimeoutError::Timeout) => {
@@ -231,17 +299,133 @@ impl RpcEndpoint {
                 if let Some(map) = conn.pending.lock().as_mut() {
                     map.remove(&request_id);
                 }
-                self.drop_conn(&conn);
+                self.drop_conn(slot_index, &conn);
                 Err(BlobError::Transport(format!(
                     "rpc: no response within {:?}",
                     self.io_timeout
                 )))
             }
             Err(RecvTimeoutError::Disconnected) => {
-                self.drop_conn(&conn);
+                self.drop_conn(slot_index, &conn);
                 Err(BlobError::Transport("rpc: connection lost".into()))
             }
         }
+    }
+
+    /// One batched transport attempt: registers every request on a single
+    /// connection, queues all frames and flushes them as one batch (one
+    /// vectored write on a TCP sink — this is where deterministic
+    /// client-side frame coalescing comes from), then awaits the responses
+    /// off the shared reader. Per-item `Err(())` means "retry this one
+    /// individually"; a whole-batch `Err` means no frame was sent at all.
+    #[allow(clippy::type_complexity)]
+    fn try_call_many(
+        &self,
+        opcode: u8,
+        requests: &[(Bytes, Bytes)],
+    ) -> Result<Vec<std::result::Result<Frame, ()>>> {
+        let slot_index =
+            (self.next_conn.fetch_add(1, Ordering::Relaxed) as usize) % self.conns.len();
+        let conn = self.ensure_conn(slot_index)?;
+        let mut waiters: Vec<(u64, Receiver<Frame>)> = Vec::with_capacity(requests.len());
+        {
+            let mut registry = conn.pending.lock();
+            match registry.as_mut() {
+                Some(map) => {
+                    for _ in requests {
+                        let request_id = self.next_id.fetch_add(1, Ordering::Relaxed);
+                        let (tx, rx) = channel();
+                        map.insert(request_id, tx);
+                        waiters.push((request_id, rx));
+                    }
+                }
+                None => {
+                    drop(registry);
+                    self.drop_conn(slot_index, &conn);
+                    return Err(BlobError::Transport("rpc: connection lost".into()));
+                }
+            }
+        }
+        {
+            let mut queue = conn.send_queue.lock();
+            for ((header, payload), (request_id, _)) in requests.iter().zip(&waiters) {
+                queue.push(Frame::new(
+                    *request_id,
+                    opcode,
+                    header.clone(),
+                    payload.clone(),
+                ));
+            }
+        }
+        if let Err(err) = self.flush_queue(&conn) {
+            if let Some(map) = conn.pending.lock().as_mut() {
+                for (request_id, _) in &waiters {
+                    map.remove(request_id);
+                }
+            }
+            self.drop_conn(slot_index, &conn);
+            return Err(err);
+        }
+        let mut outcomes = Vec::with_capacity(waiters.len());
+        for (request_id, rx) in waiters {
+            match rx.recv_timeout(self.io_timeout) {
+                Ok(frame) => outcomes.push(Ok(frame)),
+                Err(RecvTimeoutError::Timeout) => {
+                    if let Some(map) = conn.pending.lock().as_mut() {
+                        map.remove(&request_id);
+                    }
+                    // Dropping the connection disconnects the remaining
+                    // waiters of this batch too; they fail over below
+                    // without waiting out their own timeouts.
+                    self.drop_conn(slot_index, &conn);
+                    outcomes.push(Err(()));
+                }
+                Err(RecvTimeoutError::Disconnected) => {
+                    self.drop_conn(slot_index, &conn);
+                    outcomes.push(Err(()));
+                }
+            }
+        }
+        Ok(outcomes)
+    }
+
+    /// Issues a batch of same-opcode requests as one pipelined send over a
+    /// single connection, returning one result per request (same order).
+    ///
+    /// All frames leave in one flush — on a contended or batched sink that
+    /// is a single vectored write, counted in
+    /// `TransportMetrics::frames_coalesced` — and the responses stream back
+    /// multiplexed. Any item that fails at the transport level falls back
+    /// to [`RpcEndpoint::call`] individually with the full retry budget, so
+    /// per-item outcomes are exactly what sequential calls would produce.
+    pub fn call_many(&self, opcode: u8, requests: &[(Bytes, Bytes)]) -> Vec<Result<Frame>> {
+        let mut results: Vec<Option<Result<Frame>>> = requests.iter().map(|_| None).collect();
+        if let Ok(outcomes) = self.try_call_many(opcode, requests) {
+            for (slot, outcome) in results.iter_mut().zip(outcomes) {
+                match outcome {
+                    Ok(frame) if frame.opcode == op::RESP_OK => *slot = Some(Ok(frame)),
+                    Ok(frame) if frame.opcode == op::RESP_ERR => {
+                        match decode::<BlobError>(&frame.header) {
+                            // Transport-class errors (a frame mangled in
+                            // flight) retry below; application errors are
+                            // final.
+                            Ok(BlobError::Transport(_)) | Err(_) => {}
+                            Ok(err) => *slot = Some(Err(err)),
+                        }
+                    }
+                    Ok(_) | Err(()) => {}
+                }
+            }
+        }
+        for (slot, (header, payload)) in results.iter_mut().zip(requests) {
+            if slot.is_none() {
+                *slot = Some(self.call(opcode, header.clone(), payload.clone()));
+            }
+        }
+        results
+            .into_iter()
+            .map(|outcome| outcome.expect("every batch slot resolved"))
+            .collect()
     }
 
     /// Issues one request and returns the decoded-enough response frame
@@ -282,8 +466,10 @@ impl RpcEndpoint {
 
 impl Drop for RpcEndpoint {
     fn drop(&mut self) {
-        if let Some(conn) = self.conn.lock().take() {
-            (conn.kill)();
+        for slot in &self.conns {
+            if let Some(conn) = slot.lock().take() {
+                (conn.kill)();
+            }
         }
     }
 }
@@ -293,6 +479,7 @@ impl std::fmt::Debug for RpcEndpoint {
         f.debug_struct("RpcEndpoint")
             .field("io_timeout", &self.io_timeout)
             .field("retries", &self.retries)
+            .field("connections", &self.conns.len())
             .finish()
     }
 }
@@ -307,23 +494,122 @@ pub trait RpcHandler: Send + Sync {
     fn handle(&self, opcode: u8, header: &[u8], payload: Bytes) -> Result<(Bytes, Bytes)>;
 }
 
-/// One running server endpoint: an accept loop plus one thread per live
-/// connection, all torn down by [`RpcServer::stop`] (or drop).
+/// How an accept-loop server executes decoded requests.
+enum ServeMode {
+    /// Bounded: requests run as jobs on a worker pool.
+    Pooled(WorkerPool),
+    /// Unbounded: one short-lived thread per request (the pre-reactor
+    /// shape, kept as the A/B control for the `fig_n2` scaling benchmark).
+    ThreadPerRequest,
+}
+
+impl Clone for ServeMode {
+    fn clone(&self) -> Self {
+        match self {
+            ServeMode::Pooled(pool) => ServeMode::Pooled(pool.clone()),
+            ServeMode::ThreadPerRequest => ServeMode::ThreadPerRequest,
+        }
+    }
+}
+
+enum ServerInner {
+    /// A blocking accept loop plus one reader thread per live connection.
+    Accepting {
+        stop: KillHandle,
+        conns: Arc<Mutex<HashMap<u64, KillHandle>>>,
+        accept_thread: Option<std::thread::JoinHandle<()>>,
+        /// A pool created by (and private to) this server; shut down with
+        /// it. `None` when the pool is shared or the mode is
+        /// thread-per-request.
+        own_pool: Option<WorkerPool>,
+    },
+    /// An endpoint registered on a shared event-driven reactor.
+    Reactor {
+        reactor: Arc<Reactor>,
+        endpoint_id: u64,
+        conn_count: Arc<std::sync::atomic::AtomicUsize>,
+    },
+}
+
+/// One running server endpoint, behind any of the three serving modes
+/// (reactor / pooled accept loop / thread-per-request); torn down by
+/// [`RpcServer::stop`] (or drop).
 pub struct RpcServer {
-    stop: KillHandle,
-    conns: Arc<Mutex<HashMap<u64, KillHandle>>>,
-    accept_thread: Option<std::thread::JoinHandle<()>>,
+    inner: ServerInner,
     stopped: bool,
 }
 
 impl RpcServer {
-    /// Starts serving `handler` behind `acceptor`. `stopper` must unblock
-    /// the acceptor (see `tcp_endpoint` / `channel_endpoint`).
+    /// Starts serving `handler` behind `acceptor` with a private worker
+    /// pool of the default size. `stopper` must unblock the acceptor (see
+    /// `tcp_endpoint` / `channel_endpoint`).
     #[must_use]
     pub fn spawn(
+        acceptor: Box<dyn Accept>,
+        stopper: KillHandle,
+        handler: Arc<dyn RpcHandler>,
+    ) -> Self {
+        let pool = WorkerPool::with_configured(0);
+        let mut server =
+            Self::spawn_accepting(acceptor, stopper, handler, ServeMode::Pooled(pool.clone()));
+        if let ServerInner::Accepting { own_pool, .. } = &mut server.inner {
+            *own_pool = Some(pool);
+        }
+        server
+    }
+
+    /// Starts serving `handler` behind `acceptor`, executing requests on a
+    /// shared worker `pool` (not shut down by [`RpcServer::stop`] — several
+    /// endpoints of one deployment share it).
+    #[must_use]
+    pub fn spawn_pooled(
+        acceptor: Box<dyn Accept>,
+        stopper: KillHandle,
+        handler: Arc<dyn RpcHandler>,
+        pool: WorkerPool,
+    ) -> Self {
+        Self::spawn_accepting(acceptor, stopper, handler, ServeMode::Pooled(pool))
+    }
+
+    /// Starts serving `handler` with one thread per request — the
+    /// pre-reactor serving shape, kept only as the scaling benchmark's
+    /// control arm.
+    #[must_use]
+    pub fn spawn_thread_per_request(
+        acceptor: Box<dyn Accept>,
+        stopper: KillHandle,
+        handler: Arc<dyn RpcHandler>,
+    ) -> Self {
+        Self::spawn_accepting(acceptor, stopper, handler, ServeMode::ThreadPerRequest)
+    }
+
+    /// Registers `handler` as an endpoint on a shared event-driven
+    /// `reactor` serving `listener` — the production TCP shape: no
+    /// per-connection threads at all. [`RpcServer::stop`] deregisters the
+    /// endpoint (closing its listener and connections); the reactor itself
+    /// is owned, and stopped, by the deployment.
+    #[must_use]
+    pub fn spawn_reactor(
+        reactor: &Arc<Reactor>,
+        listener: std::net::TcpListener,
+        handler: Arc<dyn RpcHandler>,
+    ) -> Self {
+        let (endpoint_id, conn_count) = reactor.add_endpoint(listener, handler);
+        RpcServer {
+            inner: ServerInner::Reactor {
+                reactor: Arc::clone(reactor),
+                endpoint_id,
+                conn_count,
+            },
+            stopped: false,
+        }
+    }
+
+    fn spawn_accepting(
         mut acceptor: Box<dyn Accept>,
         stopper: KillHandle,
         handler: Arc<dyn RpcHandler>,
+        mode: ServeMode,
     ) -> Self {
         let conns: Arc<Mutex<HashMap<u64, KillHandle>>> = Arc::new(Mutex::new(HashMap::new()));
         let accept_conns = Arc::clone(&conns);
@@ -339,10 +625,11 @@ impl RpcServer {
                             accept_conns.lock().insert(conn_id, Arc::clone(&conn.kill));
                             let handler = Arc::clone(&handler);
                             let registry = Arc::clone(&accept_conns);
+                            let mode = mode.clone();
                             std::thread::Builder::new()
                                 .name("blobseer-rpc-conn".into())
                                 .spawn(move || {
-                                    Self::serve_connection(conn, &handler);
+                                    Self::serve_connection(conn, &handler, &mode);
                                     // The connection is gone: drop its kill
                                     // handle (and, for TCP, the cloned
                                     // stream it owns) so a server outliving
@@ -358,69 +645,100 @@ impl RpcServer {
             })
             .expect("cannot spawn rpc accept thread");
         RpcServer {
-            stop: stopper,
-            conns,
-            accept_thread: Some(accept_thread),
+            inner: ServerInner::Accepting {
+                stop: stopper,
+                conns,
+                accept_thread: Some(accept_thread),
+                own_pool: None,
+            },
             stopped: false,
         }
     }
 
-    fn serve_connection(conn: Connection, handler: &Arc<dyn RpcHandler>) {
+    fn serve_connection(conn: Connection, handler: &Arc<dyn RpcHandler>, mode: &ServeMode) {
         let Connection {
             sink, mut source, ..
         } = conn;
         // Requests of one connection are *dispatched* in arrival order but
-        // *served* concurrently, one short-lived handler thread per request
-        // sharing the response sink. A client multiplexing in-flight
-        // requests over this connection therefore keeps them overlapped at
-        // the server too — a slow chunk fetch never head-of-line-blocks the
-        // requests queued behind it into their callers' I/O timeouts. The
-        // client's pipeline cap bounds how many run at once.
+        // *served* concurrently, sharing the response sink — a slow chunk
+        // fetch never head-of-line-blocks the requests queued behind it
+        // into their callers' I/O timeouts. In pooled mode concurrency is
+        // bounded by the worker count; in the thread-per-request control it
+        // is bounded only by the client's pipeline cap.
         let sink = Arc::new(Mutex::new(sink));
         while let Ok(Some(request)) = source.recv() {
             let handler = Arc::clone(handler);
             let sink = Arc::clone(&sink);
-            std::thread::Builder::new()
-                .name("blobseer-rpc-handler".into())
-                .spawn(move || {
-                    let response =
-                        match handler.handle(request.opcode, &request.header, request.payload) {
-                            Ok((header, payload)) => {
-                                Frame::new(request.request_id, op::RESP_OK, header, payload)
-                            }
-                            Err(err) => Frame::new(
-                                request.request_id,
-                                op::RESP_ERR,
-                                encode(&err),
-                                Bytes::new(),
-                            ),
-                        };
-                    // A dead sink means the client is gone; nothing to do.
-                    let _ = sink.lock().send(&response);
-                })
-                .expect("cannot spawn rpc handler thread");
+            let job = move || {
+                let response =
+                    match handler.handle(request.opcode, &request.header, request.payload) {
+                        Ok((header, payload)) => {
+                            Frame::new(request.request_id, op::RESP_OK, header, payload)
+                        }
+                        Err(err) => {
+                            Frame::new(request.request_id, op::RESP_ERR, encode(&err), Bytes::new())
+                        }
+                    };
+                // A dead sink means the client is gone; nothing to do.
+                let _ = sink.lock().send(&response);
+            };
+            match mode {
+                ServeMode::Pooled(pool) => pool.execute(job),
+                ServeMode::ThreadPerRequest => {
+                    std::thread::Builder::new()
+                        .name("blobseer-rpc-handler".into())
+                        .spawn(job)
+                        .expect("cannot spawn rpc handler thread");
+                }
+            }
         }
     }
 
-    /// Number of connections currently registered (tests, diagnostics).
+    /// Number of connections currently live at this endpoint (tests,
+    /// diagnostics).
     #[must_use]
     pub fn connection_count(&self) -> usize {
-        self.conns.lock().len()
+        match &self.inner {
+            ServerInner::Accepting { conns, .. } => conns.lock().len(),
+            ServerInner::Reactor { conn_count, .. } => conn_count.load(Ordering::Relaxed),
+        }
     }
 
-    /// Stops accepting, tears every live connection down and joins the
-    /// accept loop. Idempotent.
+    /// Stops this endpoint: an accept-loop server stops accepting, tears
+    /// every live connection down and joins the accept loop (shutting its
+    /// private pool down, if it owns one); a reactor endpoint deregisters
+    /// from the reactor, which closes its listener and connections.
+    /// Idempotent.
     pub fn stop(&mut self) {
         if self.stopped {
             return;
         }
         self.stopped = true;
-        (self.stop)();
-        for (_, kill) in self.conns.lock().drain() {
-            kill();
-        }
-        if let Some(handle) = self.accept_thread.take() {
-            let _ = handle.join();
+        match &mut self.inner {
+            ServerInner::Accepting {
+                stop,
+                conns,
+                accept_thread,
+                own_pool,
+            } => {
+                (stop)();
+                for (_, kill) in conns.lock().drain() {
+                    kill();
+                }
+                if let Some(handle) = accept_thread.take() {
+                    let _ = handle.join();
+                }
+                if let Some(pool) = own_pool.take() {
+                    pool.shutdown();
+                }
+            }
+            ServerInner::Reactor {
+                reactor,
+                endpoint_id,
+                ..
+            } => {
+                reactor.remove_endpoint(*endpoint_id);
+            }
         }
     }
 }
@@ -534,7 +852,7 @@ impl RpcHandler for MetaHost {
         match opcode {
             op::META_GET => {
                 let keys: Vec<NodeKey> = decode(header)?;
-                let bodies = self.store.get_nodes(&keys);
+                let bodies = self.store.get_nodes(&keys)?;
                 Ok((encode(&bodies), Bytes::new()))
             }
             op::META_PUT => {

@@ -106,6 +106,35 @@ impl ChunkService for NetChunkService {
         Ok(())
     }
 
+    fn put_chunks(&self, provider: ProviderId, chunks: &[(ChunkId, Bytes)]) -> Vec<Result<()>> {
+        let endpoint = match self.endpoint(provider) {
+            Ok(endpoint) => endpoint,
+            Err(err) => return chunks.iter().map(|_| Err(err.clone())).collect(),
+        };
+        let requests: Vec<(Bytes, Bytes)> = chunks
+            .iter()
+            .map(|(chunk, data)| {
+                let mut w = WireWriter::new();
+                w.put(chunk);
+                w.put_u32(data.len() as u32);
+                // Each payload rides its frame as-is: refcount bump, no copy.
+                (w.finish(), data.clone())
+            })
+            .collect();
+        // The whole batch leaves in one flush — one vectored write carrying
+        // every put for this provider, the deterministic source of
+        // `TransportMetrics::frames_coalesced`.
+        endpoint
+            .call_many(op::PUT_CHUNK, &requests)
+            .into_iter()
+            .map(|outcome| {
+                outcome.map(|frame| {
+                    debug_assert_eq!(frame.opcode, op::RESP_OK);
+                })
+            })
+            .collect()
+    }
+
     fn get_chunk(&self, provider: ProviderId, chunk: &ChunkId) -> Result<Bytes> {
         let endpoint = self.endpoint(provider)?;
         let header = encode(chunk);
@@ -129,13 +158,13 @@ impl ChunkService for NetChunkService {
 /// against the metadata endpoint (which hosts the DHT in production
 /// wiring).
 ///
-/// `MetadataStore::get_node(s)` cannot report failures (absence is
-/// meaningful: holes, not-yet-woven nodes). A transport failure that
-/// survives every retry therefore reads as "nodes unavailable" — exactly
-/// the shape a failed metadata provider has in-process, which the descent
-/// surfaces as `MissingMetadata` and writers surface as aborted-and-
-/// repaired writes. `put_nodes` returns `Result` and propagates transport
-/// errors, so a writer never publishes a version whose nodes did not land.
+/// Reads and writes both propagate failure. `MetadataStore::get_node(s)`
+/// returns `Result`, keeping "node absent" (meaningful: holes,
+/// not-yet-woven nodes) distinct from "endpoint unreachable" — a transport
+/// failure that survives every retry surfaces as `Err`, never as a fake
+/// absence a boundary-merging writer could misread as "never written:
+/// zeros". `put_nodes` likewise propagates transport errors, so a writer
+/// never publishes a version whose nodes did not land.
 pub struct NetMetadataService {
     endpoint: RpcEndpoint,
 }
@@ -153,11 +182,11 @@ impl MetadataStore for NetMetadataService {
         self.put_nodes(vec![(key, body)])
     }
 
-    fn get_node(&self, key: &NodeKey) -> Option<NodeBody> {
-        self.get_nodes(std::slice::from_ref(key)).pop().flatten()
+    fn get_node(&self, key: &NodeKey) -> Result<Option<NodeBody>> {
+        Ok(self.get_nodes(std::slice::from_ref(key))?.pop().flatten())
     }
 
-    fn get_nodes(&self, keys: &[NodeKey]) -> Vec<Option<NodeBody>> {
+    fn get_nodes(&self, keys: &[NodeKey]) -> Result<Vec<Option<NodeBody>>> {
         let header = encode(&keys.to_vec());
         call_decoded(&self.endpoint, op::META_GET, &header, |frame| {
             let bodies = decode::<Vec<Option<NodeBody>>>(&frame.header)?;
@@ -170,7 +199,6 @@ impl MetadataStore for NetMetadataService {
             }
             Ok(bodies)
         })
-        .unwrap_or_else(|_| keys.iter().map(|_| None).collect())
     }
 
     fn put_nodes(&self, nodes: Vec<(NodeKey, NodeBody)>) -> Result<()> {
@@ -284,10 +312,10 @@ mod tests {
             .unwrap();
         assert_eq!(store.node_count(), 2);
         assert_eq!(
-            svc.get_nodes(&[key(2), key(9), key(1)]),
+            svc.get_nodes(&[key(2), key(9), key(1)]).unwrap(),
             vec![Some(leaf.clone()), None, Some(leaf.clone())]
         );
-        assert_eq!(svc.get_node(&key(1)), Some(leaf.clone()));
+        assert_eq!(svc.get_node(&key(1)).unwrap(), Some(leaf.clone()));
         assert_eq!(svc.node_count(), 2);
         // Write-once violations cross the wire as the errors they are.
         let other = NodeBody::Leaf(LeafNode {
@@ -299,7 +327,7 @@ mod tests {
     }
 
     #[test]
-    fn dead_metadata_endpoints_read_as_unavailable_not_as_corruption() {
+    fn dead_metadata_endpoints_read_as_errors_not_as_absence() {
         let metrics = Arc::new(TransportMetrics::new());
         let store = Arc::new(InMemoryMetaStore::new());
         let (mut server, ep) = endpoint_for(
@@ -313,8 +341,15 @@ mod tests {
             version: Version(1),
             range: ByteRange::new(0, 64),
         };
-        // Reads degrade to "unavailable"; writes fail loudly.
-        assert_eq!(svc.get_nodes(&[key]), vec![None]);
+        // Reads must NOT degrade to "node absent" (a boundary-merging
+        // writer would read that as "never written: zeros"): unreachable
+        // propagates as the transport error it is, on reads and writes
+        // alike. Only the statistics call degrades.
+        assert!(matches!(
+            svc.get_nodes(&[key]),
+            Err(BlobError::Transport(_))
+        ));
+        assert!(matches!(svc.get_node(&key), Err(BlobError::Transport(_))));
         assert_eq!(svc.node_count(), 0);
         assert!(matches!(
             svc.put_nodes(vec![(key, NodeBody::Leaf(LeafNode::hole(BlobId(1), 0)))]),

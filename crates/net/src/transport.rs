@@ -14,7 +14,7 @@
 
 use crate::frame::{Frame, FRAME_PREFIX_BYTES, MAX_FRAME_BYTES};
 use blobseer_types::{BlobError, FaultPlan, Result};
-use bytes::BytesMut;
+use bytes::{Bytes, BytesMut};
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -29,6 +29,18 @@ use std::time::Duration;
 pub trait FrameSink: Send {
     /// Delivers one frame (or injects a fault pretending to).
     fn send(&mut self, frame: &Frame) -> Result<()>;
+
+    /// Delivers a batch of frames, coalescing them into as few syscalls as
+    /// the transport allows. The default sends one by one; the TCP sink
+    /// overrides it with a single vectored write across every frame, which
+    /// is what makes client-side small-frame coalescing one syscall per
+    /// batch instead of one per frame.
+    fn send_batch(&mut self, frames: &[Frame]) -> Result<()> {
+        for frame in frames {
+            self.send(frame)?;
+        }
+        Ok(())
+    }
 }
 
 /// Receiving half of one frame connection.
@@ -59,6 +71,13 @@ pub struct Connection {
 pub trait Connect: Send + Sync {
     /// Establishes a fresh connection.
     fn connect(&self) -> Result<Connection>;
+
+    /// The socket address this connector dials, when the endpoint is a real
+    /// socket (`None` for in-process transports). Lets stress tests and
+    /// operational tooling reach an endpoint outside the framed protocol.
+    fn addr(&self) -> Option<SocketAddr> {
+        None
+    }
 }
 
 /// What an acceptor hands the server loop.
@@ -126,40 +145,97 @@ impl FrameSink for TcpSink {
         )
         .map_err(|e| io_err("tcp send", &e))
     }
+
+    fn send_batch(&mut self, frames: &[Frame]) -> Result<()> {
+        // One vectored write for the whole batch: n frames, one syscall
+        // (modulo partial writes). Still zero-copy — every part is either a
+        // stack prefix or a refcounted slice of a caller buffer.
+        let prefixes: Vec<[u8; FRAME_PREFIX_BYTES]> = frames.iter().map(Frame::prefix).collect();
+        let mut parts: Vec<&[u8]> = Vec::with_capacity(frames.len() * 3);
+        for (frame, prefix) in frames.iter().zip(&prefixes) {
+            parts.push(prefix);
+            parts.push(frame.header.as_slice());
+            parts.push(frame.payload.as_slice());
+        }
+        Self::write_all_vectored(&mut self.stream, &parts).map_err(|e| io_err("tcp send", &e))
+    }
 }
+
+/// Receive-side burst size: one read harvests up to this many bytes of
+/// back-to-back small frames (a batch of pipelined responses costs one
+/// syscall to collect instead of two per frame).
+const RECV_BURST: usize = 4096;
 
 struct TcpSource {
     stream: TcpStream,
+    /// Unparsed tail of the last burst read. Frames that land wholly
+    /// inside one burst are handed out as refcounted slices of it.
+    tail: Bytes,
+}
+
+impl TcpSource {
+    /// Blocking read of the next burst. `Ok(None)` = orderly close.
+    fn read_burst(&mut self) -> Result<Option<Bytes>> {
+        let mut buf = BytesMut::zeroed(RECV_BURST);
+        loop {
+            match self.stream.read(&mut buf[..]) {
+                Ok(0) => return Ok(None),
+                Ok(n) => {
+                    buf.resize(n, 0);
+                    return Ok(Some(buf.freeze()));
+                }
+                Err(ref e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(io_err("tcp recv", &e)),
+            }
+        }
+    }
 }
 
 impl FrameSource for TcpSource {
     fn recv(&mut self) -> Result<Option<Frame>> {
-        // Length prefix, tolerating a clean close at a frame boundary.
-        let mut len_buf = [0u8; 4];
-        let mut filled = 0;
-        while filled < len_buf.len() {
-            match self.stream.read(&mut len_buf[filled..]) {
-                Ok(0) if filled == 0 => return Ok(None),
-                Ok(0) => {
+        // Ensure a whole length prefix is buffered, tolerating a clean
+        // close only at a frame boundary.
+        while self.tail.len() < 4 {
+            match self.read_burst()? {
+                None if self.tail.is_empty() => return Ok(None),
+                None => {
                     return Err(BlobError::Transport(
                         "tcp recv: stream closed mid-frame".into(),
                     ))
                 }
-                Ok(n) => filled += n,
-                Err(e) => return Err(io_err("tcp recv", &e)),
+                Some(chunk) if self.tail.is_empty() => self.tail = chunk,
+                Some(chunk) => {
+                    // A prefix split across bursts: splice the (at most 3)
+                    // staged bytes onto the new burst.
+                    let mut joined = BytesMut::with_capacity(self.tail.len() + chunk.len());
+                    joined.extend_from_slice(&self.tail);
+                    joined.extend_from_slice(&chunk);
+                    self.tail = joined.freeze();
+                }
             }
         }
-        let body_len = u32::from_le_bytes(len_buf) as usize;
+        let body_len =
+            u32::from_le_bytes(self.tail[..4].try_into().expect("4-byte prefix")) as usize;
         if !(FRAME_PREFIX_BYTES - 4..=MAX_FRAME_BYTES).contains(&body_len) {
             return Err(BlobError::Transport(format!(
                 "tcp recv: implausible frame length {body_len}"
             )));
         }
-        // The single receive-side copy: the whole frame lands in one buffer,
-        // and `decode_body` hands header/payload out as slices of it.
+        if self.tail.len() >= 4 + body_len {
+            // Whole frame already buffered: refcounted slices, no copy.
+            let body = self.tail.slice(4..4 + body_len);
+            self.tail = self.tail.slice(4 + body_len..);
+            return Frame::decode_body(body).map(Some);
+        }
+        // Spanning frame (typically a chunk payload): the rest streams with
+        // `read_exact` into one exact-size buffer — the single receive-side
+        // copy — and `decode_body` hands header/payload out as slices of it.
         let mut body = BytesMut::zeroed(body_len);
+        let have = self.tail.len() - 4;
+        body[..have].copy_from_slice(&self.tail[4..]);
+        self.tail = Bytes::new();
         self.stream
-            .read_exact(&mut body)
+            .read_exact(&mut body[have..])
             .map_err(|e| io_err("tcp recv", &e))?;
         Frame::decode_body(body.freeze()).map(Some)
     }
@@ -171,7 +247,10 @@ fn tcp_connection(stream: TcpStream) -> Result<Connection> {
     let killer = stream.try_clone().map_err(|e| io_err("tcp clone", &e))?;
     Ok(Connection {
         sink: Box::new(TcpSink { stream }),
-        source: Box::new(TcpSource { stream: reader }),
+        source: Box::new(TcpSource {
+            stream: reader,
+            tail: Bytes::new(),
+        }),
         kill: Arc::new(move || {
             let _ = killer.shutdown(Shutdown::Both);
         }),
@@ -187,6 +266,10 @@ impl Connect for TcpConnector {
     fn connect(&self) -> Result<Connection> {
         let stream = TcpStream::connect(self.addr).map_err(|e| io_err("tcp connect", &e))?;
         tcp_connection(stream)
+    }
+
+    fn addr(&self) -> Option<SocketAddr> {
+        Some(self.addr)
     }
 }
 
@@ -239,6 +322,16 @@ pub fn tcp_endpoint(listen: &str) -> Result<EndpointParts> {
         let _ = TcpStream::connect(addr);
     });
     Ok((Arc::new(TcpConnector { addr }), Box::new(acceptor), stopper))
+}
+
+/// Binds one TCP endpoint for the event-driven server path: returns the
+/// connector clients dial plus the raw listener, which the caller hands to a
+/// [`crate::reactor::Reactor`] (the reactor owns readiness, accept and
+/// teardown itself, so no acceptor/stopper pair is needed).
+pub fn tcp_listener(listen: &str) -> Result<(Arc<dyn Connect>, TcpListener)> {
+    let listener = TcpListener::bind(listen).map_err(|e| io_err("tcp bind", &e))?;
+    let addr = listener.local_addr().map_err(|e| io_err("tcp addr", &e))?;
+    Ok((Arc::new(TcpConnector { addr }), listener))
 }
 
 // ---------------------------------------------------------------------------

@@ -30,6 +30,19 @@ pub trait ChunkService: Send + Sync {
     /// Stores one chunk replica on the given provider.
     fn put_chunk(&self, provider: ProviderId, chunk: ChunkId, data: Bytes) -> Result<()>;
 
+    /// Stores several chunks on one provider, returning one result per
+    /// chunk (same order). Transports that can pipeline override this to
+    /// ship the whole batch in one send — that is where client-side frame
+    /// coalescing comes from — while the default simply loops
+    /// [`ChunkService::put_chunk`], so every implementation keeps identical
+    /// per-chunk semantics.
+    fn put_chunks(&self, provider: ProviderId, chunks: &[(ChunkId, Bytes)]) -> Vec<Result<()>> {
+        chunks
+            .iter()
+            .map(|(chunk, data)| self.put_chunk(provider, *chunk, data.clone()))
+            .collect()
+    }
+
     /// Fetches one chunk replica from the given provider.
     fn get_chunk(&self, provider: ProviderId, chunk: &ChunkId) -> Result<Bytes>;
 }

@@ -117,6 +117,11 @@ pub struct SimulationResult {
     /// Bytes the data plane moved on the wire: payload plus frame overhead,
     /// retries included. Chunk-cache hits move nothing.
     pub bytes_on_wire: u64,
+    /// Metadata frames that shared a batched uplink write with a
+    /// predecessor instead of paying their own per-request latency (a batch
+    /// of `n` trips contributes `n - 1`) — the simulator's mirror of the
+    /// RPC layer's small-frame coalescing counter.
+    pub frames_coalesced: u64,
     /// Per-metadata-provider number of requests served (load distribution).
     pub meta_load: HashMap<MetaNodeId, u64>,
     /// Per-data-provider bytes received (write load distribution).
@@ -259,11 +264,11 @@ impl MetadataStore for RecordingStore<'_> {
         self.put_nodes(vec![(key, body)])
     }
 
-    fn get_node(&self, key: &NodeKey) -> Option<NodeBody> {
-        self.get_nodes(std::slice::from_ref(key)).pop().flatten()
+    fn get_node(&self, key: &NodeKey) -> Result<Option<NodeBody>> {
+        Ok(self.get_nodes(std::slice::from_ref(key))?.pop().flatten())
     }
 
-    fn get_nodes(&self, keys: &[NodeKey]) -> Vec<Option<NodeBody>> {
+    fn get_nodes(&self, keys: &[NodeKey]) -> Result<Vec<Option<NodeBody>>> {
         let mut per_node: HashMap<MetaNodeId, u64> = HashMap::new();
         let mut routes: HashMap<ByteRange, MetaNodeId> = HashMap::with_capacity(keys.len());
         let mut cache = self.cache.map(|cache| cache.lock());
@@ -281,7 +286,7 @@ impl MetadataStore for RecordingStore<'_> {
         drop(cache);
         *self.last_batch_routes.lock() = routes;
         self.record(per_node);
-        self.inner.get_batch(keys)
+        Ok(self.inner.get_batch(keys))
     }
 
     fn put_nodes(&self, nodes: Vec<(NodeKey, NodeBody)>) -> Result<()> {
@@ -392,6 +397,7 @@ pub struct SimulatedCluster {
     frames_sent: u64,
     frames_dropped: u64,
     bytes_on_wire: u64,
+    frames_coalesced: u64,
     /// Lossy network model: every data-plane transfer is routed through the
     /// same seeded per-frame fault decisions the channel transport injects
     /// (`None` = clean network, the default).
@@ -439,6 +445,7 @@ impl SimulatedCluster {
             frames_sent: 0,
             frames_dropped: 0,
             bytes_on_wire: 0,
+            frames_coalesced: 0,
             net_faults: None,
             config,
         })
@@ -624,6 +631,7 @@ impl SimulatedCluster {
         self.frames_sent = 0;
         self.frames_dropped = 0;
         self.bytes_on_wire = 0;
+        self.frames_coalesced = 0;
         // Re-seed the fault stream so repeated runs of one cluster replay
         // the identical fault sequence.
         if let Some((plan, rng)) = &mut self.net_faults {
@@ -728,6 +736,7 @@ impl SimulatedCluster {
             frames_sent: self.frames_sent,
             frames_dropped: self.frames_dropped,
             bytes_on_wire: self.bytes_on_wire,
+            frames_coalesced: self.frames_coalesced,
             meta_load,
             provider_write_bytes,
         })
@@ -1172,10 +1181,23 @@ impl SimulatedCluster {
         client_out: &mut Resource,
     ) -> (SimTime, HashMap<MetaNodeId, SimTime>) {
         self.meta_round_trips += trips.len() as u64;
+        if trips.is_empty() {
+            return (start, HashMap::new());
+        }
+        // The trips of one protocol step are all issued at `start`, so the
+        // RPC layer coalesces their request frames into one vectored uplink
+        // write: the batch pays the client link's per-request latency once,
+        // not once per trip (mirrored by the `frames_coalesced` counter,
+        // matching `TransportStats::frames_coalesced` semantics: a batch of
+        // n contributes n - 1).
+        if trips.len() > 1 {
+            self.frames_coalesced += trips.len() as u64 - 1;
+        }
+        let batch_bytes: u64 = trips.iter().map(|t| t.items * META_NODE_WIRE_BYTES).sum();
+        let sent = client_out.schedule(start, batch_bytes);
         let mut t_meta = start;
         let mut per_node: HashMap<MetaNodeId, SimTime> = HashMap::with_capacity(trips.len());
         for trip in trips {
-            let sent = client_out.schedule(start, trip.items * META_NODE_WIRE_BYTES);
             let cpu = &mut self.meta_cpu[trip.node.0 as usize];
             let mut done = sent;
             for _ in 0..trip.items {

@@ -35,6 +35,10 @@ pub struct SeriesPoint {
     /// Frames put on the wire (retries included); zero for analytic series
     /// and in-process measurements.
     pub frames_sent: u64,
+    /// Frames that shared a batched (coalesced) write with a predecessor
+    /// instead of paying their own syscall/per-request latency; a batch of
+    /// n contributes n - 1. Zero for analytic series.
+    pub frames_coalesced: u64,
 }
 
 /// A named series of sweep points (one curve of a figure).
@@ -95,6 +99,7 @@ impl SweepSeries {
             cache_misses: 0,
             bytes_on_wire: 0,
             frames_sent: 0,
+            frames_coalesced: 0,
         });
     }
 
@@ -117,6 +122,7 @@ impl SweepSeries {
             cache_misses: result.cache_misses,
             bytes_on_wire: result.bytes_on_wire,
             frames_sent: result.frames_sent,
+            frames_coalesced: result.frames_coalesced,
         });
     }
 

@@ -274,8 +274,8 @@ pub struct ClusterConfig {
     /// completes before metadata weaving starts — kept so the two schedules
     /// can be compared differentially.
     pub pipeline_depth: usize,
-    /// Byte budget of each client's chunk cache (0 = no chunk cache, the
-    /// default). Chunks are immutable once published under a `ChunkId`, so
+    /// Byte budget of each client's chunk cache (0 = no chunk cache;
+    /// defaults to 64 MiB). Chunks are immutable once published under a `ChunkId`, so
     /// the cache needs no invalidation protocol at all: entries only ever
     /// leave by LRU eviction. Both read schedules consult it before
     /// submitting a fetch, and writes populate it write-through, so
@@ -309,6 +309,19 @@ pub struct ClusterConfig {
     /// a hung endpoint fails the operation instead of blocking the transfer
     /// scheduler forever. Zero disables both timeouts.
     pub io_timeout_ms: u64,
+    /// Handler threads of each server's bounded RPC worker pool (the
+    /// `net-worker-N` threads fed by the `net-reactor`). Zero — the default —
+    /// sizes the pool automatically: the machine's core count, floored at 4
+    /// so a small host still overlaps independent requests and rides out a
+    /// couple of wedged handlers. The pool bounds server-side concurrency at
+    /// O(`rpc_workers`) threads no matter how many clients connect.
+    pub rpc_workers: usize,
+    /// TCP connections each client opens per server endpoint. One multiplexed
+    /// socket (the default) is enough for most workloads because requests are
+    /// demultiplexed by id; raising this spreads a client's request stream
+    /// over several sockets round-robin, which helps when a single stream's
+    /// in-order delivery becomes the bottleneck. Must be at least 1.
+    pub connections_per_endpoint: usize,
 }
 
 impl ClusterConfig {
@@ -361,7 +374,27 @@ impl ClusterConfig {
                 "TCP transport needs a non-empty listen address".into(),
             ));
         }
+        if self.connections_per_endpoint == 0 {
+            return Err(BlobError::InvalidConfig(
+                "connections_per_endpoint must be at least 1".into(),
+            ));
+        }
         Ok(())
+    }
+
+    /// The worker-pool size actually used by servers: `rpc_workers`, or when
+    /// zero an automatic default of the core count floored at 4 (so even a
+    /// small host overlaps slow requests with fast ones, and a worker or two
+    /// lost to a wedged handler does not stall the endpoint).
+    #[must_use]
+    pub fn effective_rpc_workers(&self) -> usize {
+        if self.rpc_workers > 0 {
+            return self.rpc_workers;
+        }
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(4)
+            .max(4)
     }
 
     /// The configured I/O timeout as a duration (`None` when disabled).
@@ -382,7 +415,11 @@ impl Default for ClusterConfig {
             client_metadata_cache: true,
             transfer_workers: 8,
             pipeline_depth: 4,
-            chunk_cache_bytes: 0,
+            // 64 MiB: enough for ~16 chunks of the largest configurations the
+            // tests and benches use, small enough to be harmless. Workloads
+            // that need a cold client (differential baselines, cache-off
+            // benchmark arms) set 0 explicitly.
+            chunk_cache_bytes: 64 << 20,
             // 1 Gbps full duplex, 100 microseconds one-way latency.
             link_bandwidth_bps: 125_000_000,
             link_latency_ns: 100_000,
@@ -394,6 +431,8 @@ impl Default for ClusterConfig {
             // low enough that a genuinely hung endpoint fails the op instead
             // of wedging the scheduler. Fault-injection tests dial it down.
             io_timeout_ms: 30_000,
+            rpc_workers: 0,
+            connections_per_endpoint: 1,
         }
     }
 }
@@ -457,6 +496,27 @@ mod tests {
             ..ClusterConfig::default()
         };
         assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn zero_connections_per_endpoint_is_rejected() {
+        let cfg = ClusterConfig {
+            connections_per_endpoint: 0,
+            ..ClusterConfig::default()
+        };
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn auto_rpc_workers_never_drops_below_four() {
+        let cfg = ClusterConfig::default();
+        assert_eq!(cfg.rpc_workers, 0);
+        assert!(cfg.effective_rpc_workers() >= 4);
+        let pinned = ClusterConfig {
+            rpc_workers: 7,
+            ..ClusterConfig::default()
+        };
+        assert_eq!(pinned.effective_rpc_workers(), 7);
     }
 
     #[test]

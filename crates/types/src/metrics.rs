@@ -23,6 +23,7 @@ pub struct TransportMetrics {
     bytes_on_wire: AtomicU64,
     chunk_rx_payload_bytes: AtomicU64,
     retries: AtomicU64,
+    frames_coalesced: AtomicU64,
 }
 
 /// Point-in-time snapshot of a [`TransportMetrics`].
@@ -42,6 +43,10 @@ pub struct TransportStats {
     /// RPC attempts repeated after a transport-level failure (timeout,
     /// disconnect, undecodable frame).
     pub retries: u64,
+    /// Request frames that shared a syscall with another frame instead of
+    /// paying for their own: a batch of `n` frames flushed by one vectored
+    /// write contributes `n - 1`. Zero means every frame went out alone.
+    pub frames_coalesced: u64,
 }
 
 impl TransportMetrics {
@@ -75,6 +80,12 @@ impl TransportMetrics {
         self.retries.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records `extra` frames riding a syscall already paid for by another
+    /// frame (a coalesced batch of `n` records `n - 1`).
+    pub fn frames_coalesced(&self, extra: u64) {
+        self.frames_coalesced.fetch_add(extra, Ordering::Relaxed);
+    }
+
     /// Snapshot of every counter.
     #[must_use]
     pub fn snapshot(&self) -> TransportStats {
@@ -84,6 +95,7 @@ impl TransportMetrics {
             bytes_on_wire: self.bytes_on_wire.load(Ordering::Relaxed),
             chunk_rx_payload_bytes: self.chunk_rx_payload_bytes.load(Ordering::Relaxed),
             retries: self.retries.load(Ordering::Relaxed),
+            frames_coalesced: self.frames_coalesced.load(Ordering::Relaxed),
         }
     }
 }
@@ -100,12 +112,14 @@ mod tests {
         m.frame_received(50);
         m.chunk_payload_received(40);
         m.retried();
+        m.frames_coalesced(3);
         let s = m.snapshot();
         assert_eq!(s.frames_sent, 2);
         assert_eq!(s.frames_received, 1);
         assert_eq!(s.bytes_on_wire, 170);
         assert_eq!(s.chunk_rx_payload_bytes, 40);
         assert_eq!(s.retries, 1);
+        assert_eq!(s.frames_coalesced, 3);
     }
 
     #[test]

@@ -101,10 +101,12 @@ fn failing_metadata_shard_does_not_deadlock_inflight_submissions() {
 fn pipelined_reads_spread_over_replicas() {
     // One chunk replicated on two providers: with start-index rotation both
     // replicas serve reads; probing stored order would pin all load on the
-    // first replica.
+    // first replica. Cache off — rotation is only observable on reads that
+    // actually reach the providers.
     let cluster = Cluster::new(ClusterConfig {
         data_providers: 4,
         metadata_providers: 2,
+        chunk_cache_bytes: 0,
         ..ClusterConfig::default()
     })
     .unwrap();
