@@ -113,7 +113,7 @@ fn bench_ram_store(c: &mut Criterion) {
                 write_tag: 3,
                 slot,
             };
-            store.put(id, payload.clone()).unwrap();
+            store.put(id, payload.clone().into()).unwrap();
             store.get(&id).unwrap()
         })
     });

@@ -273,8 +273,16 @@ pub fn fig_p1_pipeline_overlap(clients: &[usize], op_mib: u64) -> Vec<SweepSerie
 struct TransportPoint {
     elapsed: Duration,
     payload_bytes: u64,
+    /// Metadata round-trips the arm's cluster served. Filled in by the
+    /// caller (the cluster is out of `run_transport_point`'s sight), from a
+    /// fresh-per-run cluster, so the value is the run's own traffic.
+    meta_round_trips: u64,
     data_round_trips: u64,
     bytes_on_wire: u64,
+    bytes_on_wire_logical: u64,
+    chunks_compressed: u64,
+    compress_saved_bytes: u64,
+    payload_bytes_copied: u64,
     frames_sent: u64,
     frames_coalesced: u64,
 }
@@ -329,8 +337,13 @@ fn run_transport_point(
     TransportPoint {
         elapsed,
         payload_bytes: stats.iter().map(|s| s.bytes_written + s.bytes_read).sum(),
+        meta_round_trips: 0,
         data_round_trips: stats.iter().map(|s| s.chunks_written + s.chunks_read).sum(),
         bytes_on_wire: stats.iter().map(|s| s.bytes_on_wire).sum(),
+        bytes_on_wire_logical: stats.iter().map(|s| s.bytes_on_wire_logical).sum(),
+        chunks_compressed: stats.iter().map(|s| s.chunks_compressed).sum(),
+        compress_saved_bytes: stats.iter().map(|s| s.compress_saved_bytes).sum(),
+        payload_bytes_copied: stats.iter().map(|s| s.payload_bytes_copied).sum(),
         frames_sent: stats.iter().map(|s| s.frames_sent).sum(),
         frames_coalesced: stats.iter().map(|s| s.frames_coalesced).sum(),
     }
@@ -362,12 +375,15 @@ pub fn fig_n1_transport_overhead(clients: &[usize], op_mib: u64) -> Vec<SweepSer
             x: n as f64,
             throughput_mibps: point.payload_bytes as f64 / (1024.0 * 1024.0) / seconds,
             latency_ms: seconds * 1_000.0 / (n as f64 * (ops + 1) as f64),
-            meta_round_trips: 0,
+            meta_round_trips: point.meta_round_trips,
             data_round_trips: point.data_round_trips,
-            bytes_copied: 0,
+            bytes_copied: point.payload_bytes_copied,
             cache_hits: 0,
             cache_misses: 0,
             bytes_on_wire: point.bytes_on_wire,
+            bytes_on_wire_logical: point.bytes_on_wire_logical,
+            chunks_compressed: point.chunks_compressed,
+            compress_saved_bytes: point.compress_saved_bytes,
             frames_sent: point.frames_sent,
             frames_coalesced: point.frames_coalesced,
         });
@@ -379,19 +395,24 @@ pub fn fig_n1_transport_overhead(clients: &[usize], op_mib: u64) -> Vec<SweepSer
     for &n in clients {
         {
             let cluster = Cluster::new(config()).expect("cluster");
-            let point =
+            let mut point =
                 run_transport_point(n, n, ops, op_bytes, chunk_size, 1, &|| cluster.client());
+            point.meta_round_trips = cluster.metadata_round_trips();
             push(&mut in_process, n, point);
         }
         {
             let tcp = NetCluster::new_tcp(config()).expect("tcp cluster");
-            let point = run_transport_point(n, n, ops, op_bytes, chunk_size, 1, &|| tcp.client());
+            let mut point =
+                run_transport_point(n, n, ops, op_bytes, chunk_size, 1, &|| tcp.client());
+            point.meta_round_trips = tcp.inner().metadata_round_trips();
             push(&mut loopback, n, point);
         }
         {
             let chan = NetCluster::new_channel(config(), blobseer_types::FaultPlan::none())
                 .expect("channel cluster");
-            let point = run_transport_point(n, n, ops, op_bytes, chunk_size, 1, &|| chan.client());
+            let mut point =
+                run_transport_point(n, n, ops, op_bytes, chunk_size, 1, &|| chan.client());
+            point.meta_round_trips = chan.inner().metadata_round_trips();
             push(&mut channel, n, point);
         }
     }
@@ -488,12 +509,15 @@ pub fn fig_n2_connection_scaling(clients: usize, ops: usize, op_kib: u64) -> Sca
             x: clients as f64,
             throughput_mibps: mibps,
             latency_ms: seconds * 1_000.0 / (clients as f64 * (ops + SCANS) as f64),
-            meta_round_trips: 0,
+            meta_round_trips: point.meta_round_trips,
             data_round_trips: point.data_round_trips,
-            bytes_copied: 0,
+            bytes_copied: point.payload_bytes_copied,
             cache_hits: 0,
             cache_misses: 0,
             bytes_on_wire: point.bytes_on_wire,
+            bytes_on_wire_logical: point.bytes_on_wire_logical,
+            chunks_compressed: point.chunks_compressed,
+            compress_saved_bytes: point.compress_saved_bytes,
             frames_sent: point.frames_sent,
             frames_coalesced: point.frames_coalesced,
         });
@@ -505,7 +529,7 @@ pub fn fig_n2_connection_scaling(clients: usize, ops: usize, op_kib: u64) -> Sca
             (0..BENCH_RUNS)
                 .map(|_| {
                     let cluster = Cluster::new(config()).expect("cluster");
-                    run_transport_point(
+                    let mut point = run_transport_point(
                         clients,
                         CLIENT_HANDLES,
                         ops,
@@ -513,7 +537,9 @@ pub fn fig_n2_connection_scaling(clients: usize, ops: usize, op_kib: u64) -> Sca
                         chunk_size,
                         SCANS,
                         &|| cluster.client(),
-                    )
+                    );
+                    point.meta_round_trips = cluster.metadata_round_trips();
+                    point
                 })
                 .collect(),
         );
@@ -544,7 +570,7 @@ pub fn fig_n2_connection_scaling(clients: usize, ops: usize, op_kib: u64) -> Sca
             (0..BENCH_RUNS)
                 .map(|_| {
                     let tcp = NetCluster::new_tcp(config()).expect("tcp cluster");
-                    run_transport_point(
+                    let mut point = run_transport_point(
                         clients,
                         CLIENT_HANDLES,
                         ops,
@@ -552,7 +578,9 @@ pub fn fig_n2_connection_scaling(clients: usize, ops: usize, op_kib: u64) -> Sca
                         chunk_size,
                         SCANS,
                         &|| tcp.client(),
-                    )
+                    );
+                    point.meta_round_trips = tcp.inner().metadata_round_trips();
+                    point
                 })
                 .collect(),
         );
@@ -568,7 +596,7 @@ pub fn fig_n2_connection_scaling(clients: usize, ops: usize, op_kib: u64) -> Sca
                 .map(|_| {
                     let tcp =
                         NetCluster::new_tcp_thread_per_request(config()).expect("control cluster");
-                    run_transport_point(
+                    let mut point = run_transport_point(
                         clients,
                         CLIENT_HANDLES,
                         ops,
@@ -576,7 +604,9 @@ pub fn fig_n2_connection_scaling(clients: usize, ops: usize, op_kib: u64) -> Sca
                         chunk_size,
                         SCANS,
                         &|| tcp.client(),
-                    )
+                    );
+                    point.meta_round_trips = tcp.inner().metadata_round_trips();
+                    point
                 })
                 .collect(),
         );
@@ -592,6 +622,178 @@ pub fn fig_n2_connection_scaling(clients: usize, ops: usize, op_kib: u64) -> Sca
         worker_bound,
         frames_coalesced,
     }
+}
+
+// ---------------------------------------------------------------------------
+// Fig. Z1 — chunk compression tier: corpus compressibility × codec, measured
+// wall-clock over real loopback TCP
+// ---------------------------------------------------------------------------
+
+/// One arm of the compression figure: a corpus × codec combination run over
+/// real loopback TCP, with the client transport counters that show what the
+/// codec did to the wire.
+#[derive(Debug, Clone)]
+pub struct CodecArm {
+    /// Arm label, e.g. `"compressible / fast"`.
+    pub name: String,
+    /// Wall-clock time of the whole arm (appends plus verified read-back).
+    pub elapsed: Duration,
+    /// Payload bytes written plus read back (logical, as the application
+    /// sees them — identical across the four arms).
+    pub payload_bytes: u64,
+    /// Logical chunk bytes the data plane moved.
+    pub bytes_on_wire_logical: u64,
+    /// Physical chunk bytes the data plane moved (sealed envelope sizes).
+    pub bytes_on_wire_physical: u64,
+    /// Chunks the `Fast` codec actually shrank (verbatim passthroughs are
+    /// not counted).
+    pub chunks_compressed: u64,
+    /// Logical-minus-physical bytes saved at sealing time.
+    pub compress_saved_bytes: u64,
+    /// Client-side payload bytes memcpy'd during the append phase: zero for
+    /// chunk-aligned appends with the codec off AND for the incompressible
+    /// passthrough — sealing is not an assembly copy.
+    pub payload_bytes_copied: u64,
+}
+
+impl CodecArm {
+    /// Wall-clock throughput of the arm in MiB/s.
+    #[must_use]
+    pub fn throughput_mibps(&self) -> f64 {
+        self.payload_bytes as f64 / (1024.0 * 1024.0) / self.elapsed.as_secs_f64().max(1e-9)
+    }
+}
+
+/// `len` bytes of log-like repetitive text, varied by `seed` (compresses
+/// well under any LZ-class codec).
+#[must_use]
+pub fn compressible_corpus(seed: usize, len: usize) -> Vec<u8> {
+    let line = format!(
+        "record seed={seed:08} status=ok level=info payload=abcdefghijklmnopqrstuvwxyz \
+         checksum=0000 \n"
+    );
+    line.as_bytes().iter().copied().cycle().take(len).collect()
+}
+
+/// `len` bytes from a seeded xorshift64* stream (statistically random, so
+/// the `Fast` codec's passthrough escape fires and the chunk ships
+/// verbatim).
+#[must_use]
+pub fn incompressible_corpus(seed: u64, len: usize) -> Vec<u8> {
+    let mut state = seed.wrapping_mul(2_685_821_657_736_338_717).max(1);
+    let mut out = Vec::with_capacity(len);
+    while out.len() < len {
+        state ^= state >> 12;
+        state ^= state << 25;
+        state ^= state >> 27;
+        let word = state.wrapping_mul(2_685_821_657_736_338_717);
+        out.extend_from_slice(&word.to_le_bytes());
+    }
+    out.truncate(len);
+    out
+}
+
+/// Runs one corpus × codec arm: `clients` workers over loopback TCP, each
+/// appending `ops` chunk-aligned operations into its own blob and reading
+/// everything back byte-for-byte. The chunk cache is disabled so the
+/// read-back measures the wire, not the cache.
+fn run_codec_arm(
+    name: &str,
+    codec: blobseer_types::ChunkCodec,
+    clients: usize,
+    ops: usize,
+    chunk_size: u64,
+    corpus: &(dyn Fn(usize, usize) -> Vec<u8> + Sync),
+) -> CodecArm {
+    use blobseer_net::NetCluster;
+
+    let config = ClusterConfig {
+        data_providers: 4,
+        metadata_providers: 2,
+        chunk_codec: codec,
+        chunk_cache_bytes: 0,
+        ..ClusterConfig::default()
+    };
+    let tcp = NetCluster::new_tcp(config).expect("tcp cluster");
+    let handles: Vec<Arc<blobseer_core::BlobClient>> =
+        (0..clients).map(|_| Arc::new(tcp.client())).collect();
+    let blobs: Vec<BlobId> = handles
+        .iter()
+        .map(|c| {
+            c.create_blob(BlobConfig::new(chunk_size, 1).expect("valid blob config"))
+                .expect("create blob")
+        })
+        .collect();
+    let started = std::time::Instant::now();
+    std::thread::scope(|scope| {
+        for (w, (client, &blob)) in handles.iter().zip(&blobs).enumerate() {
+            scope.spawn(move || {
+                for i in 0..ops {
+                    client.append(blob, corpus(w, i)).expect("append");
+                }
+            });
+        }
+    });
+    // The append phase is where the zero-copy claim lives: snapshot the copy
+    // counter before the read-back materialises anything.
+    let payload_bytes_copied: u64 = handles.iter().map(|c| c.stats().payload_bytes_copied).sum();
+    std::thread::scope(|scope| {
+        for (w, (client, &blob)) in handles.iter().zip(&blobs).enumerate() {
+            scope.spawn(move || {
+                let back = client.read_all(blob, None).expect("read back");
+                let expect: Vec<u8> = (0..ops).flat_map(|i| corpus(w, i)).collect();
+                assert_eq!(
+                    &back[..],
+                    &expect[..],
+                    "codec must be invisible to payloads"
+                );
+            });
+        }
+    });
+    let elapsed = started.elapsed();
+    let stats: Vec<_> = handles.iter().map(|c| c.stats()).collect();
+    CodecArm {
+        name: name.to_string(),
+        elapsed,
+        payload_bytes: stats.iter().map(|s| s.bytes_written + s.bytes_read).sum(),
+        bytes_on_wire_logical: stats.iter().map(|s| s.bytes_on_wire_logical).sum(),
+        bytes_on_wire_physical: stats.iter().map(|s| s.bytes_on_wire_physical).sum(),
+        chunks_compressed: stats.iter().map(|s| s.chunks_compressed).sum(),
+        compress_saved_bytes: stats.iter().map(|s| s.compress_saved_bytes).sum(),
+        payload_bytes_copied,
+    }
+}
+
+/// Fig. Z1: the chunk compression tier end to end over loopback TCP — a
+/// compressible and an incompressible corpus, each with the codec off and
+/// fast (four arms). Compress-once at the writer, store-and-ship compressed,
+/// decompress-once at the reader: on the compressible corpus the fast arms
+/// move well under the logical byte count physically; on the incompressible
+/// corpus the passthrough keeps the wire identical to the off arms.
+pub fn fig_z1_compression(clients: usize, ops: usize, op_mib: u64) -> Vec<CodecArm> {
+    use blobseer_types::ChunkCodec;
+
+    let op_bytes = op_mib * MIB;
+    // 256 KiB chunks divide the op size exactly, so every append is
+    // chunk-aligned and the zero-copy write fast path applies throughout.
+    let chunk_size = 256 << 10;
+    let arms: [(&str, ChunkCodec, bool); 4] = [
+        ("compressible / off", ChunkCodec::Off, true),
+        ("compressible / fast", ChunkCodec::Fast, true),
+        ("incompressible / off", ChunkCodec::Off, false),
+        ("incompressible / fast", ChunkCodec::Fast, false),
+    ];
+    arms.iter()
+        .map(|&(name, codec, compressible)| {
+            let bytes = op_bytes as usize;
+            let corpus: Box<dyn Fn(usize, usize) -> Vec<u8> + Sync> = if compressible {
+                Box::new(move |w, i| compressible_corpus(w * 7919 + i, bytes))
+            } else {
+                Box::new(move |w, i| incompressible_corpus((w * 7919 + i) as u64 + 1, bytes))
+            };
+            run_codec_arm(name, codec, clients, ops, chunk_size, corpus.as_ref())
+        })
+        .collect()
 }
 
 // ---------------------------------------------------------------------------
@@ -1100,6 +1302,67 @@ mod tests {
         for s in &series[1..] {
             assert!(s.points.iter().all(|p| p.frames_sent > 0));
         }
+    }
+
+    #[test]
+    fn fig_n1_reports_real_metadata_round_trips() {
+        let series = fig_n1_transport_overhead(&[2], 1);
+        for s in &series {
+            assert!(
+                s.points.iter().all(|p| p.meta_round_trips > 0),
+                "{}: appends weave metadata, so the figure must report real \
+                 (nonzero) metadata round-trips",
+                s.name
+            );
+        }
+    }
+
+    #[test]
+    fn fig_z1_fast_codec_cuts_physical_wire_bytes_on_compressible_data() {
+        // A reduced fig_z1: 2 clients × 1 op × 1 MiB per arm.
+        let arms = fig_z1_compression(2, 1, 1);
+        assert_eq!(arms.len(), 4);
+        let arm = |name: &str| arms.iter().find(|a| a.name == name).unwrap();
+        let comp_off = arm("compressible / off");
+        let comp_fast = arm("compressible / fast");
+        let rand_off = arm("incompressible / off");
+        let rand_fast = arm("incompressible / fast");
+        // All four arms move identical logical payloads.
+        assert!(comp_off.payload_bytes > 0);
+        assert_eq!(comp_off.payload_bytes, comp_fast.payload_bytes);
+        assert_eq!(comp_off.payload_bytes, rand_fast.payload_bytes);
+        // Codec off: the wire is the logical traffic, nothing is compressed.
+        for a in [comp_off, rand_off] {
+            assert_eq!(a.bytes_on_wire_physical, a.bytes_on_wire_logical);
+            assert_eq!(a.chunks_compressed, 0);
+            assert_eq!(a.payload_bytes_copied, 0, "aligned writes copy nothing");
+        }
+        // Compressible corpus under Fast: physical well below logical.
+        assert!(comp_fast.chunks_compressed > 0);
+        assert!(comp_fast.compress_saved_bytes > 0);
+        assert!(
+            (comp_fast.bytes_on_wire_physical as f64)
+                < 0.7 * comp_fast.bytes_on_wire_logical as f64,
+            "fast must cut the compressible wire below 0.7x ({} vs {})",
+            comp_fast.bytes_on_wire_physical,
+            comp_fast.bytes_on_wire_logical
+        );
+        assert_eq!(
+            comp_fast.bytes_on_wire_logical,
+            comp_off.bytes_on_wire_logical
+        );
+        // Incompressible corpus under Fast: the passthrough ships verbatim —
+        // wire identical to off, zero compressions, zero copies.
+        assert_eq!(
+            rand_fast.bytes_on_wire_physical,
+            rand_fast.bytes_on_wire_logical
+        );
+        assert_eq!(rand_fast.chunks_compressed, 0);
+        assert_eq!(rand_fast.compress_saved_bytes, 0);
+        assert_eq!(
+            rand_fast.payload_bytes_copied, 0,
+            "the verbatim passthrough must keep the zero-copy write path"
+        );
     }
 
     #[test]

@@ -129,6 +129,15 @@ pub fn series_json(series: &SweepSeries) -> Json {
                     ("cache_hits", Json::num(p.cache_hits as f64)),
                     ("cache_misses", Json::num(p.cache_misses as f64)),
                     ("bytes_on_wire", Json::num(p.bytes_on_wire as f64)),
+                    (
+                        "bytes_on_wire_logical",
+                        Json::num(p.bytes_on_wire_logical as f64),
+                    ),
+                    ("chunks_compressed", Json::num(p.chunks_compressed as f64)),
+                    (
+                        "compress_saved_bytes",
+                        Json::num(p.compress_saved_bytes as f64),
+                    ),
                     ("frames_sent", Json::num(p.frames_sent as f64)),
                     ("frames_coalesced", Json::num(p.frames_coalesced as f64)),
                 ])

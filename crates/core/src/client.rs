@@ -44,8 +44,8 @@ use blobseer_meta::{
 };
 use blobseer_provider::PlacementRequest;
 use blobseer_types::{
-    chunk_span, BlobConfig, BlobError, BlobId, BlobSlice, ByteRange, ChunkId, ChunkSlot, ClientId,
-    ProviderId, Result, RetryPolicy, Version,
+    chunk_span, BlobConfig, BlobError, BlobId, BlobSlice, ByteRange, ChunkCodec, ChunkEnvelope,
+    ChunkId, ChunkSlot, ClientId, ProviderId, Result, RetryPolicy, Version,
 };
 use bytes::{Bytes, BytesMut};
 use parking_lot::Mutex;
@@ -101,6 +101,19 @@ pub struct ClientStats {
     /// coalescing): a batch of `n` frames flushed by one vectored write
     /// contributes `n - 1`. Zero for in-process clients.
     pub frames_coalesced: u64,
+    /// Chunks this client sealed compressed (codec `Fast` and the codec
+    /// won). Chunks shipped verbatim — codec `Off`, tiny chunks,
+    /// incompressible data — are not counted.
+    pub chunks_compressed: u64,
+    /// Payload bytes the chunk codec saved across all compressed chunks
+    /// (logical minus physical, summed). Zero when nothing compressed.
+    pub compress_saved_bytes: u64,
+    /// Chunk payload bytes this client's transport moved, counted at their
+    /// logical (decompressed) size. Zero for in-process clients.
+    pub bytes_on_wire_logical: u64,
+    /// Chunk payload bytes this client's transport moved, counted at their
+    /// physical (possibly compressed) size. Zero for in-process clients.
+    pub bytes_on_wire_physical: u64,
 }
 
 /// The client's live counters: one atomic per field, so concurrent readers
@@ -120,6 +133,8 @@ struct AtomicClientStats {
     payload_bytes_copied: AtomicU64,
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
+    chunks_compressed: AtomicU64,
+    compress_saved_bytes: AtomicU64,
 }
 
 impl AtomicClientStats {
@@ -137,10 +152,14 @@ impl AtomicClientStats {
             payload_bytes_copied: self.payload_bytes_copied.load(Ordering::Relaxed),
             cache_hits: self.cache_hits.load(Ordering::Relaxed),
             cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            chunks_compressed: self.chunks_compressed.load(Ordering::Relaxed),
+            compress_saved_bytes: self.compress_saved_bytes.load(Ordering::Relaxed),
             // Filled from the transport metrics (if any) by the caller.
             bytes_on_wire: 0,
             frames_sent: 0,
             frames_coalesced: 0,
+            bytes_on_wire_logical: 0,
+            bytes_on_wire_physical: 0,
         }
     }
 }
@@ -169,7 +188,11 @@ pub struct BlobClient {
     rng: Mutex<StdRng>,
     /// Optional chunk cache, consulted before any fetch is submitted and
     /// populated write-through. `None` when `chunk_cache_bytes` is zero.
+    /// Always holds *decompressed* chunk bytes — a hit never pays the codec.
     chunk_cache: Option<Arc<ChunkCache>>,
+    /// Chunk codec applied when sealing payloads into envelopes on the
+    /// write path. `Off` ships every chunk verbatim (refcounted, no copy).
+    codec: ChunkCodec,
     /// Shared with the transfer closures, which account fetches and cache
     /// fills from the pool workers.
     stats: Arc<AtomicClientStats>,
@@ -199,6 +222,7 @@ impl BlobClient {
             pipeline_depth: DEFAULT_PIPELINE_DEPTH,
             rng: Mutex::new(StdRng::from_entropy()),
             chunk_cache: None,
+            codec: ChunkCodec::Off,
             stats: Arc::new(AtomicClientStats::default()),
             transport_metrics: None,
         }
@@ -225,6 +249,22 @@ impl BlobClient {
     /// The client's chunk cache, if one is attached.
     pub fn chunk_cache(&self) -> Option<&Arc<ChunkCache>> {
         self.chunk_cache.as_ref()
+    }
+
+    /// Sets the chunk codec this client seals written chunks with.
+    /// Compression happens once, here at the writing client; providers and
+    /// the wire carry the sealed envelope verbatim, and the reading client
+    /// decompresses once. Readers are codec-agnostic — the envelope tags
+    /// each chunk — so mixed-codec clusters interoperate freely.
+    #[must_use]
+    pub fn with_chunk_codec(mut self, codec: ChunkCodec) -> Self {
+        self.codec = codec;
+        self
+    }
+
+    /// The chunk codec this client writes with.
+    pub fn chunk_codec(&self) -> ChunkCodec {
+        self.codec
     }
 
     /// Attaches the transport counters of the services this client talks to
@@ -263,6 +303,8 @@ impl BlobClient {
             stats.bytes_on_wire = wire.bytes_on_wire;
             stats.frames_sent = wire.frames_sent;
             stats.frames_coalesced = wire.frames_coalesced;
+            stats.bytes_on_wire_logical = wire.bytes_on_wire_logical;
+            stats.bytes_on_wire_physical = wire.bytes_on_wire_physical;
         }
         stats
     }
@@ -790,6 +832,13 @@ impl BlobClient {
     /// `ChunkCacheStats::bytes_compacted` — so its budget bounds real
     /// memory. With the cache off the write path stays copy-free end to
     /// end.
+    ///
+    /// This is also where the chunk codec runs: each payload is sealed into
+    /// its envelope on the pool worker (so compression overlaps other
+    /// transfers), the envelope is what travels and gets stored, and the
+    /// cache keeps the *decompressed* payload. With codec `Off` — or when
+    /// compression does not win — sealing is a refcount bump, preserving
+    /// `payload_bytes_copied == 0` for aligned writes.
     fn submit_store_group(
         &self,
         blob: BlobId,
@@ -799,31 +848,42 @@ impl BlobClient {
     ) -> Completion<Result<Vec<WrittenChunk>>> {
         let service = Arc::clone(&self.chunks);
         let cache = self.chunk_cache.clone();
+        let codec = self.codec;
+        let stats = Arc::clone(&self.stats);
         let primary = replicas.first().copied();
         self.transfers.submit_for(primary, move || {
-            let chunks: Vec<(ChunkId, Bytes)> = items
+            let chunks: Vec<(ChunkId, ChunkEnvelope)> = items
                 .iter()
                 .map(|(slot, data)| {
+                    let sealed = blobseer_codec::seal(codec, data.clone());
+                    if !sealed.is_verbatim() {
+                        stats.chunks_compressed.fetch_add(1, Ordering::Relaxed);
+                        stats.compress_saved_bytes.fetch_add(
+                            sealed.logical_len() - sealed.physical_len(),
+                            Ordering::Relaxed,
+                        );
+                    }
                     (
                         ChunkId {
                             blob,
                             write_tag,
                             slot: *slot,
                         },
-                        data.clone(),
+                        sealed,
                     )
                 })
                 .collect();
             let stored = store_group_replicas(service.as_ref(), &chunks, &replicas)?;
             if let Some(cache) = &cache {
-                for (chunk, data) in &chunks {
+                for ((_, data), (chunk, _)) in items.iter().zip(&chunks) {
                     cache.insert(*chunk, data.clone());
                 }
             }
-            Ok(chunks
+            Ok(items
                 .into_iter()
+                .zip(chunks)
                 .zip(stored)
-                .map(|((chunk, data), providers)| WrittenChunk {
+                .map(|(((_, data), (chunk, _)), providers)| WrittenChunk {
                     slot: chunk.slot,
                     chunk,
                     providers,
@@ -1056,7 +1116,7 @@ fn patch_stored_providers(
 /// one provider; the per-chunk stored lists come back in group order.
 fn store_group_replicas(
     service: &dyn ChunkService,
-    chunks: &[(ChunkId, Bytes)],
+    chunks: &[(ChunkId, ChunkEnvelope)],
     replicas: &[ProviderId],
 ) -> Result<Vec<Vec<ProviderId>>> {
     let mut stored: Vec<Vec<ProviderId>> = vec![Vec::with_capacity(replicas.len()); chunks.len()];
@@ -1099,6 +1159,11 @@ fn store_group_replicas(
 /// would make replica 0 of every chunk a read hotspot and leave the other
 /// replicas cold; the rotation (seeded per operation from the client-owned
 /// RNG) spreads concurrent readers over all replicas.
+///
+/// The fetched envelope is opened here — the single decompression point of
+/// the read path. A replica whose envelope fails to open (a corrupted
+/// compressed block) is treated exactly like an unreachable one: the probe
+/// moves on to the next replica.
 fn fetch_chunk_replica(service: &dyn ChunkService, leaf: &LeafNode, start: usize) -> Result<Bytes> {
     let mut last_err = BlobError::ChunkNotFound(
         leaf.chunk,
@@ -1107,7 +1172,10 @@ fn fetch_chunk_replica(service: &dyn ChunkService, leaf: &LeafNode, start: usize
     let replicas = leaf.providers.len();
     for k in 0..replicas {
         let pid = leaf.providers[start.wrapping_add(k) % replicas];
-        match service.get_chunk(pid, &leaf.chunk) {
+        match service
+            .get_chunk(pid, &leaf.chunk)
+            .and_then(|envelope| blobseer_codec::open(&envelope))
+        {
             Ok(data) => return Ok(data),
             Err(err) => last_err = err,
         }
@@ -1453,9 +1521,9 @@ mod tests {
             slot: 0,
         };
         let payload = bytes::Bytes::from_static(b"replica");
-        svc.put_chunk(ProviderId(1), chunk, payload.clone())
+        svc.put_chunk(ProviderId(1), chunk, payload.clone().into())
             .unwrap();
-        svc.put_chunk(ProviderId(2), chunk, payload.clone())
+        svc.put_chunk(ProviderId(2), chunk, payload.clone().into())
             .unwrap();
         let leaf = LeafNode {
             chunk,

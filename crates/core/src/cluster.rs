@@ -38,6 +38,11 @@ pub struct Cluster {
     metadata: Arc<Dht<NodeKey, NodeBody>>,
     transfers: Arc<TransferPool>,
     client_ids: IdGenerator,
+    /// One chunk cache shared by every client of this process, when
+    /// `ClusterConfig::shared_chunk_cache` is set (chunk immutability makes
+    /// sharing safe without any coherence protocol). `None` otherwise —
+    /// each client then gets its own private cache.
+    shared_chunk_cache: Option<Arc<ChunkCache>>,
 }
 
 impl Cluster {
@@ -90,12 +95,15 @@ impl Cluster {
         let join_timeout = config.io_timeout().map(|t| t * 8);
         let transfers =
             Arc::new(TransferPool::new(config.transfer_workers).with_join_timeout(join_timeout));
+        let shared_chunk_cache = (config.shared_chunk_cache && config.chunk_cache_bytes > 0)
+            .then(|| Arc::new(ChunkCache::new(config.chunk_cache_bytes)));
         Ok(Cluster {
             version_manager: Arc::new(VersionManager::new()),
             chunk_service: Arc::new(InProcessChunkService::new(provider_manager, providers)),
             metadata,
             transfers,
             client_ids: IdGenerator::starting_at(1),
+            shared_chunk_cache,
             config,
         })
     }
@@ -151,17 +159,21 @@ impl Cluster {
 
     /// Creates a new client of this cluster. The client gets its own
     /// metadata cache when the cluster configuration enables client-side
-    /// caching, and its own chunk cache when `chunk_cache_bytes` is
-    /// non-zero (chunks are immutable, so per-client caches need no
-    /// coherence protocol between them).
+    /// caching, and a chunk cache when `chunk_cache_bytes` is non-zero —
+    /// the process-wide shared one if `shared_chunk_cache` is set,
+    /// otherwise a private one (chunks are immutable, so neither needs a
+    /// coherence protocol). The cluster's configured chunk codec is applied
+    /// on the client's write path.
     pub fn client(&self) -> BlobClient {
         let meta_store: Arc<dyn MetadataService> = if self.config.client_metadata_cache {
             Arc::new(CachedMetadataStore::new(Arc::clone(&self.metadata)))
         } else {
             Arc::clone(&self.metadata) as Arc<dyn MetadataService>
         };
-        let chunk_cache = (self.config.chunk_cache_bytes > 0)
-            .then(|| Arc::new(ChunkCache::new(self.config.chunk_cache_bytes)));
+        let chunk_cache = self.shared_chunk_cache.clone().or_else(|| {
+            (self.config.chunk_cache_bytes > 0)
+                .then(|| Arc::new(ChunkCache::new(self.config.chunk_cache_bytes)))
+        });
         BlobClient::new(
             ClientId(self.client_ids.next_id()),
             Arc::clone(&self.version_manager),
@@ -171,6 +183,13 @@ impl Cluster {
         )
         .with_pipeline_depth(self.config.pipeline_depth)
         .with_chunk_cache(chunk_cache)
+        .with_chunk_codec(self.config.chunk_codec)
+    }
+
+    /// The process-wide chunk cache every client shares, when
+    /// `ClusterConfig::shared_chunk_cache` is enabled.
+    pub fn shared_chunk_cache(&self) -> Option<&Arc<ChunkCache>> {
+        self.shared_chunk_cache.as_ref()
     }
 
     /// Injects a data-provider failure: the provider stops serving requests

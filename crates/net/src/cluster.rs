@@ -242,7 +242,9 @@ impl NetCluster {
 
         // The metadata endpoint gets a deeper retry budget: metadata frames
         // are tiny and on every critical path, so extra masking of lossy
-        // links is cheap there (see `META_RPC_RETRIES`).
+        // links is cheap there (see `META_RPC_RETRIES`). Batches are split
+        // into one frame per metadata shard and flushed as a single
+        // vectored submission — the metadata plane's frame coalescing.
         let meta = NetMetadataService::new(
             RpcEndpoint::new(
                 Arc::clone(&self.meta_connector),
@@ -251,15 +253,20 @@ impl NetCluster {
             )
             .with_retries(crate::rpc::META_RPC_RETRIES)
             .with_connections(conns),
-        );
+        )
+        .with_shards(config.metadata_providers);
         let meta_service: Arc<dyn MetadataService> = if config.client_metadata_cache {
             Arc::new(CachedMetadataStore::new(Arc::new(meta)))
         } else {
             Arc::new(meta)
         };
 
-        let chunk_cache = (config.chunk_cache_bytes > 0)
-            .then(|| Arc::new(blobseer_core::ChunkCache::new(config.chunk_cache_bytes)));
+        // Prefer the cluster-wide shared chunk cache when configured, so
+        // every client of this process hits chunks any of them fetched.
+        let chunk_cache = self.inner.shared_chunk_cache().cloned().or_else(|| {
+            (config.chunk_cache_bytes > 0)
+                .then(|| Arc::new(blobseer_core::ChunkCache::new(config.chunk_cache_bytes)))
+        });
 
         BlobClient::new(
             ClientId(self.client_ids.next_id()),
@@ -270,6 +277,7 @@ impl NetCluster {
         )
         .with_pipeline_depth(config.pipeline_depth)
         .with_chunk_cache(chunk_cache)
+        .with_chunk_codec(config.chunk_codec)
         .with_transport_metrics(Some(metrics))
     }
 }

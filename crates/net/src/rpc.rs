@@ -38,8 +38,8 @@ use crate::reactor::{Reactor, WorkerPool};
 use crate::transport::{Accept, Accepted, Connect, Connection, FrameSink, KillHandle};
 use blobseer_meta::{MetadataStore, NodeBody, NodeKey};
 use blobseer_provider::{DataProvider, PlacementRequest, ProviderManager};
-use blobseer_types::wire::{decode, encode, WireReader, WireWriter};
-use blobseer_types::{BlobError, ChunkId, ProviderId, Result, TransportMetrics};
+use blobseer_types::wire::{decode, encode, WireReader};
+use blobseer_types::{BlobError, ChunkId, EnvelopeHeader, ProviderId, Result, TransportMetrics};
 use bytes::Bytes;
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -777,25 +777,23 @@ impl RpcHandler for ChunkHost {
             op::PUT_CHUNK => {
                 let mut r = WireReader::new(header);
                 let chunk: ChunkId = r.get()?;
-                let declared = r.get_u32()? as usize;
+                let envelope_header: EnvelopeHeader = r.get()?;
                 r.expect_end()?;
-                if declared != payload.len() {
-                    return Err(BlobError::Transport(format!(
-                        "put of {chunk} declared {declared} bytes but carried {}",
-                        payload.len()
-                    )));
-                }
-                // The payload is a refcounted slice of the receive buffer;
-                // the store keeps that slice — no server-side copy either.
-                self.provider.put_chunk(chunk, payload)?;
+                // Rejoining header and payload validates the declared
+                // physical (and, for verbatim, logical) length against what
+                // actually arrived. The payload is a refcounted slice of the
+                // receive buffer; the store keeps that slice — no
+                // server-side copy, and never any server-side re-coding.
+                let envelope = envelope_header.into_envelope(payload)?;
+                self.provider.put_chunk(chunk, envelope)?;
                 Ok((Bytes::new(), Bytes::new()))
             }
             op::GET_CHUNK => {
                 let chunk: ChunkId = decode(header)?;
                 let data = self.provider.get_chunk(&chunk)?;
-                let mut w = WireWriter::new();
-                w.put_u32(data.len() as u32);
-                Ok((w.finish(), data))
+                // The envelope ships exactly as stored: codec metadata in
+                // the response header, physical bytes as the payload.
+                Ok((encode(&data.header()), data.into_payload()))
             }
             other => Err(unknown_opcode(other, "chunk")),
         }
@@ -1116,12 +1114,13 @@ mod tests {
             write_tag: 2,
             slot: 3,
         };
-        let mut w = WireWriter::new();
+        let mut w = blobseer_types::wire::WireWriter::new();
         w.put(&chunk);
-        w.put_u32(10); // declares 10 bytes...
+        // An envelope header declaring 10 physical bytes...
+        w.put(&blobseer_types::ChunkEnvelope::verbatim(Bytes::from(vec![0u8; 10])).header());
         let err = host
             .handle(op::PUT_CHUNK, &w.finish(), Bytes::from_static(b"abc"))
-            .unwrap_err(); // ...but carries 3: a truncated frame.
+            .unwrap_err(); // ...but carrying 3: a truncated frame.
         assert!(matches!(err, BlobError::Transport(_)));
     }
 

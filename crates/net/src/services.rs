@@ -8,20 +8,31 @@
 //!
 //! Zero-copy contract at this boundary:
 //!
-//! * `put_chunk` hands the caller's `Bytes` straight to the frame — the
-//!   payload crosses the client without a single copy
+//! * `put_chunk` hands the envelope's payload `Bytes` straight to the frame
+//!   — the payload crosses the client without a single copy
 //!   (`ClientStats::payload_bytes_copied` stays zero for aligned writes);
-//! * `get_chunk` returns the payload as a refcounted slice of the one
-//!   receive buffer the response frame landed in — the single receive-side
-//!   copy, counted in `TransportMetrics::chunk_payload_received`.
+//! * `get_chunk` returns the envelope's payload as a refcounted slice of
+//!   the one receive buffer the response frame landed in — the single
+//!   receive-side copy, counted in `TransportMetrics::chunk_payload_received`.
+//!
+//! The chunk codec composes with this: frames carry [`ChunkEnvelope`]s
+//! verbatim (codec tag + logical length in the header, physical bytes as
+//! the payload), so a chunk compressed once at the writing client crosses
+//! the wire, the provider and the wire again without ever being re-coded.
+//! [`TransportMetrics::chunk_on_wire`] accounts every crossing at both its
+//! logical and physical size — the difference is the traffic the codec
+//! saved.
 
 use crate::rpc::{op, RpcEndpoint};
 use blobseer_meta::{MetadataStore, NodeBody, NodeKey};
 use blobseer_provider::{ChunkService, PlacementRequest};
 use blobseer_types::wire::{decode, encode, WireWriter};
-use blobseer_types::{BlobError, ChunkId, ProviderId, Result, TransportMetrics};
+use blobseer_types::{
+    BlobError, ChunkEnvelope, ChunkId, EnvelopeHeader, ProviderId, Result, TransportMetrics,
+};
 use bytes::Bytes;
 use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
 use std::sync::Arc;
 
 /// Extra whole-call retries when a *response* arrived but failed to decode
@@ -95,18 +106,25 @@ impl ChunkService for NetChunkService {
         .unwrap_or_default()
     }
 
-    fn put_chunk(&self, provider: ProviderId, chunk: ChunkId, data: Bytes) -> Result<()> {
+    fn put_chunk(&self, provider: ProviderId, chunk: ChunkId, data: ChunkEnvelope) -> Result<()> {
         let endpoint = self.endpoint(provider)?;
         let mut w = WireWriter::new();
         w.put(&chunk);
-        w.put_u32(data.len() as u32);
-        // `data` rides the frame as-is: refcount bump, no copy.
-        let frame = endpoint.call(op::PUT_CHUNK, w.finish(), data)?;
+        w.put(&data.header());
+        let (logical, physical) = (data.logical_len(), data.physical_len());
+        // The envelope's payload rides the frame as-is: refcount bump, no
+        // copy, no re-coding.
+        let frame = endpoint.call(op::PUT_CHUNK, w.finish(), data.into_payload())?;
         debug_assert_eq!(frame.opcode, op::RESP_OK);
+        self.metrics.chunk_on_wire(logical, physical);
         Ok(())
     }
 
-    fn put_chunks(&self, provider: ProviderId, chunks: &[(ChunkId, Bytes)]) -> Vec<Result<()>> {
+    fn put_chunks(
+        &self,
+        provider: ProviderId,
+        chunks: &[(ChunkId, ChunkEnvelope)],
+    ) -> Vec<Result<()>> {
         let endpoint = match self.endpoint(provider) {
             Ok(endpoint) => endpoint,
             Err(err) => return chunks.iter().map(|_| Err(err.clone())).collect(),
@@ -116,9 +134,9 @@ impl ChunkService for NetChunkService {
             .map(|(chunk, data)| {
                 let mut w = WireWriter::new();
                 w.put(chunk);
-                w.put_u32(data.len() as u32);
+                w.put(&data.header());
                 // Each payload rides its frame as-is: refcount bump, no copy.
-                (w.finish(), data.clone())
+                (w.finish(), data.payload().clone())
             })
             .collect();
         // The whole batch leaves in one flush — one vectored write carrying
@@ -127,30 +145,33 @@ impl ChunkService for NetChunkService {
         endpoint
             .call_many(op::PUT_CHUNK, &requests)
             .into_iter()
-            .map(|outcome| {
+            .zip(chunks)
+            .map(|(outcome, (_, data))| {
                 outcome.map(|frame| {
                     debug_assert_eq!(frame.opcode, op::RESP_OK);
+                    self.metrics
+                        .chunk_on_wire(data.logical_len(), data.physical_len());
                 })
             })
             .collect()
     }
 
-    fn get_chunk(&self, provider: ProviderId, chunk: &ChunkId) -> Result<Bytes> {
+    fn get_chunk(&self, provider: ProviderId, chunk: &ChunkId) -> Result<ChunkEnvelope> {
         let endpoint = self.endpoint(provider)?;
         let header = encode(chunk);
-        let data = call_decoded(endpoint, op::GET_CHUNK, &header, |frame| {
-            let declared = decode::<u32>(&frame.header)? as usize;
-            if declared != frame.payload.len() {
-                return Err(BlobError::Transport(format!(
-                    "get of {chunk} declared {declared} bytes but carried {}",
-                    frame.payload.len()
-                )));
-            }
-            Ok(frame.payload.clone())
+        let envelope = call_decoded(endpoint, op::GET_CHUNK, &header, |frame| {
+            // Rejoining validates the declared physical length against the
+            // payload that actually arrived (and the logical length too,
+            // for verbatim envelopes).
+            decode::<EnvelopeHeader>(&frame.header)?.into_envelope(frame.payload.clone())
         })?;
-        // The single receive-side materialisation of this chunk.
-        self.metrics.chunk_payload_received(data.len() as u64);
-        Ok(data)
+        // The single receive-side materialisation of this chunk: the
+        // physical bytes the frame carried. Decompression (if the envelope
+        // is compressed) happens once, later, at the opening client.
+        self.metrics.chunk_payload_received(envelope.physical_len());
+        self.metrics
+            .chunk_on_wire(envelope.logical_len(), envelope.physical_len());
+        Ok(envelope)
     }
 }
 
@@ -165,28 +186,65 @@ impl ChunkService for NetChunkService {
 /// absence a boundary-merging writer could misread as "never written:
 /// zeros". `put_nodes` likewise propagates transport errors, so a writer
 /// never publishes a version whose nodes did not land.
+///
+/// ## Per-shard frame coalescing
+///
+/// When built [`NetMetadataService::with_shards`] (> 1), each batched
+/// `get_nodes`/`put_nodes` is split into one frame per metadata shard
+/// (keys grouped by hash, mirroring DHT key ownership) and the whole set
+/// of per-shard frames is submitted as a *single vectored flush* — one
+/// syscall for the entire descent level, counted in
+/// `TransportMetrics::frames_coalesced`. Responses are scattered back into
+/// the caller's key order. A batch that only touches one shard degrades to
+/// the plain single-frame path.
 pub struct NetMetadataService {
     endpoint: RpcEndpoint,
+    shards: usize,
 }
 
 impl NetMetadataService {
-    /// Wires the metadata endpoint of one client.
+    /// Wires the metadata endpoint of one client (single-frame batches).
     #[must_use]
     pub fn new(endpoint: RpcEndpoint) -> Self {
-        NetMetadataService { endpoint }
-    }
-}
-
-impl MetadataStore for NetMetadataService {
-    fn put_node(&self, key: NodeKey, body: NodeBody) -> Result<()> {
-        self.put_nodes(vec![(key, body)])
+        NetMetadataService {
+            endpoint,
+            shards: 1,
+        }
     }
 
-    fn get_node(&self, key: &NodeKey) -> Result<Option<NodeBody>> {
-        Ok(self.get_nodes(std::slice::from_ref(key))?.pop().flatten())
+    /// Sets the number of metadata shards batches are split across (values
+    /// below 1 clamp to 1 — the unsharded single-frame path).
+    #[must_use]
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards.max(1);
+        self
     }
 
-    fn get_nodes(&self, keys: &[NodeKey]) -> Result<Vec<Option<NodeBody>>> {
+    /// The shard a node key belongs to (stable hash, mirroring how a DHT
+    /// assigns key ownership).
+    fn shard_of(&self, key: &NodeKey) -> usize {
+        let mut hasher = std::collections::hash_map::DefaultHasher::new();
+        key.hash(&mut hasher);
+        (hasher.finish() % self.shards as u64) as usize
+    }
+
+    /// Groups indices into `keys` by shard, dropping empty groups.
+    fn shard_groups(
+        &self,
+        keys: impl Iterator<Item = usize>,
+        of: impl Fn(usize) -> usize,
+    ) -> Vec<Vec<usize>> {
+        let mut groups: Vec<Vec<usize>> = (0..self.shards).map(|_| Vec::new()).collect();
+        for index in keys {
+            groups[of(index)].push(index);
+        }
+        groups.retain(|g| !g.is_empty());
+        groups
+    }
+
+    /// The plain single-frame `get_nodes` (also the per-group fallback when
+    /// a coalesced response fails to decode).
+    fn get_nodes_single(&self, keys: &[NodeKey]) -> Result<Vec<Option<NodeBody>>> {
         let header = encode(&keys.to_vec());
         call_decoded(&self.endpoint, op::META_GET, &header, |frame| {
             let bodies = decode::<Vec<Option<NodeBody>>>(&frame.header)?;
@@ -200,11 +258,91 @@ impl MetadataStore for NetMetadataService {
             Ok(bodies)
         })
     }
+}
+
+impl MetadataStore for NetMetadataService {
+    fn put_node(&self, key: NodeKey, body: NodeBody) -> Result<()> {
+        self.put_nodes(vec![(key, body)])
+    }
+
+    fn get_node(&self, key: &NodeKey) -> Result<Option<NodeBody>> {
+        Ok(self.get_nodes(std::slice::from_ref(key))?.pop().flatten())
+    }
+
+    fn get_nodes(&self, keys: &[NodeKey]) -> Result<Vec<Option<NodeBody>>> {
+        let groups = if self.shards > 1 && keys.len() > 1 {
+            self.shard_groups(0..keys.len(), |i| self.shard_of(&keys[i]))
+        } else {
+            Vec::new()
+        };
+        if groups.len() < 2 {
+            return self.get_nodes_single(keys);
+        }
+        let requests: Vec<(Bytes, Bytes)> = groups
+            .iter()
+            .map(|group| {
+                let group_keys: Vec<NodeKey> = group.iter().map(|&i| keys[i]).collect();
+                (encode(&group_keys), Bytes::new())
+            })
+            .collect();
+        // Every per-shard frame of this descent level leaves in one
+        // vectored flush; responses scatter back into the caller's order.
+        let outcomes = self.endpoint.call_many(op::META_GET, &requests);
+        let mut results: Vec<Option<NodeBody>> = vec![None; keys.len()];
+        for (group, outcome) in groups.iter().zip(outcomes) {
+            let parsed = outcome.and_then(|frame| {
+                let bodies = decode::<Vec<Option<NodeBody>>>(&frame.header)?;
+                if bodies.len() != group.len() {
+                    return Err(BlobError::Transport(format!(
+                        "meta get of {} keys answered {} slots",
+                        group.len(),
+                        bodies.len()
+                    )));
+                }
+                Ok(bodies)
+            });
+            let bodies = match parsed {
+                Ok(bodies) => bodies,
+                // A mangled coalesced response retries this group alone,
+                // with the full per-call retry budget.
+                Err(_) => {
+                    let group_keys: Vec<NodeKey> = group.iter().map(|&i| keys[i]).collect();
+                    self.get_nodes_single(&group_keys)?
+                }
+            };
+            for (&index, body) in group.iter().zip(bodies) {
+                results[index] = body;
+            }
+        }
+        Ok(results)
+    }
 
     fn put_nodes(&self, nodes: Vec<(NodeKey, NodeBody)>) -> Result<()> {
-        let header = encode(&nodes);
-        let frame = self.endpoint.call(op::META_PUT, header, Bytes::new())?;
-        debug_assert_eq!(frame.opcode, op::RESP_OK);
+        let groups = if self.shards > 1 && nodes.len() > 1 {
+            self.shard_groups(0..nodes.len(), |i| self.shard_of(&nodes[i].0))
+        } else {
+            Vec::new()
+        };
+        if groups.len() < 2 {
+            let header = encode(&nodes);
+            let frame = self.endpoint.call(op::META_PUT, header, Bytes::new())?;
+            debug_assert_eq!(frame.opcode, op::RESP_OK);
+            return Ok(());
+        }
+        let requests: Vec<(Bytes, Bytes)> = groups
+            .iter()
+            .map(|group| {
+                let group_nodes: Vec<(NodeKey, NodeBody)> =
+                    group.iter().map(|&i| nodes[i].clone()).collect();
+                (encode(&group_nodes), Bytes::new())
+            })
+            .collect();
+        // One vectored flush for every shard's put of this level; each
+        // group must land (a writer never publishes missing nodes).
+        for outcome in self.endpoint.call_many(op::META_PUT, &requests) {
+            let frame = outcome?;
+            debug_assert_eq!(frame.opcode, op::RESP_OK);
+        }
         Ok(())
     }
 
@@ -273,14 +411,18 @@ mod tests {
         assert_eq!(svc.live_providers().len(), 2);
 
         let payload = Bytes::from(vec![9u8; 512]);
-        svc.put_chunk(ProviderId(0), chunk_id(0), payload.clone())
+        svc.put_chunk(ProviderId(0), chunk_id(0), payload.clone().into())
             .unwrap();
         let got = svc.get_chunk(ProviderId(0), &chunk_id(0)).unwrap();
-        assert_eq!(got, payload);
+        assert_eq!(got, ChunkEnvelope::verbatim(payload));
         // The fetched payload was materialised exactly once on receive.
         assert_eq!(metrics.snapshot().chunk_rx_payload_bytes, 512);
         // And the provider server-side really holds it.
         assert_eq!(provider.stats().chunks, 1);
+        // Both crossings (put + get) were accounted at logical == physical
+        // for a verbatim envelope.
+        assert_eq!(metrics.snapshot().bytes_on_wire_logical, 1024);
+        assert_eq!(metrics.snapshot().bytes_on_wire_physical, 1024);
 
         // Application errors cross the wire intact.
         assert!(matches!(
@@ -288,9 +430,44 @@ mod tests {
             Err(BlobError::ChunkNotFound(_, ProviderId(0)))
         ));
         assert!(matches!(
-            svc.put_chunk(ProviderId(7), chunk_id(0), Bytes::new()),
+            svc.put_chunk(
+                ProviderId(7),
+                chunk_id(0),
+                ChunkEnvelope::verbatim(Bytes::new())
+            ),
             Err(BlobError::UnknownProvider(ProviderId(7)))
         ));
+    }
+
+    #[test]
+    fn compressed_envelopes_cross_the_wire_without_recoding() {
+        let metrics = Arc::new(TransportMetrics::new());
+        let provider = Arc::new(DataProvider::in_memory(ProviderId(0)));
+        let (_s, provider_ep) =
+            endpoint_for(Arc::new(ChunkHost::new(Arc::clone(&provider))), &metrics);
+        let manager = Arc::new(ProviderManager::with_providers(
+            PlacementPolicy::RoundRobin,
+            1,
+        ));
+        let (_s2, manager_ep) = endpoint_for(Arc::new(ManagerHost::new(manager)), &metrics);
+        let svc = NetChunkService::new(
+            manager_ep,
+            [(ProviderId(0), provider_ep)].into_iter().collect(),
+            Arc::clone(&metrics),
+        );
+        // A 4096-byte chunk that compressed to 96 physical bytes.
+        let sealed = ChunkEnvelope::compressed(4096, Bytes::from(vec![3u8; 96]));
+        svc.put_chunk(ProviderId(0), chunk_id(0), sealed.clone())
+            .unwrap();
+        // The provider stored the envelope verbatim: physical bytes only.
+        assert_eq!(provider.stats().bytes, 96);
+        let got = svc.get_chunk(ProviderId(0), &chunk_id(0)).unwrap();
+        assert_eq!(got, sealed);
+        // Receive-side materialisation is the physical size...
+        assert_eq!(metrics.snapshot().chunk_rx_payload_bytes, 96);
+        // ...and both crossings were accounted logical vs physical.
+        assert_eq!(metrics.snapshot().bytes_on_wire_logical, 2 * 4096);
+        assert_eq!(metrics.snapshot().bytes_on_wire_physical, 2 * 96);
     }
 
     #[test]

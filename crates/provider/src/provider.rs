@@ -1,8 +1,7 @@
 //! A data provider node: a chunk store plus statistics and a failure switch.
 
 use crate::store::{ChunkStore, RamStore};
-use blobseer_types::{BlobError, ChunkId, ProviderId, Result};
-use bytes::Bytes;
+use blobseer_types::{BlobError, ChunkEnvelope, ChunkId, ProviderId, Result};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -12,7 +11,8 @@ use std::sync::Arc;
 pub struct ProviderStats {
     /// Chunks currently stored.
     pub chunks: u64,
-    /// Payload bytes currently stored.
+    /// Physical payload bytes currently stored (compressed chunks count at
+    /// their compressed size — what the provider's memory or disk pays).
     pub bytes: u64,
     /// Successful chunk writes served since start.
     pub writes: u64,
@@ -76,8 +76,9 @@ impl DataProvider {
         self.alive.store(alive, Ordering::Release);
     }
 
-    /// Stores a chunk on this provider.
-    pub fn put_chunk(&self, id: ChunkId, data: Bytes) -> Result<()> {
+    /// Stores a chunk envelope on this provider. Envelopes are stored as
+    /// received — a provider never compresses or decompresses chunk data.
+    pub fn put_chunk(&self, id: ChunkId, data: ChunkEnvelope) -> Result<()> {
         if !self.is_alive() {
             self.rejected.fetch_add(1, Ordering::Relaxed);
             return Err(BlobError::ProviderUnavailable(self.id));
@@ -87,8 +88,8 @@ impl DataProvider {
         Ok(())
     }
 
-    /// Reads a chunk from this provider.
-    pub fn get_chunk(&self, id: &ChunkId) -> Result<Bytes> {
+    /// Reads a chunk envelope from this provider.
+    pub fn get_chunk(&self, id: &ChunkId) -> Result<ChunkEnvelope> {
         if !self.is_alive() {
             self.rejected.fetch_add(1, Ordering::Relaxed);
             return Err(BlobError::ProviderUnavailable(self.id));
@@ -125,6 +126,7 @@ impl DataProvider {
 mod tests {
     use super::*;
     use blobseer_types::BlobId;
+    use bytes::Bytes;
 
     fn cid(slot: u64) -> ChunkId {
         ChunkId {
@@ -134,12 +136,16 @@ mod tests {
         }
     }
 
+    fn env(data: &'static [u8]) -> ChunkEnvelope {
+        ChunkEnvelope::verbatim(Bytes::from_static(data))
+    }
+
     #[test]
     fn put_get_and_stats() {
         let p = DataProvider::in_memory(ProviderId(0));
-        p.put_chunk(cid(0), Bytes::from_static(b"abcd")).unwrap();
-        p.put_chunk(cid(1), Bytes::from_static(b"efgh")).unwrap();
-        assert_eq!(p.get_chunk(&cid(0)).unwrap(), Bytes::from_static(b"abcd"));
+        p.put_chunk(cid(0), env(b"abcd")).unwrap();
+        p.put_chunk(cid(1), env(b"efgh")).unwrap();
+        assert_eq!(p.get_chunk(&cid(0)).unwrap(), env(b"abcd"));
         assert!(p.has_chunk(&cid(1)));
         assert!(!p.has_chunk(&cid(2)));
         let stats = p.stats();
@@ -162,10 +168,10 @@ mod tests {
     #[test]
     fn failed_provider_rejects_requests() {
         let p = DataProvider::in_memory(ProviderId(1));
-        p.put_chunk(cid(0), Bytes::from_static(b"abcd")).unwrap();
+        p.put_chunk(cid(0), env(b"abcd")).unwrap();
         p.set_alive(false);
         assert!(matches!(
-            p.put_chunk(cid(1), Bytes::from_static(b"x")),
+            p.put_chunk(cid(1), env(b"x")),
             Err(BlobError::ProviderUnavailable(ProviderId(1)))
         ));
         assert!(matches!(
@@ -176,7 +182,7 @@ mod tests {
         assert_eq!(p.stats().rejected, 2);
         // Recover and serve again: the chunk survived the outage.
         p.set_alive(true);
-        assert_eq!(p.get_chunk(&cid(0)).unwrap(), Bytes::from_static(b"abcd"));
+        assert_eq!(p.get_chunk(&cid(0)).unwrap(), env(b"abcd"));
     }
 
     #[test]
@@ -193,8 +199,9 @@ mod tests {
                         write_tag: t,
                         slot: i,
                     };
-                    p.put_chunk(id, Bytes::from(vec![t as u8; 32])).unwrap();
-                    assert_eq!(p.get_chunk(&id).unwrap().len(), 32);
+                    p.put_chunk(id, ChunkEnvelope::verbatim(Bytes::from(vec![t as u8; 32])))
+                        .unwrap();
+                    assert_eq!(p.get_chunk(&id).unwrap().physical_len(), 32);
                 }
             }));
         }

@@ -10,8 +10,7 @@
 
 use crate::manager::{PlacementRequest, ProviderManager};
 use crate::provider::DataProvider;
-use blobseer_types::{BlobError, ChunkId, ProviderId, Result};
-use bytes::Bytes;
+use blobseer_types::{BlobError, ChunkEnvelope, ChunkId, ProviderId, Result};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -27,8 +26,8 @@ pub trait ChunkService: Send + Sync {
     /// writers to find substitutes when an assigned provider fails mid-write.
     fn live_providers(&self) -> Vec<ProviderId>;
 
-    /// Stores one chunk replica on the given provider.
-    fn put_chunk(&self, provider: ProviderId, chunk: ChunkId, data: Bytes) -> Result<()>;
+    /// Stores one chunk replica (as a codec envelope) on the given provider.
+    fn put_chunk(&self, provider: ProviderId, chunk: ChunkId, data: ChunkEnvelope) -> Result<()>;
 
     /// Stores several chunks on one provider, returning one result per
     /// chunk (same order). Transports that can pipeline override this to
@@ -36,15 +35,20 @@ pub trait ChunkService: Send + Sync {
     /// coalescing comes from — while the default simply loops
     /// [`ChunkService::put_chunk`], so every implementation keeps identical
     /// per-chunk semantics.
-    fn put_chunks(&self, provider: ProviderId, chunks: &[(ChunkId, Bytes)]) -> Vec<Result<()>> {
+    fn put_chunks(
+        &self,
+        provider: ProviderId,
+        chunks: &[(ChunkId, ChunkEnvelope)],
+    ) -> Vec<Result<()>> {
         chunks
             .iter()
             .map(|(chunk, data)| self.put_chunk(provider, *chunk, data.clone()))
             .collect()
     }
 
-    /// Fetches one chunk replica from the given provider.
-    fn get_chunk(&self, provider: ProviderId, chunk: &ChunkId) -> Result<Bytes>;
+    /// Fetches one chunk replica from the given provider. The envelope comes
+    /// back exactly as stored; opening it is the caller's job.
+    fn get_chunk(&self, provider: ProviderId, chunk: &ChunkId) -> Result<ChunkEnvelope>;
 }
 
 /// The shared-memory implementation of [`ChunkService`]: a provider manager
@@ -97,14 +101,14 @@ impl ChunkService for InProcessChunkService {
         self.manager.live_providers()
     }
 
-    fn put_chunk(&self, provider: ProviderId, chunk: ChunkId, data: Bytes) -> Result<()> {
+    fn put_chunk(&self, provider: ProviderId, chunk: ChunkId, data: ChunkEnvelope) -> Result<()> {
         self.providers
             .get(&provider)
             .ok_or(BlobError::UnknownProvider(provider))?
             .put_chunk(chunk, data)
     }
 
-    fn get_chunk(&self, provider: ProviderId, chunk: &ChunkId) -> Result<Bytes> {
+    fn get_chunk(&self, provider: ProviderId, chunk: &ChunkId) -> Result<ChunkEnvelope> {
         self.providers
             .get(&provider)
             .ok_or(BlobError::UnknownProvider(provider))?
@@ -139,15 +143,15 @@ mod tests {
         }
     }
 
+    fn env(data: &'static [u8]) -> ChunkEnvelope {
+        ChunkEnvelope::verbatim(bytes::Bytes::from_static(data))
+    }
+
     #[test]
     fn chunks_roundtrip_through_the_service() {
         let svc = service(2);
-        svc.put_chunk(ProviderId(0), cid(0), Bytes::from_static(b"abc"))
-            .unwrap();
-        assert_eq!(
-            svc.get_chunk(ProviderId(0), &cid(0)).unwrap(),
-            Bytes::from_static(b"abc")
-        );
+        svc.put_chunk(ProviderId(0), cid(0), env(b"abc")).unwrap();
+        assert_eq!(svc.get_chunk(ProviderId(0), &cid(0)).unwrap(), env(b"abc"));
         assert!(matches!(
             svc.get_chunk(ProviderId(1), &cid(0)),
             Err(BlobError::ChunkNotFound(_, _))
@@ -158,7 +162,7 @@ mod tests {
     fn unknown_providers_are_reported() {
         let svc = service(1);
         assert!(matches!(
-            svc.put_chunk(ProviderId(7), cid(0), Bytes::from_static(b"x")),
+            svc.put_chunk(ProviderId(7), cid(0), env(b"x")),
             Err(BlobError::UnknownProvider(ProviderId(7)))
         ));
         assert!(matches!(

@@ -10,8 +10,14 @@
 //!   front of it. This mirrors Section IV.B ("persistent data and metadata
 //!   storage while keeping our initial RAM-based storage scheme as an
 //!   underlying caching mechanism").
+//!
+//! Both backends store [`ChunkEnvelope`]s — the chunk codec's unit of
+//! at-rest storage. A compressed chunk stays compressed on the provider
+//! (RAM and disk hold the physical bytes); decompression happens only at
+//! the reading client. `bytes_stored` therefore counts *physical* bytes,
+//! which is what the provider's memory and disk actually pay.
 
-use blobseer_types::{BlobError, ChunkId, ProviderId, Result};
+use blobseer_types::{BlobError, ChunkEncoding, ChunkEnvelope, ChunkId, ProviderId, Result};
 use bytes::Bytes;
 use parking_lot::{Mutex, RwLock};
 use std::collections::{HashMap, VecDeque};
@@ -21,12 +27,13 @@ use std::path::{Path, PathBuf};
 
 /// Abstraction over chunk storage so that providers can swap backends.
 pub trait ChunkStore: Send + Sync {
-    /// Stores a chunk. Chunks are immutable: storing the same id twice with
-    /// different contents is an error, storing identical contents is a no-op.
-    fn put(&self, id: ChunkId, data: Bytes) -> Result<()>;
+    /// Stores a chunk envelope. Chunks are immutable: storing the same id
+    /// twice with different contents is an error, storing identical contents
+    /// is a no-op.
+    fn put(&self, id: ChunkId, data: ChunkEnvelope) -> Result<()>;
 
-    /// Fetches a chunk, or `None` if this store does not hold it.
-    fn get(&self, id: &ChunkId) -> Option<Bytes>;
+    /// Fetches a chunk envelope, or `None` if this store does not hold it.
+    fn get(&self, id: &ChunkId) -> Option<ChunkEnvelope>;
 
     /// Whether the store holds the chunk.
     fn contains(&self, id: &ChunkId) -> bool {
@@ -36,7 +43,8 @@ pub trait ChunkStore: Send + Sync {
     /// Number of chunks held.
     fn chunk_count(&self) -> usize;
 
-    /// Total payload bytes held.
+    /// Total physical payload bytes held (compressed chunks count at their
+    /// compressed size).
     fn bytes_stored(&self) -> u64;
 }
 
@@ -52,7 +60,7 @@ pub struct RamStore {
 }
 
 struct RamInner {
-    chunks: HashMap<ChunkId, Bytes>,
+    chunks: HashMap<ChunkId, ChunkEnvelope>,
     lru: VecDeque<ChunkId>,
     bytes: u64,
 }
@@ -91,7 +99,7 @@ impl RamStore {
                 break;
             };
             if let Some(data) = inner.chunks.remove(&victim) {
-                inner.bytes -= data.len() as u64;
+                inner.bytes -= data.physical_len();
             }
         }
     }
@@ -104,7 +112,7 @@ impl Default for RamStore {
 }
 
 impl ChunkStore for RamStore {
-    fn put(&self, id: ChunkId, data: Bytes) -> Result<()> {
+    fn put(&self, id: ChunkId, data: ChunkEnvelope) -> Result<()> {
         let mut inner = self.inner.write();
         if let Some(existing) = inner.chunks.get(&id) {
             if existing == &data {
@@ -114,7 +122,7 @@ impl ChunkStore for RamStore {
                 "conflicting immutable chunk write for {id}"
             )));
         }
-        inner.bytes += data.len() as u64;
+        inner.bytes += data.physical_len();
         inner.chunks.insert(id, data);
         inner.lru.push_back(id);
         if let Some(capacity) = self.capacity_bytes {
@@ -123,7 +131,7 @@ impl ChunkStore for RamStore {
         Ok(())
     }
 
-    fn get(&self, id: &ChunkId) -> Option<Bytes> {
+    fn get(&self, id: &ChunkId) -> Option<ChunkEnvelope> {
         self.inner.read().chunks.get(id).cloned()
     }
 
@@ -137,10 +145,16 @@ impl ChunkStore for RamStore {
 }
 
 /// Location of a chunk inside the persistent log file.
+///
+/// The log holds only the (physical) payload bytes; the envelope's codec
+/// metadata lives here in the index, so a compressed chunk round-trips
+/// through disk without ever being re-coded.
 #[derive(Debug, Clone, Copy)]
 struct LogEntry {
     offset: u64,
     len: u32,
+    encoding: ChunkEncoding,
+    logical_len: u64,
 }
 
 /// File-backed chunk store: chunks are appended to a single log file and an
@@ -191,7 +205,7 @@ impl PersistentStore {
 }
 
 impl ChunkStore for PersistentStore {
-    fn put(&self, id: ChunkId, data: Bytes) -> Result<()> {
+    fn put(&self, id: ChunkId, data: ChunkEnvelope) -> Result<()> {
         {
             let index = self.index.read();
             if index.contains_key(&id) {
@@ -210,23 +224,25 @@ impl ChunkStore for PersistentStore {
         let offset = {
             let mut file = self.file.lock();
             let offset = file.seek(SeekFrom::End(0))?;
-            file.write_all(&data)?;
+            file.write_all(data.payload())?;
             offset
         };
         self.index.write().insert(
             id,
             LogEntry {
                 offset,
-                len: data.len() as u32,
+                len: data.payload().len() as u32,
+                encoding: data.encoding(),
+                logical_len: data.logical_len(),
             },
         );
-        *self.bytes.write() += data.len() as u64;
+        *self.bytes.write() += data.physical_len();
         // Populate the cache so immediately following reads are RAM hits.
         let _ = self.cache.put(id, data);
         Ok(())
     }
 
-    fn get(&self, id: &ChunkId) -> Option<Bytes> {
+    fn get(&self, id: &ChunkId) -> Option<ChunkEnvelope> {
         if let Some(hit) = self.cache.get(id) {
             return Some(hit);
         }
@@ -241,7 +257,11 @@ impl ChunkStore for PersistentStore {
                 return None;
             }
         }
-        let data = Bytes::from(buf);
+        let payload = Bytes::from(buf);
+        let data = match entry.encoding {
+            ChunkEncoding::Verbatim => ChunkEnvelope::verbatim(payload),
+            ChunkEncoding::Lz => ChunkEnvelope::compressed(entry.logical_len, payload),
+        };
         let _ = self.cache.put(*id, data.clone());
         Some(data)
     }
@@ -271,13 +291,16 @@ mod tests {
         }
     }
 
+    fn env(data: &'static [u8]) -> ChunkEnvelope {
+        ChunkEnvelope::verbatim(Bytes::from_static(data))
+    }
+
     #[test]
     fn ram_store_roundtrip_and_accounting() {
         let s = RamStore::unbounded();
-        s.put(chunk(1, 1, 0), Bytes::from_static(b"hello")).unwrap();
-        s.put(chunk(1, 1, 1), Bytes::from_static(b"world!"))
-            .unwrap();
-        assert_eq!(s.get(&chunk(1, 1, 0)), Some(Bytes::from_static(b"hello")));
+        s.put(chunk(1, 1, 0), env(b"hello")).unwrap();
+        s.put(chunk(1, 1, 1), env(b"world!")).unwrap();
+        assert_eq!(s.get(&chunk(1, 1, 0)), Some(env(b"hello")));
         assert_eq!(s.get(&chunk(1, 2, 0)), None);
         assert_eq!(s.chunk_count(), 2);
         assert_eq!(s.bytes_stored(), 11);
@@ -287,16 +310,36 @@ mod tests {
     #[test]
     fn ram_store_rejects_conflicting_rewrites() {
         let s = RamStore::unbounded();
-        s.put(chunk(1, 1, 0), Bytes::from_static(b"aaaa")).unwrap();
-        s.put(chunk(1, 1, 0), Bytes::from_static(b"aaaa")).unwrap();
-        assert!(s.put(chunk(1, 1, 0), Bytes::from_static(b"bbbb")).is_err());
+        s.put(chunk(1, 1, 0), env(b"aaaa")).unwrap();
+        s.put(chunk(1, 1, 0), env(b"aaaa")).unwrap();
+        assert!(s.put(chunk(1, 1, 0), env(b"bbbb")).is_err());
+    }
+
+    #[test]
+    fn ram_store_accounts_compressed_chunks_at_physical_size() {
+        let s = RamStore::unbounded();
+        // A 1024-byte chunk that compressed down to 64 physical bytes.
+        let sealed = ChunkEnvelope::compressed(1024, Bytes::from(vec![9u8; 64]));
+        s.put(chunk(2, 1, 0), sealed.clone()).unwrap();
+        assert_eq!(s.bytes_stored(), 64);
+        let back = s.get(&chunk(2, 1, 0)).unwrap();
+        assert_eq!(back, sealed);
+        assert_eq!(back.logical_len(), 1024);
     }
 
     #[test]
     fn bounded_ram_store_evicts_oldest() {
         let s = RamStore::with_capacity(10);
-        s.put(chunk(1, 1, 0), Bytes::from(vec![0u8; 6])).unwrap();
-        s.put(chunk(1, 1, 1), Bytes::from(vec![1u8; 6])).unwrap();
+        s.put(
+            chunk(1, 1, 0),
+            ChunkEnvelope::verbatim(Bytes::from(vec![0u8; 6])),
+        )
+        .unwrap();
+        s.put(
+            chunk(1, 1, 1),
+            ChunkEnvelope::verbatim(Bytes::from(vec![1u8; 6])),
+        )
+        .unwrap();
         // 12 bytes > 10: the first chunk is evicted.
         assert_eq!(s.get(&chunk(1, 1, 0)), None);
         assert!(s.get(&chunk(1, 1, 1)).is_some());
@@ -309,16 +352,11 @@ mod tests {
         let path = dir.join("persistent_roundtrip.log");
         let _ = std::fs::remove_file(&path);
         let s = PersistentStore::open(&path, 1024).unwrap();
-        s.put(chunk(7, 9, 0), Bytes::from_static(b"persist me"))
-            .unwrap();
-        s.put(chunk(7, 9, 1), Bytes::from_static(b"and me too"))
-            .unwrap();
+        s.put(chunk(7, 9, 0), env(b"persist me")).unwrap();
+        s.put(chunk(7, 9, 1), env(b"and me too")).unwrap();
         assert_eq!(s.chunk_count(), 2);
         assert_eq!(s.bytes_stored(), 20);
-        assert_eq!(
-            s.get(&chunk(7, 9, 0)),
-            Some(Bytes::from_static(b"persist me"))
-        );
+        assert_eq!(s.get(&chunk(7, 9, 0)), Some(env(b"persist me")));
         assert!(s.cached_chunks() >= 1);
         let _ = std::fs::remove_file(&path);
     }
@@ -331,13 +369,42 @@ mod tests {
         // Cache of 8 bytes: every new chunk evicts the previous one.
         let s = PersistentStore::open(&path, 8).unwrap();
         for i in 0..8u64 {
-            s.put(chunk(1, 2, i), Bytes::from(vec![i as u8; 8]))
-                .unwrap();
+            s.put(
+                chunk(1, 2, i),
+                ChunkEnvelope::verbatim(Bytes::from(vec![i as u8; 8])),
+            )
+            .unwrap();
         }
         // All chunks are still readable from disk.
         for i in 0..8u64 {
-            assert_eq!(s.get(&chunk(1, 2, i)), Some(Bytes::from(vec![i as u8; 8])));
+            assert_eq!(
+                s.get(&chunk(1, 2, i)),
+                Some(ChunkEnvelope::verbatim(Bytes::from(vec![i as u8; 8])))
+            );
         }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn persistent_store_preserves_codec_metadata_across_cache_eviction() {
+        let dir = std::env::temp_dir().join(format!("blobseer-test-{}", std::process::id()));
+        let path = dir.join("persistent_codec_meta.log");
+        let _ = std::fs::remove_file(&path);
+        // Cache of 8 bytes: each put evicts the previous chunk, so the read
+        // below must reconstruct the envelope from the log + index alone.
+        let s = PersistentStore::open(&path, 8).unwrap();
+        let sealed = ChunkEnvelope::compressed(4096, Bytes::from(vec![5u8; 32]));
+        s.put(chunk(9, 1, 0), sealed.clone()).unwrap();
+        s.put(
+            chunk(9, 1, 1),
+            ChunkEnvelope::verbatim(Bytes::from(vec![6u8; 32])),
+        )
+        .unwrap();
+        let back = s.get(&chunk(9, 1, 0)).unwrap();
+        assert_eq!(back, sealed);
+        assert!(!back.is_verbatim());
+        assert_eq!(back.logical_len(), 4096);
+        assert_eq!(s.bytes_stored(), 64);
         let _ = std::fs::remove_file(&path);
     }
 
@@ -347,9 +414,9 @@ mod tests {
         let path = dir.join("persistent_conflict.log");
         let _ = std::fs::remove_file(&path);
         let s = PersistentStore::open(&path, 64).unwrap();
-        s.put(chunk(3, 3, 3), Bytes::from_static(b"v1")).unwrap();
-        s.put(chunk(3, 3, 3), Bytes::from_static(b"v1")).unwrap();
-        assert!(s.put(chunk(3, 3, 3), Bytes::from_static(b"v2")).is_err());
+        s.put(chunk(3, 3, 3), env(b"v1")).unwrap();
+        s.put(chunk(3, 3, 3), env(b"v1")).unwrap();
+        assert!(s.put(chunk(3, 3, 3), env(b"v2")).is_err());
         let _ = std::fs::remove_file(&path);
     }
 
@@ -363,8 +430,9 @@ mod tests {
             handles.push(std::thread::spawn(move || {
                 for i in 0..200u64 {
                     let id = chunk(t, t, i);
-                    s.put(id, Bytes::from(vec![t as u8; 16])).unwrap();
-                    assert_eq!(s.get(&id).unwrap().len(), 16);
+                    s.put(id, ChunkEnvelope::verbatim(Bytes::from(vec![t as u8; 16])))
+                        .unwrap();
+                    assert_eq!(s.get(&id).unwrap().physical_len(), 16);
                 }
             }));
         }

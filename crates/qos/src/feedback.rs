@@ -142,7 +142,7 @@ mod tests {
                     };
                     // The failed provider rejects these, producing the
                     // "dangerous" monitoring signature.
-                    let _ = p.put_chunk(id, Bytes::from(vec![0u8; 256]));
+                    let _ = p.put_chunk(id, Bytes::from(vec![0u8; 256]).into());
                 }
             }
         }

@@ -128,8 +128,10 @@ mod tests {
     fn windows_report_deltas_not_totals() {
         let p = provider(0);
         let collector = MonitoringCollector::new(vec![Arc::clone(&p)]);
-        p.put_chunk(chunk(0), Bytes::from(vec![0u8; 1024])).unwrap();
-        p.put_chunk(chunk(1), Bytes::from(vec![0u8; 1024])).unwrap();
+        p.put_chunk(chunk(0), Bytes::from(vec![0u8; 1024]).into())
+            .unwrap();
+        p.put_chunk(chunk(1), Bytes::from(vec![0u8; 1024]).into())
+            .unwrap();
         let w0 = collector.sample();
         assert_eq!(w0[0].ops, 2.0);
 
@@ -146,7 +148,7 @@ mod tests {
         let p = provider(3);
         let collector = MonitoringCollector::new(vec![Arc::clone(&p)]);
         p.set_alive(false);
-        let _ = p.put_chunk(chunk(0), Bytes::from_static(b"x"));
+        let _ = p.put_chunk(chunk(0), Bytes::from_static(b"x").into());
         let _ = p.get_chunk(&chunk(0));
         let w = collector.sample();
         assert_eq!(w[0].rejected, 2.0);
@@ -159,7 +161,8 @@ mod tests {
         let b = provider(1);
         let collector = MonitoringCollector::new(vec![Arc::clone(&a), Arc::clone(&b)]);
         collector.sample();
-        a.put_chunk(chunk(0), Bytes::from_static(b"abc")).unwrap();
+        a.put_chunk(chunk(0), Bytes::from_static(b"abc").into())
+            .unwrap();
         collector.sample();
         let latest = collector.latest();
         assert_eq!(latest.len(), 2);

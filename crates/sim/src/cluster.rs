@@ -28,8 +28,8 @@ use blobseer_meta::{
 use blobseer_provider::{PlacementRequest, ProviderManager};
 use blobseer_types::FaultPlan;
 use blobseer_types::{
-    chunk_span, BlobError, BlobId, ByteRange, ChunkId, ClusterConfig, MetaNodeId, ProviderId,
-    Result,
+    chunk_span, BlobError, BlobId, ByteRange, ChunkCodec, ChunkId, ClusterConfig, MetaNodeId,
+    ProviderId, Result,
 };
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
@@ -49,6 +49,13 @@ const FRAME_OVERHEAD_BYTES: u64 = 64;
 /// success: mirrors the RPC layer's retry budget, deep enough that the
 /// fault probabilities the tests run at converge with room to spare.
 const NET_MAX_ATTEMPTS: u64 = 6;
+
+/// Bytes the `Fast` codec scans per nanosecond of client CPU when sealing a
+/// chunk (roughly the single-core pace of an LZ4-class greedy matcher).
+/// Every chunk sealed under `Fast` pays this probe — including chunks that
+/// turn out incompressible and ship through the verbatim escape, which is
+/// exactly the cost the passthrough caps.
+const COMPRESS_SCAN_BYTES_PER_NS: u64 = 4;
 
 /// Record of one completed (or failed) simulated operation.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -114,9 +121,23 @@ pub struct SimulationResult {
     /// Data-plane frames the lossy network model swallowed (each one costs
     /// the sender its `io_timeout` before the retry goes out).
     pub frames_dropped: u64,
-    /// Bytes the data plane moved on the wire: payload plus frame overhead,
-    /// retries included. Chunk-cache hits move nothing.
+    /// Bytes the data plane *physically* moved on the wire: payload as the
+    /// codec shipped it (compressed when the `Fast` codec won) plus frame
+    /// overhead, retries included. Chunk-cache hits move nothing. With the
+    /// codec `Off` this equals [`SimulationResult::bytes_on_wire_logical`].
     pub bytes_on_wire: u64,
+    /// Bytes the data plane *logically* moved: the decompressed payload
+    /// sizes the application observes, plus the same frame overhead and
+    /// retries as [`SimulationResult::bytes_on_wire`]. The gap between the
+    /// two is the codec's wire saving.
+    pub bytes_on_wire_logical: u64,
+    /// Chunks the `Fast` codec actually shrank when they were sealed
+    /// (verbatim passthroughs of incompressible chunks are not counted).
+    pub chunks_compressed: u64,
+    /// Logical-minus-physical bytes saved at sealing time, summed over
+    /// `chunks_compressed` (replica pushes and re-reads multiply the wire
+    /// saving but not this counter — a chunk is sealed once).
+    pub compress_saved_bytes: u64,
     /// Metadata frames that shared a batched uplink write with a
     /// predecessor instead of paying their own per-request latency (a batch
     /// of `n` trips contributes `n - 1`) — the simulator's mirror of the
@@ -397,6 +418,12 @@ pub struct SimulatedCluster {
     frames_sent: u64,
     frames_dropped: u64,
     bytes_on_wire: u64,
+    bytes_on_wire_logical: u64,
+    chunks_compressed: u64,
+    compress_saved_bytes: u64,
+    /// Compressibility of the corpus the running workload moves (its
+    /// `Workload::compressibility`); `1.0` between runs.
+    compress_ratio: f64,
     frames_coalesced: u64,
     /// Lossy network model: every data-plane transfer is routed through the
     /// same seeded per-frame fault decisions the channel transport injects
@@ -445,6 +472,10 @@ impl SimulatedCluster {
             frames_sent: 0,
             frames_dropped: 0,
             bytes_on_wire: 0,
+            bytes_on_wire_logical: 0,
+            chunks_compressed: 0,
+            compress_saved_bytes: 0,
+            compress_ratio: 1.0,
             frames_coalesced: 0,
             net_faults: None,
             config,
@@ -467,14 +498,41 @@ impl SimulatedCluster {
         Ok(())
     }
 
-    /// Samples the lossy network model for one data-plane transfer of
-    /// `payload` bytes: returns the extra completion delay (timeouts of
+    /// Bytes a chunk of `logical` payload bytes occupies on the wire and at
+    /// rest under the configured codec: `ceil(logical × compressibility)`
+    /// when the `Fast` codec wins, the unchanged logical size otherwise
+    /// (codec `Off`, incompressible corpus, or a chunk so small the ceiling
+    /// rounds the saving away — the verbatim passthrough in all three
+    /// cases).
+    fn sealed_physical_len(&self, logical: u64) -> u64 {
+        if self.config.chunk_codec != ChunkCodec::Fast || self.compress_ratio >= 1.0 {
+            return logical;
+        }
+        (((logical as f64) * self.compress_ratio).ceil() as u64).clamp(1, logical)
+    }
+
+    /// Client CPU time to run the `Fast` codec's sealing scan over one
+    /// chunk; zero with the codec `Off`.
+    fn seal_probe_ns(&self, logical: u64) -> u64 {
+        if self.config.chunk_codec != ChunkCodec::Fast {
+            return 0;
+        }
+        logical / COMPRESS_SCAN_BYTES_PER_NS
+    }
+
+    /// Samples the lossy network model for one data-plane transfer whose
+    /// payload is `logical` bytes to the application and `physical` bytes as
+    /// the codec shipped it: returns the extra completion delay (timeouts of
     /// swallowed frames, injected latency) and charges the frame counters.
-    fn net_transfer_penalty(&mut self, payload: u64) -> u64 {
-        let frame_bytes = payload + FRAME_OVERHEAD_BYTES;
+    /// Retries resend the physical frame, so both wire counters include
+    /// them.
+    fn net_transfer_penalty(&mut self, logical: u64, physical: u64) -> u64 {
+        let frame_bytes = physical + FRAME_OVERHEAD_BYTES;
+        let logical_frame_bytes = logical + FRAME_OVERHEAD_BYTES;
         let Some((plan, rng)) = &mut self.net_faults else {
             self.frames_sent += 1;
             self.bytes_on_wire += frame_bytes;
+            self.bytes_on_wire_logical += logical_frame_bytes;
             return 0;
         };
         let io_timeout_ns = self.config.io_timeout_ms.saturating_mul(1_000_000).max(1);
@@ -488,6 +546,7 @@ impl SimulatedCluster {
         for attempt in 1..=NET_MAX_ATTEMPTS {
             self.frames_sent += 1;
             self.bytes_on_wire += frame_bytes;
+            self.bytes_on_wire_logical += logical_frame_bytes;
             // A frame can be lost in either direction: request out, response
             // back.
             let lost_out = rng.gen_bool(p_lost);
@@ -631,6 +690,10 @@ impl SimulatedCluster {
         self.frames_sent = 0;
         self.frames_dropped = 0;
         self.bytes_on_wire = 0;
+        self.bytes_on_wire_logical = 0;
+        self.chunks_compressed = 0;
+        self.compress_saved_bytes = 0;
+        self.compress_ratio = workload.compressibility.clamp(f64::MIN_POSITIVE, 1.0);
         self.frames_coalesced = 0;
         // Re-seed the fault stream so repeated runs of one cluster replay
         // the identical fault sequence.
@@ -736,6 +799,9 @@ impl SimulatedCluster {
             frames_sent: self.frames_sent,
             frames_dropped: self.frames_dropped,
             bytes_on_wire: self.bytes_on_wire,
+            bytes_on_wire_logical: self.bytes_on_wire_logical,
+            chunks_compressed: self.chunks_compressed,
+            compress_saved_bytes: self.compress_saved_bytes,
             frames_coalesced: self.frames_coalesced,
             meta_load,
             provider_write_bytes,
@@ -908,14 +974,25 @@ impl SimulatedCluster {
             if !covered {
                 self.bytes_copied += chunk_len;
             }
+            // The writing client seals the chunk exactly once — every
+            // replica push ships the same envelope, and providers store it
+            // as-is — paying the codec's sealing scan before the first byte
+            // goes out. Only a strictly smaller result counts as
+            // compressed; anything else takes the verbatim passthrough.
+            let physical = self.sealed_physical_len(chunk_len);
+            let probe_ns = self.seal_probe_ns(chunk_len);
+            if physical < chunk_len {
+                self.chunks_compressed += 1;
+                self.compress_saved_bytes += chunk_len - physical;
+            }
             for &p in providers {
                 self.data_round_trips += 1;
                 // Lossy network model: swallowed frames cost the writer its
                 // I/O timeout (and a retried transmission) before the chunk
                 // finally lands.
-                let penalty = self.net_transfer_penalty(chunk_len);
-                let sent = client_out.schedule(t_ticket + penalty, chunk_len);
-                let charged = (chunk_len as f64 * self.slowdown(p)) as u64;
+                let penalty = self.net_transfer_penalty(chunk_len, physical);
+                let sent = client_out.schedule(t_ticket + probe_ns + penalty, physical);
+                let charged = (physical as f64 * self.slowdown(p)) as u64;
                 let done = self.provider_in[p.0 as usize].schedule(sent, charged);
                 t_chunks = t_chunks.max(done);
             }
@@ -1144,12 +1221,17 @@ impl SimulatedCluster {
         };
         self.data_round_trips += 1;
         self.bytes_copied += leaf.len;
+        // Providers ship the stored envelope verbatim — compressed chunks
+        // cross the wire at their sealed (physical) size and the reader
+        // decompresses once on receive; the materialised buffer above is
+        // the logical payload either way.
+        let physical = self.sealed_physical_len(leaf.len);
         // Lossy network model: a swallowed request or response frame stalls
         // this fetch for the reader's I/O timeout before the retry lands.
-        let penalty = self.net_transfer_penalty(leaf.len);
-        let charged = (leaf.len as f64 * self.slowdown(provider)) as u64;
+        let penalty = self.net_transfer_penalty(leaf.len, physical);
+        let charged = (physical as f64 * self.slowdown(provider)) as u64;
         let served = self.provider_out[provider.0 as usize].schedule(start_at + penalty, charged);
-        let done = client_in.schedule(served, leaf.len);
+        let done = client_in.schedule(served, physical);
         if let Some(chunk_cache) = chunk_cache {
             chunk_cache.lock().insert(leaf.chunk, leaf.len);
         }
@@ -1577,6 +1659,7 @@ mod tests {
                 OpKind::Append { len },
                 OpKind::Read { offset: 0, len },
             ]],
+            compressibility: 1.0,
         };
         let result = with_cache(64 << 20).run(&workload).unwrap();
         assert_eq!(result.failed_ops, 0);
@@ -1601,6 +1684,110 @@ mod tests {
             .concurrent_appends();
         let result = with_cache(0).run(&unaligned).unwrap();
         assert!(result.bytes_copied > 0);
+    }
+
+    fn with_codec(codec: ChunkCodec) -> SimulatedCluster {
+        SimulatedCluster::new(ClusterConfig {
+            data_providers: 16,
+            metadata_providers: 4,
+            chunk_codec: codec,
+            ..ClusterConfig::default()
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn fast_codec_on_a_compressible_corpus_cuts_wire_bytes_and_time() {
+        // Mixed readers/writers over a corpus that compresses to 40%: the
+        // Fast codec moves the same logical bytes in strictly fewer physical
+        // wire bytes and strictly less simulated time.
+        let workload = WorkloadBuilder::new(8)
+            .ops_per_client(2)
+            .op_size(8 << 20)
+            .chunk_size(1 << 20)
+            .compressibility(0.4)
+            .readers_during_writers();
+        let off = with_codec(ChunkCodec::Off).run(&workload).unwrap();
+        let fast = with_codec(ChunkCodec::Fast).run(&workload).unwrap();
+        assert_eq!(off.failed_ops, 0);
+        assert_eq!(fast.failed_ops, 0);
+        assert_eq!(
+            off.total_bytes, fast.total_bytes,
+            "the codec is invisible to payloads"
+        );
+        assert_eq!(off.data_round_trips, fast.data_round_trips);
+        // Codec Off never compresses and reports logical == physical.
+        assert_eq!(off.chunks_compressed, 0);
+        assert_eq!(off.compress_saved_bytes, 0);
+        assert_eq!(off.bytes_on_wire, off.bytes_on_wire_logical);
+        // Fast compresses every sealed chunk of this corpus and the physical
+        // wire traffic drops well below the logical traffic.
+        assert!(fast.chunks_compressed > 0);
+        assert!(fast.compress_saved_bytes > 0);
+        assert_eq!(fast.bytes_on_wire_logical, off.bytes_on_wire_logical);
+        assert!(
+            (fast.bytes_on_wire as f64) < 0.5 * fast.bytes_on_wire_logical as f64,
+            "a 0.4 corpus must roughly halve the wire bytes ({} vs {})",
+            fast.bytes_on_wire,
+            fast.bytes_on_wire_logical
+        );
+        assert!(
+            fast.makespan_ns < off.makespan_ns,
+            "fewer wire bytes must buy simulated time ({} vs {} ns)",
+            fast.makespan_ns,
+            off.makespan_ns
+        );
+    }
+
+    #[test]
+    fn incompressible_corpus_under_fast_ships_verbatim_and_pays_only_the_probe() {
+        // The default workload is incompressible: Fast seals every chunk
+        // through the verbatim passthrough, the wire sees exactly the Off
+        // traffic, and the only cost is the sealing scan's CPU time.
+        let workload = small_workload(4);
+        let off = with_codec(ChunkCodec::Off).run(&workload).unwrap();
+        let fast = with_codec(ChunkCodec::Fast).run(&workload).unwrap();
+        assert_eq!(off.total_bytes, fast.total_bytes);
+        assert_eq!(
+            fast.chunks_compressed, 0,
+            "passthroughs are not compressions"
+        );
+        assert_eq!(fast.compress_saved_bytes, 0);
+        assert_eq!(fast.bytes_on_wire, off.bytes_on_wire);
+        assert_eq!(fast.bytes_on_wire, fast.bytes_on_wire_logical);
+        assert!(
+            fast.makespan_ns >= off.makespan_ns,
+            "the probe cannot make the run faster"
+        );
+        // The probe is a bounded scan, not a second transfer: well under 10%
+        // of the Off makespan at these sizes.
+        assert!(
+            fast.makespan_ns as f64 <= off.makespan_ns as f64 * 1.1,
+            "the passthrough must cap the probe's cost ({} vs {} ns)",
+            fast.makespan_ns,
+            off.makespan_ns
+        );
+    }
+
+    #[test]
+    fn codec_savings_compound_with_replication_and_rescans() {
+        // Replicated writes push the sealed envelope per replica: the wire
+        // saving multiplies, while chunks_compressed counts each chunk once.
+        let workload = WorkloadBuilder::new(2)
+            .ops_per_client(2)
+            .op_size(4 << 20)
+            .chunk_size(1 << 20)
+            .replication(2)
+            .compressibility(0.5)
+            .concurrent_appends();
+        let fast = with_codec(ChunkCodec::Fast).run(&workload).unwrap();
+        assert_eq!(fast.failed_ops, 0);
+        assert_eq!(fast.chunks_compressed, 2 * 2 * 4, "one seal per chunk");
+        assert_eq!(fast.data_round_trips, 2 * 2 * 4 * 2, "one push per replica");
+        // Each chunk saved ~0.5 MiB at sealing; on the wire that saving is
+        // paid out once per replica push.
+        let wire_saving = fast.bytes_on_wire_logical - fast.bytes_on_wire;
+        assert_eq!(wire_saving, 2 * fast.compress_saved_bytes);
     }
 
     fn lossy_plan(drop: f64) -> FaultPlan {

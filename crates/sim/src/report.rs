@@ -29,9 +29,18 @@ pub struct SeriesPoint {
     pub cache_hits: u64,
     /// Chunk fetches that missed the cache and hit the providers.
     pub cache_misses: u64,
-    /// Bytes moved on the wire (payload plus frame overhead, retries
-    /// included); zero for analytic series and in-process measurements.
+    /// Bytes physically moved on the wire (payload as the codec shipped it,
+    /// plus frame overhead, retries included); zero for analytic series and
+    /// in-process measurements.
     pub bytes_on_wire: u64,
+    /// Bytes logically moved on the wire (decompressed payload sizes plus
+    /// the same overhead); equals `bytes_on_wire` when the chunk codec is
+    /// off. Zero for analytic series.
+    pub bytes_on_wire_logical: u64,
+    /// Chunks the `Fast` chunk codec actually shrank at sealing time.
+    pub chunks_compressed: u64,
+    /// Logical-minus-physical bytes the codec saved at sealing time.
+    pub compress_saved_bytes: u64,
     /// Frames put on the wire (retries included); zero for analytic series
     /// and in-process measurements.
     pub frames_sent: u64,
@@ -98,6 +107,9 @@ impl SweepSeries {
             cache_hits: 0,
             cache_misses: 0,
             bytes_on_wire: 0,
+            bytes_on_wire_logical: 0,
+            chunks_compressed: 0,
+            compress_saved_bytes: 0,
             frames_sent: 0,
             frames_coalesced: 0,
         });
@@ -121,6 +133,9 @@ impl SweepSeries {
             cache_hits: result.cache_hits,
             cache_misses: result.cache_misses,
             bytes_on_wire: result.bytes_on_wire,
+            bytes_on_wire_logical: result.bytes_on_wire_logical,
+            chunks_compressed: result.chunks_compressed,
+            compress_saved_bytes: result.compress_saved_bytes,
             frames_sent: result.frames_sent,
             frames_coalesced: result.frames_coalesced,
         });

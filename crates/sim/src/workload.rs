@@ -74,6 +74,12 @@ pub struct Workload {
     /// Per-client operation sequences; `ops[c]` is executed sequentially by
     /// client `c`, different clients run concurrently.
     pub ops: Vec<Vec<OpKind>>,
+    /// Fraction of its original size a chunk of this corpus occupies after
+    /// the `Fast` chunk codec ran over it: `1.0` (the default) models an
+    /// incompressible corpus (the codec's passthrough escape fires and the
+    /// chunk ships verbatim), `0.4` a text-like corpus that compresses to
+    /// 40 %. Ignored entirely when the cluster runs with the codec `Off`.
+    pub compressibility: f64,
 }
 
 impl Workload {
@@ -103,6 +109,7 @@ pub struct WorkloadBuilder {
     chunk_size: u64,
     replication: usize,
     seed: u64,
+    compressibility: f64,
 }
 
 impl WorkloadBuilder {
@@ -117,6 +124,7 @@ impl WorkloadBuilder {
             chunk_size: 1 << 20,
             replication: 1,
             seed: 42,
+            compressibility: 1.0,
         }
     }
 
@@ -155,6 +163,16 @@ impl WorkloadBuilder {
         self
     }
 
+    /// Sets the corpus compressibility: the fraction of its original size a
+    /// chunk occupies after the `Fast` codec (clamped to `(0, 1]`; `1.0`
+    /// models an incompressible corpus). Only meaningful on clusters
+    /// configured with `chunk_codec: Fast`.
+    #[must_use]
+    pub fn compressibility(mut self, ratio: f64) -> Self {
+        self.compressibility = ratio.clamp(f64::MIN_POSITIVE, 1.0);
+        self
+    }
+
     fn blob_config(&self) -> BlobConfig {
         BlobConfig {
             chunk_size: self.chunk_size,
@@ -175,6 +193,7 @@ impl WorkloadBuilder {
             blob_config: self.blob_config(),
             preload_bytes: 0,
             ops,
+            compressibility: self.compressibility,
         }
     }
 
@@ -198,6 +217,7 @@ impl WorkloadBuilder {
             blob_config: self.blob_config(),
             preload_bytes: 0,
             ops,
+            compressibility: self.compressibility,
         }
     }
 
@@ -222,6 +242,7 @@ impl WorkloadBuilder {
             blob_config: self.blob_config(),
             preload_bytes: total,
             ops,
+            compressibility: self.compressibility,
         }
     }
 
@@ -257,6 +278,7 @@ impl WorkloadBuilder {
             blob_config: self.blob_config(),
             preload_bytes: region * readers as u64,
             ops,
+            compressibility: self.compressibility,
         }
     }
 
@@ -284,6 +306,7 @@ impl WorkloadBuilder {
             blob_config: self.blob_config(),
             preload_bytes: self.op_size,
             ops,
+            compressibility: self.compressibility,
         }
     }
 
@@ -320,6 +343,7 @@ impl WorkloadBuilder {
             blob_config: self.blob_config(),
             preload_bytes: blob_bytes,
             ops,
+            compressibility: self.compressibility,
         }
     }
 }
@@ -421,6 +445,18 @@ mod tests {
         assert_eq!(a.ops, b.ops);
         let c = WorkloadBuilder::new(3).seed(8).random_mixed(0.5, 1 << 20);
         assert_ne!(a.ops, c.ops);
+    }
+
+    #[test]
+    fn compressibility_defaults_to_incompressible_and_clamps() {
+        let w = WorkloadBuilder::new(1).concurrent_appends();
+        assert_eq!(w.compressibility, 1.0);
+        let w = WorkloadBuilder::new(1)
+            .compressibility(0.4)
+            .disjoint_reads();
+        assert_eq!(w.compressibility, 0.4);
+        let w = WorkloadBuilder::new(1).compressibility(7.0).rescan_reads();
+        assert_eq!(w.compressibility, 1.0);
     }
 
     #[test]

@@ -24,6 +24,26 @@ pub enum PlacementPolicy {
     QosAware,
 }
 
+/// Per-chunk compression codec applied by writing clients.
+///
+/// The codec sits behind the chunk envelope ([`crate::wire::ChunkEnvelope`]):
+/// a writing client compresses each chunk once, providers store and ship the
+/// compressed envelope verbatim (they never re-code), and a reading client
+/// decompresses once. A chunk that does not shrink is shipped verbatim — the
+/// passthrough escape that keeps incompressible data on the refcounted
+/// zero-copy path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum ChunkCodec {
+    /// No compression at all: every chunk ships verbatim (the default, and
+    /// byte-identical to the pre-codec protocol on the wire).
+    #[default]
+    Off,
+    /// The in-house LZ4-style block codec (`blobseer-codec`): fast greedy
+    /// matching tuned for throughput, applied only when it actually shrinks
+    /// the chunk.
+    Fast,
+}
+
 /// How clients of a deployment reach the chunk and metadata planes.
 ///
 /// The protocol above the transport is identical in every case — the same
@@ -316,6 +336,17 @@ pub struct ClusterConfig {
     /// couple of wedged handlers. The pool bounds server-side concurrency at
     /// O(`rpc_workers`) threads no matter how many clients connect.
     pub rpc_workers: usize,
+    /// Per-chunk compression codec applied by writing clients (at rest and
+    /// on the wire). `Off` — the default — is byte-identical to the
+    /// pre-codec protocol; `Fast` compresses each chunk once at the writing
+    /// client when compression wins and ships it verbatim otherwise.
+    pub chunk_codec: ChunkCodec,
+    /// Whether all clients created by one cluster handle share a single
+    /// node-local chunk cache instead of each getting a private one. Chunk
+    /// immutability makes the shared cache coherence-free; a chunk fetched
+    /// by one client of the process then hits for every other. Off by
+    /// default so per-client cache statistics stay attributable.
+    pub shared_chunk_cache: bool,
     /// TCP connections each client opens per server endpoint. One multiplexed
     /// socket (the default) is enough for most workloads because requests are
     /// demultiplexed by id; raising this spreads a client's request stream
@@ -432,6 +463,8 @@ impl Default for ClusterConfig {
             // of wedging the scheduler. Fault-injection tests dial it down.
             io_timeout_ms: 30_000,
             rpc_workers: 0,
+            chunk_codec: ChunkCodec::Off,
+            shared_chunk_cache: false,
             connections_per_endpoint: 1,
         }
     }

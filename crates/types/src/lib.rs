@@ -21,10 +21,10 @@ pub mod wire;
 
 pub use buf::{zero_page, BlobSlice, ZERO_PAGE_BYTES};
 pub use config::{
-    BlobConfig, ClusterConfig, FaultPlan, PlacementPolicy, RetryPolicy, TransportKind,
+    BlobConfig, ChunkCodec, ClusterConfig, FaultPlan, PlacementPolicy, RetryPolicy, TransportKind,
 };
 pub use error::{BlobError, Result};
 pub use id::{BlobId, ChunkId, ClientId, IdGenerator, MetaNodeId, ProviderId, Version};
 pub use metrics::{TransportMetrics, TransportStats};
 pub use range::{chunk_span, ByteRange, ChunkSlot};
-pub use wire::{Wire, WireReader, WireWriter};
+pub use wire::{ChunkEncoding, ChunkEnvelope, EnvelopeHeader, Wire, WireReader, WireWriter};

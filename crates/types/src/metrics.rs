@@ -24,6 +24,8 @@ pub struct TransportMetrics {
     chunk_rx_payload_bytes: AtomicU64,
     retries: AtomicU64,
     frames_coalesced: AtomicU64,
+    bytes_on_wire_logical: AtomicU64,
+    bytes_on_wire_physical: AtomicU64,
 }
 
 /// Point-in-time snapshot of a [`TransportMetrics`].
@@ -47,6 +49,13 @@ pub struct TransportStats {
     /// paying for their own: a batch of `n` frames flushed by one vectored
     /// write contributes `n - 1`. Zero means every frame went out alone.
     pub frames_coalesced: u64,
+    /// Chunk payload bytes moved across the wire counted at their *logical*
+    /// (decompressed) size — what the application asked to move.
+    pub bytes_on_wire_logical: u64,
+    /// Chunk payload bytes moved across the wire counted at their
+    /// *physical* (possibly compressed) size — what actually crossed.
+    /// `logical - physical` is the traffic the chunk codec saved.
+    pub bytes_on_wire_physical: u64,
 }
 
 impl TransportMetrics {
@@ -86,6 +95,15 @@ impl TransportMetrics {
         self.frames_coalesced.fetch_add(extra, Ordering::Relaxed);
     }
 
+    /// Records one chunk payload crossing the wire (either direction) at
+    /// both its logical (decompressed) and physical (shipped) sizes.
+    pub fn chunk_on_wire(&self, logical_bytes: u64, physical_bytes: u64) {
+        self.bytes_on_wire_logical
+            .fetch_add(logical_bytes, Ordering::Relaxed);
+        self.bytes_on_wire_physical
+            .fetch_add(physical_bytes, Ordering::Relaxed);
+    }
+
     /// Snapshot of every counter.
     #[must_use]
     pub fn snapshot(&self) -> TransportStats {
@@ -96,6 +114,8 @@ impl TransportMetrics {
             chunk_rx_payload_bytes: self.chunk_rx_payload_bytes.load(Ordering::Relaxed),
             retries: self.retries.load(Ordering::Relaxed),
             frames_coalesced: self.frames_coalesced.load(Ordering::Relaxed),
+            bytes_on_wire_logical: self.bytes_on_wire_logical.load(Ordering::Relaxed),
+            bytes_on_wire_physical: self.bytes_on_wire_physical.load(Ordering::Relaxed),
         }
     }
 }
@@ -113,6 +133,8 @@ mod tests {
         m.chunk_payload_received(40);
         m.retried();
         m.frames_coalesced(3);
+        m.chunk_on_wire(1000, 400);
+        m.chunk_on_wire(100, 100);
         let s = m.snapshot();
         assert_eq!(s.frames_sent, 2);
         assert_eq!(s.frames_received, 1);
@@ -120,6 +142,8 @@ mod tests {
         assert_eq!(s.chunk_rx_payload_bytes, 40);
         assert_eq!(s.retries, 1);
         assert_eq!(s.frames_coalesced, 3);
+        assert_eq!(s.bytes_on_wire_logical, 1100);
+        assert_eq!(s.bytes_on_wire_physical, 500);
     }
 
     #[test]

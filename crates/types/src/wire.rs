@@ -433,6 +433,190 @@ impl Wire for BlobError {
     }
 }
 
+/// How one chunk's payload is encoded inside its [`ChunkEnvelope`].
+///
+/// The tag travels in frame *headers* (one byte) while the payload itself
+/// rides raw after the header, so tagging costs the zero-copy data plane
+/// nothing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ChunkEncoding {
+    /// The payload is the chunk's bytes, untouched. The passthrough used by
+    /// `ChunkCodec::Off` and by `Fast` when compression does not win.
+    Verbatim,
+    /// The payload is an LZ4-style compressed block (`blobseer-codec`);
+    /// `logical_len` names the decompressed size.
+    Lz,
+}
+
+impl Wire for ChunkEncoding {
+    fn put(&self, w: &mut WireWriter) {
+        w.put_u8(match self {
+            ChunkEncoding::Verbatim => 0,
+            ChunkEncoding::Lz => 1,
+        });
+    }
+    fn get(r: &mut WireReader<'_>) -> Result<Self> {
+        match r.get_u8()? {
+            0 => Ok(ChunkEncoding::Verbatim),
+            1 => Ok(ChunkEncoding::Lz),
+            tag => Err(BlobError::Transport(format!(
+                "wire: unknown chunk encoding tag {tag}"
+            ))),
+        }
+    }
+}
+
+/// One chunk as it is stored and shipped: an encoding tag, the logical
+/// (decompressed) length, and the physical payload as refcounted [`Bytes`].
+///
+/// The envelope is deliberately *not* a byte concatenation of header and
+/// payload — the two travel separately (header through the wire codec,
+/// payload raw after it), so wrapping a chunk in an envelope never copies
+/// the payload. A writing client seals chunks once; providers store and
+/// forward envelopes verbatim; a reading client opens them once.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChunkEnvelope {
+    encoding: ChunkEncoding,
+    logical_len: u64,
+    payload: Bytes,
+}
+
+impl ChunkEnvelope {
+    /// Wraps raw chunk bytes untouched (refcount bump, no copy).
+    #[must_use]
+    pub fn verbatim(data: Bytes) -> Self {
+        ChunkEnvelope {
+            encoding: ChunkEncoding::Verbatim,
+            logical_len: data.len() as u64,
+            payload: data,
+        }
+    }
+
+    /// Wraps a compressed block whose decompressed size is `logical_len`.
+    #[must_use]
+    pub fn compressed(logical_len: u64, payload: Bytes) -> Self {
+        ChunkEnvelope {
+            encoding: ChunkEncoding::Lz,
+            logical_len,
+            payload,
+        }
+    }
+
+    /// How the payload is encoded.
+    #[must_use]
+    pub fn encoding(&self) -> ChunkEncoding {
+        self.encoding
+    }
+
+    /// Whether the payload is the chunk's bytes untouched.
+    #[must_use]
+    pub fn is_verbatim(&self) -> bool {
+        self.encoding == ChunkEncoding::Verbatim
+    }
+
+    /// The chunk's decompressed size in bytes.
+    #[must_use]
+    pub fn logical_len(&self) -> u64 {
+        self.logical_len
+    }
+
+    /// The payload's size as stored and shipped.
+    #[must_use]
+    pub fn physical_len(&self) -> u64 {
+        self.payload.len() as u64
+    }
+
+    /// The physical payload (compressed for [`ChunkEncoding::Lz`]).
+    #[must_use]
+    pub fn payload(&self) -> &Bytes {
+        &self.payload
+    }
+
+    /// Consumes the envelope, yielding the physical payload.
+    #[must_use]
+    pub fn into_payload(self) -> Bytes {
+        self.payload
+    }
+
+    /// The header that travels inside a frame while the payload rides raw.
+    #[must_use]
+    pub fn header(&self) -> EnvelopeHeader {
+        EnvelopeHeader {
+            encoding: self.encoding,
+            logical_len: self.logical_len,
+            physical_len: self.payload.len() as u32,
+        }
+    }
+}
+
+impl From<Bytes> for ChunkEnvelope {
+    fn from(data: Bytes) -> Self {
+        ChunkEnvelope::verbatim(data)
+    }
+}
+
+impl From<Vec<u8>> for ChunkEnvelope {
+    fn from(data: Vec<u8>) -> Self {
+        ChunkEnvelope::verbatim(Bytes::from(data))
+    }
+}
+
+/// The frame-header half of a [`ChunkEnvelope`]: everything but the payload
+/// bytes. Decoded headers are rejoined with the frame's raw payload through
+/// [`EnvelopeHeader::into_envelope`], which validates the declared physical
+/// length against what actually arrived.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EnvelopeHeader {
+    /// Encoding of the payload the header describes.
+    pub encoding: ChunkEncoding,
+    /// Decompressed size of the chunk.
+    pub logical_len: u64,
+    /// Declared payload size, checked against the received frame.
+    pub physical_len: u32,
+}
+
+impl EnvelopeHeader {
+    /// Rejoins the header with its frame's payload, validating the declared
+    /// length (a mismatch means the frame was mangled in flight — the
+    /// retryable transport error class).
+    pub fn into_envelope(self, payload: Bytes) -> Result<ChunkEnvelope> {
+        if self.physical_len as usize != payload.len() {
+            return Err(BlobError::Transport(format!(
+                "chunk envelope declared {} payload bytes but carried {}",
+                self.physical_len,
+                payload.len()
+            )));
+        }
+        if self.encoding == ChunkEncoding::Verbatim && self.logical_len != payload.len() as u64 {
+            return Err(BlobError::Transport(format!(
+                "verbatim chunk envelope declared {} logical bytes but carried {}",
+                self.logical_len,
+                payload.len()
+            )));
+        }
+        Ok(ChunkEnvelope {
+            encoding: self.encoding,
+            logical_len: self.logical_len,
+            payload,
+        })
+    }
+}
+
+impl Wire for EnvelopeHeader {
+    fn put(&self, w: &mut WireWriter) {
+        w.put(&self.encoding);
+        w.put_u64(self.logical_len);
+        w.put_u32(self.physical_len);
+    }
+    fn get(r: &mut WireReader<'_>) -> Result<Self> {
+        Ok(EnvelopeHeader {
+            encoding: r.get()?,
+            logical_len: r.get_u64()?,
+            physical_len: r.get_u32()?,
+        })
+    }
+}
+
 /// Encodes one value into a fresh buffer (convenience for single-value
 /// headers).
 #[must_use]
@@ -568,6 +752,61 @@ mod tests {
             decode::<Vec<u64>>(&w.finish()),
             Err(BlobError::Transport(_))
         ));
+    }
+
+    #[test]
+    fn envelope_headers_roundtrip_and_rejoin_payloads() {
+        let env = ChunkEnvelope::verbatim(Bytes::from_static(b"hello"));
+        assert!(env.is_verbatim());
+        assert_eq!(env.logical_len(), 5);
+        assert_eq!(env.physical_len(), 5);
+        let header = decode::<EnvelopeHeader>(&encode(&env.header())).unwrap();
+        let rejoined = header.into_envelope(env.payload().clone()).unwrap();
+        assert_eq!(rejoined, env);
+
+        let packed = ChunkEnvelope::compressed(100, Bytes::from_static(b"zz"));
+        assert!(!packed.is_verbatim());
+        assert_eq!(packed.logical_len(), 100);
+        assert_eq!(packed.physical_len(), 2);
+        let header = decode::<EnvelopeHeader>(&encode(&packed.header())).unwrap();
+        assert_eq!(
+            header.into_envelope(packed.payload().clone()).unwrap(),
+            packed
+        );
+    }
+
+    #[test]
+    fn envelope_headers_reject_mismatched_payloads() {
+        let env = ChunkEnvelope::verbatim(Bytes::from_static(b"hello"));
+        // Declared physical length disagrees with what arrived.
+        assert!(matches!(
+            env.header().into_envelope(Bytes::from_static(b"hell")),
+            Err(BlobError::Transport(_))
+        ));
+        // A verbatim header whose logical length disagrees with the payload.
+        let lying = EnvelopeHeader {
+            encoding: ChunkEncoding::Verbatim,
+            logical_len: 9,
+            physical_len: 5,
+        };
+        assert!(matches!(
+            lying.into_envelope(Bytes::from_static(b"hello")),
+            Err(BlobError::Transport(_))
+        ));
+        // An unknown encoding tag on the wire.
+        assert!(matches!(
+            decode::<ChunkEncoding>(&[7]),
+            Err(BlobError::Transport(_))
+        ));
+    }
+
+    #[test]
+    fn envelopes_wrap_bytes_without_copying() {
+        let data = Bytes::from(vec![3u8; 4096]);
+        let env = ChunkEnvelope::from(data.clone());
+        // Same allocation: the envelope holds a refcount bump, not a copy.
+        assert_eq!(env.payload().as_ptr(), data.as_ptr());
+        assert_eq!(env.into_payload().as_ptr(), data.as_ptr());
     }
 
     #[test]
