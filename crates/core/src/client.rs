@@ -37,7 +37,7 @@
 use crate::chunk_cache::ChunkCache;
 use crate::services::{ChunkService, MetadataService};
 use crate::transfer::{Completion, TransferPool};
-use crate::version_manager::{VersionManager, WriteKind, WriteTicket};
+use crate::version_manager::{NodeArtifact, VersionManager, VersionPin, WriteKind, WriteTicket};
 use blobseer_meta::{
     build_repair_metadata, build_write_metadata_chained, collect_leaves, collect_leaves_streaming,
     publish_metadata, LeafNode, SnapshotDescriptor, WriteMetadata, WriteSummary, WrittenChunk,
@@ -367,7 +367,7 @@ impl BlobClient {
         offset: u64,
         len: u64,
     ) -> Result<BlobSlice> {
-        let snapshot = self.snapshot(blob, version)?;
+        let (snapshot, _pin) = self.pinned_snapshot(blob, version)?;
         let range = ByteRange::new(offset, len);
         if range.is_empty() {
             return Ok(BlobSlice::empty());
@@ -446,7 +446,7 @@ impl BlobClient {
         version: Option<Version>,
         range: ByteRange,
     ) -> Result<Vec<(ByteRange, Vec<ProviderId>)>> {
-        let snapshot = self.snapshot(blob, version)?;
+        let (snapshot, _pin) = self.pinned_snapshot(blob, version)?;
         let leaves = collect_leaves(self.metadata.as_ref(), blob, &snapshot, range)?;
         Ok(leaves
             .into_iter()
@@ -463,10 +463,19 @@ impl BlobClient {
     /// public so that an external failure detector can repair writes whose
     /// client process disappeared entirely.
     pub fn repair_aborted_write(&self, ticket: &WriteTicket) -> Result<()> {
+        self.weave_repair(ticket).map(|_| ())
+    }
+
+    /// Weaves and publishes repair metadata for `ticket`, returning the
+    /// node artifacts of the repair weave so the abort path can report them
+    /// to the version manager's lifecycle tracker.
+    fn weave_repair(&self, ticket: &WriteTicket) -> Result<Vec<NodeArtifact>> {
         let summary = Self::ticket_summary(ticket);
         let repair =
             build_repair_metadata(self.metadata.as_ref(), ticket.blob, &ticket.chain, &summary)?;
-        publish_metadata(self.metadata.as_ref(), repair)
+        let artifacts = NodeArtifact::from_metadata(&repair);
+        publish_metadata(self.metadata.as_ref(), repair)?;
+        Ok(artifacts)
     }
 
     // ----- internals -------------------------------------------------------
@@ -476,6 +485,20 @@ impl BlobClient {
             Some(v) => self.version_manager.snapshot(blob, v),
             None => self.version_manager.latest_snapshot(blob),
         }
+    }
+
+    /// Resolves a snapshot descriptor *and pins its version* for the
+    /// duration of a read. The pin (released when the guard drops, on every
+    /// exit path) is what makes reads and the lifecycle sweeper safely
+    /// concurrent: the sweeper defers everything a pinned version reaches,
+    /// so a reader that won the race against eviction never observes a torn
+    /// tree or a vanished chunk.
+    fn pinned_snapshot(
+        &self,
+        blob: BlobId,
+        version: Option<Version>,
+    ) -> Result<(SnapshotDescriptor, VersionPin)> {
+        self.version_manager.pin_snapshot(blob, version)
     }
 
     fn ticket_summary(ticket: &WriteTicket) -> WriteSummary {
@@ -499,8 +522,12 @@ impl BlobClient {
         let config = self.version_manager.blob_config(blob)?;
         let ticket = self.version_manager.assign_ticket(blob, kind)?;
         match self.perform_write(blob, &config, &ticket, &data) {
-            Ok(meta_nodes) => {
-                self.version_manager.complete_write(blob, ticket.version)?;
+            Ok((meta_nodes, artifacts)) => {
+                self.version_manager.complete_write_with_artifacts(
+                    blob,
+                    ticket.version,
+                    Some(artifacts),
+                )?;
                 self.stats
                     .meta_nodes_written
                     .fetch_add(meta_nodes as u64, Ordering::Relaxed);
@@ -509,9 +536,15 @@ impl BlobClient {
             Err(err) => {
                 // Make the claimed version harmless before giving up so that
                 // concurrent writers and later readers are never blocked by
-                // this failure.
-                let _ = self.repair_aborted_write(&ticket);
-                let _ = self.version_manager.abort_write(blob, ticket.version);
+                // this failure. If even the repair weave fails, report no
+                // artifacts: the version's nodes are then simply never
+                // considered for collection.
+                let artifacts = self.weave_repair(&ticket).ok();
+                let _ = self.version_manager.abort_write_with_artifacts(
+                    blob,
+                    ticket.version,
+                    artifacts,
+                );
                 self.stats.failed_writes.fetch_add(1, Ordering::Relaxed);
                 Err(err)
             }
@@ -535,7 +568,11 @@ impl BlobClient {
         config: &BlobConfig,
         ticket: &WriteTicket,
         data: &Bytes,
-    ) -> Result<usize> {
+    ) -> Result<(usize, Vec<NodeArtifact>)> {
+        // Per-blob codec override: a blob created with an explicit codec
+        // seals with it regardless of what the cluster default (this
+        // client's codec) says.
+        let codec = config.chunk_codec.unwrap_or(self.codec);
         let chunk_size = ticket.chunk_size;
         let write_range = ByteRange::new(ticket.offset, data.len() as u64);
         let slots = chunk_span(write_range, chunk_size);
@@ -565,7 +602,7 @@ impl BlobClient {
                 payloads.push(self.slot_payload(blob, config, ticket, data, slot, known_size)?);
             }
             let completions =
-                self.submit_store_groups(blob, write_tag, &slots, payloads, &placement);
+                self.submit_store_groups(blob, write_tag, codec, &slots, payloads, &placement);
             let chunks = self.join_stores(completions)?;
             build_write_metadata_chained(
                 self.metadata.as_ref(),
@@ -593,7 +630,7 @@ impl BlobClient {
                 payloads.push(payload);
             }
             let completions =
-                self.submit_store_groups(blob, write_tag, &slots, payloads, &placement);
+                self.submit_store_groups(blob, write_tag, codec, &slots, payloads, &placement);
             // Weave while the chunk transfers are in flight: the node keys
             // and chunk ids are deterministic, only the providers of a leaf
             // can differ if a store falls back mid-transfer.
@@ -615,10 +652,12 @@ impl BlobClient {
 
         // Upload the woven nodes in one batched, shard-grouped publish, then
         // hand the version back to the version manager for in-order
-        // publication (done by the caller).
+        // publication (done by the caller). The artifacts feed the
+        // lifecycle tracker at completion time.
         let node_count = meta.node_count();
+        let artifacts = NodeArtifact::from_metadata(&meta);
         publish_metadata(self.metadata.as_ref(), meta)?;
-        Ok(node_count)
+        Ok((node_count, artifacts))
     }
 
     /// Assembles the payload of one touched chunk slot.
@@ -795,6 +834,7 @@ impl BlobClient {
         &self,
         blob: BlobId,
         write_tag: u64,
+        codec: ChunkCodec,
         slots: &[ChunkSlot],
         payloads: Vec<Bytes>,
         placement: &[Vec<ProviderId>],
@@ -816,7 +856,7 @@ impl BlobClient {
             .into_iter()
             .map(|replicas| {
                 let items = groups.remove(replicas).expect("group exists");
-                self.submit_store_group(blob, write_tag, items, replicas.clone())
+                self.submit_store_group(blob, write_tag, codec, items, replicas.clone())
             })
             .collect()
     }
@@ -843,12 +883,12 @@ impl BlobClient {
         &self,
         blob: BlobId,
         write_tag: u64,
+        codec: ChunkCodec,
         items: Vec<(u64, Bytes)>,
         replicas: Vec<ProviderId>,
     ) -> Completion<Result<Vec<WrittenChunk>>> {
         let service = Arc::clone(&self.chunks);
         let cache = self.chunk_cache.clone();
-        let codec = self.codec;
         let stats = Arc::clone(&self.stats);
         let primary = replicas.first().copied();
         self.transfers.submit_for(primary, move || {

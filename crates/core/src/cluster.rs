@@ -10,6 +10,7 @@
 
 use crate::chunk_cache::ChunkCache;
 use crate::client::BlobClient;
+use crate::lifecycle::LifecycleEngine;
 use crate::services::{ChunkService, InProcessChunkService, MetadataService};
 use crate::transfer::TransferPool;
 use crate::version_manager::VersionManager;
@@ -43,6 +44,11 @@ pub struct Cluster {
     /// sharing safe without any coherence protocol). `None` otherwise —
     /// each client then gets its own private cache.
     shared_chunk_cache: Option<Arc<ChunkCache>>,
+    /// The version lifecycle engine (snapshot flattening + GC), configured
+    /// from `ClusterConfig::{retained_versions, flatten_threshold}`. Always
+    /// constructed; with both knobs at zero it simply never flattens or
+    /// evicts, and sweeping finds nothing.
+    lifecycle: Arc<LifecycleEngine>,
 }
 
 impl Cluster {
@@ -97,15 +103,33 @@ impl Cluster {
             Arc::new(TransferPool::new(config.transfer_workers).with_join_timeout(join_timeout));
         let shared_chunk_cache = (config.shared_chunk_cache && config.chunk_cache_bytes > 0)
             .then(|| Arc::new(ChunkCache::new(config.chunk_cache_bytes)));
+        let version_manager = Arc::new(VersionManager::new());
+        let chunk_service = Arc::new(InProcessChunkService::new(provider_manager, providers));
+        let lifecycle = Arc::new(LifecycleEngine::new(
+            Arc::clone(&version_manager),
+            Arc::clone(&metadata) as Arc<dyn MetadataService>,
+            Arc::clone(&chunk_service) as Arc<dyn ChunkService>,
+            config.retained_versions,
+            config.flatten_threshold,
+        ));
         Ok(Cluster {
-            version_manager: Arc::new(VersionManager::new()),
-            chunk_service: Arc::new(InProcessChunkService::new(provider_manager, providers)),
+            version_manager,
+            chunk_service,
             metadata,
             transfers,
             client_ids: IdGenerator::starting_at(1),
             shared_chunk_cache,
+            lifecycle,
             config,
         })
+    }
+
+    /// The version lifecycle engine. Drive it manually
+    /// ([`LifecycleEngine::run_once`]) or start its background thread
+    /// ([`LifecycleEngine::start`]); it is inert until one of the two
+    /// lifecycle knobs in [`ClusterConfig`] is non-zero.
+    pub fn lifecycle(&self) -> &Arc<LifecycleEngine> {
+        &self.lifecycle
     }
 
     /// The configuration the cluster was started with.

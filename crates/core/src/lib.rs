@@ -37,6 +37,7 @@
 pub mod chunk_cache;
 pub mod client;
 pub mod cluster;
+pub mod lifecycle;
 pub mod services;
 pub mod transfer;
 pub mod version_manager;
@@ -44,6 +45,10 @@ pub mod version_manager;
 pub use chunk_cache::{ChunkCache, ChunkCacheStats};
 pub use client::{BlobClient, ClientStats};
 pub use cluster::Cluster;
+pub use lifecycle::{LifecycleEngine, LifecycleStats};
 pub use services::{ChunkService, InProcessChunkService, MetadataService};
 pub use transfer::{TransferPool, TransferPoolStats};
-pub use version_manager::{VersionManager, VersionManagerStats, WriteKind, WriteTicket};
+pub use version_manager::{
+    ArtifactKind, CollectableSet, FlattenTicket, NodeArtifact, VersionManager, VersionManagerStats,
+    VersionPin, WriteKind, WriteTicket,
+};

@@ -8,12 +8,15 @@
 //! which is what makes the whole protocol linearizable while keeping readers
 //! and writers fully decoupled.
 
-use blobseer_meta::{ReferenceChain, SnapshotDescriptor, WriteSummary};
+use blobseer_meta::{
+    NodeBody, NodeKey, ReferenceChain, SnapshotDescriptor, WriteMetadata, WriteSummary,
+};
 use blobseer_types::{
-    chunk_span, BlobConfig, BlobError, BlobId, ByteRange, IdGenerator, Result, Version,
+    chunk_span, BlobConfig, BlobError, BlobId, ByteRange, ChunkId, IdGenerator, ProviderId, Result,
+    Version,
 };
 use parking_lot::{Mutex, RwLock};
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -78,11 +81,133 @@ pub struct VersionManagerStats {
     pub aborted: u64,
 }
 
+/// What a published version stored at one tree range, as reported by the
+/// writer when it completes. The version manager folds these into its
+/// per-range reference chains, which is how the lifecycle sweeper learns
+/// which tree nodes and chunks became unreachable once old versions are
+/// evicted.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeArtifact {
+    /// Range the node covers (single slot for leaves).
+    pub range: ByteRange,
+    /// What kind of node was stored there.
+    pub kind: ArtifactKind,
+}
+
+/// The node kinds the lifecycle tracker distinguishes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArtifactKind {
+    /// A forwarding node woven by repair: it borrows the node currently
+    /// resolving at its range, so it *extends* that node's liveness instead
+    /// of superseding it.
+    Alias,
+    /// An inner tree node (supersedes the previous node at its range).
+    Inner,
+    /// A leaf. `chunk` names the sealed chunk the leaf points at together
+    /// with its replica set; `None` for hole leaves.
+    Leaf {
+        /// Chunk referenced by the leaf, with the providers storing it.
+        chunk: Option<(ChunkId, Vec<ProviderId>)>,
+    },
+}
+
+impl NodeArtifact {
+    /// Derives the artifact list of a woven write from its metadata. Called
+    /// by writers (and the flattener) right before completing a version, so
+    /// the version manager learns exactly which nodes the version stored
+    /// without ever touching the metadata plane itself.
+    #[must_use]
+    pub fn from_metadata(meta: &WriteMetadata) -> Vec<NodeArtifact> {
+        meta.nodes
+            .iter()
+            .map(|(key, body)| NodeArtifact {
+                range: key.range,
+                kind: match body {
+                    NodeBody::Alias(_) => ArtifactKind::Alias,
+                    NodeBody::Inner(_) => ArtifactKind::Inner,
+                    NodeBody::Leaf(leaf) => ArtifactKind::Leaf {
+                        chunk: if leaf.is_hole() {
+                            None
+                        } else {
+                            Some((leaf.chunk, leaf.providers.clone()))
+                        },
+                    },
+                },
+            })
+            .collect()
+    }
+}
+
+/// Everything the lifecycle sweeper may reclaim right now for one blob:
+/// tree nodes and chunks unreachable from every retained (or pinned)
+/// version. Produced by [`VersionManager::take_collectable`]; once taken,
+/// the entries are the caller's responsibility to delete.
+#[derive(Debug, Clone, Default)]
+pub struct CollectableSet {
+    /// Metadata-tree nodes to delete.
+    pub nodes: Vec<NodeKey>,
+    /// Chunks to remove, each with the providers believed to store it.
+    pub chunks: Vec<(ChunkId, Vec<ProviderId>)>,
+}
+
+impl CollectableSet {
+    /// Whether there is nothing to reclaim.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty() && self.chunks.is_empty()
+    }
+}
+
+/// Ticket handed to the flattener: the version reserved for the consolidated
+/// snapshot and the published snapshot it materialises.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FlattenTicket {
+    /// Blob being flattened.
+    pub blob: BlobId,
+    /// Version reserved for the flat snapshot.
+    pub version: Version,
+    /// Snapshot whose content the flat version reproduces.
+    pub source: SnapshotDescriptor,
+}
+
+/// The versions whose trees reference the node currently resolving at one
+/// range: the first entry created the node, later entries are repair aliases
+/// borrowing it. The group lives until a later version stores a fresh
+/// (non-alias) node at the same range.
+#[derive(Debug, Clone)]
+struct ChainGroup {
+    versions: Vec<Version>,
+    /// Chunk the current leaf at this range points at (leaves only).
+    chunk: Option<(ChunkId, Vec<ProviderId>)>,
+}
+
+/// A chain group superseded by a newer node: its nodes (and chunk, unless
+/// ownership was transferred to the superseding leaf) are referenced only by
+/// versions older than `superseded_at`, so they become garbage as soon as
+/// every such version is evicted and unpinned.
+#[derive(Debug, Clone)]
+struct RetiredGroup {
+    /// First version whose tree no longer references this group.
+    superseded_at: u64,
+    range: ByteRange,
+    versions: Vec<Version>,
+    chunk: Option<(ChunkId, Vec<ProviderId>)>,
+}
+
 #[derive(Debug, Clone)]
 struct PendingWrite {
     summary: WriteSummary,
     complete: bool,
     aborted: bool,
+    /// Nodes the writer stored, reported at completion time (`None` until
+    /// then, and forever for writers predating lifecycle tracking — those
+    /// versions simply never become collectable, which is safe).
+    artifacts: Option<Vec<NodeArtifact>>,
+    /// Whether this version is a flat (consolidated) snapshot.
+    flat: bool,
+    /// Version pinned on behalf of this writer while it weaves (its chain
+    /// base, or the flatten source); unpinned when the write settles.
+    base_pin: Option<u64>,
 }
 
 #[derive(Debug)]
@@ -97,6 +222,24 @@ struct BlobState {
     /// Blob size after the latest assigned (not necessarily published)
     /// write; appends are placed here.
     assigned_size: u64,
+    /// Live chain group per tree range: which versions reference the node
+    /// currently resolving there.
+    ranges: HashMap<ByteRange, ChainGroup>,
+    /// Superseded chain groups awaiting collection, oldest supersession
+    /// first (supersession versions are published in order, so pushing at
+    /// the back keeps the queue sorted).
+    retired: VecDeque<RetiredGroup>,
+    /// Oldest version still readable; versions below were evicted by the
+    /// retention policy and answer [`BlobError::VersionRetired`].
+    first_retained: u64,
+    /// Reference counts of versions pinned by in-flight readers and
+    /// writers. The sweep floor never passes a pinned version, which is
+    /// what lets the sweeper run concurrently with reads without ever
+    /// blocking them.
+    pins: HashMap<u64, usize>,
+    /// Non-flat versions published since the last flat snapshot — the
+    /// flattener's trigger counter.
+    writes_since_flatten: u64,
 }
 
 impl BlobState {
@@ -106,6 +249,11 @@ impl BlobState {
             pending: BTreeMap::new(),
             next_version: 1,
             assigned_size: 0,
+            ranges: HashMap::new(),
+            retired: VecDeque::new(),
+            first_retained: 0,
+            pins: HashMap::new(),
+            writes_since_flatten: 0,
             config,
         }
     }
@@ -137,24 +285,122 @@ impl BlobState {
         let mut published = 0;
         loop {
             let next = self.published.len() as u64;
-            match self.pending.get(&next) {
-                Some(p) if p.aborted || p.complete => {
-                    // Aborted writes publish with the size they claimed: the
-                    // repair weave (see `blobseer_meta::build_repair_metadata`)
-                    // gives the claimed-but-unwritten region hole semantics,
-                    // so readers of the aborted version see zeros there.
-                    self.published.push(SnapshotDescriptor {
-                        version: Version(next),
-                        size: p.summary.size,
-                        chunk_size: p.summary.chunk_size,
-                    });
-                    self.pending.remove(&next);
-                    published += 1;
-                }
-                _ => break,
+            let ready = matches!(self.pending.get(&next), Some(p) if p.aborted || p.complete);
+            if !ready {
+                break;
             }
+            let p = self.pending.remove(&next).expect("readiness checked above");
+            // Aborted writes publish with the size they claimed: the repair
+            // weave (see `blobseer_meta::build_repair_metadata`) gives the
+            // claimed-but-unwritten region hole semantics, so readers of the
+            // aborted version see zeros there. An aborted flatten is just an
+            // ordinary no-op version — its descriptor must not claim flat
+            // layout.
+            self.published.push(SnapshotDescriptor {
+                version: Version(next),
+                size: p.summary.size,
+                chunk_size: p.summary.chunk_size,
+                flat: p.flat && !p.aborted,
+            });
+            // Artifacts must be folded into the range chains strictly in
+            // version order — supersession is defined by "next creator at
+            // the same range" — which publishing in order gives us for free.
+            if let Some(artifacts) = p.artifacts {
+                for artifact in &artifacts {
+                    self.apply_artifact(Version(next), artifact);
+                }
+            }
+            if p.flat && !p.aborted {
+                self.writes_since_flatten = 0;
+            } else {
+                self.writes_since_flatten += 1;
+            }
+            published += 1;
         }
         published
+    }
+
+    /// Folds one stored node into the per-range chain groups.
+    fn apply_artifact(&mut self, version: Version, artifact: &NodeArtifact) {
+        if let ArtifactKind::Alias = artifact.kind {
+            // The alias borrows whatever currently resolves at this range:
+            // the live group gains one referencing version and nothing
+            // retires.
+            self.ranges
+                .entry(artifact.range)
+                .or_insert_with(|| ChainGroup {
+                    versions: Vec::new(),
+                    chunk: None,
+                })
+                .versions
+                .push(version);
+            return;
+        }
+        let chunk = match &artifact.kind {
+            ArtifactKind::Leaf { chunk } => chunk.clone(),
+            _ => None,
+        };
+        let new_chunk_id = chunk.as_ref().map(|(id, _)| *id);
+        let replaced = self.ranges.insert(
+            artifact.range,
+            ChainGroup {
+                versions: vec![version],
+                chunk,
+            },
+        );
+        if let Some(mut old) = replaced {
+            // Chunk ownership transfer: a flat snapshot (or an idempotent
+            // rewrite) stores a fresh leaf pointing at the *same* chunk the
+            // superseded leaf held. The chunk stays live with the new
+            // group; only the old tree nodes retire.
+            if new_chunk_id.is_some() && old.chunk.as_ref().map(|(id, _)| *id) == new_chunk_id {
+                old.chunk = None;
+            }
+            self.retired.push_back(RetiredGroup {
+                superseded_at: version.0,
+                range: artifact.range,
+                versions: old.versions,
+                chunk: old.chunk,
+            });
+        }
+    }
+
+    /// Looks up a published snapshot descriptor, honouring the retention
+    /// gate.
+    fn lookup(&self, blob: BlobId, version: Version) -> Result<SnapshotDescriptor> {
+        if version.0 < self.first_retained {
+            return Err(BlobError::VersionRetired {
+                blob,
+                version,
+                first_retained: Version(self.first_retained),
+            });
+        }
+        self.published
+            .get(version.0 as usize)
+            .copied()
+            .ok_or(BlobError::UnknownVersion(blob, version))
+    }
+
+    fn pin(&mut self, version: u64) {
+        *self.pins.entry(version).or_insert(0) += 1;
+    }
+
+    fn unpin(&mut self, version: u64) {
+        if let Some(count) = self.pins.get_mut(&version) {
+            *count -= 1;
+            if *count == 0 {
+                self.pins.remove(&version);
+            }
+        }
+    }
+
+    /// The version below which nothing is readable any more: everything
+    /// retired before it is collectable. Pins hold the floor down, which is
+    /// the whole no-blocking story — a sweep racing a reader merely defers
+    /// the reader's nodes to a later pass.
+    fn sweep_floor(&self) -> u64 {
+        let min_pin = self.pins.keys().copied().min().unwrap_or(u64::MAX);
+        self.first_retained.min(min_pin)
     }
 }
 
@@ -259,6 +505,13 @@ impl VersionManager {
         state.next_version += 1;
         state.assigned_size = new_size;
 
+        // Pin the chain base for the duration of the weave: the writer
+        // descends the base tree to find borrowable subtrees, and the pin
+        // keeps the sweeper from collecting those nodes under its feet even
+        // if the retention policy evicts the base version meanwhile.
+        let base_version = chain.base.version.0;
+        state.pin(base_version);
+
         // Slot-aligned region the write rebuilds leaves for (used by later
         // writers to link against this one before it finishes weaving).
         let slots = chunk_span(ByteRange::new(offset, len), chunk_size);
@@ -276,6 +529,9 @@ impl VersionManager {
                 },
                 complete: false,
                 aborted: false,
+                artifacts: None,
+                flat: false,
+                base_pin: Some(base_version),
             },
         );
         self.stat_tickets.fetch_add(1, Ordering::Relaxed);
@@ -293,7 +549,24 @@ impl VersionManager {
     /// Reports that the metadata of `version` is fully woven. The version
     /// manager publishes it (and any directly following complete versions)
     /// in order; returns the latest published version after the call.
+    ///
+    /// Versions completed through this entry point report no node
+    /// artifacts, so the lifecycle tracker never considers their nodes (or
+    /// the nodes they superseded) collectable — safe, merely unreclaimed.
+    /// Lifecycle-aware writers use
+    /// [`VersionManager::complete_write_with_artifacts`].
     pub fn complete_write(&self, blob: BlobId, version: Version) -> Result<Version> {
+        self.complete_write_with_artifacts(blob, version, None)
+    }
+
+    /// [`VersionManager::complete_write`] plus the list of nodes the writer
+    /// stored, which feeds snapshot flattening and garbage collection.
+    pub fn complete_write_with_artifacts(
+        &self,
+        blob: BlobId,
+        version: Version,
+        artifacts: Option<Vec<NodeArtifact>>,
+    ) -> Result<Version> {
         let state = self.state(blob)?;
         let mut state = state.lock();
         let pending = state
@@ -301,6 +574,10 @@ impl VersionManager {
             .get_mut(&version.0)
             .ok_or(BlobError::UnknownVersion(blob, version))?;
         pending.complete = true;
+        pending.artifacts = artifacts;
+        if let Some(base) = pending.base_pin.take() {
+            state.unpin(base);
+        }
         let published = state.advance_publication();
         self.stat_published.fetch_add(published, Ordering::Relaxed);
         Ok(state.latest_published().version)
@@ -316,6 +593,18 @@ impl VersionManager {
     /// the aborted version before calling this. See
     /// [`crate::client::BlobClient::repair_aborted_write`].
     pub fn abort_write(&self, blob: BlobId, version: Version) -> Result<Version> {
+        self.abort_write_with_artifacts(blob, version, None)
+    }
+
+    /// [`VersionManager::abort_write`] plus the artifacts of the *repair*
+    /// weave published on the aborted writer's behalf (aliases extending
+    /// their borrowed subtrees, hole leaves for the claimed region).
+    pub fn abort_write_with_artifacts(
+        &self,
+        blob: BlobId,
+        version: Version,
+        artifacts: Option<Vec<NodeArtifact>>,
+    ) -> Result<Version> {
         let state = self.state(blob)?;
         let mut state = state.lock();
         let pending = state
@@ -323,6 +612,10 @@ impl VersionManager {
             .get_mut(&version.0)
             .ok_or(BlobError::UnknownVersion(blob, version))?;
         pending.aborted = true;
+        pending.artifacts = artifacts;
+        if let Some(base) = pending.base_pin.take() {
+            state.unpin(base);
+        }
         let published = state.advance_publication();
         self.stat_aborted.fetch_add(1, Ordering::Relaxed);
         self.stat_published.fetch_add(published, Ordering::Relaxed);
@@ -347,14 +640,167 @@ impl VersionManager {
         Ok(self.state(blob)?.lock().latest_published())
     }
 
-    /// Descriptor of an arbitrary published snapshot.
+    /// Descriptor of an arbitrary published snapshot. Versions evicted by
+    /// the retention policy answer [`BlobError::VersionRetired`].
     pub fn snapshot(&self, blob: BlobId, version: Version) -> Result<SnapshotDescriptor> {
-        self.state(blob)?
-            .lock()
-            .published
-            .get(version.0 as usize)
-            .copied()
-            .ok_or(BlobError::UnknownVersion(blob, version))
+        self.state(blob)?.lock().lookup(blob, version)
+    }
+
+    /// Resolves a snapshot descriptor and pins its version until the
+    /// returned guard drops. Readers take a pin before descending the
+    /// metadata tree: while any pin on a version is held, the lifecycle
+    /// sweeper will not collect a single node or chunk that version can
+    /// reach, so a concurrent sweep can never tear an in-flight read.
+    /// `version: None` pins the latest published snapshot.
+    pub fn pin_snapshot(
+        self: &Arc<Self>,
+        blob: BlobId,
+        version: Option<Version>,
+    ) -> Result<(SnapshotDescriptor, VersionPin)> {
+        let state = self.state(blob)?;
+        let mut state = state.lock();
+        let descriptor = match version {
+            Some(v) => state.lookup(blob, v)?,
+            None => state.latest_published(),
+        };
+        state.pin(descriptor.version.0);
+        Ok((
+            descriptor,
+            VersionPin {
+                vm: Arc::clone(self),
+                blob,
+                version: descriptor.version,
+            },
+        ))
+    }
+
+    fn unpin_version(&self, blob: BlobId, version: Version) {
+        // The blob may have vanished (nothing deletes blobs today, but stay
+        // graceful): a missing state simply means there is nothing to
+        // unpin.
+        if let Ok(state) = self.state(blob) {
+            state.lock().unpin(version.0);
+        }
+    }
+
+    /// Reserves the next version for a flat (consolidated) snapshot of the
+    /// latest published state and pins the source snapshot for the
+    /// flattener. Returns `Ok(None)` when flattening is not possible or
+    /// pointless right now: writes are in flight (the flattener needs a
+    /// quiescent chain so it never blocks or is raced by writers — it
+    /// simply retries later), the blob is empty, or the latest snapshot is
+    /// already flat.
+    ///
+    /// The flattener materialises every slot of the blob as a leaf of the
+    /// reserved version (chunks are re-referenced, not copied) and then
+    /// completes the version like any writer. Readers of a flat snapshot
+    /// address its leaves directly instead of descending the tree.
+    pub fn begin_flatten(&self, blob: BlobId) -> Result<Option<FlattenTicket>> {
+        let state = self.state(blob)?;
+        let mut state = state.lock();
+        if !state.pending.is_empty() {
+            return Ok(None);
+        }
+        let source = state.latest_published();
+        if source.size == 0 || source.flat {
+            return Ok(None);
+        }
+        let chunk_size = source.chunk_size;
+        let version = Version(state.next_version);
+        state.next_version += 1;
+        state.pin(source.version.0);
+        let slots = chunk_span(ByteRange::new(0, source.size), chunk_size);
+        let first = slots.first().expect("non-empty blob has slots");
+        let written_slots =
+            ByteRange::new(first.index * chunk_size, slots.len() as u64 * chunk_size);
+        state.pending.insert(
+            version.0,
+            PendingWrite {
+                summary: WriteSummary {
+                    version,
+                    written_slots,
+                    size: source.size,
+                    chunk_size,
+                },
+                complete: false,
+                aborted: false,
+                artifacts: None,
+                flat: true,
+                base_pin: Some(source.version.0),
+            },
+        );
+        self.stat_tickets.fetch_add(1, Ordering::Relaxed);
+        Ok(Some(FlattenTicket {
+            blob,
+            version,
+            source,
+        }))
+    }
+
+    /// Number of non-flat versions published since the last flat snapshot
+    /// (the flattener's trigger counter).
+    pub fn writes_since_flatten(&self, blob: BlobId) -> Result<u64> {
+        Ok(self.state(blob)?.lock().writes_since_flatten)
+    }
+
+    /// Applies the retention policy: evicts every published version older
+    /// than the newest `retained` ones. Evicted versions answer
+    /// [`BlobError::VersionRetired`] to new readers; in-flight readers that
+    /// pinned an evicted version before the call keep reading safely,
+    /// because the sweeper honours their pins. `retained == 0` means "keep
+    /// everything" (the policy is off). Returns the oldest retained
+    /// version.
+    pub fn evict_versions(&self, blob: BlobId, retained: usize) -> Result<Version> {
+        let state = self.state(blob)?;
+        let mut state = state.lock();
+        if retained > 0 {
+            let target = state.published.len().saturating_sub(retained) as u64;
+            if target > state.first_retained {
+                state.first_retained = target;
+            }
+        }
+        Ok(Version(state.first_retained))
+    }
+
+    /// Oldest version still readable for the blob.
+    pub fn first_retained(&self, blob: BlobId) -> Result<Version> {
+        Ok(Version(self.state(blob)?.lock().first_retained))
+    }
+
+    /// Drains every retired chain group that no retained or pinned version
+    /// can reach and returns its nodes and chunks for deletion. The caller
+    /// (the lifecycle sweeper) performs the actual deletes *without any
+    /// version-manager lock held*; once taken, the entries will not be
+    /// handed out again, so a sweeper that dies mid-delete leaks at worst —
+    /// it never double-frees live data.
+    pub fn take_collectable(&self, blob: BlobId) -> Result<CollectableSet> {
+        let state = self.state(blob)?;
+        let mut state = state.lock();
+        let floor = state.sweep_floor();
+        let mut set = CollectableSet::default();
+        while let Some(front) = state.retired.front() {
+            if front.superseded_at > floor {
+                break;
+            }
+            let group = state.retired.pop_front().expect("front checked above");
+            for version in group.versions {
+                set.nodes.push(NodeKey {
+                    blob,
+                    version,
+                    range: group.range,
+                });
+            }
+            if let Some(chunk) = group.chunk {
+                set.chunks.push(chunk);
+            }
+        }
+        Ok(set)
+    }
+
+    /// Number of retired chain groups currently queued (collectable or
+    /// not), for monitoring and tests.
+    pub fn retired_group_count(&self, blob: BlobId) -> Result<usize> {
+        Ok(self.state(blob)?.lock().retired.len())
     }
 
     /// Every published version of the blob, oldest first.
@@ -383,6 +829,30 @@ impl VersionManager {
 impl Default for VersionManager {
     fn default() -> Self {
         VersionManager::new()
+    }
+}
+
+/// RAII pin on one published version, handed out by
+/// [`VersionManager::pin_snapshot`]. While alive, the lifecycle sweeper
+/// treats the version (and everything its tree reaches) as live; dropping
+/// the pin releases it.
+pub struct VersionPin {
+    vm: Arc<VersionManager>,
+    blob: BlobId,
+    version: Version,
+}
+
+impl VersionPin {
+    /// The pinned version.
+    #[must_use]
+    pub fn version(&self) -> Version {
+        self.version
+    }
+}
+
+impl Drop for VersionPin {
+    fn drop(&mut self) {
+        self.vm.unpin_version(self.blob, self.version);
     }
 }
 
@@ -717,5 +1187,265 @@ mod tests {
         assert_eq!(vm.latest_snapshot(blob).unwrap().version, Version(400));
         assert_eq!(vm.latest_snapshot(blob).unwrap().size, 400 * CS);
         assert_eq!(vm.pending_count(blob).unwrap(), 0);
+    }
+
+    // ------------------------------------------------------------------
+    // Version lifecycle: retention, pins, flattening, collection.
+    // ------------------------------------------------------------------
+
+    fn chunk_for(blob: BlobId, tag: u64) -> ChunkId {
+        ChunkId {
+            blob,
+            write_tag: tag,
+            slot: 0,
+        }
+    }
+
+    fn leaf_artifact(chunk: Option<ChunkId>) -> Vec<NodeArtifact> {
+        vec![NodeArtifact {
+            range: ByteRange::new(0, CS),
+            kind: ArtifactKind::Leaf {
+                chunk: chunk.map(|c| (c, vec![ProviderId(0)])),
+            },
+        }]
+    }
+
+    /// Publishes one slot-0 overwrite carrying a leaf artifact for `chunk`.
+    fn publish_leaf(vm: &VersionManager, blob: BlobId, chunk: Option<ChunkId>) -> Version {
+        let t = vm
+            .assign_ticket(blob, WriteKind::Write { offset: 0, len: CS })
+            .unwrap();
+        vm.complete_write_with_artifacts(blob, t.version, Some(leaf_artifact(chunk)))
+            .unwrap();
+        t.version
+    }
+
+    #[test]
+    fn eviction_gates_reads_and_is_monotone() {
+        let (vm, blob) = vm_with_blob();
+        for _ in 0..4 {
+            publish_leaf(&vm, blob, None);
+        }
+        // retained == 0 means the policy is off: nothing is evicted.
+        assert_eq!(vm.evict_versions(blob, 0).unwrap(), Version::ZERO);
+        assert!(vm.snapshot(blob, Version::ZERO).is_ok());
+        // Keep the newest two of the five published versions (0..=4).
+        assert_eq!(vm.evict_versions(blob, 2).unwrap(), Version(3));
+        assert_eq!(vm.first_retained(blob).unwrap(), Version(3));
+        for evicted in 0..3 {
+            assert!(matches!(
+                vm.snapshot(blob, Version(evicted)),
+                Err(BlobError::VersionRetired { .. })
+            ));
+        }
+        assert!(vm.snapshot(blob, Version(3)).is_ok());
+        assert!(vm.snapshot(blob, Version(4)).is_ok());
+        // A wider window later never resurrects evicted versions: the
+        // retention floor only moves forward.
+        assert_eq!(vm.evict_versions(blob, 100).unwrap(), Version(3));
+        assert!(matches!(
+            vm.snapshot(blob, Version(2)),
+            Err(BlobError::VersionRetired { .. })
+        ));
+    }
+
+    #[test]
+    fn supersession_retires_nodes_and_chunks() {
+        let (vm, blob) = vm_with_blob();
+        let old_chunk = chunk_for(blob, 1);
+        let v1 = publish_leaf(&vm, blob, Some(old_chunk));
+        publish_leaf(&vm, blob, Some(chunk_for(blob, 2)));
+        assert_eq!(vm.retired_group_count(blob).unwrap(), 1);
+        // The superseding version (2) is still below the sweep floor until
+        // eviction passes it: nothing is collectable yet.
+        assert!(vm.take_collectable(blob).unwrap().is_empty());
+        vm.evict_versions(blob, 1).unwrap();
+        let set = vm.take_collectable(blob).unwrap();
+        assert_eq!(
+            set.nodes,
+            vec![NodeKey {
+                blob,
+                version: v1,
+                range: ByteRange::new(0, CS),
+            }]
+        );
+        assert_eq!(set.chunks.len(), 1);
+        assert_eq!(set.chunks[0].0, old_chunk);
+        // Collection is single-shot: once taken, the entries are gone.
+        assert!(vm.take_collectable(blob).unwrap().is_empty());
+        assert_eq!(vm.retired_group_count(blob).unwrap(), 0);
+    }
+
+    #[test]
+    fn reader_pins_defer_collection_without_blocking_it() {
+        let vm = Arc::new(VersionManager::new());
+        let blob = vm.create_blob(BlobConfig::new(CS, 1).unwrap()).unwrap();
+        let v1 = publish_leaf(&vm, blob, Some(chunk_for(blob, 1)));
+        let (descriptor, pin) = vm.pin_snapshot(blob, Some(v1)).unwrap();
+        assert_eq!(descriptor.version, v1);
+        assert_eq!(pin.version(), v1);
+        publish_leaf(&vm, blob, Some(chunk_for(blob, 2)));
+        vm.evict_versions(blob, 1).unwrap();
+        // The reader pinned v1 before eviction: its group stays uncollectable
+        // (the sweeper defers, it never waits), and the pinned version keeps
+        // answering lookups for in-flight use.
+        assert!(vm.take_collectable(blob).unwrap().is_empty());
+        assert_eq!(vm.retired_group_count(blob).unwrap(), 1);
+        drop(pin);
+        let set = vm.take_collectable(blob).unwrap();
+        assert_eq!(set.nodes.len(), 1);
+        assert_eq!(set.chunks.len(), 1);
+    }
+
+    #[test]
+    fn pinning_an_evicted_version_is_rejected() {
+        let vm = Arc::new(VersionManager::new());
+        let blob = vm.create_blob(BlobConfig::new(CS, 1).unwrap()).unwrap();
+        publish_leaf(&vm, blob, None);
+        publish_leaf(&vm, blob, None);
+        vm.evict_versions(blob, 1).unwrap();
+        assert!(matches!(
+            vm.pin_snapshot(blob, Some(Version(1))),
+            Err(BlobError::VersionRetired { .. })
+        ));
+        // The latest snapshot is always pinnable.
+        assert!(vm.pin_snapshot(blob, None).is_ok());
+    }
+
+    #[test]
+    fn repair_aliases_extend_the_borrowed_group() {
+        let (vm, blob) = vm_with_blob();
+        let old_chunk = chunk_for(blob, 1);
+        let v1 = publish_leaf(&vm, blob, Some(old_chunk));
+        // A repair weave aliases the range instead of storing a fresh node:
+        // the alias joins v1's group rather than retiring it.
+        let t = vm
+            .assign_ticket(blob, WriteKind::Write { offset: 0, len: CS })
+            .unwrap();
+        vm.complete_write_with_artifacts(
+            blob,
+            t.version,
+            Some(vec![NodeArtifact {
+                range: ByteRange::new(0, CS),
+                kind: ArtifactKind::Alias,
+            }]),
+        )
+        .unwrap();
+        assert_eq!(vm.retired_group_count(blob).unwrap(), 0);
+        // A later fresh leaf retires the whole group: both referencing
+        // versions' nodes plus the chunk go together.
+        let v3 = publish_leaf(&vm, blob, Some(chunk_for(blob, 2)));
+        vm.evict_versions(blob, 1).unwrap();
+        let set = vm.take_collectable(blob).unwrap();
+        let mut versions: Vec<Version> = set.nodes.iter().map(|k| k.version).collect();
+        versions.sort();
+        assert_eq!(versions, vec![v1, t.version]);
+        assert_eq!(set.chunks[0].0, old_chunk);
+        assert_eq!(vm.first_retained(blob).unwrap(), v3);
+    }
+
+    #[test]
+    fn chunk_ownership_transfers_to_a_re_referencing_leaf() {
+        let (vm, blob) = vm_with_blob();
+        let shared = chunk_for(blob, 1);
+        let v1 = publish_leaf(&vm, blob, Some(shared));
+        // A flat snapshot stores a fresh leaf pointing at the *same* chunk:
+        // the old tree node retires, the chunk stays live with the new leaf.
+        publish_leaf(&vm, blob, Some(shared));
+        vm.evict_versions(blob, 1).unwrap();
+        let set = vm.take_collectable(blob).unwrap();
+        assert_eq!(set.nodes.len(), 1);
+        assert_eq!(set.nodes[0].version, v1);
+        assert!(
+            set.chunks.is_empty(),
+            "a chunk re-referenced by the superseding leaf must never be freed"
+        );
+    }
+
+    #[test]
+    fn begin_flatten_requires_a_quiescent_non_flat_chain() {
+        let (vm, blob) = vm_with_blob();
+        // Empty blob: nothing to flatten.
+        assert!(vm.begin_flatten(blob).unwrap().is_none());
+        let t = vm
+            .assign_ticket(blob, WriteKind::Append { len: CS })
+            .unwrap();
+        // A write is in flight: the flattener backs off instead of racing it.
+        assert!(vm.begin_flatten(blob).unwrap().is_none());
+        vm.complete_write(blob, t.version).unwrap();
+        assert_eq!(vm.writes_since_flatten(blob).unwrap(), 1);
+        let ticket = vm.begin_flatten(blob).unwrap().expect("flatten possible");
+        assert_eq!(ticket.source.version, t.version);
+        assert_eq!(ticket.version, Version(2));
+        // The reserved flatten version occupies the chain: no second
+        // flattener can start meanwhile.
+        assert!(vm.begin_flatten(blob).unwrap().is_none());
+        vm.complete_write_with_artifacts(
+            blob,
+            ticket.version,
+            Some(leaf_artifact(Some(chunk_for(blob, 1)))),
+        )
+        .unwrap();
+        let latest = vm.latest_snapshot(blob).unwrap();
+        assert!(latest.flat, "a completed flatten publishes a flat snapshot");
+        assert_eq!(latest.size, CS);
+        assert_eq!(vm.writes_since_flatten(blob).unwrap(), 0);
+        // Already flat: flattening again is pointless.
+        assert!(vm.begin_flatten(blob).unwrap().is_none());
+    }
+
+    #[test]
+    fn aborted_flatten_publishes_a_non_flat_no_op() {
+        let (vm, blob) = vm_with_blob();
+        publish_leaf(&vm, blob, None);
+        let ticket = vm.begin_flatten(blob).unwrap().expect("flatten possible");
+        vm.abort_write(blob, ticket.version).unwrap();
+        let latest = vm.latest_snapshot(blob).unwrap();
+        assert_eq!(latest.version, ticket.version);
+        assert!(
+            !latest.flat,
+            "an aborted flatten must not claim flat layout"
+        );
+        // The counter keeps growing: the aborted attempt consolidated
+        // nothing.
+        assert_eq!(vm.writes_since_flatten(blob).unwrap(), 2);
+        // And the blob can be flattened again afterwards.
+        assert!(vm.begin_flatten(blob).unwrap().is_some());
+    }
+
+    #[test]
+    fn writer_base_pins_hold_the_sweep_floor_while_weaving() {
+        let (vm, blob) = vm_with_blob();
+        let old_chunk = chunk_for(blob, 1);
+        publish_leaf(&vm, blob, Some(old_chunk));
+        // A writer starts weaving against v1 (its chain base is pinned),
+        // then a faster writer supersedes the range and eviction passes v1.
+        let slow = vm
+            .assign_ticket(blob, WriteKind::Write { offset: 0, len: CS })
+            .unwrap();
+        assert_eq!(slow.chain.base.version, Version(1));
+        let fast = vm
+            .assign_ticket(blob, WriteKind::Write { offset: 0, len: CS })
+            .unwrap();
+        vm.complete_write_with_artifacts(
+            blob,
+            fast.version,
+            Some(leaf_artifact(Some(chunk_for(blob, 2)))),
+        )
+        .unwrap();
+        // fast cannot publish while slow is unsettled (in-order publication),
+        // so nothing retires yet; but even after slow settles and everything
+        // publishes, the base pin must have protected v1's nodes while the
+        // slow writer was still descending them.
+        assert!(vm.take_collectable(blob).unwrap().is_empty());
+        vm.complete_write_with_artifacts(blob, slow.version, Some(leaf_artifact(None)))
+            .unwrap();
+        vm.evict_versions(blob, 1).unwrap();
+        let set = vm.take_collectable(blob).unwrap();
+        // Both superseded groups (v1's leaf via slow's hole leaf, slow's via
+        // fast's) are reclaimed now that no writer pins the chain.
+        assert_eq!(set.nodes.len(), 2);
+        assert_eq!(set.chunks.len(), 1);
+        assert_eq!(set.chunks[0].0, old_chunk);
     }
 }

@@ -230,6 +230,46 @@ where
         Ok(())
     }
 
+    /// Removes a whole batch of keys from every replica responsible for
+    /// them, grouped by owning node: one round-trip per owning node per
+    /// replica rank, however many keys the batch holds. Returns the number
+    /// of keys that were present on at least one live replica.
+    ///
+    /// Absent keys and dead replicas are skipped silently — the lifecycle
+    /// sweeps issuing these removals are idempotent, and a replica that was
+    /// down merely keeps an unreachable (harmless) copy.
+    pub fn remove_batch(&self, keys: &[K]) -> usize {
+        if keys.is_empty() {
+            return 0;
+        }
+        let routes: Vec<Vec<MetaNodeId>> = keys.iter().map(|k| self.route(k)).collect();
+        let nodes = self.nodes.read();
+        let mut removed = vec![false; keys.len()];
+        for rank in 0..self.replication {
+            let mut groups: HashMap<MetaNodeId, Vec<usize>> = HashMap::new();
+            for (index, route) in routes.iter().enumerate() {
+                if let Some(id) = route.get(rank) {
+                    groups.entry(*id).or_default().push(index);
+                }
+            }
+            for (id, indices) in groups {
+                let Some(node) = nodes.get(&id) else {
+                    continue;
+                };
+                if !node.is_alive() {
+                    continue;
+                }
+                self.round_trips.fetch_add(1, Ordering::Relaxed);
+                for index in indices {
+                    if node.remove(&keys[index]).is_some() {
+                        removed[index] = true;
+                    }
+                }
+            }
+        }
+        removed.into_iter().filter(|r| *r).count()
+    }
+
     /// Fetches the value stored under `key`, trying replicas in routing
     /// order and skipping failed nodes.
     pub fn get(&self, key: &K) -> Option<V> {

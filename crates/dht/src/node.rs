@@ -129,6 +129,13 @@ where
             .collect()
     }
 
+    /// Removes the entry stored under `key`, returning its shared handle if
+    /// it was present. Removing an absent key is a harmless no-op (garbage
+    /// sweeps are idempotent and may race each other).
+    pub fn remove(&self, key: &K) -> Option<Arc<V>> {
+        self.entries.write().remove(key)
+    }
+
     /// Removes and returns every entry (used when the node leaves the ring).
     pub fn drain(&self) -> Vec<(K, Arc<V>)> {
         self.entries.write().drain().collect()

@@ -33,7 +33,7 @@ pub mod tree;
 pub use node::{ChildRef, InnerNode, LeafNode, NodeBody, NodeKey};
 pub use store::{CachedMetadataStore, InMemoryMetaStore, MetadataStore};
 pub use tree::{
-    build_repair_metadata, build_write_metadata, build_write_metadata_chained, collect_leaves,
-    collect_leaves_streaming, collect_leaves_unbatched, publish_metadata, LeafMapping,
-    ReferenceChain, SnapshotDescriptor, WriteMetadata, WriteSummary, WrittenChunk,
+    build_flat_metadata, build_repair_metadata, build_write_metadata, build_write_metadata_chained,
+    collect_leaves, collect_leaves_streaming, publish_metadata, LeafMapping, ReferenceChain,
+    SnapshotDescriptor, WriteMetadata, WriteSummary, WrittenChunk,
 };

@@ -53,6 +53,19 @@ pub trait MetadataStore: Send + Sync {
         Ok(())
     }
 
+    /// Deletes a batch of nodes, routing the batch once per owning node, and
+    /// returns the number of keys that were present and removed. Deleting an
+    /// absent key is a no-op — sweeps are idempotent and may race each other.
+    ///
+    /// Only the version-lifecycle sweeper calls this, and only for nodes
+    /// unreachable from every retained version; write-once semantics for
+    /// live keys are untouched. The default is a safe no-op: a store without
+    /// reclamation support never deletes anything (it merely never shrinks).
+    fn delete_nodes(&self, keys: &[NodeKey]) -> Result<usize> {
+        let _ = keys;
+        Ok(0)
+    }
+
     /// Number of nodes held (across all replicas for distributed stores the
     /// count is per-holding-node; used only for statistics and tests).
     fn node_count(&self) -> usize;
@@ -74,6 +87,10 @@ impl MetadataStore for Dht<NodeKey, NodeBody> {
 
     fn put_nodes(&self, nodes: Vec<(NodeKey, NodeBody)>) -> Result<()> {
         self.put_batch(nodes)
+    }
+
+    fn delete_nodes(&self, keys: &[NodeKey]) -> Result<usize> {
+        Ok(self.remove_batch(keys))
     }
 
     fn node_count(&self) -> usize {
@@ -136,6 +153,14 @@ impl MetadataStore for InMemoryMetaStore {
             }
         }
         Ok(())
+    }
+
+    fn delete_nodes(&self, keys: &[NodeKey]) -> Result<usize> {
+        let mut nodes = self.nodes.write();
+        Ok(keys
+            .iter()
+            .filter(|key| nodes.remove(key).is_some())
+            .count())
     }
 
     fn node_count(&self) -> usize {
@@ -248,6 +273,18 @@ impl<S: MetadataStore> MetadataStore for CachedMetadataStore<S> {
             cache.insert(key, body);
         }
         Ok(())
+    }
+
+    fn delete_nodes(&self, keys: &[NodeKey]) -> Result<usize> {
+        // Evict our own copies first so a failed inner delete can at worst
+        // leave extra nodes behind, never serve a node the sweeper removed.
+        {
+            let mut cache = self.cache.write();
+            for key in keys {
+                cache.remove(key);
+            }
+        }
+        self.inner.delete_nodes(keys)
     }
 
     fn node_count(&self) -> usize {

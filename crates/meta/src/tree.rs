@@ -21,6 +21,13 @@ pub struct SnapshotDescriptor {
     pub size: u64,
     /// Chunk size the blob was created with.
     pub chunk_size: u64,
+    /// Whether this snapshot is *flat*: produced by the lifecycle flattener,
+    /// with every leaf slot of the blob materialised at this very version
+    /// (explicit holes included). Readers of a flat snapshot skip the tree
+    /// descent entirely — leaf keys are deterministic `(version, slot)`
+    /// functions, so a read costs one batched round per owning metadata
+    /// shard regardless of tree depth or history length.
+    pub flat: bool,
 }
 
 impl SnapshotDescriptor {
@@ -32,6 +39,7 @@ impl SnapshotDescriptor {
             version: Version::ZERO,
             size: 0,
             chunk_size,
+            flat: false,
         }
     }
 
@@ -419,6 +427,7 @@ pub fn build_write_metadata_chained(
         version: new_version,
         size: new_size,
         chunk_size,
+        flat: false,
     };
     let root_range = descriptor
         .root_range()
@@ -565,6 +574,7 @@ pub fn build_repair_metadata(
             version: summary.version,
             size: summary.size,
             chunk_size,
+            flat: false,
         },
         nodes,
         root,
@@ -687,6 +697,12 @@ pub fn collect_leaves_streaming(
     let Some(root) = check_read(blob, snapshot, range)? else {
         return Ok(Vec::new());
     };
+    if snapshot.flat {
+        // Flat snapshots materialise every leaf slot at their own version,
+        // so the leaf keys are known without descending: one batched fetch,
+        // one round-trip per owning shard, independent of tree depth.
+        return collect_leaves_flat(store, blob, snapshot, range, &mut on_level);
+    }
     let mut out = Vec::new();
     let mut frontier = vec![root];
     while !frontier.is_empty() {
@@ -736,6 +752,163 @@ pub fn collect_leaves_streaming(
     // level late, so restore increasing offset order at the end.
     out.sort_by_key(|mapping| mapping.slot_range.offset);
     Ok(out)
+}
+
+/// The flat-snapshot read path: every leaf slot of a flat snapshot exists at
+/// the snapshot's own version, so the keys covering `range` are constructed
+/// directly and fetched in one batch.
+fn collect_leaves_flat(
+    store: &dyn MetadataStore,
+    blob: BlobId,
+    snapshot: &SnapshotDescriptor,
+    range: ByteRange,
+    on_level: &mut impl FnMut(&[LeafMapping]),
+) -> Result<Vec<LeafMapping>> {
+    let keys: Vec<NodeKey> = blobseer_types::chunk_span(range, snapshot.chunk_size)
+        .into_iter()
+        .map(|slot| NodeKey {
+            blob,
+            version: snapshot.version,
+            range: slot.range(),
+        })
+        .collect();
+    let bodies = store.get_nodes(&keys)?;
+    let mut out = Vec::with_capacity(keys.len());
+    for (key, body) in keys.iter().zip(bodies) {
+        let body = body.ok_or(BlobError::MissingMetadata {
+            blob,
+            version: key.version,
+            range: key.range,
+        })?;
+        match body {
+            NodeBody::Leaf(leaf) => out.push(LeafMapping {
+                slot_range: key.range,
+                leaf: if leaf.is_hole() { None } else { Some(leaf) },
+            }),
+            _ => {
+                return Err(BlobError::Internal(format!(
+                    "expected a leaf at {key} of a flat snapshot"
+                )))
+            }
+        }
+    }
+    on_level(&out);
+    Ok(out)
+}
+
+/// Weaves a *flat* consolidated snapshot of `source` at `flatten_version`: a
+/// self-contained tree whose every leaf slot is materialised at the new
+/// version — written leaves referencing the *same* chunks as the source
+/// snapshot, never-written slots recorded as explicit holes — plus the inner
+/// spine above them. Publishing it is one batched [`MetadataStore::put_nodes`]
+/// upload like any write; afterwards no node or chunk of any older version is
+/// needed to serve the flat snapshot, so once the retention policy evicts
+/// those versions the sweeper can reclaim their whole history.
+pub fn build_flat_metadata(
+    store: &dyn MetadataStore,
+    blob: BlobId,
+    source: &SnapshotDescriptor,
+    flatten_version: Version,
+) -> Result<WriteMetadata> {
+    if source.size == 0 {
+        return Err(BlobError::Internal(
+            "cannot flatten an empty snapshot".into(),
+        ));
+    }
+    if flatten_version <= source.version {
+        return Err(BlobError::Internal(format!(
+            "flatten version {flatten_version} must follow source {}",
+            source.version
+        )));
+    }
+    let chunk_size = source.chunk_size;
+    let leaves = collect_leaves(store, blob, source, ByteRange::new(0, source.size))?;
+    let mut by_slot: HashMap<u64, LeafNode> = HashMap::with_capacity(leaves.len());
+    for mapping in leaves {
+        if let Some(leaf) = mapping.leaf {
+            by_slot.insert(mapping.slot_range.offset / chunk_size, leaf);
+        }
+    }
+    let descriptor = SnapshotDescriptor {
+        version: flatten_version,
+        size: source.size,
+        chunk_size,
+        flat: true,
+    };
+    let root_range = descriptor
+        .root_range()
+        .ok_or_else(|| BlobError::Internal("flatten source lost its root".into()))?;
+    let mut nodes = Vec::new();
+    let root = flat_node(
+        blob,
+        flatten_version,
+        chunk_size,
+        descriptor.used_chunks(),
+        &by_slot,
+        root_range,
+        &mut nodes,
+    )
+    .ok_or_else(|| BlobError::Internal("flattening produced no root node".into()))?;
+    Ok(WriteMetadata {
+        descriptor,
+        nodes,
+        root,
+    })
+}
+
+/// Builds the flat-tree node covering `range` (children before parents, so
+/// the root lands last), or `None` for subtrees entirely past the used slots.
+fn flat_node(
+    blob: BlobId,
+    version: Version,
+    chunk_size: u64,
+    used_chunks: u64,
+    leaves: &HashMap<u64, LeafNode>,
+    range: ByteRange,
+    nodes: &mut Vec<(NodeKey, NodeBody)>,
+) -> Option<ChildRef> {
+    if range.offset >= used_chunks * chunk_size {
+        return None;
+    }
+    let body = if range.len == chunk_size {
+        let slot = range.offset / chunk_size;
+        NodeBody::Leaf(
+            leaves
+                .get(&slot)
+                .cloned()
+                .unwrap_or_else(|| LeafNode::hole(blob, slot)),
+        )
+    } else {
+        let (left_range, right_range) = range.split();
+        let left = flat_node(
+            blob,
+            version,
+            chunk_size,
+            used_chunks,
+            leaves,
+            left_range,
+            nodes,
+        );
+        let right = flat_node(
+            blob,
+            version,
+            chunk_size,
+            used_chunks,
+            leaves,
+            right_range,
+            nodes,
+        );
+        NodeBody::Inner(InnerNode { left, right })
+    };
+    nodes.push((
+        NodeKey {
+            blob,
+            version,
+            range,
+        },
+        body,
+    ));
+    Some(ChildRef { version, range })
 }
 
 /// Queues the node covering one half of a split range for the next level of
@@ -800,11 +973,13 @@ fn check_read(
 /// The node-at-a-time recursive variant of [`collect_leaves`]: one store
 /// lookup per tree node visited.
 ///
-/// Kept as the executable specification of the read descent — the
-/// differential tests assert that the batched frontier walk returns exactly
-/// what this does — and as the fallback of choice for stores where batching
-/// buys nothing.
-pub fn collect_leaves_unbatched(
+/// Kept *test-only* as the executable specification of the read descent —
+/// the differential tests assert that the batched frontier walk returns
+/// exactly what this does. Production builds compile only the frontier
+/// descent, so the legacy recursive walk can never silently diverge from it
+/// in shipped code.
+#[cfg(test)]
+pub(crate) fn collect_leaves_unbatched(
     store: &dyn MetadataStore,
     blob: BlobId,
     snapshot: &SnapshotDescriptor,
@@ -818,6 +993,7 @@ pub fn collect_leaves_unbatched(
     Ok(out)
 }
 
+#[cfg(test)]
 fn descend(
     store: &dyn MetadataStore,
     blob: BlobId,
@@ -860,6 +1036,7 @@ fn descend(
     Ok(())
 }
 
+#[cfg(test)]
 fn visit_half(
     store: &dyn MetadataStore,
     blob: BlobId,
@@ -976,6 +1153,7 @@ mod tests {
             version: Version(1),
             size: 5 * CS,
             chunk_size: CS,
+            flat: false,
         };
         assert_eq!(d.used_chunks(), 5);
         assert_eq!(d.expanse_chunks(), 8);
@@ -986,6 +1164,7 @@ mod tests {
             version: Version(1),
             size: CS + 1,
             chunk_size: CS,
+            flat: false,
         };
         assert_eq!(partial.used_chunks(), 2);
         assert_eq!(partial.expanse_chunks(), 2);

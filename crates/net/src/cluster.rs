@@ -21,7 +21,7 @@ use crate::reactor::{Reactor, WorkerPool};
 use crate::rpc::{ChunkHost, ManagerHost, MetaHost, RpcEndpoint, RpcHandler, RpcServer};
 use crate::services::{NetChunkService, NetMetadataService};
 use crate::transport::{channel_endpoint, tcp_endpoint, tcp_listener, Connect, FaultState};
-use blobseer_core::{BlobClient, Cluster, MetadataService};
+use blobseer_core::{BlobClient, ChunkService, Cluster, LifecycleEngine, MetadataService};
 use blobseer_meta::{CachedMetadataStore, MetadataStore};
 use blobseer_types::{
     BlobError, ClientId, ClusterConfig, FaultPlan, IdGenerator, ProviderId, Result, TransportKind,
@@ -51,6 +51,11 @@ pub struct NetCluster {
     /// The shared connection reactor (TCP transport only; the channel
     /// transport's blocking sources keep per-connection reader threads).
     reactor: Option<Arc<Reactor>>,
+    /// The deployment's lifecycle engine, wired over the *networked*
+    /// services: flattening writes metadata and the sweeper's deletes reach
+    /// providers and the metadata plane as RPCs, exactly like client
+    /// traffic.
+    lifecycle: Arc<LifecycleEngine>,
     client_ids: IdGenerator,
 }
 
@@ -151,6 +156,49 @@ impl NetCluster {
             provider_connectors.insert(id, connector);
         }
 
+        // The lifecycle engine is itself a wire client of the deployment:
+        // it holds its own endpoints (one per provider, one for metadata),
+        // so reclamation crosses the same RPC boundary reads and writes do
+        // — a networked provider frees bytes because a REMOVE_CHUNKS frame
+        // reached it, not because the sweeper shares its address space.
+        let config = inner.config();
+        let io_timeout = config.io_timeout();
+        let metrics = Arc::new(TransportMetrics::new());
+        let manager_ep = RpcEndpoint::new(
+            Arc::clone(&manager_connector),
+            io_timeout,
+            Arc::clone(&metrics),
+        );
+        let provider_eps = provider_connectors
+            .iter()
+            .map(|(&id, connector)| {
+                (
+                    id,
+                    RpcEndpoint::new(Arc::clone(connector), io_timeout, Arc::clone(&metrics)),
+                )
+            })
+            .collect();
+        let lifecycle_chunks = Arc::new(NetChunkService::new(
+            manager_ep,
+            provider_eps,
+            Arc::clone(&metrics),
+        ));
+        let lifecycle_meta = Arc::new(
+            NetMetadataService::new(RpcEndpoint::new(
+                Arc::clone(&meta_connector),
+                io_timeout,
+                metrics,
+            ))
+            .with_shards(config.metadata_providers),
+        );
+        let lifecycle = Arc::new(LifecycleEngine::new(
+            Arc::clone(inner.version_manager()),
+            lifecycle_meta as Arc<dyn MetadataService>,
+            lifecycle_chunks as Arc<dyn ChunkService>,
+            config.retained_versions,
+            config.flatten_threshold,
+        ));
+
         Ok(NetCluster {
             inner,
             manager_connector,
@@ -159,6 +207,7 @@ impl NetCluster {
             servers: Mutex::new(servers),
             pool,
             reactor,
+            lifecycle,
             client_ids: IdGenerator::starting_at(1),
         })
     }
@@ -172,6 +221,15 @@ impl NetCluster {
     /// The configuration the deployment was started with.
     pub fn config(&self) -> &ClusterConfig {
         self.inner.config()
+    }
+
+    /// The deployment's version-lifecycle engine (snapshot flattening +
+    /// chunk/metadata GC), wired over the networked services: its deletes
+    /// reach providers and the metadata plane through the same RPC protocol
+    /// clients use.
+    #[must_use]
+    pub fn lifecycle(&self) -> &Arc<LifecycleEngine> {
+        &self.lifecycle
     }
 
     /// Marks a data provider failed (it keeps its endpoint but rejects
@@ -284,9 +342,11 @@ impl NetCluster {
 
 impl Drop for NetCluster {
     fn drop(&mut self) {
-        // Teardown order matters: deregister the endpoints first, then stop
+        // Teardown order matters: park the lifecycle worker before its
+        // endpoints disappear, then deregister the endpoints, then stop
         // the reactor thread that owns their sockets, then shut the worker
         // pool down (any in-flight handler finishes on its own).
+        self.lifecycle.shutdown();
         for (_, mut server) in self.servers.lock().drain() {
             server.stop();
         }

@@ -58,12 +58,18 @@ pub mod op {
     pub const ALLOCATE: u8 = 0x03;
     /// List the providers currently believed alive.
     pub const LIVE_PROVIDERS: u8 = 0x04;
+    /// Remove a batch of reclaimed chunks (lifecycle sweeper; response
+    /// header = physical bytes freed).
+    pub const REMOVE_CHUNKS: u8 = 0x05;
     /// Batched metadata node fetch.
     pub const META_GET: u8 = 0x10;
     /// Batched write-once metadata node store.
     pub const META_PUT: u8 = 0x11;
     /// Metadata node count (statistics).
     pub const META_COUNT: u8 = 0x12;
+    /// Batched metadata node delete (lifecycle sweeper; response header =
+    /// number of nodes actually removed).
+    pub const META_DELETE: u8 = 0x13;
     /// Successful response.
     pub const RESP_OK: u8 = 0x80;
     /// Failed response (header = encoded `BlobError`).
@@ -795,6 +801,11 @@ impl RpcHandler for ChunkHost {
                 // the response header, physical bytes as the payload.
                 Ok((encode(&data.header()), data.into_payload()))
             }
+            op::REMOVE_CHUNKS => {
+                let chunks: Vec<ChunkId> = decode(header)?;
+                let freed = self.provider.remove_chunks(&chunks)?;
+                Ok((encode(&freed), Bytes::new()))
+            }
             other => Err(unknown_opcode(other, "chunk")),
         }
     }
@@ -861,6 +872,11 @@ impl RpcHandler for MetaHost {
             op::META_COUNT => {
                 let count = self.store.node_count();
                 Ok((encode(&count), Bytes::new()))
+            }
+            op::META_DELETE => {
+                let keys: Vec<NodeKey> = decode(header)?;
+                let deleted = self.store.delete_nodes(&keys)?;
+                Ok((encode(&deleted), Bytes::new()))
             }
             other => Err(unknown_opcode(other, "meta")),
         }

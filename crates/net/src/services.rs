@@ -173,6 +173,14 @@ impl ChunkService for NetChunkService {
             .chunk_on_wire(envelope.logical_len(), envelope.physical_len());
         Ok(envelope)
     }
+
+    fn remove_chunks(&self, provider: ProviderId, chunks: &[ChunkId]) -> Result<u64> {
+        let endpoint = self.endpoint(provider)?;
+        let header = encode(&chunks.to_vec());
+        call_decoded(endpoint, op::REMOVE_CHUNKS, &header, |frame| {
+            decode::<u64>(&frame.header)
+        })
+    }
 }
 
 /// The metadata plane over the wire: batched node gets and write-once puts
@@ -344,6 +352,35 @@ impl MetadataStore for NetMetadataService {
             debug_assert_eq!(frame.opcode, op::RESP_OK);
         }
         Ok(())
+    }
+
+    fn delete_nodes(&self, keys: &[NodeKey]) -> Result<usize> {
+        let groups = if self.shards > 1 && keys.len() > 1 {
+            self.shard_groups(0..keys.len(), |i| self.shard_of(&keys[i]))
+        } else {
+            Vec::new()
+        };
+        if groups.len() < 2 {
+            let header = encode(&keys.to_vec());
+            return call_decoded(&self.endpoint, op::META_DELETE, &header, |frame| {
+                decode::<usize>(&frame.header)
+            });
+        }
+        let requests: Vec<(Bytes, Bytes)> = groups
+            .iter()
+            .map(|group| {
+                let group_keys: Vec<NodeKey> = group.iter().map(|&i| keys[i]).collect();
+                (encode(&group_keys), Bytes::new())
+            })
+            .collect();
+        // One vectored flush for every shard's delete. A failed group
+        // propagates as `Err`: the sweeper counts it and leaks those nodes
+        // rather than misreport the reclaim.
+        let mut deleted = 0usize;
+        for outcome in self.endpoint.call_many(op::META_DELETE, &requests) {
+            deleted += decode::<usize>(&outcome?.header)?;
+        }
+        Ok(deleted)
     }
 
     fn node_count(&self) -> usize {

@@ -26,6 +26,11 @@ pub struct ProviderStats {
     /// [`DataProvider::stats`] reports zero and the cluster heartbeat fills
     /// it in from the transfer pool's live gauge.
     pub in_flight: u64,
+    /// Physical payload bytes reclaimed by the lifecycle sweeper since
+    /// start (chunks of evicted versions removed from this provider).
+    pub reclaimed_bytes: u64,
+    /// Chunks reclaimed by the lifecycle sweeper since start.
+    pub reclaimed_chunks: u64,
 }
 
 /// One data provider of the BlobSeer deployment.
@@ -39,6 +44,8 @@ pub struct DataProvider {
     writes: AtomicU64,
     reads: AtomicU64,
     rejected: AtomicU64,
+    reclaimed_bytes: AtomicU64,
+    reclaimed_chunks: AtomicU64,
 }
 
 impl DataProvider {
@@ -58,6 +65,8 @@ impl DataProvider {
             writes: AtomicU64::new(0),
             reads: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
+            reclaimed_bytes: AtomicU64::new(0),
+            reclaimed_chunks: AtomicU64::new(0),
         }
     }
 
@@ -109,6 +118,28 @@ impl DataProvider {
         self.is_alive() && self.store.contains(id)
     }
 
+    /// Removes a batch of chunks reclaimed by the lifecycle sweeper and
+    /// returns the physical bytes freed. Chunks the provider does not hold
+    /// are skipped (sweeps are idempotent); a failed provider rejects the
+    /// whole batch, and the sweeper retries on a later pass.
+    pub fn remove_chunks(&self, ids: &[ChunkId]) -> Result<u64> {
+        if !self.is_alive() {
+            self.rejected.fetch_add(1, Ordering::Relaxed);
+            return Err(BlobError::ProviderUnavailable(self.id));
+        }
+        let mut freed = 0u64;
+        let mut removed = 0u64;
+        for id in ids {
+            if let Some(bytes) = self.store.remove(id) {
+                freed += bytes;
+                removed += 1;
+            }
+        }
+        self.reclaimed_bytes.fetch_add(freed, Ordering::Relaxed);
+        self.reclaimed_chunks.fetch_add(removed, Ordering::Relaxed);
+        Ok(freed)
+    }
+
     /// Current usage statistics.
     pub fn stats(&self) -> ProviderStats {
         ProviderStats {
@@ -118,6 +149,8 @@ impl DataProvider {
             reads: self.reads.load(Ordering::Relaxed),
             rejected: self.rejected.load(Ordering::Relaxed),
             in_flight: 0,
+            reclaimed_bytes: self.reclaimed_bytes.load(Ordering::Relaxed),
+            reclaimed_chunks: self.reclaimed_chunks.load(Ordering::Relaxed),
         }
     }
 }

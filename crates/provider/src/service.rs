@@ -49,6 +49,16 @@ pub trait ChunkService: Send + Sync {
     /// Fetches one chunk replica from the given provider. The envelope comes
     /// back exactly as stored; opening it is the caller's job.
     fn get_chunk(&self, provider: ProviderId, chunk: &ChunkId) -> Result<ChunkEnvelope>;
+
+    /// Removes a batch of reclaimed chunks from one provider, returning the
+    /// physical bytes freed. Only the lifecycle sweeper calls this, and only
+    /// for chunks unreachable from every retained version. The default is a
+    /// safe no-op so transports without reclamation support merely never
+    /// shrink — they are never wrong.
+    fn remove_chunks(&self, provider: ProviderId, chunks: &[ChunkId]) -> Result<u64> {
+        let _ = (provider, chunks);
+        Ok(0)
+    }
 }
 
 /// The shared-memory implementation of [`ChunkService`]: a provider manager
@@ -113,6 +123,13 @@ impl ChunkService for InProcessChunkService {
             .get(&provider)
             .ok_or(BlobError::UnknownProvider(provider))?
             .get_chunk(chunk)
+    }
+
+    fn remove_chunks(&self, provider: ProviderId, chunks: &[ChunkId]) -> Result<u64> {
+        self.providers
+            .get(&provider)
+            .ok_or(BlobError::UnknownProvider(provider))?
+            .remove_chunks(chunks)
     }
 }
 

@@ -40,6 +40,12 @@ pub trait ChunkStore: Send + Sync {
         self.get(id).is_some()
     }
 
+    /// Removes a chunk, returning the physical bytes freed, or `None` if
+    /// the store did not hold it. Only the lifecycle sweeper removes chunks,
+    /// and only ones unreachable from every retained version — immutability
+    /// of *live* chunk ids is untouched.
+    fn remove(&self, id: &ChunkId) -> Option<u64>;
+
     /// Number of chunks held.
     fn chunk_count(&self) -> usize;
 
@@ -133,6 +139,16 @@ impl ChunkStore for RamStore {
 
     fn get(&self, id: &ChunkId) -> Option<ChunkEnvelope> {
         self.inner.read().chunks.get(id).cloned()
+    }
+
+    fn remove(&self, id: &ChunkId) -> Option<u64> {
+        let mut inner = self.inner.write();
+        let data = inner.chunks.remove(id)?;
+        let freed = data.physical_len();
+        inner.bytes -= freed;
+        // The stale LRU entry is left behind on purpose: eviction pops ids
+        // and skips ones no longer in the map, so it ages out harmlessly.
+        Some(freed)
     }
 
     fn chunk_count(&self) -> usize {
@@ -264,6 +280,18 @@ impl ChunkStore for PersistentStore {
         };
         let _ = self.cache.put(*id, data.clone());
         Some(data)
+    }
+
+    fn remove(&self, id: &ChunkId) -> Option<u64> {
+        // Dropping the index entry makes the chunk unreachable; the payload
+        // bytes stay in the append-only log until a future compaction pass
+        // (the accounting reflects the logical reclaim immediately, which is
+        // what capacity planning reads).
+        let entry = self.index.write().remove(id)?;
+        let _ = self.cache.remove(id);
+        let freed = entry.len as u64;
+        *self.bytes.write() -= freed;
+        Some(freed)
     }
 
     fn chunk_count(&self) -> usize {

@@ -19,11 +19,11 @@
 
 use crate::resource::{Resource, SimTime, NANOS_PER_SEC};
 use crate::workload::{OpKind, Workload};
-use blobseer_core::{VersionManager, WriteKind};
+use blobseer_core::{NodeArtifact, VersionManager, WriteKind};
 use blobseer_dht::Dht;
 use blobseer_meta::{
-    build_write_metadata_chained, collect_leaves_streaming, publish_metadata, MetadataStore,
-    NodeBody, NodeKey, WrittenChunk,
+    build_flat_metadata, build_write_metadata_chained, collect_leaves_streaming, publish_metadata,
+    MetadataStore, NodeBody, NodeKey, WrittenChunk,
 };
 use blobseer_provider::{PlacementRequest, ProviderManager};
 use blobseer_types::FaultPlan;
@@ -143,6 +143,18 @@ pub struct SimulationResult {
     /// of `n` trips contributes `n - 1`) — the simulator's mirror of the
     /// RPC layer's small-frame coalescing counter.
     pub frames_coalesced: u64,
+    /// Flat snapshot versions the lifecycle flattener materialised during
+    /// the run (zero unless `ClusterConfig::flatten_threshold` is set).
+    pub flattens: u64,
+    /// Metadata tree nodes the lifecycle sweeper deleted during the run
+    /// (zero unless `ClusterConfig::retained_versions` is set).
+    pub meta_nodes_deleted: u64,
+    /// Stored chunk bytes (physical, summed over replicas) the lifecycle
+    /// sweeper reclaimed during the run. Together with
+    /// [`SimulationResult::meta_nodes_deleted`] this is the simulator's
+    /// measure of the lifecycle tier: without it both grow without bound as
+    /// versions accumulate.
+    pub reclaimed_bytes: u64,
     /// Per-metadata-provider number of requests served (load distribution).
     pub meta_load: HashMap<MetaNodeId, u64>,
     /// Per-data-provider bytes received (write load distribution).
@@ -334,6 +346,18 @@ impl MetadataStore for RecordingStore<'_> {
         self.inner.put_batch(nodes)
     }
 
+    fn delete_nodes(&self, keys: &[NodeKey]) -> Result<usize> {
+        // Deletes route exactly like gets: one round-trip per owning
+        // metadata node per batch. The client-side cache is *not* consulted
+        // — only the lifecycle sweeper deletes, and it runs cacheless.
+        let mut per_node: HashMap<MetaNodeId, u64> = HashMap::new();
+        for key in keys {
+            *per_node.entry(self.primary(key)).or_default() += 1;
+        }
+        self.record(per_node);
+        self.inner.delete_nodes(keys)
+    }
+
     fn node_count(&self) -> usize {
         self.inner.total_entries()
     }
@@ -425,6 +449,13 @@ pub struct SimulatedCluster {
     /// `Workload::compressibility`); `1.0` between runs.
     compress_ratio: f64,
     frames_coalesced: u64,
+    /// Stored physical bytes of every live chunk, summed over its replicas
+    /// — the ledger the lifecycle sweeper settles against when a chunk
+    /// becomes unreachable from the retained versions.
+    chunk_stored_bytes: HashMap<ChunkId, u64>,
+    flattens: u64,
+    meta_nodes_deleted: u64,
+    reclaimed_bytes: u64,
     /// Lossy network model: every data-plane transfer is routed through the
     /// same seeded per-frame fault decisions the channel transport injects
     /// (`None` = clean network, the default).
@@ -477,6 +508,10 @@ impl SimulatedCluster {
             compress_saved_bytes: 0,
             compress_ratio: 1.0,
             frames_coalesced: 0,
+            chunk_stored_bytes: HashMap::new(),
+            flattens: 0,
+            meta_nodes_deleted: 0,
+            reclaimed_bytes: 0,
             net_faults: None,
             config,
         })
@@ -695,6 +730,10 @@ impl SimulatedCluster {
         self.compress_saved_bytes = 0;
         self.compress_ratio = workload.compressibility.clamp(f64::MIN_POSITIVE, 1.0);
         self.frames_coalesced = 0;
+        self.chunk_stored_bytes.clear();
+        self.flattens = 0;
+        self.meta_nodes_deleted = 0;
+        self.reclaimed_bytes = 0;
         // Re-seed the fault stream so repeated runs of one cluster replay
         // the identical fault sequence.
         if let Some((plan, rng)) = &mut self.net_faults {
@@ -765,6 +804,14 @@ impl SimulatedCluster {
             )?;
             let end = record.end;
             ops.push(record);
+            // The lifecycle engine runs as background work between
+            // operations (the simulator's event loop is its quiescent
+            // point): flatten when the diff chain crossed the threshold,
+            // evict beyond the retention policy, sweep what died. Its cost
+            // stays off the measured operations' critical path — the
+            // background thread it models never blocks a client — and its
+            // effects land in the dedicated lifecycle counters.
+            self.lifecycle_pass(blob)?;
             if op_index + 1 < workload.ops[client].len() {
                 queue.push(Reverse((end, client, op_index + 1)));
             }
@@ -803,6 +850,9 @@ impl SimulatedCluster {
             chunks_compressed: self.chunks_compressed,
             compress_saved_bytes: self.compress_saved_bytes,
             frames_coalesced: self.frames_coalesced,
+            flattens: self.flattens,
+            meta_nodes_deleted: self.meta_nodes_deleted,
+            reclaimed_bytes: self.reclaimed_bytes,
             meta_load,
             provider_write_bytes,
         })
@@ -846,6 +896,12 @@ impl SimulatedCluster {
                     }
                 })
                 .collect();
+            for c in &chunks {
+                self.chunk_stored_bytes.insert(
+                    c.chunk,
+                    self.sealed_physical_len(c.len) * c.providers.len() as u64,
+                );
+            }
             let meta = build_write_metadata_chained(
                 self.metadata.as_ref(),
                 blob,
@@ -854,8 +910,62 @@ impl SimulatedCluster {
                 ticket.new_size,
                 &chunks,
             )?;
+            let artifacts = NodeArtifact::from_metadata(&meta);
             publish_metadata(self.metadata.as_ref(), meta)?;
-            self.version_manager.complete_write(blob, ticket.version)?;
+            self.version_manager.complete_write_with_artifacts(
+                blob,
+                ticket.version,
+                Some(artifacts),
+            )?;
+        }
+        Ok(())
+    }
+
+    /// One background lifecycle pass over the workload's blob: flatten when
+    /// the retained diff chain crossed `flatten_threshold`, evict versions
+    /// beyond `retained_versions`, sweep the chunks and tree nodes that
+    /// became unreachable. A no-op with the lifecycle off (the defaults).
+    ///
+    /// The pass models the deployment's background engine, which never sits
+    /// on a client's critical path, so it charges no timed resource; its
+    /// effects surface in the dedicated lifecycle counters
+    /// (`flattens` / `meta_nodes_deleted` / `reclaimed_bytes`).
+    fn lifecycle_pass(&mut self, blob: BlobId) -> Result<()> {
+        let retained = self.config.retained_versions;
+        let threshold = self.config.flatten_threshold;
+        if retained == 0 && threshold == 0 {
+            return Ok(());
+        }
+        if threshold > 0 && self.version_manager.writes_since_flatten(blob)? >= threshold as u64 {
+            if let Some(ticket) = self.version_manager.begin_flatten(blob)? {
+                let meta = build_flat_metadata(
+                    self.metadata.as_ref(),
+                    blob,
+                    &ticket.source,
+                    ticket.version,
+                )?;
+                let artifacts = NodeArtifact::from_metadata(&meta);
+                publish_metadata(self.metadata.as_ref(), meta)?;
+                self.version_manager.complete_write_with_artifacts(
+                    blob,
+                    ticket.version,
+                    Some(artifacts),
+                )?;
+                self.flattens += 1;
+            }
+        }
+        if retained > 0 {
+            self.version_manager.evict_versions(blob, retained)?;
+        }
+        let set = self.version_manager.take_collectable(blob)?;
+        if set.is_empty() {
+            return Ok(());
+        }
+        self.meta_nodes_deleted += self.metadata.delete_nodes(&set.nodes)? as u64;
+        for (chunk, _) in set.chunks {
+            if let Some(bytes) = self.chunk_stored_bytes.remove(&chunk) {
+                self.reclaimed_bytes += bytes;
+            }
         }
         Ok(())
     }
@@ -947,8 +1057,13 @@ impl SimulatedCluster {
                     &ticket.chain,
                     &summary,
                 )?;
+                let artifacts = NodeArtifact::from_metadata(&repair);
                 publish_metadata(self.metadata.as_ref(), repair)?;
-                self.version_manager.abort_write(blob, ticket.version)?;
+                self.version_manager.abort_write_with_artifacts(
+                    blob,
+                    ticket.version,
+                    Some(artifacts),
+                )?;
                 let _ = err;
                 return Ok(OpRecord {
                     client,
@@ -1001,6 +1116,8 @@ impl SimulatedCluster {
                 write_tag,
                 slot: slot.index,
             };
+            self.chunk_stored_bytes
+                .insert(chunk, physical * providers.len() as u64);
             // Write-through: the writer keeps the payload it just pushed,
             // so re-reading your own writes never fetches. A covered slot
             // of a multi-slot write is a strict sub-view of the caller's
@@ -1050,6 +1167,7 @@ impl SimulatedCluster {
         )?;
         let weave_trips = recorder.drain_trips();
         let nodes_created = meta.node_count() as u64;
+        let artifacts = NodeArtifact::from_metadata(&meta);
         publish_metadata(&recorder, meta)?;
         self.meta_nodes_created += nodes_created;
         let publish_trips = recorder.trips.into_inner();
@@ -1063,7 +1181,11 @@ impl SimulatedCluster {
 
         // Phase 4: publication to the version manager.
         let t_done = self.vm_delay(t_meta.max(t_chunks));
-        self.version_manager.complete_write(blob, ticket.version)?;
+        self.version_manager.complete_write_with_artifacts(
+            blob,
+            ticket.version,
+            Some(artifacts),
+        )?;
         Ok(OpRecord {
             client,
             start: now,

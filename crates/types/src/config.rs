@@ -223,6 +223,13 @@ pub struct BlobConfig {
     /// Backoff used by writers waiting for a concurrent predecessor's leaf
     /// during boundary-chunk merging.
     pub meta_retry: RetryPolicy,
+    /// Per-blob chunk codec override, fixed at creation time. `None` — the
+    /// default — makes the blob's writers use the cluster-wide
+    /// [`ClusterConfig::chunk_codec`]; `Some(codec)` pins this blob to
+    /// `codec` regardless of the cluster default. Readers are codec-agnostic
+    /// either way (every chunk envelope tags its own encoding).
+    #[serde(default)]
+    pub chunk_codec: Option<ChunkCodec>,
 }
 
 impl BlobConfig {
@@ -232,9 +239,18 @@ impl BlobConfig {
             chunk_size,
             replication,
             meta_retry: RetryPolicy::default(),
+            chunk_codec: None,
         };
         cfg.validate()?;
         Ok(cfg)
+    }
+
+    /// Pins this blob to a specific chunk codec, overriding the cluster-wide
+    /// default for every write to it.
+    #[must_use]
+    pub fn with_chunk_codec(mut self, codec: ChunkCodec) -> Self {
+        self.chunk_codec = Some(codec);
+        self
     }
 
     /// Checks that the configuration is usable.
@@ -259,6 +275,7 @@ impl Default for BlobConfig {
             chunk_size: 64 * 1024,
             replication: 1,
             meta_retry: RetryPolicy::default(),
+            chunk_codec: None,
         }
     }
 }
@@ -353,6 +370,21 @@ pub struct ClusterConfig {
     /// over several sockets round-robin, which helps when a single stream's
     /// in-order delivery becomes the bottleneck. Must be at least 1.
     pub connections_per_endpoint: usize,
+    /// Number of most recent published versions of every blob the version
+    /// lifecycle retains. Older versions are evicted: readers of them get a
+    /// clean `VersionRetired` error and the garbage sweeper reclaims every
+    /// chunk and tree node reachable only from them. Zero — the default —
+    /// retains every version forever (the pre-lifecycle behaviour; nothing
+    /// is ever evicted or reclaimed).
+    #[serde(default)]
+    pub retained_versions: usize,
+    /// Number of published writes since the last flatten after which the
+    /// lifecycle flattener consolidates a blob into one self-contained
+    /// snapshot version (every leaf materialised at that version, read in
+    /// one batched round per metadata shard instead of a tree descent).
+    /// Zero — the default — never flattens.
+    #[serde(default)]
+    pub flatten_threshold: usize,
 }
 
 impl ClusterConfig {
@@ -466,6 +498,8 @@ impl Default for ClusterConfig {
             chunk_codec: ChunkCodec::Off,
             shared_chunk_cache: false,
             connections_per_endpoint: 1,
+            retained_versions: 0,
+            flatten_threshold: 0,
         }
     }
 }

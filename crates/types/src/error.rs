@@ -14,6 +14,17 @@ pub enum BlobError {
     UnknownBlob(BlobId),
     /// The requested version has not been published (or never will be).
     UnknownVersion(BlobId, Version),
+    /// The requested version existed but was evicted by the retention
+    /// policy: its chunks and tree nodes may already be reclaimed, so the
+    /// read is rejected cleanly instead of returning torn data.
+    VersionRetired {
+        /// Blob whose version was requested.
+        blob: BlobId,
+        /// The retired version.
+        version: Version,
+        /// The oldest version still retained (and readable).
+        first_retained: Version,
+    },
     /// The requested chunk is not stored on the contacted provider.
     ChunkNotFound(ChunkId, ProviderId),
     /// The contacted provider is not registered or has been decommissioned.
@@ -75,6 +86,15 @@ impl fmt::Display for BlobError {
         match self {
             BlobError::UnknownBlob(b) => write!(f, "unknown blob {b}"),
             BlobError::UnknownVersion(b, v) => write!(f, "unknown version {v} of {b}"),
+            BlobError::VersionRetired {
+                blob,
+                version,
+                first_retained,
+            } => write!(
+                f,
+                "version {version} of {blob} was retired by the retention policy \
+                 (oldest retained is {first_retained})"
+            ),
             BlobError::ChunkNotFound(c, p) => write!(f, "chunk {c} not found on {p}"),
             BlobError::UnknownProvider(p) => write!(f, "unknown provider {p}"),
             BlobError::ProviderUnavailable(p) => write!(f, "provider {p} is unavailable"),

@@ -391,6 +391,16 @@ impl Wire for BlobError {
                 w.put_u8(15);
                 w.put(s);
             }
+            BlobError::VersionRetired {
+                blob,
+                version,
+                first_retained,
+            } => {
+                w.put_u8(16);
+                w.put(blob);
+                w.put(version);
+                w.put(first_retained);
+            }
         }
     }
 
@@ -424,6 +434,11 @@ impl Wire for BlobError {
             13 => BlobError::Storage(r.get()?),
             14 => BlobError::Transport(r.get()?),
             15 => BlobError::Internal(r.get()?),
+            16 => BlobError::VersionRetired {
+                blob: r.get()?,
+                version: r.get()?,
+                first_retained: r.get()?,
+            },
             tag => {
                 return Err(BlobError::Transport(format!(
                     "wire: unknown BlobError tag {tag}"

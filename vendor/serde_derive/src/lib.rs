@@ -4,17 +4,19 @@
 //! Deserialize)]` — nothing actually serialises through serde (the bench
 //! crate writes its JSON by hand). These derives therefore expand to nothing,
 //! which keeps every annotation compiling without pulling in syn/quote.
+//! The `serde` helper attribute (`#[serde(default)]` etc.) is registered so
+//! field annotations parse; it is ignored like everything else.
 
 use proc_macro::TokenStream;
 
 /// No-op `Serialize` derive.
-#[proc_macro_derive(Serialize)]
+#[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(_input: TokenStream) -> TokenStream {
     TokenStream::new()
 }
 
 /// No-op `Deserialize` derive.
-#[proc_macro_derive(Deserialize)]
+#[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
     TokenStream::new()
 }
