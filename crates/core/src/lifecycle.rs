@@ -30,7 +30,7 @@
 //! path (the networked one via the `REMOVE_CHUNKS`/`META_DELETE` RPCs).
 
 use crate::services::{ChunkService, MetadataService};
-use crate::version_manager::{FlattenTicket, NodeArtifact, VersionManager};
+use crate::version_manager::{CollectableSet, FlattenTicket, NodeArtifact, VersionManager};
 use blobseer_meta::{
     build_flat_metadata, build_repair_metadata, publish_metadata, ReferenceChain, WriteSummary,
 };
@@ -55,9 +55,13 @@ pub struct LifecycleStats {
     /// replicas (what the data plane's memory actually got back).
     pub reclaimed_bytes: u64,
     /// Delete calls that failed (provider down, metadata plane unreachable).
-    /// Failed deletes leak until a later pass at worst — they never
-    /// double-free.
+    /// The affected entries are requeued with the version manager and
+    /// retried by later passes — they never double-free and, since the
+    /// requeue fix, never leak either.
     pub sweep_errors: u64,
+    /// Nodes and chunk replicas handed back to the version manager after a
+    /// failed delete, awaiting a retry by a later sweep.
+    pub requeued_entries: u64,
 }
 
 /// The lifecycle engine. One per deployment; drive it manually with
@@ -78,8 +82,13 @@ pub struct LifecycleEngine {
     reclaimed_chunks: AtomicU64,
     reclaimed_bytes: AtomicU64,
     sweep_errors: AtomicU64,
+    requeued_entries: AtomicU64,
     stop: AtomicBool,
     worker: parking_lot::Mutex<Option<std::thread::JoinHandle<()>>>,
+    /// Deployment-supplied housekeeping run at the end of every lifecycle
+    /// pass. The durable cluster hangs its WAL-checkpoint trigger here, so
+    /// checkpointing rides the same cadence as flattening and sweeping.
+    maintenance: parking_lot::Mutex<Option<Box<dyn Fn() + Send + Sync>>>,
 }
 
 impl LifecycleEngine {
@@ -104,9 +113,17 @@ impl LifecycleEngine {
             reclaimed_chunks: AtomicU64::new(0),
             reclaimed_bytes: AtomicU64::new(0),
             sweep_errors: AtomicU64::new(0),
+            requeued_entries: AtomicU64::new(0),
             stop: AtomicBool::new(false),
             worker: parking_lot::Mutex::new(None),
+            maintenance: parking_lot::Mutex::new(None),
         }
+    }
+
+    /// Installs the deployment's end-of-pass housekeeping hook (replacing
+    /// any previous one). Runs after every [`LifecycleEngine::run_once`].
+    pub fn set_maintenance_hook(&self, hook: Box<dyn Fn() + Send + Sync>) {
+        *self.maintenance.lock() = Some(hook);
     }
 
     /// The configured retention depth (0 = keep everything).
@@ -131,6 +148,9 @@ impl LifecycleEngine {
     pub fn run_once(&self) {
         for blob in self.vm.blob_ids() {
             self.run_blob(blob);
+        }
+        if let Some(hook) = self.maintenance.lock().as_ref() {
+            hook();
         }
     }
 
@@ -228,6 +248,7 @@ impl LifecycleEngine {
         if set.is_empty() {
             return Ok((0, 0));
         }
+        let mut failed = CollectableSet::default();
         let mut nodes = 0u64;
         match self.metadata.delete_nodes(&set.nodes) {
             Ok(deleted) => {
@@ -235,8 +256,10 @@ impl LifecycleEngine {
                 self.reclaimed_nodes.fetch_add(nodes, Ordering::Relaxed);
             }
             Err(_) => {
-                // The keys are already out of the queue: they leak until the
-                // metadata plane comes back. Never fatal, never double-freed.
+                // Metadata plane unreachable: hand the keys back so a later
+                // pass retries the whole batch. Never fatal, never
+                // double-freed — deleting a write-once node twice is a no-op.
+                failed.nodes = set.nodes.clone();
                 self.sweep_errors.fetch_add(1, Ordering::Relaxed);
             }
         }
@@ -248,21 +271,38 @@ impl LifecycleEngine {
                 per_provider.entry(*provider).or_default().push(*chunk);
             }
         }
+        let mut failed_replicas: HashMap<ChunkId, Vec<ProviderId>> = HashMap::new();
         for (provider, ids) in per_provider {
             match self.chunks.remove_chunks(provider, &ids) {
                 Ok(freed) => {
                     self.reclaimed_bytes.fetch_add(freed, Ordering::Relaxed);
                 }
                 Err(_) => {
-                    // Provider down mid-sweep: its replicas leak until a
-                    // future deployment-level repair; the sweep carries on
-                    // with the remaining providers.
+                    // Provider down (or killed) mid-sweep: requeue exactly
+                    // the replicas it still holds, so the next pass retries
+                    // them once the endpoint is back — eventual reclaim
+                    // instead of a permanent leak.
+                    for id in ids {
+                        failed_replicas.entry(id).or_default().push(provider);
+                    }
                     self.sweep_errors.fetch_add(1, Ordering::Relaxed);
                 }
             }
         }
-        let chunks = set.chunks.len() as u64;
+        let mut chunks = 0u64;
+        for (chunk, _) in set.chunks {
+            match failed_replicas.remove(&chunk) {
+                Some(providers) => failed.chunks.push((chunk, providers)),
+                None => chunks += 1,
+            }
+        }
         self.reclaimed_chunks.fetch_add(chunks, Ordering::Relaxed);
+        if !failed.is_empty() {
+            let requeued = (failed.nodes.len() + failed.chunks.len()) as u64;
+            if self.vm.requeue_collectable(blob, failed).is_ok() {
+                self.requeued_entries.fetch_add(requeued, Ordering::Relaxed);
+            }
+        }
         Ok((nodes, chunks))
     }
 
@@ -301,6 +341,7 @@ impl LifecycleEngine {
             reclaimed_chunks: self.reclaimed_chunks.load(Ordering::Relaxed),
             reclaimed_bytes: self.reclaimed_bytes.load(Ordering::Relaxed),
             sweep_errors: self.sweep_errors.load(Ordering::Relaxed),
+            requeued_entries: self.requeued_entries.load(Ordering::Relaxed),
         }
     }
 }

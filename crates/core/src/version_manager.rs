@@ -11,6 +11,7 @@
 use blobseer_meta::{
     NodeBody, NodeKey, ReferenceChain, SnapshotDescriptor, WriteMetadata, WriteSummary,
 };
+use blobseer_persist::Journal;
 use blobseer_types::{
     chunk_span, BlobConfig, BlobError, BlobId, ByteRange, ChunkId, IdGenerator, ProviderId, Result,
     Version,
@@ -280,9 +281,11 @@ impl BlobState {
     }
 
     /// Publishes every complete pending write that directly follows the
-    /// published prefix; returns how many versions were published.
-    fn advance_publication(&mut self) -> u64 {
-        let mut published = 0;
+    /// published prefix; returns the newly published descriptors in version
+    /// order (the caller journals them, in that order, when a durability
+    /// journal is installed).
+    fn advance_publication(&mut self) -> Vec<SnapshotDescriptor> {
+        let mut published = Vec::new();
         loop {
             let next = self.published.len() as u64;
             let ready = matches!(self.pending.get(&next), Some(p) if p.aborted || p.complete);
@@ -296,12 +299,14 @@ impl BlobState {
             // aborted version see zeros there. An aborted flatten is just an
             // ordinary no-op version — its descriptor must not claim flat
             // layout.
-            self.published.push(SnapshotDescriptor {
+            let descriptor = SnapshotDescriptor {
                 version: Version(next),
                 size: p.summary.size,
                 chunk_size: p.summary.chunk_size,
                 flat: p.flat && !p.aborted,
-            });
+            };
+            self.published.push(descriptor);
+            published.push(descriptor);
             // Artifacts must be folded into the range chains strictly in
             // version order — supersession is defined by "next creator at
             // the same range" — which publishing in order gives us for free.
@@ -315,7 +320,6 @@ impl BlobState {
             } else {
                 self.writes_since_flatten += 1;
             }
-            published += 1;
         }
         published
     }
@@ -426,6 +430,10 @@ pub struct VersionManager {
     stat_tickets: AtomicU64,
     stat_published: AtomicU64,
     stat_aborted: AtomicU64,
+    /// Durability hook: when set (durable deployments), blob creations,
+    /// publications and retention moves are journaled through it. `None`
+    /// for the RAM-resident deployments tests and benchmarks run.
+    journal: RwLock<Option<Arc<dyn Journal>>>,
 }
 
 impl VersionManager {
@@ -441,7 +449,15 @@ impl VersionManager {
             stat_tickets: AtomicU64::new(0),
             stat_published: AtomicU64::new(0),
             stat_aborted: AtomicU64::new(0),
+            journal: RwLock::new(None),
         }
+    }
+
+    /// Installs the durability journal. Called once at cluster construction,
+    /// before any client operation; every subsequent blob creation,
+    /// publication and retention move is journaled through it.
+    pub fn set_journal(&self, journal: Arc<dyn Journal>) {
+        *self.journal.write() = Some(journal);
     }
 
     fn shard(&self, blob: BlobId) -> &RwLock<HashMap<BlobId, Arc<Mutex<BlobState>>>> {
@@ -464,11 +480,58 @@ impl VersionManager {
     pub fn create_blob(&self, config: BlobConfig) -> Result<BlobId> {
         config.validate()?;
         let id = BlobId(self.blob_ids.next_id());
+        // Journal before the id becomes visible: a restart that forgot a
+        // handed-out blob id would mint it twice.
+        if let Some(journal) = self.journal.read().as_ref() {
+            journal.record_create_blob(id, &config)?;
+        }
         self.shard(id)
             .write()
             .insert(id, Arc::new(Mutex::new(BlobState::new(config))));
         self.stat_blobs.fetch_add(1, Ordering::Relaxed);
         Ok(id)
+    }
+
+    /// Re-registers a blob recovered from the durability journal: its
+    /// creation-time configuration, the contiguous published prefix (the
+    /// initial empty snapshot included) and the replayed retention floor.
+    /// The blob-id generator is advanced past the restored id so new blobs
+    /// never collide with recovered ones.
+    ///
+    /// Restored blobs start with empty reference chains: nodes published
+    /// before the restart never become collectable again (a bounded leak the
+    /// WAL checkpoint's compaction documents), which is safe — the sweeper
+    /// can only leak, never double-free.
+    pub fn restore_blob(
+        &self,
+        id: BlobId,
+        config: BlobConfig,
+        published: Vec<SnapshotDescriptor>,
+        first_retained: Version,
+    ) -> Result<()> {
+        config.validate()?;
+        if published.is_empty() || published[0].version != Version::ZERO {
+            return Err(BlobError::Internal(
+                "a restored blob needs its contiguous published prefix, version 0 first"
+                    .to_string(),
+            ));
+        }
+        let mut state = BlobState::new(config);
+        state.next_version = published.len() as u64;
+        state.assigned_size = published.last().expect("checked non-empty").size;
+        state.first_retained = first_retained.0;
+        state.writes_since_flatten = published
+            .iter()
+            .rev()
+            .take_while(|d| !d.flat && d.version.0 > 0)
+            .count() as u64;
+        state.published = published;
+        self.shard(id)
+            .write()
+            .insert(id, Arc::new(Mutex::new(state)));
+        self.blob_ids.advance_past(id.0);
+        self.stat_blobs.fetch_add(1, Ordering::Relaxed);
+        Ok(())
     }
 
     /// The configuration a blob was created with.
@@ -579,7 +642,9 @@ impl VersionManager {
             state.unpin(base);
         }
         let published = state.advance_publication();
-        self.stat_published.fetch_add(published, Ordering::Relaxed);
+        self.journal_commits(blob, &published)?;
+        self.stat_published
+            .fetch_add(published.len() as u64, Ordering::Relaxed);
         Ok(state.latest_published().version)
     }
 
@@ -617,9 +682,27 @@ impl VersionManager {
             state.unpin(base);
         }
         let published = state.advance_publication();
+        self.journal_commits(blob, &published)?;
         self.stat_aborted.fetch_add(1, Ordering::Relaxed);
-        self.stat_published.fetch_add(published, Ordering::Relaxed);
+        self.stat_published
+            .fetch_add(published.len() as u64, Ordering::Relaxed);
         Ok(state.latest_published().version)
+    }
+
+    /// Journals newly published descriptors, in version order, while the
+    /// caller still holds the blob lock — commit records must hit the WAL in
+    /// the order they published, or recovery's contiguous-prefix rule would
+    /// drop them as torn.
+    fn journal_commits(&self, blob: BlobId, published: &[SnapshotDescriptor]) -> Result<()> {
+        if published.is_empty() {
+            return Ok(());
+        }
+        if let Some(journal) = self.journal.read().as_ref() {
+            for descriptor in published {
+                journal.record_commit(blob, descriptor)?;
+            }
+        }
+        Ok(())
     }
 
     /// Summaries of the writes assigned after the latest published snapshot
@@ -757,6 +840,12 @@ impl VersionManager {
             let target = state.published.len().saturating_sub(retained) as u64;
             if target > state.first_retained {
                 state.first_retained = target;
+                // Journal the new floor so a restart does not resurrect
+                // versions whose chunks the sweeper may already have
+                // tombstoned.
+                if let Some(journal) = self.journal.read().as_ref() {
+                    journal.record_retire(blob, Version(target))?;
+                }
             }
         }
         Ok(Version(state.first_retained))
@@ -797,10 +886,61 @@ impl VersionManager {
         Ok(set)
     }
 
+    /// Returns entries a sweeper failed to delete back to the head of the
+    /// retired queue, immediately collectable by the next pass. This closes
+    /// the sweeper's single-shot leak: [`VersionManager::take_collectable`]
+    /// hands entries out exactly once, so without requeueing, a delete that
+    /// failed (provider down mid-sweep, metadata plane unreachable) leaked
+    /// its garbage forever.
+    pub fn requeue_collectable(&self, blob: BlobId, set: CollectableSet) -> Result<()> {
+        if set.is_empty() {
+            return Ok(());
+        }
+        let state = self.state(blob)?;
+        let mut state = state.lock();
+        // `superseded_at: 0` sorts at (and is pushed to) the front, keeping
+        // the queue ordered and the entries collectable on any floor.
+        for key in set.nodes {
+            state.retired.push_front(RetiredGroup {
+                superseded_at: 0,
+                range: key.range,
+                versions: vec![key.version],
+                chunk: None,
+            });
+        }
+        for chunk in set.chunks {
+            state.retired.push_front(RetiredGroup {
+                superseded_at: 0,
+                range: ByteRange::new(0, 0),
+                versions: Vec::new(),
+                chunk: Some(chunk),
+            });
+        }
+        Ok(())
+    }
+
     /// Number of retired chain groups currently queued (collectable or
     /// not), for monitoring and tests.
     pub fn retired_group_count(&self, blob: BlobId) -> Result<usize> {
         Ok(self.state(blob)?.lock().retired.len())
+    }
+
+    /// Exports every blob's durable image — id, creation config, published
+    /// prefix and retention floor — for a WAL checkpoint.
+    pub fn export_blobs(&self) -> Vec<(BlobId, BlobConfig, Vec<SnapshotDescriptor>, Version)> {
+        let mut out = Vec::new();
+        for id in self.blob_ids() {
+            if let Ok(state) = self.state(id) {
+                let state = state.lock();
+                out.push((
+                    id,
+                    state.config,
+                    state.published.clone(),
+                    Version(state.first_retained),
+                ));
+            }
+        }
+        out
     }
 
     /// Every published version of the blob, oldest first.

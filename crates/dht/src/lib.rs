@@ -437,6 +437,20 @@ where
     pub fn total_entries(&self) -> usize {
         self.nodes.read().values().map(|n| n.len()).sum()
     }
+
+    /// Every distinct entry in the table (replicas deduplicated, dead nodes
+    /// included — their data still exists, they are just not serving).
+    /// Metadata checkpointing uses this to write a compacted image of the
+    /// live node set; it walks every node, so it is not a hot-path call.
+    pub fn export_entries(&self) -> Vec<(K, V)> {
+        let mut seen: HashMap<K, V> = HashMap::new();
+        for node in self.nodes.read().values() {
+            for (key, value) in node.snapshot() {
+                seen.entry(key).or_insert_with(|| (*value).clone());
+            }
+        }
+        seen.into_iter().collect()
+    }
 }
 
 #[cfg(test)]

@@ -69,6 +69,18 @@ pub trait MetadataStore: Send + Sync {
     /// Number of nodes held (across all replicas for distributed stores the
     /// count is per-holding-node; used only for statistics and tests).
     fn node_count(&self) -> usize;
+
+    /// Every distinct node held (replicas deduplicated). The durable tier's
+    /// metadata checkpoint walks this to write a compacted image of the
+    /// live node set; it is a full scan, never a hot-path call. Stores that
+    /// cannot enumerate themselves (client-side RPC views) return `Err`, so
+    /// a checkpoint against them fails loudly instead of writing an empty
+    /// image.
+    fn snapshot_nodes(&self) -> Result<Vec<(NodeKey, NodeBody)>> {
+        Err(blobseer_types::BlobError::Internal(
+            "this metadata store cannot enumerate its nodes".into(),
+        ))
+    }
 }
 
 /// The metadata-provider DHT is the canonical metadata store.
@@ -95,6 +107,10 @@ impl MetadataStore for Dht<NodeKey, NodeBody> {
 
     fn node_count(&self) -> usize {
         self.total_entries()
+    }
+
+    fn snapshot_nodes(&self) -> Result<Vec<(NodeKey, NodeBody)>> {
+        Ok(self.export_entries())
     }
 }
 
@@ -166,6 +182,15 @@ impl MetadataStore for InMemoryMetaStore {
     fn node_count(&self) -> usize {
         self.nodes.read().len()
     }
+
+    fn snapshot_nodes(&self) -> Result<Vec<(NodeKey, NodeBody)>> {
+        Ok(self
+            .nodes
+            .read()
+            .iter()
+            .map(|(k, v)| (*k, v.clone()))
+            .collect())
+    }
 }
 
 /// Client-side metadata cache layered over another store.
@@ -174,14 +199,14 @@ impl MetadataStore for InMemoryMetaStore {
 /// the cache therefore needs no invalidation protocol at all — one of the
 /// pay-offs of versioning-based concurrency control highlighted by the
 /// paper.
-pub struct CachedMetadataStore<S> {
+pub struct CachedMetadataStore<S: ?Sized> {
     inner: Arc<S>,
     cache: RwLock<HashMap<NodeKey, NodeBody>>,
     hits: AtomicU64,
     misses: AtomicU64,
 }
 
-impl<S: MetadataStore> CachedMetadataStore<S> {
+impl<S: MetadataStore + ?Sized> CachedMetadataStore<S> {
     /// Wraps `inner` with an unbounded client-side cache.
     pub fn new(inner: Arc<S>) -> Self {
         CachedMetadataStore {
@@ -208,7 +233,7 @@ impl<S: MetadataStore> CachedMetadataStore<S> {
     }
 }
 
-impl<S: MetadataStore> MetadataStore for CachedMetadataStore<S> {
+impl<S: MetadataStore + ?Sized> MetadataStore for CachedMetadataStore<S> {
     fn put_node(&self, key: NodeKey, body: NodeBody) -> Result<()> {
         self.inner.put_node(key, body.clone())?;
         self.cache.write().insert(key, body);
@@ -289,6 +314,10 @@ impl<S: MetadataStore> MetadataStore for CachedMetadataStore<S> {
 
     fn node_count(&self) -> usize {
         self.inner.node_count()
+    }
+
+    fn snapshot_nodes(&self) -> Result<Vec<(NodeKey, NodeBody)>> {
+        self.inner.snapshot_nodes()
     }
 }
 

@@ -73,16 +73,45 @@ impl NetCluster {
         }
     }
 
+    /// Opens (creating on first use) a *durable* networked deployment
+    /// rooted at `dir` — `Cluster::open_durable` hosted behind RPC
+    /// endpoints. Reopening the same directory recovers every blob's last
+    /// complete version; the recovered segment stores serve chunk reads
+    /// over the wire zero-copy, and every remote metadata mutation hits the
+    /// write-ahead log before the DHT.
+    pub fn open_durable(config: ClusterConfig, dir: impl AsRef<std::path::Path>) -> Result<Self> {
+        match config.transport {
+            TransportKind::TcpLoopback => {
+                let mut config = config;
+                config.transport = TransportKind::TcpLoopback;
+                Self::serve_tcp(Cluster::open_durable(config, dir)?)
+            }
+            TransportKind::Channel => {
+                let mut config = config;
+                config.transport = TransportKind::Channel;
+                Self::serve_channel(Cluster::open_durable(config, dir)?, FaultPlan::none())
+            }
+            TransportKind::InProcess => Err(BlobError::InvalidConfig(
+                "NetCluster needs a networked transport; use Cluster for in-process".into(),
+            )),
+        }
+    }
+
     /// Starts a deployment whose endpoints are real TCP loopback sockets
     /// bound to `config.net_listen`, served by one shared reactor thread
     /// plus the bounded worker pool.
     pub fn new_tcp(mut config: ClusterConfig) -> Result<Self> {
         config.transport = TransportKind::TcpLoopback;
+        Self::serve_tcp(Cluster::new(config)?)
+    }
+
+    fn serve_tcp(inner: Cluster) -> Result<Self> {
+        let config = inner.config();
         let listen = config.net_listen.clone();
         let pool = WorkerPool::new(config.effective_rpc_workers());
         let reactor = Reactor::new(pool.clone(), config.io_timeout());
         let serve_reactor = Arc::clone(&reactor);
-        Self::build(config, pool, Some(reactor), move |handler| {
+        Self::build(inner, pool, Some(reactor), move |handler| {
             let (connector, listener) = tcp_listener(&listen)?;
             Ok((
                 connector,
@@ -97,9 +126,10 @@ impl NetCluster {
     /// benchmark (`fig_n2`); production wiring is [`NetCluster::new_tcp`].
     pub fn new_tcp_thread_per_request(mut config: ClusterConfig) -> Result<Self> {
         config.transport = TransportKind::TcpLoopback;
-        let listen = config.net_listen.clone();
+        let inner = Cluster::new(config)?;
+        let listen = inner.config().net_listen.clone();
         let pool = WorkerPool::new(1); // unused by this mode, minimal
-        Self::build(config, pool, None, move |handler| {
+        Self::build(inner, pool, None, move |handler| {
             let (connector, acceptor, stopper) = tcp_endpoint(&listen)?;
             Ok((
                 connector,
@@ -115,11 +145,15 @@ impl NetCluster {
     /// execution still runs on the shared bounded pool.
     pub fn new_channel(mut config: ClusterConfig, faults: FaultPlan) -> Result<Self> {
         config.transport = TransportKind::Channel;
+        Self::serve_channel(Cluster::new(config)?, faults)
+    }
+
+    fn serve_channel(inner: Cluster, faults: FaultPlan) -> Result<Self> {
         faults.validate()?;
         let state = Arc::new(FaultState::new(faults));
-        let pool = WorkerPool::new(config.effective_rpc_workers());
+        let pool = WorkerPool::new(inner.config().effective_rpc_workers());
         let serve_pool = pool.clone();
-        Self::build(config, pool, None, move |handler| {
+        Self::build(inner, pool, None, move |handler| {
             let (connector, acceptor, stopper) = channel_endpoint(Arc::clone(&state));
             Ok((
                 connector,
@@ -129,12 +163,11 @@ impl NetCluster {
     }
 
     fn build(
-        config: ClusterConfig,
+        inner: Cluster,
         pool: WorkerPool,
         reactor: Option<Arc<Reactor>>,
         make_server: impl Fn(Arc<dyn RpcHandler>) -> Result<(Arc<dyn Connect>, RpcServer)>,
     ) -> Result<Self> {
-        let inner = Cluster::new(config)?;
         let mut servers = HashMap::new();
 
         let (manager_connector, server) = make_server(Arc::new(ManagerHost::new(Arc::clone(
@@ -142,8 +175,11 @@ impl NetCluster {
         ))))?;
         servers.insert("manager".to_string(), server);
 
+        // Serve the cluster's *metadata service* (the WAL-wrapped store on
+        // durable deployments) rather than the raw DHT, so remote metadata
+        // mutations hit the write-ahead log before they land in memory.
         let (meta_connector, server) = make_server(Arc::new(MetaHost::new(Arc::clone(
-            inner.metadata(),
+            inner.metadata_service(),
         )
             as Arc<dyn MetadataStore>)))?;
         servers.insert("meta".to_string(), server);
@@ -198,6 +234,9 @@ impl NetCluster {
             config.retained_versions,
             config.flatten_threshold,
         ));
+        // On durable deployments the *networked* sweeper drives WAL
+        // checkpoints too, since it is the engine that actually runs.
+        inner.install_durable_maintenance(&lifecycle);
 
         Ok(NetCluster {
             inner,

@@ -228,12 +228,14 @@ fn evicted_versions_answer_version_retired() {
     );
 }
 
-/// A provider dying mid-sweep costs a counted error and leaked replicas —
-/// never a wrong answer. The dead endpoint's delete RPC fails, the sweep
-/// carries on with the remaining providers, and every retained version
-/// still reads correctly (replication fails reads over to live providers).
+/// A provider dying mid-sweep costs a counted error and *requeued*
+/// replicas — never a wrong answer. The dead endpoint's delete RPC fails,
+/// the sweep carries on with the remaining providers, the failed replicas
+/// go back to the version manager for a later retry, and every retained
+/// version still reads correctly (replication fails reads over to live
+/// providers).
 #[test]
-fn killed_provider_mid_sweep_leaks_without_corrupting() {
+fn killed_provider_mid_sweep_requeues_without_corrupting() {
     let config = ClusterConfig {
         io_timeout_ms: 300, // fail the dead endpoint's RPCs quickly
         chunk_cache_bytes: 0,
@@ -272,6 +274,10 @@ fn killed_provider_mid_sweep_leaks_without_corrupting() {
         stats.reclaimed_bytes > 0,
         "the sweep must still reclaim from the surviving providers"
     );
+    assert!(
+        stats.requeued_entries > 0,
+        "the dead endpoint's replicas must be requeued for retry, not dropped"
+    );
     assert_eq!(
         client
             .read_all(blob, None)
@@ -279,9 +285,84 @@ fn killed_provider_mid_sweep_leaks_without_corrupting() {
         model,
         "a sweep racing a dead provider must never corrupt retained data"
     );
-    // A later pass keeps working; the dead provider's replicas stay leaked
-    // (never double-freed) rather than wedging the sweeper.
+    // A later pass keeps working: the dead endpoint's replicas come back
+    // out of the requeue, fail again, and are requeued again — retried
+    // forever (never double-freed, never silently leaked) rather than
+    // wedging the sweeper.
     cluster.lifecycle().run_blob(blob);
+    let later = cluster.lifecycle().stats();
+    assert!(
+        later.requeued_entries > stats.requeued_entries,
+        "while the endpoint stays dead every pass must requeue, not drop"
+    );
+}
+
+/// The eventual-reclaim half of the requeue story: deletes aimed at an
+/// unavailable provider are journaled with the version manager and drained
+/// by the first sweep after the provider returns — the leak the old
+/// single-shot sweeper baked in is now a bounded delay.
+#[test]
+fn requeued_deletes_drain_once_the_provider_returns() {
+    let config = ClusterConfig {
+        io_timeout_ms: 300,
+        chunk_cache_bytes: 0,
+        retained_versions: 1,
+        ..lifecycle_config(false)
+    };
+    let cluster = NetCluster::new_channel(config, FaultPlan::none()).expect("cluster builds");
+    let client = cluster.client();
+    // Two replicas per chunk: reads survive the unavailable provider.
+    let blob = client
+        .create_blob(BlobConfig::new(CS, 2).expect("valid blob config"))
+        .expect("blob creates");
+    let mut model = Vec::new();
+    for i in 0..8u64 {
+        let data = pattern(CS as usize, i);
+        client.append(blob, &data).expect("append succeeds");
+        model.extend_from_slice(&data);
+    }
+    // Strand every chunk once: each overwrite retires its predecessor.
+    for i in 0..8u64 {
+        let patch = pattern(CS as usize, 100 + i);
+        client.write(blob, i * CS, &patch).expect("write succeeds");
+        model[(i * CS) as usize..((i + 1) * CS) as usize].copy_from_slice(&patch);
+    }
+    cluster
+        .fail_provider(ProviderId(0))
+        .expect("provider fails over a healthy wire");
+    cluster.lifecycle().run_blob(blob);
+    let mid = cluster.lifecycle().stats();
+    assert!(
+        mid.sweep_errors > 0,
+        "deletes aimed at the unavailable provider must fail"
+    );
+    assert!(
+        mid.requeued_entries > 0,
+        "the failed replicas must be journaled for retry"
+    );
+
+    cluster
+        .recover_provider(ProviderId(0))
+        .expect("provider recovers");
+    cluster.lifecycle().run_blob(blob);
+    let end = cluster.lifecycle().stats();
+    assert!(
+        end.reclaimed_chunks > mid.reclaimed_chunks,
+        "the requeued replicas must be reclaimed once the provider returns"
+    );
+    assert_eq!(
+        end.requeued_entries, mid.requeued_entries,
+        "a successful retry must drain the requeue, not grow it"
+    );
+    assert_eq!(
+        end.sweep_errors, mid.sweep_errors,
+        "retries against the recovered provider must succeed"
+    );
+    assert_eq!(
+        client.read_all(blob, None).expect("final read succeeds"),
+        model,
+        "requeue and drain must never disturb retained data"
+    );
 }
 
 /// The no-blocking story under load: a background lifecycle thread sweeping

@@ -1,0 +1,46 @@
+//! # blobseer-persist — the durable, log-structured persistence tier
+//!
+//! BlobSeer's versioning model is append-only all the way down: chunks are
+//! immutable, metadata tree nodes are immutable, and a version exists the
+//! instant the version manager publishes its snapshot descriptor. This
+//! crate maps that model onto disks with the only layout an append-only
+//! system needs — logs:
+//!
+//! - **Chunk segment files** ([`SegmentStore`]): each provider appends
+//!   sealed [`ChunkEnvelope`](blobseer_types::wire::ChunkEnvelope)s
+//!   verbatim (compressed chunks stay compressed) into per-record
+//!   CRC-framed segment files. Recovery re-maps each sealed segment as one
+//!   refcounted buffer, so post-restart reads are zero-copy slices of the
+//!   recovered file image — the same `payload_bytes_copied == 0` discipline
+//!   the RAM tier keeps. Deletes are tombstone records folded by
+//!   [`SegmentStore::compact`].
+//! - **Metadata WAL** ([`MetaWal`]): every blob creation, node batch,
+//!   commit, delete, retire and flatten is a framed record. Publication is
+//!   write-ahead: chunks and nodes land (and under
+//!   [`Durability::Commit`](blobseer_types::Durability) are fsynced) before
+//!   the commit record, so recovery can replay the log, truncate the torn
+//!   tail, keep the longest contiguous commit prefix per blob and drop
+//!   orphaned pre-commit records — a crash at any byte yields the last
+//!   complete version, never a torn snapshot.
+//! - **[`DurableTier`]**: one directory holding the WAL plus per-provider
+//!   segment stores; implements [`Journal`], the version manager's
+//!   durability hook, and takes periodic WAL checkpoints (compacted
+//!   rewrite via temp-file + fsync + rename).
+//!
+//! The crate sits below `blobseer-core` (which wires the tier into cluster
+//! construction and lifecycle maintenance) and beside `blobseer-provider`
+//! (whose [`ChunkStore`](blobseer_provider::ChunkStore) trait the segment
+//! store implements, with the RAM store relegated to cache duty).
+
+mod frame;
+mod segment;
+mod tier;
+mod wal;
+
+pub use frame::{
+    frame_record, record_crc, scan, Crc32, RecordView, ScanOutcome, RECORD_HEADER_BYTES,
+    RECORD_MAGIC,
+};
+pub use segment::{SegmentRecovery, SegmentStore, SegmentStoreOptions};
+pub use tier::{DurableTier, DurableTierOptions};
+pub use wal::{Journal, MetaWal, RecoveredBlob, RecoveredMetadata, RecoveryStats, WalMetaStore};

@@ -1,0 +1,762 @@
+//! Append-only chunk segment files: the durable backend behind
+//! [`blobseer_provider::ChunkStore`].
+//!
+//! One provider owns one directory of `seg-NNNNNN.log` files. Every sealed
+//! [`ChunkEnvelope`] is appended verbatim as one CRC-framed record
+//! ([`crate::frame`]); an in-memory index maps chunk ids to record
+//! locations. Removals append *tombstone* records — the log itself is never
+//! rewritten in place — and [`SegmentStore::compact`] folds tombstoned and
+//! superseded bytes away by rewriting survivors into the active segment.
+//!
+//! Reads are zero-copy in the spirit of the `OwnedArchivedVersionChanges`
+//! pattern: a recovered or sealed segment is held as one refcounted
+//! [`Bytes`] buffer and every read hands out `buf.slice(..)` views of it —
+//! the payload is never memcpy'd, so aligned reads keep the client's
+//! `payload_bytes_copied == 0` even after a cold restart. Each mapped read
+//! re-verifies the record CRC; a mismatch surfaces as the retryable
+//! [`BlobError::Transport`] so readers rotate to another replica instead of
+//! consuming silent corruption.
+
+use crate::frame::{frame_record, record_crc, scan, RECORD_HEADER_BYTES};
+use blobseer_provider::ChunkStore;
+use blobseer_types::wire::{encode, WireReader};
+use blobseer_types::{BlobError, ChunkEnvelope, ChunkId, Durability, EnvelopeHeader, Result};
+use bytes::Bytes;
+use parking_lot::{Mutex, RwLock};
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Record kinds of the chunk segment log.
+const KIND_CHUNK: u8 = 1;
+const KIND_TOMBSTONE: u8 = 2;
+
+/// Wire size of a `ChunkId` (three `u64`s).
+const CHUNK_ID_BYTES: usize = 24;
+/// Wire size of an `EnvelopeHeader` (encoding tag + logical len + physical
+/// len).
+const ENVELOPE_HEADER_BYTES: usize = 13;
+
+/// Tuning knobs of a [`SegmentStore`].
+#[derive(Debug, Clone, Copy)]
+pub struct SegmentStoreOptions {
+    /// Fsync policy: `Always` syncs every appended record, everything else
+    /// leaves syncing to [`SegmentStore::sync`] (called by the durable
+    /// tier's commit hook under `Commit`).
+    pub durability: Durability,
+    /// Size at which the active segment file is sealed and a new one
+    /// started.
+    pub segment_bytes: u64,
+}
+
+impl Default for SegmentStoreOptions {
+    fn default() -> Self {
+        SegmentStoreOptions {
+            durability: Durability::default(),
+            segment_bytes: 64 << 20,
+        }
+    }
+}
+
+/// What recovery found while opening a segment directory.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SegmentRecovery {
+    /// Live chunks indexed after replaying every segment.
+    pub recovered_chunks: u64,
+    /// Torn-tail bytes physically truncated.
+    pub truncated_bytes: u64,
+    /// Complete-but-CRC-failing records kept addressable (reads of them
+    /// fail retryably) plus undecodable ones dropped.
+    pub corrupt_records: u64,
+    /// Segment files opened.
+    pub segments: u64,
+}
+
+/// Where one chunk's record lives.
+#[derive(Debug, Clone)]
+struct Slot {
+    seg: u64,
+    /// Record span within the segment file (framing included).
+    start: u64,
+    end: u64,
+    header: EnvelopeHeader,
+    crc: u32,
+    /// Envelope as written this process run; `None` once the segment sealed
+    /// (or for recovered records), in which case reads map the segment
+    /// buffer.
+    resident: Option<ChunkEnvelope>,
+}
+
+struct Index {
+    slots: HashMap<ChunkId, Slot>,
+    /// Sealed (and recovered-prefix) segment buffers, one refcounted
+    /// allocation per segment.
+    buffers: HashMap<u64, Bytes>,
+}
+
+struct Active {
+    seg: u64,
+    file: File,
+    len: u64,
+}
+
+/// The log-structured durable chunk store.
+pub struct SegmentStore {
+    dir: PathBuf,
+    opts: SegmentStoreOptions,
+    active: Mutex<Active>,
+    index: RwLock<Index>,
+    bytes: AtomicU64,
+    recovery: SegmentRecovery,
+}
+
+fn segment_path(dir: &Path, seg: u64) -> PathBuf {
+    dir.join(format!("seg-{seg:06}.log"))
+}
+
+fn segment_number(path: &Path) -> Option<u64> {
+    let name = path.file_name()?.to_str()?;
+    let digits = name.strip_prefix("seg-")?.strip_suffix(".log")?;
+    digits.parse().ok()
+}
+
+fn chunk_record(id: &ChunkId, data: &ChunkEnvelope) -> Vec<u8> {
+    let mut payload =
+        Vec::with_capacity(CHUNK_ID_BYTES + ENVELOPE_HEADER_BYTES + data.payload().len());
+    payload.extend_from_slice(&encode(id));
+    payload.extend_from_slice(&encode(&data.header()));
+    payload.extend_from_slice(data.payload());
+    frame_record(KIND_CHUNK, &payload)
+}
+
+impl SegmentStore {
+    /// Opens (or creates) the segment directory, replaying every segment
+    /// file: torn tails are physically truncated, tombstones are folded into
+    /// the index, and the last segment becomes the active append target.
+    pub fn open(dir: impl AsRef<Path>, opts: SegmentStoreOptions) -> Result<Self> {
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir)?;
+        let mut seg_numbers: Vec<u64> = std::fs::read_dir(&dir)?
+            .filter_map(|entry| segment_number(&entry.ok()?.path()))
+            .collect();
+        seg_numbers.sort_unstable();
+        if seg_numbers.is_empty() {
+            seg_numbers.push(1);
+        }
+
+        let mut slots: HashMap<ChunkId, Slot> = HashMap::new();
+        let mut buffers = HashMap::new();
+        let mut recovery = SegmentRecovery::default();
+        let last_seg = *seg_numbers.last().unwrap();
+        for &seg in &seg_numbers {
+            let path = segment_path(&dir, seg);
+            let raw = match std::fs::read(&path) {
+                Ok(raw) => raw,
+                Err(err) if err.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+                Err(err) => return Err(err.into()),
+            };
+            let outcome = scan(&raw);
+            let mut cut = outcome.valid_len;
+            let mut records = outcome.records;
+            // A final record with intact framing but a failing CRC is a torn
+            // append (the payload write itself was interrupted): cut there.
+            // Mid-file CRC failures are at-rest corruption and stay
+            // addressable so reads fail loudly instead of missing silently.
+            if let Some(last) = records.last() {
+                if !last.crc_ok {
+                    cut = last.span.start;
+                    records.pop();
+                }
+            }
+            recovery.truncated_bytes += (raw.len() - cut) as u64;
+            let buf = Bytes::from(raw).slice(0..cut);
+            for record in records {
+                let payload = &buf[record.payload.clone()];
+                match record.kind {
+                    KIND_CHUNK => {
+                        let mut reader = WireReader::new(payload);
+                        let parsed = reader
+                            .get::<ChunkId>()
+                            .and_then(|id| Ok((id, reader.get::<EnvelopeHeader>()?)));
+                        match parsed {
+                            Ok((id, header))
+                                if RECORD_HEADER_BYTES
+                                    + CHUNK_ID_BYTES
+                                    + ENVELOPE_HEADER_BYTES
+                                    + header.physical_len as usize
+                                    == record.span.len() =>
+                            {
+                                if !record.crc_ok {
+                                    recovery.corrupt_records += 1;
+                                }
+                                slots.insert(
+                                    id,
+                                    Slot {
+                                        seg,
+                                        start: record.span.start as u64,
+                                        end: record.span.end as u64,
+                                        header,
+                                        crc: record.crc,
+                                        resident: None,
+                                    },
+                                );
+                            }
+                            // Undecodable chunk record: unreachable with a
+                            // passing CRC, droppable garbage without one.
+                            _ => recovery.corrupt_records += 1,
+                        }
+                    }
+                    KIND_TOMBSTONE => {
+                        if record.crc_ok {
+                            if let Ok(id) = blobseer_types::wire::decode::<ChunkId>(payload) {
+                                slots.remove(&id);
+                                continue;
+                            }
+                        }
+                        // A corrupt tombstone is ignored rather than applied:
+                        // deleting the wrong chunk is worse than leaking one
+                        // (the sweeper re-issues deletes it could not prove).
+                        recovery.corrupt_records += 1;
+                    }
+                    _ => recovery.corrupt_records += 1,
+                }
+            }
+            if !buf.is_empty() {
+                buffers.insert(seg, buf);
+            }
+            // Physically drop the torn tail so future appends extend a
+            // well-framed file.
+            let file_len = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+            if file_len > cut as u64 {
+                let file = OpenOptions::new().write(true).open(&path)?;
+                file.set_len(cut as u64)?;
+                file.sync_data()?;
+            }
+            recovery.segments += 1;
+        }
+
+        let active_path = segment_path(&dir, last_seg);
+        let file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&active_path)?;
+        let len = file.metadata()?.len();
+        let bytes = slots
+            .values()
+            .map(|slot| u64::from(slot.header.physical_len))
+            .sum();
+        recovery.recovered_chunks = slots.len() as u64;
+        Ok(SegmentStore {
+            dir,
+            opts,
+            active: Mutex::new(Active {
+                seg: last_seg,
+                file,
+                len,
+            }),
+            index: RwLock::new(Index { slots, buffers }),
+            bytes: AtomicU64::new(bytes),
+            recovery,
+        })
+    }
+
+    /// What recovery found when this store was opened.
+    #[must_use]
+    pub fn recovery(&self) -> SegmentRecovery {
+        self.recovery
+    }
+
+    /// The directory the segments live in.
+    #[must_use]
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Flushes the active segment to stable storage. The durable tier calls
+    /// this from its commit hook under [`Durability::Commit`], *before* the
+    /// WAL commit record is written — the write-ahead ordering that makes
+    /// publication atomic.
+    pub fn sync(&self) -> Result<()> {
+        self.active.lock().file.sync_data()?;
+        Ok(())
+    }
+
+    /// Number of segment files currently on disk.
+    #[must_use]
+    pub fn segment_count(&self) -> usize {
+        let active_seg = self.active.lock().seg;
+        let sealed = self
+            .index
+            .read()
+            .buffers
+            .keys()
+            .filter(|&&seg| seg != active_seg)
+            .count();
+        sealed + 1
+    }
+
+    /// Bytes that a [`SegmentStore::compact`] pass could reclaim: everything
+    /// in sealed segments not covered by a live record.
+    #[must_use]
+    pub fn reclaimable_bytes(&self) -> u64 {
+        let active_seg = self.active.lock().seg;
+        let index = self.index.read();
+        let mut live: HashMap<u64, u64> = HashMap::new();
+        for slot in index.slots.values() {
+            *live.entry(slot.seg).or_default() += slot.end - slot.start;
+        }
+        index
+            .buffers
+            .iter()
+            .filter(|(&seg, _)| seg != active_seg)
+            .map(|(seg, buf)| buf.len() as u64 - live.get(seg).copied().unwrap_or(0))
+            .sum()
+    }
+
+    /// Rewrites every sealed segment's surviving records into the active
+    /// segment and deletes the sealed files, folding tombstoned, superseded
+    /// and torn bytes away. Returns `(segments_removed, bytes_reclaimed)`.
+    /// Corrupt records are dropped (they were unreadable anyway; replication
+    /// and writer repair own redundancy).
+    pub fn compact(&self) -> Result<(u64, u64)> {
+        let mut removed_segments = 0u64;
+        let mut reclaimed = 0u64;
+        // Only segments sealed *before* this pass are victims. The rewrite
+        // below may roll the active segment, sealing fresh buffers full of
+        // survivors mid-flight; chasing those would copy the same records
+        // forward forever.
+        let victims: Vec<u64> = {
+            let active_seg = self.active.lock().seg;
+            let mut sealed: Vec<u64> = self
+                .index
+                .read()
+                .buffers
+                .keys()
+                .copied()
+                .filter(|&seg| seg != active_seg)
+                .collect();
+            sealed.sort_unstable();
+            sealed
+        };
+        for victim in victims {
+            if !self.index.read().buffers.contains_key(&victim) {
+                continue;
+            }
+            let (buf, survivors) = {
+                let index = self.index.read();
+                let buf = index.buffers[&victim].clone();
+                let survivors: Vec<(ChunkId, Slot)> = index
+                    .slots
+                    .iter()
+                    .filter(|(_, slot)| slot.seg == victim)
+                    .map(|(id, slot)| (*id, slot.clone()))
+                    .collect();
+                (buf, survivors)
+            };
+            let mut live_bytes = 0u64;
+            for (id, slot) in survivors {
+                live_bytes += slot.end - slot.start;
+                match self.mapped_envelope(&buf, &slot) {
+                    Ok(envelope) => {
+                        self.append_chunk(&id, &envelope)?;
+                    }
+                    Err(_) => {
+                        // Unreadable at rest: dropping it here converts a
+                        // permanent read error into a clean miss replicas
+                        // can answer.
+                        self.index.write().slots.remove(&id);
+                        self.bytes
+                            .fetch_sub(u64::from(slot.header.physical_len), Ordering::Relaxed);
+                    }
+                }
+            }
+            self.index.write().buffers.remove(&victim);
+            let path = segment_path(&self.dir, victim);
+            let file_len = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+            std::fs::remove_file(&path)?;
+            removed_segments += 1;
+            reclaimed += file_len.saturating_sub(live_bytes);
+        }
+        Ok((removed_segments, reclaimed))
+    }
+
+    /// Builds a zero-copy envelope out of a mapped record, re-verifying its
+    /// CRC against the buffer contents.
+    fn mapped_envelope(&self, buf: &Bytes, slot: &Slot) -> Result<ChunkEnvelope> {
+        let start = slot.start as usize;
+        let end = slot.end as usize;
+        if end > buf.len() {
+            return Err(BlobError::Internal(format!(
+                "segment record {start}..{end} is beyond the {}-byte buffer",
+                buf.len()
+            )));
+        }
+        let body = &buf[start + RECORD_HEADER_BYTES..end];
+        if record_crc(KIND_CHUNK, body) != slot.crc {
+            return Err(BlobError::Transport(format!(
+                "chunk record CRC mismatch at segment {} offset {start} (at-rest corruption)",
+                slot.seg
+            )));
+        }
+        let payload_start = start + RECORD_HEADER_BYTES + CHUNK_ID_BYTES + ENVELOPE_HEADER_BYTES;
+        slot.header.into_envelope(buf.slice(payload_start..end))
+    }
+
+    /// Appends one chunk record to the active segment and indexes it,
+    /// sealing the segment first if it is over budget. The caller has
+    /// already resolved immutability conflicts.
+    fn append_chunk(&self, id: &ChunkId, data: &ChunkEnvelope) -> Result<()> {
+        let record = chunk_record(id, data);
+        let slot = self.append_record(&record, |seg, start| Slot {
+            seg,
+            start,
+            end: start + record.len() as u64,
+            header: data.header(),
+            crc: record_crc(KIND_CHUNK, &record[RECORD_HEADER_BYTES..]),
+            resident: Some(data.clone()),
+        })?;
+        let replaced = self.index.write().slots.insert(*id, slot);
+        let mut delta = data.physical_len();
+        if let Some(old) = replaced {
+            delta = delta.saturating_sub(u64::from(old.header.physical_len));
+        }
+        self.bytes.fetch_add(delta, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Appends a framed record, rolling the active segment when over
+    /// budget, and returns the slot built by `make_slot` from the record's
+    /// location.
+    fn append_record(
+        &self,
+        record: &[u8],
+        make_slot: impl FnOnce(u64, u64) -> Slot,
+    ) -> Result<Slot> {
+        let mut active = self.active.lock();
+        if active.len >= self.opts.segment_bytes && active.len > 0 {
+            self.seal_active(&mut active)?;
+        }
+        let start = active.len;
+        active.file.write_all(record)?;
+        if self.opts.durability == Durability::Always {
+            active.file.sync_data()?;
+        }
+        active.len += record.len() as u64;
+        Ok(make_slot(active.seg, start))
+    }
+
+    /// Seals the active segment: its full contents become one refcounted
+    /// buffer (resident envelopes are dropped — reads map the buffer from
+    /// now on) and a fresh segment file becomes the append target.
+    fn seal_active(&self, active: &mut Active) -> Result<()> {
+        active.file.flush()?;
+        active.file.sync_data()?;
+        let sealed_path = segment_path(&self.dir, active.seg);
+        let buf = Bytes::from(std::fs::read(&sealed_path)?);
+        {
+            let mut index = self.index.write();
+            index.buffers.insert(active.seg, buf);
+            for slot in index.slots.values_mut() {
+                if slot.seg == active.seg {
+                    slot.resident = None;
+                }
+            }
+        }
+        let next = active.seg + 1;
+        let file = OpenOptions::new()
+            .create_new(true)
+            .append(true)
+            .open(segment_path(&self.dir, next))?;
+        active.seg = next;
+        active.file = file;
+        active.len = 0;
+        Ok(())
+    }
+}
+
+impl ChunkStore for SegmentStore {
+    fn put(&self, id: ChunkId, data: ChunkEnvelope) -> Result<()> {
+        match self.get(&id) {
+            Ok(Some(existing)) if existing == data => return Ok(()),
+            Ok(Some(_)) => {
+                return Err(BlobError::Internal(format!(
+                    "conflicting immutable chunk write for {id}"
+                )))
+            }
+            // A corrupt at-rest copy is superseded by the rewrite: writers
+            // repairing a failed read land here.
+            Ok(None) | Err(_) => {}
+        }
+        self.append_chunk(&id, &data)
+    }
+
+    fn get(&self, id: &ChunkId) -> Result<Option<ChunkEnvelope>> {
+        let index = self.index.read();
+        let Some(slot) = index.slots.get(id) else {
+            return Ok(None);
+        };
+        if let Some(resident) = &slot.resident {
+            return Ok(Some(resident.clone()));
+        }
+        let Some(buf) = index.buffers.get(&slot.seg) else {
+            return Err(BlobError::Internal(format!(
+                "segment {} of {id} has no mapped buffer",
+                slot.seg
+            )));
+        };
+        self.mapped_envelope(buf, slot).map(Some)
+    }
+
+    fn remove(&self, id: &ChunkId) -> Option<u64> {
+        // Check membership first so removing an absent chunk appends
+        // nothing; the tombstone lands before the index forgets the chunk,
+        // mirroring recovery's replay order.
+        if !self.index.read().slots.contains_key(id) {
+            return None;
+        }
+        let record = frame_record(KIND_TOMBSTONE, &encode(id));
+        self.append_record(&record, |seg, start| Slot {
+            seg,
+            start,
+            end: start + record.len() as u64,
+            header: EnvelopeHeader {
+                encoding: blobseer_types::ChunkEncoding::Verbatim,
+                logical_len: 0,
+                physical_len: 0,
+            },
+            crc: 0,
+            resident: None,
+        })
+        .ok()?;
+        let slot = self.index.write().slots.remove(id)?;
+        let freed = u64::from(slot.header.physical_len);
+        self.bytes.fetch_sub(freed, Ordering::Relaxed);
+        Some(freed)
+    }
+
+    fn chunk_count(&self) -> usize {
+        self.index.read().slots.len()
+    }
+
+    fn bytes_stored(&self) -> u64 {
+        self.bytes.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blobseer_types::BlobId;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("blobseer-persist-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn cid(slot: u64) -> ChunkId {
+        ChunkId {
+            blob: BlobId(1),
+            write_tag: 7,
+            slot,
+        }
+    }
+
+    fn env(data: Vec<u8>) -> ChunkEnvelope {
+        ChunkEnvelope::verbatim(Bytes::from(data))
+    }
+
+    #[test]
+    fn roundtrip_and_reopen_recovers_everything() {
+        let dir = temp_dir("roundtrip");
+        {
+            let store = SegmentStore::open(&dir, SegmentStoreOptions::default()).unwrap();
+            for i in 0..10u64 {
+                store.put(cid(i), env(vec![i as u8; 100])).unwrap();
+            }
+            assert_eq!(store.chunk_count(), 10);
+            assert_eq!(store.bytes_stored(), 1000);
+        }
+        let store = SegmentStore::open(&dir, SegmentStoreOptions::default()).unwrap();
+        assert_eq!(store.recovery().recovered_chunks, 10);
+        assert_eq!(store.recovery().truncated_bytes, 0);
+        assert_eq!(store.chunk_count(), 10);
+        assert_eq!(store.bytes_stored(), 1000);
+        for i in 0..10u64 {
+            assert_eq!(
+                store.get(&cid(i)).unwrap().unwrap(),
+                env(vec![i as u8; 100])
+            );
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn recovered_reads_share_the_segment_buffer() {
+        let dir = temp_dir("zerocopy");
+        {
+            let store = SegmentStore::open(&dir, SegmentStoreOptions::default()).unwrap();
+            store.put(cid(0), env(vec![42u8; 4096])).unwrap();
+        }
+        let store = SegmentStore::open(&dir, SegmentStoreOptions::default()).unwrap();
+        let a = store.get(&cid(0)).unwrap().unwrap();
+        let b = store.get(&cid(0)).unwrap().unwrap();
+        // Both reads are slices of the same recovered buffer: identical
+        // payload addresses prove no copy was made.
+        assert_eq!(a.payload().as_ptr(), b.payload().as_ptr());
+        assert_eq!(a.payload().len(), 4096);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn compressed_envelopes_survive_restart_without_recoding() {
+        let dir = temp_dir("codec");
+        let sealed = ChunkEnvelope::compressed(8192, Bytes::from(vec![3u8; 512]));
+        {
+            let store = SegmentStore::open(&dir, SegmentStoreOptions::default()).unwrap();
+            store.put(cid(0), sealed.clone()).unwrap();
+        }
+        let store = SegmentStore::open(&dir, SegmentStoreOptions::default()).unwrap();
+        let back = store.get(&cid(0)).unwrap().unwrap();
+        assert_eq!(back, sealed);
+        assert!(!back.is_verbatim());
+        assert_eq!(back.logical_len(), 8192);
+        assert_eq!(store.bytes_stored(), 512);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_on_reopen() {
+        let dir = temp_dir("torn");
+        {
+            let store = SegmentStore::open(&dir, SegmentStoreOptions::default()).unwrap();
+            store.put(cid(0), env(vec![1u8; 64])).unwrap();
+            store.put(cid(1), env(vec![2u8; 64])).unwrap();
+        }
+        // Simulate a crash mid-append: chop the last record in half.
+        let path = segment_path(&dir, 1);
+        let len = std::fs::metadata(&path).unwrap().len();
+        let file = OpenOptions::new().write(true).open(&path).unwrap();
+        file.set_len(len - 40).unwrap();
+        drop(file);
+        let store = SegmentStore::open(&dir, SegmentStoreOptions::default()).unwrap();
+        assert_eq!(store.recovery().recovered_chunks, 1);
+        assert!(store.recovery().truncated_bytes > 0);
+        assert_eq!(store.get(&cid(0)).unwrap().unwrap(), env(vec![1u8; 64]));
+        assert_eq!(store.get(&cid(1)).unwrap(), None);
+        // Appends after the truncation work and survive another reopen.
+        store.put(cid(2), env(vec![3u8; 64])).unwrap();
+        drop(store);
+        let store = SegmentStore::open(&dir, SegmentStoreOptions::default()).unwrap();
+        assert_eq!(store.recovery().recovered_chunks, 2);
+        assert_eq!(store.recovery().truncated_bytes, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn flipped_byte_surfaces_as_retryable_transport_error() {
+        let dir = temp_dir("corrupt");
+        {
+            let store = SegmentStore::open(&dir, SegmentStoreOptions::default()).unwrap();
+            store.put(cid(0), env(vec![5u8; 256])).unwrap();
+            store.put(cid(1), env(vec![6u8; 256])).unwrap();
+        }
+        // Flip one payload byte of the FIRST record (not the last, which
+        // the torn-tail rule would truncate instead).
+        let path = segment_path(&dir, 1);
+        let mut raw = std::fs::read(&path).unwrap();
+        raw[RECORD_HEADER_BYTES + CHUNK_ID_BYTES + ENVELOPE_HEADER_BYTES + 17] ^= 0xFF;
+        std::fs::write(&path, &raw).unwrap();
+        let store = SegmentStore::open(&dir, SegmentStoreOptions::default()).unwrap();
+        assert_eq!(store.recovery().corrupt_records, 1);
+        assert!(matches!(store.get(&cid(0)), Err(BlobError::Transport(_))));
+        // The chunk still *counts* as held — it exists, it is unreadable.
+        assert!(store.contains(&cid(0)));
+        assert_eq!(store.get(&cid(1)).unwrap().unwrap(), env(vec![6u8; 256]));
+        // A writer repairing the chunk overwrites the corrupt copy.
+        store.put(cid(0), env(vec![5u8; 256])).unwrap();
+        assert_eq!(store.get(&cid(0)).unwrap().unwrap(), env(vec![5u8; 256]));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn tombstones_survive_restart_and_compaction_reclaims() {
+        let dir = temp_dir("tombstone");
+        let opts = SegmentStoreOptions {
+            segment_bytes: 1024,
+            ..SegmentStoreOptions::default()
+        };
+        {
+            let store = SegmentStore::open(&dir, opts).unwrap();
+            for i in 0..20u64 {
+                store.put(cid(i), env(vec![i as u8; 200])).unwrap();
+            }
+            for i in 0..10u64 {
+                assert_eq!(store.remove(&cid(i)), Some(200));
+            }
+            assert_eq!(store.remove(&cid(0)), None, "removals are idempotent");
+            assert_eq!(store.chunk_count(), 10);
+        }
+        let store = SegmentStore::open(&dir, opts).unwrap();
+        assert_eq!(store.chunk_count(), 10, "tombstones replayed on reopen");
+        assert!(store.get(&cid(3)).unwrap().is_none());
+        assert!(store.get(&cid(15)).unwrap().is_some());
+        assert!(store.segment_count() > 1);
+        assert!(store.reclaimable_bytes() > 0);
+        let (segments, reclaimed) = store.compact().unwrap();
+        assert!(segments > 0);
+        assert!(reclaimed > 0);
+        // Every survivor still reads back after compaction and a reopen.
+        for i in 10..20u64 {
+            assert_eq!(
+                store.get(&cid(i)).unwrap().unwrap(),
+                env(vec![i as u8; 200])
+            );
+        }
+        drop(store);
+        let store = SegmentStore::open(&dir, opts).unwrap();
+        assert_eq!(store.chunk_count(), 10);
+        for i in 10..20u64 {
+            assert_eq!(
+                store.get(&cid(i)).unwrap().unwrap(),
+                env(vec![i as u8; 200])
+            );
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn segments_roll_at_the_configured_size() {
+        let dir = temp_dir("roll");
+        let opts = SegmentStoreOptions {
+            segment_bytes: 512,
+            ..SegmentStoreOptions::default()
+        };
+        let store = SegmentStore::open(&dir, opts).unwrap();
+        for i in 0..8u64 {
+            store.put(cid(i), env(vec![i as u8; 300])).unwrap();
+        }
+        assert!(store.segment_count() >= 4);
+        // Sealed-segment reads still verify and return the right bytes.
+        for i in 0..8u64 {
+            assert_eq!(
+                store.get(&cid(i)).unwrap().unwrap(),
+                env(vec![i as u8; 300])
+            );
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn conflicting_rewrites_are_rejected() {
+        let dir = temp_dir("conflict");
+        let store = SegmentStore::open(&dir, SegmentStoreOptions::default()).unwrap();
+        store.put(cid(0), env(vec![1u8; 16])).unwrap();
+        store.put(cid(0), env(vec![1u8; 16])).unwrap();
+        assert!(store.put(cid(0), env(vec![2u8; 16])).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

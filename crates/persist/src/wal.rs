@@ -1,0 +1,749 @@
+//! The metadata write-ahead log: an indexed append-only record of every
+//! durable metadata mutation, with periodic checkpoints.
+//!
+//! Write-ahead ordering makes publication atomic: a writer's chunks land in
+//! segment files and its tree nodes land here (`PutNodes`) *before* the
+//! version manager's `Commit` record is appended — and the commit record is
+//! appended (and, under [`Durability::Commit`], fsynced behind the chunk
+//! segments) before the client's write is acknowledged. Recovery replays
+//! the log, truncates any torn tail, applies the longest contiguous commit
+//! prefix per blob, and drops every orphaned pre-commit record (nodes of
+//! versions whose commit never made it).
+//!
+//! A checkpoint rewrites the log as a compacted image of the live state
+//! (blobs, surviving nodes, commit prefix) via write-to-temp + fsync +
+//! rename, so the log does not grow with history forever.
+
+use crate::frame::{frame_record, scan};
+use blobseer_meta::{MetadataStore, NodeBody, NodeKey, SnapshotDescriptor};
+use blobseer_types::wire::{WireReader, WireWriter};
+use blobseer_types::{BlobConfig, BlobError, BlobId, ChunkCodec, Durability, Result, Version};
+use parking_lot::Mutex;
+use std::collections::{BTreeMap, HashMap};
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Record kinds of the metadata WAL.
+const KIND_CREATE_BLOB: u8 = 1;
+const KIND_PUT_NODES: u8 = 2;
+const KIND_COMMIT: u8 = 3;
+const KIND_DELETE_NODES: u8 = 4;
+const KIND_RETIRE: u8 = 5;
+const KIND_FLATTEN: u8 = 6;
+
+fn put_blob_config(w: &mut WireWriter, config: &BlobConfig) {
+    w.put_u64(config.chunk_size);
+    w.put_u64(config.replication as u64);
+    w.put_u64(config.meta_retry.initial_delay_us);
+    w.put_u64(config.meta_retry.max_delay_us);
+    w.put_u32(config.meta_retry.max_attempts);
+    match config.chunk_codec {
+        None => w.put_u8(0),
+        Some(ChunkCodec::Off) => w.put_u8(1),
+        Some(ChunkCodec::Fast) => w.put_u8(2),
+    }
+}
+
+fn get_blob_config(r: &mut WireReader<'_>) -> Result<BlobConfig> {
+    let chunk_size = r.get_u64()?;
+    let replication = r.get_u64()? as usize;
+    let meta_retry = blobseer_types::RetryPolicy {
+        initial_delay_us: r.get_u64()?,
+        max_delay_us: r.get_u64()?,
+        max_attempts: r.get_u32()?,
+    };
+    let chunk_codec = match r.get_u8()? {
+        0 => None,
+        1 => Some(ChunkCodec::Off),
+        2 => Some(ChunkCodec::Fast),
+        tag => {
+            return Err(BlobError::Transport(format!(
+                "wal: unknown chunk codec tag {tag}"
+            )))
+        }
+    };
+    Ok(BlobConfig {
+        chunk_size,
+        replication,
+        meta_retry,
+        chunk_codec,
+    })
+}
+
+fn put_descriptor(w: &mut WireWriter, descriptor: &SnapshotDescriptor) {
+    w.put(&descriptor.version);
+    w.put_u64(descriptor.size);
+    w.put_u64(descriptor.chunk_size);
+    w.put_u8(u8::from(descriptor.flat));
+}
+
+fn get_descriptor(r: &mut WireReader<'_>) -> Result<SnapshotDescriptor> {
+    Ok(SnapshotDescriptor {
+        version: r.get()?,
+        size: r.get_u64()?,
+        chunk_size: r.get_u64()?,
+        flat: r.get_u8()? != 0,
+    })
+}
+
+/// One blob as the WAL knows it after replay.
+#[derive(Debug, Clone)]
+pub struct RecoveredBlob {
+    /// The blob's id.
+    pub id: BlobId,
+    /// Creation-time configuration.
+    pub config: BlobConfig,
+    /// The contiguous published prefix, version 0's implicit descriptor
+    /// included. Commits past a gap (torn publishes) are dropped.
+    pub published: Vec<SnapshotDescriptor>,
+    /// Lifecycle floor replayed from `Retire` records.
+    pub first_retained: Version,
+}
+
+/// Counters describing one recovery pass (surfaced through cluster stats
+/// and the cold-restart figure).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryStats {
+    /// WAL records replayed (after tail truncation).
+    pub wal_replayed_records: u64,
+    /// Torn-tail bytes truncated from the WAL.
+    pub wal_truncated_bytes: u64,
+    /// Blobs restored.
+    pub recovered_blobs: u64,
+    /// Metadata nodes surviving replay and orphan filtering.
+    pub recovered_nodes: u64,
+    /// Pre-commit nodes dropped (their version's commit never landed).
+    pub orphaned_nodes_dropped: u64,
+    /// Commit records dropped for landing past a version gap.
+    pub torn_commits_dropped: u64,
+    /// Live chunks indexed across every provider's segment store.
+    pub recovered_chunks: u64,
+    /// Torn-tail bytes truncated across segment files.
+    pub segment_truncated_bytes: u64,
+    /// Corrupt (CRC-failing) segment records encountered.
+    pub corrupt_chunk_records: u64,
+}
+
+/// Everything recovery reconstructed from the WAL, ready to install into a
+/// fresh version manager and metadata store.
+#[derive(Debug, Clone, Default)]
+pub struct RecoveredMetadata {
+    /// Restored blobs with their contiguous published prefixes.
+    pub blobs: Vec<RecoveredBlob>,
+    /// Surviving metadata nodes (orphans already dropped).
+    pub nodes: Vec<(NodeKey, NodeBody)>,
+    /// Replay counters (chunk-side fields still zero; the durable tier
+    /// fills them in from its segment stores).
+    pub stats: RecoveryStats,
+}
+
+#[derive(Debug)]
+struct ReplayBlob {
+    config: Option<BlobConfig>,
+    commits: BTreeMap<u64, SnapshotDescriptor>,
+    flattened: Vec<Version>,
+    first_retained: Version,
+}
+
+impl Default for ReplayBlob {
+    fn default() -> Self {
+        ReplayBlob {
+            config: None,
+            commits: BTreeMap::new(),
+            flattened: Vec::new(),
+            first_retained: Version(0),
+        }
+    }
+}
+
+struct WalFile {
+    file: File,
+}
+
+/// The append-only metadata log.
+pub struct MetaWal {
+    path: PathBuf,
+    durability: Durability,
+    inner: Mutex<WalFile>,
+    records_since_checkpoint: AtomicU64,
+    checkpoints: AtomicU64,
+}
+
+impl MetaWal {
+    /// Opens (or creates) the WAL at `path`, replaying its records. The torn
+    /// tail — everything at and past the first incomplete, CRC-failing or
+    /// undecodable record — is physically truncated (a WAL cannot trust
+    /// anything past the first unprovable record).
+    pub fn open(
+        path: impl AsRef<Path>,
+        durability: Durability,
+    ) -> Result<(Self, RecoveredMetadata)> {
+        let path = path.as_ref().to_path_buf();
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        let raw = match std::fs::read(&path) {
+            Ok(raw) => raw,
+            Err(err) if err.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+            Err(err) => return Err(err.into()),
+        };
+        let outcome = scan(&raw);
+        let mut blobs: BTreeMap<BlobId, ReplayBlob> = BTreeMap::new();
+        let mut nodes: HashMap<NodeKey, NodeBody> = HashMap::new();
+        let mut cut = outcome.valid_len;
+        let mut replayed = 0u64;
+        for record in &outcome.records {
+            if !record.crc_ok {
+                cut = record.span.start;
+                break;
+            }
+            let payload = &raw[record.payload.clone()];
+            if Self::apply_record(record.kind, payload, &mut blobs, &mut nodes).is_err() {
+                cut = record.span.start;
+                break;
+            }
+            replayed += 1;
+        }
+        let truncated = (raw.len() - cut) as u64;
+        if (raw.len() as u64) > cut as u64 {
+            // Keep the valid prefix; set_len below cuts only the torn tail.
+            let file = OpenOptions::new()
+                .write(true)
+                .create(true)
+                .truncate(false)
+                .open(&path)?;
+            file.set_len(cut as u64)?;
+            file.sync_data()?;
+        }
+        let file = OpenOptions::new().create(true).append(true).open(&path)?;
+        let mut recovered = Self::finish_replay(blobs, nodes);
+        recovered.stats.wal_replayed_records = replayed;
+        recovered.stats.wal_truncated_bytes = truncated;
+        Ok((
+            MetaWal {
+                path,
+                durability,
+                inner: Mutex::new(WalFile { file }),
+                records_since_checkpoint: AtomicU64::new(replayed),
+                checkpoints: AtomicU64::new(0),
+            },
+            recovered,
+        ))
+    }
+
+    fn apply_record(
+        kind: u8,
+        payload: &[u8],
+        blobs: &mut BTreeMap<BlobId, ReplayBlob>,
+        nodes: &mut HashMap<NodeKey, NodeBody>,
+    ) -> Result<()> {
+        let mut r = WireReader::new(payload);
+        match kind {
+            KIND_CREATE_BLOB => {
+                let id: BlobId = r.get()?;
+                let config = get_blob_config(&mut r)?;
+                r.expect_end()?;
+                blobs.entry(id).or_default().config = Some(config);
+            }
+            KIND_PUT_NODES => {
+                let batch: Vec<(NodeKey, NodeBody)> = r.get()?;
+                r.expect_end()?;
+                for (key, body) in batch {
+                    nodes.insert(key, body);
+                }
+            }
+            KIND_COMMIT => {
+                let id: BlobId = r.get()?;
+                let descriptor = get_descriptor(&mut r)?;
+                r.expect_end()?;
+                blobs
+                    .entry(id)
+                    .or_default()
+                    .commits
+                    .insert(descriptor.version.0, descriptor);
+            }
+            KIND_DELETE_NODES => {
+                let keys: Vec<NodeKey> = r.get()?;
+                r.expect_end()?;
+                for key in keys {
+                    nodes.remove(&key);
+                }
+            }
+            KIND_RETIRE => {
+                let id: BlobId = r.get()?;
+                let first_retained: Version = r.get()?;
+                r.expect_end()?;
+                let entry = blobs.entry(id).or_default();
+                entry.first_retained = entry.first_retained.max(first_retained);
+            }
+            KIND_FLATTEN => {
+                let id: BlobId = r.get()?;
+                let version: Version = r.get()?;
+                r.expect_end()?;
+                blobs.entry(id).or_default().flattened.push(version);
+            }
+            tag => {
+                return Err(BlobError::Transport(format!(
+                    "wal: unknown record kind {tag}"
+                )))
+            }
+        }
+        Ok(())
+    }
+
+    /// Applies prefix consistency and orphan filtering to the raw replay.
+    fn finish_replay(
+        blobs: BTreeMap<BlobId, ReplayBlob>,
+        nodes: HashMap<NodeKey, NodeBody>,
+    ) -> RecoveredMetadata {
+        let mut out = RecoveredMetadata::default();
+        let mut last_version: HashMap<BlobId, u64> = HashMap::new();
+        for (id, replay) in blobs {
+            // A blob whose create record is missing (pre-checkpoint
+            // corruption) cannot be restored; its nodes become orphans.
+            let Some(config) = replay.config else {
+                continue;
+            };
+            let mut published = vec![SnapshotDescriptor::initial(config.chunk_size)];
+            let mut next = 1u64;
+            while let Some(descriptor) = replay.commits.get(&next) {
+                published.push(*descriptor);
+                next += 1;
+            }
+            out.stats.torn_commits_dropped += replay.commits.range(next..).count() as u64;
+            for flattened in &replay.flattened {
+                if let Some(descriptor) = published.get_mut(flattened.0 as usize) {
+                    descriptor.flat = true;
+                }
+            }
+            last_version.insert(id, next - 1);
+            out.blobs.push(RecoveredBlob {
+                id,
+                config,
+                published,
+                first_retained: replay.first_retained,
+            });
+        }
+        for (key, body) in nodes {
+            match last_version.get(&key.blob) {
+                Some(&last) if key.version.0 <= last => out.nodes.push((key, body)),
+                // Orphaned pre-commit node: its write never published (or
+                // its whole blob never committed to existence).
+                _ => out.stats.orphaned_nodes_dropped += 1,
+            }
+        }
+        out.stats.recovered_blobs = out.blobs.len() as u64;
+        out.stats.recovered_nodes = out.nodes.len() as u64;
+        out
+    }
+
+    /// Path of the backing log file.
+    #[must_use]
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Records appended (or replayed) since the last checkpoint — the
+    /// trigger the durable tier's maintenance pass compares against its
+    /// checkpoint threshold.
+    #[must_use]
+    pub fn records_since_checkpoint(&self) -> u64 {
+        self.records_since_checkpoint.load(Ordering::Relaxed)
+    }
+
+    /// Checkpoints taken since open.
+    #[must_use]
+    pub fn checkpoints(&self) -> u64 {
+        self.checkpoints.load(Ordering::Relaxed)
+    }
+
+    fn append(&self, kind: u8, payload: &[u8], sync: bool) -> Result<()> {
+        let record = frame_record(kind, payload);
+        let mut inner = self.inner.lock();
+        inner.file.write_all(&record)?;
+        if sync && self.durability != Durability::Buffered {
+            inner.file.sync_data()?;
+        }
+        drop(inner);
+        self.records_since_checkpoint
+            .fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    fn sync_every_record(&self) -> bool {
+        self.durability == Durability::Always
+    }
+
+    /// Journals a blob creation. Synced before returning, whatever the
+    /// policy short of `Buffered` — handing out a blob id that a restart
+    /// forgets would let the next incarnation mint it twice.
+    pub fn log_create_blob(&self, blob: BlobId, config: &BlobConfig) -> Result<()> {
+        let mut w = WireWriter::new();
+        w.put(&blob);
+        put_blob_config(&mut w, config);
+        self.append(KIND_CREATE_BLOB, &w.finish(), true)
+    }
+
+    /// Journals a batch of published tree nodes (before they reach the
+    /// metadata store — the write-ahead half of publication).
+    pub fn log_put_nodes(&self, nodes: &[(NodeKey, NodeBody)]) -> Result<()> {
+        if nodes.is_empty() {
+            return Ok(());
+        }
+        let mut w = WireWriter::new();
+        w.put_u32(nodes.len() as u32);
+        for (key, body) in nodes {
+            w.put(key);
+            w.put(body);
+        }
+        self.append(KIND_PUT_NODES, &w.finish(), self.sync_every_record())
+    }
+
+    /// Journals a version-manager commit: the publication point. Synced
+    /// under every policy but `Buffered` — this is the record that makes a
+    /// version durable, and it must land after the chunks and nodes it
+    /// names (the caller syncs the chunk segments first).
+    pub fn log_commit(&self, blob: BlobId, descriptor: &SnapshotDescriptor) -> Result<()> {
+        let mut w = WireWriter::new();
+        w.put(&blob);
+        put_descriptor(&mut w, descriptor);
+        self.append(KIND_COMMIT, &w.finish(), true)
+    }
+
+    /// Journals a sweeper delete so recovery does not resurrect swept nodes.
+    pub fn log_delete_nodes(&self, keys: &[NodeKey]) -> Result<()> {
+        if keys.is_empty() {
+            return Ok(());
+        }
+        let mut w = WireWriter::new();
+        w.put(&keys.to_vec());
+        self.append(KIND_DELETE_NODES, &w.finish(), self.sync_every_record())
+    }
+
+    /// Journals a lifecycle retention floor so recovery does not resurrect
+    /// retired versions.
+    pub fn log_retire(&self, blob: BlobId, first_retained: Version) -> Result<()> {
+        let mut w = WireWriter::new();
+        w.put(&blob);
+        w.put(&first_retained);
+        self.append(KIND_RETIRE, &w.finish(), self.sync_every_record())
+    }
+
+    /// Journals a completed flatten so recovery restores the flat flag (and
+    /// with it the one-batch read path) of the materialised version.
+    pub fn log_flatten(&self, blob: BlobId, version: Version) -> Result<()> {
+        let mut w = WireWriter::new();
+        w.put(&blob);
+        w.put(&version);
+        self.append(KIND_FLATTEN, &w.finish(), self.sync_every_record())
+    }
+
+    /// Rewrites the log as a compacted image of the live state: temp file,
+    /// fsync, atomic rename. Callers gather `blobs` from the version
+    /// manager and `nodes` from the metadata store.
+    pub fn checkpoint(
+        &self,
+        blobs: &[(BlobId, BlobConfig, Vec<SnapshotDescriptor>, Version)],
+        nodes: Vec<(NodeKey, NodeBody)>,
+    ) -> Result<()> {
+        let tmp_path = self.path.with_extension("ckpt");
+        let mut image: Vec<u8> = Vec::new();
+        for (id, config, published, first_retained) in blobs {
+            let mut w = WireWriter::new();
+            w.put(id);
+            put_blob_config(&mut w, config);
+            image.extend_from_slice(&frame_record(KIND_CREATE_BLOB, &w.finish()));
+            for descriptor in published.iter().filter(|d| d.version.0 > 0) {
+                let mut w = WireWriter::new();
+                w.put(id);
+                put_descriptor(&mut w, descriptor);
+                image.extend_from_slice(&frame_record(KIND_COMMIT, &w.finish()));
+            }
+            if first_retained.0 > 0 {
+                let mut w = WireWriter::new();
+                w.put(id);
+                w.put(first_retained);
+                image.extend_from_slice(&frame_record(KIND_RETIRE, &w.finish()));
+            }
+        }
+        if !nodes.is_empty() {
+            let mut w = WireWriter::new();
+            w.put_u32(nodes.len() as u32);
+            for (key, body) in &nodes {
+                w.put(key);
+                w.put(body);
+            }
+            image.extend_from_slice(&frame_record(KIND_PUT_NODES, &w.finish()));
+        }
+        // Hold the file lock across the swap so no append lands in the old
+        // file between rename and handle switch.
+        let mut inner = self.inner.lock();
+        {
+            let mut tmp = File::create(&tmp_path)?;
+            tmp.write_all(&image)?;
+            tmp.sync_all()?;
+        }
+        std::fs::rename(&tmp_path, &self.path)?;
+        inner.file = OpenOptions::new().append(true).open(&self.path)?;
+        if self.durability != Durability::Buffered {
+            inner.file.sync_data()?;
+        }
+        drop(inner);
+        self.records_since_checkpoint.store(0, Ordering::Relaxed);
+        self.checkpoints.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+}
+
+/// The version manager's durability hook: what it tells the durable tier at
+/// each lifecycle-relevant transition. A RAM-resident deployment runs with
+/// no journal at all; the durable tier implements this over its WAL and
+/// segment stores.
+pub trait Journal: Send + Sync {
+    /// A blob was created (journaled before the creation is acknowledged).
+    fn record_create_blob(&self, blob: BlobId, config: &BlobConfig) -> Result<()>;
+    /// A version was published — the commit point. Implementations must
+    /// make every preceding chunk and node of the version durable before
+    /// this record (write-ahead ordering).
+    fn record_commit(&self, blob: BlobId, descriptor: &SnapshotDescriptor) -> Result<()>;
+    /// The retention floor moved.
+    fn record_retire(&self, blob: BlobId, first_retained: Version) -> Result<()>;
+    /// A version was materialised flat.
+    fn record_flatten(&self, blob: BlobId, version: Version) -> Result<()>;
+}
+
+/// A [`MetadataStore`] that write-ahead-logs every mutation before handing
+/// it to the wrapped store. Reads pass straight through.
+pub struct WalMetaStore {
+    inner: Arc<dyn MetadataStore>,
+    wal: Arc<MetaWal>,
+}
+
+impl WalMetaStore {
+    /// Wraps `inner` so every mutation hits `wal` first.
+    pub fn new(inner: Arc<dyn MetadataStore>, wal: Arc<MetaWal>) -> Self {
+        WalMetaStore { inner, wal }
+    }
+
+    /// The wrapped store.
+    #[must_use]
+    pub fn inner(&self) -> &Arc<dyn MetadataStore> {
+        &self.inner
+    }
+}
+
+impl MetadataStore for WalMetaStore {
+    fn put_node(&self, key: NodeKey, body: NodeBody) -> Result<()> {
+        self.wal
+            .log_put_nodes(std::slice::from_ref(&(key, body.clone())))?;
+        self.inner.put_node(key, body)
+    }
+
+    fn get_node(&self, key: &NodeKey) -> Result<Option<NodeBody>> {
+        self.inner.get_node(key)
+    }
+
+    fn get_nodes(&self, keys: &[NodeKey]) -> Result<Vec<Option<NodeBody>>> {
+        self.inner.get_nodes(keys)
+    }
+
+    fn put_nodes(&self, nodes: Vec<(NodeKey, NodeBody)>) -> Result<()> {
+        self.wal.log_put_nodes(&nodes)?;
+        self.inner.put_nodes(nodes)
+    }
+
+    fn delete_nodes(&self, keys: &[NodeKey]) -> Result<usize> {
+        self.wal.log_delete_nodes(keys)?;
+        self.inner.delete_nodes(keys)
+    }
+
+    fn node_count(&self) -> usize {
+        self.inner.node_count()
+    }
+
+    fn snapshot_nodes(&self) -> Result<Vec<(NodeKey, NodeBody)>> {
+        self.inner.snapshot_nodes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blobseer_meta::LeafNode;
+    use blobseer_types::ByteRange;
+
+    fn temp_wal(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("blobseer-persist-wal-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join("meta.wal")
+    }
+
+    fn node(blob: u64, version: u64, slot: u64) -> (NodeKey, NodeBody) {
+        (
+            NodeKey {
+                blob: BlobId(blob),
+                version: Version(version),
+                range: ByteRange::new(slot * 64, 64),
+            },
+            NodeBody::Leaf(LeafNode::hole(BlobId(blob), slot)),
+        )
+    }
+
+    fn descriptor(version: u64, size: u64) -> SnapshotDescriptor {
+        SnapshotDescriptor {
+            version: Version(version),
+            size,
+            chunk_size: 64,
+            flat: false,
+        }
+    }
+
+    #[test]
+    fn replay_restores_blobs_nodes_and_commits() {
+        let path = temp_wal("replay");
+        let config = BlobConfig::new(64, 2).unwrap();
+        {
+            let (wal, recovered) = MetaWal::open(&path, Durability::Commit).unwrap();
+            assert!(recovered.blobs.is_empty());
+            wal.log_create_blob(BlobId(1), &config).unwrap();
+            wal.log_put_nodes(&[node(1, 1, 0), node(1, 1, 1)]).unwrap();
+            wal.log_commit(BlobId(1), &descriptor(1, 128)).unwrap();
+        }
+        let (_, recovered) = MetaWal::open(&path, Durability::Commit).unwrap();
+        assert_eq!(recovered.stats.wal_replayed_records, 3);
+        assert_eq!(recovered.stats.recovered_blobs, 1);
+        assert_eq!(recovered.stats.recovered_nodes, 2);
+        assert_eq!(recovered.stats.orphaned_nodes_dropped, 0);
+        let blob = &recovered.blobs[0];
+        assert_eq!(blob.id, BlobId(1));
+        assert_eq!(blob.config, config);
+        assert_eq!(blob.published.len(), 2, "initial + committed v1");
+        assert_eq!(blob.published[1], descriptor(1, 128));
+        let _ = std::fs::remove_dir_all(path.parent().unwrap());
+    }
+
+    #[test]
+    fn orphaned_pre_commit_nodes_are_dropped() {
+        let path = temp_wal("orphans");
+        {
+            let (wal, _) = MetaWal::open(&path, Durability::Commit).unwrap();
+            wal.log_create_blob(BlobId(1), &BlobConfig::default())
+                .unwrap();
+            wal.log_put_nodes(&[node(1, 1, 0)]).unwrap();
+            wal.log_commit(BlobId(1), &descriptor(1, 64)).unwrap();
+            // Version 2's nodes landed but its commit never did: a torn
+            // publish.
+            wal.log_put_nodes(&[node(1, 2, 0), node(1, 2, 1)]).unwrap();
+        }
+        let (_, recovered) = MetaWal::open(&path, Durability::Commit).unwrap();
+        assert_eq!(recovered.stats.orphaned_nodes_dropped, 2);
+        assert_eq!(recovered.stats.recovered_nodes, 1);
+        assert_eq!(recovered.blobs[0].published.len(), 2);
+        let _ = std::fs::remove_dir_all(path.parent().unwrap());
+    }
+
+    #[test]
+    fn commits_past_a_gap_are_dropped() {
+        let path = temp_wal("gap");
+        {
+            let (wal, _) = MetaWal::open(&path, Durability::Commit).unwrap();
+            wal.log_create_blob(BlobId(1), &BlobConfig::default())
+                .unwrap();
+            wal.log_commit(BlobId(1), &descriptor(1, 64)).unwrap();
+            // Version 2's commit is missing; version 3's somehow landed
+            // (out-of-order append interleaving) — it must not publish.
+            wal.log_commit(BlobId(1), &descriptor(3, 192)).unwrap();
+        }
+        let (_, recovered) = MetaWal::open(&path, Durability::Commit).unwrap();
+        assert_eq!(recovered.blobs[0].published.len(), 2);
+        assert_eq!(recovered.stats.torn_commits_dropped, 1);
+        let _ = std::fs::remove_dir_all(path.parent().unwrap());
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_and_appends_resume() {
+        let path = temp_wal("torn");
+        {
+            let (wal, _) = MetaWal::open(&path, Durability::Commit).unwrap();
+            wal.log_create_blob(BlobId(1), &BlobConfig::default())
+                .unwrap();
+            wal.log_commit(BlobId(1), &descriptor(1, 64)).unwrap();
+        }
+        // Crash mid-append: cut the file inside the last record.
+        let len = std::fs::metadata(&path).unwrap().len();
+        let file = OpenOptions::new().write(true).open(&path).unwrap();
+        file.set_len(len - 5).unwrap();
+        drop(file);
+        let (wal, recovered) = MetaWal::open(&path, Durability::Commit).unwrap();
+        assert!(recovered.stats.wal_truncated_bytes > 0);
+        assert_eq!(recovered.blobs[0].published.len(), 1, "commit was torn");
+        // The log still accepts appends after truncation.
+        wal.log_commit(BlobId(1), &descriptor(1, 64)).unwrap();
+        drop(wal);
+        let (_, recovered) = MetaWal::open(&path, Durability::Commit).unwrap();
+        assert_eq!(recovered.blobs[0].published.len(), 2);
+        let _ = std::fs::remove_dir_all(path.parent().unwrap());
+    }
+
+    #[test]
+    fn deletes_and_retires_replay() {
+        let path = temp_wal("lifecycle");
+        {
+            let (wal, _) = MetaWal::open(&path, Durability::Commit).unwrap();
+            wal.log_create_blob(BlobId(1), &BlobConfig::default())
+                .unwrap();
+            wal.log_put_nodes(&[node(1, 1, 0), node(1, 1, 1)]).unwrap();
+            wal.log_commit(BlobId(1), &descriptor(1, 64)).unwrap();
+            wal.log_commit(BlobId(1), &descriptor(2, 128)).unwrap();
+            wal.log_delete_nodes(&[node(1, 1, 1).0]).unwrap();
+            wal.log_retire(BlobId(1), Version(2)).unwrap();
+            wal.log_flatten(BlobId(1), Version(2)).unwrap();
+        }
+        let (_, recovered) = MetaWal::open(&path, Durability::Commit).unwrap();
+        assert_eq!(
+            recovered.stats.recovered_nodes, 1,
+            "deleted node stays dead"
+        );
+        assert_eq!(recovered.blobs[0].first_retained, Version(2));
+        assert!(recovered.blobs[0].published[2].flat, "flatten replayed");
+        let _ = std::fs::remove_dir_all(path.parent().unwrap());
+    }
+
+    #[test]
+    fn checkpoint_compacts_and_replays_identically() {
+        let path = temp_wal("checkpoint");
+        let config = BlobConfig::default();
+        let recovered_before;
+        {
+            let (wal, _) = MetaWal::open(&path, Durability::Commit).unwrap();
+            wal.log_create_blob(BlobId(1), &config).unwrap();
+            for v in 1..=5u64 {
+                wal.log_put_nodes(&[node(1, v, 0)]).unwrap();
+                wal.log_commit(BlobId(1), &descriptor(v, v * 64)).unwrap();
+            }
+            assert!(wal.records_since_checkpoint() >= 11);
+            let published: Vec<SnapshotDescriptor> =
+                std::iter::once(SnapshotDescriptor::initial(config.chunk_size))
+                    .chain((1..=5u64).map(|v| descriptor(v, v * 64)))
+                    .collect();
+            let nodes: Vec<(NodeKey, NodeBody)> = (1..=5u64).map(|v| node(1, v, 0)).collect();
+            wal.checkpoint(&[(BlobId(1), config, published, Version(0))], nodes)
+                .unwrap();
+            assert_eq!(wal.records_since_checkpoint(), 0);
+            assert_eq!(wal.checkpoints(), 1);
+            // Post-checkpoint appends extend the compacted log.
+            wal.log_put_nodes(&[node(1, 6, 0)]).unwrap();
+            wal.log_commit(BlobId(1), &descriptor(6, 384)).unwrap();
+            let (_, r) = MetaWal::open(&path, Durability::Commit).unwrap();
+            recovered_before = r;
+        }
+        assert_eq!(recovered_before.blobs[0].published.len(), 7);
+        assert_eq!(recovered_before.stats.recovered_nodes, 6);
+        let _ = std::fs::remove_dir_all(path.parent().unwrap());
+    }
+}

@@ -27,4 +27,4 @@ pub mod wire;
 pub use manager::{PlacementRequest, ProviderManager, ProviderStatus};
 pub use provider::{DataProvider, ProviderStats};
 pub use service::{ChunkService, InProcessChunkService};
-pub use store::{ChunkStore, PersistentStore, RamStore};
+pub use store::{ChunkStore, RamStore};

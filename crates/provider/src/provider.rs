@@ -104,11 +104,15 @@ impl DataProvider {
             return Err(BlobError::ProviderUnavailable(self.id));
         }
         match self.store.get(id) {
-            Some(data) => {
+            Ok(Some(data)) => {
                 self.reads.fetch_add(1, Ordering::Relaxed);
                 Ok(data)
             }
-            None => Err(BlobError::ChunkNotFound(*id, self.id)),
+            Ok(None) => Err(BlobError::ChunkNotFound(*id, self.id)),
+            // A held-but-unreadable record (at-rest corruption) propagates
+            // as the store's retryable error so readers rotate replicas
+            // instead of treating it as a clean miss.
+            Err(err) => Err(err),
         }
     }
 

@@ -1,29 +1,24 @@
 //! Chunk storage backends.
 //!
-//! Two backends are provided, matching the evolution described in the paper:
+//! This module defines the [`ChunkStore`] trait every backend implements and
+//! the [`RamStore`] in-memory backend — the original BlobSeer prototype's
+//! storage scheme and the default for tests, examples and the simulator.
+//! The durable tier (`blobseer-persist`'s segment store: append-only
+//! CRC-framed segment files with crash recovery) implements the same trait
+//! from its own crate, mirroring Section IV.B ("persistent data and metadata
+//! storage while keeping our initial RAM-based storage scheme as an
+//! underlying caching mechanism") — the RAM store is exactly that caching
+//! tier.
 //!
-//! * [`RamStore`] — chunks live in a hash map in memory. This is the
-//!   original BlobSeer prototype's storage scheme and the default for tests,
-//!   examples and the simulator.
-//! * [`PersistentStore`] — chunks are appended to a log file on disk with an
-//!   in-memory index, and a bounded [`RamStore`] acts as a read cache in
-//!   front of it. This mirrors Section IV.B ("persistent data and metadata
-//!   storage while keeping our initial RAM-based storage scheme as an
-//!   underlying caching mechanism").
-//!
-//! Both backends store [`ChunkEnvelope`]s — the chunk codec's unit of
+//! Every backend stores [`ChunkEnvelope`]s — the chunk codec's unit of
 //! at-rest storage. A compressed chunk stays compressed on the provider
 //! (RAM and disk hold the physical bytes); decompression happens only at
 //! the reading client. `bytes_stored` therefore counts *physical* bytes,
 //! which is what the provider's memory and disk actually pay.
 
-use blobseer_types::{BlobError, ChunkEncoding, ChunkEnvelope, ChunkId, ProviderId, Result};
-use bytes::Bytes;
-use parking_lot::{Mutex, RwLock};
+use blobseer_types::{BlobError, ChunkEnvelope, ChunkId, ProviderId, Result};
+use parking_lot::RwLock;
 use std::collections::{HashMap, VecDeque};
-use std::fs::{File, OpenOptions};
-use std::io::{Read, Seek, SeekFrom, Write};
-use std::path::{Path, PathBuf};
 
 /// Abstraction over chunk storage so that providers can swap backends.
 pub trait ChunkStore: Send + Sync {
@@ -32,12 +27,17 @@ pub trait ChunkStore: Send + Sync {
     /// is a no-op.
     fn put(&self, id: ChunkId, data: ChunkEnvelope) -> Result<()>;
 
-    /// Fetches a chunk envelope, or `None` if this store does not hold it.
-    fn get(&self, id: &ChunkId) -> Option<ChunkEnvelope>;
+    /// Fetches a chunk envelope. `Ok(None)` means this store does not hold
+    /// the chunk; `Err` means the store holds a record for it but cannot
+    /// produce the bytes (an at-rest CRC mismatch surfaces here as
+    /// [`BlobError::Transport`], so readers treat it as retryable and rotate
+    /// to another replica instead of reading it back as a clean miss).
+    fn get(&self, id: &ChunkId) -> Result<Option<ChunkEnvelope>>;
 
-    /// Whether the store holds the chunk.
+    /// Whether the store holds the chunk (a record it cannot verify still
+    /// counts as held — the chunk exists, it is just unreadable here).
     fn contains(&self, id: &ChunkId) -> bool {
-        self.get(id).is_some()
+        !matches!(self.get(id), Ok(None))
     }
 
     /// Removes a chunk, returning the physical bytes freed, or `None` if
@@ -137,8 +137,8 @@ impl ChunkStore for RamStore {
         Ok(())
     }
 
-    fn get(&self, id: &ChunkId) -> Option<ChunkEnvelope> {
-        self.inner.read().chunks.get(id).cloned()
+    fn get(&self, id: &ChunkId) -> Result<Option<ChunkEnvelope>> {
+        Ok(self.inner.read().chunks.get(id).cloned())
     }
 
     fn remove(&self, id: &ChunkId) -> Option<u64> {
@@ -160,149 +160,6 @@ impl ChunkStore for RamStore {
     }
 }
 
-/// Location of a chunk inside the persistent log file.
-///
-/// The log holds only the (physical) payload bytes; the envelope's codec
-/// metadata lives here in the index, so a compressed chunk round-trips
-/// through disk without ever being re-coded.
-#[derive(Debug, Clone, Copy)]
-struct LogEntry {
-    offset: u64,
-    len: u32,
-    encoding: ChunkEncoding,
-    logical_len: u64,
-}
-
-/// File-backed chunk store: chunks are appended to a single log file and an
-/// in-memory index maps chunk ids to their position. A bounded [`RamStore`]
-/// caches recently written/read chunks.
-pub struct PersistentStore {
-    path: PathBuf,
-    file: Mutex<File>,
-    index: RwLock<HashMap<ChunkId, LogEntry>>,
-    cache: RamStore,
-    bytes: RwLock<u64>,
-}
-
-impl PersistentStore {
-    /// Opens (or creates) a persistent store backed by the file at `path`,
-    /// with an LRU read cache of `cache_bytes` bytes.
-    pub fn open(path: impl AsRef<Path>, cache_bytes: u64) -> Result<Self> {
-        let path = path.as_ref().to_path_buf();
-        if let Some(parent) = path.parent() {
-            std::fs::create_dir_all(parent)?;
-        }
-        let file = OpenOptions::new()
-            .create(true)
-            .read(true)
-            .append(true)
-            .open(&path)?;
-        Ok(PersistentStore {
-            path,
-            file: Mutex::new(file),
-            index: RwLock::new(HashMap::new()),
-            cache: RamStore::with_capacity(cache_bytes),
-            bytes: RwLock::new(0),
-        })
-    }
-
-    /// Path of the backing log file.
-    #[must_use]
-    pub fn path(&self) -> &Path {
-        &self.path
-    }
-
-    /// Number of chunks currently held in the RAM cache (for tests and
-    /// monitoring).
-    #[must_use]
-    pub fn cached_chunks(&self) -> usize {
-        self.cache.chunk_count()
-    }
-}
-
-impl ChunkStore for PersistentStore {
-    fn put(&self, id: ChunkId, data: ChunkEnvelope) -> Result<()> {
-        {
-            let index = self.index.read();
-            if index.contains_key(&id) {
-                // Immutable chunks: verify idempotence through the cache or
-                // the log and otherwise reject.
-                if let Some(existing) = self.get(&id) {
-                    if existing == data {
-                        return Ok(());
-                    }
-                }
-                return Err(BlobError::Internal(format!(
-                    "conflicting immutable chunk write for {id}"
-                )));
-            }
-        }
-        let offset = {
-            let mut file = self.file.lock();
-            let offset = file.seek(SeekFrom::End(0))?;
-            file.write_all(data.payload())?;
-            offset
-        };
-        self.index.write().insert(
-            id,
-            LogEntry {
-                offset,
-                len: data.payload().len() as u32,
-                encoding: data.encoding(),
-                logical_len: data.logical_len(),
-            },
-        );
-        *self.bytes.write() += data.physical_len();
-        // Populate the cache so immediately following reads are RAM hits.
-        let _ = self.cache.put(id, data);
-        Ok(())
-    }
-
-    fn get(&self, id: &ChunkId) -> Option<ChunkEnvelope> {
-        if let Some(hit) = self.cache.get(id) {
-            return Some(hit);
-        }
-        let entry = *self.index.read().get(id)?;
-        let mut buf = vec![0u8; entry.len as usize];
-        {
-            let mut file = self.file.lock();
-            if file.seek(SeekFrom::Start(entry.offset)).is_err() {
-                return None;
-            }
-            if file.read_exact(&mut buf).is_err() {
-                return None;
-            }
-        }
-        let payload = Bytes::from(buf);
-        let data = match entry.encoding {
-            ChunkEncoding::Verbatim => ChunkEnvelope::verbatim(payload),
-            ChunkEncoding::Lz => ChunkEnvelope::compressed(entry.logical_len, payload),
-        };
-        let _ = self.cache.put(*id, data.clone());
-        Some(data)
-    }
-
-    fn remove(&self, id: &ChunkId) -> Option<u64> {
-        // Dropping the index entry makes the chunk unreachable; the payload
-        // bytes stay in the append-only log until a future compaction pass
-        // (the accounting reflects the logical reclaim immediately, which is
-        // what capacity planning reads).
-        let entry = self.index.write().remove(id)?;
-        let _ = self.cache.remove(id);
-        let freed = entry.len as u64;
-        *self.bytes.write() -= freed;
-        Some(freed)
-    }
-
-    fn chunk_count(&self) -> usize {
-        self.index.read().len()
-    }
-
-    fn bytes_stored(&self) -> u64 {
-        *self.bytes.read()
-    }
-}
-
 /// Convenience used by tests in several crates: a provider id that is never
 /// registered anywhere.
 pub const TEST_PROVIDER: ProviderId = ProviderId(u32::MAX);
@@ -310,6 +167,7 @@ pub const TEST_PROVIDER: ProviderId = ProviderId(u32::MAX);
 #[cfg(test)]
 mod tests {
     use super::*;
+    use bytes::Bytes;
 
     fn chunk(blob: u64, tag: u64, slot: u64) -> ChunkId {
         ChunkId {
@@ -328,8 +186,8 @@ mod tests {
         let s = RamStore::unbounded();
         s.put(chunk(1, 1, 0), env(b"hello")).unwrap();
         s.put(chunk(1, 1, 1), env(b"world!")).unwrap();
-        assert_eq!(s.get(&chunk(1, 1, 0)), Some(env(b"hello")));
-        assert_eq!(s.get(&chunk(1, 2, 0)), None);
+        assert_eq!(s.get(&chunk(1, 1, 0)).unwrap(), Some(env(b"hello")));
+        assert_eq!(s.get(&chunk(1, 2, 0)).unwrap(), None);
         assert_eq!(s.chunk_count(), 2);
         assert_eq!(s.bytes_stored(), 11);
         assert!(s.contains(&chunk(1, 1, 1)));
@@ -350,7 +208,7 @@ mod tests {
         let sealed = ChunkEnvelope::compressed(1024, Bytes::from(vec![9u8; 64]));
         s.put(chunk(2, 1, 0), sealed.clone()).unwrap();
         assert_eq!(s.bytes_stored(), 64);
-        let back = s.get(&chunk(2, 1, 0)).unwrap();
+        let back = s.get(&chunk(2, 1, 0)).unwrap().unwrap();
         assert_eq!(back, sealed);
         assert_eq!(back.logical_len(), 1024);
     }
@@ -369,83 +227,9 @@ mod tests {
         )
         .unwrap();
         // 12 bytes > 10: the first chunk is evicted.
-        assert_eq!(s.get(&chunk(1, 1, 0)), None);
-        assert!(s.get(&chunk(1, 1, 1)).is_some());
+        assert_eq!(s.get(&chunk(1, 1, 0)).unwrap(), None);
+        assert!(s.get(&chunk(1, 1, 1)).unwrap().is_some());
         assert!(s.bytes_stored() <= 10);
-    }
-
-    #[test]
-    fn persistent_store_roundtrip_and_cache() {
-        let dir = std::env::temp_dir().join(format!("blobseer-test-{}", std::process::id()));
-        let path = dir.join("persistent_roundtrip.log");
-        let _ = std::fs::remove_file(&path);
-        let s = PersistentStore::open(&path, 1024).unwrap();
-        s.put(chunk(7, 9, 0), env(b"persist me")).unwrap();
-        s.put(chunk(7, 9, 1), env(b"and me too")).unwrap();
-        assert_eq!(s.chunk_count(), 2);
-        assert_eq!(s.bytes_stored(), 20);
-        assert_eq!(s.get(&chunk(7, 9, 0)), Some(env(b"persist me")));
-        assert!(s.cached_chunks() >= 1);
-        let _ = std::fs::remove_file(&path);
-    }
-
-    #[test]
-    fn persistent_store_reads_through_after_cache_eviction() {
-        let dir = std::env::temp_dir().join(format!("blobseer-test-{}", std::process::id()));
-        let path = dir.join("persistent_eviction.log");
-        let _ = std::fs::remove_file(&path);
-        // Cache of 8 bytes: every new chunk evicts the previous one.
-        let s = PersistentStore::open(&path, 8).unwrap();
-        for i in 0..8u64 {
-            s.put(
-                chunk(1, 2, i),
-                ChunkEnvelope::verbatim(Bytes::from(vec![i as u8; 8])),
-            )
-            .unwrap();
-        }
-        // All chunks are still readable from disk.
-        for i in 0..8u64 {
-            assert_eq!(
-                s.get(&chunk(1, 2, i)),
-                Some(ChunkEnvelope::verbatim(Bytes::from(vec![i as u8; 8])))
-            );
-        }
-        let _ = std::fs::remove_file(&path);
-    }
-
-    #[test]
-    fn persistent_store_preserves_codec_metadata_across_cache_eviction() {
-        let dir = std::env::temp_dir().join(format!("blobseer-test-{}", std::process::id()));
-        let path = dir.join("persistent_codec_meta.log");
-        let _ = std::fs::remove_file(&path);
-        // Cache of 8 bytes: each put evicts the previous chunk, so the read
-        // below must reconstruct the envelope from the log + index alone.
-        let s = PersistentStore::open(&path, 8).unwrap();
-        let sealed = ChunkEnvelope::compressed(4096, Bytes::from(vec![5u8; 32]));
-        s.put(chunk(9, 1, 0), sealed.clone()).unwrap();
-        s.put(
-            chunk(9, 1, 1),
-            ChunkEnvelope::verbatim(Bytes::from(vec![6u8; 32])),
-        )
-        .unwrap();
-        let back = s.get(&chunk(9, 1, 0)).unwrap();
-        assert_eq!(back, sealed);
-        assert!(!back.is_verbatim());
-        assert_eq!(back.logical_len(), 4096);
-        assert_eq!(s.bytes_stored(), 64);
-        let _ = std::fs::remove_file(&path);
-    }
-
-    #[test]
-    fn persistent_store_rejects_conflicting_rewrites() {
-        let dir = std::env::temp_dir().join(format!("blobseer-test-{}", std::process::id()));
-        let path = dir.join("persistent_conflict.log");
-        let _ = std::fs::remove_file(&path);
-        let s = PersistentStore::open(&path, 64).unwrap();
-        s.put(chunk(3, 3, 3), env(b"v1")).unwrap();
-        s.put(chunk(3, 3, 3), env(b"v1")).unwrap();
-        assert!(s.put(chunk(3, 3, 3), env(b"v2")).is_err());
-        let _ = std::fs::remove_file(&path);
     }
 
     #[test]
@@ -460,7 +244,7 @@ mod tests {
                     let id = chunk(t, t, i);
                     s.put(id, ChunkEnvelope::verbatim(Bytes::from(vec![t as u8; 16])))
                         .unwrap();
-                    assert_eq!(s.get(&id).unwrap().physical_len(), 16);
+                    assert_eq!(s.get(&id).unwrap().unwrap().physical_len(), 16);
                 }
             }));
         }

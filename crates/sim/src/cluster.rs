@@ -28,8 +28,8 @@ use blobseer_meta::{
 use blobseer_provider::{PlacementRequest, ProviderManager};
 use blobseer_types::FaultPlan;
 use blobseer_types::{
-    chunk_span, BlobError, BlobId, ByteRange, ChunkCodec, ChunkId, ClusterConfig, MetaNodeId,
-    ProviderId, Result,
+    chunk_span, BlobError, BlobId, ByteRange, ChunkCodec, ChunkId, ClusterConfig, Durability,
+    MetaNodeId, ProviderId, Result,
 };
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
@@ -40,6 +40,14 @@ use std::sync::Arc;
 
 /// Wire size charged for one metadata node request/response, in bytes.
 const META_NODE_WIRE_BYTES: u64 = 96;
+
+/// Bytes one metadata-WAL record occupies on disk (framing header plus an
+/// encoded tree node — same ballpark as its wire form).
+const WAL_NODE_RECORD_BYTES: u64 = META_NODE_WIRE_BYTES + 10;
+
+/// Bytes the WAL commit record (framing header plus one snapshot
+/// descriptor) occupies on disk.
+const WAL_COMMIT_RECORD_BYTES: u64 = 64;
 
 /// Per-frame wire overhead charged for one data-plane transfer (frame
 /// prefix, codec-encoded header and the response frame), in bytes.
@@ -155,6 +163,16 @@ pub struct SimulationResult {
     /// measure of the lifecycle tier: without it both grow without bound as
     /// versions accumulate.
     pub reclaimed_bytes: u64,
+    /// Fsyncs the durable tier would issue for the measured operations
+    /// under `ClusterConfig::durability`: zero when `Buffered`, segment
+    /// syncs plus one WAL commit sync per published version when `Commit`,
+    /// one per appended record when `Always`. Each costs
+    /// `ClusterConfig::fsync_ns` on the acknowledgement path.
+    pub fsyncs: u64,
+    /// Bytes appended to the metadata write-ahead log (node records plus
+    /// one commit record per published version) — appended under *every*
+    /// policy; durability only decides how often the tier flushes them.
+    pub wal_bytes: u64,
     /// Per-metadata-provider number of requests served (load distribution).
     pub meta_load: HashMap<MetaNodeId, u64>,
     /// Per-data-provider bytes received (write load distribution).
@@ -456,6 +474,8 @@ pub struct SimulatedCluster {
     flattens: u64,
     meta_nodes_deleted: u64,
     reclaimed_bytes: u64,
+    fsyncs: u64,
+    wal_bytes: u64,
     /// Lossy network model: every data-plane transfer is routed through the
     /// same seeded per-frame fault decisions the channel transport injects
     /// (`None` = clean network, the default).
@@ -512,6 +532,8 @@ impl SimulatedCluster {
             flattens: 0,
             meta_nodes_deleted: 0,
             reclaimed_bytes: 0,
+            fsyncs: 0,
+            wal_bytes: 0,
             net_faults: None,
             config,
         })
@@ -734,6 +756,8 @@ impl SimulatedCluster {
         self.flattens = 0;
         self.meta_nodes_deleted = 0;
         self.reclaimed_bytes = 0;
+        self.fsyncs = 0;
+        self.wal_bytes = 0;
         // Re-seed the fault stream so repeated runs of one cluster replay
         // the identical fault sequence.
         if let Some((plan, rng)) = &mut self.net_faults {
@@ -853,6 +877,8 @@ impl SimulatedCluster {
             flattens: self.flattens,
             meta_nodes_deleted: self.meta_nodes_deleted,
             reclaimed_bytes: self.reclaimed_bytes,
+            fsyncs: self.fsyncs,
+            wal_bytes: self.wal_bytes,
             meta_load,
             provider_write_bytes,
         })
@@ -1108,7 +1134,13 @@ impl SimulatedCluster {
                 let penalty = self.net_transfer_penalty(chunk_len, physical);
                 let sent = client_out.schedule(t_ticket + probe_ns + penalty, physical);
                 let charged = (physical as f64 * self.slowdown(p)) as u64;
-                let done = self.provider_in[p.0 as usize].schedule(sent, charged);
+                let mut done = self.provider_in[p.0 as usize].schedule(sent, charged);
+                // `Always` durability flushes every chunk record as the
+                // segment file appends it, before the provider acks.
+                if self.config.durability == Durability::Always {
+                    self.fsyncs += 1;
+                    done += self.config.fsync_ns;
+                }
                 t_chunks = t_chunks.max(done);
             }
             let chunk = ChunkId {
@@ -1179,8 +1211,32 @@ impl SimulatedCluster {
         let t_weave = self.charge_meta_trips(weave_start, &weave_trips, client_out);
         let t_meta = self.charge_meta_trips(t_weave.max(t_chunks), &publish_trips, client_out);
 
+        // Durability cost model: the WAL appends one record per tree node
+        // plus the commit record under every policy; the policy decides how
+        // many flushes gate the acknowledgement. `Commit` (write-ahead
+        // ordering) syncs the touched segment files — one fsync each, in
+        // parallel, they are separate disks — then appends and syncs the
+        // commit record: two flush latencies on the ack path. `Always`
+        // already flushed each chunk record above and each WAL node record
+        // as it was appended (those serialise on the one WAL file), leaving
+        // the commit record's own flush.
+        self.wal_bytes += nodes_created * WAL_NODE_RECORD_BYTES + WAL_COMMIT_RECORD_BYTES;
+        let fsync = self.config.fsync_ns;
+        let t_durable = match self.config.durability {
+            Durability::Buffered => t_meta.max(t_chunks),
+            Durability::Commit => {
+                let touched: HashSet<ProviderId> = placement.iter().flatten().copied().collect();
+                self.fsyncs += touched.len() as u64 + 1;
+                t_meta.max(t_chunks) + 2 * fsync
+            }
+            Durability::Always => {
+                self.fsyncs += nodes_created + 1;
+                t_meta.max(t_chunks) + (nodes_created + 1) * fsync
+            }
+        };
+
         // Phase 4: publication to the version manager.
-        let t_done = self.vm_delay(t_meta.max(t_chunks));
+        let t_done = self.vm_delay(t_durable);
         self.version_manager.complete_write_with_artifacts(
             blob,
             ticket.version,
@@ -1480,6 +1536,48 @@ mod tests {
             .op_size(8 << 20)
             .chunk_size(1 << 20)
             .concurrent_appends()
+    }
+
+    fn durability_cluster(durability: Durability) -> SimulatedCluster {
+        let config = ClusterConfig {
+            data_providers: 16,
+            metadata_providers: 4,
+            durability,
+            ..ClusterConfig::default()
+        };
+        SimulatedCluster::new(config).unwrap()
+    }
+
+    #[test]
+    fn durability_policies_order_fsyncs_and_latency() {
+        let workload = small_workload(1);
+        let buffered = durability_cluster(Durability::Buffered)
+            .run(&workload)
+            .unwrap();
+        let commit = durability_cluster(Durability::Commit)
+            .run(&workload)
+            .unwrap();
+        let always = durability_cluster(Durability::Always)
+            .run(&workload)
+            .unwrap();
+
+        // The WAL is appended under every policy; only the flushes differ.
+        assert!(buffered.wal_bytes > 0, "WAL appends happen even buffered");
+        assert_eq!(buffered.wal_bytes, commit.wal_bytes);
+        assert_eq!(commit.wal_bytes, always.wal_bytes);
+        assert_eq!(buffered.fsyncs, 0, "Buffered never flushes");
+        assert!(
+            commit.fsyncs > 0,
+            "Commit flushes segments and the commit record per version"
+        );
+        assert!(
+            always.fsyncs > commit.fsyncs,
+            "Always flushes every record, strictly more than Commit"
+        );
+        // Each flush gates the acknowledgement path, so latency orders the
+        // same way the flush counts do.
+        assert!(buffered.mean_latency_ms() < commit.mean_latency_ms());
+        assert!(commit.mean_latency_ms() < always.mean_latency_ms());
     }
 
     #[test]

@@ -44,6 +44,32 @@ pub enum ChunkCodec {
     Fast,
 }
 
+/// Fsync policy of the durable persistence tier (chunk segment files and the
+/// metadata write-ahead log).
+///
+/// The policy trades write latency for the *machine*-crash window: surviving
+/// a process kill (even `kill -9`) never needs fsync at all, because bytes
+/// handed to `write(2)` live in the page cache, not the process. Fsync only
+/// narrows the window in which a whole-machine crash (power loss, kernel
+/// panic) can lose acknowledged data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum Durability {
+    /// OS-buffered appends, no fsync anywhere. Process-crash safe (the
+    /// recovery contract the fault matrix verifies), fastest, but a machine
+    /// crash may lose recently acknowledged versions.
+    Buffered,
+    /// Fsync once per published version: chunk segments are synced and then
+    /// the WAL commit record is synced, *before* the client's write is
+    /// acknowledged (the default). A machine crash can only lose versions
+    /// that were never acknowledged — write-ahead ordering stays intact.
+    #[default]
+    Commit,
+    /// Fsync every chunk record and every WAL record as it is appended.
+    /// The widest safety margin and the slowest; useful as a worst-case cost
+    /// bound in the simulator's durability model.
+    Always,
+}
+
 /// How clients of a deployment reach the chunk and metadata planes.
 ///
 /// The protocol above the transport is identical in every case — the same
@@ -385,6 +411,19 @@ pub struct ClusterConfig {
     /// Zero — the default — never flattens.
     #[serde(default)]
     pub flatten_threshold: usize,
+    /// Fsync policy of the durable persistence tier. Only consulted by
+    /// durable deployments (`Cluster::open_durable` and the networked
+    /// equivalent) — RAM-resident clusters ignore it entirely.
+    #[serde(default)]
+    pub durability: Durability,
+    /// Modelled latency of one fsync in nanoseconds (used only by the
+    /// simulator's durability cost model; ~200 µs, an NVMe-class flush).
+    #[serde(default = "default_fsync_ns")]
+    pub fsync_ns: u64,
+}
+
+fn default_fsync_ns() -> u64 {
+    200_000
 }
 
 impl ClusterConfig {
@@ -500,6 +539,8 @@ impl Default for ClusterConfig {
             connections_per_endpoint: 1,
             retained_versions: 0,
             flatten_threshold: 0,
+            durability: Durability::default(),
+            fsync_ns: default_fsync_ns(),
         }
     }
 }

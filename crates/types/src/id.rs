@@ -135,6 +135,25 @@ impl IdGenerator {
     pub fn issued(&self) -> u64 {
         self.next.load(Ordering::Relaxed)
     }
+
+    /// Raises the counter so the next id is strictly greater than `floor`.
+    /// Never lowers it. Recovery uses this to re-seed a generator past every
+    /// id observed in a replayed log, so restarted deployments cannot mint a
+    /// duplicate.
+    pub fn advance_past(&self, floor: u64) {
+        let mut current = self.next.load(Ordering::Relaxed);
+        while current <= floor {
+            match self.next.compare_exchange_weak(
+                current,
+                floor + 1,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(observed) => current = observed,
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -206,5 +225,16 @@ mod tests {
         let g = IdGenerator::starting_at(100);
         assert_eq!(g.next_id(), 100);
         assert_eq!(g.next_id(), 101);
+    }
+
+    #[test]
+    fn advance_past_raises_but_never_lowers() {
+        let g = IdGenerator::starting_at(5);
+        g.advance_past(2);
+        assert_eq!(g.next_id(), 5, "a lower floor must not rewind the counter");
+        g.advance_past(5);
+        assert_eq!(g.next_id(), 6, "an equal floor bumps past itself");
+        g.advance_past(40);
+        assert_eq!(g.next_id(), 41);
     }
 }

@@ -21,7 +21,8 @@ pub mod wire;
 
 pub use buf::{zero_page, BlobSlice, ZERO_PAGE_BYTES};
 pub use config::{
-    BlobConfig, ChunkCodec, ClusterConfig, FaultPlan, PlacementPolicy, RetryPolicy, TransportKind,
+    BlobConfig, ChunkCodec, ClusterConfig, Durability, FaultPlan, PlacementPolicy, RetryPolicy,
+    TransportKind,
 };
 pub use error::{BlobError, Result};
 pub use id::{BlobId, ChunkId, ClientId, IdGenerator, MetaNodeId, ProviderId, Version};

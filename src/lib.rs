@@ -6,8 +6,9 @@
 //! [`blobseer_meta`] (versioned segment trees), [`blobseer_dht`] (metadata
 //! DHT), [`blobseer_provider`] (data providers and placement),
 //! [`blobseer_net`] (framed zero-copy RPC transport: TCP loopback and the
-//! fault-injecting channel transport), [`blobseer_bsfs`] (file system
-//! layer), [`blobseer_hdfs`] (HDFS-like baseline), [`blobseer_mapreduce`]
+//! fault-injecting channel transport), [`blobseer_persist`] (durable
+//! persistence tier: chunk segment logs + metadata WAL), [`blobseer_bsfs`]
+//! (file system layer), [`blobseer_hdfs`] (HDFS-like baseline), [`blobseer_mapreduce`]
 //! (MapReduce engine), [`blobseer_qos`] (monitoring and behaviour
 //! modelling) and [`blobseer_sim`] (discrete-event cluster simulator).
 
@@ -18,6 +19,7 @@ pub use blobseer_hdfs as hdfs;
 pub use blobseer_mapreduce as mapreduce;
 pub use blobseer_meta as meta;
 pub use blobseer_net as net;
+pub use blobseer_persist as persist;
 pub use blobseer_provider as provider;
 pub use blobseer_qos as qos;
 pub use blobseer_sim as sim;
