@@ -1,0 +1,238 @@
+//! Per-client admission control over the shared transfer pool.
+//!
+//! The paper's QoS tier (Section IV.E) throttles clients whose demand is
+//! starving everyone else *before* their requests reach the providers. The
+//! mechanism here is deliberately simple and deadlock-free: each client may
+//! have at most `limit` chunk transfers in flight in the shared
+//! [`crate::TransferPool`]. A client at its limit blocks **on its own
+//! thread, at submission time** — never inside a pool worker — until one of
+//! its transfers completes. A flooding tenant therefore queues behind
+//! itself, while an interactive tenant's occasional request only ever waits
+//! behind the bounded number of transfers the greedy tenants were admitted
+//! for, instead of behind their entire backlog.
+//!
+//! The QoS feedback loop modulates the limit: when monitoring classifies a
+//! fraction of the providers as behaving dangerously, the *effective* limit
+//! shrinks proportionally (never below one), shedding load at the door
+//! while the cluster is degraded.
+
+use blobseer_types::ClientId;
+use parking_lot::{Condvar, Mutex};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Counters of one [`AdmissionController`], for metrics and tests.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AdmissionStats {
+    /// Permits handed out in total.
+    pub admitted: u64,
+    /// Acquisitions that had to wait for a slot at least once.
+    pub throttled_waits: u64,
+    /// Highest in-flight count any single client ever reached.
+    pub peak_in_flight: u64,
+}
+
+struct AdmissionState {
+    in_flight: HashMap<ClientId, usize>,
+    /// Healthy fraction of the provider fleet, fed by the QoS loop.
+    pressure: f64,
+}
+
+/// Blocking per-client transfer budget. See the module docs for why
+/// acquisition happens on the submitting thread and never in the pool.
+pub struct AdmissionController {
+    base_limit: usize,
+    state: Mutex<AdmissionState>,
+    freed: Condvar,
+    admitted: AtomicU64,
+    throttled_waits: AtomicU64,
+    peak_in_flight: AtomicU64,
+}
+
+impl AdmissionController {
+    /// A controller admitting at most `limit` concurrent transfers per
+    /// client (`limit` must be at least 1; config resolves 0 to "no
+    /// controller at all").
+    #[must_use]
+    pub fn new(limit: usize) -> Arc<Self> {
+        Arc::new(AdmissionController {
+            base_limit: limit.max(1),
+            state: Mutex::new(AdmissionState {
+                in_flight: HashMap::new(),
+                pressure: 1.0,
+            }),
+            freed: Condvar::new(),
+            admitted: AtomicU64::new(0),
+            throttled_waits: AtomicU64::new(0),
+            peak_in_flight: AtomicU64::new(0),
+        })
+    }
+
+    /// The configured per-client budget.
+    #[must_use]
+    pub fn limit(&self) -> usize {
+        self.base_limit
+    }
+
+    /// The budget currently in force, after QoS pressure scaling.
+    #[must_use]
+    pub fn effective_limit(&self) -> usize {
+        Self::scaled_limit(self.base_limit, self.state.lock().pressure)
+    }
+
+    fn scaled_limit(base: usize, pressure: f64) -> usize {
+        ((base as f64 * pressure).floor() as usize).max(1)
+    }
+
+    /// Updates the healthy-provider fraction from the QoS feedback loop.
+    /// Values are clamped to `[0, 1]`; a rising fraction wakes blocked
+    /// submitters whose budget just grew back.
+    pub fn set_pressure(&self, healthy_fraction: f64) {
+        let clamped = healthy_fraction.clamp(0.0, 1.0);
+        let mut state = self.state.lock();
+        let grew = clamped > state.pressure;
+        state.pressure = clamped;
+        drop(state);
+        if grew {
+            self.freed.notify_all();
+        }
+    }
+
+    /// Blocks until `client` is below its budget, then takes one slot.
+    /// Must be called on the submitting client's thread, *before* the
+    /// transfer enters the pool; the permit travels into the task closure
+    /// and releases the slot when the task finishes.
+    #[must_use]
+    pub fn acquire(self: &Arc<Self>, client: ClientId) -> AdmissionPermit {
+        let mut state = self.state.lock();
+        let mut waited = false;
+        loop {
+            let limit = Self::scaled_limit(self.base_limit, state.pressure);
+            let count = state.in_flight.entry(client).or_insert(0);
+            if *count < limit {
+                *count += 1;
+                let now = *count as u64;
+                drop(state);
+                self.peak_in_flight.fetch_max(now, Ordering::Relaxed);
+                break;
+            }
+            waited = true;
+            self.freed.wait(&mut state);
+        }
+        self.admitted.fetch_add(1, Ordering::Relaxed);
+        if waited {
+            self.throttled_waits.fetch_add(1, Ordering::Relaxed);
+        }
+        AdmissionPermit {
+            controller: Arc::clone(self),
+            client,
+        }
+    }
+
+    /// Transfers `client` currently holds permits for.
+    #[must_use]
+    pub fn in_flight(&self, client: ClientId) -> usize {
+        self.state
+            .lock()
+            .in_flight
+            .get(&client)
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Counter snapshot.
+    #[must_use]
+    pub fn stats(&self) -> AdmissionStats {
+        AdmissionStats {
+            admitted: self.admitted.load(Ordering::Relaxed),
+            throttled_waits: self.throttled_waits.load(Ordering::Relaxed),
+            peak_in_flight: self.peak_in_flight.load(Ordering::Relaxed),
+        }
+    }
+
+    fn release(&self, client: ClientId) {
+        let mut state = self.state.lock();
+        if let Some(count) = state.in_flight.get_mut(&client) {
+            *count = count.saturating_sub(1);
+        }
+        drop(state);
+        self.freed.notify_all();
+    }
+}
+
+/// One admitted transfer slot; dropping it (when the transfer task
+/// finishes, or is abandoned) frees the slot and wakes blocked submitters.
+pub struct AdmissionPermit {
+    controller: Arc<AdmissionController>,
+    client: ClientId,
+}
+
+impl Drop for AdmissionPermit {
+    fn drop(&mut self) {
+        self.controller.release(self.client);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn permits_cap_per_client_concurrency() {
+        let ctl = AdmissionController::new(2);
+        let a = ClientId(1);
+        let p1 = ctl.acquire(a);
+        let p2 = ctl.acquire(a);
+        assert_eq!(ctl.in_flight(a), 2);
+        // A different client has its own budget.
+        let other = ctl.acquire(ClientId(2));
+        assert_eq!(ctl.in_flight(ClientId(2)), 1);
+        drop(other);
+
+        // A third acquisition for `a` must wait until a permit frees.
+        let ctl2 = Arc::clone(&ctl);
+        let waiter = std::thread::spawn(move || {
+            let p = ctl2.acquire(a);
+            drop(p);
+        });
+        std::thread::sleep(Duration::from_millis(30));
+        assert!(!waiter.is_finished(), "third permit must block at the cap");
+        drop(p1);
+        waiter.join().unwrap();
+        drop(p2);
+        assert_eq!(ctl.in_flight(a), 0);
+        let stats = ctl.stats();
+        assert_eq!(stats.peak_in_flight, 2);
+        assert!(stats.throttled_waits >= 1);
+        assert_eq!(stats.admitted, 4);
+    }
+
+    #[test]
+    fn pressure_scales_the_budget_but_never_to_zero() {
+        let ctl = AdmissionController::new(8);
+        assert_eq!(ctl.effective_limit(), 8);
+        ctl.set_pressure(0.5);
+        assert_eq!(ctl.effective_limit(), 4);
+        ctl.set_pressure(0.0);
+        assert_eq!(ctl.effective_limit(), 1, "floor of one keeps liveness");
+        ctl.set_pressure(2.0);
+        assert_eq!(ctl.effective_limit(), 8, "clamped to the base limit");
+    }
+
+    #[test]
+    fn raising_pressure_wakes_blocked_submitters() {
+        let ctl = AdmissionController::new(4);
+        let a = ClientId(9);
+        ctl.set_pressure(0.25); // budget of 1
+        let held = ctl.acquire(a);
+        let ctl2 = Arc::clone(&ctl);
+        let waiter = std::thread::spawn(move || drop(ctl2.acquire(a)));
+        std::thread::sleep(Duration::from_millis(30));
+        assert!(!waiter.is_finished());
+        ctl.set_pressure(1.0); // budget back to 4 — the waiter fits now
+        waiter.join().unwrap();
+        drop(held);
+    }
+}

@@ -180,6 +180,18 @@ impl ChunkCache {
         }
     }
 
+    /// Drops a chunk from the cache, if present. Chunk ids are never
+    /// reused, so this is pure hygiene: a server-side cache evicts chunks
+    /// the lifecycle sweeper reclaimed instead of letting dead entries age
+    /// out of the budget.
+    pub fn remove(&self, id: &ChunkId) {
+        let mut shard = self.shard(id).lock();
+        if let Some((data, tick)) = shard.entries.remove(id) {
+            shard.order.remove(&tick);
+            shard.bytes -= data.len() as u64;
+        }
+    }
+
     /// Lifetime counters plus the current occupancy.
     pub fn stats(&self) -> ChunkCacheStats {
         let mut bytes = 0;

@@ -34,10 +34,12 @@
 //! writes populate it write-through, and re-reading a published version
 //! costs no data round-trips at all.
 
+use crate::admission::AdmissionController;
 use crate::chunk_cache::ChunkCache;
 use crate::services::{ChunkService, MetadataService};
 use crate::transfer::{Completion, TransferPool};
-use crate::version_manager::{NodeArtifact, VersionManager, VersionPin, WriteKind, WriteTicket};
+use crate::version_manager::{NodeArtifact, WriteKind, WriteTicket};
+use crate::version_service::{VersionPin, VersionService};
 use blobseer_meta::{
     build_repair_metadata, build_write_metadata_chained, collect_leaves, collect_leaves_streaming,
     publish_metadata, LeafNode, SnapshotDescriptor, WriteMetadata, WriteSummary, WrittenChunk,
@@ -174,7 +176,7 @@ impl AtomicClientStats {
 /// in-process wiring, a simulator shim or a future networked transport.
 pub struct BlobClient {
     id: ClientId,
-    version_manager: Arc<VersionManager>,
+    version_manager: Arc<dyn VersionService>,
     chunks: Arc<dyn ChunkService>,
     metadata: Arc<dyn MetadataService>,
     transfers: Arc<TransferPool>,
@@ -193,6 +195,10 @@ pub struct BlobClient {
     /// Chunk codec applied when sealing payloads into envelopes on the
     /// write path. `Off` ships every chunk verbatim (refcounted, no copy).
     codec: ChunkCodec,
+    /// Optional per-client admission throttle over the shared transfer
+    /// pool; permits are taken on the submitting thread (see
+    /// [`crate::admission`]).
+    admission: Option<Arc<AdmissionController>>,
     /// Shared with the transfer closures, which account fetches and cache
     /// fills from the pool workers.
     stats: Arc<AtomicClientStats>,
@@ -208,7 +214,7 @@ impl BlobClient {
     /// [`crate::cluster::Cluster::client`] instead.
     pub fn new(
         id: ClientId,
-        version_manager: Arc<VersionManager>,
+        version_manager: Arc<dyn VersionService>,
         chunks: Arc<dyn ChunkService>,
         metadata: Arc<dyn MetadataService>,
         transfers: Arc<TransferPool>,
@@ -223,9 +229,20 @@ impl BlobClient {
             rng: Mutex::new(StdRng::from_entropy()),
             chunk_cache: None,
             codec: ChunkCodec::Off,
+            admission: None,
             stats: Arc::new(AtomicClientStats::default()),
             transport_metrics: None,
         }
+    }
+
+    /// Attaches a per-client admission controller (`None` disables
+    /// throttling). When set, every chunk transfer this client submits to
+    /// the shared pool first takes a permit *on the submitting thread*, so
+    /// a client over its budget blocks itself instead of crowding the pool.
+    #[must_use]
+    pub fn with_admission(mut self, admission: Option<Arc<AdmissionController>>) -> Self {
+        self.admission = admission;
+        self
     }
 
     /// Sets the transfer-pipeline depth (zero = legacy phased schedule:
@@ -498,7 +515,14 @@ impl BlobClient {
         blob: BlobId,
         version: Option<Version>,
     ) -> Result<(SnapshotDescriptor, VersionPin)> {
-        self.version_manager.pin_snapshot(blob, version)
+        let (descriptor, token) = self.version_manager.pin(blob, version)?;
+        let pin = VersionPin::new(
+            Arc::clone(&self.version_manager),
+            blob,
+            descriptor.version,
+            token,
+        );
+        Ok((descriptor, pin))
     }
 
     fn ticket_summary(ticket: &WriteTicket) -> WriteSummary {
@@ -523,11 +547,8 @@ impl BlobClient {
         let ticket = self.version_manager.assign_ticket(blob, kind)?;
         match self.perform_write(blob, &config, &ticket, &data) {
             Ok((meta_nodes, artifacts)) => {
-                self.version_manager.complete_write_with_artifacts(
-                    blob,
-                    ticket.version,
-                    Some(artifacts),
-                )?;
+                self.version_manager
+                    .complete_write(blob, ticket.version, Some(artifacts))?;
                 self.stats
                     .meta_nodes_written
                     .fetch_add(meta_nodes as u64, Ordering::Relaxed);
@@ -540,11 +561,9 @@ impl BlobClient {
                 // artifacts: the version's nodes are then simply never
                 // considered for collection.
                 let artifacts = self.weave_repair(&ticket).ok();
-                let _ = self.version_manager.abort_write_with_artifacts(
-                    blob,
-                    ticket.version,
-                    artifacts,
-                );
+                let _ = self
+                    .version_manager
+                    .abort_write(blob, ticket.version, artifacts);
                 self.stats.failed_writes.fetch_add(1, Ordering::Relaxed);
                 Err(err)
             }
@@ -891,7 +910,12 @@ impl BlobClient {
         let cache = self.chunk_cache.clone();
         let stats = Arc::clone(&self.stats);
         let primary = replicas.first().copied();
+        // Admission gate: taken here on the submitting thread (blocking
+        // *this* client when it is over budget), released when the pool
+        // task finishes because the permit moves into the closure.
+        let permit = self.admission.as_ref().map(|a| a.acquire(self.id));
         self.transfers.submit_for(primary, move || {
+            let _permit = permit;
             let chunks: Vec<(ChunkId, ChunkEnvelope)> = items
                 .iter()
                 .map(|(slot, data)| {
@@ -1008,7 +1032,11 @@ impl BlobClient {
         let stats = Arc::clone(&self.stats);
         let tagged =
             (!leaf.providers.is_empty()).then(|| leaf.providers[start % leaf.providers.len()]);
+        // Cache hits above never consume admission budget — they touch no
+        // provider. Only a real fetch takes a permit (on this thread).
+        let permit = self.admission.as_ref().map(|a| a.acquire(self.id));
         self.transfers.submit_for(tagged, move || {
+            let _permit = permit;
             let data = fetch_chunk_replica(service.as_ref(), &leaf, start)?;
             stats.chunks_read.fetch_add(1, Ordering::Relaxed);
             if let Some(cache) = &cache {

@@ -8,6 +8,7 @@
 //! interface); performance-at-scale questions are answered by the
 //! `blobseer-sim` crate instead.
 
+use crate::admission::AdmissionController;
 use crate::chunk_cache::ChunkCache;
 use crate::client::BlobClient;
 use crate::lifecycle::LifecycleEngine;
@@ -20,12 +21,16 @@ use blobseer_persist::{
     DurableTier, DurableTierOptions, RecoveredMetadata, RecoveryStats, WalMetaStore,
 };
 use blobseer_provider::{DataProvider, ProviderManager};
+use blobseer_qos::{MonitoringCollector, QosController};
 use blobseer_types::{
     BlobError, ClientId, ClusterConfig, IdGenerator, MetaNodeId, ProviderId, Result,
 };
+use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use std::thread::JoinHandle;
 
 /// A complete in-process BlobSeer deployment.
 ///
@@ -61,8 +66,43 @@ pub struct Cluster {
     /// [`Cluster::open_durable`]. `None` for RAM-resident clusters.
     durable: Option<Arc<DurableTier>>,
     /// What recovery found when the durable tier was opened (all zeros for
-    /// RAM-resident clusters and fresh directories).
+    /// RAM-resident clusters and fresh durable directories).
     recovery: RecoveryStats,
+    /// Per-client admission throttle applied to every client of this
+    /// cluster, when `ClusterConfig::admission_limit` is non-zero.
+    admission: Option<Arc<AdmissionController>>,
+    /// The QoS feedback controller, when QoS-aware serving is configured
+    /// (`ClusterConfig::effective_qos_states() >= 2`). Stepped on the
+    /// lifecycle maintenance tick; `step` needs `&mut self`, hence the lock.
+    qos: Option<Arc<Mutex<QosController>>>,
+    /// Background WAL-checkpoint thread: the independent trigger that keeps
+    /// replay cost bounded even when the lifecycle engine never runs.
+    checkpointer: Mutex<Option<CheckpointerHandle>>,
+    /// Set once [`Cluster::shutdown`] has run (it is idempotent).
+    shutdown_done: AtomicBool,
+}
+
+struct CheckpointerHandle {
+    stop: Arc<AtomicBool>,
+    handle: JoinHandle<()>,
+}
+
+/// One durable maintenance pass: a WAL checkpoint when either the record or
+/// the byte trigger tripped, then policy-driven segment compaction. Shared
+/// by the lifecycle maintenance hook and the background checkpointer.
+fn durable_maintenance(tier: &DurableTier, vm: &VersionManager, dht: &Dht<NodeKey, NodeBody>) {
+    if tier.checkpoint_due() {
+        // Capture order matters under concurrent writes: the blob export
+        // first, the node snapshot second. A version is only published once
+        // its nodes are in the DHT, so the later node snapshot is always a
+        // superset of what the exported publication state references — the
+        // image can carry extra nodes, never dangling versions.
+        let blobs = vm.export_blobs();
+        if let Ok(nodes) = dht.snapshot_nodes() {
+            let _ = tier.checkpoint(&blobs, nodes);
+        }
+    }
+    let _ = tier.compact_stores();
 }
 
 impl Cluster {
@@ -91,7 +131,10 @@ impl Cluster {
             config.data_providers,
             DurableTierOptions {
                 durability: config.durability,
-                ..DurableTierOptions::default()
+                segment_bytes: config.segment_bytes,
+                checkpoint_every: config.checkpoint_records,
+                checkpoint_bytes: config.checkpoint_bytes,
+                compact_dead_ratio: config.compact_dead_ratio,
             },
         )?;
         let tier = Arc::new(tier);
@@ -178,6 +221,17 @@ impl Cluster {
             config.retained_versions,
             config.flatten_threshold,
         ));
+        let admission =
+            (config.admission_limit > 0).then(|| AdmissionController::new(config.admission_limit));
+        let qos = (config.effective_qos_states() >= 2).then(|| {
+            let collector = Arc::new(MonitoringCollector::new(chunk_service.providers()));
+            Arc::new(Mutex::new(QosController::new(
+                collector,
+                Arc::clone(chunk_service.manager()),
+                config.effective_qos_states(),
+                config.qos_horizon,
+            )))
+        });
         let cluster = Cluster {
             version_manager,
             chunk_service,
@@ -189,32 +243,138 @@ impl Cluster {
             lifecycle,
             durable: durable_tier,
             recovery,
+            admission,
+            qos,
+            checkpointer: Mutex::new(None),
+            shutdown_done: AtomicBool::new(false),
             config,
         };
         cluster.install_durable_maintenance(&cluster.lifecycle);
+        cluster.start_checkpointer();
         Ok(cluster)
     }
 
-    /// Hangs the durable tier's housekeeping — a WAL checkpoint (compacted
-    /// rewrite) plus segment compaction whenever enough records piled up —
-    /// onto `engine`'s end-of-pass maintenance hook. No-op for RAM-resident
-    /// clusters. The networked deployment calls this for its own lifecycle
-    /// engine (which replaces the in-process one as the driven instance).
-    pub fn install_durable_maintenance(&self, engine: &LifecycleEngine) {
-        let Some(tier) = &self.durable else {
+    /// Starts the background checkpoint thread when the cluster is durable
+    /// and `ClusterConfig::checkpoint_interval_ms` is non-zero. This trigger
+    /// is deliberately independent of the lifecycle engine: a deployment
+    /// that never flattens or GCs (both lifecycle knobs at zero, engine
+    /// never started) still checkpoints its WAL, so replay cost on restart
+    /// stays bounded instead of growing with the whole write history.
+    fn start_checkpointer(&self) {
+        let (Some(tier), Some(interval)) = (&self.durable, self.config.checkpoint_interval())
+        else {
             return;
         };
-        // The closure captures its own Arcs — no cycle back to the engine.
         let tier = Arc::clone(tier);
         let vm = Arc::clone(&self.version_manager);
         let dht = Arc::clone(&self.metadata);
+        let stop = Arc::new(AtomicBool::new(false));
+        let thread_stop = Arc::clone(&stop);
+        let handle = std::thread::spawn(move || {
+            while !thread_stop.load(Ordering::Acquire) {
+                durable_maintenance(&tier, &vm, &dht);
+                std::thread::park_timeout(interval);
+            }
+        });
+        *self.checkpointer.lock() = Some(CheckpointerHandle { stop, handle });
+    }
+
+    fn stop_checkpointer(&self) {
+        if let Some(worker) = self.checkpointer.lock().take() {
+            worker.stop.store(true, Ordering::Release);
+            worker.handle.thread().unpark();
+            let _ = worker.handle.join();
+        }
+    }
+
+    /// Hangs the cluster's periodic housekeeping onto `engine`'s
+    /// end-of-pass maintenance hook: one QoS control step (sample provider
+    /// windows, refit the behaviour model, push scores into placement and
+    /// admission pressure), then the durable tier's WAL checkpoint and
+    /// segment compaction when their triggers tripped. No-op when the
+    /// cluster has neither QoS nor a durable tier. The networked deployment
+    /// calls this for its own lifecycle engine (which replaces the
+    /// in-process one as the driven instance).
+    pub fn install_durable_maintenance(&self, engine: &LifecycleEngine) {
+        if self.durable.is_none() && self.qos.is_none() {
+            return;
+        }
+        // The closure captures its own Arcs — no cycle back to the engine.
+        let durable = self
+            .durable
+            .as_ref()
+            .map(|tier| (Arc::clone(tier), Arc::clone(&self.metadata)));
+        let vm = Arc::clone(&self.version_manager);
+        let qos = self.qos.clone();
+        let admission = self.admission.clone();
+        let provider_count = self.config.data_providers.max(1);
         engine.set_maintenance_hook(Box::new(move || {
-            if tier.checkpoint_due() {
-                if let Ok(nodes) = dht.snapshot_nodes() {
-                    let _ = tier.checkpoint(&vm.export_blobs(), nodes);
+            if let Some(qos) = &qos {
+                if let Ok(flagged) = qos.lock().step() {
+                    if let Some(admission) = &admission {
+                        // Shrink every client's in-flight budget in
+                        // proportion to the fraction of providers currently
+                        // behaving dangerously: fewer healthy providers can
+                        // absorb less concurrent load.
+                        let healthy = 1.0 - flagged.len() as f64 / provider_count as f64;
+                        admission.set_pressure(healthy);
+                    }
                 }
             }
+            if let Some((tier, dht)) = &durable {
+                durable_maintenance(tier, &vm, dht);
+            }
         }));
+    }
+
+    /// Runs one maintenance pass inline — exactly what the lifecycle
+    /// engine's hook runs at the end of each pass. Lets tests and the
+    /// serving daemon drive QoS sampling and checkpointing without waiting
+    /// for the background interval.
+    pub fn run_maintenance(&self) {
+        if let Some(qos) = &self.qos {
+            if let Ok(flagged) = qos.lock().step() {
+                if let Some(admission) = &self.admission {
+                    let healthy =
+                        1.0 - flagged.len() as f64 / self.config.data_providers.max(1) as f64;
+                    admission.set_pressure(healthy);
+                }
+            }
+        }
+        if let Some(tier) = &self.durable {
+            durable_maintenance(tier, &self.version_manager, &self.metadata);
+        }
+    }
+
+    /// Takes a WAL checkpoint right now (ignoring the due-ness triggers),
+    /// when the cluster is durable. Used by the ordered shutdown and by
+    /// tests that want a deterministic compaction point.
+    pub fn force_checkpoint(&self) -> Result<()> {
+        let Some(tier) = &self.durable else {
+            return Ok(());
+        };
+        // Blob export before node snapshot — same superset argument as in
+        // `durable_maintenance`.
+        let blobs = self.version_manager.export_blobs();
+        let nodes = self.metadata.snapshot_nodes()?;
+        tier.checkpoint(&blobs, nodes)
+    }
+
+    /// Coordinated shutdown of the in-process deployment, in dependency
+    /// order: stop the background checkpointer, quiesce the lifecycle
+    /// engine (its current pass completes), then — for durable clusters —
+    /// take a final checkpoint and seal the WAL so nothing can append to a
+    /// closing log. Idempotent; also run by `Drop`.
+    pub fn shutdown(&self) {
+        if self.shutdown_done.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        self.stop_checkpointer();
+        self.lifecycle.shutdown();
+        if let Some(tier) = &self.durable {
+            let _ = self.force_checkpoint();
+            tier.wal().seal();
+        }
     }
 
     /// The metadata service mutations must go through: the DHT for
@@ -312,9 +472,11 @@ impl Cluster {
             (self.config.chunk_cache_bytes > 0)
                 .then(|| Arc::new(ChunkCache::new(self.config.chunk_cache_bytes)))
         });
+        let vm = Arc::clone(&self.version_manager);
+        let version_service: Arc<dyn crate::VersionService> = vm;
         BlobClient::new(
             ClientId(self.client_ids.next_id()),
-            Arc::clone(&self.version_manager),
+            version_service,
             Arc::clone(&self.chunk_service) as Arc<dyn ChunkService>,
             meta_store,
             Arc::clone(&self.transfers),
@@ -322,6 +484,7 @@ impl Cluster {
         .with_pipeline_depth(self.config.pipeline_depth)
         .with_chunk_cache(chunk_cache)
         .with_chunk_codec(self.config.chunk_codec)
+        .with_admission(self.admission.clone())
     }
 
     /// The process-wide chunk cache every client shares, when
@@ -384,6 +547,23 @@ impl Cluster {
             .iter_providers()
             .map(|p| p.stats().bytes)
             .sum()
+    }
+
+    /// The per-client admission controller, when
+    /// `ClusterConfig::admission_limit` is non-zero.
+    pub fn admission(&self) -> Option<&Arc<AdmissionController>> {
+        self.admission.as_ref()
+    }
+
+    /// The QoS feedback controller, when QoS-aware serving is configured.
+    pub fn qos_controller(&self) -> Option<&Arc<Mutex<QosController>>> {
+        self.qos.as_ref()
+    }
+}
+
+impl Drop for Cluster {
+    fn drop(&mut self) {
+        self.shutdown();
     }
 }
 

@@ -34,6 +34,7 @@
 //! assert_eq!(client.read_all(blob, Some(v2)).unwrap(), b"hello, versioned world");
 //! ```
 
+pub mod admission;
 pub mod chunk_cache;
 pub mod client;
 pub mod cluster;
@@ -41,7 +42,9 @@ pub mod lifecycle;
 pub mod services;
 pub mod transfer;
 pub mod version_manager;
+pub mod version_service;
 
+pub use admission::{AdmissionController, AdmissionPermit, AdmissionStats};
 pub use chunk_cache::{ChunkCache, ChunkCacheStats};
 pub use client::{BlobClient, ClientStats};
 pub use cluster::Cluster;
@@ -50,5 +53,6 @@ pub use services::{ChunkService, InProcessChunkService, MetadataService};
 pub use transfer::{TransferPool, TransferPoolStats};
 pub use version_manager::{
     ArtifactKind, CollectableSet, FlattenTicket, NodeArtifact, VersionManager, VersionManagerStats,
-    VersionPin, WriteKind, WriteTicket,
+    WriteKind, WriteTicket,
 };
+pub use version_service::{VersionPin, VersionService};

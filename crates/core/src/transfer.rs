@@ -376,6 +376,34 @@ impl TransferPool {
         completions.into_iter().map(Completion::join).collect()
     }
 
+    /// Waits until every task submitted *before* this call has finished.
+    ///
+    /// Implemented as a worker rendezvous: one sentinel per worker is
+    /// enqueued, and the sentinels block on a shared barrier until all of
+    /// them are running at once. The queue is FIFO, so a worker can only be
+    /// parked in its sentinel after completing every earlier job it picked
+    /// up — when the rendezvous resolves, the pre-quiesce backlog is done.
+    /// Tasks submitted concurrently with the call may or may not be covered.
+    /// Zero-worker pools run everything inline and are always quiescent.
+    pub fn quiesce(&self) {
+        let workers = self.workers.len();
+        if workers == 0 {
+            return;
+        }
+        let barrier = Arc::new(std::sync::Barrier::new(workers));
+        let sentinels: Vec<Completion<()>> = (0..workers)
+            .map(|_| {
+                let barrier = Arc::clone(&barrier);
+                self.submit(move || {
+                    barrier.wait();
+                })
+            })
+            .collect();
+        for sentinel in sentinels {
+            sentinel.join();
+        }
+    }
+
     fn run_inline<T, F: FnOnce() -> T>(&self, tasks: Vec<F>) -> Vec<T> {
         self.shared
             .tasks_inline
@@ -600,6 +628,25 @@ mod tests {
         let strict =
             TransferPool::new(0).with_join_timeout(Some(std::time::Duration::from_nanos(1)));
         assert_eq!(strict.join_within(Completion::ready(9u32)).unwrap(), 9);
+    }
+
+    #[test]
+    fn quiesce_waits_for_the_submitted_backlog() {
+        let pool = TransferPool::new(3);
+        static DONE: AtomicUsize = AtomicUsize::new(0);
+        for i in 0..12u64 {
+            // Dropped completions: quiesce must not depend on joining them.
+            let _ = pool.submit(move || {
+                std::thread::sleep(std::time::Duration::from_micros(200 * (i % 4)));
+                DONE.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        pool.quiesce();
+        assert_eq!(DONE.load(Ordering::SeqCst), 12);
+        // A quiescent pool keeps serving afterwards.
+        assert_eq!(pool.execute(vec![|| 5, || 6]), vec![5, 6]);
+        // Zero-worker pools are trivially quiescent.
+        TransferPool::new(0).quiesce();
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! which is what makes the whole protocol linearizable while keeping readers
 //! and writers fully decoupled.
 
+use crate::version_service::{VersionPin, VersionService};
 use blobseer_meta::{
     NodeBody, NodeKey, ReferenceChain, SnapshotDescriptor, WriteMetadata, WriteSummary,
 };
@@ -747,13 +748,11 @@ impl VersionManager {
             None => state.latest_published(),
         };
         state.pin(descriptor.version.0);
+        let me: Arc<VersionManager> = Arc::clone(self);
+        let svc: Arc<dyn VersionService> = me;
         Ok((
             descriptor,
-            VersionPin {
-                vm: Arc::clone(self),
-                blob,
-                version: descriptor.version,
-            },
+            VersionPin::new(svc, blob, descriptor.version, 0),
         ))
     }
 
@@ -972,27 +971,64 @@ impl Default for VersionManager {
     }
 }
 
-/// RAII pin on one published version, handed out by
-/// [`VersionManager::pin_snapshot`]. While alive, the lifecycle sweeper
-/// treats the version (and everything its tree reaches) as live; dropping
-/// the pin releases it.
-pub struct VersionPin {
-    vm: Arc<VersionManager>,
-    blob: BlobId,
-    version: Version,
-}
-
-impl VersionPin {
-    /// The pinned version.
-    #[must_use]
-    pub fn version(&self) -> Version {
-        self.version
+impl VersionService for VersionManager {
+    fn create_blob(&self, config: BlobConfig) -> Result<BlobId> {
+        VersionManager::create_blob(self, config)
     }
-}
 
-impl Drop for VersionPin {
-    fn drop(&mut self) {
-        self.vm.unpin_version(self.blob, self.version);
+    fn blob_config(&self, blob: BlobId) -> Result<BlobConfig> {
+        VersionManager::blob_config(self, blob)
+    }
+
+    fn latest_snapshot(&self, blob: BlobId) -> Result<SnapshotDescriptor> {
+        VersionManager::latest_snapshot(self, blob)
+    }
+
+    fn snapshot(&self, blob: BlobId, version: Version) -> Result<SnapshotDescriptor> {
+        VersionManager::snapshot(self, blob, version)
+    }
+
+    fn published_versions(&self, blob: BlobId) -> Result<Vec<Version>> {
+        VersionManager::published_versions(self, blob)
+    }
+
+    fn assign_ticket(&self, blob: BlobId, kind: WriteKind) -> Result<WriteTicket> {
+        VersionManager::assign_ticket(self, blob, kind)
+    }
+
+    fn complete_write(
+        &self,
+        blob: BlobId,
+        version: Version,
+        artifacts: Option<Vec<NodeArtifact>>,
+    ) -> Result<Version> {
+        self.complete_write_with_artifacts(blob, version, artifacts)
+    }
+
+    fn abort_write(
+        &self,
+        blob: BlobId,
+        version: Version,
+        artifacts: Option<Vec<NodeArtifact>>,
+    ) -> Result<Version> {
+        self.abort_write_with_artifacts(blob, version, artifacts)
+    }
+
+    fn pin(&self, blob: BlobId, version: Option<Version>) -> Result<(SnapshotDescriptor, u64)> {
+        // The in-process pin is a reference count keyed by version — no
+        // lease state to name, so the token is always 0.
+        let state = self.state(blob)?;
+        let mut state = state.lock();
+        let descriptor = match version {
+            Some(v) => state.lookup(blob, v)?,
+            None => state.latest_published(),
+        };
+        state.pin(descriptor.version.0);
+        Ok((descriptor, 0))
+    }
+
+    fn unpin(&self, blob: BlobId, version: Version, _token: u64) {
+        self.unpin_version(blob, version);
     }
 }
 

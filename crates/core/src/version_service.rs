@@ -1,0 +1,251 @@
+//! The client-facing version-manager boundary, as a service trait.
+//!
+//! The version manager is the last plane a [`crate::BlobClient`] reaches
+//! through a concrete in-process handle; everything else (chunks, metadata)
+//! already goes through a service trait with both in-process and networked
+//! implementations. [`VersionService`] closes that gap: `VersionManager`
+//! implements it directly, and `blobseer-net` provides a framed-RPC
+//! implementation so a client can run against a remote version manager —
+//! which is what the `blobseer-server` daemon serves.
+//!
+//! Pinning across the wire uses lease tokens: [`VersionService::pin`]
+//! returns an opaque `u64` the remote endpoint minted for the pin it holds
+//! server-side, and [`VersionService::unpin`] releases it. The in-process
+//! implementation needs no lease state (its pins are reference counts keyed
+//! by version), so it always answers token 0.
+
+use crate::version_manager::{ArtifactKind, NodeArtifact, WriteKind, WriteTicket};
+use blobseer_meta::SnapshotDescriptor;
+use blobseer_types::wire::{Wire, WireReader, WireWriter};
+use blobseer_types::{BlobConfig, BlobError, BlobId, Result, Version};
+use std::sync::Arc;
+
+/// The version-manager operations a client performs, over any transport.
+pub trait VersionService: Send + Sync {
+    /// Registers a new blob and returns its id.
+    fn create_blob(&self, config: BlobConfig) -> Result<BlobId>;
+    /// The configuration a blob was created with.
+    fn blob_config(&self, blob: BlobId) -> Result<BlobConfig>;
+    /// Descriptor of the latest published snapshot.
+    fn latest_snapshot(&self, blob: BlobId) -> Result<SnapshotDescriptor>;
+    /// Descriptor of an arbitrary published snapshot.
+    fn snapshot(&self, blob: BlobId, version: Version) -> Result<SnapshotDescriptor>;
+    /// All currently published versions of a blob, in ascending order.
+    fn published_versions(&self, blob: BlobId) -> Result<Vec<Version>>;
+    /// Assigns a version and reference chain to one write.
+    fn assign_ticket(&self, blob: BlobId, kind: WriteKind) -> Result<WriteTicket>;
+    /// Publishes a completed write (with the node artifacts it stored).
+    fn complete_write(
+        &self,
+        blob: BlobId,
+        version: Version,
+        artifacts: Option<Vec<NodeArtifact>>,
+    ) -> Result<Version>;
+    /// Abandons an assigned write.
+    fn abort_write(
+        &self,
+        blob: BlobId,
+        version: Version,
+        artifacts: Option<Vec<NodeArtifact>>,
+    ) -> Result<Version>;
+    /// Resolves and pins a snapshot (`None` — the latest published one),
+    /// returning its descriptor plus an opaque lease token for the pin.
+    fn pin(&self, blob: BlobId, version: Option<Version>) -> Result<(SnapshotDescriptor, u64)>;
+    /// Releases a pin taken by [`VersionService::pin`]. Infallible by
+    /// design: release runs from guard drops, where an error has no
+    /// receiver; implementations swallow transport failures (an unreachable
+    /// endpoint is tearing down its lease table anyway).
+    fn unpin(&self, blob: BlobId, version: Version, token: u64);
+}
+
+/// RAII pin on one published version, resolved through any
+/// [`VersionService`]. While alive, the lifecycle sweeper of the serving
+/// deployment treats the version (and everything its tree reaches) as live;
+/// dropping the guard releases it.
+pub struct VersionPin {
+    svc: Arc<dyn VersionService>,
+    blob: BlobId,
+    version: Version,
+    token: u64,
+}
+
+impl VersionPin {
+    /// Wraps a raw `(service, lease)` pin into a guard.
+    #[must_use]
+    pub fn new(svc: Arc<dyn VersionService>, blob: BlobId, version: Version, token: u64) -> Self {
+        VersionPin {
+            svc,
+            blob,
+            version,
+            token,
+        }
+    }
+
+    /// The pinned version.
+    #[must_use]
+    pub fn version(&self) -> Version {
+        self.version
+    }
+}
+
+impl Drop for VersionPin {
+    fn drop(&mut self) {
+        self.svc.unpin(self.blob, self.version, self.token);
+    }
+}
+
+// --- wire layouts of the version plane ---------------------------------
+//
+// These live next to the trait (not in `blobseer-net`) for the same reason
+// the metadata node codec lives in `blobseer-meta`: the crate owning a type
+// owns its bytes. `ReferenceChain` and `SnapshotDescriptor` encode in
+// `blobseer_meta::codec`; `BlobConfig` in `blobseer_types::wire`.
+
+impl Wire for WriteKind {
+    fn put(&self, w: &mut WireWriter) {
+        match self {
+            WriteKind::Write { offset, len } => {
+                w.put_u8(0);
+                w.put_u64(*offset);
+                w.put_u64(*len);
+            }
+            WriteKind::Append { len } => {
+                w.put_u8(1);
+                w.put_u64(*len);
+            }
+        }
+    }
+
+    fn get(r: &mut WireReader<'_>) -> Result<Self> {
+        Ok(match r.get_u8()? {
+            0 => WriteKind::Write {
+                offset: r.get_u64()?,
+                len: r.get_u64()?,
+            },
+            1 => WriteKind::Append { len: r.get_u64()? },
+            tag => {
+                return Err(BlobError::Transport(format!(
+                    "wire: unknown WriteKind tag {tag}"
+                )))
+            }
+        })
+    }
+}
+
+impl Wire for WriteTicket {
+    fn put(&self, w: &mut WireWriter) {
+        w.put(&self.blob);
+        w.put(&self.version);
+        w.put_u64(self.offset);
+        w.put_u64(self.len);
+        w.put_u64(self.new_size);
+        w.put_u64(self.chunk_size);
+        w.put(&self.chain);
+    }
+
+    fn get(r: &mut WireReader<'_>) -> Result<Self> {
+        Ok(WriteTicket {
+            blob: r.get()?,
+            version: r.get()?,
+            offset: r.get_u64()?,
+            len: r.get_u64()?,
+            new_size: r.get_u64()?,
+            chunk_size: r.get_u64()?,
+            chain: r.get()?,
+        })
+    }
+}
+
+impl Wire for ArtifactKind {
+    fn put(&self, w: &mut WireWriter) {
+        match self {
+            ArtifactKind::Alias => w.put_u8(0),
+            ArtifactKind::Inner => w.put_u8(1),
+            ArtifactKind::Leaf { chunk } => {
+                w.put_u8(2);
+                w.put(chunk);
+            }
+        }
+    }
+
+    fn get(r: &mut WireReader<'_>) -> Result<Self> {
+        Ok(match r.get_u8()? {
+            0 => ArtifactKind::Alias,
+            1 => ArtifactKind::Inner,
+            2 => ArtifactKind::Leaf { chunk: r.get()? },
+            tag => {
+                return Err(BlobError::Transport(format!(
+                    "wire: unknown ArtifactKind tag {tag}"
+                )))
+            }
+        })
+    }
+}
+
+impl Wire for NodeArtifact {
+    fn put(&self, w: &mut WireWriter) {
+        w.put(&self.range);
+        w.put(&self.kind);
+    }
+
+    fn get(r: &mut WireReader<'_>) -> Result<Self> {
+        Ok(NodeArtifact {
+            range: r.get()?,
+            kind: r.get()?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blobseer_meta::ReferenceChain;
+    use blobseer_types::wire::{decode, encode};
+    use blobseer_types::{ByteRange, ChunkId, ProviderId};
+
+    fn roundtrip<T: Wire + PartialEq + std::fmt::Debug>(value: T) {
+        assert_eq!(decode::<T>(&encode(&value)).unwrap(), value);
+    }
+
+    #[test]
+    fn version_plane_requests_roundtrip() {
+        roundtrip(WriteKind::Write {
+            offset: 128,
+            len: 64,
+        });
+        roundtrip(WriteKind::Append { len: 4096 });
+        roundtrip(WriteTicket {
+            blob: BlobId(3),
+            version: Version(9),
+            offset: 64,
+            len: 128,
+            new_size: 192,
+            chunk_size: 64,
+            chain: ReferenceChain::published_only(SnapshotDescriptor::initial(64)),
+        });
+        roundtrip(vec![
+            NodeArtifact {
+                range: ByteRange::new(0, 64),
+                kind: ArtifactKind::Leaf {
+                    chunk: Some((
+                        ChunkId {
+                            blob: BlobId(3),
+                            write_tag: 7,
+                            slot: 0,
+                        },
+                        vec![ProviderId(1), ProviderId(2)],
+                    )),
+                },
+            },
+            NodeArtifact {
+                range: ByteRange::new(0, 128),
+                kind: ArtifactKind::Inner,
+            },
+            NodeArtifact {
+                range: ByteRange::new(64, 64),
+                kind: ArtifactKind::Alias,
+            },
+        ]);
+        roundtrip(BlobConfig::default());
+    }
+}

@@ -6,6 +6,7 @@
 //! on the wire. Built on the little-endian [`blobseer_types::wire`] codec.
 
 use crate::node::{ChildRef, InnerNode, LeafNode, NodeBody, NodeKey};
+use crate::tree::{ReferenceChain, SnapshotDescriptor, WriteSummary};
 use blobseer_types::wire::{Wire, WireReader, WireWriter};
 use blobseer_types::{BlobError, Result};
 
@@ -101,6 +102,56 @@ impl Wire for NodeBody {
     }
 }
 
+impl Wire for SnapshotDescriptor {
+    fn put(&self, w: &mut WireWriter) {
+        w.put(&self.version);
+        w.put_u64(self.size);
+        w.put_u64(self.chunk_size);
+        w.put_u8(u8::from(self.flat));
+    }
+
+    fn get(r: &mut WireReader<'_>) -> Result<Self> {
+        Ok(SnapshotDescriptor {
+            version: r.get()?,
+            size: r.get_u64()?,
+            chunk_size: r.get_u64()?,
+            flat: r.get_u8()? != 0,
+        })
+    }
+}
+
+impl Wire for WriteSummary {
+    fn put(&self, w: &mut WireWriter) {
+        w.put(&self.version);
+        w.put(&self.written_slots);
+        w.put_u64(self.size);
+        w.put_u64(self.chunk_size);
+    }
+
+    fn get(r: &mut WireReader<'_>) -> Result<Self> {
+        Ok(WriteSummary {
+            version: r.get()?,
+            written_slots: r.get()?,
+            size: r.get_u64()?,
+            chunk_size: r.get_u64()?,
+        })
+    }
+}
+
+impl Wire for ReferenceChain {
+    fn put(&self, w: &mut WireWriter) {
+        w.put(&self.base);
+        w.put(&self.pending);
+    }
+
+    fn get(r: &mut WireReader<'_>) -> Result<Self> {
+        Ok(ReferenceChain {
+            base: r.get()?,
+            pending: r.get()?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -173,6 +224,26 @@ mod tests {
                 }),
             ),
         ]);
+    }
+
+    #[test]
+    fn version_plane_values_roundtrip() {
+        let base = SnapshotDescriptor {
+            version: Version(4),
+            size: 1024,
+            chunk_size: 64,
+            flat: true,
+        };
+        roundtrip(base);
+        roundtrip(ReferenceChain {
+            base,
+            pending: vec![WriteSummary {
+                version: Version(5),
+                written_slots: ByteRange::new(64, 128),
+                size: 2048,
+                chunk_size: 64,
+            }],
+        });
     }
 
     #[test]

@@ -4,12 +4,14 @@
 //! [`NetCluster`] wraps the in-process [`Cluster`] (which keeps owning the
 //! version manager, the providers, the DHT and the shared transfer pool)
 //! and hosts its services behind RPC endpoints: one per data provider, one
-//! for the provider manager, one for the metadata plane. Clients obtained
-//! from [`NetCluster::client`] hold `NetChunkService`/`NetMetadataService`
-//! instead of the in-process implementations — every chunk and every
-//! metadata node they touch crosses the wire, while the version manager
-//! stays a direct handle (the paper's version manager is the one tiny
-//! serialisation point; its RPC is a follow-up, see ROADMAP).
+//! for the provider manager, one for the metadata plane, one for the
+//! version manager. Clients obtained from [`NetCluster::client`] hold
+//! `NetChunkService`/`NetMetadataService`/`NetVersionService` instead of
+//! the in-process implementations — every chunk, every metadata node and
+//! every version-manager decision they touch crosses the wire. A client in
+//! another *process* connects to the same endpoints with
+//! [`connect_remote`], given the addresses from [`NetCluster::endpoint_addrs`]
+//! (the daemon's endpoints file).
 //!
 //! The transport is picked by `ClusterConfig::transport`: real TCP loopback
 //! sockets, or the in-process channel transport with an optional seeded
@@ -18,10 +20,17 @@
 //! in-process cluster — and assert byte-identical results.
 
 use crate::reactor::{Reactor, WorkerPool};
-use crate::rpc::{ChunkHost, ManagerHost, MetaHost, RpcEndpoint, RpcHandler, RpcServer};
-use crate::services::{NetChunkService, NetMetadataService};
-use crate::transport::{channel_endpoint, tcp_endpoint, tcp_listener, Connect, FaultState};
-use blobseer_core::{BlobClient, ChunkService, Cluster, LifecycleEngine, MetadataService};
+use crate::rpc::{
+    ChunkHost, ManagerHost, MetaHost, RpcEndpoint, RpcHandler, RpcServer, VersionHost,
+};
+use crate::services::{NetChunkService, NetMetadataService, NetVersionService};
+use crate::transport::{
+    channel_endpoint, tcp_endpoint, tcp_listener, Connect, FaultState, TcpConnector,
+};
+use blobseer_core::{
+    BlobClient, ChunkCache, ChunkService, Cluster, LifecycleEngine, MetadataService, TransferPool,
+    VersionService,
+};
 use blobseer_meta::{CachedMetadataStore, MetadataStore};
 use blobseer_types::{
     BlobError, ClientId, ClusterConfig, FaultPlan, IdGenerator, ProviderId, Result, TransportKind,
@@ -29,6 +38,8 @@ use blobseer_types::{
 };
 use parking_lot::Mutex;
 use std::collections::HashMap;
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 /// A networked BlobSeer deployment (TCP loopback or channel transport).
@@ -42,7 +53,17 @@ pub struct NetCluster {
     inner: Cluster,
     manager_connector: Arc<dyn Connect>,
     meta_connector: Arc<dyn Connect>,
+    vm_connector: Arc<dyn Connect>,
+    /// The served version-manager host (kept for lease diagnostics).
+    vm_host: Arc<VersionHost>,
     provider_connectors: HashMap<ProviderId, Arc<dyn Connect>>,
+    /// Serving-side traffic accounting, shared by every chunk host: the
+    /// logical/physical bytes this deployment moved for its clients,
+    /// independent of any one client's own metrics.
+    server_metrics: Arc<TransportMetrics>,
+    /// Serving-side chunk cache behind the chunk hosts (the deployment's
+    /// shared cache, present when `shared_chunk_cache` is configured).
+    server_cache: Option<Arc<ChunkCache>>,
     /// Running server endpoints, keyed for targeted teardown ("manager",
     /// "meta", "provider-N").
     servers: Mutex<HashMap<String, RpcServer>>,
@@ -57,6 +78,11 @@ pub struct NetCluster {
     /// traffic.
     lifecycle: Arc<LifecycleEngine>,
     client_ids: IdGenerator,
+    /// The channel transport's fault decision source (`None` on TCP) —
+    /// exposed so tests can swap the plan mid-run.
+    faults: Option<Arc<FaultState>>,
+    /// Latched by [`NetCluster::shutdown`] so `Drop` does not re-run it.
+    shutdown_done: AtomicBool,
 }
 
 impl NetCluster {
@@ -151,15 +177,18 @@ impl NetCluster {
     fn serve_channel(inner: Cluster, faults: FaultPlan) -> Result<Self> {
         faults.validate()?;
         let state = Arc::new(FaultState::new(faults));
+        let fault_state = Arc::clone(&state);
         let pool = WorkerPool::new(inner.config().effective_rpc_workers());
         let serve_pool = pool.clone();
-        Self::build(inner, pool, None, move |handler| {
+        let mut cluster = Self::build(inner, pool, None, move |handler| {
             let (connector, acceptor, stopper) = channel_endpoint(Arc::clone(&state));
             Ok((
                 connector,
                 RpcServer::spawn_pooled(acceptor, stopper, handler, serve_pool.clone()),
             ))
-        })
+        })?;
+        cluster.faults = Some(fault_state);
+        Ok(cluster)
     }
 
     fn build(
@@ -169,6 +198,8 @@ impl NetCluster {
         make_server: impl Fn(Arc<dyn RpcHandler>) -> Result<(Arc<dyn Connect>, RpcServer)>,
     ) -> Result<Self> {
         let mut servers = HashMap::new();
+        let server_metrics = Arc::new(TransportMetrics::new());
+        let server_cache = inner.shared_chunk_cache().cloned();
 
         let (manager_connector, server) = make_server(Arc::new(ManagerHost::new(Arc::clone(
             inner.provider_manager(),
@@ -184,10 +215,19 @@ impl NetCluster {
             as Arc<dyn MetadataStore>)))?;
         servers.insert("meta".to_string(), server);
 
+        // The version manager — the deployment's serialisation point — goes
+        // on the wire like every other plane.
+        let vm_host = Arc::new(VersionHost::new(Arc::clone(inner.version_manager())));
+        let (vm_connector, server) = make_server(Arc::clone(&vm_host) as Arc<dyn RpcHandler>)?;
+        servers.insert("vm".to_string(), server);
+
         let mut provider_connectors = HashMap::new();
         for provider in inner.providers() {
             let id = provider.id();
-            let (connector, server) = make_server(Arc::new(ChunkHost::new(provider)))?;
+            let host = ChunkHost::new(provider)
+                .with_cache(server_cache.clone())
+                .with_metrics(Some(Arc::clone(&server_metrics)));
+            let (connector, server) = make_server(Arc::new(host))?;
             servers.insert(format!("provider-{}", id.0), server);
             provider_connectors.insert(id, connector);
         }
@@ -242,13 +282,26 @@ impl NetCluster {
             inner,
             manager_connector,
             meta_connector,
+            vm_connector,
+            vm_host,
             provider_connectors,
+            server_metrics,
+            server_cache,
             servers: Mutex::new(servers),
             pool,
             reactor,
             lifecycle,
             client_ids: IdGenerator::starting_at(1),
+            faults: None,
+            shutdown_done: AtomicBool::new(false),
         })
+    }
+
+    /// The channel transport's fault decision source, for swapping the
+    /// fault plan mid-test (`None` on TCP deployments).
+    #[must_use]
+    pub fn fault_state(&self) -> Option<&Arc<FaultState>> {
+        self.faults.as_ref()
     }
 
     /// The wrapped in-process cluster (version manager, provider handles,
@@ -365,34 +418,108 @@ impl NetCluster {
                 .then(|| Arc::new(blobseer_core::ChunkCache::new(config.chunk_cache_bytes)))
         });
 
+        // The version-manager plane crosses the wire too, with the deepest
+        // retry budget of any plane: its frames are tiny, every operation
+        // serialises through it with no replica to rotate to, and the host
+        // deduplicates retries of the non-idempotent calls by nonce.
+        let version_service: Arc<dyn VersionService> = Arc::new(NetVersionService::new(
+            RpcEndpoint::new(
+                Arc::clone(&self.vm_connector),
+                io_timeout,
+                Arc::clone(&metrics),
+            )
+            .with_retries(crate::rpc::VM_RPC_RETRIES)
+            .with_connections(conns),
+        ));
+
         BlobClient::new(
             ClientId(self.client_ids.next_id()),
-            Arc::clone(self.inner.version_manager()),
+            version_service,
             chunks,
             meta_service,
             Arc::clone(self.inner.transfer_pool()),
         )
+        .with_admission(self.inner.admission().cloned())
         .with_pipeline_depth(config.pipeline_depth)
         .with_chunk_cache(chunk_cache)
         .with_chunk_codec(config.chunk_codec)
         .with_transport_metrics(Some(metrics))
     }
+
+    /// Every endpoint the deployment serves, as `(name, address)` pairs —
+    /// the daemon's endpoints file. Empty on the channel transport, whose
+    /// connectors have no socket addresses.
+    #[must_use]
+    pub fn endpoint_addrs(&self) -> Vec<(String, SocketAddr)> {
+        let mut out = Vec::new();
+        let mut push = |name: String, connector: &Arc<dyn Connect>| {
+            if let Some(addr) = connector.addr() {
+                out.push((name, addr));
+            }
+        };
+        push("vm".into(), &self.vm_connector);
+        push("manager".into(), &self.manager_connector);
+        push("meta".into(), &self.meta_connector);
+        let mut providers: Vec<_> = self.provider_connectors.iter().collect();
+        providers.sort_by_key(|(id, _)| id.0);
+        for (id, connector) in providers {
+            push(format!("provider-{}", id.0), connector);
+        }
+        out
+    }
+
+    /// Serving-side traffic counters (the chunk bytes this deployment moved
+    /// for its clients, logical and physical).
+    #[must_use]
+    pub fn server_metrics(&self) -> &Arc<TransportMetrics> {
+        &self.server_metrics
+    }
+
+    /// The serving-side chunk cache, when configured (`shared_chunk_cache`).
+    #[must_use]
+    pub fn server_cache(&self) -> Option<&Arc<ChunkCache>> {
+        self.server_cache.as_ref()
+    }
+
+    /// Pin leases currently held on behalf of remote clients.
+    #[must_use]
+    pub fn vm_lease_count(&self) -> usize {
+        self.vm_host.lease_count()
+    }
+
+    /// Coordinated graceful shutdown, in dependency order: stop accepting
+    /// and tear down the server endpoints, stop the reactor and the RPC
+    /// worker pool, drain the transfer pool's submitted backlog, park the
+    /// lifecycle/GC worker, and finally checkpoint and seal the durable
+    /// tier (a no-op on in-memory deployments). Idempotent — `Drop` runs it
+    /// too, and a second call returns immediately.
+    pub fn shutdown(&self) {
+        if self.shutdown_done.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // 1. Stop accepting new work: endpoints down first. In-flight
+        //    handlers finish on their own; sweeper RPCs issued against the
+        //    dead endpoints from here on fail cleanly and requeue.
+        for (_, mut server) in self.servers.lock().drain() {
+            server.stop();
+        }
+        if let Some(reactor) = &self.reactor {
+            reactor.stop();
+        }
+        self.pool.shutdown();
+        // 2. Drain transfers already submitted by in-process clients.
+        self.inner.transfer_pool().quiesce();
+        // 3. Quiesce the maintenance plane: no sweeper run can start after
+        //    this returns.
+        self.lifecycle.shutdown();
+        // 4. Final checkpoint + WAL seal (durable deployments).
+        self.inner.shutdown();
+    }
 }
 
 impl Drop for NetCluster {
     fn drop(&mut self) {
-        // Teardown order matters: park the lifecycle worker before its
-        // endpoints disappear, then deregister the endpoints, then stop
-        // the reactor thread that owns their sockets, then shut the worker
-        // pool down (any in-flight handler finishes on its own).
-        self.lifecycle.shutdown();
-        for (_, mut server) in self.servers.lock().drain() {
-            server.stop();
-        }
-        if let Some(reactor) = self.reactor.take() {
-            reactor.stop();
-        }
-        self.pool.shutdown();
+        self.shutdown();
     }
 }
 
@@ -403,6 +530,168 @@ impl std::fmt::Debug for NetCluster {
             .field("data_providers", &self.provider_connectors.len())
             .finish()
     }
+}
+
+/// The addresses of one serving deployment's endpoints, as discovered out
+/// of band — the parsed form of the daemon's endpoints file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RemoteEndpoints {
+    /// The version-manager endpoint.
+    pub vm: SocketAddr,
+    /// The provider-manager endpoint.
+    pub manager: SocketAddr,
+    /// The metadata-plane endpoint.
+    pub meta: SocketAddr,
+    /// One endpoint per data provider.
+    pub providers: Vec<(ProviderId, SocketAddr)>,
+}
+
+impl RemoteEndpoints {
+    /// Builds the set from `(name, address)` pairs (the output of
+    /// [`NetCluster::endpoint_addrs`]). Fails if a service plane is missing
+    /// or a name is malformed.
+    pub fn from_pairs(pairs: &[(String, SocketAddr)]) -> Result<Self> {
+        let mut vm = None;
+        let mut manager = None;
+        let mut meta = None;
+        let mut providers = Vec::new();
+        for (name, addr) in pairs {
+            match name.as_str() {
+                "vm" => vm = Some(*addr),
+                "manager" => manager = Some(*addr),
+                "meta" => meta = Some(*addr),
+                other => {
+                    let id = other
+                        .strip_prefix("provider-")
+                        .and_then(|n| n.parse::<u32>().ok())
+                        .ok_or_else(|| {
+                            BlobError::InvalidConfig(format!("unknown endpoint name {other:?}"))
+                        })?;
+                    providers.push((ProviderId(id), *addr));
+                }
+            }
+        }
+        let require = |plane: &str, addr: Option<SocketAddr>| {
+            addr.ok_or_else(|| BlobError::InvalidConfig(format!("missing {plane} endpoint")))
+        };
+        if providers.is_empty() {
+            return Err(BlobError::InvalidConfig(
+                "no data-provider endpoints".into(),
+            ));
+        }
+        providers.sort_by_key(|(id, _)| id.0);
+        Ok(RemoteEndpoints {
+            vm: require("vm", vm)?,
+            manager: require("manager", manager)?,
+            meta: require("meta", meta)?,
+            providers,
+        })
+    }
+
+    /// Parses the endpoints-file format: one `name = address` per line,
+    /// blank lines and `#` comments ignored.
+    pub fn parse(text: &str) -> Result<Self> {
+        let mut pairs = Vec::new();
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let (name, addr) = line.split_once('=').ok_or_else(|| {
+                BlobError::InvalidConfig(format!("malformed endpoints line {line:?}"))
+            })?;
+            let addr: SocketAddr = addr.trim().parse().map_err(|_| {
+                BlobError::InvalidConfig(format!("malformed endpoint address in {line:?}"))
+            })?;
+            pairs.push((name.trim().to_string(), addr));
+        }
+        Self::from_pairs(&pairs)
+    }
+
+    /// Renders the endpoints-file format [`RemoteEndpoints::parse`] reads.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("vm = {}\n", self.vm));
+        out.push_str(&format!("manager = {}\n", self.manager));
+        out.push_str(&format!("meta = {}\n", self.meta));
+        for (id, addr) in &self.providers {
+            out.push_str(&format!("provider-{} = {}\n", id.0, addr));
+        }
+        out
+    }
+}
+
+/// Connects a client to a serving deployment in *another process*, given
+/// its endpoint addresses. The returned client owns its transfer pool
+/// (there is no in-process cluster to share one with) and its own
+/// transport metrics; its chunk cache follows `config.chunk_cache_bytes`.
+///
+/// `config` should match the serving deployment where it matters on the
+/// client side: `metadata_providers` (shard-grouped frame batching),
+/// `chunk_codec`, timeouts and connection counts.
+pub fn connect_remote(config: &ClusterConfig, endpoints: &RemoteEndpoints) -> Result<BlobClient> {
+    use rand::RngCore;
+    let io_timeout = config.io_timeout();
+    let conns = config.connections_per_endpoint;
+    let metrics = Arc::new(TransportMetrics::new());
+    let connect = |addr: SocketAddr| -> Arc<dyn Connect> { Arc::new(TcpConnector::new(addr)) };
+
+    let manager = RpcEndpoint::new(connect(endpoints.manager), io_timeout, Arc::clone(&metrics))
+        .with_connections(conns);
+    let providers = endpoints
+        .providers
+        .iter()
+        .map(|&(id, addr)| {
+            (
+                id,
+                RpcEndpoint::new(connect(addr), io_timeout, Arc::clone(&metrics))
+                    .with_connections(conns),
+            )
+        })
+        .collect();
+    let chunks = Arc::new(NetChunkService::new(
+        manager,
+        providers,
+        Arc::clone(&metrics),
+    ));
+
+    let meta = NetMetadataService::new(
+        RpcEndpoint::new(connect(endpoints.meta), io_timeout, Arc::clone(&metrics))
+            .with_retries(crate::rpc::META_RPC_RETRIES)
+            .with_connections(conns),
+    )
+    .with_shards(config.metadata_providers);
+    let meta_service: Arc<dyn MetadataService> = if config.client_metadata_cache {
+        Arc::new(CachedMetadataStore::new(Arc::new(meta)))
+    } else {
+        Arc::new(meta)
+    };
+
+    let version_service: Arc<dyn VersionService> = Arc::new(NetVersionService::new(
+        RpcEndpoint::new(connect(endpoints.vm), io_timeout, Arc::clone(&metrics))
+            .with_retries(crate::rpc::VM_RPC_RETRIES)
+            .with_connections(conns),
+    ));
+
+    let chunk_cache =
+        (config.chunk_cache_bytes > 0).then(|| Arc::new(ChunkCache::new(config.chunk_cache_bytes)));
+    let transfers = Arc::new(
+        TransferPool::new(config.transfer_workers)
+            .with_join_timeout(config.io_timeout().map(|t| t * 8)),
+    );
+
+    Ok(BlobClient::new(
+        ClientId(rand::thread_rng().next_u64()),
+        version_service,
+        chunks,
+        meta_service,
+        transfers,
+    )
+    .with_pipeline_depth(config.pipeline_depth)
+    .with_chunk_cache(chunk_cache)
+    .with_chunk_codec(config.chunk_codec)
+    .with_transport_metrics(Some(metrics)))
 }
 
 #[cfg(test)]

@@ -32,14 +32,15 @@ pub mod rpc;
 pub mod services;
 pub mod transport;
 
-pub use cluster::NetCluster;
+pub use cluster::{connect_remote, NetCluster, RemoteEndpoints};
 pub use frame::{Frame, FRAME_PREFIX_BYTES, MAX_FRAME_BYTES};
 pub use reactor::{count_threads_with_prefix, default_rpc_workers, Reactor, WorkerPool};
 pub use rpc::{
-    ChunkHost, ManagerHost, MetaHost, RpcEndpoint, RpcHandler, RpcServer, DEFAULT_RPC_RETRIES,
+    ChunkHost, ManagerHost, MetaHost, RpcEndpoint, RpcHandler, RpcServer, VersionHost,
+    DEFAULT_RPC_RETRIES, META_RPC_RETRIES, VM_RPC_RETRIES,
 };
-pub use services::{NetChunkService, NetMetadataService};
+pub use services::{NetChunkService, NetMetadataService, NetVersionService};
 pub use transport::{
     channel_endpoint, tcp_endpoint, tcp_listener, Accept, Accepted, Connect, Connection,
-    FaultState, FrameSink, FrameSource, KillHandle,
+    FaultState, FrameSink, FrameSource, KillHandle, TcpConnector,
 };

@@ -36,13 +36,17 @@
 use crate::frame::Frame;
 use crate::reactor::{Reactor, WorkerPool};
 use crate::transport::{Accept, Accepted, Connect, Connection, FrameSink, KillHandle};
+use blobseer_core::{ChunkCache, NodeArtifact, VersionManager, VersionPin, WriteKind};
 use blobseer_meta::{MetadataStore, NodeBody, NodeKey};
 use blobseer_provider::{DataProvider, PlacementRequest, ProviderManager};
 use blobseer_types::wire::{decode, encode, WireReader};
-use blobseer_types::{BlobError, ChunkId, EnvelopeHeader, ProviderId, Result, TransportMetrics};
+use blobseer_types::{
+    BlobConfig, BlobError, BlobId, ChunkEnvelope, ChunkId, EnvelopeHeader, ProviderId, Result,
+    TransportMetrics, Version,
+};
 use bytes::Bytes;
 use parking_lot::Mutex;
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
 use std::sync::Arc;
@@ -70,6 +74,27 @@ pub mod op {
     /// Batched metadata node delete (lifecycle sweeper; response header =
     /// number of nodes actually removed).
     pub const META_DELETE: u8 = 0x13;
+    /// Create a blob (version-manager plane; header = `BlobConfig`).
+    pub const VM_CREATE_BLOB: u8 = 0x20;
+    /// Fetch a blob's configuration.
+    pub const VM_BLOB_CONFIG: u8 = 0x21;
+    /// Descriptor of the latest published snapshot.
+    pub const VM_LATEST_SNAPSHOT: u8 = 0x22;
+    /// Descriptor of one published snapshot.
+    pub const VM_SNAPSHOT: u8 = 0x23;
+    /// Versions currently published (oldest retained first).
+    pub const VM_PUBLISHED: u8 = 0x24;
+    /// Assign a write/append ticket (the serialisation point).
+    pub const VM_ASSIGN_TICKET: u8 = 0x25;
+    /// Report a write's metadata as woven; response = latest published.
+    pub const VM_COMPLETE: u8 = 0x26;
+    /// Abort a write (with optional repair artifacts).
+    pub const VM_ABORT: u8 = 0x27;
+    /// Pin a snapshot against lifecycle collection; response carries the
+    /// descriptor and a lease token for the matching unpin.
+    pub const VM_PIN: u8 = 0x28;
+    /// Release a pin lease.
+    pub const VM_UNPIN: u8 = 0x29;
     /// Successful response.
     pub const RESP_OK: u8 = 0x80;
     /// Failed response (header = encoded `BlobError`).
@@ -90,6 +115,14 @@ pub const DEFAULT_RPC_RETRIES: u32 = 3;
 /// that stays unreachable surfaces as `Err`, never as a fake "node absent"
 /// (which is meaningful: holes, not-yet-woven nodes).
 pub const META_RPC_RETRIES: u32 = 6;
+
+/// Deepest retry budget: the version-manager endpoint. Its frames are the
+/// smallest of any plane, every operation serialises through it, and —
+/// unlike a chunk call — there is no replica to rotate to when its budget
+/// runs out: the version manager is the deployment's one serialisation
+/// point. Retries are safe at any depth because the host deduplicates the
+/// non-idempotent calls by client nonce.
+pub const VM_RPC_RETRIES: u32 = 10;
 
 /// Effective wait when the configured I/O timeout is disabled (zero).
 const NO_TIMEOUT: Duration = Duration::from_secs(24 * 3600);
@@ -767,13 +800,49 @@ fn unknown_opcode(opcode: u8, host: &str) -> BlobError {
 /// [`op::GET_CHUNK`].
 pub struct ChunkHost {
     provider: Arc<DataProvider>,
+    /// Server-side chunk cache, consulted before the provider's store on
+    /// GET and populated on PUT — safe without any coherence protocol
+    /// because chunks are immutable. Only verbatim envelopes are cached
+    /// (the cache stores raw bytes; a compressed envelope's codec tag would
+    /// be lost), which is the common daemon configuration.
+    cache: Option<Arc<ChunkCache>>,
+    /// Serving-side traffic accounting: every envelope crossing this host
+    /// is counted at its logical and physical size, so a daemon built over
+    /// these hosts can report `bytes_on_wire_{logical,physical}` for the
+    /// traffic it served (clients keep their own, independent metrics).
+    metrics: Option<Arc<TransportMetrics>>,
 }
 
 impl ChunkHost {
     /// Wraps a provider handle.
     #[must_use]
     pub fn new(provider: Arc<DataProvider>) -> Self {
-        ChunkHost { provider }
+        ChunkHost {
+            provider,
+            cache: None,
+            metrics: None,
+        }
+    }
+
+    /// Attaches a server-side chunk cache (shared across hosts is fine —
+    /// chunk ids are globally unique).
+    #[must_use]
+    pub fn with_cache(mut self, cache: Option<Arc<ChunkCache>>) -> Self {
+        self.cache = cache;
+        self
+    }
+
+    /// Attaches serving-side traffic metrics.
+    #[must_use]
+    pub fn with_metrics(mut self, metrics: Option<Arc<TransportMetrics>>) -> Self {
+        self.metrics = metrics;
+        self
+    }
+
+    fn account(&self, envelope_logical: u64, envelope_physical: u64) {
+        if let Some(metrics) = &self.metrics {
+            metrics.chunk_on_wire(envelope_logical, envelope_physical);
+        }
     }
 }
 
@@ -791,18 +860,42 @@ impl RpcHandler for ChunkHost {
                 // receive buffer; the store keeps that slice — no
                 // server-side copy, and never any server-side re-coding.
                 let envelope = envelope_header.into_envelope(payload)?;
+                self.account(envelope.logical_len(), envelope.physical_len());
+                if let Some(cache) = &self.cache {
+                    if envelope.is_verbatim() {
+                        cache.insert(chunk, envelope.payload().clone());
+                    }
+                }
                 self.provider.put_chunk(chunk, envelope)?;
                 Ok((Bytes::new(), Bytes::new()))
             }
             op::GET_CHUNK => {
                 let chunk: ChunkId = decode(header)?;
+                if let Some(cache) = &self.cache {
+                    if let Some(bytes) = cache.get(&chunk) {
+                        let envelope = ChunkEnvelope::verbatim(bytes);
+                        self.account(envelope.logical_len(), envelope.physical_len());
+                        return Ok((encode(&envelope.header()), envelope.into_payload()));
+                    }
+                }
                 let data = self.provider.get_chunk(&chunk)?;
+                self.account(data.logical_len(), data.physical_len());
+                if let Some(cache) = &self.cache {
+                    if data.is_verbatim() {
+                        cache.insert(chunk, data.payload().clone());
+                    }
+                }
                 // The envelope ships exactly as stored: codec metadata in
                 // the response header, physical bytes as the payload.
                 Ok((encode(&data.header()), data.into_payload()))
             }
             op::REMOVE_CHUNKS => {
                 let chunks: Vec<ChunkId> = decode(header)?;
+                if let Some(cache) = &self.cache {
+                    for chunk in &chunks {
+                        cache.remove(chunk);
+                    }
+                }
                 let freed = self.provider.remove_chunks(&chunks)?;
                 Ok((encode(&freed), Bytes::new()))
             }
@@ -853,6 +946,177 @@ impl MetaHost {
     #[must_use]
     pub fn new(store: Arc<dyn MetadataStore>) -> Self {
         MetaHost { store }
+    }
+}
+
+/// Hosts the version manager behind the `0x2x` opcode range — the last
+/// service plane to go on the wire, making a deployment fully remote.
+///
+/// Pins are leased: `VM_PIN` takes the pin server-side (so the lifecycle
+/// sweeper, which runs in the serving process, really cannot collect the
+/// pinned version) and answers with a lease token; `VM_UNPIN` releases the
+/// lease. A client that dies without unpinning leaks its lease — bounded by
+/// the client's pins in flight at death, and only delaying GC of those
+/// versions, never correctness. A lease registry TTL is a follow-up.
+pub struct VersionHost {
+    vm: Arc<VersionManager>,
+    /// Live pin leases: token → the guard holding the server-side pin.
+    leases: Mutex<HashMap<u64, VersionPin>>,
+    next_lease: AtomicU64,
+    /// Replay window for the non-idempotent requests (create / assign / pin):
+    /// nonce → the encoded response already produced for it.
+    replays: Mutex<ReplayWindow>,
+}
+
+/// How many completed non-idempotent requests the host remembers. A retry
+/// storm deeper than this would need more in-flight mutations from live
+/// clients than any deployment's worker pool admits.
+const REPLAY_WINDOW: usize = 1024;
+
+/// Bounded nonce → response memory. `RpcEndpoint::call` resends the *same*
+/// header bytes on a transport retry, so a client-chosen nonce in the header
+/// is stable across retries: when only the response was lost, the retry must
+/// observe the original outcome, not mint a second version/blob/lease.
+struct ReplayWindow {
+    entries: HashMap<(u64, u64), Bytes>,
+    order: VecDeque<(u64, u64)>,
+}
+
+impl ReplayWindow {
+    fn new() -> Self {
+        ReplayWindow {
+            entries: HashMap::new(),
+            order: VecDeque::new(),
+        }
+    }
+
+    fn get(&mut self, nonce: (u64, u64)) -> Option<Bytes> {
+        self.entries.get(&nonce).cloned()
+    }
+
+    fn put(&mut self, nonce: (u64, u64), response: Bytes) {
+        if self.entries.insert(nonce, response).is_none() {
+            self.order.push_back(nonce);
+            while self.order.len() > REPLAY_WINDOW {
+                if let Some(old) = self.order.pop_front() {
+                    self.entries.remove(&old);
+                }
+            }
+        }
+    }
+}
+
+impl VersionHost {
+    /// Wraps the version manager.
+    #[must_use]
+    pub fn new(vm: Arc<VersionManager>) -> Self {
+        VersionHost {
+            vm,
+            leases: Mutex::new(HashMap::new()),
+            next_lease: AtomicU64::new(1),
+            replays: Mutex::new(ReplayWindow::new()),
+        }
+    }
+
+    /// Number of pin leases currently held (tests, diagnostics).
+    #[must_use]
+    pub fn lease_count(&self) -> usize {
+        self.leases.lock().len()
+    }
+
+    /// Runs `make` once per nonce: a replayed nonce returns the memoised
+    /// response without touching the version manager again.
+    fn once(&self, nonce: (u64, u64), make: impl FnOnce() -> Result<Bytes>) -> Result<Bytes> {
+        if let Some(hit) = self.replays.lock().get(nonce) {
+            return Ok(hit);
+        }
+        let fresh = make()?;
+        self.replays.lock().put(nonce, fresh.clone());
+        Ok(fresh)
+    }
+
+    /// Maps `UnknownVersion` on a completion/abort retry to success: if the
+    /// version is already at or below the published horizon, the first
+    /// attempt landed and only its response was lost.
+    fn settle(&self, blob: BlobId, version: Version, outcome: Result<Version>) -> Result<Version> {
+        match outcome {
+            Err(BlobError::UnknownVersion(..)) => {
+                let latest = self.vm.latest_snapshot(blob)?.version;
+                if version.0 <= latest.0 {
+                    Ok(latest)
+                } else {
+                    Err(BlobError::UnknownVersion(blob, version))
+                }
+            }
+            other => other,
+        }
+    }
+}
+
+impl RpcHandler for VersionHost {
+    fn handle(&self, opcode: u8, header: &[u8], _payload: Bytes) -> Result<(Bytes, Bytes)> {
+        match opcode {
+            op::VM_CREATE_BLOB => {
+                let (tag, seq, config): (u64, u64, BlobConfig) = decode(header)?;
+                let out = self.once((tag, seq), || Ok(encode(&self.vm.create_blob(config)?)))?;
+                Ok((out, Bytes::new()))
+            }
+            op::VM_BLOB_CONFIG => {
+                let blob: BlobId = decode(header)?;
+                Ok((encode(&self.vm.blob_config(blob)?), Bytes::new()))
+            }
+            op::VM_LATEST_SNAPSHOT => {
+                let blob: BlobId = decode(header)?;
+                Ok((encode(&self.vm.latest_snapshot(blob)?), Bytes::new()))
+            }
+            op::VM_SNAPSHOT => {
+                let (blob, version): (BlobId, Version) = decode(header)?;
+                Ok((encode(&self.vm.snapshot(blob, version)?), Bytes::new()))
+            }
+            op::VM_PUBLISHED => {
+                let blob: BlobId = decode(header)?;
+                Ok((encode(&self.vm.published_versions(blob)?), Bytes::new()))
+            }
+            op::VM_ASSIGN_TICKET => {
+                let (tag, seq, args): (u64, u64, (BlobId, WriteKind)) = decode(header)?;
+                let out = self.once((tag, seq), || {
+                    Ok(encode(&self.vm.assign_ticket(args.0, args.1)?))
+                })?;
+                Ok((out, Bytes::new()))
+            }
+            op::VM_COMPLETE => {
+                let (blob, version, artifacts): (BlobId, Version, Option<Vec<NodeArtifact>>) =
+                    decode(header)?;
+                let outcome = self
+                    .vm
+                    .complete_write_with_artifacts(blob, version, artifacts);
+                Ok((encode(&self.settle(blob, version, outcome)?), Bytes::new()))
+            }
+            op::VM_ABORT => {
+                let (blob, version, artifacts): (BlobId, Version, Option<Vec<NodeArtifact>>) =
+                    decode(header)?;
+                let outcome = self.vm.abort_write_with_artifacts(blob, version, artifacts);
+                Ok((encode(&self.settle(blob, version, outcome)?), Bytes::new()))
+            }
+            op::VM_PIN => {
+                let (tag, seq, args): (u64, u64, (BlobId, Option<Version>)) = decode(header)?;
+                let out = self.once((tag, seq), || {
+                    let (descriptor, pin) = self.vm.pin_snapshot(args.0, args.1)?;
+                    let lease = self.next_lease.fetch_add(1, Ordering::Relaxed);
+                    self.leases.lock().insert(lease, pin);
+                    Ok(encode(&(descriptor, lease)))
+                })?;
+                Ok((out, Bytes::new()))
+            }
+            op::VM_UNPIN => {
+                // Idempotent: an unknown lease (double unpin after a client
+                // retry) is simply gone already.
+                let (_blob, _version, lease): (BlobId, Version, u64) = decode(header)?;
+                self.leases.lock().remove(&lease);
+                Ok((Bytes::new(), Bytes::new()))
+            }
+            other => Err(unknown_opcode(other, "version")),
+        }
     }
 }
 

@@ -24,15 +24,18 @@
 //! saved.
 
 use crate::rpc::{op, RpcEndpoint};
-use blobseer_meta::{MetadataStore, NodeBody, NodeKey};
+use blobseer_core::{NodeArtifact, VersionService, WriteKind, WriteTicket};
+use blobseer_meta::{MetadataStore, NodeBody, NodeKey, SnapshotDescriptor};
 use blobseer_provider::{ChunkService, PlacementRequest};
 use blobseer_types::wire::{decode, encode, WireWriter};
 use blobseer_types::{
-    BlobError, ChunkEnvelope, ChunkId, EnvelopeHeader, ProviderId, Result, TransportMetrics,
+    BlobConfig, BlobError, BlobId, ChunkEnvelope, ChunkId, EnvelopeHeader, ProviderId, Result,
+    TransportMetrics, Version,
 };
 use bytes::Bytes;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Extra whole-call retries when a *response* arrived but failed to decode
@@ -388,6 +391,135 @@ impl MetadataStore for NetMetadataService {
             decode::<usize>(&frame.header)
         })
         .unwrap_or(0)
+    }
+}
+
+/// The version-manager plane over the wire: every call of the
+/// [`VersionService`] trait crosses the deployment's `vm` endpoint as one
+/// framed RPC. With this, a `BlobClient` is fully remote — the version
+/// manager was the last service plane still reached by a direct handle.
+///
+/// Pinning is leased: `pin` returns the token the serving-side
+/// [`crate::rpc::VersionHost`] filed the real pin guard under, and the
+/// `VersionPin` guard the client library wraps around `(blob, version,
+/// token)` fires `unpin` on drop. `unpin` is fire-and-forget by the trait's
+/// contract — a lease the wire lost only delays GC of one version, and
+/// erroring on a drop path would help nobody.
+/// The mutating calls (`create_blob`, `assign_ticket`, `pin`) carry a client
+/// nonce `(tag, seq)` so the serving side can deduplicate transport retries:
+/// `RpcEndpoint::call` resends the identical header bytes, so a retry whose
+/// first attempt *did* land (only the response was lost) replays the original
+/// outcome instead of minting a second version, blob, or lease.
+pub struct NetVersionService {
+    endpoint: RpcEndpoint,
+    /// Random per-client tag distinguishing this client's nonces from every
+    /// other client's, including earlier incarnations of the same process.
+    tag: u64,
+    /// Monotone per-request sequence completing the nonce.
+    seq: AtomicU64,
+}
+
+impl NetVersionService {
+    /// Wires the version-manager endpoint of one client.
+    #[must_use]
+    pub fn new(endpoint: RpcEndpoint) -> Self {
+        use rand::RngCore;
+        NetVersionService {
+            endpoint,
+            tag: rand::thread_rng().next_u64(),
+            seq: AtomicU64::new(1),
+        }
+    }
+
+    fn nonce(&self) -> (u64, u64) {
+        (self.tag, self.seq.fetch_add(1, Ordering::Relaxed))
+    }
+}
+
+impl VersionService for NetVersionService {
+    fn create_blob(&self, config: BlobConfig) -> Result<BlobId> {
+        let (tag, seq) = self.nonce();
+        let header = encode(&(tag, seq, config));
+        call_decoded(&self.endpoint, op::VM_CREATE_BLOB, &header, |f| {
+            decode::<BlobId>(&f.header)
+        })
+    }
+
+    fn blob_config(&self, blob: BlobId) -> Result<BlobConfig> {
+        call_decoded(&self.endpoint, op::VM_BLOB_CONFIG, &encode(&blob), |f| {
+            decode::<BlobConfig>(&f.header)
+        })
+    }
+
+    fn latest_snapshot(&self, blob: BlobId) -> Result<SnapshotDescriptor> {
+        call_decoded(
+            &self.endpoint,
+            op::VM_LATEST_SNAPSHOT,
+            &encode(&blob),
+            |f| decode::<SnapshotDescriptor>(&f.header),
+        )
+    }
+
+    fn snapshot(&self, blob: BlobId, version: Version) -> Result<SnapshotDescriptor> {
+        let header = encode(&(blob, version));
+        call_decoded(&self.endpoint, op::VM_SNAPSHOT, &header, |f| {
+            decode::<SnapshotDescriptor>(&f.header)
+        })
+    }
+
+    fn published_versions(&self, blob: BlobId) -> Result<Vec<Version>> {
+        call_decoded(&self.endpoint, op::VM_PUBLISHED, &encode(&blob), |f| {
+            decode::<Vec<Version>>(&f.header)
+        })
+    }
+
+    fn assign_ticket(&self, blob: BlobId, kind: WriteKind) -> Result<WriteTicket> {
+        let (tag, seq) = self.nonce();
+        let header = encode(&(tag, seq, (blob, kind)));
+        call_decoded(&self.endpoint, op::VM_ASSIGN_TICKET, &header, |f| {
+            decode::<WriteTicket>(&f.header)
+        })
+    }
+
+    fn complete_write(
+        &self,
+        blob: BlobId,
+        version: Version,
+        artifacts: Option<Vec<NodeArtifact>>,
+    ) -> Result<Version> {
+        let header = encode(&(blob, version, artifacts));
+        call_decoded(&self.endpoint, op::VM_COMPLETE, &header, |f| {
+            decode::<Version>(&f.header)
+        })
+    }
+
+    fn abort_write(
+        &self,
+        blob: BlobId,
+        version: Version,
+        artifacts: Option<Vec<NodeArtifact>>,
+    ) -> Result<Version> {
+        let header = encode(&(blob, version, artifacts));
+        call_decoded(&self.endpoint, op::VM_ABORT, &header, |f| {
+            decode::<Version>(&f.header)
+        })
+    }
+
+    fn pin(&self, blob: BlobId, version: Option<Version>) -> Result<(SnapshotDescriptor, u64)> {
+        let (tag, seq) = self.nonce();
+        let header = encode(&(tag, seq, (blob, version)));
+        call_decoded(&self.endpoint, op::VM_PIN, &header, |f| {
+            decode::<(SnapshotDescriptor, u64)>(&f.header)
+        })
+    }
+
+    fn unpin(&self, blob: BlobId, version: Version, token: u64) {
+        // Fire-and-forget per the trait contract: this runs on guard-drop
+        // paths where an error has no caller to reach. A lease lost to the
+        // wire delays GC of one version until the serving process restarts.
+        let _ = self
+            .endpoint
+            .call(op::VM_UNPIN, encode(&(blob, version, token)), Bytes::new());
     }
 }
 

@@ -262,6 +262,16 @@ pub struct TcpConnector {
     addr: SocketAddr,
 }
 
+impl TcpConnector {
+    /// A connector for a known remote address — the client side of a
+    /// deployment whose endpoints were discovered out of band (the server
+    /// daemon's endpoints file).
+    #[must_use]
+    pub fn new(addr: SocketAddr) -> Self {
+        TcpConnector { addr }
+    }
+}
+
 impl Connect for TcpConnector {
     fn connect(&self) -> Result<Connection> {
         let stream = TcpStream::connect(self.addr).map_err(|e| io_err("tcp connect", &e))?;
@@ -361,7 +371,7 @@ enum FaultAction {
 /// of a [`crate::cluster::NetCluster`] draw from the same generator, so a
 /// `(plan, seed)` pair replays the identical fault sequence.
 pub struct FaultState {
-    plan: FaultPlan,
+    plan: Mutex<FaultPlan>,
     rng: Mutex<StdRng>,
 }
 
@@ -371,18 +381,26 @@ impl FaultState {
     pub fn new(plan: FaultPlan) -> Self {
         FaultState {
             rng: Mutex::new(StdRng::seed_from_u64(plan.seed)),
-            plan,
+            plan: Mutex::new(plan),
         }
     }
 
     /// The plan driving the decisions.
     #[must_use]
-    pub fn plan(&self) -> &FaultPlan {
-        &self.plan
+    pub fn plan(&self) -> FaultPlan {
+        *self.plan.lock()
+    }
+
+    /// Swaps the plan mid-run (the seeded generator keeps its state):
+    /// tests stage healthy setup traffic, then degrade the network under
+    /// the operation they are actually about.
+    pub fn set_plan(&self, plan: FaultPlan) {
+        *self.plan.lock() = plan;
     }
 
     fn decide(&self) -> FaultAction {
-        if self.plan.is_clean() {
+        let plan = self.plan();
+        if plan.is_clean() {
             return FaultAction::Deliver {
                 delay_us: 0,
                 truncate: false,
@@ -390,23 +408,23 @@ impl FaultState {
             };
         }
         let mut rng = self.rng.lock();
-        if rng.gen_bool(self.plan.disconnect) {
+        if rng.gen_bool(plan.disconnect) {
             return FaultAction::Disconnect;
         }
-        if rng.gen_bool(self.plan.stall) {
+        if rng.gen_bool(plan.stall) {
             return FaultAction::Stall;
         }
-        if rng.gen_bool(self.plan.drop) {
+        if rng.gen_bool(plan.drop) {
             return FaultAction::Drop;
         }
         FaultAction::Deliver {
-            delay_us: if rng.gen_bool(self.plan.delay) {
-                self.plan.delay_us
+            delay_us: if rng.gen_bool(plan.delay) {
+                plan.delay_us
             } else {
                 0
             },
-            truncate: rng.gen_bool(self.plan.truncate),
-            duplicate: rng.gen_bool(self.plan.duplicate),
+            truncate: rng.gen_bool(plan.truncate),
+            duplicate: rng.gen_bool(plan.duplicate),
         }
     }
 }

@@ -315,6 +315,34 @@ impl SegmentStore {
             .sum()
     }
 
+    /// Fraction of sealed-segment bytes a [`SegmentStore::compact`] pass
+    /// would reclaim — the dead-record ratio compaction policy triggers on.
+    /// `0.0` when no segment is sealed yet (an active segment is never a
+    /// compaction victim, so its garbage does not count).
+    #[must_use]
+    pub fn dead_ratio(&self) -> f64 {
+        let active_seg = self.active.lock().seg;
+        let index = self.index.read();
+        let mut live: HashMap<u64, u64> = HashMap::new();
+        for slot in index.slots.values() {
+            *live.entry(slot.seg).or_default() += slot.end - slot.start;
+        }
+        let (mut total, mut dead) = (0u64, 0u64);
+        for (&seg, buf) in index.buffers.iter() {
+            if seg == active_seg {
+                continue;
+            }
+            let len = buf.len() as u64;
+            total += len;
+            dead += len - live.get(&seg).copied().unwrap_or(0);
+        }
+        if total == 0 {
+            0.0
+        } else {
+            dead as f64 / total as f64
+        }
+    }
+
     /// Rewrites every sealed segment's surviving records into the active
     /// segment and deletes the sealed files, folding tombstoned, superseded
     /// and torn bytes away. Returns `(segments_removed, bytes_reclaimed)`.

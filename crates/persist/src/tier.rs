@@ -31,9 +31,15 @@ pub struct DurableTierOptions {
     /// Segment roll size per provider store.
     pub segment_bytes: u64,
     /// WAL records between automatic checkpoints (see
-    /// [`MetaWal::records_since_checkpoint`]); the lifecycle maintenance
-    /// hook compares against this.
+    /// [`MetaWal::records_since_checkpoint`]); the maintenance passes
+    /// compare against this.
     pub checkpoint_every: u64,
+    /// WAL bytes appended since the last checkpoint that also make one due
+    /// (whichever threshold trips first). Zero disables the byte trigger.
+    pub checkpoint_bytes: u64,
+    /// Dead-record ratio above which a provider's segment store is
+    /// compacted by [`DurableTier::compact_stores`].
+    pub compact_dead_ratio: f64,
 }
 
 impl Default for DurableTierOptions {
@@ -42,6 +48,8 @@ impl Default for DurableTierOptions {
             durability: Durability::default(),
             segment_bytes: 64 << 20,
             checkpoint_every: 4096,
+            checkpoint_bytes: 16 << 20,
+            compact_dead_ratio: 0.5,
         }
     }
 }
@@ -115,28 +123,47 @@ impl DurableTier {
         &self.stores
     }
 
-    /// Whether the WAL has accumulated enough records since the last
-    /// checkpoint for the maintenance pass to take one.
+    /// Whether the WAL has accumulated enough records — or enough bytes —
+    /// since the last checkpoint for a maintenance pass to take one. The
+    /// record and byte triggers are independent so a durable cluster with
+    /// the lifecycle engine disabled still bounds its replay cost.
     #[must_use]
     pub fn checkpoint_due(&self) -> bool {
-        self.wal.records_since_checkpoint() >= self.options.checkpoint_every
+        if self.wal.records_since_checkpoint() >= self.options.checkpoint_every {
+            return true;
+        }
+        self.options.checkpoint_bytes > 0
+            && self.wal.bytes_since_checkpoint() >= self.options.checkpoint_bytes
     }
 
     /// Takes a WAL checkpoint from the given live image (blobs from the
-    /// version manager, nodes from the metadata store), then folds segment
-    /// tombstones by compacting any store with reclaimable space.
+    /// version manager, nodes from the metadata store). Segment compaction
+    /// is policy-driven and separate — see
+    /// [`DurableTier::compact_stores`].
     pub fn checkpoint(
         &self,
         blobs: &[(BlobId, BlobConfig, Vec<SnapshotDescriptor>, Version)],
         nodes: Vec<(blobseer_meta::NodeKey, blobseer_meta::NodeBody)>,
     ) -> Result<()> {
-        self.wal.checkpoint(blobs, nodes)?;
+        self.wal.checkpoint(blobs, nodes)
+    }
+
+    /// Compacts every segment store whose dead-record ratio has crossed
+    /// `options.compact_dead_ratio`, returning the total
+    /// `(segments_removed, bytes_reclaimed)`. Stores below the threshold
+    /// are left alone — rewriting mostly-live segments would copy much and
+    /// reclaim little.
+    pub fn compact_stores(&self) -> Result<(u64, u64)> {
+        let mut removed = 0u64;
+        let mut reclaimed = 0u64;
         for store in &self.stores {
-            if store.reclaimable_bytes() > 0 {
-                store.compact()?;
+            if store.dead_ratio() >= self.options.compact_dead_ratio {
+                let (segs, bytes) = store.compact()?;
+                removed += segs;
+                reclaimed += bytes;
             }
         }
-        Ok(())
+        Ok((removed, reclaimed))
     }
 
     /// Merged recovery stats snapshot (WAL replay + chunk segments) — what

@@ -23,7 +23,7 @@ use std::collections::{BTreeMap, HashMap};
 use std::fs::{File, OpenOptions};
 use std::io::Write;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Record kinds of the metadata WAL.
@@ -169,7 +169,11 @@ pub struct MetaWal {
     durability: Durability,
     inner: Mutex<WalFile>,
     records_since_checkpoint: AtomicU64,
+    bytes_since_checkpoint: AtomicU64,
     checkpoints: AtomicU64,
+    /// Set by [`MetaWal::seal`] at shutdown: every later append or
+    /// checkpoint fails cleanly instead of racing the closing log.
+    sealed: AtomicBool,
 }
 
 impl MetaWal {
@@ -228,7 +232,11 @@ impl MetaWal {
                 durability,
                 inner: Mutex::new(WalFile { file }),
                 records_since_checkpoint: AtomicU64::new(replayed),
+                // Seed with the surviving log length: a reopened WAL that is
+                // already huge is as checkpoint-due as one that grew huge.
+                bytes_since_checkpoint: AtomicU64::new(cut as u64),
                 checkpoints: AtomicU64::new(0),
+                sealed: AtomicBool::new(false),
             },
             recovered,
         ))
@@ -354,6 +362,34 @@ impl MetaWal {
         self.records_since_checkpoint.load(Ordering::Relaxed)
     }
 
+    /// Bytes appended (framing included) since the last checkpoint — the
+    /// second trigger of the checkpoint policy. Seeded at open with the
+    /// surviving log length, so replay cost is bounded in bytes too.
+    #[must_use]
+    pub fn bytes_since_checkpoint(&self) -> u64 {
+        self.bytes_since_checkpoint.load(Ordering::Relaxed)
+    }
+
+    /// Seals the log for shutdown: every later append or checkpoint fails
+    /// with a clean error instead of writing into a file that is being
+    /// closed. Sealing is one-way and idempotent; in-flight appends holding
+    /// the file lock finish untorn before the seal is observed.
+    pub fn seal(&self) {
+        // Take the file lock so a checkpoint or append in flight completes
+        // (and its bytes are on their way to disk) before we flip the flag.
+        let inner = self.inner.lock();
+        self.sealed.store(true, Ordering::SeqCst);
+        if self.durability != Durability::Buffered {
+            let _ = inner.file.sync_data();
+        }
+    }
+
+    /// Whether [`MetaWal::seal`] has been called.
+    #[must_use]
+    pub fn is_sealed(&self) -> bool {
+        self.sealed.load(Ordering::SeqCst)
+    }
+
     /// Checkpoints taken since open.
     #[must_use]
     pub fn checkpoints(&self) -> u64 {
@@ -363,6 +399,11 @@ impl MetaWal {
     fn append(&self, kind: u8, payload: &[u8], sync: bool) -> Result<()> {
         let record = frame_record(kind, payload);
         let mut inner = self.inner.lock();
+        if self.sealed.load(Ordering::SeqCst) {
+            return Err(BlobError::Internal(
+                "metadata WAL is sealed (shutting down)".into(),
+            ));
+        }
         inner.file.write_all(&record)?;
         if sync && self.durability != Durability::Buffered {
             inner.file.sync_data()?;
@@ -370,6 +411,8 @@ impl MetaWal {
         drop(inner);
         self.records_since_checkpoint
             .fetch_add(1, Ordering::Relaxed);
+        self.bytes_since_checkpoint
+            .fetch_add(record.len() as u64, Ordering::Relaxed);
         Ok(())
     }
 
@@ -451,6 +494,19 @@ impl MetaWal {
     ) -> Result<()> {
         let tmp_path = self.path.with_extension("ckpt");
         let mut image: Vec<u8> = Vec::new();
+        // Nodes land in the image *before* the publication records, for the
+        // same reason live appends log metadata before the commit that
+        // references it: recovery of any record-boundary prefix of the image
+        // must never see a published version whose tree nodes are missing.
+        if !nodes.is_empty() {
+            let mut w = WireWriter::new();
+            w.put_u32(nodes.len() as u32);
+            for (key, body) in &nodes {
+                w.put(key);
+                w.put(body);
+            }
+            image.extend_from_slice(&frame_record(KIND_PUT_NODES, &w.finish()));
+        }
         for (id, config, published, first_retained) in blobs {
             let mut w = WireWriter::new();
             w.put(id);
@@ -469,18 +525,14 @@ impl MetaWal {
                 image.extend_from_slice(&frame_record(KIND_RETIRE, &w.finish()));
             }
         }
-        if !nodes.is_empty() {
-            let mut w = WireWriter::new();
-            w.put_u32(nodes.len() as u32);
-            for (key, body) in &nodes {
-                w.put(key);
-                w.put(body);
-            }
-            image.extend_from_slice(&frame_record(KIND_PUT_NODES, &w.finish()));
-        }
         // Hold the file lock across the swap so no append lands in the old
         // file between rename and handle switch.
         let mut inner = self.inner.lock();
+        if self.sealed.load(Ordering::SeqCst) {
+            return Err(BlobError::Internal(
+                "metadata WAL is sealed (shutting down)".into(),
+            ));
+        }
         {
             let mut tmp = File::create(&tmp_path)?;
             tmp.write_all(&image)?;
@@ -493,6 +545,10 @@ impl MetaWal {
         }
         drop(inner);
         self.records_since_checkpoint.store(0, Ordering::Relaxed);
+        // Bytes count *appends* since the checkpoint — the compacted image
+        // itself is the floor another checkpoint cannot shrink, so counting
+        // it would loop the trigger forever on a large live state.
+        self.bytes_since_checkpoint.store(0, Ordering::Relaxed);
         self.checkpoints.fetch_add(1, Ordering::Relaxed);
         Ok(())
     }
@@ -744,6 +800,62 @@ mod tests {
         }
         assert_eq!(recovered_before.blobs[0].published.len(), 7);
         assert_eq!(recovered_before.stats.recovered_nodes, 6);
+        let _ = std::fs::remove_dir_all(path.parent().unwrap());
+    }
+
+    #[test]
+    fn byte_counter_tracks_appends_and_resets_on_checkpoint() {
+        let path = temp_wal("bytes");
+        let (wal, _) = MetaWal::open(&path, Durability::Buffered).unwrap();
+        assert_eq!(wal.bytes_since_checkpoint(), 0);
+        wal.log_create_blob(BlobId(1), &BlobConfig::default())
+            .unwrap();
+        wal.log_commit(BlobId(1), &descriptor(1, 64)).unwrap();
+        let grown = wal.bytes_since_checkpoint();
+        assert!(grown > 0, "appends must advance the byte counter");
+        wal.checkpoint(
+            &[(
+                BlobId(1),
+                BlobConfig::default(),
+                vec![
+                    SnapshotDescriptor::initial(BlobConfig::default().chunk_size),
+                    descriptor(1, 64),
+                ],
+                Version(0),
+            )],
+            Vec::new(),
+        )
+        .unwrap();
+        assert_eq!(
+            wal.bytes_since_checkpoint(),
+            0,
+            "the compacted image is the floor — only fresh appends count"
+        );
+        drop(wal);
+        // Reopening seeds the counter with the surviving log length, so an
+        // already-large log reads as checkpoint-due in bytes too.
+        let (wal, _) = MetaWal::open(&path, Durability::Buffered).unwrap();
+        assert!(wal.bytes_since_checkpoint() > 0);
+        let _ = std::fs::remove_dir_all(path.parent().unwrap());
+    }
+
+    #[test]
+    fn sealed_wal_fails_appends_and_checkpoints_cleanly() {
+        let path = temp_wal("seal");
+        let (wal, _) = MetaWal::open(&path, Durability::Commit).unwrap();
+        wal.log_create_blob(BlobId(1), &BlobConfig::default())
+            .unwrap();
+        wal.seal();
+        assert!(wal.is_sealed());
+        let err = wal
+            .log_commit(BlobId(1), &descriptor(1, 64))
+            .expect_err("append after seal must fail");
+        assert!(matches!(err, BlobError::Internal(_)));
+        assert!(wal.checkpoint(&[], Vec::new()).is_err());
+        // The records before the seal survive untorn.
+        let (_, recovered) = MetaWal::open(&path, Durability::Commit).unwrap();
+        assert_eq!(recovered.blobs.len(), 1);
+        assert_eq!(recovered.stats.wal_truncated_bytes, 0);
         let _ = std::fs::remove_dir_all(path.parent().unwrap());
     }
 }

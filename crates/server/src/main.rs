@@ -1,0 +1,60 @@
+//! `blobseer-server` — the deployable BlobSeer-RS daemon.
+//!
+//! Usage: `blobseer-server [config-file]`. With no argument the daemon runs
+//! on built-in defaults (RAM-resident, ephemeral ports, metrics on
+//! `127.0.0.1:0`) — useful for smoke tests; any real deployment passes a
+//! config file. The process runs until `POST /shutdown` arrives on the
+//! metrics endpoint, then drains in dependency order and exits 0.
+
+use blobseer_server::{Daemon, ServerOptions};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let opts = match args.next().as_deref() {
+        None => ServerOptions::default(),
+        Some("--help" | "-h") => {
+            println!(
+                "usage: blobseer-server [config-file]\n\n\
+                 Serves a BlobSeer deployment on TCP endpoints. The config file\n\
+                 is plaintext `key = value` lines; see the repository README\n\
+                 (\"Running the server\") for the key list. The daemon announces\n\
+                 its bound addresses through the configured endpoints file and\n\
+                 shuts down gracefully on `POST /shutdown` at the metrics\n\
+                 endpoint."
+            );
+            return;
+        }
+        Some(path) => match ServerOptions::load(path) {
+            Ok(opts) => opts,
+            Err(e) => {
+                eprintln!("blobseer-server: {e}");
+                std::process::exit(2);
+            }
+        },
+    };
+    if args.next().is_some() {
+        eprintln!("blobseer-server: expected at most one argument (the config file)");
+        std::process::exit(2);
+    }
+
+    let daemon = match Daemon::start(opts) {
+        Ok(daemon) => daemon,
+        Err(e) => {
+            eprintln!("blobseer-server: startup failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "blobseer-server: serving {} data providers; metrics at http://{}",
+        daemon.endpoints().providers.len(),
+        daemon.metrics_addr()
+    );
+    for (name, addr) in daemon.cluster().endpoint_addrs() {
+        println!("blobseer-server: endpoint {name} = {addr}");
+    }
+
+    daemon.wait_for_shutdown();
+    println!("blobseer-server: shutdown requested, draining");
+    daemon.shutdown();
+    println!("blobseer-server: drained, exiting");
+}

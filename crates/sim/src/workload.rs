@@ -310,6 +310,62 @@ impl WorkloadBuilder {
         }
     }
 
+    /// The QoS tier's overload scenario: the builder's `clients` are
+    /// *greedy* tenants, each injecting `ops_per_client` bursts of
+    /// `op_size` bytes, and one extra *interactive* tenant (always the
+    /// **last** client index, `clients`) issues `interactive_ops` small
+    /// appends of `interactive_len` bytes whose latency is the measurement.
+    ///
+    /// `admission_window` models the per-client admission throttle of the
+    /// shared transfer pool on the greedy tenants' submission stream: a
+    /// tenant at its window blocks at submission until one of its own
+    /// transfers completes, so its burst reaches the data plane as paced
+    /// installments of at most `admission_window` chunks instead of one
+    /// atomic flood — which is exactly how the throttled stream is
+    /// simulated here. Zero (admission off) injects each burst whole; the
+    /// interactive tenant never reaches the window either way, so its own
+    /// stream is identical in both arms.
+    #[must_use]
+    pub fn overload(
+        self,
+        interactive_len: u64,
+        interactive_ops: usize,
+        admission_window: usize,
+    ) -> Workload {
+        let burst = if admission_window == 0 {
+            self.op_size
+        } else {
+            (admission_window as u64 * self.chunk_size).min(self.op_size)
+        };
+        let mut ops: Vec<Vec<OpKind>> = (0..self.clients)
+            .map(|_| {
+                let mut tenant = Vec::new();
+                for _ in 0..self.ops_per_client {
+                    let mut remaining = self.op_size;
+                    while remaining > 0 {
+                        let len = burst.min(remaining);
+                        tenant.push(OpKind::Append { len });
+                        remaining -= len;
+                    }
+                }
+                tenant
+            })
+            .collect();
+        ops.push(vec![
+            OpKind::Append {
+                len: interactive_len,
+            };
+            interactive_ops
+        ]);
+        Workload {
+            clients: self.clients + 1,
+            blob_config: self.blob_config(),
+            preload_bytes: 0,
+            ops,
+            compressibility: self.compressibility,
+        }
+    }
+
     /// Clients read and write random chunk-aligned regions of a pre-loaded
     /// blob (the fine-grain random access pattern of the supernovae and
     /// desktop-grid scenarios). `write_fraction` is the probability that an

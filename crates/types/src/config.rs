@@ -420,10 +420,76 @@ pub struct ClusterConfig {
     /// simulator's durability cost model; ~200 µs, an NVMe-class flush).
     #[serde(default = "default_fsync_ns")]
     pub fsync_ns: u64,
+    /// WAL records appended since the last checkpoint after which a durable
+    /// deployment takes the next one. Checkpoints fire from the background
+    /// checkpointer (and the lifecycle maintenance pass when enabled), so a
+    /// cluster that never turns lifecycle on still bounds its replay time.
+    #[serde(default = "default_checkpoint_records")]
+    pub checkpoint_records: u64,
+    /// WAL bytes appended since the last checkpoint after which the next one
+    /// is taken, whichever of the two thresholds trips first. Zero disables
+    /// the byte trigger (records alone decide).
+    #[serde(default = "default_checkpoint_bytes")]
+    pub checkpoint_bytes: u64,
+    /// Poll interval of the background checkpointer thread in milliseconds.
+    /// Zero disables the thread entirely — checkpoints then only ride the
+    /// lifecycle maintenance tick (the pre-daemon behaviour).
+    #[serde(default = "default_checkpoint_interval_ms")]
+    pub checkpoint_interval_ms: u64,
+    /// Dead-record ratio (reclaimable bytes over sealed bytes) above which a
+    /// provider's segment store is compacted by the maintenance pass. Must be
+    /// in `(0, 1]`; 1.0 effectively turns policy-driven compaction off.
+    #[serde(default = "default_compact_dead_ratio")]
+    pub compact_dead_ratio: f64,
+    /// Size at which a provider's active segment file is sealed and a new
+    /// one started. Only sealed segments are compaction victims, so this
+    /// also bounds how much garbage the dead-ratio policy cannot yet see.
+    #[serde(default = "default_segment_bytes")]
+    pub segment_bytes: u64,
+    /// Number of behaviour states the QoS monitoring model classifies
+    /// provider windows into. Zero — the default — derives it: 3 when the
+    /// placement policy is `QosAware`, otherwise QoS stays off.
+    #[serde(default)]
+    pub qos_states: usize,
+    /// Number of recent monitoring windows a provider's QoS score averages
+    /// over (must be at least 1).
+    #[serde(default = "default_qos_horizon")]
+    pub qos_horizon: usize,
+    /// Per-client admission throttle: the maximum number of chunk transfers
+    /// one client may have in flight in the shared transfer pool. A client at
+    /// its limit blocks at submission (on its own thread) until a transfer it
+    /// owns completes, so a flooding tenant queues behind itself instead of
+    /// ahead of everyone else. Zero — the default — disables admission.
+    #[serde(default)]
+    pub admission_limit: usize,
 }
 
 fn default_fsync_ns() -> u64 {
     200_000
+}
+
+fn default_checkpoint_records() -> u64 {
+    4096
+}
+
+fn default_checkpoint_bytes() -> u64 {
+    16 << 20
+}
+
+fn default_checkpoint_interval_ms() -> u64 {
+    200
+}
+
+fn default_compact_dead_ratio() -> f64 {
+    0.5
+}
+
+fn default_segment_bytes() -> u64 {
+    64 << 20
+}
+
+fn default_qos_horizon() -> usize {
+    4
 }
 
 impl ClusterConfig {
@@ -481,7 +547,54 @@ impl ClusterConfig {
                 "connections_per_endpoint must be at least 1".into(),
             ));
         }
+        if self.checkpoint_records == 0 {
+            return Err(BlobError::InvalidConfig(
+                "checkpoint_records must be at least 1".into(),
+            ));
+        }
+        if !(self.compact_dead_ratio > 0.0 && self.compact_dead_ratio <= 1.0) {
+            return Err(BlobError::InvalidConfig(
+                "compact_dead_ratio must be in (0, 1]".into(),
+            ));
+        }
+        if self.segment_bytes == 0 {
+            return Err(BlobError::InvalidConfig(
+                "segment_bytes must be at least 1".into(),
+            ));
+        }
+        if self.qos_states == 1 {
+            return Err(BlobError::InvalidConfig(
+                "qos_states must be 0 (auto) or at least 2".into(),
+            ));
+        }
+        if self.qos_horizon == 0 {
+            return Err(BlobError::InvalidConfig(
+                "qos_horizon must be at least 1".into(),
+            ));
+        }
         Ok(())
+    }
+
+    /// The QoS model's state count actually used: `qos_states`, or when zero
+    /// an automatic 3 if (and only if) placement is QoS-aware. Zero here
+    /// means the QoS feedback loop stays off.
+    #[must_use]
+    pub fn effective_qos_states(&self) -> usize {
+        if self.qos_states > 0 {
+            return self.qos_states;
+        }
+        if self.placement == PlacementPolicy::QosAware {
+            3
+        } else {
+            0
+        }
+    }
+
+    /// The background checkpointer poll interval (`None` when disabled).
+    #[must_use]
+    pub fn checkpoint_interval(&self) -> Option<std::time::Duration> {
+        (self.checkpoint_interval_ms > 0)
+            .then(|| std::time::Duration::from_millis(self.checkpoint_interval_ms))
     }
 
     /// The worker-pool size actually used by servers: `rpc_workers`, or when
@@ -541,6 +654,14 @@ impl Default for ClusterConfig {
             flatten_threshold: 0,
             durability: Durability::default(),
             fsync_ns: default_fsync_ns(),
+            checkpoint_records: default_checkpoint_records(),
+            checkpoint_bytes: default_checkpoint_bytes(),
+            checkpoint_interval_ms: default_checkpoint_interval_ms(),
+            compact_dead_ratio: default_compact_dead_ratio(),
+            segment_bytes: default_segment_bytes(),
+            qos_states: 0,
+            qos_horizon: default_qos_horizon(),
+            admission_limit: 0,
         }
     }
 }
@@ -723,6 +844,60 @@ mod tests {
             ..ClusterConfig::default()
         };
         assert_eq!(no_timeout.io_timeout(), None);
+    }
+
+    #[test]
+    fn maintenance_knobs_are_validated() {
+        let cfg = ClusterConfig {
+            checkpoint_records: 0,
+            ..ClusterConfig::default()
+        };
+        assert!(cfg.validate().is_err());
+        let cfg = ClusterConfig {
+            compact_dead_ratio: 0.0,
+            ..ClusterConfig::default()
+        };
+        assert!(cfg.validate().is_err());
+        let cfg = ClusterConfig {
+            compact_dead_ratio: 1.5,
+            ..ClusterConfig::default()
+        };
+        assert!(cfg.validate().is_err());
+        let cfg = ClusterConfig {
+            qos_states: 1,
+            ..ClusterConfig::default()
+        };
+        assert!(cfg.validate().is_err());
+        let cfg = ClusterConfig {
+            qos_horizon: 0,
+            ..ClusterConfig::default()
+        };
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn qos_states_derive_from_placement() {
+        let cfg = ClusterConfig::default();
+        assert_eq!(cfg.effective_qos_states(), 0, "round-robin leaves QoS off");
+        let cfg = ClusterConfig {
+            placement: PlacementPolicy::QosAware,
+            ..ClusterConfig::default()
+        };
+        assert_eq!(cfg.effective_qos_states(), 3);
+        let cfg = ClusterConfig {
+            qos_states: 5,
+            ..ClusterConfig::default()
+        };
+        assert_eq!(cfg.effective_qos_states(), 5);
+        assert_eq!(
+            ClusterConfig::default().checkpoint_interval(),
+            Some(std::time::Duration::from_millis(200))
+        );
+        let off = ClusterConfig {
+            checkpoint_interval_ms: 0,
+            ..ClusterConfig::default()
+        };
+        assert_eq!(off.checkpoint_interval(), None);
     }
 
     #[test]

@@ -12,6 +12,7 @@
 //! indistinguishable from one mangled in flight, and re-requesting is always
 //! safe because every protocol request is idempotent.
 
+use crate::config::{BlobConfig, ChunkCodec, RetryPolicy};
 use crate::error::{BlobError, Result};
 use crate::id::{BlobId, ChunkId, ProviderId, Version};
 use crate::range::ByteRange;
@@ -256,6 +257,56 @@ impl Wire for ByteRange {
     }
 }
 
+impl Wire for ChunkCodec {
+    fn put(&self, w: &mut WireWriter) {
+        w.put_u8(match self {
+            ChunkCodec::Off => 0,
+            ChunkCodec::Fast => 1,
+        });
+    }
+    fn get(r: &mut WireReader<'_>) -> Result<Self> {
+        match r.get_u8()? {
+            0 => Ok(ChunkCodec::Off),
+            1 => Ok(ChunkCodec::Fast),
+            tag => Err(BlobError::Transport(format!(
+                "wire: unknown chunk codec tag {tag}"
+            ))),
+        }
+    }
+}
+
+impl Wire for RetryPolicy {
+    fn put(&self, w: &mut WireWriter) {
+        w.put_u64(self.initial_delay_us);
+        w.put_u64(self.max_delay_us);
+        w.put_u32(self.max_attempts);
+    }
+    fn get(r: &mut WireReader<'_>) -> Result<Self> {
+        Ok(RetryPolicy {
+            initial_delay_us: r.get_u64()?,
+            max_delay_us: r.get_u64()?,
+            max_attempts: r.get_u32()?,
+        })
+    }
+}
+
+impl Wire for BlobConfig {
+    fn put(&self, w: &mut WireWriter) {
+        w.put_u64(self.chunk_size);
+        w.put_u64(self.replication as u64);
+        w.put(&self.meta_retry);
+        w.put(&self.chunk_codec);
+    }
+    fn get(r: &mut WireReader<'_>) -> Result<Self> {
+        Ok(BlobConfig {
+            chunk_size: r.get_u64()?,
+            replication: r.get_u64()? as usize,
+            meta_retry: r.get()?,
+            chunk_codec: r.get()?,
+        })
+    }
+}
+
 impl<T: Wire> Wire for Option<T> {
     fn put(&self, w: &mut WireWriter) {
         match self {
@@ -307,6 +358,17 @@ impl<A: Wire, B: Wire> Wire for (A, B) {
     }
     fn get(r: &mut WireReader<'_>) -> Result<Self> {
         Ok((A::get(r)?, B::get(r)?))
+    }
+}
+
+impl<A: Wire, B: Wire, C: Wire> Wire for (A, B, C) {
+    fn put(&self, w: &mut WireWriter) {
+        self.0.put(w);
+        self.1.put(w);
+        self.2.put(w);
+    }
+    fn get(r: &mut WireReader<'_>) -> Result<Self> {
+        Ok((A::get(r)?, B::get(r)?, C::get(r)?))
     }
 }
 

@@ -266,20 +266,28 @@ fn slow_endpoints_within_the_timeout_only_cost_time() {
 fn a_fully_hung_network_fails_operations_cleanly_within_bounded_time() {
     // Every frame is swallowed: `io_timeout` (threaded through both the RPC
     // waits and the transfer-pool joins) must fail the op — quickly, with a
-    // retryable transport error, no deadlock, no torn version.
+    // retryable transport error, no deadlock, no torn version. The blob is
+    // created over a healthy network first (with the version manager on the
+    // wire, *nothing* succeeds at stall 1.0), then the plan is swapped to a
+    // total stall under the append.
     let mut cfg = config(0);
     cfg.io_timeout_ms = 100;
     let cluster = NetCluster::new_channel(
         cfg,
         FaultPlan {
             seed: 13,
-            stall: 1.0,
             ..FaultPlan::none()
         },
     )
     .unwrap();
     let client = cluster.client();
     let blob = client.create_blob(BlobConfig::new(CS, 1).unwrap()).unwrap();
+    let faults = cluster.fault_state().unwrap();
+    faults.set_plan(FaultPlan {
+        seed: 13,
+        stall: 1.0,
+        ..FaultPlan::none()
+    });
     let started = std::time::Instant::now();
     let err = client.append(blob, fill(4 * CS, 1)).unwrap_err();
     assert!(
@@ -293,15 +301,32 @@ fn a_fully_hung_network_fails_operations_cleanly_within_bounded_time() {
         started.elapsed() < std::time::Duration::from_secs(30),
         "a hung network must fail ops, not wedge them"
     );
-    // No torn version: the claimed version was aborted and published as a
-    // repaired snapshot (its claimed range reads as a hole), exactly like
-    // an in-process write failure — later writers are never blocked by it.
+    // With the version manager on the wire, the total stall fails the
+    // append at ticket assignment — before any version is claimed, so there
+    // is nothing to repair (`failed_writes` counts post-claim failures).
+    // No torn state once the network heals: whatever the append claimed
+    // before failing was aborted/repaired, so the blob serves reads and
+    // later writers are never blocked by the failure.
+    faults.set_plan(FaultPlan::none());
+    let published = client.published_versions(blob).unwrap();
+    assert_eq!(published[0], Version(0));
+    for version in published {
+        let bytes = client.read_all(blob, Some(version)).unwrap();
+        assert_eq!(
+            bytes.len() as u64,
+            client.size(blob, Some(version)).unwrap()
+        );
+    }
+    let data = fill(2 * CS, 7);
+    let healed = client.append(blob, &data).unwrap();
+    let size = client.size(blob, Some(healed)).unwrap();
     assert_eq!(
-        client.published_versions(blob).unwrap(),
-        vec![Version(0), Version(1)]
+        client
+            .read(blob, Some(healed), size - 2 * CS, 2 * CS)
+            .unwrap(),
+        data,
+        "a later writer reads back its bytes after the hung-network failure"
     );
-    assert_eq!(client.size(blob, Some(Version(1))).unwrap(), 4 * CS);
-    assert_eq!(client.stats().failed_writes, 1);
 }
 
 // ---------------------------------------------------------------------------

@@ -72,6 +72,69 @@ fn replication_shape_like_tab_e2() {
     assert!(rows[1].read_availability >= rows[0].read_availability);
 }
 
+/// p99 latency (in virtual milliseconds) of the interactive tenant — the
+/// last client of an `overload` workload.
+fn interactive_p99_ms(result: &blobseer::sim::SimulationResult, interactive: usize) -> f64 {
+    let mut lat: Vec<f64> = result
+        .ops
+        .iter()
+        .filter(|op| op.client == interactive)
+        .inspect(|op| assert!(op.ok, "interactive ops must all succeed"))
+        .map(|op| (op.end - op.start) as f64 / 1e6)
+        .collect();
+    assert!(!lat.is_empty());
+    lat.sort_by(f64::total_cmp);
+    let rank = ((lat.len() as f64 * 0.99).ceil() as usize).clamp(1, lat.len());
+    lat[rank - 1]
+}
+
+#[test]
+fn admission_window_bounds_the_interactive_tenants_tail_latency() {
+    // Four greedy tenants each inject bursts two orders of magnitude larger
+    // than the interactive tenant's appends. Without admission every burst
+    // lands on the data plane whole and the interactive tenant's p99 grows
+    // with the burst size; with a window of four chunks per tenant the
+    // greedy streams arrive as paced installments and the interactive p99
+    // stays within a constant factor of the uncontended latency.
+    let build = || {
+        WorkloadBuilder::new(4)
+            .ops_per_client(4)
+            .op_size(64 << 20)
+            .chunk_size(512 << 10)
+    };
+    let flood = build().overload(256 << 10, 32, 0);
+    let paced = build().overload(256 << 10, 32, 4);
+    let interactive = flood.clients - 1;
+
+    let mut sim = cluster(8, 4);
+    let p99_off = interactive_p99_ms(&sim.run(&flood).unwrap(), interactive);
+    let p99_on = interactive_p99_ms(&sim.run(&paced).unwrap(), interactive);
+
+    // The uncontended baseline: the same interactive stream with no greedy
+    // tenants at all (`overload` keeps the last-client convention).
+    let solo = WorkloadBuilder::new(0)
+        .chunk_size(512 << 10)
+        .ops_per_client(0)
+        .overload(256 << 10, 32, 0);
+    let p99_solo = interactive_p99_ms(&sim.run(&solo).unwrap(), 0);
+
+    assert!(
+        p99_on * 5.0 < p99_off,
+        "admission must shrink the interactive p99 well past noise: \
+         on = {p99_on:.2} ms, off = {p99_off:.2} ms"
+    );
+    assert!(
+        p99_on < 25.0 * p99_solo,
+        "throttled overload must keep the interactive p99 within a constant \
+         factor of uncontended: on = {p99_on:.2} ms, solo = {p99_solo:.2} ms"
+    );
+    assert!(
+        p99_off > 30.0 * p99_solo,
+        "the unthrottled flood must actually overload the interactive \
+         tenant: off = {p99_off:.2} ms, solo = {p99_solo:.2} ms"
+    );
+}
+
 #[test]
 fn provider_load_is_balanced_under_round_robin() {
     let mut sim = cluster(16, 8);
